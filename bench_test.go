@@ -1,0 +1,343 @@
+// Package gallium's top-level benchmarks regenerate every table and
+// figure of the paper's evaluation (§6) under `go test -bench`. Each
+// benchmark runs the corresponding experiment end to end — compiler,
+// partitioner, simulated testbed — and reports the headline metric via
+// b.ReportMetric so `-benchmem` output doubles as the experiment log.
+//
+//	BenchmarkTable1LinesOfCode   — Table 1
+//	BenchmarkFigure7Throughput   — Figure 7
+//	BenchmarkTable2Latency       — Table 2
+//	BenchmarkTable3StateSync     — Table 3
+//	BenchmarkFigure8Workloads    — Figure 8
+//	BenchmarkFigure9FCT          — Figure 9
+//	BenchmarkHeadline            — §6.3 summary
+//
+// Component microbenchmarks (compiler passes, switch pipeline, server
+// runtime) follow the experiment benches.
+package gallium
+
+import (
+	"testing"
+
+	"gallium/internal/eval"
+	"gallium/internal/ir"
+	"gallium/internal/lang"
+	"gallium/internal/middleboxes"
+	"gallium/internal/netsim"
+	"gallium/internal/packet"
+	"gallium/internal/partition"
+	"gallium/internal/serverrt"
+	"gallium/internal/switchsim"
+	"gallium/internal/trafficgen"
+)
+
+// BenchmarkTable1LinesOfCode regenerates Table 1 (lines of code before and
+// after compilation) and reports the total generated lines per op.
+func BenchmarkTable1LinesOfCode(b *testing.B) {
+	var rows []eval.Table1Row
+	for i := 0; i < b.N; i++ {
+		var err error
+		rows, err = eval.Table1()
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	var p4LoC, srvLoC float64
+	for _, r := range rows {
+		p4LoC += float64(r.P4LoC)
+		srvLoC += float64(r.ServerLoC)
+	}
+	b.ReportMetric(p4LoC, "p4_lines")
+	b.ReportMetric(srvLoC, "server_lines")
+	b.Logf("\n%s", eval.FormatTable1(rows))
+}
+
+// BenchmarkFigure7Throughput regenerates Figure 7 (throughput vs packet
+// size for all five middleboxes and four deployments).
+func BenchmarkFigure7Throughput(b *testing.B) {
+	var points []eval.Fig7Point
+	for i := 0; i < b.N; i++ {
+		var err error
+		points, err = eval.Figure7(false)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	var offGbps, c4Gbps float64
+	for _, p := range points {
+		if p.PktSize == 1500 {
+			switch p.Config {
+			case "Offloaded":
+				offGbps += p.Gbps / 5
+			case "Click-4c":
+				c4Gbps += p.Gbps / 5
+			}
+		}
+	}
+	b.ReportMetric(offGbps, "offloaded_gbps@1500B")
+	b.ReportMetric(c4Gbps, "click4c_gbps@1500B")
+	b.Logf("\n%s", eval.FormatFigure7(points))
+}
+
+// BenchmarkTable2Latency regenerates Table 2 (end-to-end latency).
+func BenchmarkTable2Latency(b *testing.B) {
+	var rows []eval.Table2Row
+	for i := 0; i < b.N; i++ {
+		var err error
+		rows, err = eval.Table2()
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	var f, g float64
+	for _, r := range rows {
+		f += r.FastClickUs / float64(len(rows))
+		g += r.GalliumUs / float64(len(rows))
+	}
+	b.ReportMetric(f, "fastclick_us")
+	b.ReportMetric(g, "gallium_us")
+	b.Logf("\n%s", eval.FormatTable2(rows))
+}
+
+// BenchmarkTable3StateSync regenerates Table 3 (control-plane update
+// latency) and also exercises the write-back machinery itself.
+func BenchmarkTable3StateSync(b *testing.B) {
+	prog, err := lang.Compile(middleboxes.MazuNATSource)
+	if err != nil {
+		b.Fatal(err)
+	}
+	res, err := partition.Partition(prog, partition.DefaultConstraints())
+	if err != nil {
+		b.Fatal(err)
+	}
+	sw := switchsim.New(res)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		// Wrap the key space so the table never exceeds its annotation.
+		k := uint64(i % 50000)
+		u := switchsim.Update{Table: "nat_fwd", Key: ir.MakeMapKey(k, k), Vals: []uint64{uint64(i)}}
+		if err := sw.StageWriteback(u); err != nil {
+			b.Fatal(err)
+		}
+		sw.FlipVisibility()
+		sw.MergeWriteback()
+	}
+	b.StopTimer()
+	rows := eval.Table3()
+	b.ReportMetric(rows[0].InsertUs, "1table_us")
+	b.ReportMetric(rows[2].InsertUs, "4tables_us")
+	b.Logf("\n%s", eval.FormatTable3(rows))
+}
+
+// BenchmarkFigure8Workloads regenerates Figure 8 (throughput on the
+// enterprise and data-mining workloads).
+func BenchmarkFigure8Workloads(b *testing.B) {
+	var fig8 []eval.Fig8Point
+	for i := 0; i < b.N; i++ {
+		var err error
+		fig8, _, err = eval.Figures89(false)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	var offDM float64
+	for _, p := range fig8 {
+		if p.Config == "Offloaded" && p.Workload == "datamining" {
+			offDM += p.Gbps / 5
+		}
+	}
+	b.ReportMetric(offDM, "offloaded_dm_gbps")
+	b.Logf("\n%s", eval.FormatFigure8(fig8))
+}
+
+// BenchmarkFigure9FCT regenerates Figure 9 (flow completion time by
+// flow-size bin).
+func BenchmarkFigure9FCT(b *testing.B) {
+	var fig9 []eval.Fig9Point
+	for i := 0; i < b.N; i++ {
+		var err error
+		_, fig9, err = eval.Figures89(false)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(len(fig9)), "series")
+	b.Logf("\n%s", eval.FormatFigure9(fig9))
+}
+
+// BenchmarkHeadline regenerates the §6.3 summary numbers (cycle savings,
+// latency reduction, slow-path fraction).
+func BenchmarkHeadline(b *testing.B) {
+	var h *eval.HeadlineStats
+	for i := 0; i < b.N; i++ {
+		var err error
+		h, err = eval.Headline(false)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	var sav, lat float64
+	for _, v := range h.CycleSavingsPct {
+		sav += v / 5
+	}
+	for _, v := range h.LatencyReductionPct {
+		lat += v / 5
+	}
+	b.ReportMetric(sav, "cycle_savings_pct")
+	b.ReportMetric(lat, "latency_cut_pct")
+	b.Logf("\n%s", eval.FormatHeadline(h))
+}
+
+// --- component microbenchmarks ---
+
+// BenchmarkCompileMazuNAT measures the full compiler pipeline: parse,
+// lower, dependency analysis, partitioning, code generation.
+func BenchmarkCompileMazuNAT(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		prog, err := lang.Compile(middleboxes.MazuNATSource)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := partition.Partition(prog, partition.DefaultConstraints()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSwitchFastPath measures the simulated switch's per-packet cost
+// on the fast path (table hit, rewrite, emit).
+func BenchmarkSwitchFastPath(b *testing.B) {
+	prog, err := lang.Compile(middleboxes.MiniLBSource)
+	if err != nil {
+		b.Fatal(err)
+	}
+	res, err := partition.Partition(prog, partition.DefaultConstraints())
+	if err != nil {
+		b.Fatal(err)
+	}
+	sw := switchsim.New(res)
+	if err := sw.LoadVector("backends", middleboxes.Backends); err != nil {
+		b.Fatal(err)
+	}
+	src := packet.MakeIPv4Addr(1, 2, 3, 4)
+	dst := packet.MakeIPv4Addr(9, 9, 9, 9)
+	key := ir.MakeMapKey(uint64(src^dst) & 0xFFFF)
+	if err := sw.StageWriteback(switchsim.Update{Table: "conn", Key: key, Vals: []uint64{middleboxes.Backends[0]}}); err != nil {
+		b.Fatal(err)
+	}
+	sw.FlipVisibility()
+	sw.MergeWriteback()
+	pkt := packet.BuildTCP(src, dst, 1000, 80, packet.TCPOptions{})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p := *pkt // shallow copy is fine: fast path rewrites headers only
+		if _, err := sw.ProcessPre(&p); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkServerSlowPath measures the server runtime on slow-path
+// packets including transfer header parsing and update recording.
+func BenchmarkServerSlowPath(b *testing.B) {
+	prog, err := lang.Compile(middleboxes.MiniLBSource)
+	if err != nil {
+		b.Fatal(err)
+	}
+	res, err := partition.Partition(prog, partition.DefaultConstraints())
+	if err != nil {
+		b.Fatal(err)
+	}
+	sw := switchsim.New(res)
+	if err := sw.LoadVector("backends", middleboxes.Backends); err != nil {
+		b.Fatal(err)
+	}
+	srv := serverrt.New(res)
+	middleboxes.ConfigureState("minilb", srv.State)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		pkt := packet.BuildTCP(packet.IPv4Addr(i), packet.MakeIPv4Addr(9, 9, 9, 9), 1000, 80, packet.TCPOptions{})
+		if _, err := sw.ProcessPre(pkt); err != nil {
+			b.Fatal(err)
+		}
+		if pkt.HasGallium {
+			if _, err := srv.Process(pkt); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+// BenchmarkReferenceInterpreter measures the reference interpreter (the
+// software baseline's inner loop).
+func BenchmarkReferenceInterpreter(b *testing.B) {
+	prog, err := lang.Compile(middleboxes.FirewallSource)
+	if err != nil {
+		b.Fatal(err)
+	}
+	st := ir.NewState(prog)
+	tup := packet.FiveTuple{SrcIP: packet.MakeIPv4Addr(10, 0, 0, 1), DstIP: 2, SrcPort: 3, DstPort: 4, Proto: packet.IPProtocolTCP}
+	middleboxes.AllowFlow(st, tup)
+	pkt := packet.BuildTCP(tup.SrcIP, tup.DstIP, tup.SrcPort, tup.DstPort, packet.TCPOptions{})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := prog.Exec(&ir.Env{State: st, Pkt: pkt}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkPacketDecode measures the zero-copy header parser.
+func BenchmarkPacketDecode(b *testing.B) {
+	raw := packet.BuildTCP(1, 2, 3, 4, packet.TCPOptions{Payload: make([]byte, 400)}).Serialize()
+	var eth packet.Ethernet
+	var ip packet.IPv4
+	var tcp packet.TCP
+	var pay packet.Payload
+	parser := packet.NewDecodingLayerParser(packet.LayerTypeEthernet, &eth, &ip, &tcp, &pay)
+	decoded := make([]packet.LayerType, 0, 4)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := parser.DecodeLayers(raw, &decoded); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFluidEngine measures the flow-level workload engine.
+func BenchmarkFluidEngine(b *testing.B) {
+	sizes := trafficgen.Enterprise().SampleFlows(100_000, 1)
+	flows := trafficgen.SplitWorkers(sizes, 100)
+	cfg := netsim.DefaultFluidConfig()
+	cfg.BottleneckBps = 100e9
+	cfg.SetupNs = 100_000
+	cfg.RTTNs = 16_000
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := netsim.RunFluid(cfg, flows); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTestbedInject measures the packet-level testbed's per-packet
+// cost in offloaded mode.
+func BenchmarkTestbedInject(b *testing.B) {
+	c, err := eval.CompileOne("firewall")
+	if err != nil {
+		b.Fatal(err)
+	}
+	gen := trafficgen.IperfConfig{Conns: 10, PacketSize: 500, PPS: 1, DurationNs: 1}
+	tb, err := eval.NewScenarioTestbed(c, netsim.Offloaded, 1, gen.Tuples())
+	if err != nil {
+		b.Fatal(err)
+	}
+	tup := gen.Tuples()[0]
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		pkt := packet.BuildTCP(tup.SrcIP, tup.DstIP, tup.SrcPort, tup.DstPort, packet.TCPOptions{})
+		if _, err := tb.Inject(int64(i)*1000, pkt); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,113 @@
+// Command galliumbench regenerates the paper's evaluation: every table
+// and figure of §6 (Table 1, Figure 7, Table 2, Table 3, Figures 8-9) plus
+// the headline summary numbers.
+//
+// Usage:
+//
+//	galliumbench                 # run everything (full-size workloads)
+//	galliumbench -exp fig7       # one experiment
+//	galliumbench -quick          # smaller workloads (CI-sized)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"gallium/internal/eval"
+)
+
+func main() {
+	exp := flag.String("exp", "all", "experiment: table1, offloading, fig7, table2, table3, fig8, fig9, headline, loadsweep, ablation, all")
+	quick := flag.Bool("quick", false, "shrink simulated durations and flow counts")
+	flag.Parse()
+	if err := run(*exp, *quick); err != nil {
+		fmt.Fprintln(os.Stderr, "galliumbench:", err)
+		os.Exit(1)
+	}
+}
+
+func run(exp string, quick bool) error {
+	want := func(name string) bool { return exp == "all" || exp == name }
+	ran := false
+
+	if want("table1") {
+		rows, err := eval.Table1()
+		if err != nil {
+			return err
+		}
+		fmt.Println(eval.FormatTable1(rows))
+		ran = true
+	}
+	if want("offloading") {
+		rows, err := eval.Offloading()
+		if err != nil {
+			return err
+		}
+		fmt.Println(eval.FormatOffloading(rows))
+		ran = true
+	}
+	if want("fig7") {
+		points, err := eval.Figure7(quick)
+		if err != nil {
+			return err
+		}
+		fmt.Println(eval.FormatFigure7(points))
+		ran = true
+	}
+	if want("table2") {
+		rows, err := eval.Table2()
+		if err != nil {
+			return err
+		}
+		fmt.Println(eval.FormatTable2(rows))
+		ran = true
+	}
+	if want("table3") {
+		fmt.Println(eval.FormatTable3(eval.Table3()))
+		ran = true
+	}
+	if want("fig8") || want("fig9") {
+		fig8, fig9, err := eval.Figures89(quick)
+		if err != nil {
+			return err
+		}
+		if want("fig8") {
+			fmt.Println(eval.FormatFigure8(fig8))
+		}
+		if want("fig9") {
+			fmt.Println(eval.FormatFigure9(fig9))
+		}
+		ran = true
+	}
+	if want("loadsweep") {
+		points, err := eval.LoadSweep("mazunat", quick)
+		if err != nil {
+			return err
+		}
+		fmt.Println(eval.FormatLoadSweep(points))
+		ran = true
+	}
+	if want("ablation") {
+		txt, err := eval.Ablations()
+		if err != nil {
+			return err
+		}
+		fmt.Println(txt)
+		ran = true
+	}
+	if want("headline") {
+		h, err := eval.Headline(quick)
+		if err != nil {
+			return err
+		}
+		fmt.Println(eval.FormatHeadline(h))
+		ran = true
+	}
+	if !ran {
+		return fmt.Errorf("unknown experiment %q (want %s)", exp,
+			strings.Join([]string{"table1", "offloading", "fig7", "table2", "table3", "fig8", "fig9", "headline", "loadsweep", "ablation", "all"}, ", "))
+	}
+	return nil
+}

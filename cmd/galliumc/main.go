@@ -1,0 +1,171 @@
+// Command galliumc is the Gallium compiler CLI: it takes a middlebox
+// written in MiniClick (a file, or one of the built-in evaluation
+// middleboxes by name) and produces the two deployable artifacts — the P4
+// program for the switch and the C++-style server program — plus a
+// partitioning report.
+//
+// Usage:
+//
+//	galliumc [-o outdir] [-print pre|srv|post|p4|server|report] <file.mc | builtin-name>
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"gallium/internal/lang"
+	"gallium/internal/middleboxes"
+	"gallium/internal/p4"
+	"gallium/internal/partition"
+	"gallium/internal/servergen"
+)
+
+func main() {
+	outDir := flag.String("o", "", "write artifacts into this directory")
+	show := flag.String("print", "report", "what to print: report, p4, server, pre, srv, post, deps, all")
+	depth := flag.Int("depth", 0, "override the switch pipeline-depth constraint")
+	transfer := flag.Int("transfer", 0, "override the transfer-header budget in bytes")
+	memory := flag.Int("memory", 0, "override switch memory in bytes")
+	weighted := flag.Bool("weighted", false, "use the §7 weighted offloading objective")
+	drmt := flag.Bool("drmt", false, "target a disaggregated-RMT switch (relax rules 3/4)")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: galliumc [-o outdir] [-print what] <file.mc | %s>\n",
+			strings.Join(builtinNames(), " | "))
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	if flag.NArg() != 1 {
+		flag.Usage()
+		os.Exit(2)
+	}
+	cons := partition.DefaultConstraints()
+	if *depth > 0 {
+		cons.PipelineDepth = *depth
+	}
+	if *transfer > 0 {
+		cons.TransferBytes = *transfer
+	}
+	if *memory > 0 {
+		cons.SwitchMemoryBytes = *memory
+	}
+	cons.WeightedObjective = *weighted
+	cons.DisaggregatedRMT = *drmt
+	if err := run(flag.Arg(0), *outDir, *show, cons); err != nil {
+		fmt.Fprintln(os.Stderr, "galliumc:", err)
+		os.Exit(1)
+	}
+}
+
+func builtinNames() []string {
+	names := []string{"minilb", "ipgateway"}
+	for _, s := range middleboxes.All() {
+		names = append(names, s.Name)
+	}
+	return names
+}
+
+func run(target, outDir, show string, cons partition.Constraints) error {
+	src, err := loadSource(target)
+	if err != nil {
+		return err
+	}
+	prog, err := lang.Compile(src)
+	if err != nil {
+		return err
+	}
+	res, err := partition.Partition(prog, cons)
+	if err != nil {
+		return err
+	}
+	p4prog, err := p4.Generate(res)
+	if err != nil {
+		return err
+	}
+	srv := servergen.Generate(res)
+
+	if outDir != "" {
+		if err := os.MkdirAll(outDir, 0o755); err != nil {
+			return err
+		}
+		files := map[string]string{
+			prog.Name + ".p4":         p4prog.Source,
+			prog.Name + "_server.cpp": srv.Source,
+			prog.Name + "_report.txt": report(res, p4prog, srv),
+		}
+		for name, content := range files {
+			if err := os.WriteFile(filepath.Join(outDir, name), []byte(content), 0o644); err != nil {
+				return err
+			}
+		}
+		fmt.Printf("wrote %d artifacts to %s\n", len(files), outDir)
+	}
+
+	switch show {
+	case "report":
+		fmt.Print(report(res, p4prog, srv))
+	case "p4":
+		fmt.Print(p4prog.Source)
+	case "server":
+		fmt.Print(srv.Source)
+	case "pre":
+		fmt.Print(res.PreFn.String())
+	case "srv":
+		fmt.Print(res.SrvFn.String())
+	case "post":
+		fmt.Print(res.PostFn.String())
+	case "deps":
+		// The program dependence graph with partition clustering — the
+		// paper's Figure 3, as Graphviz.
+		names := make([]string, len(res.Assign))
+		for i, a := range res.Assign {
+			names[i] = a.String()
+		}
+		fmt.Print(res.Graph.Dot(names))
+	case "all":
+		fmt.Print(report(res, p4prog, srv))
+		fmt.Println("---- P4 ----")
+		fmt.Print(p4prog.Source)
+		fmt.Println("---- server ----")
+		fmt.Print(srv.Source)
+	default:
+		return fmt.Errorf("unknown -print value %q", show)
+	}
+	return nil
+}
+
+func loadSource(target string) (string, error) {
+	if strings.HasSuffix(target, ".mc") {
+		data, err := os.ReadFile(target)
+		if err != nil {
+			return "", err
+		}
+		return string(data), nil
+	}
+	spec, err := middleboxes.Lookup(target)
+	if err != nil {
+		return "", fmt.Errorf("%q is neither a .mc file nor a built-in middlebox", target)
+	}
+	return spec.Source, nil
+}
+
+func report(res *partition.Result, p4prog *p4.Program, srv *servergen.Program) string {
+	var b strings.Builder
+	r := res.Report
+	fmt.Fprintf(&b, "middlebox %s\n", res.Prog.Name)
+	fmt.Fprintf(&b, "  statements: %d total = %d pre + %d server + %d post (%.0f%% offloaded)\n",
+		r.NumStmts, r.NumPre, r.NumSrv, r.NumPost, 100*r.OffloadFraction())
+	fmt.Fprintf(&b, "  switch memory: %d bytes across %d globals %v\n",
+		r.SwitchMemoryBytes, len(res.OffloadedGlobals), res.OffloadedGlobals)
+	fmt.Fprintf(&b, "  pipeline depth: pre=%d post=%d (budget %d)\n",
+		r.DepthPre, r.DepthPost, res.Cons.PipelineDepth)
+	fmt.Fprintf(&b, "  per-packet metadata: %d bits (budget %d)\n",
+		r.MaxMetadataBits, res.Cons.MetadataBytes*8)
+	fmt.Fprintf(&b, "  transfer headers: pre→server %s (%dB), server→post %s (%dB)\n",
+		res.FormatA, r.TransferABytes, res.FormatB, r.TransferBBytes)
+	fmt.Fprintf(&b, "  generated: %d lines of P4, %d lines of server C++\n",
+		p4prog.LinesOfCode(), srv.LinesOfCode())
+	return b.String()
+}

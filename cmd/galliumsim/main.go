@@ -1,0 +1,145 @@
+// Command galliumsim runs one middlebox through the simulated testbed —
+// traffic generators, programmable switch, middlebox server — and prints
+// throughput, latency, and path statistics. It is the interactive
+// counterpart of the benchmark harness: one scenario, visible numbers.
+//
+// Usage:
+//
+//	galliumsim [-mb mazunat] [-mode offloaded|software] [-cores 1]
+//	           [-size 500] [-pps 4e6] [-ms 10]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+
+	"gallium/internal/eval"
+	"gallium/internal/netsim"
+	"gallium/internal/packet"
+	"gallium/internal/trafficgen"
+)
+
+func main() {
+	mb := flag.String("mb", "mazunat", "middlebox: mazunat, l4lb, firewall, proxy, trojandetector, minilb, ipgateway, ddosdetector")
+	mode := flag.String("mode", "offloaded", "deployment: offloaded or software")
+	cores := flag.Int("cores", 1, "middlebox server cores")
+	size := flag.Int("size", 500, "packet size in bytes")
+	pps := flag.Float64("pps", 4e6, "offered aggregate packet rate")
+	ms := flag.Int("ms", 10, "simulated duration in milliseconds")
+	cache := flag.String("cache", "", "run a table as a §7 switch cache, e.g. -cache conn=512")
+	pcap := flag.String("pcap", "", "write delivered packets to this pcap file")
+	flag.Parse()
+	if err := run(*mb, *mode, *cores, *size, *pps, *ms, *cache, *pcap); err != nil {
+		fmt.Fprintln(os.Stderr, "galliumsim:", err)
+		os.Exit(1)
+	}
+}
+
+func run(name, modeStr string, cores, size int, pps float64, ms int, cache, pcapPath string) error {
+	var c *eval.Compiled
+	var err error
+	if cache != "" {
+		var table string
+		var entries int
+		if _, err := fmt.Sscanf(cache, "%s", &table); err != nil || !strings.Contains(cache, "=") {
+			return fmt.Errorf("bad -cache value %q, want table=entries", cache)
+		}
+		parts := strings.SplitN(cache, "=", 2)
+		table = parts[0]
+		if _, err := fmt.Sscanf(parts[1], "%d", &entries); err != nil {
+			return fmt.Errorf("bad -cache entry count %q", parts[1])
+		}
+		c, err = eval.CompileOneWithCache(name, map[string]int{table: entries})
+	} else {
+		c, err = eval.CompileOne(name)
+	}
+	if err != nil {
+		return err
+	}
+	mode := netsim.Offloaded
+	if modeStr == "software" {
+		mode = netsim.Software
+	} else if modeStr != "offloaded" {
+		return fmt.Errorf("unknown mode %q", modeStr)
+	}
+
+	gen := trafficgen.IperfConfig{
+		Conns: 10, PacketSize: size, PPS: pps,
+		DurationNs: int64(ms) * 1_000_000, Seed: 7,
+	}
+	tb, err := eval.NewScenarioTestbed(c, mode, cores, gen.Tuples())
+	if err != nil {
+		return err
+	}
+
+	var pcapW *packet.PcapWriter
+	if pcapPath != "" {
+		f, err := os.Create(pcapPath)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		pcapW = packet.NewPcapWriter(f)
+	}
+
+	var lats []float64
+	err = gen.Generate(func(tNs int64, pkt *packet.Packet) error {
+		d, err := tb.Inject(tNs, pkt)
+		if err != nil {
+			return err
+		}
+		if d.Delivered {
+			lats = append(lats, float64(d.LatencyNs))
+			if pcapW != nil {
+				if err := pcapW.WritePacket(d.DeliverNs, pkt.Serialize()); err != nil {
+					return err
+				}
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+
+	st := tb.Stats()
+	fmt.Printf("middlebox %s, %s mode, %d core(s), %dB packets, %.1f Mpps offered, %d ms\n",
+		name, modeStr, cores, size, pps/1e6, ms)
+	fmt.Printf("  injected %d  delivered %d  mb-drops %d  queue-drops %d\n",
+		st.Injected, st.Delivered, st.MBDrops, st.QueueDrops)
+	fmt.Printf("  throughput: %.2f Gbps\n", st.ThroughputBps()/1e9)
+	if len(lats) > 0 {
+		sort.Float64s(lats)
+		var sum float64
+		for _, v := range lats {
+			sum += v
+		}
+		pct := func(q float64) float64 { return lats[int(q*float64(len(lats)-1))] / 1000 }
+		fmt.Printf("  latency: mean %.2f µs, p50 %.2f, p99 %.2f, max %.2f\n",
+			sum/float64(len(lats))/1000, pct(0.50), pct(0.99), lats[len(lats)-1]/1000)
+	}
+	if pcapPath != "" {
+		fmt.Printf("  wrote %d delivered packets to %s\n", len(lats), pcapPath)
+	}
+	if mode == netsim.Offloaded {
+		fmt.Printf("  fast path: %d (%.2f%%)  slow path: %d\n",
+			st.FastPath, 100*float64(st.FastPath)/float64(st.Injected), st.SlowPath)
+		fmt.Printf("  control plane: %d ops in %d batches\n", st.CtlOps, st.CtlBatches)
+		if sws, ok := tb.SwitchStats(); ok {
+			fmt.Printf("  switch tables: %v\n", sws.TableEntries)
+		}
+	}
+	fmt.Printf("  server cycles: %.0f (%.1f cycles/pkt over slow-path packets)\n",
+		st.ServerCycles, st.ServerCycles/maxf(1, float64(st.SlowPath)))
+	return nil
+}
+
+func maxf(a, b float64) float64 {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,3 @@
+module gallium
+
+go 1.22

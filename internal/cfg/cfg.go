@@ -1,0 +1,170 @@
+// Package cfg builds control-flow graphs over IR functions and computes
+// the graph facts the dependency pass needs: reachability (the paper's
+// "can happen after" relation, §4.1), post-dominators, and control
+// dependence (Ferrante-Ottenstein-Warren program dependence graph
+// construction).
+package cfg
+
+import "gallium/internal/ir"
+
+// Graph is a control-flow graph over an IR function's blocks.
+type Graph struct {
+	Fn    *ir.Function
+	Succs [][]int
+	Preds [][]int
+}
+
+// New builds the CFG of fn.
+func New(fn *ir.Function) *Graph {
+	n := len(fn.Blocks)
+	g := &Graph{Fn: fn, Succs: make([][]int, n), Preds: make([][]int, n)}
+	for _, b := range fn.Blocks {
+		switch b.Term.Kind {
+		case ir.Jump:
+			g.addEdge(b.ID, b.Term.Then)
+		case ir.Branch:
+			g.addEdge(b.ID, b.Term.Then)
+			if b.Term.Else != b.Term.Then {
+				g.addEdge(b.ID, b.Term.Else)
+			}
+		}
+	}
+	return g
+}
+
+func (g *Graph) addEdge(from, to int) {
+	g.Succs[from] = append(g.Succs[from], to)
+	g.Preds[to] = append(g.Preds[to], from)
+}
+
+// Reachable computes the block-level transitive closure over edges: r[a][b]
+// is true when there is a path of one or more edges from a to b. Note
+// r[a][a] is true only when a lies on a cycle, which is exactly what the
+// paper's loop rule (label rule 5) needs.
+func (g *Graph) Reachable() [][]bool {
+	n := len(g.Succs)
+	r := make([][]bool, n)
+	for i := range r {
+		r[i] = make([]bool, n)
+		// BFS from each successor of i.
+		stack := append([]int(nil), g.Succs[i]...)
+		for len(stack) > 0 {
+			b := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			if r[i][b] {
+				continue
+			}
+			r[i][b] = true
+			stack = append(stack, g.Succs[b]...)
+		}
+	}
+	return r
+}
+
+// PostDominators returns, for each block, the set of blocks that
+// post-dominate it (including itself). A virtual exit node joins every
+// terminating block (Send/Drop/ToNext); blocks that cannot reach the exit
+// (infinite loops) post-dominate nothing beyond themselves.
+func (g *Graph) PostDominators() []map[int]bool {
+	n := len(g.Succs)
+	exits := []int{}
+	for _, b := range g.Fn.Blocks {
+		switch b.Term.Kind {
+		case ir.Send, ir.Drop, ir.ToNext:
+			exits = append(exits, b.ID)
+		}
+	}
+	// Iterative dataflow: PD(n) = {n} ∪ ⋂_{s∈succ(n)} PD(s); exit blocks
+	// start from {self}. Universe used as ⊤ for initialization.
+	pd := make([]map[int]bool, n)
+	full := map[int]bool{}
+	for i := 0; i < n; i++ {
+		full[i] = true
+	}
+	isExit := make([]bool, n)
+	for _, e := range exits {
+		isExit[e] = true
+	}
+	for i := 0; i < n; i++ {
+		if isExit[i] {
+			pd[i] = map[int]bool{i: true}
+		} else {
+			pd[i] = cloneSet(full)
+		}
+	}
+	for changed := true; changed; {
+		changed = false
+		for i := n - 1; i >= 0; i-- {
+			if isExit[i] {
+				continue
+			}
+			var inter map[int]bool
+			for _, s := range g.Succs[i] {
+				if inter == nil {
+					inter = cloneSet(pd[s])
+				} else {
+					for k := range inter {
+						if !pd[s][k] {
+							delete(inter, k)
+						}
+					}
+				}
+			}
+			if inter == nil {
+				inter = map[int]bool{}
+			}
+			inter[i] = true
+			if !setsEqual(inter, pd[i]) {
+				pd[i] = inter
+				changed = true
+			}
+		}
+	}
+	return pd
+}
+
+func cloneSet(s map[int]bool) map[int]bool {
+	c := make(map[int]bool, len(s))
+	for k := range s {
+		c[k] = true
+	}
+	return c
+}
+
+func setsEqual(a, b map[int]bool) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for k := range a {
+		if !b[k] {
+			return false
+		}
+	}
+	return true
+}
+
+// ControlDeps returns, for each block B, the set of branch blocks A such
+// that B is control dependent on A's terminator: A has a successor S with
+// B ∈ postdom(S), and B does not strictly post-dominate A.
+func (g *Graph) ControlDeps() [][]int {
+	n := len(g.Succs)
+	pd := g.PostDominators()
+	deps := make([][]int, n)
+	for a := 0; a < n; a++ {
+		if g.Fn.Blocks[a].Term.Kind != ir.Branch {
+			continue
+		}
+		for b := 0; b < n; b++ {
+			if b != a && pd[a][b] {
+				continue // b strictly post-dominates a
+			}
+			for _, s := range g.Succs[a] {
+				if pd[s][b] {
+					deps[b] = append(deps[b], a)
+					break
+				}
+			}
+		}
+	}
+	return deps
+}

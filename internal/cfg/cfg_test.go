@@ -1,0 +1,188 @@
+package cfg
+
+import (
+	"testing"
+
+	"gallium/internal/ir"
+)
+
+// buildDiamond constructs:
+//
+//	b0: x = const; branch x ? b1 : b2
+//	b1: send
+//	b2: drop
+func buildDiamond() *ir.Function {
+	b := ir.NewBuilder("diamond")
+	x := b.Const("x", ir.Bool, 1)
+	then := b.NewBlock()
+	els := b.NewBlock()
+	b.Branch(x, then, els)
+	b.SetBlock(then)
+	b.Send()
+	b.SetBlock(els)
+	b.Drop()
+	fn := b.Fn()
+	fn.Finalize()
+	return fn
+}
+
+// buildLoop constructs:
+//
+//	b0: c = const; jump b1
+//	b1: branch c ? b2 : b3   (b2 jumps back to b1)
+//	b2: jump b1
+//	b3: send
+func buildLoop() *ir.Function {
+	b := ir.NewBuilder("loop")
+	c := b.Const("c", ir.Bool, 0)
+	head := b.NewBlock()
+	body := b.NewBlock()
+	exit := b.NewBlock()
+	b.Jump(head)
+	b.SetBlock(head)
+	b.Branch(c, body, exit)
+	b.SetBlock(body)
+	b.Jump(head)
+	b.SetBlock(exit)
+	b.Send()
+	fn := b.Fn()
+	fn.Finalize()
+	return fn
+}
+
+func TestEdges(t *testing.T) {
+	g := New(buildDiamond())
+	if len(g.Succs[0]) != 2 {
+		t.Fatalf("b0 succs = %v", g.Succs[0])
+	}
+	if len(g.Preds[1]) != 1 || g.Preds[1][0] != 0 {
+		t.Errorf("b1 preds = %v", g.Preds[1])
+	}
+	if len(g.Succs[1]) != 0 || len(g.Succs[2]) != 0 {
+		t.Errorf("terminating blocks must have no successors")
+	}
+}
+
+func TestReachableDiamond(t *testing.T) {
+	g := New(buildDiamond())
+	r := g.Reachable()
+	if !r[0][1] || !r[0][2] {
+		t.Error("b0 must reach b1 and b2")
+	}
+	if r[1][2] || r[2][1] || r[1][0] {
+		t.Error("branch arms must not reach each other or the entry")
+	}
+	if r[0][0] || r[1][1] {
+		t.Error("no block is on a cycle in a diamond")
+	}
+}
+
+func TestReachableLoop(t *testing.T) {
+	g := New(buildLoop())
+	r := g.Reachable()
+	if !r[1][1] || !r[2][2] {
+		t.Error("loop head and body must reach themselves")
+	}
+	if r[3][3] || r[0][0] {
+		t.Error("entry/exit are not on the cycle")
+	}
+	if !r[0][3] {
+		t.Error("entry must reach exit")
+	}
+}
+
+func TestPostDominatorsDiamond(t *testing.T) {
+	g := New(buildDiamond())
+	pd := g.PostDominators()
+	// In a diamond with two distinct exits, only the block itself
+	// post-dominates each block.
+	if !pd[0][0] || len(pd[0]) != 1 {
+		t.Errorf("pd[0] = %v", pd[0])
+	}
+	if !pd[1][1] || pd[1][0] {
+		t.Errorf("pd[1] = %v", pd[1])
+	}
+}
+
+func TestPostDominatorsChain(t *testing.T) {
+	// b0 -> b1 -> b2(send): pd(b0) = {b0,b1,b2}
+	b := ir.NewBuilder("chain")
+	m := b.NewBlock()
+	e := b.NewBlock()
+	b.Jump(m)
+	b.SetBlock(m)
+	b.Jump(e)
+	b.SetBlock(e)
+	b.Send()
+	fn := b.Fn()
+	fn.Finalize()
+	pd := New(fn).PostDominators()
+	for _, want := range []int{0, 1, 2} {
+		if !pd[0][want] {
+			t.Errorf("pd[0] missing %d: %v", want, pd[0])
+		}
+	}
+}
+
+func TestControlDepsDiamond(t *testing.T) {
+	g := New(buildDiamond())
+	cd := g.ControlDeps()
+	if len(cd[1]) != 1 || cd[1][0] != 0 {
+		t.Errorf("cd[1] = %v, want [0]", cd[1])
+	}
+	if len(cd[2]) != 1 || cd[2][0] != 0 {
+		t.Errorf("cd[2] = %v, want [0]", cd[2])
+	}
+	if len(cd[0]) != 0 {
+		t.Errorf("cd[0] = %v, want none", cd[0])
+	}
+}
+
+func TestControlDepsIfThenJoin(t *testing.T) {
+	// b0: branch ? b1 : b2 ; b1: jump b2 ; b2: send
+	// b1 is control dependent on b0; b2 (the join) is not.
+	b := ir.NewBuilder("join")
+	c := b.Const("c", ir.Bool, 1)
+	then := b.NewBlock()
+	join := b.NewBlock()
+	b.Branch(c, then, join)
+	b.SetBlock(then)
+	b.Jump(join)
+	b.SetBlock(join)
+	b.Send()
+	fn := b.Fn()
+	fn.Finalize()
+	cd := New(fn).ControlDeps()
+	if len(cd[1]) != 1 || cd[1][0] != 0 {
+		t.Errorf("cd[then] = %v, want [0]", cd[1])
+	}
+	if len(cd[2]) != 0 {
+		t.Errorf("cd[join] = %v, want none", cd[2])
+	}
+}
+
+func TestControlDepsLoop(t *testing.T) {
+	g := New(buildLoop())
+	cd := g.ControlDeps()
+	// The loop body (b2) is control dependent on the loop head's branch
+	// (b1), and so is the head itself (it re-executes only if the branch
+	// takes the back edge).
+	if !contains(cd[2], 1) {
+		t.Errorf("cd[body] = %v, want to contain 1", cd[2])
+	}
+	if !contains(cd[1], 1) {
+		t.Errorf("cd[head] = %v, want to contain 1 (self via back edge)", cd[1])
+	}
+	if contains(cd[3], 1) {
+		t.Errorf("cd[exit] = %v, exit should not depend on loop branch", cd[3])
+	}
+}
+
+func contains(xs []int, v int) bool {
+	for _, x := range xs {
+		if x == v {
+			return true
+		}
+	}
+	return false
+}

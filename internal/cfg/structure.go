@@ -1,0 +1,95 @@
+package cfg
+
+import "gallium/internal/ir"
+
+// StructVisitor receives a structured (nested if/else) reconstruction of a
+// function's CFG. The code generators use it to render IR back into
+// block-structured languages (P4, C++-style server code) — valid because
+// the front end only produces structured control flow.
+type StructVisitor interface {
+	// Instr visits one non-terminator instruction in execution order.
+	Instr(in *ir.Instr)
+	// BeginIf opens a conditional on the given register; BeginElse
+	// switches to the else arm (always called, possibly with an empty
+	// arm); EndIf closes it.
+	BeginIf(cond ir.Reg)
+	BeginElse()
+	EndIf()
+	// Terminator visits a path-ending terminator (Send/Drop/ToNext).
+	Terminator(in *ir.Instr)
+	// BackEdge reports a loop back edge to the given block. Offloaded
+	// partitions never execute these (loop bodies are server-only), but
+	// the renderer surfaces them for completeness.
+	BackEdge(target int)
+}
+
+// Walk drives v over fn in structured order.
+func Walk(fn *ir.Function, v StructVisitor) {
+	g := New(fn)
+	pd := g.PostDominators()
+	w := &walker{fn: fn, v: v, pd: pd, onPath: map[int]bool{}}
+	w.walk(0, -1)
+}
+
+type walker struct {
+	fn     *ir.Function
+	v      StructVisitor
+	pd     []map[int]bool
+	onPath map[int]bool
+}
+
+// ipdom returns the immediate post-dominator of block b, or -1. Among b's
+// strict post-dominators it is the closest: the one post-dominated by no
+// other strict post-dominator except itself... equivalently the one whose
+// own post-dominator set is largest.
+func (w *walker) ipdom(b int) int {
+	best, bestLen := -1, -1
+	for x := range w.pd[b] {
+		if x == b {
+			continue
+		}
+		if n := len(w.pd[x]); n > bestLen {
+			best, bestLen = x, n
+		}
+	}
+	return best
+}
+
+// walk renders block b and its successors up to (not including) stop.
+func (w *walker) walk(b, stop int) {
+	for b != stop && b >= 0 {
+		if w.onPath[b] {
+			w.v.BackEdge(b)
+			return
+		}
+		w.onPath[b] = true
+		blk := w.fn.Blocks[b]
+		for i := range blk.Instrs {
+			w.v.Instr(&blk.Instrs[i])
+		}
+		switch blk.Term.Kind {
+		case ir.Jump:
+			next := blk.Term.Then
+			delete(w.onPath, b)
+			b = next
+			continue
+		case ir.Branch:
+			join := w.ipdom(b)
+			w.v.BeginIf(blk.Term.Args[0])
+			w.walk(blk.Term.Then, join)
+			w.v.BeginElse()
+			w.walk(blk.Term.Else, join)
+			w.v.EndIf()
+			delete(w.onPath, b)
+			b = join
+			if b < 0 {
+				return
+			}
+			continue
+		default:
+			w.v.Terminator(&blk.Term)
+			delete(w.onPath, b)
+			return
+		}
+	}
+}

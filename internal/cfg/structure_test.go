@@ -1,0 +1,133 @@
+package cfg
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"gallium/internal/ir"
+)
+
+// traceVisitor records the structured walk as a compact string.
+type traceVisitor struct{ b strings.Builder }
+
+func (v *traceVisitor) Instr(in *ir.Instr)     { fmt.Fprintf(&v.b, "i%d;", in.ID) }
+func (v *traceVisitor) BeginIf(cond ir.Reg)    { fmt.Fprintf(&v.b, "if(r%d){", cond) }
+func (v *traceVisitor) BeginElse()             { v.b.WriteString("}else{") }
+func (v *traceVisitor) EndIf()                 { v.b.WriteString("}") }
+func (v *traceVisitor) Terminator(t *ir.Instr) { fmt.Fprintf(&v.b, "%s;", t.Kind) }
+func (v *traceVisitor) BackEdge(target int)    { fmt.Fprintf(&v.b, "back(b%d);", target) }
+
+func walkString(fn *ir.Function) string {
+	v := &traceVisitor{}
+	Walk(fn, v)
+	return v.b.String()
+}
+
+func TestWalkStraightLine(t *testing.T) {
+	b := ir.NewBuilder("f")
+	b.Const("a", ir.U32, 1)
+	b.Const("b", ir.U32, 2)
+	b.Send()
+	fn := b.Fn()
+	fn.Finalize()
+	if got := walkString(fn); got != "i0;i1;send;" {
+		t.Errorf("walk = %q", got)
+	}
+}
+
+func TestWalkIfElseJoin(t *testing.T) {
+	// if (c) { x } else { y } ; z; send
+	b := ir.NewBuilder("f")
+	c := b.Const("c", ir.Bool, 1)
+	then := b.NewBlock()
+	els := b.NewBlock()
+	join := b.NewBlock()
+	b.Branch(c, then, els)
+	b.SetBlock(then)
+	b.Const("x", ir.U32, 1)
+	b.Jump(join)
+	b.SetBlock(els)
+	b.Const("y", ir.U32, 2)
+	b.Jump(join)
+	b.SetBlock(join)
+	b.Const("z", ir.U32, 3)
+	b.Send()
+	fn := b.Fn()
+	fn.Finalize()
+	got := walkString(fn)
+	// The join code must appear exactly once, after the closed if.
+	if got != fmt.Sprintf("i0;if(r%d){i2;}else{i4;}i6;send;", c) {
+		t.Errorf("walk = %q", got)
+	}
+}
+
+func TestWalkBothArmsTerminate(t *testing.T) {
+	b := ir.NewBuilder("f")
+	c := b.Const("c", ir.Bool, 1)
+	then := b.NewBlock()
+	els := b.NewBlock()
+	b.Branch(c, then, els)
+	b.SetBlock(then)
+	b.Send()
+	b.SetBlock(els)
+	b.Drop()
+	fn := b.Fn()
+	fn.Finalize()
+	got := walkString(fn)
+	if got != fmt.Sprintf("i0;if(r%d){send;}else{drop;}", c) {
+		t.Errorf("walk = %q", got)
+	}
+}
+
+func TestWalkNestedIf(t *testing.T) {
+	// if (a) { if (b) { send } else { drop } } else { drop }
+	b := ir.NewBuilder("f")
+	a := b.Const("a", ir.Bool, 1)
+	c := b.Const("b", ir.Bool, 0)
+	outerThen := b.NewBlock()
+	outerEls := b.NewBlock()
+	b.Branch(a, outerThen, outerEls)
+	b.SetBlock(outerThen)
+	innerThen := b.NewBlock()
+	innerEls := b.NewBlock()
+	b.Branch(c, innerThen, innerEls)
+	b.SetBlock(innerThen)
+	b.Send()
+	b.SetBlock(innerEls)
+	b.Drop()
+	b.SetBlock(outerEls)
+	b.Drop()
+	fn := b.Fn()
+	fn.Finalize()
+	got := walkString(fn)
+	want := fmt.Sprintf("i0;i1;if(r%d){if(r%d){send;}else{drop;}}else{drop;}", a, c)
+	if got != want {
+		t.Errorf("walk = %q, want %q", got, want)
+	}
+}
+
+func TestWalkLoopBackEdge(t *testing.T) {
+	// while (c) {} ; send  — the back edge must be reported, not recursed.
+	b := ir.NewBuilder("f")
+	c := b.Const("c", ir.Bool, 0)
+	head := b.NewBlock()
+	body := b.NewBlock()
+	exit := b.NewBlock()
+	b.Jump(head)
+	b.SetBlock(head)
+	b.Branch(c, body, exit)
+	b.SetBlock(body)
+	b.Jump(head)
+	b.SetBlock(exit)
+	b.Send()
+	fn := b.Fn()
+	fn.Finalize()
+	got := walkString(fn)
+	if !strings.Contains(got, "back(b1);") {
+		t.Errorf("walk = %q, want a back edge to b1", got)
+	}
+	if !strings.HasSuffix(got, "send;") {
+		t.Errorf("walk = %q, want the exit code after the loop", got)
+	}
+}

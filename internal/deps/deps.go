@@ -1,0 +1,345 @@
+// Package deps extracts statement-level dependencies from an IR program,
+// implementing §4.1 of the Gallium paper: per-statement read and write
+// sets (derived from instruction semantics plus data-structure
+// annotations), the "can happen after" relation (CFG reachability), and a
+// program dependence graph with data, reverse-data (anti), and control
+// edges.
+package deps
+
+import (
+	"fmt"
+
+	"gallium/internal/cfg"
+	"gallium/internal/ir"
+)
+
+// LocKind discriminates abstract memory locations.
+type LocKind uint8
+
+// Location kinds.
+const (
+	// LocReg is a virtual register.
+	LocReg LocKind = iota
+	// LocHeader is a packet header field (Name is the field path).
+	LocHeader
+	// LocPayload is the packet payload.
+	LocPayload
+	// LocGlobal is a named piece of global middlebox state.
+	LocGlobal
+	// LocXfer is a synthesized transfer variable (partitioned code only).
+	LocXfer
+)
+
+// Loc is an abstract location a statement may read or write.
+type Loc struct {
+	Kind LocKind
+	Reg  ir.Reg
+	Name string
+}
+
+// String formats the location.
+func (l Loc) String() string {
+	switch l.Kind {
+	case LocReg:
+		return fmt.Sprintf("r%d", l.Reg)
+	case LocHeader:
+		return "hdr:" + l.Name
+	case LocPayload:
+		return "payload"
+	case LocGlobal:
+		return "global:" + l.Name
+	case LocXfer:
+		return "xfer:" + l.Name
+	}
+	return "loc?"
+}
+
+func regLoc(r ir.Reg) Loc    { return Loc{Kind: LocReg, Reg: r} }
+func headerLoc(f string) Loc { return Loc{Kind: LocHeader, Name: f} }
+func globalLoc(n string) Loc { return Loc{Kind: LocGlobal, Name: n} }
+func payloadLoc() Loc        { return Loc{Kind: LocPayload} }
+func xferLoc(n string) Loc   { return Loc{Kind: LocXfer, Name: n} }
+
+// RWSets computes the read and write sets of one statement. headerUniverse
+// lists every header field the program touches: Send conceptually reads
+// the whole packet (the emitted bytes observe every header store), so its
+// read set is the universe plus the payload.
+func RWSets(p *ir.Program, in *ir.Instr, headerUniverse []string) (reads, writes []Loc) {
+	readRegs := func(rs []ir.Reg) {
+		for _, r := range rs {
+			reads = append(reads, regLoc(r))
+		}
+	}
+	writeRegs := func(rs []ir.Reg) {
+		for _, r := range rs {
+			writes = append(writes, regLoc(r))
+		}
+	}
+	switch in.Kind {
+	case ir.Const:
+		writeRegs(in.Dst)
+	case ir.BinOp, ir.Not, ir.Convert, ir.Hash:
+		readRegs(in.Args)
+		writeRegs(in.Dst)
+	case ir.LoadHeader:
+		reads = append(reads, headerLoc(in.Obj))
+		writeRegs(in.Dst)
+	case ir.StoreHeader:
+		readRegs(in.Args)
+		writes = append(writes, headerLoc(in.Obj))
+	case ir.PayloadMatch:
+		reads = append(reads, payloadLoc())
+		writeRegs(in.Dst)
+	case ir.MapFind, ir.LpmFind:
+		readRegs(in.Args)
+		reads = append(reads, globalLoc(in.Obj))
+		writeRegs(in.Dst)
+	case ir.MapInsert, ir.MapRemove:
+		readRegs(in.Args)
+		writes = append(writes, globalLoc(in.Obj))
+	case ir.VecGet, ir.VecLen:
+		readRegs(in.Args)
+		reads = append(reads, globalLoc(in.Obj))
+		writeRegs(in.Dst)
+	case ir.GlobalLoad:
+		reads = append(reads, globalLoc(in.Obj))
+		writeRegs(in.Dst)
+	case ir.GlobalStore:
+		readRegs(in.Args)
+		writes = append(writes, globalLoc(in.Obj))
+	case ir.XferLoad:
+		reads = append(reads, xferLoc(in.Obj))
+		writeRegs(in.Dst)
+	case ir.XferStore:
+		readRegs(in.Args)
+		writes = append(writes, xferLoc(in.Obj))
+	case ir.Branch:
+		readRegs(in.Args)
+	case ir.Send:
+		// The emitted packet observes every header field and the payload.
+		for _, f := range headerUniverse {
+			reads = append(reads, headerLoc(f))
+		}
+		reads = append(reads, payloadLoc())
+	case ir.Jump, ir.Drop, ir.ToNext:
+		// No data accesses.
+	}
+	return reads, writes
+}
+
+// EdgeKind labels dependence edges.
+type EdgeKind uint8
+
+// Dependence kinds, as in the paper's §4.1 taxonomy.
+const (
+	// EdgeData is a true data dependency: S1 writes state S2 reads or
+	// writes (read-after-write, write-after-write).
+	EdgeData EdgeKind = iota
+	// EdgeAnti is a reverse data dependency: S1 reads state S2 writes
+	// (write-after-read).
+	EdgeAnti
+	// EdgeControl is a control dependency: S1's branch decides whether S2
+	// executes.
+	EdgeControl
+)
+
+// String implements fmt.Stringer.
+func (k EdgeKind) String() string {
+	switch k {
+	case EdgeData:
+		return "data"
+	case EdgeAnti:
+		return "anti"
+	case EdgeControl:
+		return "control"
+	}
+	return "edge?"
+}
+
+// Edge is one dependence: To depends on the edge's source.
+type Edge struct {
+	To   int
+	Kind EdgeKind
+}
+
+// Graph is the program dependence graph at statement granularity. Out[i]
+// lists edges i → j meaning "statement j depends on statement i" (j must
+// run after i).
+type Graph struct {
+	Prog *ir.Program
+	Fn   *ir.Function
+	N    int
+	Out  [][]Edge
+
+	// Reads and Writes cache each statement's location sets.
+	Reads, Writes [][]Loc
+	// HeaderUniverse is every header field the program mentions.
+	HeaderUniverse []string
+
+	star       [][]bool
+	pos        []stmtPos
+	blockReach [][]bool
+}
+
+type stmtPos struct{ blk, idx int }
+
+// CanHappenAfter reports the paper's §4.1 relation: some execution trace
+// runs s2 after s1.
+func (g *Graph) CanHappenAfter(s1, s2 int) bool {
+	p1, p2 := g.pos[s1], g.pos[s2]
+	if p1.blk == p2.blk && p2.idx > p1.idx {
+		return true
+	}
+	return g.blockReach[p1.blk][p2.blk]
+}
+
+// Build constructs the dependence graph for the program's function.
+func Build(p *ir.Program) *Graph {
+	fn := p.Fn
+	g := &Graph{Prog: p, Fn: fn, N: fn.NumStmts}
+	g.Out = make([][]Edge, g.N)
+	g.HeaderUniverse = headerUniverse(fn)
+
+	stmts := fn.Stmts()
+	g.Reads = make([][]Loc, g.N)
+	g.Writes = make([][]Loc, g.N)
+	for i, s := range stmts {
+		g.Reads[i], g.Writes[i] = RWSets(p, s, g.HeaderUniverse)
+	}
+
+	// "Can happen after": S2 can happen after S1 when S2 is reachable from
+	// S1 in the CFG (§4.1). Block-level reachability plus intra-block
+	// order.
+	graph := cfg.New(fn)
+	g.blockReach = graph.Reachable()
+	g.pos = make([]stmtPos, g.N)
+	for _, b := range fn.Blocks {
+		for i := range b.Instrs {
+			g.pos[b.Instrs[i].ID] = stmtPos{b.ID, i}
+		}
+		g.pos[b.Term.ID] = stmtPos{b.ID, len(b.Instrs)}
+	}
+	canHappenAfter := g.CanHappenAfter
+
+	overlaps := func(a, b []Loc) bool {
+		for _, x := range a {
+			for _, y := range b {
+				if x == y {
+					return true
+				}
+			}
+		}
+		return false
+	}
+
+	// Data and anti dependencies over all ordered pairs.
+	for s1 := 0; s1 < g.N; s1++ {
+		for s2 := 0; s2 < g.N; s2++ {
+			if !canHappenAfter(s1, s2) {
+				continue
+			}
+			// RAW or WAW: S1 writes what S2 reads or writes.
+			if overlaps(g.Writes[s1], g.Reads[s2]) || overlaps(g.Writes[s1], g.Writes[s2]) {
+				g.addEdge(s1, s2, EdgeData)
+			} else if overlaps(g.Reads[s1], g.Writes[s2]) {
+				// WAR: S1 reads what S2 writes.
+				g.addEdge(s1, s2, EdgeAnti)
+			}
+		}
+	}
+
+	// Control dependencies: every statement in block B depends on the
+	// branch terminators B is control dependent on.
+	cds := graph.ControlDeps()
+	for _, b := range fn.Blocks {
+		for _, brBlk := range cds[b.ID] {
+			brStmt := fn.Blocks[brBlk].Term.ID
+			for i := range b.Instrs {
+				g.addEdge(brStmt, b.Instrs[i].ID, EdgeControl)
+			}
+			if b.Term.ID != brStmt {
+				g.addEdge(brStmt, b.Term.ID, EdgeControl)
+			} else {
+				// A loop branch controls its own re-execution.
+				g.addEdge(brStmt, brStmt, EdgeControl)
+			}
+		}
+	}
+	return g
+}
+
+func (g *Graph) addEdge(from, to int, k EdgeKind) {
+	for _, e := range g.Out[from] {
+		if e.To == to && e.Kind == k {
+			return
+		}
+	}
+	g.Out[from] = append(g.Out[from], Edge{To: to, Kind: k})
+}
+
+// headerUniverse collects every header field mentioned by the function.
+func headerUniverse(fn *ir.Function) []string {
+	seen := map[string]bool{}
+	var out []string
+	for _, s := range fn.Stmts() {
+		if s.Kind == ir.LoadHeader || s.Kind == ir.StoreHeader {
+			if !seen[s.Obj] {
+				seen[s.Obj] = true
+				out = append(out, s.Obj)
+			}
+		}
+	}
+	return out
+}
+
+// DependsOnStar returns the reflexive-free transitive closure: star[i][j]
+// is true when j transitively depends on i (i ⇝* j through one or more
+// edges). star[i][i] is true only when i lies on a dependence cycle.
+func (g *Graph) DependsOnStar() [][]bool {
+	if g.star != nil {
+		return g.star
+	}
+	star := make([][]bool, g.N)
+	for i := 0; i < g.N; i++ {
+		star[i] = make([]bool, g.N)
+		stack := make([]int, 0, 8)
+		for _, e := range g.Out[i] {
+			stack = append(stack, e.To)
+		}
+		for len(stack) > 0 {
+			v := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			if star[i][v] {
+				continue
+			}
+			star[i][v] = true
+			for _, e := range g.Out[v] {
+				stack = append(stack, e.To)
+			}
+		}
+	}
+	g.star = star
+	return star
+}
+
+// GlobalAccessed returns the name of the global state a statement touches,
+// or "" when it touches none.
+func GlobalAccessed(in *ir.Instr) string {
+	switch in.Kind {
+	case ir.MapFind, ir.MapInsert, ir.MapRemove, ir.VecGet, ir.VecLen, ir.GlobalLoad, ir.GlobalStore, ir.LpmFind:
+		return in.Obj
+	}
+	return ""
+}
+
+// IsGlobalWrite reports whether the statement mutates global state. The
+// partitioner never offloads these: replicated state is updated only by
+// the server (§4.3.3), and P4 tables are read-only for the data plane
+// (§2.1).
+func IsGlobalWrite(in *ir.Instr) bool {
+	switch in.Kind {
+	case ir.MapInsert, ir.MapRemove, ir.GlobalStore:
+		return true
+	}
+	return false
+}

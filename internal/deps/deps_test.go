@@ -1,0 +1,306 @@
+package deps
+
+import (
+	"strings"
+	"testing"
+
+	"gallium/internal/ir"
+)
+
+// buildMiniLB mirrors the paper's §4 running example; the expected
+// dependency structure is Figure 3.
+func buildMiniLB(t testing.TB) (*ir.Program, map[string]int) {
+	connMap := &ir.Global{Name: "map", Kind: ir.KindMap, KeyTypes: []ir.Type{ir.U16}, ValTypes: []ir.Type{ir.U32}, MaxEntries: 65536}
+	backends := &ir.Global{Name: "backends", Kind: ir.KindVec, ValTypes: []ir.Type{ir.U32}, MaxEntries: 16}
+
+	b := ir.NewBuilder("process")
+	ids := map[string]int{}
+	mark := func(name string) {
+		// Record the ID the next statement will get: count existing.
+		n := 0
+		for _, blk := range b.Fn().Blocks {
+			n += len(blk.Instrs)
+		}
+		_ = n
+	}
+	_ = mark
+
+	saddr := b.LoadHeader("saddr", "ip.saddr", ir.U32)
+	daddr := b.LoadHeader("daddr", "ip.daddr", ir.U32)
+	hash32 := b.BinOp("hash32", ir.Xor, saddr, daddr)
+	maskC := b.Const("maskc", ir.U32, 0xFFFF)
+	masked := b.BinOp("masked", ir.And, hash32, maskC)
+	key := b.Convert("key", ir.U16, masked)
+	found, vals := b.MapFind("bk", connMap, key)
+
+	hit := b.NewBlock()
+	miss := b.NewBlock()
+	b.Branch(found, hit, miss)
+
+	b.SetBlock(hit)
+	b.StoreHeader("ip.daddr", vals[0])
+	b.Send()
+
+	b.SetBlock(miss)
+	size := b.VecLen("size", backends)
+	idx := b.BinOp("idx", ir.Mod, hash32, size)
+	addr := b.VecGet("addr", backends, idx)
+	b.StoreHeader("ip.daddr", addr)
+	b.MapInsert(connMap, []ir.Reg{key}, []ir.Reg{addr})
+	b.Send()
+
+	fn := b.Fn()
+	fn.Finalize()
+	p := &ir.Program{Name: "minilb", Globals: []*ir.Global{connMap, backends}, Fn: fn}
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Map statement names to IDs for assertions (walk in order).
+	names := []string{"load_saddr", "load_daddr", "hash32", "maskc", "masked", "key",
+		"find", "branch", "store_hit", "send_hit", "size", "idx", "vecget",
+		"store_miss", "insert", "send_miss"}
+	stmts := fn.Stmts()
+	if len(stmts) != len(names) {
+		t.Fatalf("stmt count %d != expected %d", len(stmts), len(names))
+	}
+	for i, n := range names {
+		ids[n] = stmts[i].ID
+	}
+	return p, ids
+}
+
+func hasEdge(g *Graph, from, to int, kind EdgeKind) bool {
+	for _, e := range g.Out[from] {
+		if e.To == to && e.Kind == kind {
+			return true
+		}
+	}
+	return false
+}
+
+func TestDataDependencies(t *testing.T) {
+	p, ids := buildMiniLB(t)
+	g := Build(p)
+
+	cases := []struct{ from, to string }{
+		{"load_saddr", "hash32"},
+		{"load_daddr", "hash32"},
+		{"hash32", "masked"},
+		{"masked", "key"},
+		{"key", "find"},
+		{"key", "insert"},
+		{"hash32", "idx"},
+		{"size", "idx"},
+		{"idx", "vecget"},
+		{"vecget", "store_miss"},
+		{"vecget", "insert"},
+		{"find", "branch"}, // branch reads the found flag
+	}
+	for _, c := range cases {
+		if !hasEdge(g, ids[c.from], ids[c.to], EdgeData) {
+			t.Errorf("missing data edge %s -> %s", c.from, c.to)
+		}
+	}
+}
+
+func TestGlobalStateDependencies(t *testing.T) {
+	p, ids := buildMiniLB(t)
+	g := Build(p)
+	// find reads the map, insert writes it: find -> insert is an anti
+	// (write-after-read) dependency.
+	if !hasEdge(g, ids["find"], ids["insert"], EdgeAnti) {
+		t.Error("missing anti edge find -> insert on map")
+	}
+	// No reverse edge: insert cannot happen before find on any path.
+	if hasEdge(g, ids["insert"], ids["find"], EdgeData) {
+		t.Error("unexpected data edge insert -> find")
+	}
+}
+
+func TestHeaderDependencies(t *testing.T) {
+	p, ids := buildMiniLB(t)
+	g := Build(p)
+	// store_hit writes ip.daddr which send_hit reads (send reads whole pkt).
+	if !hasEdge(g, ids["store_hit"], ids["send_hit"], EdgeData) {
+		t.Error("missing data edge store_hit -> send_hit")
+	}
+	// load_daddr reads ip.daddr, store_hit writes it: anti dependency.
+	if !hasEdge(g, ids["load_daddr"], ids["store_hit"], EdgeAnti) {
+		t.Error("missing anti edge load_daddr -> store_hit")
+	}
+	// Stores in different branch arms cannot happen after each other:
+	// no WAW edge between store_hit and store_miss.
+	if hasEdge(g, ids["store_hit"], ids["store_miss"], EdgeData) ||
+		hasEdge(g, ids["store_miss"], ids["store_hit"], EdgeData) {
+		t.Error("false WAW edge between exclusive branch arms")
+	}
+}
+
+func TestControlDependencies(t *testing.T) {
+	p, ids := buildMiniLB(t)
+	g := Build(p)
+	for _, s := range []string{"store_hit", "send_hit", "size", "idx", "vecget", "store_miss", "insert", "send_miss"} {
+		if !hasEdge(g, ids["branch"], ids[s], EdgeControl) {
+			t.Errorf("missing control edge branch -> %s", s)
+		}
+	}
+	for _, s := range []string{"load_saddr", "hash32", "key", "find"} {
+		if hasEdge(g, ids["branch"], ids[s], EdgeControl) {
+			t.Errorf("unexpected control edge branch -> %s", s)
+		}
+	}
+}
+
+func TestDependsOnStarTransitive(t *testing.T) {
+	p, ids := buildMiniLB(t)
+	g := Build(p)
+	star := g.DependsOnStar()
+	// load_saddr ⇝* insert through hash32 -> masked -> key -> insert.
+	if !star[ids["load_saddr"]][ids["insert"]] {
+		t.Error("missing transitive dependence load_saddr ⇝* insert")
+	}
+	// Nothing depends on send_miss (last statement).
+	for name, id := range ids {
+		if star[ids["send_miss"]][id] {
+			t.Errorf("%s should not depend on send_miss", name)
+		}
+	}
+	// No cycles in a loop-free program.
+	for name, id := range ids {
+		if star[id][id] {
+			t.Errorf("%s on a dependence cycle in loop-free program", name)
+		}
+	}
+}
+
+func TestLoopSelfDependence(t *testing.T) {
+	// while (i < n) { i = i + 1 }  — the add statement writes a location
+	// it reads on the next iteration, so it depends on itself.
+	b := ir.NewBuilder("loop")
+	g := &ir.Global{Name: "i", Kind: ir.KindScalar, ValTypes: []ir.Type{ir.U32}}
+	head := b.NewBlock()
+	body := b.NewBlock()
+	exit := b.NewBlock()
+	b.Jump(head)
+	b.SetBlock(head)
+	iv := b.GlobalLoad("iv", g)
+	n := b.Const("n", ir.U32, 10)
+	c := b.BinOp("c", ir.Lt, iv, n)
+	b.Branch(c, body, exit)
+	b.SetBlock(body)
+	iv2 := b.GlobalLoad("iv2", g)
+	one := b.Const("one", ir.U32, 1)
+	sum := b.BinOp("sum", ir.Add, iv2, one)
+	b.GlobalStore(g, sum)
+	b.Jump(head)
+	b.SetBlock(exit)
+	b.Send()
+	fn := b.Fn()
+	fn.Finalize()
+	p := &ir.Program{Name: "loop", Globals: []*ir.Global{g}, Fn: fn}
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	dg := Build(p)
+	star := dg.DependsOnStar()
+	var storeID = -1
+	for _, s := range fn.Stmts() {
+		if s.Kind == ir.GlobalStore {
+			storeID = s.ID
+		}
+	}
+	if storeID < 0 {
+		t.Fatal("no store found")
+	}
+	if !star[storeID][storeID] {
+		t.Error("loop store must transitively depend on itself")
+	}
+}
+
+func TestRWSetsSendReadsUniverse(t *testing.T) {
+	p, _ := buildMiniLB(t)
+	g := Build(p)
+	// ip.saddr and ip.daddr are the universe.
+	if len(g.HeaderUniverse) != 2 {
+		t.Fatalf("universe = %v", g.HeaderUniverse)
+	}
+	var send *ir.Instr
+	for _, s := range p.Fn.Stmts() {
+		if s.Kind == ir.Send {
+			send = s
+			break
+		}
+	}
+	reads, writes := RWSets(p, send, g.HeaderUniverse)
+	if len(writes) != 0 {
+		t.Errorf("send writes = %v", writes)
+	}
+	wantHdr := map[string]bool{"ip.saddr": false, "ip.daddr": false}
+	payload := false
+	for _, l := range reads {
+		if l.Kind == LocHeader {
+			wantHdr[l.Name] = true
+		}
+		if l.Kind == LocPayload {
+			payload = true
+		}
+	}
+	for f, ok := range wantHdr {
+		if !ok {
+			t.Errorf("send does not read %s", f)
+		}
+	}
+	if !payload {
+		t.Error("send does not read payload")
+	}
+}
+
+func TestGlobalAccessedAndIsWrite(t *testing.T) {
+	p, ids := buildMiniLB(t)
+	stmts := p.Fn.Stmts()
+	if GlobalAccessed(stmts[ids["find"]]) != "map" {
+		t.Error("find should access map")
+	}
+	if GlobalAccessed(stmts[ids["vecget"]]) != "backends" {
+		t.Error("vecget should access backends")
+	}
+	if GlobalAccessed(stmts[ids["hash32"]]) != "" {
+		t.Error("hash32 accesses no global")
+	}
+	if IsGlobalWrite(stmts[ids["find"]]) {
+		t.Error("find is not a write")
+	}
+	if !IsGlobalWrite(stmts[ids["insert"]]) {
+		t.Error("insert is a write")
+	}
+}
+
+func TestDotOutput(t *testing.T) {
+	p, ids := buildMiniLB(t)
+	g := Build(p)
+	plain := g.Dot(nil)
+	for _, want := range []string{"digraph deps", "style=solid", "style=dotted", "n%d ->"} {
+		probe := want
+		if want == "n%d ->" {
+			probe = "->"
+		}
+		if !strings.Contains(plain, probe) {
+			t.Errorf("dot output missing %q", probe)
+		}
+	}
+	// Node labels carry the printed IR.
+	if !strings.Contains(plain, "map.find") {
+		t.Error("dot labels missing instruction text")
+	}
+	// Clustered form groups partitions.
+	assign := make([]string, g.N)
+	for i := range assign {
+		assign[i] = "pre"
+	}
+	assign[ids["insert"]] = "non_off"
+	clustered := g.Dot(assign)
+	if !strings.Contains(clustered, "subgraph cluster_0") || !strings.Contains(clustered, `label="non_off"`) {
+		t.Errorf("clustered dot missing partitions:\n%s", clustered[:400])
+	}
+}

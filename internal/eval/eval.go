@@ -1,0 +1,131 @@
+// Package eval drives the paper's evaluation (§6): it regenerates every
+// table and figure — Table 1 (lines of code), Figure 7 (throughput vs
+// packet size), Table 2 (latency), Table 3 (state-synchronization
+// latency), Figures 8/9 (realistic workloads), and the headline numbers
+// (cycle savings, latency reduction, slow-path fraction).
+package eval
+
+import (
+	"fmt"
+
+	"gallium/internal/ir"
+	"gallium/internal/lang"
+	"gallium/internal/middleboxes"
+	"gallium/internal/netsim"
+	"gallium/internal/packet"
+	"gallium/internal/partition"
+	"gallium/internal/trafficgen"
+)
+
+// Compiled bundles everything the experiments need for one middlebox.
+type Compiled struct {
+	Name string
+	Spec middleboxes.Spec
+	Prog *ir.Program
+	Res  *partition.Result
+}
+
+// CompileAll compiles and partitions the five evaluation middleboxes.
+func CompileAll() ([]*Compiled, error) {
+	var out []*Compiled
+	for _, spec := range middleboxes.All() {
+		c, err := CompileOne(spec.Name)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, c)
+	}
+	return out, nil
+}
+
+// CompileOne compiles and partitions one middlebox by name.
+func CompileOne(name string) (*Compiled, error) {
+	return CompileOneWithCache(name, nil)
+}
+
+// CompileOneWithCache compiles a middlebox with §7 cache-mode tables.
+func CompileOneWithCache(name string, caches map[string]int) (*Compiled, error) {
+	spec, err := middleboxes.Lookup(name)
+	if err != nil {
+		return nil, err
+	}
+	prog, err := lang.Compile(spec.Source)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", name, err)
+	}
+	cons := partition.DefaultConstraints()
+	if len(caches) > 0 {
+		cons.CacheEntries = caches
+	}
+	res, err := partition.Partition(prog, cons)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", name, err)
+	}
+	return &Compiled{Name: name, Spec: spec, Prog: prog, Res: res}, nil
+}
+
+// setupFor returns the state-seeding function for a middlebox under the
+// iperf-style microbenchmarks: firewalls whitelist the generated flows,
+// the proxy redirects the benchmark port, load balancers get backends.
+func setupFor(name string, tuples []packet.FiveTuple) func(st *ir.State) {
+	return func(st *ir.State) {
+		middleboxes.ConfigureState(name, st)
+		switch name {
+		case "firewall":
+			for _, tup := range tuples {
+				middleboxes.AllowFlow(st, tup)
+			}
+		case "proxy":
+			middleboxes.RedirectPort(st, 5001)
+		}
+	}
+}
+
+// newTestbed builds a testbed for one (middlebox, mode, cores) cell.
+func newTestbed(c *Compiled, mode netsim.Mode, cores int, tuples []packet.FiveTuple) (*netsim.Testbed, error) {
+	return netsim.NewTestbed(netsim.Config{
+		Model: netsim.DefaultModel(),
+		Mode:  mode,
+		Cores: cores,
+		Res:   c.Res,
+		Prog:  c.Prog,
+		Setup: setupFor(c.Name, tuples),
+	})
+}
+
+// NewScenarioTestbed is the exported testbed constructor used by the CLI
+// tools and examples: it seeds the middlebox's scenario state (backends,
+// whitelists for the given flows, proxy ports) exactly as the experiments
+// do.
+func NewScenarioTestbed(c *Compiled, mode netsim.Mode, cores int, tuples []packet.FiveTuple) (*netsim.Testbed, error) {
+	return newTestbed(c, mode, cores, tuples)
+}
+
+// Configs are the paper's four deployment configurations for Figures 7/8.
+type ConfigSpec struct {
+	Label string
+	Mode  netsim.Mode
+	Cores int
+}
+
+// Configurations returns [Offloaded, Click-4c, Click-2c, Click-1c].
+func Configurations() []ConfigSpec {
+	return []ConfigSpec{
+		{"Offloaded", netsim.Offloaded, 1},
+		{"Click-4c", netsim.Software, 4},
+		{"Click-2c", netsim.Software, 2},
+		{"Click-1c", netsim.Software, 1},
+	}
+}
+
+// trafficFor builds the iperf generator used by the microbenchmarks; NAT
+// and firewall want internal sources, which the defaults provide.
+func trafficFor(pktSize int, pps float64, durNs int64) trafficgen.IperfConfig {
+	return trafficgen.IperfConfig{
+		Conns:      10,
+		PacketSize: pktSize,
+		PPS:        pps,
+		DurationNs: durNs,
+		Seed:       7,
+	}
+}

@@ -1,0 +1,377 @@
+package eval
+
+import (
+	"fmt"
+	"math"
+	"runtime"
+	"strings"
+	"sync"
+
+	"gallium/internal/netsim"
+	"gallium/internal/packet"
+)
+
+// Figure 7: maximum achievable throughput, ten iperf TCP connections,
+// packet sizes 100/500/1500 bytes, Gallium-on-one-core vs FastClick on
+// 1/2/4 cores.
+
+// Fig7Point is one bar of Figure 7.
+type Fig7Point struct {
+	Middlebox string
+	Config    string
+	PktSize   int
+	Gbps      float64
+}
+
+// PacketSizes are the paper's Figure 7 x-axis.
+var PacketSizes = []int{100, 500, 1500}
+
+// Figure7 regenerates the throughput microbenchmark. quick shortens the
+// simulated window for use in tests.
+func Figure7(quick bool) ([]Fig7Point, error) {
+	compiled, err := CompileAll()
+	if err != nil {
+		return nil, err
+	}
+	durNs := int64(20_000_000)
+	if quick {
+		durNs = 2_000_000
+	}
+	model := netsim.DefaultModel()
+
+	// Every (middlebox, config, size) cell is an independent simulation;
+	// run them in parallel.
+	type cell struct {
+		c    *Compiled
+		cfg  ConfigSpec
+		size int
+	}
+	var cells []cell
+	for _, c := range compiled {
+		for _, cfg := range Configurations() {
+			for _, size := range PacketSizes {
+				cells = append(cells, cell{c, cfg, size})
+			}
+		}
+	}
+	points := make([]Fig7Point, len(cells))
+	errs := make([]error, len(cells))
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, runtime.NumCPU())
+	for i, cl := range cells {
+		wg.Add(1)
+		go func(i int, cl cell) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			// Offered load: generator capability capped by line rate.
+			pps := math.Min(model.GenMaxPps, model.LineRateBps/float64(cl.size*8))
+			gen := trafficFor(cl.size, pps, durNs)
+			tb, err := newTestbed(cl.c, cl.cfg.Mode, cl.cfg.Cores, gen.Tuples())
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			if err := gen.Generate(func(tNs int64, pkt *packet.Packet) error {
+				_, err := tb.Inject(tNs, pkt)
+				return err
+			}); err != nil {
+				errs[i] = fmt.Errorf("%s/%s/%d: %w", cl.c.Name, cl.cfg.Label, cl.size, err)
+				return
+			}
+			points[i] = Fig7Point{
+				Middlebox: cl.c.Name,
+				Config:    cl.cfg.Label,
+				PktSize:   cl.size,
+				Gbps:      tb.Stats().ThroughputBps() / 1e9,
+			}
+		}(i, cl)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return points, nil
+}
+
+// FormatFigure7 renders the series like the paper's bar groups.
+func FormatFigure7(points []Fig7Point) string {
+	var b strings.Builder
+	b.WriteString("Figure 7: throughput (Gbps) vs packet size, 10 iperf TCP connections\n")
+	byMB := groupBy(points, func(p Fig7Point) string { return p.Middlebox })
+	for _, mb := range orderedKeys(points) {
+		fmt.Fprintf(&b, "  %s:\n", mb)
+		fmt.Fprintf(&b, "    %-12s %8s %8s %8s\n", "config", "100B", "500B", "1500B")
+		for _, cfg := range []string{"Offloaded", "Click-4c", "Click-2c", "Click-1c"} {
+			vals := map[int]float64{}
+			for _, p := range byMB[mb] {
+				if p.Config == cfg {
+					vals[p.PktSize] = p.Gbps
+				}
+			}
+			fmt.Fprintf(&b, "    %-12s %8.1f %8.1f %8.1f\n", cfg, vals[100], vals[500], vals[1500])
+		}
+	}
+	return b.String()
+}
+
+func groupBy(points []Fig7Point, key func(Fig7Point) string) map[string][]Fig7Point {
+	out := map[string][]Fig7Point{}
+	for _, p := range points {
+		out[key(p)] = append(out[key(p)], p)
+	}
+	return out
+}
+
+func orderedKeys(points []Fig7Point) []string {
+	var out []string
+	seen := map[string]bool{}
+	for _, p := range points {
+		if !seen[p.Middlebox] {
+			seen[p.Middlebox] = true
+			out = append(out, p.Middlebox)
+		}
+	}
+	return out
+}
+
+// Table 2: end-to-end latency, Nptcp-style probes.
+
+// Table2Row is one row of Table 2.
+type Table2Row struct {
+	Middlebox    string
+	FastClickUs  float64
+	FastClickStd float64
+	GalliumUs    float64
+	GalliumStd   float64
+}
+
+// ReductionPct is the latency saving.
+func (r Table2Row) ReductionPct() float64 {
+	if r.FastClickUs == 0 {
+		return 0
+	}
+	return 100 * (r.FastClickUs - r.GalliumUs) / r.FastClickUs
+}
+
+// Table2 regenerates the latency comparison: probe packets of established
+// connections, sent far apart (no queueing), through both deployments.
+func Table2() ([]Table2Row, error) {
+	compiled, err := CompileAll()
+	if err != nil {
+		return nil, err
+	}
+	var rows []Table2Row
+	for _, c := range compiled {
+		g, gs, err := measureLatency(c, netsim.Offloaded, 1)
+		if err != nil {
+			return nil, err
+		}
+		f, fs, err := measureLatency(c, netsim.Software, 1)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, Table2Row{
+			Middlebox:   c.Name,
+			FastClickUs: f, FastClickStd: fs,
+			GalliumUs: g, GalliumStd: gs,
+		})
+	}
+	return rows, nil
+}
+
+// measureLatency warms one connection, then averages probe latencies.
+func measureLatency(c *Compiled, mode netsim.Mode, cores int) (meanUs, stdUs float64, err error) {
+	gen := trafficFor(500, 1, 1) // only for the tuple set
+	tb, err := newTestbed(c, mode, cores, gen.Tuples())
+	if err != nil {
+		return 0, 0, err
+	}
+	tup := gen.Tuples()[0]
+	// Warm: SYN to establish state, wait out any synchronization.
+	syn := packet.BuildTCP(tup.SrcIP, tup.DstIP, tup.SrcPort, tup.DstPort, packet.TCPOptions{Flags: packet.TCPFlagSYN})
+	syn.PadTo(500)
+	if _, err := tb.Inject(0, syn); err != nil {
+		return 0, 0, err
+	}
+	var lat []float64
+	t := int64(2_000_000)
+	for i := 0; i < 50; i++ {
+		// Small deterministic packet-size jitter models the measurement
+		// noise the paper reports as standard deviations.
+		p := packet.BuildTCP(tup.SrcIP, tup.DstIP, tup.SrcPort, tup.DstPort, packet.TCPOptions{Flags: packet.TCPFlagACK})
+		p.PadTo(500 + (i%5)*16)
+		d, err := tb.Inject(t, p)
+		if err != nil {
+			return 0, 0, err
+		}
+		if d.Delivered {
+			lat = append(lat, float64(d.LatencyNs)/1000)
+		}
+		t += 1_000_000
+	}
+	if len(lat) == 0 {
+		return 0, 0, fmt.Errorf("%s/%v: no probes delivered", c.Name, mode)
+	}
+	var sum, sq float64
+	for _, v := range lat {
+		sum += v
+	}
+	mean := sum / float64(len(lat))
+	for _, v := range lat {
+		sq += (v - mean) * (v - mean)
+	}
+	return mean, math.Sqrt(sq / float64(len(lat))), nil
+}
+
+// FormatTable2 renders the latency table.
+func FormatTable2(rows []Table2Row) string {
+	var b strings.Builder
+	b.WriteString("Table 2: end-to-end latency (µs)\n")
+	fmt.Fprintf(&b, "%-16s %18s %18s %10s\n", "Middlebox", "FastClick", "Gallium", "reduction")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-16s %12.2f ± %4.2f %12.2f ± %4.2f %9.1f%%\n",
+			r.Middlebox, r.FastClickUs, r.FastClickStd, r.GalliumUs, r.GalliumStd, r.ReductionPct())
+	}
+	return b.String()
+}
+
+// Table 3: latency of updating offloaded tables from the server.
+
+// Table3Row is one row of Table 3.
+type Table3Row struct {
+	Tables   int
+	InsertUs float64
+	ModifyUs float64
+	DeleteUs float64
+}
+
+// Table3 regenerates the state-synchronization cost table. Insert, modify
+// and delete all traverse the same write-back + flip path in this
+// implementation, so their costs coincide (the paper's measured spreads
+// are within its error bars).
+func Table3() []Table3Row {
+	m := netsim.DefaultModel()
+	var rows []Table3Row
+	for _, n := range []int{1, 2, 4} {
+		us := m.CtlBatchNs(n) / 1000
+		rows = append(rows, Table3Row{Tables: n, InsertUs: us, ModifyUs: us, DeleteUs: us})
+	}
+	return rows
+}
+
+// FormatTable3 renders the sync-latency table.
+func FormatTable3(rows []Table3Row) string {
+	var b strings.Builder
+	b.WriteString("Table 3: latency of updating offloaded P4 tables from the server (µs)\n")
+	fmt.Fprintf(&b, "%8s %10s %10s %10s\n", "# tables", "insert", "modify", "delete")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%8d %10.1f %10.1f %10.1f\n", r.Tables, r.InsertUs, r.ModifyUs, r.DeleteUs)
+	}
+	return b.String()
+}
+
+// Headline: §6.3's summary claims.
+
+// HeadlineStats aggregates the paper's summary numbers.
+type HeadlineStats struct {
+	// CycleSavingsPct per middlebox: per-packet server cycles saved by
+	// offloading at equal delivered throughput. (The paper's 21-79% range
+	// additionally charges the DPDK server's busy-polling; see the
+	// CoresSaved metric for that framing.)
+	CycleSavingsPct map[string]float64
+	// CoresSaved per middlebox: server cores freed at the offloaded
+	// deployment's throughput — the paper's "0.03-4.39 server cores"
+	// (§6.3).
+	CoresSaved map[string]float64
+	// LatencyReductionPct per middlebox (from Table 2).
+	LatencyReductionPct map[string]float64
+	// SlowPathPct per middlebox under connection-mixed traffic.
+	SlowPathPct map[string]float64
+}
+
+// Headline computes the summary statistics.
+func Headline(quick bool) (*HeadlineStats, error) {
+	compiled, err := CompileAll()
+	if err != nil {
+		return nil, err
+	}
+	out := &HeadlineStats{
+		CycleSavingsPct:     map[string]float64{},
+		CoresSaved:          map[string]float64{},
+		LatencyReductionPct: map[string]float64{},
+		SlowPathPct:         map[string]float64{},
+	}
+	model := netsim.DefaultModel()
+	durNs := int64(10_000_000)
+	if quick {
+		durNs = 2_000_000
+	}
+	for _, c := range compiled {
+		// Drive identical long-flow-style traffic through both modes at a
+		// rate both can sustain, and compare server cycles per delivered
+		// packet.
+		gen := trafficFor(1500, 2e6, durNs)
+		runCycles := func(mode netsim.Mode, cores int) (netsim.Stats, error) {
+			tb, err := newTestbed(c, mode, cores, gen.Tuples())
+			if err != nil {
+				return netsim.Stats{}, err
+			}
+			if err := gen.Generate(func(tNs int64, pkt *packet.Packet) error {
+				_, err := tb.Inject(tNs, pkt)
+				return err
+			}); err != nil {
+				return netsim.Stats{}, err
+			}
+			return tb.Stats(), nil
+		}
+		off, err := runCycles(netsim.Offloaded, 1)
+		if err != nil {
+			return nil, err
+		}
+		sw, err := runCycles(netsim.Software, 4)
+		if err != nil {
+			return nil, err
+		}
+		if sw.ServerCycles > 0 {
+			out.CycleSavingsPct[c.Name] = 100 * (sw.ServerCycles - off.ServerCycles) / sw.ServerCycles
+		}
+		out.SlowPathPct[c.Name] = 100 * float64(off.SlowPath) / float64(off.Injected)
+
+		// Cores saved: how many server cores the software version needs
+		// to match the offloaded deployment's *maximum* throughput (line
+		// rate for these middleboxes), minus the fractional core the
+		// offloaded server actually uses.
+		avgCycles := sw.ServerCycles / float64(sw.SlowPath)
+		perCoreBps := model.CoreHz / avgCycles * 1500 * 8
+		offMaxBps := model.LineRateBps
+		coresNeeded := offMaxBps / perCoreBps
+		coresUsed := off.ServerCycles / (float64(durNs) / 1e9) / model.CoreHz
+		out.CoresSaved[c.Name] = coresNeeded - coresUsed
+
+		g, _, err := measureLatency(c, netsim.Offloaded, 1)
+		if err != nil {
+			return nil, err
+		}
+		f, _, err := measureLatency(c, netsim.Software, 1)
+		if err != nil {
+			return nil, err
+		}
+		out.LatencyReductionPct[c.Name] = 100 * (f - g) / f
+	}
+	return out, nil
+}
+
+// FormatHeadline renders the summary.
+func FormatHeadline(h *HeadlineStats) string {
+	var b strings.Builder
+	b.WriteString("Headline (§6.3): savings from offloading\n")
+	fmt.Fprintf(&b, "%-16s %14s %12s %14s %12s\n", "Middlebox", "cycle savings", "cores saved", "latency cut", "slow path")
+	for _, mb := range []string{"mazunat", "l4lb", "firewall", "proxy", "trojandetector"} {
+		fmt.Fprintf(&b, "%-16s %13.1f%% %12.2f %13.1f%% %11.2f%%\n",
+			mb, h.CycleSavingsPct[mb], h.CoresSaved[mb], h.LatencyReductionPct[mb], h.SlowPathPct[mb])
+	}
+	return b.String()
+}

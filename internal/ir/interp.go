@@ -1,0 +1,540 @@
+package ir
+
+import (
+	"bytes"
+	"fmt"
+
+	"gallium/internal/packet"
+)
+
+// This file implements the reference interpreter. Its behaviour on the
+// input program *defines* functional equivalence: the partitioned pipeline
+// (switch simulator + server runtime) must produce the same packet outputs
+// and the same final state as this interpreter fed the same trace.
+
+// Action is the disposition of a packet after executing a function.
+type Action uint8
+
+// Packet dispositions.
+const (
+	// ActionSent means the packet was forwarded.
+	ActionSent Action = iota
+	// ActionDropped means the packet was discarded.
+	ActionDropped
+	// ActionNext means this partition finished its work without reaching
+	// a terminator it owns; the packet proceeds to the next stage of the
+	// offloaded pipeline. The reference interpreter never returns it.
+	ActionNext
+)
+
+// String implements fmt.Stringer.
+func (a Action) String() string {
+	switch a {
+	case ActionSent:
+		return "sent"
+	case ActionDropped:
+		return "dropped"
+	case ActionNext:
+		return "next"
+	}
+	return fmt.Sprintf("action(%d)", uint8(a))
+}
+
+// MapKey is a comparable composite map key of up to 5 components (enough
+// for a five-tuple).
+type MapKey struct {
+	K [5]uint64
+	N uint8
+}
+
+// MakeMapKey builds a key from component values.
+func MakeMapKey(vals ...uint64) MapKey {
+	var k MapKey
+	if len(vals) > len(k.K) {
+		panic(fmt.Sprintf("ir: map key arity %d exceeds max %d", len(vals), len(k.K)))
+	}
+	for i, v := range vals {
+		k.K[i] = v
+	}
+	k.N = uint8(len(vals))
+	return k
+}
+
+// LpmEntry is one longest-prefix-match rule: Key's top PrefixLen bits
+// must match the lookup key's top bits.
+type LpmEntry struct {
+	Key       uint64
+	PrefixLen int // 0..32 (keys are 32-bit for IPv4 prefixes)
+	Vals      []uint64
+}
+
+// Matches reports whether key falls under the entry's prefix.
+func (e LpmEntry) Matches(key uint64) bool {
+	if e.PrefixLen <= 0 {
+		return true
+	}
+	shift := 32 - e.PrefixLen
+	return key>>shift == e.Key>>shift
+}
+
+// State is the middlebox's global state.
+type State struct {
+	Maps    map[string]map[MapKey][]uint64
+	Vecs    map[string][]uint64
+	Globals map[string]uint64
+	Lpms    map[string][]LpmEntry
+}
+
+// NewState initializes empty state for the program's globals.
+func NewState(p *Program) *State {
+	s := &State{
+		Maps:    map[string]map[MapKey][]uint64{},
+		Vecs:    map[string][]uint64{},
+		Globals: map[string]uint64{},
+		Lpms:    map[string][]LpmEntry{},
+	}
+	for _, g := range p.Globals {
+		switch g.Kind {
+		case KindMap:
+			s.Maps[g.Name] = map[MapKey][]uint64{}
+		case KindVec:
+			s.Vecs[g.Name] = nil
+		case KindScalar:
+			s.Globals[g.Name] = 0
+		case KindLPM:
+			s.Lpms[g.Name] = nil
+		}
+	}
+	return s
+}
+
+// Clone deep-copies the state.
+func (s *State) Clone() *State {
+	c := &State{
+		Maps:    make(map[string]map[MapKey][]uint64, len(s.Maps)),
+		Vecs:    make(map[string][]uint64, len(s.Vecs)),
+		Globals: make(map[string]uint64, len(s.Globals)),
+	}
+	for name, m := range s.Maps {
+		cm := make(map[MapKey][]uint64, len(m))
+		for k, v := range m {
+			cm[k] = append([]uint64(nil), v...)
+		}
+		c.Maps[name] = cm
+	}
+	for name, v := range s.Vecs {
+		c.Vecs[name] = append([]uint64(nil), v...)
+	}
+	for name, v := range s.Globals {
+		c.Globals[name] = v
+	}
+	c.Lpms = make(map[string][]LpmEntry, len(s.Lpms))
+	for name, es := range s.Lpms {
+		cp := make([]LpmEntry, len(es))
+		for i, e := range es {
+			cp[i] = LpmEntry{Key: e.Key, PrefixLen: e.PrefixLen, Vals: append([]uint64(nil), e.Vals...)}
+		}
+		c.Lpms[name] = cp
+	}
+	return c
+}
+
+// Equal reports whether two states hold identical contents.
+func (s *State) Equal(o *State) bool {
+	if len(s.Maps) != len(o.Maps) || len(s.Vecs) != len(o.Vecs) || len(s.Globals) != len(o.Globals) {
+		return false
+	}
+	for name, m := range s.Maps {
+		om, ok := o.Maps[name]
+		if !ok || len(m) != len(om) {
+			return false
+		}
+		for k, v := range m {
+			ov, ok := om[k]
+			if !ok || len(v) != len(ov) {
+				return false
+			}
+			for i := range v {
+				if v[i] != ov[i] {
+					return false
+				}
+			}
+		}
+	}
+	for name, v := range s.Vecs {
+		ov, ok := o.Vecs[name]
+		if !ok || len(v) != len(ov) {
+			return false
+		}
+		for i := range v {
+			if v[i] != ov[i] {
+				return false
+			}
+		}
+	}
+	for name, v := range s.Globals {
+		if ov, ok := o.Globals[name]; !ok || v != ov {
+			return false
+		}
+	}
+	if len(s.Lpms) != len(o.Lpms) {
+		return false
+	}
+	for name, es := range s.Lpms {
+		oes, ok := o.Lpms[name]
+		if !ok || len(es) != len(oes) {
+			return false
+		}
+		for i := range es {
+			if es[i].Key != oes[i].Key || es[i].PrefixLen != oes[i].PrefixLen || len(es[i].Vals) != len(oes[i].Vals) {
+				return false
+			}
+			for j := range es[i].Vals {
+				if es[i].Vals[j] != oes[i].Vals[j] {
+					return false
+				}
+			}
+		}
+	}
+	return true
+}
+
+// StateAccess abstracts how instructions reach middlebox state. The plain
+// State implements it directly; the switch simulator substitutes an
+// implementation with write-back-table lookup semantics and read-only
+// enforcement (§4.3.3).
+type StateAccess interface {
+	MapFind(name string, key MapKey) ([]uint64, bool)
+	MapInsert(name string, key MapKey, vals []uint64) error
+	MapRemove(name string, key MapKey) error
+	VecGet(name string, idx uint64) (uint64, error)
+	VecLen(name string) uint64
+	GlobalLoad(name string) uint64
+	GlobalStore(name string, v uint64) error
+	LpmFind(name string, key uint64) ([]uint64, bool)
+}
+
+// MapFind implements StateAccess.
+func (s *State) MapFind(name string, key MapKey) ([]uint64, bool) {
+	vals, ok := s.Maps[name][key]
+	return vals, ok
+}
+
+// MapInsert implements StateAccess.
+func (s *State) MapInsert(name string, key MapKey, vals []uint64) error {
+	s.Maps[name][key] = vals
+	return nil
+}
+
+// MapRemove implements StateAccess.
+func (s *State) MapRemove(name string, key MapKey) error {
+	delete(s.Maps[name], key)
+	return nil
+}
+
+// VecGet implements StateAccess.
+func (s *State) VecGet(name string, idx uint64) (uint64, error) {
+	vec := s.Vecs[name]
+	if idx >= uint64(len(vec)) {
+		return 0, fmt.Errorf("ir: vector %q index %d out of range (len %d)", name, idx, len(vec))
+	}
+	return vec[idx], nil
+}
+
+// VecLen implements StateAccess.
+func (s *State) VecLen(name string) uint64 { return uint64(len(s.Vecs[name])) }
+
+// GlobalLoad implements StateAccess.
+func (s *State) GlobalLoad(name string) uint64 { return s.Globals[name] }
+
+// GlobalStore implements StateAccess.
+func (s *State) GlobalStore(name string, v uint64) error {
+	s.Globals[name] = v
+	return nil
+}
+
+// LpmFind implements StateAccess: longest matching prefix wins.
+func (s *State) LpmFind(name string, key uint64) ([]uint64, bool) {
+	best := -1
+	var vals []uint64
+	for _, e := range s.Lpms[name] {
+		if e.Matches(key) && e.PrefixLen > best {
+			best = e.PrefixLen
+			vals = e.Vals
+		}
+	}
+	return vals, best >= 0
+}
+
+// AddRoute appends an LPM entry (configuration/control-plane path).
+func (s *State) AddRoute(name string, key uint64, prefixLen int, vals ...uint64) {
+	s.Lpms[name] = append(s.Lpms[name], LpmEntry{Key: key, PrefixLen: prefixLen, Vals: vals})
+}
+
+// Env is the execution context for one packet through one function.
+type Env struct {
+	State *State
+	// Access overrides state access when non-nil (the switch simulator's
+	// view); otherwise State is used directly.
+	Access StateAccess
+	Pkt    *packet.Packet
+	// Xfer holds synthesized transfer variables (the Gallium header's
+	// fields) for partitioned functions; nil for the reference program.
+	Xfer map[string]uint64
+}
+
+func (e *Env) access() StateAccess {
+	if e.Access != nil {
+		return e.Access
+	}
+	return e.State
+}
+
+// Result reports what happened to the packet and how much work was done.
+type Result struct {
+	Action Action
+	// Steps is the number of executed statements, the unit the cycle-cost
+	// model scales from.
+	Steps int
+}
+
+// maxSteps bounds a single packet's execution to catch runaway loops.
+const maxSteps = 1_000_000
+
+// Exec runs the program's function on one packet, mutating env.State and
+// env.Pkt in place.
+func (p *Program) Exec(env *Env) (Result, error) {
+	return ExecFunc(p, p.Fn, env)
+}
+
+// ExecFunc runs fn (the whole program or one partition) against env.
+func ExecFunc(p *Program, fn *Function, env *Env) (Result, error) {
+	regs := make([]uint64, len(fn.Regs))
+	blk := fn.Blocks[0]
+	steps := 0
+	for {
+		for i := range blk.Instrs {
+			if steps++; steps > maxSteps {
+				return Result{}, fmt.Errorf("ir: %s: step limit exceeded (infinite loop?)", fn.Name)
+			}
+			if err := execInstr(p, fn, &blk.Instrs[i], regs, env); err != nil {
+				return Result{}, err
+			}
+		}
+		if steps++; steps > maxSteps {
+			return Result{}, fmt.Errorf("ir: %s: step limit exceeded (infinite loop?)", fn.Name)
+		}
+		t := &blk.Term
+		switch t.Kind {
+		case Jump:
+			blk = fn.Blocks[t.Then]
+		case Branch:
+			if regs[t.Args[0]] != 0 {
+				blk = fn.Blocks[t.Then]
+			} else {
+				blk = fn.Blocks[t.Else]
+			}
+		case Send:
+			return Result{Action: ActionSent, Steps: steps}, nil
+		case Drop:
+			return Result{Action: ActionDropped, Steps: steps}, nil
+		case ToNext:
+			return Result{Action: ActionNext, Steps: steps}, nil
+		default:
+			return Result{}, fmt.Errorf("ir: %s: bad terminator %s", fn.Name, t.Kind)
+		}
+	}
+}
+
+func execInstr(p *Program, fn *Function, in *Instr, regs []uint64, env *Env) error {
+	mask := func(r Reg, v uint64) uint64 { return v & fn.RegType(r).Mask() }
+	switch in.Kind {
+	case Const:
+		regs[in.Dst[0]] = mask(in.Dst[0], in.Imm)
+	case BinOp:
+		a, b := regs[in.Args[0]], regs[in.Args[1]]
+		v, err := evalBinOp(in.Op, a, b)
+		if err != nil {
+			return fmt.Errorf("ir: stmt %d: %w", in.ID, err)
+		}
+		regs[in.Dst[0]] = mask(in.Dst[0], v)
+	case Not:
+		if regs[in.Args[0]] == 0 {
+			regs[in.Dst[0]] = 1
+		} else {
+			regs[in.Dst[0]] = 0
+		}
+	case Convert:
+		regs[in.Dst[0]] = mask(in.Dst[0], regs[in.Args[0]])
+	case LoadHeader:
+		v, err := env.Pkt.GetField(in.Obj)
+		if err != nil {
+			return err
+		}
+		regs[in.Dst[0]] = mask(in.Dst[0], v)
+	case StoreHeader:
+		if err := env.Pkt.SetField(in.Obj, regs[in.Args[0]]); err != nil {
+			return err
+		}
+	case PayloadMatch:
+		if bytes.Contains(env.Pkt.Payload, []byte(in.Obj)) {
+			regs[in.Dst[0]] = 1
+		} else {
+			regs[in.Dst[0]] = 0
+		}
+	case Hash:
+		regs[in.Dst[0]] = hashValues(regs, in.Args) & U32.Mask()
+	case MapFind:
+		key := keyOf(regs, in.Args)
+		if vals, ok := env.access().MapFind(in.Obj, key); ok {
+			regs[in.Dst[0]] = 1
+			for i, r := range in.Dst[1:] {
+				regs[r] = mask(r, vals[i])
+			}
+		} else {
+			regs[in.Dst[0]] = 0
+			for _, r := range in.Dst[1:] {
+				regs[r] = 0
+			}
+		}
+	case MapInsert:
+		g := p.Global(in.Obj)
+		nk := len(g.KeyTypes)
+		key := keyOf(regs, in.Args[:nk])
+		vals := make([]uint64, len(in.Args)-nk)
+		for i, r := range in.Args[nk:] {
+			vals[i] = regs[r] & g.ValTypes[i].Mask()
+		}
+		if err := env.access().MapInsert(in.Obj, key, vals); err != nil {
+			return fmt.Errorf("ir: stmt %d: %w", in.ID, err)
+		}
+	case MapRemove:
+		if err := env.access().MapRemove(in.Obj, keyOf(regs, in.Args)); err != nil {
+			return fmt.Errorf("ir: stmt %d: %w", in.ID, err)
+		}
+	case VecGet:
+		v, err := env.access().VecGet(in.Obj, regs[in.Args[0]])
+		if err != nil {
+			return fmt.Errorf("ir: stmt %d: %w", in.ID, err)
+		}
+		regs[in.Dst[0]] = mask(in.Dst[0], v)
+	case VecLen:
+		regs[in.Dst[0]] = env.access().VecLen(in.Obj)
+	case GlobalLoad:
+		regs[in.Dst[0]] = mask(in.Dst[0], env.access().GlobalLoad(in.Obj))
+	case GlobalStore:
+		g := p.Global(in.Obj)
+		if err := env.access().GlobalStore(in.Obj, regs[in.Args[0]]&g.ValTypes[0].Mask()); err != nil {
+			return fmt.Errorf("ir: stmt %d: %w", in.ID, err)
+		}
+	case XferLoad:
+		if env.Xfer == nil {
+			return fmt.Errorf("ir: stmt %d: xferload %q with no transfer context", in.ID, in.Obj)
+		}
+		regs[in.Dst[0]] = mask(in.Dst[0], env.Xfer[in.Obj])
+	case LpmFind:
+		if vals, ok := env.access().LpmFind(in.Obj, regs[in.Args[0]]); ok {
+			regs[in.Dst[0]] = 1
+			for i, r := range in.Dst[1:] {
+				regs[r] = mask(r, vals[i])
+			}
+		} else {
+			regs[in.Dst[0]] = 0
+			for _, r := range in.Dst[1:] {
+				regs[r] = 0
+			}
+		}
+	case XferStore:
+		if env.Xfer == nil {
+			return fmt.Errorf("ir: stmt %d: xferstore %q with no transfer context", in.ID, in.Obj)
+		}
+		env.Xfer[in.Obj] = regs[in.Args[0]]
+	default:
+		return fmt.Errorf("ir: stmt %d: cannot execute kind %s", in.ID, in.Kind)
+	}
+	return nil
+}
+
+func evalBinOp(op Op, a, b uint64) (uint64, error) {
+	switch op {
+	case Add:
+		return a + b, nil
+	case Sub:
+		return a - b, nil
+	case And:
+		return a & b, nil
+	case Or:
+		return a | b, nil
+	case Xor:
+		return a ^ b, nil
+	case Shl:
+		if b >= 64 {
+			return 0, nil
+		}
+		return a << b, nil
+	case Shr:
+		if b >= 64 {
+			return 0, nil
+		}
+		return a >> b, nil
+	case Mul:
+		return a * b, nil
+	case Div:
+		if b == 0 {
+			return 0, fmt.Errorf("division by zero")
+		}
+		return a / b, nil
+	case Mod:
+		if b == 0 {
+			return 0, fmt.Errorf("modulo by zero")
+		}
+		return a % b, nil
+	case Eq:
+		return boolVal(a == b), nil
+	case Ne:
+		return boolVal(a != b), nil
+	case Lt:
+		return boolVal(a < b), nil
+	case Le:
+		return boolVal(a <= b), nil
+	case Gt:
+		return boolVal(a > b), nil
+	case Ge:
+		return boolVal(a >= b), nil
+	}
+	return 0, fmt.Errorf("unknown op %s", op)
+}
+
+func boolVal(b bool) uint64 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+func keyOf(regs []uint64, args []Reg) MapKey {
+	vals := make([]uint64, len(args))
+	for i, r := range args {
+		vals[i] = regs[r]
+	}
+	return MakeMapKey(vals...)
+}
+
+// hashValues computes a deterministic 64-bit FNV-1a hash over the argument
+// values. Both the reference interpreter and the switch/server runtimes
+// use it, so hashes agree across the partition boundary.
+func hashValues(regs []uint64, args []Reg) uint64 {
+	const (
+		offset = 14695981039346656037
+		prime  = 1099511628211
+	)
+	h := uint64(offset)
+	for _, r := range args {
+		v := regs[r]
+		for i := 0; i < 8; i++ {
+			h ^= v >> (8 * i) & 0xFF
+			h *= prime
+		}
+	}
+	return h
+}

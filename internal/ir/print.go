@@ -1,0 +1,116 @@
+package ir
+
+import (
+	"fmt"
+	"strings"
+)
+
+// String renders the program as readable IR text.
+func (p *Program) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "program %s\n", p.Name)
+	for _, g := range p.Globals {
+		switch g.Kind {
+		case KindMap:
+			fmt.Fprintf(&b, "  map %s<%s -> %s> max=%d\n", g.Name, typeList(g.KeyTypes), typeList(g.ValTypes), g.MaxEntries)
+		case KindVec:
+			fmt.Fprintf(&b, "  vec %s<%s> max=%d\n", g.Name, g.ValTypes[0], g.MaxEntries)
+		case KindScalar:
+			fmt.Fprintf(&b, "  global %s %s\n", g.Name, g.ValTypes[0])
+		case KindLPM:
+			fmt.Fprintf(&b, "  lpm %s<u32 -> %s> max=%d\n", g.Name, typeList(g.ValTypes), g.MaxEntries)
+		}
+	}
+	b.WriteString(p.Fn.String())
+	return b.String()
+}
+
+func typeList(ts []Type) string {
+	parts := make([]string, len(ts))
+	for i, t := range ts {
+		parts[i] = t.String()
+	}
+	return strings.Join(parts, ",")
+}
+
+// String renders the function as readable IR text.
+func (f *Function) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "func %s:\n", f.Name)
+	for _, blk := range f.Blocks {
+		fmt.Fprintf(&b, "b%d:\n", blk.ID)
+		for i := range blk.Instrs {
+			fmt.Fprintf(&b, "  %s\n", f.instrString(&blk.Instrs[i]))
+		}
+		fmt.Fprintf(&b, "  %s\n", f.instrString(&blk.Term))
+	}
+	return b.String()
+}
+
+func (f *Function) reg(r Reg) string {
+	if r == NoReg {
+		return "_"
+	}
+	return "%" + f.Regs[r].Name
+}
+
+func (f *Function) regList(rs []Reg) string {
+	parts := make([]string, len(rs))
+	for i, r := range rs {
+		parts[i] = f.reg(r)
+	}
+	return strings.Join(parts, ", ")
+}
+
+func (f *Function) instrString(in *Instr) string {
+	id := fmt.Sprintf("s%-3d", in.ID)
+	switch in.Kind {
+	case Const:
+		return fmt.Sprintf("%s %s = const %d : %s", id, f.reg(in.Dst[0]), in.Imm, in.Typ)
+	case BinOp:
+		return fmt.Sprintf("%s %s = %s %s, %s", id, f.reg(in.Dst[0]), in.Op, f.reg(in.Args[0]), f.reg(in.Args[1]))
+	case Not:
+		return fmt.Sprintf("%s %s = not %s", id, f.reg(in.Dst[0]), f.reg(in.Args[0]))
+	case Convert:
+		return fmt.Sprintf("%s %s = convert %s : %s", id, f.reg(in.Dst[0]), f.reg(in.Args[0]), in.Typ)
+	case LoadHeader:
+		return fmt.Sprintf("%s %s = loadhdr %s", id, f.reg(in.Dst[0]), in.Obj)
+	case StoreHeader:
+		return fmt.Sprintf("%s storehdr %s = %s", id, in.Obj, f.reg(in.Args[0]))
+	case PayloadMatch:
+		return fmt.Sprintf("%s %s = paymatch %q", id, f.reg(in.Dst[0]), in.Obj)
+	case Hash:
+		return fmt.Sprintf("%s %s = hash(%s)", id, f.reg(in.Dst[0]), f.regList(in.Args))
+	case MapFind:
+		return fmt.Sprintf("%s %s = %s.find(%s)", id, f.regList(in.Dst), in.Obj, f.regList(in.Args))
+	case MapInsert:
+		return fmt.Sprintf("%s %s.insert(%s)", id, in.Obj, f.regList(in.Args))
+	case MapRemove:
+		return fmt.Sprintf("%s %s.remove(%s)", id, in.Obj, f.regList(in.Args))
+	case VecGet:
+		return fmt.Sprintf("%s %s = %s[%s]", id, f.reg(in.Dst[0]), in.Obj, f.reg(in.Args[0]))
+	case VecLen:
+		return fmt.Sprintf("%s %s = %s.size()", id, f.reg(in.Dst[0]), in.Obj)
+	case GlobalLoad:
+		return fmt.Sprintf("%s %s = gload %s", id, f.reg(in.Dst[0]), in.Obj)
+	case GlobalStore:
+		return fmt.Sprintf("%s gstore %s = %s", id, in.Obj, f.reg(in.Args[0]))
+	case LpmFind:
+		return fmt.Sprintf("%s %s = %s.lookup(%s)", id, f.regList(in.Dst), in.Obj, f.regList(in.Args))
+	case XferLoad:
+		return fmt.Sprintf("%s %s = xferload %s", id, f.reg(in.Dst[0]), in.Obj)
+	case XferStore:
+		return fmt.Sprintf("%s xferstore %s = %s", id, in.Obj, f.reg(in.Args[0]))
+	case Jump:
+		return fmt.Sprintf("%s jump b%d", id, in.Then)
+	case Branch:
+		return fmt.Sprintf("%s branch %s ? b%d : b%d", id, f.reg(in.Args[0]), in.Then, in.Else)
+	case Send:
+		return id + " send"
+	case Drop:
+		return id + " drop"
+	case ToNext:
+		return id + " tonext"
+	}
+	return id + " ???"
+}

@@ -1,0 +1,257 @@
+package lang
+
+// The MiniClick grammar:
+//
+//	file        := "middlebox" IDENT "{" decl* proc "}"
+//	decl        := mapDecl | vecDecl | globalDecl | constDecl
+//	mapDecl     := "map" "<" types "->" types ">" IDENT "(" "max" "=" NUM ")" ";"
+//	vecDecl     := "vec" "<" type ">" IDENT "(" "max" "=" NUM ")" ";"
+//	globalDecl  := "global" type IDENT ";"
+//	constDecl   := "const" type IDENT "=" expr ";"
+//	proc        := "proc" IDENT "(" "pkt" IDENT ")" block
+//	block       := "{" stmt* "}"
+//	stmt        := varDecl | letFind | assign | ifStmt | whileStmt
+//	             | "send" "(" IDENT ")" ";" | "drop" "(" IDENT ")" ";"
+//	             | "return" ";" | exprStmt
+//	varDecl     := type IDENT "=" expr ";"
+//	letFind     := "let" IDENT "=" IDENT ".find(" args ")" ";"
+//	assign      := lvalue "=" expr ";"
+//	ifStmt      := "if" "(" expr ")" block ("else" (ifStmt | block))?
+//	whileStmt   := "while" "(" expr ")" block
+//	exprStmt    := method calls with effects: m.insert(...), m.remove(...)
+//
+// Expressions are C-like with the usual precedence; casts are written
+// "(u16)(e)"; builtins: hash(...), payload_contains("s"), ip(a,b,c,d),
+// v.size(), v[i], m.contains(...), r.ok / r.v0... on find results.
+
+// File is a parsed middlebox source file.
+type File struct {
+	Name  string
+	Decls []Decl
+	// Proc is the entry point ("process"); Helpers are additional procs
+	// inlined at their call sites, as the paper inlines all function
+	// calls before dependency analysis (§4.1).
+	Proc    *ProcDecl
+	Helpers []*ProcDecl
+	Source  string
+}
+
+// Decl is a top-level declaration.
+type Decl interface{ declNode() }
+
+// MapDecl declares an annotated hash map.
+type MapDecl struct {
+	Name     string
+	KeyTypes []string
+	ValTypes []string
+	Max      int
+	Line     int
+}
+
+// VecDecl declares an annotated vector.
+type VecDecl struct {
+	Name string
+	Elem string
+	Max  int
+	Line int
+}
+
+// LpmDecl declares an annotated longest-prefix-match table (keys are
+// 32-bit IPv4 prefixes; entries install via configuration).
+type LpmDecl struct {
+	Name     string
+	ValTypes []string
+	Max      int
+	Line     int
+}
+
+// GlobalDecl declares a scalar global.
+type GlobalDecl struct {
+	Name string
+	Type string
+	Line int
+}
+
+// ConstDecl declares a compile-time constant.
+type ConstDecl struct {
+	Name string
+	Type string
+	Expr Expr
+	Line int
+}
+
+func (*MapDecl) declNode()    {}
+func (*LpmDecl) declNode()    {}
+func (*VecDecl) declNode()    {}
+func (*GlobalDecl) declNode() {}
+func (*ConstDecl) declNode()  {}
+
+// ProcDecl is the per-packet entry point.
+type ProcDecl struct {
+	Name    string
+	PktName string
+	Body    *Block
+	Line    int
+}
+
+// Block is a brace-delimited statement list.
+type Block struct {
+	Stmts []Stmt
+}
+
+// Stmt is a statement node.
+type Stmt interface{ stmtNode() }
+
+// VarDeclStmt declares and initializes a local variable.
+type VarDeclStmt struct {
+	Type string
+	Name string
+	Init Expr
+	Line int
+}
+
+// LetFindStmt binds a lookup result: let r = m.find(k...) for maps, or
+// let r = t.lookup(k) for LPM tables.
+type LetFindStmt struct {
+	Name   string
+	Map    string
+	Method string // "find" or "lookup"
+	Args   []Expr
+	Line   int
+}
+
+// AssignStmt assigns to a local variable, a global, or a packet field.
+type AssignStmt struct {
+	// Target is an identifier or a field path expression.
+	Target Expr
+	Value  Expr
+	Line   int
+}
+
+// IfStmt is a conditional with optional else.
+type IfStmt struct {
+	Cond Expr
+	Then *Block
+	Else *Block // nil when absent
+	Line int
+}
+
+// WhileStmt is a loop.
+type WhileStmt struct {
+	Cond Expr
+	Body *Block
+	Line int
+}
+
+// SendStmt forwards the packet and ends processing.
+type SendStmt struct{ Line int }
+
+// DropStmt discards the packet and ends processing.
+type DropStmt struct{ Line int }
+
+// ReturnStmt ends processing without forwarding (the packet is dropped,
+// per Click semantics).
+type ReturnStmt struct{ Line int }
+
+// CallStmt is an effectful method call: m.insert(...), m.remove(...).
+type CallStmt struct {
+	Recv   string
+	Method string
+	Args   []Expr
+	Line   int
+}
+
+// InlineCallStmt calls a helper proc: helper(p);. The body is inlined at
+// the call site during lowering.
+type InlineCallStmt struct {
+	Name string
+	Line int
+}
+
+func (*VarDeclStmt) stmtNode()    {}
+func (*LetFindStmt) stmtNode()    {}
+func (*AssignStmt) stmtNode()     {}
+func (*IfStmt) stmtNode()         {}
+func (*WhileStmt) stmtNode()      {}
+func (*SendStmt) stmtNode()       {}
+func (*DropStmt) stmtNode()       {}
+func (*ReturnStmt) stmtNode()     {}
+func (*CallStmt) stmtNode()       {}
+func (*InlineCallStmt) stmtNode() {}
+
+// Expr is an expression node.
+type Expr interface {
+	exprNode()
+	Pos() (line, col int)
+}
+
+type pos struct{ line, col int }
+
+func (p pos) Pos() (int, int) { return p.line, p.col }
+
+// NumExpr is an integer literal.
+type NumExpr struct {
+	pos
+	Val uint64
+}
+
+// IdentExpr references a local, const, or find-result binding.
+type IdentExpr struct {
+	pos
+	Name string
+}
+
+// FieldExpr is a dotted path: p.ip.saddr, r.ok, r.v0.
+type FieldExpr struct {
+	pos
+	Recv Expr
+	Name string
+}
+
+// BinExpr is a binary operation.
+type BinExpr struct {
+	pos
+	Op   TokKind
+	L, R Expr
+}
+
+// UnaryExpr is !e.
+type UnaryExpr struct {
+	pos
+	Op TokKind
+	X  Expr
+}
+
+// CastExpr is (type)(e).
+type CastExpr struct {
+	pos
+	Type string
+	X    Expr
+}
+
+// CallExpr is a call: builtins (hash, payload_contains, ip) or methods
+// (m.contains, v.size) or indexing lowered by the parser (v[i] becomes
+// IndexExpr).
+type CallExpr struct {
+	pos
+	Recv   string // empty for builtins
+	Func   string
+	Args   []Expr
+	StrArg string // for payload_contains
+}
+
+// IndexExpr is v[i].
+type IndexExpr struct {
+	pos
+	Vec string
+	Idx Expr
+}
+
+func (*NumExpr) exprNode()   {}
+func (*IdentExpr) exprNode() {}
+func (*FieldExpr) exprNode() {}
+func (*BinExpr) exprNode()   {}
+func (*UnaryExpr) exprNode() {}
+func (*CastExpr) exprNode()  {}
+func (*CallExpr) exprNode()  {}
+func (*IndexExpr) exprNode() {}

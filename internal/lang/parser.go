@@ -1,0 +1,773 @@
+package lang
+
+import "fmt"
+
+// Parse lexes and parses a MiniClick source file.
+func Parse(src string) (*File, error) {
+	toks, err := Lex(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	f, err := p.file()
+	if err != nil {
+		return nil, err
+	}
+	f.Source = src
+	return f, nil
+}
+
+type parser struct {
+	toks []Token
+	i    int
+}
+
+func (p *parser) cur() Token  { return p.toks[p.i] }
+func (p *parser) peek() Token { return p.toks[min(p.i+1, len(p.toks)-1)] }
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func (p *parser) next() Token {
+	t := p.toks[p.i]
+	if p.i < len(p.toks)-1 {
+		p.i++
+	}
+	return t
+}
+
+func (p *parser) expect(k TokKind, what string) (Token, error) {
+	t := p.cur()
+	if t.Kind != k {
+		return t, errf(t.Line, t.Col, "expected %s, found %s", what, t)
+	}
+	return p.next(), nil
+}
+
+func (p *parser) expectIdent(word string) error {
+	t := p.cur()
+	if t.Kind != TokIdent || t.Text != word {
+		return errf(t.Line, t.Col, "expected %q, found %s", word, t)
+	}
+	p.next()
+	return nil
+}
+
+var typeNames = map[string]bool{"bool": true, "u8": true, "u16": true, "u32": true, "u64": true}
+
+func (p *parser) typeName() (string, error) {
+	t := p.cur()
+	if t.Kind != TokIdent || !typeNames[t.Text] {
+		return "", errf(t.Line, t.Col, "expected type name, found %s", t)
+	}
+	p.next()
+	return t.Text, nil
+}
+
+func (p *parser) file() (*File, error) {
+	if err := p.expectIdent("middlebox"); err != nil {
+		return nil, err
+	}
+	name, err := p.expect(TokIdent, "middlebox name")
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(TokLBrace, "'{'"); err != nil {
+		return nil, err
+	}
+	f := &File{Name: name.Text}
+	for {
+		t := p.cur()
+		if t.Kind == TokRBrace {
+			break
+		}
+		if t.Kind != TokIdent {
+			return nil, errf(t.Line, t.Col, "expected declaration, found %s", t)
+		}
+		switch t.Text {
+		case "map":
+			d, err := p.mapDecl()
+			if err != nil {
+				return nil, err
+			}
+			f.Decls = append(f.Decls, d)
+		case "lpm":
+			d, err := p.lpmDecl()
+			if err != nil {
+				return nil, err
+			}
+			f.Decls = append(f.Decls, d)
+		case "vec":
+			d, err := p.vecDecl()
+			if err != nil {
+				return nil, err
+			}
+			f.Decls = append(f.Decls, d)
+		case "global":
+			d, err := p.globalDecl()
+			if err != nil {
+				return nil, err
+			}
+			f.Decls = append(f.Decls, d)
+		case "const":
+			d, err := p.constDecl()
+			if err != nil {
+				return nil, err
+			}
+			f.Decls = append(f.Decls, d)
+		case "proc":
+			pr, err := p.procDecl()
+			if err != nil {
+				return nil, err
+			}
+			if pr.Name == "process" {
+				if f.Proc != nil {
+					return nil, errf(t.Line, t.Col, "multiple process procs")
+				}
+				f.Proc = pr
+			} else {
+				f.Helpers = append(f.Helpers, pr)
+			}
+		default:
+			return nil, errf(t.Line, t.Col, "unexpected %s at top level", t)
+		}
+	}
+	if _, err := p.expect(TokRBrace, "'}'"); err != nil {
+		return nil, err
+	}
+	if t := p.cur(); t.Kind != TokEOF {
+		return nil, errf(t.Line, t.Col, "trailing input after middlebox")
+	}
+	if f.Proc == nil {
+		return nil, fmt.Errorf("middlebox %s has no proc named \"process\"", f.Name)
+	}
+	return f, nil
+}
+
+func (p *parser) mapDecl() (*MapDecl, error) {
+	t := p.next() // map
+	d := &MapDecl{Line: t.Line}
+	if _, err := p.expect(TokLt, "'<'"); err != nil {
+		return nil, err
+	}
+	for {
+		tn, err := p.typeName()
+		if err != nil {
+			return nil, err
+		}
+		d.KeyTypes = append(d.KeyTypes, tn)
+		if p.cur().Kind != TokComma {
+			break
+		}
+		p.next()
+	}
+	if _, err := p.expect(TokArrow, "'->'"); err != nil {
+		return nil, err
+	}
+	for {
+		tn, err := p.typeName()
+		if err != nil {
+			return nil, err
+		}
+		d.ValTypes = append(d.ValTypes, tn)
+		if p.cur().Kind != TokComma {
+			break
+		}
+		p.next()
+	}
+	if _, err := p.expect(TokGt, "'>'"); err != nil {
+		return nil, err
+	}
+	name, err := p.expect(TokIdent, "map name")
+	if err != nil {
+		return nil, err
+	}
+	d.Name = name.Text
+	max, err := p.maxAnnotation()
+	if err != nil {
+		return nil, err
+	}
+	d.Max = max
+	_, err = p.expect(TokSemi, "';'")
+	return d, err
+}
+
+func (p *parser) lpmDecl() (*LpmDecl, error) {
+	t := p.next() // lpm
+	d := &LpmDecl{Line: t.Line}
+	if _, err := p.expect(TokLt, "'<'"); err != nil {
+		return nil, err
+	}
+	kt, err := p.typeName()
+	if err != nil {
+		return nil, err
+	}
+	if kt != "u32" {
+		return nil, errf(t.Line, t.Col, "lpm keys must be u32 (IPv4 prefixes)")
+	}
+	if _, err := p.expect(TokArrow, "'->'"); err != nil {
+		return nil, err
+	}
+	for {
+		tn, err := p.typeName()
+		if err != nil {
+			return nil, err
+		}
+		d.ValTypes = append(d.ValTypes, tn)
+		if p.cur().Kind != TokComma {
+			break
+		}
+		p.next()
+	}
+	if _, err := p.expect(TokGt, "'>'"); err != nil {
+		return nil, err
+	}
+	name, err := p.expect(TokIdent, "lpm table name")
+	if err != nil {
+		return nil, err
+	}
+	d.Name = name.Text
+	max, err := p.maxAnnotation()
+	if err != nil {
+		return nil, err
+	}
+	d.Max = max
+	_, err = p.expect(TokSemi, "';'")
+	return d, err
+}
+
+func (p *parser) vecDecl() (*VecDecl, error) {
+	t := p.next() // vec
+	d := &VecDecl{Line: t.Line}
+	if _, err := p.expect(TokLt, "'<'"); err != nil {
+		return nil, err
+	}
+	tn, err := p.typeName()
+	if err != nil {
+		return nil, err
+	}
+	d.Elem = tn
+	if _, err := p.expect(TokGt, "'>'"); err != nil {
+		return nil, err
+	}
+	name, err := p.expect(TokIdent, "vector name")
+	if err != nil {
+		return nil, err
+	}
+	d.Name = name.Text
+	max, err := p.maxAnnotation()
+	if err != nil {
+		return nil, err
+	}
+	d.Max = max
+	_, err = p.expect(TokSemi, "';'")
+	return d, err
+}
+
+// maxAnnotation parses the required "(max = N)" size annotation; the
+// paper requires it to place a structure on the switch.
+func (p *parser) maxAnnotation() (int, error) {
+	if p.cur().Kind != TokLParen {
+		return 0, nil // unannotated: not offloadable
+	}
+	p.next()
+	if err := p.expectIdent("max"); err != nil {
+		return 0, err
+	}
+	if _, err := p.expect(TokAssign, "'='"); err != nil {
+		return 0, err
+	}
+	num, err := p.expect(TokNumber, "max entry count")
+	if err != nil {
+		return 0, err
+	}
+	if _, err := p.expect(TokRParen, "')'"); err != nil {
+		return 0, err
+	}
+	return int(num.Num), nil
+}
+
+func (p *parser) globalDecl() (*GlobalDecl, error) {
+	t := p.next() // global
+	tn, err := p.typeName()
+	if err != nil {
+		return nil, err
+	}
+	name, err := p.expect(TokIdent, "global name")
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(TokSemi, "';'"); err != nil {
+		return nil, err
+	}
+	return &GlobalDecl{Name: name.Text, Type: tn, Line: t.Line}, nil
+}
+
+func (p *parser) constDecl() (*ConstDecl, error) {
+	t := p.next() // const
+	tn, err := p.typeName()
+	if err != nil {
+		return nil, err
+	}
+	name, err := p.expect(TokIdent, "const name")
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(TokAssign, "'='"); err != nil {
+		return nil, err
+	}
+	e, err := p.expr()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(TokSemi, "';'"); err != nil {
+		return nil, err
+	}
+	return &ConstDecl{Name: name.Text, Type: tn, Expr: e, Line: t.Line}, nil
+}
+
+func (p *parser) procDecl() (*ProcDecl, error) {
+	t := p.next() // proc
+	name, err := p.expect(TokIdent, "proc name")
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(TokLParen, "'('"); err != nil {
+		return nil, err
+	}
+	if err := p.expectIdent("pkt"); err != nil {
+		return nil, err
+	}
+	pktName, err := p.expect(TokIdent, "packet parameter name")
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(TokRParen, "')'"); err != nil {
+		return nil, err
+	}
+	body, err := p.block()
+	if err != nil {
+		return nil, err
+	}
+	return &ProcDecl{Name: name.Text, PktName: pktName.Text, Body: body, Line: t.Line}, nil
+}
+
+func (p *parser) block() (*Block, error) {
+	if _, err := p.expect(TokLBrace, "'{'"); err != nil {
+		return nil, err
+	}
+	b := &Block{}
+	for p.cur().Kind != TokRBrace {
+		if p.cur().Kind == TokEOF {
+			t := p.cur()
+			return nil, errf(t.Line, t.Col, "unterminated block")
+		}
+		s, err := p.stmt()
+		if err != nil {
+			return nil, err
+		}
+		b.Stmts = append(b.Stmts, s)
+	}
+	p.next() // }
+	return b, nil
+}
+
+func (p *parser) stmt() (Stmt, error) {
+	t := p.cur()
+	if t.Kind != TokIdent {
+		return nil, errf(t.Line, t.Col, "expected statement, found %s", t)
+	}
+	switch t.Text {
+	case "if":
+		return p.ifStmt()
+	case "while":
+		return p.whileStmt()
+	case "send":
+		p.next()
+		if err := p.callParenIdentSemi(); err != nil {
+			return nil, err
+		}
+		return &SendStmt{Line: t.Line}, nil
+	case "drop":
+		p.next()
+		if err := p.callParenIdentSemi(); err != nil {
+			return nil, err
+		}
+		return &DropStmt{Line: t.Line}, nil
+	case "return":
+		p.next()
+		if _, err := p.expect(TokSemi, "';'"); err != nil {
+			return nil, err
+		}
+		return &ReturnStmt{Line: t.Line}, nil
+	case "let":
+		return p.letFind()
+	}
+	if typeNames[t.Text] {
+		return p.varDecl()
+	}
+	// assignment, method-call statement, or packet field assignment.
+	return p.assignOrCall()
+}
+
+func (p *parser) callParenIdentSemi() error {
+	if _, err := p.expect(TokLParen, "'('"); err != nil {
+		return err
+	}
+	if _, err := p.expect(TokIdent, "packet name"); err != nil {
+		return err
+	}
+	if _, err := p.expect(TokRParen, "')'"); err != nil {
+		return err
+	}
+	_, err := p.expect(TokSemi, "';'")
+	return err
+}
+
+func (p *parser) ifStmt() (Stmt, error) {
+	t := p.next() // if
+	if _, err := p.expect(TokLParen, "'('"); err != nil {
+		return nil, err
+	}
+	cond, err := p.expr()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(TokRParen, "')'"); err != nil {
+		return nil, err
+	}
+	then, err := p.block()
+	if err != nil {
+		return nil, err
+	}
+	st := &IfStmt{Cond: cond, Then: then, Line: t.Line}
+	if p.cur().Kind == TokIdent && p.cur().Text == "else" {
+		p.next()
+		if p.cur().Kind == TokIdent && p.cur().Text == "if" {
+			inner, err := p.ifStmt()
+			if err != nil {
+				return nil, err
+			}
+			st.Else = &Block{Stmts: []Stmt{inner}}
+		} else {
+			els, err := p.block()
+			if err != nil {
+				return nil, err
+			}
+			st.Else = els
+		}
+	}
+	return st, nil
+}
+
+func (p *parser) whileStmt() (Stmt, error) {
+	t := p.next() // while
+	if _, err := p.expect(TokLParen, "'('"); err != nil {
+		return nil, err
+	}
+	cond, err := p.expr()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(TokRParen, "')'"); err != nil {
+		return nil, err
+	}
+	body, err := p.block()
+	if err != nil {
+		return nil, err
+	}
+	return &WhileStmt{Cond: cond, Body: body, Line: t.Line}, nil
+}
+
+func (p *parser) varDecl() (Stmt, error) {
+	t := p.cur()
+	tn, err := p.typeName()
+	if err != nil {
+		return nil, err
+	}
+	name, err := p.expect(TokIdent, "variable name")
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(TokAssign, "'='"); err != nil {
+		return nil, err
+	}
+	e, err := p.expr()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(TokSemi, "';'"); err != nil {
+		return nil, err
+	}
+	return &VarDeclStmt{Type: tn, Name: name.Text, Init: e, Line: t.Line}, nil
+}
+
+func (p *parser) letFind() (Stmt, error) {
+	t := p.next() // let
+	name, err := p.expect(TokIdent, "binding name")
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(TokAssign, "'='"); err != nil {
+		return nil, err
+	}
+	recv, err := p.expect(TokIdent, "map name")
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(TokDot, "'.'"); err != nil {
+		return nil, err
+	}
+	m := p.cur()
+	if m.Kind != TokIdent || (m.Text != "find" && m.Text != "lookup") {
+		return nil, errf(m.Line, m.Col, "expected find or lookup, found %s", m)
+	}
+	p.next()
+	args, err := p.argList()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(TokSemi, "';'"); err != nil {
+		return nil, err
+	}
+	return &LetFindStmt{Name: name.Text, Map: recv.Text, Method: m.Text, Args: args, Line: t.Line}, nil
+}
+
+func (p *parser) argList() ([]Expr, error) {
+	if _, err := p.expect(TokLParen, "'('"); err != nil {
+		return nil, err
+	}
+	var args []Expr
+	if p.cur().Kind != TokRParen {
+		for {
+			e, err := p.expr()
+			if err != nil {
+				return nil, err
+			}
+			args = append(args, e)
+			if p.cur().Kind != TokComma {
+				break
+			}
+			p.next()
+		}
+	}
+	_, err := p.expect(TokRParen, "')'")
+	return args, err
+}
+
+// assignOrCall parses `lvalue = expr;`, `m.insert(...);`/`m.remove(...);`,
+// or a helper call `helper(p);`.
+func (p *parser) assignOrCall() (Stmt, error) {
+	t := p.cur()
+	// Helper proc call: IDENT ( IDENT ) ;
+	if t.Kind == TokIdent && p.peek().Kind == TokLParen {
+		save := p.i
+		name := p.next()
+		p.next() // (
+		if arg := p.cur(); arg.Kind == TokIdent {
+			p.next()
+			if p.cur().Kind == TokRParen {
+				p.next()
+				if p.cur().Kind == TokSemi {
+					p.next()
+					return &InlineCallStmt{Name: name.Text, Line: t.Line}, nil
+				}
+			}
+		}
+		p.i = save
+	}
+	// Lookahead: IDENT . IDENT ( ...  is a method call statement when the
+	// method is insert/remove.
+	if t.Kind == TokIdent && p.peek().Kind == TokDot {
+		save := p.i
+		recv := p.next()
+		p.next() // .
+		if m := p.cur(); m.Kind == TokIdent && (m.Text == "insert" || m.Text == "remove") {
+			p.next()
+			args, err := p.argList()
+			if err != nil {
+				return nil, err
+			}
+			if _, err := p.expect(TokSemi, "';'"); err != nil {
+				return nil, err
+			}
+			return &CallStmt{Recv: recv.Text, Method: m.Text, Args: args, Line: t.Line}, nil
+		}
+		p.i = save
+	}
+	target, err := p.postfixExpr()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(TokAssign, "'='"); err != nil {
+		return nil, err
+	}
+	val, err := p.expr()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(TokSemi, "';'"); err != nil {
+		return nil, err
+	}
+	return &AssignStmt{Target: target, Value: val, Line: t.Line}, nil
+}
+
+// Expression parsing with C-like precedence (low to high):
+//
+//	|| , && , | , ^ , & , == != , < <= > >= , << >> , + - , * / %
+var precedence = map[TokKind]int{
+	TokOrOr: 1, TokAndAnd: 2, TokPipe: 3, TokCaret: 4, TokAmp: 5,
+	TokEq: 6, TokNe: 6,
+	TokLt: 7, TokLe: 7, TokGt: 7, TokGe: 7,
+	TokShl: 8, TokShr: 8,
+	TokPlus: 9, TokMinus: 9,
+	TokStar: 10, TokSlash: 10, TokPercent: 10,
+}
+
+func (p *parser) expr() (Expr, error) { return p.binExpr(0) }
+
+func (p *parser) binExpr(minPrec int) (Expr, error) {
+	lhs, err := p.unaryExpr()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		op := p.cur()
+		prec, ok := precedence[op.Kind]
+		if !ok || prec < minPrec {
+			return lhs, nil
+		}
+		p.next()
+		rhs, err := p.binExpr(prec + 1)
+		if err != nil {
+			return nil, err
+		}
+		lhs = &BinExpr{pos: pos{op.Line, op.Col}, Op: op.Kind, L: lhs, R: rhs}
+	}
+}
+
+func (p *parser) unaryExpr() (Expr, error) {
+	t := p.cur()
+	if t.Kind == TokBang {
+		p.next()
+		x, err := p.unaryExpr()
+		if err != nil {
+			return nil, err
+		}
+		return &UnaryExpr{pos: pos{t.Line, t.Col}, Op: TokBang, X: x}, nil
+	}
+	return p.postfixExpr()
+}
+
+func (p *parser) postfixExpr() (Expr, error) {
+	e, err := p.primaryExpr()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		switch p.cur().Kind {
+		case TokDot:
+			dot := p.next()
+			name, err := p.expect(TokIdent, "field or method name")
+			if err != nil {
+				return nil, err
+			}
+			// Method call: recv.method(args).
+			if p.cur().Kind == TokLParen {
+				id, ok := e.(*IdentExpr)
+				if !ok {
+					return nil, errf(dot.Line, dot.Col, "method calls need a named receiver")
+				}
+				args, err := p.argList()
+				if err != nil {
+					return nil, err
+				}
+				e = &CallExpr{pos: pos{dot.Line, dot.Col}, Recv: id.Name, Func: name.Text, Args: args}
+				continue
+			}
+			e = &FieldExpr{pos: pos{dot.Line, dot.Col}, Recv: e, Name: name.Text}
+		case TokLBracket:
+			br := p.next()
+			id, ok := e.(*IdentExpr)
+			if !ok {
+				return nil, errf(br.Line, br.Col, "indexing needs a vector name")
+			}
+			idx, err := p.expr()
+			if err != nil {
+				return nil, err
+			}
+			if _, err := p.expect(TokRBracket, "']'"); err != nil {
+				return nil, err
+			}
+			e = &IndexExpr{pos: pos{br.Line, br.Col}, Vec: id.Name, Idx: idx}
+		default:
+			return e, nil
+		}
+	}
+}
+
+func (p *parser) primaryExpr() (Expr, error) {
+	t := p.cur()
+	switch t.Kind {
+	case TokNumber:
+		p.next()
+		return &NumExpr{pos: pos{t.Line, t.Col}, Val: t.Num}, nil
+	case TokIdent:
+		// Builtin calls.
+		if p.peek().Kind == TokLParen {
+			name := t.Text
+			switch name {
+			case "hash", "ip":
+				p.next()
+				args, err := p.argList()
+				if err != nil {
+					return nil, err
+				}
+				return &CallExpr{pos: pos{t.Line, t.Col}, Func: name, Args: args}, nil
+			case "payload_contains":
+				p.next()
+				if _, err := p.expect(TokLParen, "'('"); err != nil {
+					return nil, err
+				}
+				s, err := p.expect(TokString, "pattern string")
+				if err != nil {
+					return nil, err
+				}
+				if _, err := p.expect(TokRParen, "')'"); err != nil {
+					return nil, err
+				}
+				return &CallExpr{pos: pos{t.Line, t.Col}, Func: name, StrArg: s.Text}, nil
+			}
+		}
+		p.next()
+		return &IdentExpr{pos: pos{t.Line, t.Col}, Name: t.Text}, nil
+	case TokLParen:
+		// Either a cast "(u16)(e)" or a parenthesized expression.
+		if p.peek().Kind == TokIdent && typeNames[p.peek().Text] {
+			p.next() // (
+			tn, _ := p.typeName()
+			if _, err := p.expect(TokRParen, "')'"); err != nil {
+				return nil, err
+			}
+			x, err := p.unaryExpr()
+			if err != nil {
+				return nil, err
+			}
+			return &CastExpr{pos: pos{t.Line, t.Col}, Type: tn, X: x}, nil
+		}
+		p.next()
+		e, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(TokRParen, "')'"); err != nil {
+			return nil, err
+		}
+		return e, nil
+	}
+	return nil, errf(t.Line, t.Col, "expected expression, found %s", t)
+}

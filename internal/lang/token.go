@@ -1,0 +1,235 @@
+// Package lang implements the MiniClick front end: a small C-like
+// middlebox language playing the role of the paper's "C++ with Click
+// APIs" input. The five evaluation middleboxes and the MiniLB running
+// example are written in it.
+//
+// MiniClick deliberately covers exactly the subset Gallium can analyse:
+// integer types, packet header field access (`p.ip.saddr`), annotated
+// maps/vectors/scalars, payload matching, hashing, branches, and while
+// loops. Lowering produces the IR the dependency/partitioning passes
+// consume; the data-structure "annotations" of §4.1 are built into the
+// language's method semantics.
+package lang
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+// TokKind identifies token kinds.
+type TokKind int
+
+// Token kinds.
+const (
+	TokEOF TokKind = iota
+	TokIdent
+	TokNumber
+	TokString
+	// Punctuation and operators.
+	TokLBrace
+	TokRBrace
+	TokLParen
+	TokRParen
+	TokLBracket
+	TokRBracket
+	TokSemi
+	TokComma
+	TokDot
+	TokArrow // ->
+	TokAssign
+	TokLt
+	TokGt
+	TokLe
+	TokGe
+	TokEq
+	TokNe
+	TokPlus
+	TokMinus
+	TokStar
+	TokSlash
+	TokPercent
+	TokAmp
+	TokPipe
+	TokCaret
+	TokShl
+	TokShr
+	TokAndAnd
+	TokOrOr
+	TokBang
+)
+
+// Token is one lexical token.
+type Token struct {
+	Kind TokKind
+	Text string
+	Num  uint64
+	Line int
+	Col  int
+}
+
+// String formats the token for error messages.
+func (t Token) String() string {
+	switch t.Kind {
+	case TokEOF:
+		return "end of input"
+	case TokIdent, TokNumber:
+		return fmt.Sprintf("%q", t.Text)
+	case TokString:
+		return fmt.Sprintf("string %q", t.Text)
+	}
+	return fmt.Sprintf("%q", t.Text)
+}
+
+// Error is a front-end diagnostic with position information.
+type Error struct {
+	Line, Col int
+	Msg       string
+}
+
+// Error implements the error interface.
+func (e *Error) Error() string {
+	return fmt.Sprintf("%d:%d: %s", e.Line, e.Col, e.Msg)
+}
+
+func errf(line, col int, format string, args ...interface{}) *Error {
+	return &Error{Line: line, Col: col, Msg: fmt.Sprintf(format, args...)}
+}
+
+// Lex tokenizes src. Comments run from // to end of line.
+func Lex(src string) ([]Token, error) {
+	var toks []Token
+	line, col := 1, 1
+	i := 0
+	n := len(src)
+	advance := func(k int) {
+		for j := 0; j < k; j++ {
+			if src[i+j] == '\n' {
+				line++
+				col = 1
+			} else {
+				col++
+			}
+		}
+		i += k
+	}
+	emit := func(kind TokKind, text string) {
+		toks = append(toks, Token{Kind: kind, Text: text, Line: line, Col: col})
+		advance(len(text))
+	}
+	for i < n {
+		c := src[i]
+		switch {
+		case c == ' ' || c == '\t' || c == '\r' || c == '\n':
+			advance(1)
+		case c == '/' && i+1 < n && src[i+1] == '/':
+			for i < n && src[i] != '\n' {
+				advance(1)
+			}
+		case unicode.IsLetter(rune(c)) || c == '_':
+			j := i
+			for j < n && (isIdentChar(src[j])) {
+				j++
+			}
+			emit(TokIdent, src[i:j])
+		case c >= '0' && c <= '9':
+			j := i
+			base := 10
+			if c == '0' && j+1 < n && (src[j+1] == 'x' || src[j+1] == 'X') {
+				base = 16
+				j += 2
+			}
+			for j < n && isNumChar(src[j], base) {
+				j++
+			}
+			text := src[i:j]
+			var v uint64
+			var err error
+			if base == 16 {
+				_, err = fmt.Sscanf(strings.ToLower(text), "0x%x", &v)
+			} else {
+				_, err = fmt.Sscanf(text, "%d", &v)
+			}
+			if err != nil {
+				return nil, errf(line, col, "bad number %q", text)
+			}
+			toks = append(toks, Token{Kind: TokNumber, Text: text, Num: v, Line: line, Col: col})
+			advance(len(text))
+		case c == '"':
+			j := i + 1
+			for j < n && src[j] != '"' {
+				if src[j] == '\n' {
+					return nil, errf(line, col, "unterminated string")
+				}
+				j++
+			}
+			if j >= n {
+				return nil, errf(line, col, "unterminated string")
+			}
+			toks = append(toks, Token{Kind: TokString, Text: src[i+1 : j], Line: line, Col: col})
+			advance(j + 1 - i)
+		default:
+			two := ""
+			if i+1 < n {
+				two = src[i : i+2]
+			}
+			switch two {
+			case "->":
+				emit(TokArrow, two)
+				continue
+			case "==":
+				emit(TokEq, two)
+				continue
+			case "!=":
+				emit(TokNe, two)
+				continue
+			case "<=":
+				emit(TokLe, two)
+				continue
+			case ">=":
+				emit(TokGe, two)
+				continue
+			case "<<":
+				emit(TokShl, two)
+				continue
+			case ">>":
+				emit(TokShr, two)
+				continue
+			case "&&":
+				emit(TokAndAnd, two)
+				continue
+			case "||":
+				emit(TokOrOr, two)
+				continue
+			}
+			kinds := map[byte]TokKind{
+				'{': TokLBrace, '}': TokRBrace, '(': TokLParen, ')': TokRParen,
+				'[': TokLBracket, ']': TokRBracket, ';': TokSemi, ',': TokComma,
+				'.': TokDot, '=': TokAssign, '<': TokLt, '>': TokGt,
+				'+': TokPlus, '-': TokMinus, '*': TokStar, '/': TokSlash,
+				'%': TokPercent, '&': TokAmp, '|': TokPipe, '^': TokCaret, '!': TokBang,
+			}
+			k, ok := kinds[c]
+			if !ok {
+				return nil, errf(line, col, "unexpected character %q", string(c))
+			}
+			emit(k, string(c))
+		}
+	}
+	toks = append(toks, Token{Kind: TokEOF, Line: line, Col: col})
+	return toks, nil
+}
+
+func isIdentChar(c byte) bool {
+	return c == '_' || c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' || c >= '0' && c <= '9'
+}
+
+func isNumChar(c byte, base int) bool {
+	if c >= '0' && c <= '9' {
+		return true
+	}
+	if base == 16 {
+		return c >= 'a' && c <= 'f' || c >= 'A' && c <= 'F'
+	}
+	return false
+}

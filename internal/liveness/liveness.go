@@ -1,0 +1,157 @@
+// Package liveness implements register liveness analysis over IR
+// functions. The partitioner uses it twice: to size the per-packet
+// scratchpad metadata the switch partitions need (resource Constraint 4,
+// §4.2.2 — Gallium reuses metadata slots of dead temporaries, which is
+// exactly "maximum live bits at any program point"), and to decide which
+// variables must transfer across partition boundaries (§4.3.2).
+package liveness
+
+import "gallium/internal/ir"
+
+// Info holds the results of a liveness analysis over one function.
+type Info struct {
+	Fn *ir.Function
+	// LiveIn and LiveOut are block-level live register sets.
+	LiveIn, LiveOut []map[ir.Reg]bool
+}
+
+// uses returns the registers an instruction reads.
+func uses(in *ir.Instr) []ir.Reg { return in.Args }
+
+// defs returns the registers an instruction writes.
+func defs(in *ir.Instr) []ir.Reg { return in.Dst }
+
+// Analyze runs the classic backward dataflow to a fixpoint.
+func Analyze(fn *ir.Function) *Info {
+	n := len(fn.Blocks)
+	info := &Info{Fn: fn, LiveIn: make([]map[ir.Reg]bool, n), LiveOut: make([]map[ir.Reg]bool, n)}
+	for i := 0; i < n; i++ {
+		info.LiveIn[i] = map[ir.Reg]bool{}
+		info.LiveOut[i] = map[ir.Reg]bool{}
+	}
+	succs := make([][]int, n)
+	for _, b := range fn.Blocks {
+		switch b.Term.Kind {
+		case ir.Jump:
+			succs[b.ID] = []int{b.Term.Then}
+		case ir.Branch:
+			succs[b.ID] = []int{b.Term.Then, b.Term.Else}
+		}
+	}
+	for changed := true; changed; {
+		changed = false
+		for i := n - 1; i >= 0; i-- {
+			b := fn.Blocks[i]
+			out := map[ir.Reg]bool{}
+			for _, s := range succs[i] {
+				for r := range info.LiveIn[s] {
+					out[r] = true
+				}
+			}
+			in := cloneRegSet(out)
+			// Walk the block backward: terminator first, then instrs.
+			for _, r := range uses(&b.Term) {
+				in[r] = true
+			}
+			for j := len(b.Instrs) - 1; j >= 0; j-- {
+				for _, r := range defs(&b.Instrs[j]) {
+					delete(in, r)
+				}
+				for _, r := range uses(&b.Instrs[j]) {
+					in[r] = true
+				}
+			}
+			if !regSetsEqual(out, info.LiveOut[i]) || !regSetsEqual(in, info.LiveIn[i]) {
+				info.LiveOut[i] = out
+				info.LiveIn[i] = in
+				changed = true
+			}
+		}
+	}
+	return info
+}
+
+// MaxLiveBits returns the maximum, over all program points, of the total
+// width of simultaneously live registers — the scratchpad metadata a
+// switch partition needs after slot reuse.
+func MaxLiveBits(fn *ir.Function) int {
+	info := Analyze(fn)
+	max := 0
+	for _, b := range fn.Blocks {
+		live := cloneRegSet(info.LiveOut[b.ID])
+		// Points inside the block, walked backward.
+		consider := func() {
+			bits := 0
+			for r := range live {
+				bits += fn.RegType(r).Bits()
+			}
+			if bits > max {
+				max = bits
+			}
+		}
+		for _, r := range uses(&b.Term) {
+			live[r] = true
+		}
+		consider()
+		for j := len(b.Instrs) - 1; j >= 0; j-- {
+			for _, r := range defs(&b.Instrs[j]) {
+				delete(live, r)
+			}
+			for _, r := range uses(&b.Instrs[j]) {
+				live[r] = true
+			}
+			consider()
+		}
+	}
+	return max
+}
+
+// UsedRegs returns every register the function reads (instruction and
+// terminator operands).
+func UsedRegs(fn *ir.Function) map[ir.Reg]bool {
+	out := map[ir.Reg]bool{}
+	for _, b := range fn.Blocks {
+		for i := range b.Instrs {
+			for _, r := range uses(&b.Instrs[i]) {
+				out[r] = true
+			}
+		}
+		for _, r := range uses(&b.Term) {
+			out[r] = true
+		}
+	}
+	return out
+}
+
+// DefinedRegs returns every register the function writes.
+func DefinedRegs(fn *ir.Function) map[ir.Reg]bool {
+	out := map[ir.Reg]bool{}
+	for _, b := range fn.Blocks {
+		for i := range b.Instrs {
+			for _, r := range defs(&b.Instrs[i]) {
+				out[r] = true
+			}
+		}
+	}
+	return out
+}
+
+func cloneRegSet(s map[ir.Reg]bool) map[ir.Reg]bool {
+	c := make(map[ir.Reg]bool, len(s))
+	for k := range s {
+		c[k] = true
+	}
+	return c
+}
+
+func regSetsEqual(a, b map[ir.Reg]bool) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for k := range a {
+		if !b[k] {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,125 @@
+package liveness
+
+import (
+	"testing"
+
+	"gallium/internal/ir"
+)
+
+func TestStraightLineLiveness(t *testing.T) {
+	// x = const; y = const; z = x + y; storehdr = z; send
+	b := ir.NewBuilder("f")
+	x := b.Const("x", ir.U32, 1)
+	y := b.Const("y", ir.U32, 2)
+	z := b.BinOp("z", ir.Add, x, y)
+	b.StoreHeader("ip.ttl", z)
+	b.Send()
+	fn := b.Fn()
+	fn.Finalize()
+
+	info := Analyze(fn)
+	if len(info.LiveIn[0]) != 0 {
+		t.Errorf("entry live-in = %v, want empty", info.LiveIn[0])
+	}
+	// Max live: x and y simultaneously (64 bits), then just z (32).
+	if got := MaxLiveBits(fn); got != 64 {
+		t.Errorf("MaxLiveBits = %d, want 64", got)
+	}
+}
+
+func TestBranchLiveness(t *testing.T) {
+	// c live across the branch; v live only on one arm.
+	b := ir.NewBuilder("f")
+	c := b.Const("c", ir.Bool, 1)
+	v := b.Const("v", ir.U32, 7)
+	then := b.NewBlock()
+	els := b.NewBlock()
+	b.Branch(c, then, els)
+	b.SetBlock(then)
+	b.StoreHeader("ip.ttl", v)
+	b.Send()
+	b.SetBlock(els)
+	b.Drop()
+	fn := b.Fn()
+	fn.Finalize()
+
+	info := Analyze(fn)
+	if !info.LiveIn[1][v] {
+		t.Error("v must be live into then-block")
+	}
+	if info.LiveIn[2][v] {
+		t.Error("v must not be live into else-block")
+	}
+	if info.LiveOut[0][c] {
+		t.Error("c is consumed by the branch, not live out past it")
+	}
+}
+
+func TestLoopLiveness(t *testing.T) {
+	// Loop-carried: i is live around the back edge.
+	b := ir.NewBuilder("f")
+	g := &ir.Global{Name: "n", Kind: ir.KindScalar, ValTypes: []ir.Type{ir.U32}}
+	i0 := b.Const("i0", ir.U32, 0)
+	head := b.NewBlock()
+	body := b.NewBlock()
+	exit := b.NewBlock()
+	b.Jump(head)
+	b.SetBlock(head)
+	n := b.GlobalLoad("n", g)
+	c := b.BinOp("c", ir.Lt, i0, n)
+	b.Branch(c, body, exit)
+	b.SetBlock(body)
+	b.Jump(head)
+	b.SetBlock(exit)
+	b.Send()
+	fn := b.Fn()
+	fn.Finalize()
+
+	info := Analyze(fn)
+	// i0 is used in the loop head, which is re-entered from the body: it
+	// must be live out of the body and into the head.
+	if !info.LiveIn[1][i0] || !info.LiveIn[2][i0] {
+		t.Errorf("i0 must be live through the loop: head=%v body=%v", info.LiveIn[1], info.LiveIn[2])
+	}
+}
+
+func TestDeadRegisterReuse(t *testing.T) {
+	// a dies before b is created: they never coexist, so max live is one
+	// 32-bit register at a time (after the store consumes a).
+	b := ir.NewBuilder("f")
+	a := b.Const("a", ir.U32, 1)
+	b.StoreHeader("ip.saddr", a)
+	v := b.Const("v", ir.U32, 2)
+	b.StoreHeader("ip.daddr", v)
+	b.Send()
+	fn := b.Fn()
+	fn.Finalize()
+	if got := MaxLiveBits(fn); got != 32 {
+		t.Errorf("MaxLiveBits = %d, want 32 (slots reused)", got)
+	}
+}
+
+func TestUsedAndDefinedRegs(t *testing.T) {
+	b := ir.NewBuilder("f")
+	x := b.Const("x", ir.U32, 1)
+	y := b.BinOp("y", ir.Add, x, x)
+	then := b.NewBlock()
+	els := b.NewBlock()
+	c := b.BinOp("c", ir.Eq, y, x)
+	b.Branch(c, then, els)
+	b.SetBlock(then)
+	b.Send()
+	b.SetBlock(els)
+	b.Drop()
+	fn := b.Fn()
+	fn.Finalize()
+
+	used := UsedRegs(fn)
+	if !used[x] || !used[y] || !used[c] {
+		t.Errorf("used = %v", used)
+	}
+	def := DefinedRegs(fn)
+	if !def[x] || !def[y] || !def[c] {
+		t.Errorf("defined = %v", def)
+	}
+}

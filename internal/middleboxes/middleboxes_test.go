@@ -1,0 +1,603 @@
+package middleboxes
+
+import (
+	"math/rand"
+	"testing"
+
+	"gallium/internal/ir"
+	"gallium/internal/packet"
+	"gallium/internal/partition"
+)
+
+func TestAllCompile(t *testing.T) {
+	names := []string{"minilb", "mazunat", "l4lb", "firewall", "proxy", "trojandetector"}
+	for _, name := range names {
+		p, err := Compile(name)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if err := p.Validate(); err != nil {
+			t.Errorf("%s: invalid IR: %v", name, err)
+		}
+		if p.Fn.NumStmts < 10 {
+			t.Errorf("%s: suspiciously small (%d stmts)", name, p.Fn.NumStmts)
+		}
+	}
+	if _, err := Compile("nosuch"); err == nil {
+		t.Error("want error for unknown middlebox")
+	}
+}
+
+func TestAllPartition(t *testing.T) {
+	for _, s := range All() {
+		p, err := Compile(s.Name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := partition.Partition(p, partition.DefaultConstraints())
+		if err != nil {
+			t.Fatalf("%s: %v", s.Name, err)
+		}
+		if res.Report.NumPre == 0 {
+			t.Errorf("%s: nothing offloaded to pre-processing", s.Name)
+		}
+		t.Logf("%s: pre=%d srv=%d post=%d offload=%.0f%% globals=%v",
+			s.Name, res.Report.NumPre, res.Report.NumSrv, res.Report.NumPost,
+			100*res.Report.OffloadFraction(), res.OffloadedGlobals)
+	}
+}
+
+func TestFirewallAndProxyFullyOffloaded(t *testing.T) {
+	// Paper §6.3: "For the firewall and the proxy, all packet processing
+	// happens in the programmable switch."
+	for _, name := range []string{"firewall", "proxy"} {
+		p, err := Compile(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := partition.Partition(p, partition.DefaultConstraints())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Report.NumSrv != 0 {
+			t.Errorf("%s: %d statements left on the server, want 0", name, res.Report.NumSrv)
+		}
+	}
+}
+
+func TestMazuNATOutboundAndInbound(t *testing.T) {
+	p, err := Compile("mazunat")
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := ir.NewState(p)
+	extIP := packet.MakeIPv4Addr(203, 0, 113, 1)
+
+	// Outbound: internal host to external server.
+	out := packet.BuildTCP(packet.MakeIPv4Addr(10, 0, 0, 5), packet.MakeIPv4Addr(93, 184, 216, 34), 4321, 443, packet.TCPOptions{Flags: packet.TCPFlagSYN})
+	r, err := p.Exec(&ir.Env{State: st, Pkt: out})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Action != ir.ActionSent {
+		t.Fatalf("outbound action = %v", r.Action)
+	}
+	if out.IP.SrcIP != extIP {
+		t.Errorf("outbound saddr = %v, want %v", out.IP.SrcIP, extIP)
+	}
+	allocated := out.TCP.SrcPort // first allocation: next_port was 0
+	if allocated != 0 {
+		t.Errorf("first allocated port = %d, want 0", allocated)
+	}
+	if st.Globals["next_port"] != 1 {
+		t.Errorf("next_port = %d, want 1", st.Globals["next_port"])
+	}
+
+	// Second packet of the same connection reuses the mapping.
+	out2 := packet.BuildTCP(packet.MakeIPv4Addr(10, 0, 0, 5), packet.MakeIPv4Addr(93, 184, 216, 34), 4321, 443, packet.TCPOptions{})
+	if _, err := p.Exec(&ir.Env{State: st, Pkt: out2}); err != nil {
+		t.Fatal(err)
+	}
+	if out2.TCP.SrcPort != allocated {
+		t.Errorf("second packet got port %d, want %d", out2.TCP.SrcPort, allocated)
+	}
+	if st.Globals["next_port"] != 1 {
+		t.Errorf("next_port advanced on existing connection")
+	}
+
+	// Inbound response: translated back to the internal host.
+	in := packet.BuildTCP(packet.MakeIPv4Addr(93, 184, 216, 34), extIP, 443, allocated, packet.TCPOptions{Flags: packet.TCPFlagSYN | packet.TCPFlagACK})
+	r, err = p.Exec(&ir.Env{State: st, Pkt: in})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Action != ir.ActionSent {
+		t.Fatalf("inbound action = %v", r.Action)
+	}
+	if in.IP.DstIP != packet.MakeIPv4Addr(10, 0, 0, 5) || in.TCP.DstPort != 4321 {
+		t.Errorf("inbound translated to %v:%d, want 10.0.0.5:4321", in.IP.DstIP, in.TCP.DstPort)
+	}
+
+	// Inbound with no mapping drops.
+	bad := packet.BuildTCP(packet.MakeIPv4Addr(93, 184, 216, 34), extIP, 443, 999, packet.TCPOptions{})
+	r, _ = p.Exec(&ir.Env{State: st, Pkt: bad})
+	if r.Action != ir.ActionDropped {
+		t.Errorf("unmapped inbound action = %v, want dropped", r.Action)
+	}
+
+	// Non-TCP/UDP drops.
+	icmp := packet.BuildTCP(packet.MakeIPv4Addr(10, 0, 0, 5), 2, 1, 2, packet.TCPOptions{})
+	icmp.IP.Protocol = 1
+	icmp.HasTCP = false
+	r, _ = p.Exec(&ir.Env{State: st, Pkt: icmp})
+	if r.Action != ir.ActionDropped {
+		t.Errorf("icmp action = %v, want dropped", r.Action)
+	}
+}
+
+func TestL4LBConnectionConsistencyAndGC(t *testing.T) {
+	p, err := Compile("l4lb")
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := ir.NewState(p)
+	ConfigureState("l4lb", st)
+	vip := packet.MakeIPv4Addr(10, 0, 2, 2)
+	client := packet.MakeIPv4Addr(172, 16, 0, 9)
+
+	syn := packet.BuildTCP(client, vip, 5000, 80, packet.TCPOptions{Flags: packet.TCPFlagSYN})
+	if _, err := p.Exec(&ir.Env{State: st, Pkt: syn}); err != nil {
+		t.Fatal(err)
+	}
+	chosen := syn.IP.DstIP
+	found := false
+	for _, b := range Backends {
+		if uint64(chosen) == b {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("daddr %v is not a backend", chosen)
+	}
+	if len(st.Maps["conns"]) != 1 {
+		t.Fatalf("conns entries = %d", len(st.Maps["conns"]))
+	}
+
+	// Data packets stick to the same backend.
+	for i := 0; i < 5; i++ {
+		data := packet.BuildTCP(client, vip, 5000, 80, packet.TCPOptions{Flags: packet.TCPFlagACK})
+		if _, err := p.Exec(&ir.Env{State: st, Pkt: data}); err != nil {
+			t.Fatal(err)
+		}
+		if data.IP.DstIP != chosen {
+			t.Fatalf("data packet steered to %v, want %v", data.IP.DstIP, chosen)
+		}
+	}
+
+	// FIN tears the entry down.
+	fin := packet.BuildTCP(client, vip, 5000, 80, packet.TCPOptions{Flags: packet.TCPFlagFIN | packet.TCPFlagACK})
+	if _, err := p.Exec(&ir.Env{State: st, Pkt: fin}); err != nil {
+		t.Fatal(err)
+	}
+	if fin.IP.DstIP != chosen {
+		t.Errorf("FIN steered to %v, want %v", fin.IP.DstIP, chosen)
+	}
+	if len(st.Maps["conns"]) != 0 {
+		t.Errorf("conns entries = %d after FIN, want 0", len(st.Maps["conns"]))
+	}
+
+	// UDP flows balance too.
+	udp := packet.BuildUDP(client, vip, 6000, 53, nil)
+	if _, err := p.Exec(&ir.Env{State: st, Pkt: udp}); err != nil {
+		t.Fatal(err)
+	}
+	if len(st.Maps["conns"]) != 1 {
+		t.Errorf("udp flow not tracked")
+	}
+}
+
+func TestFirewallWhitelist(t *testing.T) {
+	p, err := Compile("firewall")
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := ir.NewState(p)
+	allowed := packet.FiveTuple{
+		SrcIP: packet.MakeIPv4Addr(10, 0, 0, 1), DstIP: packet.MakeIPv4Addr(8, 8, 8, 8),
+		SrcPort: 1234, DstPort: 53, Proto: packet.IPProtocolUDP,
+	}
+	AllowFlow(st, allowed)
+
+	ok := packet.BuildUDP(allowed.SrcIP, allowed.DstIP, allowed.SrcPort, allowed.DstPort, nil)
+	r, err := p.Exec(&ir.Env{State: st, Pkt: ok})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Action != ir.ActionSent {
+		t.Errorf("whitelisted flow action = %v", r.Action)
+	}
+
+	// Same packet, different port: dropped.
+	bad := packet.BuildUDP(allowed.SrcIP, allowed.DstIP, allowed.SrcPort, 54, nil)
+	r, _ = p.Exec(&ir.Env{State: st, Pkt: bad})
+	if r.Action != ir.ActionDropped {
+		t.Errorf("non-whitelisted flow action = %v", r.Action)
+	}
+
+	// Inbound direction uses wl_in.
+	inbound := packet.FiveTuple{
+		SrcIP: packet.MakeIPv4Addr(8, 8, 8, 8), DstIP: packet.MakeIPv4Addr(10, 0, 0, 1),
+		SrcPort: 53, DstPort: 1234, Proto: packet.IPProtocolUDP,
+	}
+	AllowFlow(st, inbound)
+	inPkt := packet.BuildUDP(inbound.SrcIP, inbound.DstIP, inbound.SrcPort, inbound.DstPort, nil)
+	r, _ = p.Exec(&ir.Env{State: st, Pkt: inPkt})
+	if r.Action != ir.ActionSent {
+		t.Errorf("inbound whitelisted flow action = %v", r.Action)
+	}
+}
+
+func TestProxyRedirect(t *testing.T) {
+	p, err := Compile("proxy")
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := ir.NewState(p)
+	RedirectPort(st, 80)
+
+	web := packet.BuildTCP(packet.MakeIPv4Addr(172, 16, 0, 1), packet.MakeIPv4Addr(5, 5, 5, 5), 1111, 80, packet.TCPOptions{})
+	if _, err := p.Exec(&ir.Env{State: st, Pkt: web}); err != nil {
+		t.Fatal(err)
+	}
+	if web.IP.DstIP != packet.MakeIPv4Addr(10, 0, 0, 99) || web.TCP.DstPort != 3128 {
+		t.Errorf("web traffic not redirected: %v:%d", web.IP.DstIP, web.TCP.DstPort)
+	}
+
+	ssh := packet.BuildTCP(packet.MakeIPv4Addr(172, 16, 0, 1), packet.MakeIPv4Addr(5, 5, 5, 5), 1111, 22, packet.TCPOptions{})
+	if _, err := p.Exec(&ir.Env{State: st, Pkt: ssh}); err != nil {
+		t.Fatal(err)
+	}
+	if ssh.IP.DstIP != packet.MakeIPv4Addr(5, 5, 5, 5) || ssh.TCP.DstPort != 22 {
+		t.Errorf("ssh traffic modified: %v:%d", ssh.IP.DstIP, ssh.TCP.DstPort)
+	}
+}
+
+func TestTrojanDetectorStateMachine(t *testing.T) {
+	p, err := Compile("trojandetector")
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := ir.NewState(p)
+	host := packet.MakeIPv4Addr(10, 0, 0, 77)
+	server := packet.MakeIPv4Addr(44, 44, 44, 44)
+
+	exec := func(pkt *packet.Packet) ir.Action {
+		t.Helper()
+		r, err := p.Exec(&ir.Env{State: st, Pkt: pkt})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return r.Action
+	}
+
+	// (1) SSH connection marks the host.
+	exec(packet.BuildTCP(host, server, 4000, 22, packet.TCPOptions{Flags: packet.TCPFlagSYN}))
+	if v := st.Maps["hoststate"][ir.MakeMapKey(uint64(host))]; len(v) == 0 || v[0] != 1 {
+		t.Fatalf("hoststate after SSH = %v, want [1]", v)
+	}
+
+	// (2) HTTP download of an exe advances the machine (flow must be
+	// established first via SYN).
+	exec(packet.BuildTCP(host, server, 4001, 8080, packet.TCPOptions{Flags: packet.TCPFlagSYN}))
+	a := exec(packet.BuildTCP(host, server, 4001, 8080, packet.TCPOptions{Flags: packet.TCPFlagACK, Payload: []byte("GET /malware.exe HTTP/1.1")}))
+	if a != ir.ActionSent {
+		t.Fatalf("download packet action = %v", a)
+	}
+	if v := st.Maps["hoststate"][ir.MakeMapKey(uint64(host))]; len(v) == 0 || v[0] != 2 {
+		t.Fatalf("hoststate after download = %v, want [2]", v)
+	}
+
+	// (3) IRC traffic from the suspect host is blocked.
+	exec(packet.BuildTCP(host, server, 4002, 6667, packet.TCPOptions{Flags: packet.TCPFlagSYN}))
+	a = exec(packet.BuildTCP(host, server, 4002, 6667, packet.TCPOptions{Flags: packet.TCPFlagACK, Payload: []byte("JOIN #botnet")}))
+	if a != ir.ActionDropped {
+		t.Errorf("IRC packet action = %v, want dropped", a)
+	}
+
+	// An innocent host's data packets pass.
+	clean := packet.MakeIPv4Addr(10, 0, 0, 78)
+	exec(packet.BuildTCP(clean, server, 4003, 80, packet.TCPOptions{Flags: packet.TCPFlagSYN}))
+	a = exec(packet.BuildTCP(clean, server, 4003, 80, packet.TCPOptions{Flags: packet.TCPFlagACK, Payload: []byte("GET / HTTP/1.1")}))
+	if a != ir.ActionSent {
+		t.Errorf("clean host packet action = %v", a)
+	}
+
+	// Data packets with no established flow drop.
+	a = exec(packet.BuildTCP(clean, server, 4999, 80, packet.TCPOptions{Flags: packet.TCPFlagACK}))
+	if a != ir.ActionDropped {
+		t.Errorf("unestablished flow action = %v, want dropped", a)
+	}
+}
+
+// TestAllMiddleboxesPartitionedEquivalence drives randomized realistic
+// traffic through the reference interpreter and the partitioned pipeline
+// for every middlebox and demands identical behaviour and state — the
+// paper's functional-equivalence goal, end to end through the real
+// compiler front end.
+func TestAllMiddleboxesPartitionedEquivalence(t *testing.T) {
+	for _, s := range append(All(), Spec{Name: "minilb", Source: MiniLBSource}) {
+		t.Run(s.Name, func(t *testing.T) {
+			p, err := Compile(s.Name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			res, err := partition.Partition(p, partition.DefaultConstraints())
+			if err != nil {
+				t.Fatal(err)
+			}
+			stRef := ir.NewState(p)
+			stPart := ir.NewState(p)
+			ConfigureState(s.Name, stRef)
+			ConfigureState(s.Name, stPart)
+
+			rng := rand.New(rand.NewSource(99))
+			if s.Name == "firewall" {
+				// Pre-install rules for half the flows we will generate.
+				for i := 0; i < 32; i++ {
+					tup := genTuple(rng, i)
+					AllowFlow(stRef, tup)
+					AllowFlow(stPart, tup)
+				}
+				rng = rand.New(rand.NewSource(99)) // regenerate same flows
+			}
+			if s.Name == "proxy" {
+				RedirectPort(stRef, 80)
+				RedirectPort(stPart, 80)
+			}
+
+			fast := 0
+			for i := 0; i < 3000; i++ {
+				tup := genTuple(rng, i)
+				flags := packet.TCPFlagACK
+				switch rng.Intn(10) {
+				case 0:
+					flags = packet.TCPFlagSYN
+				case 1:
+					flags = packet.TCPFlagFIN | packet.TCPFlagACK
+				}
+				payloads := []string{"", "GET / HTTP/1.1", "GET /a.exe HTTP/1.1", "randomdata"}
+				var pktRef *packet.Packet
+				if tup.Proto == packet.IPProtocolUDP {
+					pktRef = packet.BuildUDP(tup.SrcIP, tup.DstIP, tup.SrcPort, tup.DstPort, []byte(payloads[rng.Intn(4)]))
+				} else {
+					pktRef = packet.BuildTCP(tup.SrcIP, tup.DstIP, tup.SrcPort, tup.DstPort,
+						packet.TCPOptions{Flags: flags, Payload: []byte(payloads[rng.Intn(4)])})
+				}
+				pktPart := pktRef.Clone()
+
+				rRef, err := p.Exec(&ir.Env{State: stRef, Pkt: pktRef})
+				if err != nil {
+					t.Fatalf("pkt %d (%v): reference: %v", i, tup, err)
+				}
+				tr, err := res.ExecPipeline(stPart, pktPart)
+				if err != nil {
+					t.Fatalf("pkt %d (%v): pipeline: %v", i, tup, err)
+				}
+				if rRef.Action != tr.Action {
+					t.Fatalf("pkt %d (%v): action ref=%v part=%v", i, tup, rRef.Action, tr.Action)
+				}
+				for _, f := range []string{"ip.saddr", "ip.daddr", "l4.sport", "l4.dport"} {
+					a, _ := pktRef.GetField(f)
+					b, _ := pktPart.GetField(f)
+					if a != b {
+						t.Fatalf("pkt %d (%v): field %s ref=%d part=%d", i, tup, f, a, b)
+					}
+				}
+				if tr.FastPath {
+					fast++
+				}
+			}
+			if !stRef.Equal(stPart) {
+				t.Fatal("final state mismatch")
+			}
+			t.Logf("%s: %.1f%% fast path", s.Name, 100*float64(fast)/3000)
+		})
+	}
+}
+
+func genTuple(rng *rand.Rand, i int) packet.FiveTuple {
+	proto := packet.IPProtocolTCP
+	if rng.Intn(5) == 0 {
+		proto = packet.IPProtocolUDP
+	}
+	// Mix of internal->external and external->internal traffic.
+	src := packet.MakeIPv4Addr(10, 0, 0, byte(1+rng.Intn(30)))
+	dst := packet.MakeIPv4Addr(93, 184, byte(rng.Intn(4)), byte(rng.Intn(30)))
+	if rng.Intn(3) == 0 {
+		src, dst = dst, packet.MakeIPv4Addr(203, 0, 113, 1)
+	}
+	ports := []uint16{80, 22, 443, 6667, 8080, 53}
+	return packet.FiveTuple{
+		SrcIP: src, DstIP: dst,
+		SrcPort: uint16(1024 + rng.Intn(64)), DstPort: ports[rng.Intn(len(ports))],
+		Proto: proto,
+	}
+}
+
+func TestIPGatewayLPMRouting(t *testing.T) {
+	p, err := Compile("ipgateway")
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := ir.NewState(p)
+	ConfigureState("ipgateway", st)
+
+	exec := func(dst packet.IPv4Addr) (*packet.Packet, ir.Action) {
+		t.Helper()
+		pkt := packet.BuildTCP(packet.MakeIPv4Addr(1, 1, 1, 1), dst, 1, 2, packet.TCPOptions{})
+		r, err := p.Exec(&ir.Env{State: st, Pkt: pkt})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return pkt, r.Action
+	}
+
+	// Longest prefix wins: /24 beats /8 beats default.
+	pkt, a := exec(packet.MakeIPv4Addr(10, 0, 1, 200))
+	if a != ir.ActionSent || pkt.IP.DstIP != packet.MakeIPv4Addr(192, 168, 0, 3) {
+		t.Errorf("/24 route: action=%v hop=%v", a, pkt.IP.DstIP)
+	}
+	pkt, a = exec(packet.MakeIPv4Addr(10, 9, 9, 9))
+	if a != ir.ActionSent || pkt.IP.DstIP != packet.MakeIPv4Addr(192, 168, 0, 2) {
+		t.Errorf("/8 route: action=%v hop=%v", a, pkt.IP.DstIP)
+	}
+	pkt, a = exec(packet.MakeIPv4Addr(55, 5, 5, 5))
+	if a != ir.ActionSent || pkt.IP.DstIP != packet.MakeIPv4Addr(192, 168, 0, 1) {
+		t.Errorf("default route: action=%v hop=%v", a, pkt.IP.DstIP)
+	}
+	if pkt.IP.TTL != 63 {
+		t.Errorf("ttl = %d, want decremented 63", pkt.IP.TTL)
+	}
+
+	// Blocklisted source drops.
+	if st.Maps["blocklist"] == nil {
+		st.Maps["blocklist"] = map[ir.MapKey][]uint64{}
+	}
+	st.Maps["blocklist"][ir.MakeMapKey(uint64(packet.MakeIPv4Addr(6, 6, 6, 6)))] = []uint64{1}
+	bad := packet.BuildTCP(packet.MakeIPv4Addr(6, 6, 6, 6), packet.MakeIPv4Addr(10, 0, 0, 1), 1, 2, packet.TCPOptions{})
+	r, _ := p.Exec(&ir.Env{State: st, Pkt: bad})
+	if r.Action != ir.ActionDropped {
+		t.Errorf("blocklisted action = %v", r.Action)
+	}
+
+	// TTL 0 drops.
+	dead := packet.BuildTCP(1, packet.MakeIPv4Addr(10, 0, 0, 1), 1, 2, packet.TCPOptions{})
+	dead.IP.TTL = 0
+	r, _ = p.Exec(&ir.Env{State: st, Pkt: dead})
+	if r.Action != ir.ActionDropped {
+		t.Errorf("ttl0 action = %v", r.Action)
+	}
+}
+
+func TestIPGatewayFullyOffloaded(t *testing.T) {
+	p, err := Compile("ipgateway")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := partition.Partition(p, partition.DefaultConstraints())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// LPM matching is P4-native (§7): everything runs on the switch.
+	if res.Report.NumSrv != 0 {
+		t.Errorf("ipgateway: %d statements on the server, want 0", res.Report.NumSrv)
+	}
+	if len(res.OffloadedGlobals) != 2 {
+		t.Errorf("offloaded globals = %v", res.OffloadedGlobals)
+	}
+}
+
+func TestDDoSDetector(t *testing.T) {
+	p, err := Compile("ddosdetector")
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := ir.NewState(p)
+	attacker := packet.MakeIPv4Addr(66, 6, 6, 6)
+	victim := packet.MakeIPv4Addr(10, 0, 0, 1)
+
+	exec := func(flags uint8, sport uint16) ir.Action {
+		t.Helper()
+		pkt := packet.BuildTCP(attacker, victim, sport, 80, packet.TCPOptions{Flags: flags})
+		r, err := p.Exec(&ir.Env{State: st, Pkt: pkt})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return r.Action
+	}
+
+	// 100 SYNs pass and are counted; the 101st crosses the threshold.
+	for i := 0; i < 101; i++ {
+		if a := exec(packet.TCPFlagSYN, uint16(1000+i)); a != ir.ActionSent {
+			t.Fatalf("SYN %d action = %v", i, a)
+		}
+	}
+	if v := st.Maps["syn_count"][ir.MakeMapKey(uint64(attacker))]; len(v) == 0 || v[0] != 101 {
+		t.Fatalf("syn_count = %v, want 101", v)
+	}
+	if _, blocked := st.Maps["blocklist"][ir.MakeMapKey(uint64(attacker))]; !blocked {
+		t.Fatal("attacker not blocklisted after crossing the threshold")
+	}
+	// Every further packet from the attacker drops — including non-SYNs.
+	if a := exec(packet.TCPFlagSYN, 2000); a != ir.ActionDropped {
+		t.Errorf("post-block SYN action = %v", a)
+	}
+	if a := exec(packet.TCPFlagACK, 2000); a != ir.ActionDropped {
+		t.Errorf("post-block data action = %v", a)
+	}
+
+	// A benign host is unaffected.
+	benign := packet.BuildTCP(packet.MakeIPv4Addr(7, 7, 7, 7), victim, 1, 80, packet.TCPOptions{Flags: packet.TCPFlagACK})
+	r, _ := p.Exec(&ir.Env{State: st, Pkt: benign})
+	if r.Action != ir.ActionSent {
+		t.Errorf("benign action = %v", r.Action)
+	}
+}
+
+func TestDDoSDetectorPartitionAndEquivalence(t *testing.T) {
+	p, err := Compile("ddosdetector")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := partition.Partition(p, partition.DefaultConstraints())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The blocklist check and the SYN test run on the switch; counting
+	// (map writes) stays on the server. Blocked-source drops and non-SYN
+	// forwards are fast paths.
+	blockStmt, ok := res.SwitchAccess["blocklist"]
+	if !ok {
+		t.Fatal("blocklist not offloaded")
+	}
+	if res.Prog.Fn.Stmt(blockStmt).Kind != ir.MapFind {
+		t.Error("offloaded blocklist access should be the lookup")
+	}
+
+	stRef := ir.NewState(p)
+	stPart := ir.NewState(p)
+	rng := rand.New(rand.NewSource(21))
+	fast := 0
+	for i := 0; i < 3000; i++ {
+		src := packet.MakeIPv4Addr(50, 0, 0, byte(1+rng.Intn(6)))
+		flags := packet.TCPFlagACK
+		if rng.Intn(3) == 0 {
+			flags = packet.TCPFlagSYN
+		}
+		pktRef := packet.BuildTCP(src, packet.MakeIPv4Addr(10, 0, 0, 1), uint16(rng.Intn(100)), 80, packet.TCPOptions{Flags: flags})
+		pktPart := pktRef.Clone()
+		rRef, err := p.Exec(&ir.Env{State: stRef, Pkt: pktRef})
+		if err != nil {
+			t.Fatal(err)
+		}
+		tr, err := res.ExecPipeline(stPart, pktPart)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rRef.Action != tr.Action {
+			t.Fatalf("pkt %d: action ref=%v part=%v", i, rRef.Action, tr.Action)
+		}
+		if tr.FastPath {
+			fast++
+		}
+	}
+	if !stRef.Equal(stPart) {
+		t.Fatal("state mismatch")
+	}
+	// With ~1/3 SYNs and six hot sources crossing the threshold quickly,
+	// most traffic ends up fast-pathed (blocked drops + data forwards).
+	if float64(fast)/3000 < 0.5 {
+		t.Errorf("fast path only %d/3000", fast)
+	}
+	t.Logf("ddosdetector: %.1f%% fast path, blocked=%d sources", 100*float64(fast)/3000, len(stRef.Maps["blocklist"]))
+}

@@ -1,0 +1,465 @@
+package netsim
+
+import (
+	"errors"
+	"fmt"
+
+	"gallium/internal/ir"
+	"gallium/internal/packet"
+	"gallium/internal/partition"
+	"gallium/internal/serverrt"
+	"gallium/internal/switchsim"
+)
+
+// Mode selects the deployment under test.
+type Mode int
+
+// Deployment modes.
+const (
+	// Offloaded runs the Gallium-compiled switch+server pair.
+	Offloaded Mode = iota
+	// Software runs the unpartitioned middlebox on the server (the
+	// FastClick baseline), with the switch as a plain forwarder.
+	Software
+)
+
+// String implements fmt.Stringer.
+func (m Mode) String() string {
+	if m == Offloaded {
+		return "offloaded"
+	}
+	return "software"
+}
+
+// Config describes one testbed instance.
+type Config struct {
+	Model CostModel
+	Mode  Mode
+	// Cores is the middlebox server core count (the baseline sweeps 1/2/4;
+	// the offloaded middlebox uses a single core, as in the paper).
+	Cores int
+	// Res is required in Offloaded mode.
+	Res *partition.Result
+	// Prog is required in Software mode.
+	Prog *ir.Program
+	// Setup seeds middlebox state.
+	Setup func(st *ir.State)
+}
+
+// Delivery reports one packet's fate.
+type Delivery struct {
+	// Delivered is true when the packet reached the destination host.
+	Delivered bool
+	// MBDropped means the middlebox's logic dropped it (e.g. firewall).
+	MBDropped bool
+	// QueueDropped means the server ingress queue overflowed.
+	QueueDropped bool
+	// FastPath means the switch handled it without the server.
+	FastPath bool
+	// Time the packet reached the destination (ns).
+	DeliverNs int64
+	// LatencyNs is end-to-end (application to application).
+	LatencyNs int64
+}
+
+// Stats aggregates a run.
+type Stats struct {
+	Injected   int
+	Delivered  int
+	MBDrops    int
+	QueueDrops int
+	FastPath   int
+	SlowPath   int
+	// CtlRejected counts control-plane updates refused because the
+	// switch table was full; the flows stay server-handled.
+	CtlRejected  int
+	BytesIn      int64
+	BytesOut     int64
+	ServerCycles float64
+	CtlBatches   int
+	CtlOps       int
+	// FirstDeliverNs/LastDeliverNs frame the measurement window.
+	FirstDeliverNs, LastDeliverNs int64
+}
+
+// ThroughputBps is delivered goodput over the delivery window.
+func (s Stats) ThroughputBps() float64 {
+	if s.LastDeliverNs <= s.FirstDeliverNs {
+		return 0
+	}
+	return float64(s.BytesOut) * 8 / (float64(s.LastDeliverNs-s.FirstDeliverNs) / 1e9)
+}
+
+// pendingFlip is a control-plane visibility flip scheduled for the future.
+type pendingFlip struct {
+	atNs int64
+}
+
+// Testbed is the packet-level simulator: a time-ordered, single-pass model
+// of the Figure 1 topology. Packets must be injected in non-decreasing
+// timestamp order; queueing at the server is modeled with per-core
+// next-free times and the control plane with deferred visibility flips.
+type Testbed struct {
+	cfg Config
+
+	sw  *switchsim.Switch
+	srv *serverrt.Server
+	sft *serverrt.Software
+
+	coreFreeNs []int64
+	flips      []pendingFlip
+	lastInject int64
+	// jitterState drives deterministic endpoint-stack latency noise.
+	jitterState uint64
+
+	stats Stats
+}
+
+// stackNs returns the endpoint stack latency with deterministic jitter
+// (an xorshift stream scaled into ±StackJitterFrac/2).
+func (tb *Testbed) stackNs() float64 {
+	m := tb.cfg.Model
+	if m.StackJitterFrac == 0 {
+		return m.EndpointStackNs
+	}
+	x := tb.jitterState*2862933555777941757 + 3037000493
+	tb.jitterState = x
+	u := float64(x>>11) / float64(1<<53) // [0,1)
+	return m.EndpointStackNs * (1 + m.StackJitterFrac*(u-0.5))
+}
+
+// NewTestbed builds and configures a testbed.
+func NewTestbed(cfg Config) (*Testbed, error) {
+	if cfg.Cores <= 0 {
+		cfg.Cores = 1
+	}
+	tb := &Testbed{cfg: cfg, coreFreeNs: make([]int64, cfg.Cores)}
+	switch cfg.Mode {
+	case Offloaded:
+		if cfg.Res == nil {
+			return nil, fmt.Errorf("netsim: offloaded mode needs a partition result")
+		}
+		tb.sw = switchsim.New(cfg.Res)
+		tb.srv = serverrt.New(cfg.Res)
+		if cfg.Setup != nil {
+			cfg.Setup(tb.srv.State)
+			if err := tb.seedSwitch(); err != nil {
+				return nil, err
+			}
+		}
+	case Software:
+		if cfg.Prog == nil {
+			return nil, fmt.Errorf("netsim: software mode needs a program")
+		}
+		tb.sft = serverrt.NewSoftware(cfg.Prog)
+		if cfg.Setup != nil {
+			cfg.Setup(tb.sft.State)
+		}
+	}
+	return tb, nil
+}
+
+// seedSwitch copies configured replicated state onto the switch (initial
+// table contents install through the ordinary control plane, but before
+// traffic starts, so they are immediately merged).
+func (tb *Testbed) seedSwitch() error {
+	res := tb.cfg.Res
+	for _, gn := range res.OffloadedGlobals {
+		g := res.Prog.Global(gn)
+		switch g.Kind {
+		case ir.KindVec:
+			if err := tb.sw.LoadVector(gn, tb.srv.State.Vecs[gn]); err != nil {
+				return err
+			}
+		case ir.KindMap:
+			for k, v := range tb.srv.State.Maps[gn] {
+				if err := tb.sw.StageWriteback(switchsim.Update{Table: gn, Key: k, Vals: v}); err != nil {
+					return err
+				}
+			}
+		case ir.KindScalar:
+			if err := tb.sw.StageWriteback(switchsim.Update{Register: gn, RegVal: tb.srv.State.Globals[gn]}); err != nil {
+				return err
+			}
+		case ir.KindLPM:
+			if err := tb.sw.LoadLPM(gn, tb.srv.State.Lpms[gn]); err != nil {
+				return err
+			}
+		}
+	}
+	tb.sw.FlipVisibility()
+	tb.sw.MergeWriteback()
+	return nil
+}
+
+// applyFlips makes all control-plane batches whose flip time has passed
+// visible to the data plane.
+func (tb *Testbed) applyFlips(nowNs int64) {
+	kept := tb.flips[:0]
+	for _, f := range tb.flips {
+		if f.atNs <= nowNs {
+			tb.sw.FlipVisibility()
+			tb.sw.MergeWriteback()
+			tb.stats.CtlBatches++
+		} else {
+			kept = append(kept, f)
+		}
+	}
+	tb.flips = kept
+}
+
+// Inject runs one packet through the testbed, starting from the source
+// application at time tNs. Packets must arrive in time order.
+func (tb *Testbed) Inject(tNs int64, pkt *packet.Packet) (Delivery, error) {
+	if tNs < tb.lastInject {
+		return Delivery{}, fmt.Errorf("netsim: out-of-order injection (%d < %d)", tNs, tb.lastInject)
+	}
+	tb.lastInject = tNs
+	tb.stats.Injected++
+	size := pkt.WireLen()
+	tb.stats.BytesIn += int64(size)
+	m := tb.cfg.Model
+
+	// Source stack + first link.
+	t := float64(tNs) + tb.stackNs() + m.SerializationNs(size) + m.LinkPropNs
+
+	if tb.cfg.Mode == Software {
+		return tb.injectSoftware(tNs, int64(t), pkt)
+	}
+
+	// Switch pre-processing pass.
+	tb.applyFlips(int64(t))
+	pre, err := tb.sw.ProcessPre(pkt)
+	if err != nil {
+		return Delivery{}, err
+	}
+	t += m.SwitchPipelineNs
+	if pre.Punt {
+		return tb.injectPunt(tNs, t, pkt)
+	}
+	switch pre.Action {
+	case ir.ActionDropped:
+		tb.stats.MBDrops++
+		tb.stats.FastPath++
+		return Delivery{MBDropped: true, FastPath: true}, nil
+	case ir.ActionSent:
+		tb.stats.FastPath++
+		return tb.deliver(tNs, t, pkt, true)
+	}
+
+	// Slow path: switch → server link, server queue, service.
+	tb.stats.SlowPath++
+	t += m.SerializationNs(pkt.WireLen()) + m.LinkPropNs
+	tupleHash := rssHash(pkt)
+	core := int(tupleHash % uint64(len(tb.coreFreeNs)))
+	arrive := int64(t)
+	start := arrive
+	if tb.coreFreeNs[core] > start {
+		start = tb.coreFreeNs[core]
+	}
+	if float64(start-arrive) > m.MaxQueueDelayNs {
+		tb.stats.QueueDrops++
+		return Delivery{QueueDropped: true}, nil
+	}
+
+	rx, err := packet.DecodePacket(pkt.Serialize(), tb.cfg.Res.FormatA)
+	if err != nil {
+		return Delivery{}, fmt.Errorf("netsim: server rx: %w", err)
+	}
+	srvRes, err := tb.srv.Process(rx)
+	if err != nil {
+		return Delivery{}, err
+	}
+	// The core is busy only for the CPU service time; the fixed datapath
+	// latency (NIC, PCIe, DPDK polling) is pipelined on top.
+	busyUntil := start + int64(m.ServerServiceNs(srvRes.Steps))
+	tb.coreFreeNs[core] = busyUntil
+	done := busyUntil + int64(m.ServerDatapathNs)
+	tb.stats.ServerCycles += m.ServerCycles(srvRes.Steps)
+
+	release := done
+	if len(srvRes.Updates) > 0 {
+		// Stage now (invisible), flip later; output commit holds the
+		// packet until the flip (§4.3.3). A full table is a soft failure:
+		// that entry simply never reaches the switch.
+		staged := 0
+		for _, u := range srvRes.Updates {
+			if err := tb.sw.StageWriteback(u); err != nil {
+				if errors.Is(err, switchsim.ErrTableFull) {
+					tb.stats.CtlRejected++
+					continue
+				}
+				return Delivery{}, err
+			}
+			staged++
+		}
+		if staged > 0 {
+			tb.stats.CtlOps += staged
+			flipAt := done + int64(m.CtlBatchNs(staged))
+			tb.flips = append(tb.flips, pendingFlip{atNs: flipAt})
+			release = flipAt
+		}
+	}
+
+	switch srvRes.Action {
+	case ir.ActionDropped:
+		tb.stats.MBDrops++
+		return Delivery{MBDropped: true}, nil
+	case ir.ActionSent:
+		// Server-owned terminator: back through the switch as plain
+		// forwarding.
+		tRel := float64(release) + m.SerializationNs(rx.WireLen()) + m.LinkPropNs + m.SwitchPipelineNs
+		*pkt = *rx
+		return tb.deliver(tNs, tRel, pkt, false)
+	}
+
+	// Back to the switch for post-processing.
+	tBack := float64(release) + m.SerializationNs(rx.WireLen()) + m.LinkPropNs
+	tb.applyFlips(int64(tBack))
+	back, err := packet.DecodePacket(rx.Serialize(), tb.cfg.Res.FormatB)
+	if err != nil {
+		return Delivery{}, fmt.Errorf("netsim: switch rx from server: %w", err)
+	}
+	post, err := tb.sw.ProcessPost(back)
+	if err != nil {
+		return Delivery{}, err
+	}
+	tBack += m.SwitchPipelineNs
+	*pkt = *back
+	if post.Action == ir.ActionDropped {
+		tb.stats.MBDrops++
+		return Delivery{MBDropped: true}, nil
+	}
+	return tb.deliver(tNs, tBack, pkt, false)
+}
+
+// injectPunt handles a §7 cache-mode punt: the unmodified packet goes to
+// the server, which runs the full middlebox. Cache fills do not stall the
+// packet; synchronous updates do (output commit).
+func (tb *Testbed) injectPunt(tNs int64, t float64, pkt *packet.Packet) (Delivery, error) {
+	m := tb.cfg.Model
+	tb.stats.SlowPath++
+	t += m.SerializationNs(pkt.WireLen()) + m.LinkPropNs
+	core := int(rssHash(pkt) % uint64(len(tb.coreFreeNs)))
+	arrive := int64(t)
+	start := arrive
+	if tb.coreFreeNs[core] > start {
+		start = tb.coreFreeNs[core]
+	}
+	if float64(start-arrive) > m.MaxQueueDelayNs {
+		tb.stats.QueueDrops++
+		return Delivery{QueueDropped: true}, nil
+	}
+	rx, err := packet.DecodePacket(pkt.Serialize(), nil)
+	if err != nil {
+		return Delivery{}, fmt.Errorf("netsim: server rx (punt): %w", err)
+	}
+	res, err := tb.srv.ProcessFull(rx)
+	if err != nil {
+		return Delivery{}, err
+	}
+	busyUntil := start + int64(m.ServerServiceNs(res.Steps))
+	tb.coreFreeNs[core] = busyUntil
+	done := busyUntil + int64(m.ServerDatapathNs)
+	tb.stats.ServerCycles += m.ServerCycles(res.Steps)
+
+	release := done
+	fills, syncs := serverrt.ClassifyUpdates(tb.sw, res.Updates)
+	if len(fills)+len(syncs) > 0 {
+		staged := 0
+		for _, u := range append(fills, syncs...) {
+			if err := tb.sw.StageWriteback(u); err != nil {
+				if errors.Is(err, switchsim.ErrTableFull) {
+					tb.stats.CtlRejected++
+					continue
+				}
+				return Delivery{}, err
+			}
+			staged++
+		}
+		if staged > 0 {
+			tb.stats.CtlOps += staged
+			flipAt := done + int64(m.CtlBatchNs(staged))
+			tb.flips = append(tb.flips, pendingFlip{atNs: flipAt})
+			if len(syncs) > 0 {
+				// Output commit: only authoritative-visible changes stall.
+				release = flipAt
+			}
+		}
+	}
+	if res.Action == ir.ActionDropped {
+		tb.stats.MBDrops++
+		return Delivery{MBDropped: true}, nil
+	}
+	// Back out through the switch as plain forwarding.
+	tOut := float64(release) + m.SerializationNs(rx.WireLen()) + m.LinkPropNs + m.SwitchPipelineNs
+	*pkt = *rx
+	return tb.deliver(tNs, tOut, pkt, false)
+}
+
+func (tb *Testbed) injectSoftware(tNs int64, arriveSwitch int64, pkt *packet.Packet) (Delivery, error) {
+	m := tb.cfg.Model
+	// Plain forwarding through the switch to the server.
+	t := float64(arriveSwitch) + m.SwitchPipelineNs + m.SerializationNs(pkt.WireLen()) + m.LinkPropNs
+	core := int(rssHash(pkt) % uint64(len(tb.coreFreeNs)))
+	arrive := int64(t)
+	start := arrive
+	if tb.coreFreeNs[core] > start {
+		start = tb.coreFreeNs[core]
+	}
+	if float64(start-arrive) > m.MaxQueueDelayNs {
+		tb.stats.QueueDrops++
+		return Delivery{QueueDropped: true}, nil
+	}
+	res, err := tb.sft.Process(pkt)
+	if err != nil {
+		return Delivery{}, err
+	}
+	busyUntil := start + int64(m.ServerServiceNs(res.Steps))
+	tb.coreFreeNs[core] = busyUntil
+	done := busyUntil + int64(m.ServerDatapathNs)
+	tb.stats.ServerCycles += m.ServerCycles(res.Steps)
+	tb.stats.SlowPath++
+	if res.Action == ir.ActionDropped {
+		tb.stats.MBDrops++
+		return Delivery{MBDropped: true}, nil
+	}
+	tOut := float64(done) + m.SerializationNs(pkt.WireLen()) + m.LinkPropNs + m.SwitchPipelineNs
+	return tb.deliver(tNs, tOut, pkt, false)
+}
+
+// deliver carries the packet over the final link into the sink host.
+func (tb *Testbed) deliver(tInject int64, t float64, pkt *packet.Packet, fast bool) (Delivery, error) {
+	m := tb.cfg.Model
+	t += m.SerializationNs(pkt.WireLen()) + m.LinkPropNs + tb.stackNs()
+	d := Delivery{Delivered: true, FastPath: fast, DeliverNs: int64(t), LatencyNs: int64(t) - tInject}
+	tb.stats.Delivered++
+	tb.stats.BytesOut += int64(pkt.WireLen())
+	if tb.stats.FirstDeliverNs == 0 || d.DeliverNs < tb.stats.FirstDeliverNs {
+		tb.stats.FirstDeliverNs = d.DeliverNs
+	}
+	if d.DeliverNs > tb.stats.LastDeliverNs {
+		tb.stats.LastDeliverNs = d.DeliverNs
+	}
+	return d, nil
+}
+
+// Stats returns the run counters so far.
+func (tb *Testbed) Stats() Stats { return tb.stats }
+
+// SwitchStats exposes the switch counters (offloaded mode only).
+func (tb *Testbed) SwitchStats() (switchsim.Stats, bool) {
+	if tb.sw == nil {
+		return switchsim.Stats{}, false
+	}
+	return tb.sw.Stats(), true
+}
+
+// rssHash steers a packet to a server core, keeping both directions of a
+// connection together (symmetric hash), like NIC RSS.
+func rssHash(pkt *packet.Packet) uint64 {
+	if tup, ok := pkt.Tuple(); ok {
+		return tup.SymmetricHash()
+	}
+	return uint64(pkt.IP.SrcIP) * 2654435761
+}

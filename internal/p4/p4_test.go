@@ -1,0 +1,162 @@
+package p4
+
+import (
+	"strings"
+	"testing"
+
+	"gallium/internal/lang"
+	"gallium/internal/middleboxes"
+	"gallium/internal/partition"
+)
+
+func generate(t *testing.T, name string) (*partition.Result, *Program) {
+	t.Helper()
+	prog, err := lang.Compile(mustSource(t, name))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := partition.Partition(prog, partition.DefaultConstraints())
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := Generate(res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res, p
+}
+
+func mustSource(t *testing.T, name string) string {
+	t.Helper()
+	s, err := middleboxes.Lookup(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s.Source
+}
+
+func TestGenerateMiniLB(t *testing.T) {
+	res, p := generate(t, "minilb")
+	// The connection map becomes an exact-match table.
+	tbl, ok := p.TableFor("conn")
+	if !ok {
+		t.Fatal("no table for conn map")
+	}
+	if tbl.Entries() != 65536 {
+		t.Errorf("table size = %d", tbl.Entries())
+	}
+	if len(tbl.KeyBits) != 1 || tbl.KeyBits[0] != 16 {
+		t.Errorf("key bits = %v", tbl.KeyBits)
+	}
+	if len(tbl.ValBits) != 1 || tbl.ValBits[0] != 32 {
+		t.Errorf("val bits = %v", tbl.ValBits)
+	}
+	// The vector length is read on the switch via a register.
+	if _, ok := p.RegisterFor("backends"); !ok {
+		t.Error("no register for backends length")
+	}
+	// Source structure.
+	for _, want := range []string{
+		"#include <v1model.p4>",
+		"header gallium_a_t",
+		"header gallium_b_t",
+		"table tbl_conn",
+		"size = 65536;",
+		"ingress_port == SERVER_PORT",
+		"mark_to_drop", // drop primitive appears (implicit drop path)
+		"hdr.ipv4.dstAddr",
+	} {
+		if !strings.Contains(p.Source, want) {
+			t.Errorf("P4 source missing %q", want)
+		}
+	}
+	if res.FormatA.DataLen() > 0 && !strings.Contains(p.Source, "bit<32> hash32") {
+		t.Errorf("gallium_a header missing hash32 field:\n%s", sectionAround(p.Source, "gallium_a_t"))
+	}
+}
+
+func sectionAround(src, marker string) string {
+	i := strings.Index(src, marker)
+	if i < 0 {
+		return ""
+	}
+	end := i + 400
+	if end > len(src) {
+		end = len(src)
+	}
+	return src[i:end]
+}
+
+func TestGenerateMazuNAT(t *testing.T) {
+	_, p := generate(t, "mazunat")
+	if _, ok := p.TableFor("nat_fwd"); !ok {
+		t.Error("no table for nat_fwd")
+	}
+	if _, ok := p.TableFor("nat_rev"); !ok {
+		t.Error("no table for nat_rev")
+	}
+	// The port counter offloads as a register (§6.2).
+	if _, ok := p.RegisterFor("next_port"); !ok {
+		t.Error("no register for next_port counter")
+	}
+	if p.Resources.MemoryBytes == 0 {
+		t.Error("no switch memory accounted")
+	}
+}
+
+func TestGenerateFirewallIsPureSwitch(t *testing.T) {
+	res, p := generate(t, "firewall")
+	if len(p.Tables) != 2 {
+		t.Errorf("tables = %d, want 2 (both directions)", len(p.Tables))
+	}
+	// No transfers at all: nothing ever reaches the server.
+	if res.FormatA.DataLen() != 0 {
+		t.Errorf("firewall transfer A = %d bytes, want 0", res.FormatA.DataLen())
+	}
+	if !strings.Contains(p.Source, "tbl_wl_in") || !strings.Contains(p.Source, "tbl_wl_out") {
+		t.Error("missing direction tables in source")
+	}
+}
+
+func TestLinesOfCodeCountsNonBlank(t *testing.T) {
+	_, p := generate(t, "proxy")
+	if loc := p.LinesOfCode(); loc < 50 {
+		t.Errorf("proxy P4 LoC = %d, suspiciously small", loc)
+	}
+	blank := Program{Source: "a\n\n\nb\n"}
+	if blank.LinesOfCode() != 2 {
+		t.Errorf("LinesOfCode = %d, want 2", blank.LinesOfCode())
+	}
+}
+
+func TestAllMiddleboxesGenerate(t *testing.T) {
+	for _, s := range middleboxes.All() {
+		_, p := generate(t, s.Name)
+		if p.LinesOfCode() == 0 {
+			t.Errorf("%s: empty P4 program", s.Name)
+		}
+		if p.Resources.PipelineDepth > partition.DefaultConstraints().PipelineDepth {
+			t.Errorf("%s: depth %d over budget", s.Name, p.Resources.PipelineDepth)
+		}
+		if p.Resources.TransferABits > 20*8 || p.Resources.TransferBBits > 20*8 {
+			t.Errorf("%s: transfers over the 20-byte budget", s.Name)
+		}
+	}
+}
+
+func TestGenerateIPGatewayLPM(t *testing.T) {
+	_, p := generate(t, "ipgateway")
+	tbl, ok := p.TableFor("routes")
+	if !ok {
+		t.Fatal("no table for routes")
+	}
+	if !tbl.Lpm {
+		t.Error("routes table should use lpm matching")
+	}
+	if !strings.Contains(p.Source, ": lpm;") {
+		t.Error("P4 source lacks an lpm match key")
+	}
+	if !strings.Contains(p.Source, "tbl_routes") || !strings.Contains(p.Source, "tbl_blocklist") {
+		t.Error("missing tables in source")
+	}
+}

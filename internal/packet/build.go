@@ -1,0 +1,52 @@
+package packet
+
+// Builders used by traffic generators and tests.
+
+// TCPOptions configures BuildTCP.
+type TCPOptions struct {
+	Flags   uint8
+	Seq     uint32
+	Ack     uint32
+	Window  uint16
+	Payload []byte
+}
+
+// BuildTCP constructs an Ethernet/IPv4/TCP packet for the given tuple.
+func BuildTCP(src, dst IPv4Addr, sport, dport uint16, opt TCPOptions) *Packet {
+	p := &Packet{HasIP: true, HasTCP: true}
+	p.Eth = Ethernet{EtherType: EtherTypeIPv4}
+	p.IP = IPv4{TTL: 64, Protocol: IPProtocolTCP, SrcIP: src, DstIP: dst,
+		Length: uint16(IPv4HeaderLen + TCPHeaderLen + len(opt.Payload))}
+	win := opt.Window
+	if win == 0 {
+		win = 65535
+	}
+	p.TCP = TCP{SrcPort: sport, DstPort: dport, Seq: opt.Seq, Ack: opt.Ack, Flags: opt.Flags, Window: win}
+	p.Payload = append([]byte(nil), opt.Payload...)
+	return p
+}
+
+// BuildUDP constructs an Ethernet/IPv4/UDP packet for the given tuple.
+func BuildUDP(src, dst IPv4Addr, sport, dport uint16, payload []byte) *Packet {
+	p := &Packet{HasIP: true, HasUDP: true}
+	p.Eth = Ethernet{EtherType: EtherTypeIPv4}
+	p.IP = IPv4{TTL: 64, Protocol: IPProtocolUDP, SrcIP: src, DstIP: dst,
+		Length: uint16(IPv4HeaderLen + UDPHeaderLen + len(payload))}
+	p.UDP = UDP{SrcPort: sport, DstPort: dport, Length: uint16(UDPHeaderLen + len(payload))}
+	p.Payload = append([]byte(nil), payload...)
+	return p
+}
+
+// PadTo grows the packet's payload so its wire length is exactly size bytes
+// (no-op if already at least that large).
+func (p *Packet) PadTo(size int) {
+	if n := p.WireLen(); n < size {
+		p.Payload = append(p.Payload, make([]byte, size-n)...)
+		if p.HasIP {
+			p.IP.Length += uint16(size - n)
+		}
+		if p.HasUDP {
+			p.UDP.Length += uint16(size - n)
+		}
+	}
+}

@@ -1,0 +1,85 @@
+package packet
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// EthernetHeaderLen is the length of an Ethernet II header.
+const EthernetHeaderLen = 14
+
+// EtherType identifies the protocol carried by an Ethernet frame.
+type EtherType uint16
+
+// EtherTypes used by the simulator.
+const (
+	EtherTypeIPv4 EtherType = 0x0800
+	// EtherTypeGallium marks a frame that carries a synthesized Gallium
+	// header between the Ethernet and IP headers. 0x88B5 is the IEEE
+	// "local experimental" EtherType.
+	EtherTypeGallium EtherType = 0x88B5
+)
+
+// MAC is a 48-bit Ethernet address.
+type MAC [6]byte
+
+// String formats the address in the usual colon-separated form.
+func (m MAC) String() string {
+	return fmt.Sprintf("%02x:%02x:%02x:%02x:%02x:%02x", m[0], m[1], m[2], m[3], m[4], m[5])
+}
+
+// Ethernet is an Ethernet II frame header.
+type Ethernet struct {
+	SrcMAC, DstMAC MAC
+	EtherType      EtherType
+
+	contents []byte
+	payload  []byte
+}
+
+// LayerType implements Layer.
+func (e *Ethernet) LayerType() LayerType { return LayerTypeEthernet }
+
+// LayerContents implements Layer.
+func (e *Ethernet) LayerContents() []byte { return e.contents }
+
+// LayerPayload implements Layer.
+func (e *Ethernet) LayerPayload() []byte { return e.payload }
+
+// CanDecode implements DecodingLayer.
+func (e *Ethernet) CanDecode() LayerType { return LayerTypeEthernet }
+
+// DecodeFromBytes implements DecodingLayer.
+func (e *Ethernet) DecodeFromBytes(data []byte) error {
+	if len(data) < EthernetHeaderLen {
+		return errTooShort(LayerTypeEthernet, EthernetHeaderLen, len(data))
+	}
+	copy(e.DstMAC[:], data[0:6])
+	copy(e.SrcMAC[:], data[6:12])
+	e.EtherType = EtherType(binary.BigEndian.Uint16(data[12:14]))
+	e.contents = data[:EthernetHeaderLen]
+	e.payload = data[EthernetHeaderLen:]
+	return nil
+}
+
+// NextLayerType implements DecodingLayer.
+func (e *Ethernet) NextLayerType() LayerType {
+	switch e.EtherType {
+	case EtherTypeIPv4:
+		return LayerTypeIPv4
+	case EtherTypeGallium:
+		return LayerTypeGallium
+	}
+	return LayerTypePayload
+}
+
+// SerializeTo appends the wire form of the header to b, treating the
+// current contents of b as this layer's payload (prepend-style, as in
+// gopacket). It returns the new slice.
+func (e *Ethernet) SerializeTo(b *SerializeBuffer) error {
+	hdr := b.PrependBytes(EthernetHeaderLen)
+	copy(hdr[0:6], e.DstMAC[:])
+	copy(hdr[6:12], e.SrcMAC[:])
+	binary.BigEndian.PutUint16(hdr[12:14], uint16(e.EtherType))
+	return nil
+}

@@ -1,0 +1,151 @@
+package packet
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// IPv4HeaderLen is the length of an IPv4 header without options.
+const IPv4HeaderLen = 20
+
+// IPProtocol identifies the transport protocol in an IPv4 header.
+type IPProtocol uint8
+
+// Transport protocols used by the simulator.
+const (
+	IPProtocolTCP IPProtocol = 6
+	IPProtocolUDP IPProtocol = 17
+)
+
+// IPv4Addr is an IPv4 address in host-independent form; the numeric value
+// uses network ordering semantics (a.b.c.d == a<<24|b<<16|c<<8|d).
+type IPv4Addr uint32
+
+// MakeIPv4Addr builds an address from its four dotted-quad octets.
+func MakeIPv4Addr(a, b, c, d byte) IPv4Addr {
+	return IPv4Addr(uint32(a)<<24 | uint32(b)<<16 | uint32(c)<<8 | uint32(d))
+}
+
+// String formats the address in dotted-quad form.
+func (a IPv4Addr) String() string {
+	return fmt.Sprintf("%d.%d.%d.%d", byte(a>>24), byte(a>>16), byte(a>>8), byte(a))
+}
+
+// IPv4 is an IPv4 header (options unsupported; IHL is always 5).
+type IPv4 struct {
+	TOS      uint8
+	Length   uint16 // total length including header
+	ID       uint16
+	Flags    uint8 // 3 bits
+	FragOff  uint16
+	TTL      uint8
+	Protocol IPProtocol
+	Checksum uint16
+	SrcIP    IPv4Addr
+	DstIP    IPv4Addr
+
+	contents []byte
+	payload  []byte
+}
+
+// LayerType implements Layer.
+func (ip *IPv4) LayerType() LayerType { return LayerTypeIPv4 }
+
+// LayerContents implements Layer.
+func (ip *IPv4) LayerContents() []byte { return ip.contents }
+
+// LayerPayload implements Layer.
+func (ip *IPv4) LayerPayload() []byte { return ip.payload }
+
+// CanDecode implements DecodingLayer.
+func (ip *IPv4) CanDecode() LayerType { return LayerTypeIPv4 }
+
+// DecodeFromBytes implements DecodingLayer.
+func (ip *IPv4) DecodeFromBytes(data []byte) error {
+	if len(data) < IPv4HeaderLen {
+		return errTooShort(LayerTypeIPv4, IPv4HeaderLen, len(data))
+	}
+	if v := data[0] >> 4; v != 4 {
+		return &DecodeError{Layer: LayerTypeIPv4, Msg: fmt.Sprintf("bad version %d", v)}
+	}
+	ihl := int(data[0]&0x0F) * 4
+	if ihl != IPv4HeaderLen {
+		return &DecodeError{Layer: LayerTypeIPv4, Msg: fmt.Sprintf("unsupported IHL %d", ihl)}
+	}
+	ip.TOS = data[1]
+	ip.Length = binary.BigEndian.Uint16(data[2:4])
+	ip.ID = binary.BigEndian.Uint16(data[4:6])
+	ff := binary.BigEndian.Uint16(data[6:8])
+	ip.Flags = uint8(ff >> 13)
+	ip.FragOff = ff & 0x1FFF
+	ip.TTL = data[8]
+	ip.Protocol = IPProtocol(data[9])
+	ip.Checksum = binary.BigEndian.Uint16(data[10:12])
+	ip.SrcIP = IPv4Addr(binary.BigEndian.Uint32(data[12:16]))
+	ip.DstIP = IPv4Addr(binary.BigEndian.Uint32(data[16:20]))
+	ip.contents = data[:IPv4HeaderLen]
+	end := int(ip.Length)
+	if end < IPv4HeaderLen || end > len(data) {
+		end = len(data)
+	}
+	ip.payload = data[IPv4HeaderLen:end]
+	return nil
+}
+
+// NextLayerType implements DecodingLayer.
+func (ip *IPv4) NextLayerType() LayerType {
+	switch ip.Protocol {
+	case IPProtocolTCP:
+		return LayerTypeTCP
+	case IPProtocolUDP:
+		return LayerTypeUDP
+	}
+	return LayerTypePayload
+}
+
+// SerializeTo prepends the wire form of the header to b. If fixLengths is
+// set the total-length field is computed from the current payload size, and
+// the header checksum is always recomputed.
+func (ip *IPv4) SerializeTo(b *SerializeBuffer, fixLengths bool) error {
+	payloadLen := len(b.Bytes())
+	hdr := b.PrependBytes(IPv4HeaderLen)
+	if fixLengths {
+		ip.Length = uint16(IPv4HeaderLen + payloadLen)
+	}
+	hdr[0] = 4<<4 | 5
+	hdr[1] = ip.TOS
+	binary.BigEndian.PutUint16(hdr[2:4], ip.Length)
+	binary.BigEndian.PutUint16(hdr[4:6], ip.ID)
+	binary.BigEndian.PutUint16(hdr[6:8], uint16(ip.Flags)<<13|ip.FragOff&0x1FFF)
+	hdr[8] = ip.TTL
+	hdr[9] = uint8(ip.Protocol)
+	hdr[10], hdr[11] = 0, 0
+	binary.BigEndian.PutUint32(hdr[12:16], uint32(ip.SrcIP))
+	binary.BigEndian.PutUint32(hdr[16:20], uint32(ip.DstIP))
+	ip.Checksum = ipChecksum(hdr)
+	binary.BigEndian.PutUint16(hdr[10:12], ip.Checksum)
+	return nil
+}
+
+// ipChecksum computes the standard Internet checksum over data.
+func ipChecksum(data []byte) uint16 {
+	var sum uint32
+	for i := 0; i+1 < len(data); i += 2 {
+		sum += uint32(binary.BigEndian.Uint16(data[i : i+2]))
+	}
+	if len(data)%2 == 1 {
+		sum += uint32(data[len(data)-1]) << 8
+	}
+	for sum > 0xFFFF {
+		sum = sum&0xFFFF + sum>>16
+	}
+	return ^uint16(sum)
+}
+
+// VerifyChecksum reports whether the decoded header's checksum is valid.
+func (ip *IPv4) VerifyChecksum() bool {
+	if len(ip.contents) < IPv4HeaderLen {
+		return false
+	}
+	return ipChecksum(ip.contents) == 0
+}

@@ -1,0 +1,262 @@
+package packet
+
+import (
+	"fmt"
+)
+
+// Packet is the mutable, decoded representation of a frame used throughout
+// the simulator: the switch pipeline and the server runtime both read and
+// rewrite header fields on it, and Serialize produces wire bytes again.
+type Packet struct {
+	Eth Ethernet
+
+	// HasGallium marks frames carrying the synthesized Gallium header on
+	// the switch-server link.
+	HasGallium bool
+	GalData    []byte
+
+	HasIP bool
+	IP    IPv4
+
+	HasTCP bool
+	TCP    TCP
+	HasUDP bool
+	UDP    UDP
+
+	Payload []byte
+}
+
+// DecodePacket parses wire bytes into a Packet. galFormat describes the
+// Gallium header layout and may be nil when no such header can appear.
+func DecodePacket(data []byte, galFormat *HeaderFormat) (*Packet, error) {
+	p := &Packet{}
+	if err := p.Eth.DecodeFromBytes(data); err != nil {
+		return nil, err
+	}
+	rest := p.Eth.LayerPayload()
+	next := p.Eth.NextLayerType()
+	if next == LayerTypeGallium {
+		if galFormat == nil {
+			return nil, &DecodeError{Layer: LayerTypeGallium, Msg: "gallium header present but no format given"}
+		}
+		g := NewGallium(galFormat)
+		if err := g.DecodeFromBytes(rest); err != nil {
+			return nil, err
+		}
+		p.HasGallium = true
+		p.GalData = append([]byte(nil), g.Data...)
+		rest = g.LayerPayload()
+		next = g.NextLayerType()
+	}
+	if next == LayerTypeIPv4 {
+		if err := p.IP.DecodeFromBytes(rest); err != nil {
+			return nil, err
+		}
+		p.HasIP = true
+		rest = p.IP.LayerPayload()
+		switch p.IP.NextLayerType() {
+		case LayerTypeTCP:
+			if err := p.TCP.DecodeFromBytes(rest); err != nil {
+				return nil, err
+			}
+			p.HasTCP = true
+			rest = p.TCP.LayerPayload()
+		case LayerTypeUDP:
+			if err := p.UDP.DecodeFromBytes(rest); err != nil {
+				return nil, err
+			}
+			p.HasUDP = true
+			rest = p.UDP.LayerPayload()
+		}
+	}
+	p.Payload = append([]byte(nil), rest...)
+	return p, nil
+}
+
+// Serialize assembles the packet back into wire bytes.
+func (p *Packet) Serialize() []byte {
+	b := NewSerializeBuffer()
+	b.PushPayload(p.Payload)
+	var ph *PseudoHeader
+	if p.HasIP {
+		ph = &PseudoHeader{SrcIP: p.IP.SrcIP, DstIP: p.IP.DstIP}
+	}
+	switch {
+	case p.HasTCP:
+		_ = p.TCP.SerializeTo(b, ph)
+	case p.HasUDP:
+		_ = p.UDP.SerializeTo(b, ph)
+	}
+	if p.HasIP {
+		_ = p.IP.SerializeTo(b, true)
+	}
+	if p.HasGallium {
+		g := &Gallium{NextEtherType: EtherTypeIPv4, Data: p.GalData}
+		if !p.HasIP {
+			g.NextEtherType = 0
+		}
+		_ = g.SerializeTo(b)
+		p.Eth.EtherType = EtherTypeGallium
+	} else if p.HasIP {
+		p.Eth.EtherType = EtherTypeIPv4
+	}
+	_ = p.Eth.SerializeTo(b)
+	return append([]byte(nil), b.Bytes()...)
+}
+
+// Clone returns a deep copy of the packet.
+func (p *Packet) Clone() *Packet {
+	q := *p
+	q.GalData = append([]byte(nil), p.GalData...)
+	q.Payload = append([]byte(nil), p.Payload...)
+	return &q
+}
+
+// WireLen returns the packet's on-wire size in bytes.
+func (p *Packet) WireLen() int {
+	n := EthernetHeaderLen + len(p.Payload)
+	if p.HasGallium {
+		n += GalliumHeaderBaseLen + len(p.GalData)
+	}
+	if p.HasIP {
+		n += IPv4HeaderLen
+	}
+	if p.HasTCP {
+		n += TCPHeaderLen
+	}
+	if p.HasUDP {
+		n += UDPHeaderLen
+	}
+	return n
+}
+
+// Tuple returns the packet's transport five-tuple; ok is false for
+// non-TCP/UDP packets.
+func (p *Packet) Tuple() (FiveTuple, bool) {
+	if !p.HasIP {
+		return FiveTuple{}, false
+	}
+	t := FiveTuple{SrcIP: p.IP.SrcIP, DstIP: p.IP.DstIP, Proto: p.IP.Protocol}
+	switch {
+	case p.HasTCP:
+		t.SrcPort, t.DstPort = p.TCP.SrcPort, p.TCP.DstPort
+	case p.HasUDP:
+		t.SrcPort, t.DstPort = p.UDP.SrcPort, p.UDP.DstPort
+	default:
+		return FiveTuple{}, false
+	}
+	return t, true
+}
+
+// AttachGallium adds an empty Gallium header of the given format to the
+// packet (all fields zero).
+func (p *Packet) AttachGallium(f *HeaderFormat) {
+	p.HasGallium = true
+	p.GalData = make([]byte, f.DataLen())
+}
+
+// StripGallium removes the Gallium header.
+func (p *Packet) StripGallium() {
+	p.HasGallium = false
+	p.GalData = nil
+}
+
+// headerFieldInfo describes a named packet header field usable by compiled
+// middlebox programs.
+type headerFieldInfo struct {
+	bits int
+	get  func(p *Packet) uint64
+	set  func(p *Packet, v uint64)
+}
+
+// headerFields is the table of packet header fields addressable from
+// MiniClick programs and compiled P4 pipelines. The names mirror the field
+// paths in the DSL (`p.ip.saddr` etc.).
+var headerFields = map[string]headerFieldInfo{
+	"ip.saddr":   {32, func(p *Packet) uint64 { return uint64(p.IP.SrcIP) }, func(p *Packet, v uint64) { p.IP.SrcIP = IPv4Addr(v) }},
+	"ip.daddr":   {32, func(p *Packet) uint64 { return uint64(p.IP.DstIP) }, func(p *Packet, v uint64) { p.IP.DstIP = IPv4Addr(v) }},
+	"ip.proto":   {8, func(p *Packet) uint64 { return uint64(p.IP.Protocol) }, func(p *Packet, v uint64) { p.IP.Protocol = IPProtocol(v) }},
+	"ip.ttl":     {8, func(p *Packet) uint64 { return uint64(p.IP.TTL) }, func(p *Packet, v uint64) { p.IP.TTL = uint8(v) }},
+	"ip.tos":     {8, func(p *Packet) uint64 { return uint64(p.IP.TOS) }, func(p *Packet, v uint64) { p.IP.TOS = uint8(v) }},
+	"ip.len":     {16, func(p *Packet) uint64 { return uint64(p.IP.Length) }, func(p *Packet, v uint64) { p.IP.Length = uint16(v) }},
+	"ip.id":      {16, func(p *Packet) uint64 { return uint64(p.IP.ID) }, func(p *Packet, v uint64) { p.IP.ID = uint16(v) }},
+	"tcp.sport":  {16, func(p *Packet) uint64 { return uint64(p.TCP.SrcPort) }, func(p *Packet, v uint64) { p.TCP.SrcPort = uint16(v) }},
+	"tcp.dport":  {16, func(p *Packet) uint64 { return uint64(p.TCP.DstPort) }, func(p *Packet, v uint64) { p.TCP.DstPort = uint16(v) }},
+	"tcp.seq":    {32, func(p *Packet) uint64 { return uint64(p.TCP.Seq) }, func(p *Packet, v uint64) { p.TCP.Seq = uint32(v) }},
+	"tcp.ack":    {32, func(p *Packet) uint64 { return uint64(p.TCP.Ack) }, func(p *Packet, v uint64) { p.TCP.Ack = uint32(v) }},
+	"tcp.flags":  {8, func(p *Packet) uint64 { return uint64(p.TCP.Flags) }, func(p *Packet, v uint64) { p.TCP.Flags = uint8(v) }},
+	"tcp.window": {16, func(p *Packet) uint64 { return uint64(p.TCP.Window) }, func(p *Packet, v uint64) { p.TCP.Window = uint16(v) }},
+	"udp.sport":  {16, func(p *Packet) uint64 { return uint64(p.UDP.SrcPort) }, func(p *Packet, v uint64) { p.UDP.SrcPort = uint16(v) }},
+	"udp.dport":  {16, func(p *Packet) uint64 { return uint64(p.UDP.DstPort) }, func(p *Packet, v uint64) { p.UDP.DstPort = uint16(v) }},
+	"udp.len":    {16, func(p *Packet) uint64 { return uint64(p.UDP.Length) }, func(p *Packet, v uint64) { p.UDP.Length = uint16(v) }},
+
+	// Unified transport ports: in P4 these are common metadata fields the
+	// parser fills from whichever L4 header is present, letting middlebox
+	// code treat TCP and UDP five-tuples uniformly.
+	"l4.sport": {16,
+		func(p *Packet) uint64 {
+			if p.HasUDP {
+				return uint64(p.UDP.SrcPort)
+			}
+			return uint64(p.TCP.SrcPort)
+		},
+		func(p *Packet, v uint64) {
+			if p.HasUDP {
+				p.UDP.SrcPort = uint16(v)
+			} else {
+				p.TCP.SrcPort = uint16(v)
+			}
+		}},
+	"l4.dport": {16,
+		func(p *Packet) uint64 {
+			if p.HasUDP {
+				return uint64(p.UDP.DstPort)
+			}
+			return uint64(p.TCP.DstPort)
+		},
+		func(p *Packet, v uint64) {
+			if p.HasUDP {
+				p.UDP.DstPort = uint16(v)
+			} else {
+				p.TCP.DstPort = uint16(v)
+			}
+		}},
+}
+
+// HeaderFieldBits reports the width in bits of a named header field, and
+// whether the name is known.
+func HeaderFieldBits(name string) (int, bool) {
+	f, ok := headerFields[name]
+	if !ok {
+		return 0, false
+	}
+	return f.bits, true
+}
+
+// HeaderFieldNames returns all addressable header field names.
+func HeaderFieldNames() []string {
+	names := make([]string, 0, len(headerFields))
+	for n := range headerFields {
+		names = append(names, n)
+	}
+	return names
+}
+
+// GetField reads a named header field from the packet.
+func (p *Packet) GetField(name string) (uint64, error) {
+	f, ok := headerFields[name]
+	if !ok {
+		return 0, fmt.Errorf("packet: unknown header field %q", name)
+	}
+	return f.get(p), nil
+}
+
+// SetField writes a named header field on the packet.
+func (p *Packet) SetField(name string, v uint64) error {
+	f, ok := headerFields[name]
+	if !ok {
+		return fmt.Errorf("packet: unknown header field %q", name)
+	}
+	f.set(p, v)
+	return nil
+}

@@ -1,0 +1,531 @@
+package packet
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestEthernetRoundTrip(t *testing.T) {
+	e := &Ethernet{
+		SrcMAC:    MAC{0x02, 0, 0, 0, 0, 1},
+		DstMAC:    MAC{0x02, 0, 0, 0, 0, 2},
+		EtherType: EtherTypeIPv4,
+	}
+	b := NewSerializeBuffer()
+	b.PushPayload([]byte("hello"))
+	if err := e.SerializeTo(b); err != nil {
+		t.Fatal(err)
+	}
+	var d Ethernet
+	if err := d.DecodeFromBytes(b.Bytes()); err != nil {
+		t.Fatal(err)
+	}
+	if d.SrcMAC != e.SrcMAC || d.DstMAC != e.DstMAC || d.EtherType != e.EtherType {
+		t.Errorf("roundtrip mismatch: got %+v want %+v", d, e)
+	}
+	if string(d.LayerPayload()) != "hello" {
+		t.Errorf("payload = %q", d.LayerPayload())
+	}
+}
+
+func TestEthernetTooShort(t *testing.T) {
+	var d Ethernet
+	if err := d.DecodeFromBytes(make([]byte, 10)); err == nil {
+		t.Fatal("want error for short frame")
+	}
+}
+
+func TestIPv4RoundTripAndChecksum(t *testing.T) {
+	ip := &IPv4{TOS: 3, ID: 42, TTL: 61, Protocol: IPProtocolTCP,
+		SrcIP: MakeIPv4Addr(10, 0, 0, 1), DstIP: MakeIPv4Addr(192, 168, 1, 9)}
+	b := NewSerializeBuffer()
+	b.PushPayload(bytes.Repeat([]byte{0xAB}, 30))
+	if err := ip.SerializeTo(b, true); err != nil {
+		t.Fatal(err)
+	}
+	var d IPv4
+	if err := d.DecodeFromBytes(b.Bytes()); err != nil {
+		t.Fatal(err)
+	}
+	if d.SrcIP != ip.SrcIP || d.DstIP != ip.DstIP || d.TTL != 61 || d.Protocol != IPProtocolTCP {
+		t.Errorf("roundtrip mismatch: %+v", d)
+	}
+	if d.Length != uint16(IPv4HeaderLen+30) {
+		t.Errorf("length = %d, want %d", d.Length, IPv4HeaderLen+30)
+	}
+	if !d.VerifyChecksum() {
+		t.Error("checksum did not verify")
+	}
+	// Corrupt a byte; checksum must fail.
+	raw := append([]byte(nil), b.Bytes()...)
+	raw[8] ^= 0xFF
+	var d2 IPv4
+	if err := d2.DecodeFromBytes(raw); err != nil {
+		t.Fatal(err)
+	}
+	if d2.VerifyChecksum() {
+		t.Error("checksum verified after corruption")
+	}
+}
+
+func TestIPv4BadVersion(t *testing.T) {
+	raw := make([]byte, IPv4HeaderLen)
+	raw[0] = 6 << 4
+	var d IPv4
+	if err := d.DecodeFromBytes(raw); err == nil {
+		t.Fatal("want error for bad version")
+	}
+}
+
+func TestTCPRoundTrip(t *testing.T) {
+	tc := &TCP{SrcPort: 1234, DstPort: 80, Seq: 7, Ack: 9, Flags: TCPFlagSYN | TCPFlagACK, Window: 512}
+	ph := &PseudoHeader{SrcIP: MakeIPv4Addr(1, 2, 3, 4), DstIP: MakeIPv4Addr(5, 6, 7, 8)}
+	b := NewSerializeBuffer()
+	b.PushPayload([]byte("GET /"))
+	if err := tc.SerializeTo(b, ph); err != nil {
+		t.Fatal(err)
+	}
+	var d TCP
+	if err := d.DecodeFromBytes(b.Bytes()); err != nil {
+		t.Fatal(err)
+	}
+	if d.SrcPort != 1234 || d.DstPort != 80 || d.Seq != 7 || d.Ack != 9 || !d.SYN() || !d.ACK() || d.FIN() || d.RST() {
+		t.Errorf("roundtrip mismatch: %+v", d)
+	}
+	if string(d.LayerPayload()) != "GET /" {
+		t.Errorf("payload = %q", d.LayerPayload())
+	}
+	// Checksum must validate: recompute over segment with same pseudo header.
+	if got := transportChecksum(zeroCheck(b.Bytes(), 16), ph, IPProtocolTCP); got != d.Checksum {
+		t.Errorf("checksum mismatch: computed %04x, header has %04x", got, d.Checksum)
+	}
+}
+
+// zeroCheck returns a copy of seg with the 16-bit checksum at off zeroed.
+func zeroCheck(seg []byte, off int) []byte {
+	c := append([]byte(nil), seg...)
+	c[off], c[off+1] = 0, 0
+	return c
+}
+
+func TestUDPRoundTrip(t *testing.T) {
+	u := &UDP{SrcPort: 53, DstPort: 5353}
+	ph := &PseudoHeader{SrcIP: MakeIPv4Addr(1, 2, 3, 4), DstIP: MakeIPv4Addr(5, 6, 7, 8)}
+	b := NewSerializeBuffer()
+	b.PushPayload([]byte{1, 2, 3})
+	if err := u.SerializeTo(b, ph); err != nil {
+		t.Fatal(err)
+	}
+	var d UDP
+	if err := d.DecodeFromBytes(b.Bytes()); err != nil {
+		t.Fatal(err)
+	}
+	if d.SrcPort != 53 || d.DstPort != 5353 || d.Length != UDPHeaderLen+3 {
+		t.Errorf("roundtrip mismatch: %+v", d)
+	}
+}
+
+func TestHeaderFormatBitPacking(t *testing.T) {
+	f, err := NewHeaderFormat([]HeaderField{{"cond", 1}, {"hash32", 32}, {"port", 16}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.DataLen() != 7 { // 49 bits -> 7 bytes
+		t.Fatalf("DataLen = %d, want 7", f.DataLen())
+	}
+	data := make([]byte, f.DataLen())
+	if err := f.Set(data, "cond", 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Set(data, "hash32", 0xDEADBEEF); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Set(data, "port", 4242); err != nil {
+		t.Fatal(err)
+	}
+	for name, want := range map[string]uint64{"cond": 1, "hash32": 0xDEADBEEF, "port": 4242} {
+		got, err := f.Get(data, name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != want {
+			t.Errorf("%s = %#x, want %#x", name, got, want)
+		}
+	}
+	// Overwriting one field must not clobber neighbors.
+	if err := f.Set(data, "hash32", 0); err != nil {
+		t.Fatal(err)
+	}
+	if got, _ := f.Get(data, "cond"); got != 1 {
+		t.Error("cond clobbered by hash32 write")
+	}
+	if got, _ := f.Get(data, "port"); got != 4242 {
+		t.Error("port clobbered by hash32 write")
+	}
+}
+
+func TestHeaderFormatRejectsOversize(t *testing.T) {
+	fields := make([]HeaderField, 6)
+	for i := range fields {
+		fields[i] = HeaderField{Name: string(rune('a' + i)), Bits: 32}
+	}
+	// 6*32 bits = 24 bytes > 20-byte Constraint 5 limit.
+	if _, err := NewHeaderFormat(fields); err == nil {
+		t.Fatal("want error for >20-byte format")
+	}
+}
+
+func TestHeaderFormatRejectsDuplicates(t *testing.T) {
+	if _, err := NewHeaderFormat([]HeaderField{{"x", 8}, {"x", 8}}); err == nil {
+		t.Fatal("want error for duplicate field")
+	}
+}
+
+func TestHeaderFormatPropertyRoundTrip(t *testing.T) {
+	f, err := NewHeaderFormat([]HeaderField{{"a", 3}, {"b", 17}, {"c", 32}, {"d", 9}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	prop := func(a, b, c, d uint64) bool {
+		data := make([]byte, f.DataLen())
+		vals := map[string]uint64{"a": a & 0x7, "b": b & 0x1FFFF, "c": c & 0xFFFFFFFF, "d": d & 0x1FF}
+		for k, v := range vals {
+			if err := f.Set(data, k, v); err != nil {
+				return false
+			}
+		}
+		for k, v := range vals {
+			got, err := f.Get(data, k)
+			if err != nil || got != v {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestGalliumLayerRoundTrip(t *testing.T) {
+	f, _ := NewHeaderFormat([]HeaderField{{"cond", 1}, {"hash32", 32}})
+	data := make([]byte, f.DataLen())
+	_ = f.Set(data, "hash32", 99)
+	g := &Gallium{NextEtherType: EtherTypeIPv4, Data: data}
+	b := NewSerializeBuffer()
+	b.PushPayload([]byte("ippart"))
+	if err := g.SerializeTo(b); err != nil {
+		t.Fatal(err)
+	}
+	d := NewGallium(f)
+	if err := d.DecodeFromBytes(b.Bytes()); err != nil {
+		t.Fatal(err)
+	}
+	if d.NextEtherType != EtherTypeIPv4 {
+		t.Errorf("NextEtherType = %#x", d.NextEtherType)
+	}
+	if got, _ := f.Get(d.Data, "hash32"); got != 99 {
+		t.Errorf("hash32 = %d", got)
+	}
+	if d.NextLayerType() != LayerTypeIPv4 {
+		t.Errorf("NextLayerType = %v", d.NextLayerType())
+	}
+}
+
+func TestDecodingLayerParserFullStack(t *testing.T) {
+	pkt := BuildTCP(MakeIPv4Addr(10, 0, 0, 1), MakeIPv4Addr(10, 0, 0, 2), 4000, 80,
+		TCPOptions{Flags: TCPFlagSYN, Payload: []byte("xyz")})
+	raw := pkt.Serialize()
+
+	var eth Ethernet
+	var ip IPv4
+	var tcp TCP
+	var pay Payload
+	parser := NewDecodingLayerParser(LayerTypeEthernet, &eth, &ip, &tcp, &pay)
+	var decoded []LayerType
+	if err := parser.DecodeLayers(raw, &decoded); err != nil {
+		t.Fatal(err)
+	}
+	want := []LayerType{LayerTypeEthernet, LayerTypeIPv4, LayerTypeTCP, LayerTypePayload}
+	if len(decoded) != len(want) {
+		t.Fatalf("decoded %v, want %v", decoded, want)
+	}
+	for i := range want {
+		if decoded[i] != want[i] {
+			t.Fatalf("decoded %v, want %v", decoded, want)
+		}
+	}
+	if ip.SrcIP != MakeIPv4Addr(10, 0, 0, 1) || tcp.DstPort != 80 || string(pay) != "xyz" {
+		t.Errorf("fields wrong: ip=%v tcp=%v pay=%q", ip.SrcIP, tcp.DstPort, pay)
+	}
+}
+
+func TestDecodingLayerParserUnsupported(t *testing.T) {
+	pkt := BuildUDP(MakeIPv4Addr(1, 1, 1, 1), MakeIPv4Addr(2, 2, 2, 2), 1, 2, nil)
+	raw := pkt.Serialize()
+	var eth Ethernet
+	var ip IPv4
+	parser := NewDecodingLayerParser(LayerTypeEthernet, &eth, &ip)
+	var decoded []LayerType
+	err := parser.DecodeLayers(raw, &decoded)
+	if _, ok := err.(UnsupportedLayerType); !ok {
+		t.Fatalf("err = %v, want UnsupportedLayerType", err)
+	}
+	parser.IgnoreUnsupported = true
+	if err := parser.DecodeLayers(raw, &decoded); err != nil {
+		t.Fatalf("with IgnoreUnsupported: %v", err)
+	}
+	if len(decoded) != 2 {
+		t.Errorf("decoded %v", decoded)
+	}
+}
+
+func TestPacketRoundTripTCP(t *testing.T) {
+	p := BuildTCP(MakeIPv4Addr(172, 16, 0, 5), MakeIPv4Addr(8, 8, 8, 8), 5555, 443,
+		TCPOptions{Flags: TCPFlagACK, Seq: 100, Ack: 200, Payload: []byte("data!")})
+	raw := p.Serialize()
+	q, err := DecodePacket(raw, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.IP.SrcIP != p.IP.SrcIP || q.TCP.SrcPort != 5555 || q.TCP.Seq != 100 || string(q.Payload) != "data!" {
+		t.Errorf("roundtrip mismatch: %+v", q)
+	}
+	tup, ok := q.Tuple()
+	if !ok || tup.Proto != IPProtocolTCP || tup.SrcPort != 5555 || tup.DstPort != 443 {
+		t.Errorf("tuple = %+v ok=%v", tup, ok)
+	}
+}
+
+func TestPacketRoundTripWithGallium(t *testing.T) {
+	f, _ := NewHeaderFormat([]HeaderField{{"cond", 1}, {"v", 32}})
+	p := BuildUDP(MakeIPv4Addr(10, 1, 0, 1), MakeIPv4Addr(10, 1, 0, 2), 9999, 53, []byte("q"))
+	p.AttachGallium(f)
+	if err := f.Set(p.GalData, "v", 777); err != nil {
+		t.Fatal(err)
+	}
+	raw := p.Serialize()
+	q, err := DecodePacket(raw, f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !q.HasGallium {
+		t.Fatal("gallium header lost")
+	}
+	if got, _ := f.Get(q.GalData, "v"); got != 777 {
+		t.Errorf("v = %d", got)
+	}
+	if !q.HasUDP || q.UDP.DstPort != 53 || string(q.Payload) != "q" {
+		t.Errorf("inner packet mismatch: %+v", q)
+	}
+	// Decoding a gallium frame without a format must fail loudly.
+	if _, err := DecodePacket(raw, nil); err == nil {
+		t.Error("want error decoding gallium frame with nil format")
+	}
+	q.StripGallium()
+	raw2 := q.Serialize()
+	r, err := DecodePacket(raw2, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.HasGallium {
+		t.Error("gallium header still present after strip")
+	}
+}
+
+func TestPacketCloneIsDeep(t *testing.T) {
+	p := BuildTCP(1, 2, 3, 4, TCPOptions{Payload: []byte("abc")})
+	q := p.Clone()
+	q.Payload[0] = 'X'
+	q.IP.SrcIP = 99
+	if p.Payload[0] != 'a' || p.IP.SrcIP != 1 {
+		t.Error("clone shares state with original")
+	}
+}
+
+func TestWireLen(t *testing.T) {
+	p := BuildTCP(1, 2, 3, 4, TCPOptions{Payload: make([]byte, 10)})
+	want := EthernetHeaderLen + IPv4HeaderLen + TCPHeaderLen + 10
+	if p.WireLen() != want {
+		t.Errorf("WireLen = %d, want %d", p.WireLen(), want)
+	}
+	if got := len(p.Serialize()); got != want {
+		t.Errorf("len(Serialize) = %d, want %d", got, want)
+	}
+	p.PadTo(200)
+	if p.WireLen() != 200 {
+		t.Errorf("after PadTo(200): WireLen = %d", p.WireLen())
+	}
+	if got := len(p.Serialize()); got != 200 {
+		t.Errorf("after PadTo(200): len(Serialize) = %d", got)
+	}
+}
+
+func TestFlowSymmetricHash(t *testing.T) {
+	src := NewIPv4Endpoint(MakeIPv4Addr(10, 0, 0, 1))
+	dst := NewIPv4Endpoint(MakeIPv4Addr(10, 0, 0, 2))
+	f, err := NewFlow(src, dst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.FastHash() != f.Reverse().FastHash() {
+		t.Error("flow FastHash not symmetric")
+	}
+	if f.Src() != src || f.Dst() != dst {
+		t.Error("endpoints lost")
+	}
+	if _, err := NewFlow(src, NewTCPPortEndpoint(80)); err == nil {
+		t.Error("want error for mismatched endpoint types")
+	}
+}
+
+func TestFiveTupleSymmetricHash(t *testing.T) {
+	a := FiveTuple{SrcIP: 1, DstIP: 2, SrcPort: 10, DstPort: 20, Proto: IPProtocolTCP}
+	if a.SymmetricHash() != a.Reverse().SymmetricHash() {
+		t.Error("SymmetricHash not symmetric")
+	}
+	if a.Hash() == a.Reverse().Hash() {
+		t.Error("Hash unexpectedly symmetric (collision in test vector)")
+	}
+	if a.Reverse().Reverse() != a {
+		t.Error("double reverse changed tuple")
+	}
+}
+
+func TestEndpointOrderingAndString(t *testing.T) {
+	a := NewIPv4Endpoint(MakeIPv4Addr(1, 2, 3, 4))
+	b := NewIPv4Endpoint(MakeIPv4Addr(1, 2, 3, 5))
+	if !a.LessThan(b) || b.LessThan(a) {
+		t.Error("LessThan ordering wrong")
+	}
+	if a.String() != "1.2.3.4" {
+		t.Errorf("String = %q", a.String())
+	}
+	if NewTCPPortEndpoint(80).String() != "80" {
+		t.Error("port endpoint string wrong")
+	}
+}
+
+func TestPacketSerializePropertyRandomTCP(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 200; i++ {
+		payload := make([]byte, rng.Intn(64))
+		rng.Read(payload)
+		p := BuildTCP(IPv4Addr(rng.Uint32()), IPv4Addr(rng.Uint32()),
+			uint16(rng.Intn(65536)), uint16(rng.Intn(65536)),
+			TCPOptions{Flags: uint8(rng.Intn(64)), Seq: rng.Uint32(), Ack: rng.Uint32(), Payload: payload})
+		q, err := DecodePacket(p.Serialize(), nil)
+		if err != nil {
+			t.Fatalf("iter %d: %v", i, err)
+		}
+		if q.IP.SrcIP != p.IP.SrcIP || q.IP.DstIP != p.IP.DstIP ||
+			q.TCP.SrcPort != p.TCP.SrcPort || q.TCP.DstPort != p.TCP.DstPort ||
+			q.TCP.Seq != p.TCP.Seq || q.TCP.Flags != p.TCP.Flags ||
+			!bytes.Equal(q.Payload, p.Payload) {
+			t.Fatalf("iter %d: roundtrip mismatch", i)
+		}
+		if !q.IP.VerifyChecksum() {
+			t.Fatalf("iter %d: bad IP checksum", i)
+		}
+	}
+}
+
+func TestHeaderFieldAccessors(t *testing.T) {
+	p := BuildTCP(MakeIPv4Addr(10, 0, 0, 1), MakeIPv4Addr(10, 0, 0, 2), 1000, 2000, TCPOptions{})
+	for name, want := range map[string]uint64{
+		"ip.saddr":  uint64(MakeIPv4Addr(10, 0, 0, 1)),
+		"ip.daddr":  uint64(MakeIPv4Addr(10, 0, 0, 2)),
+		"ip.proto":  uint64(IPProtocolTCP),
+		"tcp.sport": 1000, "tcp.dport": 2000,
+	} {
+		got, err := p.GetField(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != want {
+			t.Errorf("%s = %d, want %d", name, got, want)
+		}
+	}
+	if err := p.SetField("ip.daddr", uint64(MakeIPv4Addr(1, 1, 1, 1))); err != nil {
+		t.Fatal(err)
+	}
+	if p.IP.DstIP != MakeIPv4Addr(1, 1, 1, 1) {
+		t.Error("SetField did not apply")
+	}
+	if _, err := p.GetField("nosuch.field"); err == nil {
+		t.Error("want error for unknown field")
+	}
+	if _, ok := HeaderFieldBits("tcp.seq"); !ok {
+		t.Error("tcp.seq missing from field table")
+	}
+	if bits, _ := HeaderFieldBits("ip.saddr"); bits != 32 {
+		t.Errorf("ip.saddr bits = %d", bits)
+	}
+}
+
+func TestSerializeBufferGrowth(t *testing.T) {
+	b := NewSerializeBuffer()
+	big := b.PrependBytes(1000)
+	for i := range big {
+		big[i] = byte(i)
+	}
+	if len(b.Bytes()) != 1000 {
+		t.Fatalf("len = %d", len(b.Bytes()))
+	}
+	if b.Bytes()[999] != byte(999%256) {
+		t.Error("data lost in growth")
+	}
+	b.Clear()
+	if len(b.Bytes()) != 0 {
+		t.Error("Clear did not empty buffer")
+	}
+}
+
+func TestPcapRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewPcapWriter(&buf)
+	p1 := BuildTCP(MakeIPv4Addr(10, 0, 0, 1), MakeIPv4Addr(10, 0, 0, 2), 1, 2, TCPOptions{Payload: []byte("abc")})
+	p2 := BuildUDP(MakeIPv4Addr(10, 0, 0, 3), MakeIPv4Addr(10, 0, 0, 4), 3, 4, []byte("xy"))
+	if err := w.WritePacket(1_500_000_000, p1.Serialize()); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.WritePacket(2_000_123_000, p2.Serialize()); err != nil {
+		t.Fatal(err)
+	}
+	recs, err := ReadPcap(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 2 {
+		t.Fatalf("records = %d", len(recs))
+	}
+	if recs[0].TNs != 1_500_000_000 || recs[1].TNs != 2_000_123_000 {
+		t.Errorf("timestamps = %d, %d", recs[0].TNs, recs[1].TNs)
+	}
+	q, err := DecodePacket(recs[0].Data, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.TCP.DstPort != 2 || string(q.Payload) != "abc" {
+		t.Errorf("decoded first record wrong: %+v", q)
+	}
+	if _, err := DecodePacket(recs[1].Data, nil); err != nil {
+		t.Fatal(err)
+	}
+	// Negative timestamps rejected.
+	if err := w.WritePacket(-1, p1.Serialize()); err == nil {
+		t.Error("want error for negative timestamp")
+	}
+}
+
+func TestPcapReadErrors(t *testing.T) {
+	if _, err := ReadPcap(bytes.NewReader([]byte("short"))); err == nil {
+		t.Error("want error for truncated header")
+	}
+	bad := make([]byte, 24)
+	if _, err := ReadPcap(bytes.NewReader(bad)); err == nil {
+		t.Error("want error for bad magic")
+	}
+}

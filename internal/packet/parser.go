@@ -1,0 +1,71 @@
+package packet
+
+import "fmt"
+
+// DecodingLayerParser decodes a known stack of layers into preallocated
+// layer structs without allocating, mirroring gopacket's parser of the same
+// name. Construct it with the first layer type and the DecodingLayers it
+// should recognize; DecodeLayers then fills the structs in place and
+// reports which layer types were decoded, in order.
+type DecodingLayerParser struct {
+	first    LayerType
+	decoders map[LayerType]DecodingLayer
+	// Truncated is set when the packet ended before decoding completed.
+	Truncated bool
+	// IgnoreUnsupported stops decoding without error when a layer type has
+	// no registered decoder (otherwise an UnsupportedLayerType error is
+	// returned).
+	IgnoreUnsupported bool
+}
+
+// UnsupportedLayerType is returned by DecodeLayers when it reaches a layer
+// it has no decoder for.
+type UnsupportedLayerType LayerType
+
+// Error implements the error interface.
+func (t UnsupportedLayerType) Error() string {
+	return fmt.Sprintf("packet: no decoder for layer type %s", LayerType(t))
+}
+
+// NewDecodingLayerParser builds a parser starting at first with the given
+// decoders.
+func NewDecodingLayerParser(first LayerType, decoders ...DecodingLayer) *DecodingLayerParser {
+	p := &DecodingLayerParser{first: first, decoders: make(map[LayerType]DecodingLayer, len(decoders))}
+	for _, d := range decoders {
+		p.AddDecodingLayer(d)
+	}
+	return p
+}
+
+// AddDecodingLayer registers an additional decoder.
+func (p *DecodingLayerParser) AddDecodingLayer(d DecodingLayer) {
+	p.decoders[d.CanDecode()] = d
+}
+
+// DecodeLayers decodes data into the registered layers, appending the types
+// decoded to *decoded (which is truncated first).
+func (p *DecodingLayerParser) DecodeLayers(data []byte, decoded *[]LayerType) error {
+	*decoded = (*decoded)[:0]
+	p.Truncated = false
+	typ := p.first
+	for typ != LayerTypeZero && len(data) > 0 {
+		d, ok := p.decoders[typ]
+		if !ok {
+			if p.IgnoreUnsupported {
+				return nil
+			}
+			return UnsupportedLayerType(typ)
+		}
+		if err := d.DecodeFromBytes(data); err != nil {
+			if de, ok := err.(*DecodeError); ok {
+				p.Truncated = true
+				_ = de
+			}
+			return err
+		}
+		*decoded = append(*decoded, typ)
+		data = d.LayerPayload()
+		typ = d.NextLayerType()
+	}
+	return nil
+}

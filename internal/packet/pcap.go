@@ -1,0 +1,106 @@
+package packet
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+)
+
+// PcapWriter emits packets in the classic libpcap file format (LINKTYPE
+// Ethernet), so simulated traffic — including frames carrying the
+// synthesized Gallium headers — can be inspected with tcpdump/Wireshark.
+type PcapWriter struct {
+	w       io.Writer
+	snaplen uint32
+	wrote   bool
+}
+
+// NewPcapWriter wraps w; the file header is written lazily with the first
+// packet.
+func NewPcapWriter(w io.Writer) *PcapWriter {
+	return &PcapWriter{w: w, snaplen: 65535}
+}
+
+const (
+	pcapMagic        = 0xa1b2c3d4
+	pcapVersionMaj   = 2
+	pcapVersionMin   = 4
+	pcapLinkEthernet = 1
+)
+
+func (p *PcapWriter) writeHeader() error {
+	var hdr [24]byte
+	binary.LittleEndian.PutUint32(hdr[0:4], pcapMagic)
+	binary.LittleEndian.PutUint16(hdr[4:6], pcapVersionMaj)
+	binary.LittleEndian.PutUint16(hdr[6:8], pcapVersionMin)
+	// thiszone and sigfigs stay zero.
+	binary.LittleEndian.PutUint32(hdr[16:20], p.snaplen)
+	binary.LittleEndian.PutUint32(hdr[20:24], pcapLinkEthernet)
+	_, err := p.w.Write(hdr[:])
+	return err
+}
+
+// WritePacket appends one frame captured at the given simulation time.
+func (p *PcapWriter) WritePacket(tNs int64, data []byte) error {
+	if !p.wrote {
+		if err := p.writeHeader(); err != nil {
+			return err
+		}
+		p.wrote = true
+	}
+	if tNs < 0 {
+		return fmt.Errorf("packet: negative capture timestamp %d", tNs)
+	}
+	capLen := uint32(len(data))
+	if capLen > p.snaplen {
+		capLen = p.snaplen
+	}
+	var rec [16]byte
+	binary.LittleEndian.PutUint32(rec[0:4], uint32(tNs/1e9))
+	binary.LittleEndian.PutUint32(rec[4:8], uint32(tNs%1e9/1e3))
+	binary.LittleEndian.PutUint32(rec[8:12], capLen)
+	binary.LittleEndian.PutUint32(rec[12:16], uint32(len(data)))
+	if _, err := p.w.Write(rec[:]); err != nil {
+		return err
+	}
+	_, err := p.w.Write(data[:capLen])
+	return err
+}
+
+// PcapRecord is one parsed capture record.
+type PcapRecord struct {
+	TNs  int64
+	Data []byte
+}
+
+// ReadPcap parses a classic pcap stream back (used by tests and tools).
+func ReadPcap(r io.Reader) ([]PcapRecord, error) {
+	var hdr [24]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, err
+	}
+	if binary.LittleEndian.Uint32(hdr[0:4]) != pcapMagic {
+		return nil, fmt.Errorf("packet: bad pcap magic")
+	}
+	if ln := binary.LittleEndian.Uint32(hdr[20:24]); ln != pcapLinkEthernet {
+		return nil, fmt.Errorf("packet: unsupported link type %d", ln)
+	}
+	var out []PcapRecord
+	for {
+		var rec [16]byte
+		if _, err := io.ReadFull(r, rec[:]); err != nil {
+			if err == io.EOF {
+				return out, nil
+			}
+			return nil, err
+		}
+		sec := int64(binary.LittleEndian.Uint32(rec[0:4]))
+		usec := int64(binary.LittleEndian.Uint32(rec[4:8]))
+		capLen := binary.LittleEndian.Uint32(rec[8:12])
+		data := make([]byte, capLen)
+		if _, err := io.ReadFull(r, data); err != nil {
+			return nil, err
+		}
+		out = append(out, PcapRecord{TNs: sec*1e9 + usec*1e3, Data: data})
+	}
+}

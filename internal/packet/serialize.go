@@ -1,0 +1,56 @@
+package packet
+
+// SerializeBuffer builds packets back to front, as in gopacket: each layer
+// prepends its header bytes, treating the current buffer contents as its
+// payload. The buffer keeps headroom at the front so prepends rarely copy.
+type SerializeBuffer struct {
+	buf   []byte
+	start int
+}
+
+// NewSerializeBuffer returns an empty buffer with room for typical
+// header stacks.
+func NewSerializeBuffer() *SerializeBuffer {
+	const headroom = 128
+	return &SerializeBuffer{buf: make([]byte, headroom), start: headroom}
+}
+
+// Bytes returns the assembled packet so far.
+func (b *SerializeBuffer) Bytes() []byte { return b.buf[b.start:] }
+
+// Clear resets the buffer for reuse, preserving capacity.
+func (b *SerializeBuffer) Clear() {
+	b.start = len(b.buf)
+	if b.start == 0 {
+		b.buf = make([]byte, 128)
+		b.start = 128
+	}
+}
+
+// PrependBytes reserves n bytes at the front of the buffer and returns the
+// slice to fill in.
+func (b *SerializeBuffer) PrependBytes(n int) []byte {
+	if n <= b.start {
+		b.start -= n
+		return b.buf[b.start : b.start+n]
+	}
+	grow := n - b.start + 128
+	nb := make([]byte, len(b.buf)+grow)
+	copy(nb[grow:], b.buf)
+	b.buf = nb
+	b.start += grow
+	b.start -= n
+	return b.buf[b.start : b.start+n]
+}
+
+// AppendBytes reserves n bytes at the end of the buffer (payload area) and
+// returns the slice to fill in.
+func (b *SerializeBuffer) AppendBytes(n int) []byte {
+	b.buf = append(b.buf, make([]byte, n)...)
+	return b.buf[len(b.buf)-n:]
+}
+
+// PushPayload appends payload data to the buffer.
+func (b *SerializeBuffer) PushPayload(p []byte) {
+	copy(b.AppendBytes(len(p)), p)
+}

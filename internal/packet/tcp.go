@@ -1,0 +1,133 @@
+package packet
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// TCPHeaderLen is the length of a TCP header without options.
+const TCPHeaderLen = 20
+
+// TCP flag bits.
+const (
+	TCPFlagFIN uint8 = 1 << iota
+	TCPFlagSYN
+	TCPFlagRST
+	TCPFlagPSH
+	TCPFlagACK
+	TCPFlagURG
+)
+
+// TCP is a TCP header (options unsupported; data offset is always 5).
+type TCP struct {
+	SrcPort, DstPort uint16
+	Seq, Ack         uint32
+	Flags            uint8
+	Window           uint16
+	Checksum         uint16
+	Urgent           uint16
+
+	contents []byte
+	payload  []byte
+}
+
+// LayerType implements Layer.
+func (t *TCP) LayerType() LayerType { return LayerTypeTCP }
+
+// LayerContents implements Layer.
+func (t *TCP) LayerContents() []byte { return t.contents }
+
+// LayerPayload implements Layer.
+func (t *TCP) LayerPayload() []byte { return t.payload }
+
+// CanDecode implements DecodingLayer.
+func (t *TCP) CanDecode() LayerType { return LayerTypeTCP }
+
+// NextLayerType implements DecodingLayer.
+func (t *TCP) NextLayerType() LayerType { return LayerTypePayload }
+
+// SYN reports whether the SYN flag is set.
+func (t *TCP) SYN() bool { return t.Flags&TCPFlagSYN != 0 }
+
+// ACK reports whether the ACK flag is set.
+func (t *TCP) ACK() bool { return t.Flags&TCPFlagACK != 0 }
+
+// FIN reports whether the FIN flag is set.
+func (t *TCP) FIN() bool { return t.Flags&TCPFlagFIN != 0 }
+
+// RST reports whether the RST flag is set.
+func (t *TCP) RST() bool { return t.Flags&TCPFlagRST != 0 }
+
+// DecodeFromBytes implements DecodingLayer.
+func (t *TCP) DecodeFromBytes(data []byte) error {
+	if len(data) < TCPHeaderLen {
+		return errTooShort(LayerTypeTCP, TCPHeaderLen, len(data))
+	}
+	t.SrcPort = binary.BigEndian.Uint16(data[0:2])
+	t.DstPort = binary.BigEndian.Uint16(data[2:4])
+	t.Seq = binary.BigEndian.Uint32(data[4:8])
+	t.Ack = binary.BigEndian.Uint32(data[8:12])
+	off := int(data[12]>>4) * 4
+	if off < TCPHeaderLen || off > len(data) {
+		return &DecodeError{Layer: LayerTypeTCP, Msg: fmt.Sprintf("bad data offset %d", off)}
+	}
+	t.Flags = data[13] & 0x3F
+	t.Window = binary.BigEndian.Uint16(data[14:16])
+	t.Checksum = binary.BigEndian.Uint16(data[16:18])
+	t.Urgent = binary.BigEndian.Uint16(data[18:20])
+	t.contents = data[:off]
+	t.payload = data[off:]
+	return nil
+}
+
+// SerializeTo prepends the wire form of the header to b. If csum is not
+// nil, the checksum is computed with the given pseudo-header context.
+func (t *TCP) SerializeTo(b *SerializeBuffer, csum *PseudoHeader) error {
+	segLen := TCPHeaderLen + len(b.Bytes())
+	hdr := b.PrependBytes(TCPHeaderLen)
+	binary.BigEndian.PutUint16(hdr[0:2], t.SrcPort)
+	binary.BigEndian.PutUint16(hdr[2:4], t.DstPort)
+	binary.BigEndian.PutUint32(hdr[4:8], t.Seq)
+	binary.BigEndian.PutUint32(hdr[8:12], t.Ack)
+	hdr[12] = 5 << 4
+	hdr[13] = t.Flags
+	binary.BigEndian.PutUint16(hdr[14:16], t.Window)
+	hdr[16], hdr[17] = 0, 0
+	binary.BigEndian.PutUint16(hdr[18:20], t.Urgent)
+	if csum != nil {
+		t.Checksum = transportChecksum(b.Bytes()[:segLen], csum, IPProtocolTCP)
+		binary.BigEndian.PutUint16(hdr[16:18], t.Checksum)
+	}
+	return nil
+}
+
+// PseudoHeader carries the IPv4 fields that participate in transport-layer
+// checksums.
+type PseudoHeader struct {
+	SrcIP, DstIP IPv4Addr
+}
+
+// transportChecksum computes the TCP/UDP checksum of segment with the given
+// pseudo-header.
+func transportChecksum(segment []byte, ph *PseudoHeader, proto IPProtocol) uint16 {
+	var pseudo [12]byte
+	binary.BigEndian.PutUint32(pseudo[0:4], uint32(ph.SrcIP))
+	binary.BigEndian.PutUint32(pseudo[4:8], uint32(ph.DstIP))
+	pseudo[9] = uint8(proto)
+	binary.BigEndian.PutUint16(pseudo[10:12], uint16(len(segment)))
+	var sum uint32
+	add := func(data []byte) {
+		for i := 0; i+1 < len(data); i += 2 {
+			sum += uint32(binary.BigEndian.Uint16(data[i : i+2]))
+		}
+		if len(data)%2 == 1 {
+			sum += uint32(data[len(data)-1]) << 8
+		}
+	}
+	add(pseudo[:])
+	add(segment)
+	for sum > 0xFFFF {
+		sum = sum&0xFFFF + sum>>16
+	}
+	return ^uint16(sum)
+}

@@ -1,0 +1,69 @@
+package packet
+
+import (
+	"encoding/binary"
+)
+
+// UDPHeaderLen is the length of a UDP header.
+const UDPHeaderLen = 8
+
+// UDP is a UDP header.
+type UDP struct {
+	SrcPort, DstPort uint16
+	Length           uint16
+	Checksum         uint16
+
+	contents []byte
+	payload  []byte
+}
+
+// LayerType implements Layer.
+func (u *UDP) LayerType() LayerType { return LayerTypeUDP }
+
+// LayerContents implements Layer.
+func (u *UDP) LayerContents() []byte { return u.contents }
+
+// LayerPayload implements Layer.
+func (u *UDP) LayerPayload() []byte { return u.payload }
+
+// CanDecode implements DecodingLayer.
+func (u *UDP) CanDecode() LayerType { return LayerTypeUDP }
+
+// NextLayerType implements DecodingLayer.
+func (u *UDP) NextLayerType() LayerType { return LayerTypePayload }
+
+// DecodeFromBytes implements DecodingLayer.
+func (u *UDP) DecodeFromBytes(data []byte) error {
+	if len(data) < UDPHeaderLen {
+		return errTooShort(LayerTypeUDP, UDPHeaderLen, len(data))
+	}
+	u.SrcPort = binary.BigEndian.Uint16(data[0:2])
+	u.DstPort = binary.BigEndian.Uint16(data[2:4])
+	u.Length = binary.BigEndian.Uint16(data[4:6])
+	u.Checksum = binary.BigEndian.Uint16(data[6:8])
+	u.contents = data[:UDPHeaderLen]
+	end := int(u.Length)
+	if end < UDPHeaderLen || end > len(data) {
+		end = len(data)
+	}
+	u.payload = data[UDPHeaderLen:end]
+	return nil
+}
+
+// SerializeTo prepends the wire form of the header to b. If csum is not
+// nil, the checksum is computed with the given pseudo-header context; the
+// length field is always recomputed.
+func (u *UDP) SerializeTo(b *SerializeBuffer, csum *PseudoHeader) error {
+	segLen := UDPHeaderLen + len(b.Bytes())
+	hdr := b.PrependBytes(UDPHeaderLen)
+	u.Length = uint16(segLen)
+	binary.BigEndian.PutUint16(hdr[0:2], u.SrcPort)
+	binary.BigEndian.PutUint16(hdr[2:4], u.DstPort)
+	binary.BigEndian.PutUint16(hdr[4:6], u.Length)
+	hdr[6], hdr[7] = 0, 0
+	if csum != nil {
+		u.Checksum = transportChecksum(b.Bytes()[:segLen], csum, IPProtocolUDP)
+		binary.BigEndian.PutUint16(hdr[6:8], u.Checksum)
+	}
+	return nil
+}

@@ -1,0 +1,191 @@
+package partition
+
+import (
+	"gallium/internal/deps"
+	"gallium/internal/ir"
+)
+
+// p4Supported reports whether a statement can execute on the switch
+// (§4.2.1's three conditions):
+//
+//  1. it uses only operations the switch ALU implements,
+//  2. it touches only packet *header* fields (never the payload), and
+//  3. data-structure API calls have a P4 realization — a map lookup maps
+//     to a match-action table, a vector read to an indexed table, a
+//     scalar read to a register — and the structure carries the
+//     required maximum-size annotation.
+//
+// State *writes* (map insert/remove, scalar stores) are never offloaded:
+// P4 tables are read-only for the data plane (§2.1) and replicated state
+// is updated only by the server (§4.3.3).
+func p4Supported(p *ir.Program, in *ir.Instr) bool {
+	switch in.Kind {
+	case ir.Const, ir.Not, ir.Convert, ir.LoadHeader, ir.StoreHeader:
+		return true
+	case ir.BinOp:
+		return in.Op.P4Supported()
+	case ir.PayloadMatch, ir.Hash:
+		return false
+	case ir.MapFind, ir.VecGet, ir.VecLen, ir.LpmFind:
+		g := p.Global(in.Obj)
+		return g != nil && g.MaxEntries > 0
+	case ir.GlobalLoad:
+		return true
+	case ir.MapInsert, ir.MapRemove, ir.GlobalStore:
+		return false
+	case ir.XferLoad, ir.XferStore:
+		return false // never appears in front-end output
+	case ir.Jump, ir.Branch, ir.Send, ir.Drop:
+		return true
+	}
+	return false
+}
+
+// initialLabels assigns {pre, non_off, post} to P4-expressible statements
+// and {non_off} to everything else.
+func initialLabels(p *ir.Program, g *deps.Graph) []LabelSet {
+	labels := make([]LabelSet, g.N)
+	for _, s := range p.Fn.Stmts() {
+		if p4Supported(p, s) {
+			labels[s.ID] = LAll
+		} else {
+			labels[s.ID] = LNonOff
+		}
+	}
+	return labels
+}
+
+// applyRulesFixpoint removes labels until rules (1)-(5) of §4.2.1 hold for
+// every statement pair. With S' ⇝* S meaning "S transitively depends on
+// S'":
+//
+//	(1) S' ⇝* S ∧ post ∉ L(S)  ⇒ post ∉ L(S')
+//	(2) S' ⇝* S ∧ pre ∉ L(S')  ⇒ pre ∉ L(S)
+//	(3) S' ⇝* S ∧ same global ∧ pre ∈ L(S')  ⇒ pre ∉ L(S)
+//	(4) S' ⇝* S ∧ same global ∧ post ∈ L(S)  ⇒ post ∉ L(S')
+//	(5) S ⇝* S                 ⇒ L(S) = {non_off}
+//
+// Rules 3/4 encode the pipeline restriction that each table is consulted
+// at most once per pass; rule 5 keeps loop bodies off the switch (P4 has
+// no loops). The iteration terminates because the label count strictly
+// decreases.
+func applyRulesFixpoint(g *deps.Graph, labels []LabelSet, c Constraints) {
+	star := g.DependsOnStar()
+	stmts := g.Fn.Stmts()
+
+	// Rule 5 once up front: membership in a dependence cycle is stable.
+	for _, s := range stmts {
+		if star[s.ID][s.ID] {
+			labels[s.ID] = LNonOff
+		}
+	}
+
+	sameGlobal := func(a, b int) bool {
+		ga := deps.GlobalAccessed(stmts[a])
+		return ga != "" && ga == deps.GlobalAccessed(stmts[b])
+	}
+
+	// Rule 6 (fast-path soundness): a Send/Drop cannot execute on the
+	// switch's pre pass if a global-state write that cannot run on the
+	// switch may execute earlier on the same path — emitting the packet
+	// from the switch would skip the server and lose the write. This is
+	// the paper's fast-path definition ("the non-offloaded partition is
+	// not involved in processing a packet", §1) made explicit: the write
+	// has no dependence edge to the send, so rules 1-5 alone do not see
+	// it. Global writes never carry pre (p4Supported), so the removal can
+	// run once up front.
+	for _, w := range stmts {
+		if !deps.IsGlobalWrite(w) {
+			continue
+		}
+		for _, t := range stmts {
+			if t.Kind != ir.Send && t.Kind != ir.Drop {
+				continue
+			}
+			if g.CanHappenAfter(w.ID, t.ID) {
+				labels[t.ID] &^= LPre
+			}
+		}
+	}
+
+	for changed := true; changed; {
+		changed = false
+		for sp := 0; sp < g.N; sp++ {
+			for s := 0; s < g.N; s++ {
+				if !star[sp][s] {
+					continue
+				}
+				// Rule 1.
+				if !labels[s].Has(LPost) && labels[sp].Has(LPost) {
+					labels[sp] &^= LPost
+					changed = true
+				}
+				// Rule 2.
+				if !labels[sp].Has(LPre) && labels[s].Has(LPre) {
+					labels[s] &^= LPre
+					changed = true
+				}
+				if sp != s && !c.DisaggregatedRMT && sameGlobal(sp, s) {
+					// Rule 3.
+					if labels[sp].Has(LPre) && labels[s].Has(LPre) {
+						labels[s] &^= LPre
+						changed = true
+					}
+					// Rule 4.
+					if labels[s].Has(LPost) && labels[sp].Has(LPost) {
+						labels[sp] &^= LPost
+						changed = true
+					}
+				}
+			}
+		}
+	}
+}
+
+// countOffloadable is the default objective the constraint-3 search
+// maximizes: statements that still carry an offload label.
+func countOffloadable(labels []LabelSet) int {
+	n := 0
+	for _, l := range labels {
+		if l.Has(LPre) || l.Has(LPost) {
+			n++
+		}
+	}
+	return n
+}
+
+// stmtWeight scores one statement for the §7 weighted cost model: a
+// match-action lookup saves far more server work than an ALU operation.
+func stmtWeight(in *ir.Instr) int {
+	switch in.Kind {
+	case ir.MapFind, ir.VecGet, ir.LpmFind:
+		return 50
+	case ir.VecLen, ir.GlobalLoad:
+		return 20
+	case ir.LoadHeader, ir.StoreHeader:
+		return 2
+	default:
+		return 1
+	}
+}
+
+// objective scores a label state under the configured cost model.
+func objective(g *deps.Graph, labels []LabelSet, c Constraints) int {
+	if !c.WeightedObjective {
+		return countOffloadable(labels)
+	}
+	total := 0
+	for _, s := range g.Fn.Stmts() {
+		if labels[s.ID].Has(LPre) || labels[s.ID].Has(LPost) {
+			total += stmtWeight(s)
+		}
+	}
+	return total
+}
+
+// removeOffload strips both offload labels from one statement (moving it
+// to the server) — the primitive the resource-constraint passes use.
+func removeOffload(labels []LabelSet, id int) {
+	labels[id] &^= LPre | LPost
+	labels[id] |= LNonOff
+}

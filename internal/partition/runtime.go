@@ -1,0 +1,65 @@
+package partition
+
+import (
+	"fmt"
+
+	"gallium/internal/ir"
+	"gallium/internal/packet"
+)
+
+// PipelineTrace describes one packet's trip through the partitioned
+// pipeline under ideal (perfectly synchronized) state replication.
+type PipelineTrace struct {
+	Action ir.Action
+	// FastPath is true when the switch's pre-processing partition fully
+	// handled the packet (it never visited the server).
+	FastPath bool
+	// Steps executed per stage (zero when a stage was skipped).
+	PreSteps, SrvSteps, PostSteps int
+	// Xfer holds the transfer variables after the last executed stage.
+	Xfer map[string]uint64
+}
+
+// ExecPipeline runs one packet through pre → server → post against a
+// single shared state, which models instantaneous state synchronization.
+// It is the functional-equivalence oracle: for any trace, the sequence of
+// (action, output packet) pairs and the final state must match the
+// reference interpreter on the input program. The runtime packages
+// (switchsim, serverrt) layer realistic timing and the §4.3.3 sync
+// protocol on top of the same partition functions.
+func (res *Result) ExecPipeline(st *ir.State, pkt *packet.Packet) (PipelineTrace, error) {
+	tr := PipelineTrace{Xfer: map[string]uint64{}}
+	env := &ir.Env{State: st, Pkt: pkt, Xfer: tr.Xfer}
+
+	r, err := ir.ExecFunc(res.Prog, res.PreFn, env)
+	if err != nil {
+		return tr, fmt.Errorf("pre: %w", err)
+	}
+	tr.PreSteps = r.Steps
+	if r.Action != ir.ActionNext {
+		tr.Action = r.Action
+		tr.FastPath = true
+		return tr, nil
+	}
+
+	r, err = ir.ExecFunc(res.Prog, res.SrvFn, env)
+	if err != nil {
+		return tr, fmt.Errorf("server: %w", err)
+	}
+	tr.SrvSteps = r.Steps
+	if r.Action != ir.ActionNext {
+		tr.Action = r.Action
+		return tr, nil
+	}
+
+	r, err = ir.ExecFunc(res.Prog, res.PostFn, env)
+	if err != nil {
+		return tr, fmt.Errorf("post: %w", err)
+	}
+	tr.PostSteps = r.Steps
+	if r.Action == ir.ActionNext {
+		return tr, fmt.Errorf("post partition returned ToNext; no later stage exists")
+	}
+	tr.Action = r.Action
+	return tr, nil
+}

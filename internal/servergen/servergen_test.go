@@ -1,0 +1,79 @@
+package servergen
+
+import (
+	"strings"
+	"testing"
+
+	"gallium/internal/lang"
+	"gallium/internal/middleboxes"
+	"gallium/internal/partition"
+)
+
+func generate(t *testing.T, name string) *Program {
+	t.Helper()
+	spec, err := middleboxes.Lookup(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog, err := lang.Compile(spec.Source)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := partition.Partition(prog, partition.DefaultConstraints())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return Generate(res)
+}
+
+func TestMiniLBServerCode(t *testing.T) {
+	p := generate(t, "minilb")
+	for _, want := range []string{
+		"Non-offloaded partition",
+		"HashMap<std::tuple<uint16_t>, std::tuple<uint32_t>> conn;",
+		"Vector<uint32_t> backends;",
+		"void process(Packet* pkt)",
+		"in_hdr->",          // reads transferred temporaries
+		"out_hdr->",         // writes the post-bound header
+		"conn.insert(",      // the server-side map update
+		"pkt->to_switch();", // hands the packet back for post-processing
+		"replicated: updates sync to the switch",
+	} {
+		if !strings.Contains(p.Source, want) {
+			t.Errorf("server source missing %q\n%s", want, p.Source)
+		}
+	}
+	if p.LinesOfCode() < 20 {
+		t.Errorf("LoC = %d, suspiciously small", p.LinesOfCode())
+	}
+}
+
+func TestFirewallServerCodeIsEmptyish(t *testing.T) {
+	p := generate(t, "firewall")
+	// The firewall offloads fully: the server's process() has no real work.
+	if strings.Contains(p.Source, "wl_in.find") || strings.Contains(p.Source, "wl_out.find") {
+		t.Error("firewall server code contains lookups; they belong on the switch")
+	}
+}
+
+func TestAllMiddleboxesServerGenerate(t *testing.T) {
+	for _, s := range middleboxes.All() {
+		p := generate(t, s.Name)
+		if p.LinesOfCode() == 0 {
+			t.Errorf("%s: empty server program", s.Name)
+		}
+		if !strings.Contains(p.Source, "void process(Packet* pkt)") {
+			t.Errorf("%s: missing process()", s.Name)
+		}
+	}
+}
+
+func TestTrojanServerKeepsPayloadInspection(t *testing.T) {
+	p := generate(t, "trojandetector")
+	if !strings.Contains(p.Source, "payload_contains") {
+		t.Error("trojan server code must keep the DPI payload matching")
+	}
+	if !strings.Contains(p.Source, "hoststate.insert") {
+		t.Error("trojan server code must keep state updates")
+	}
+}

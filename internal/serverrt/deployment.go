@@ -1,0 +1,209 @@
+package serverrt
+
+import (
+	"errors"
+	"fmt"
+
+	"gallium/internal/ir"
+	"gallium/internal/packet"
+	"gallium/internal/partition"
+	"gallium/internal/switchsim"
+)
+
+// Deployment wires a simulated switch and middlebox server into the
+// paper's Figure 1 topology and moves packets through pre → server → post
+// with real on-the-wire Gallium headers. Synchronization here is
+// synchronous (stage, flip, merge before the packet is released), which is
+// the output-commit semantics with zero propagation delay; the network
+// simulator layers control-plane latency on the same mechanism.
+type Deployment struct {
+	Switch *switchsim.Switch
+	Server *Server
+}
+
+// NewDeployment builds a deployment for a partitioned middlebox.
+func NewDeployment(res *partition.Result) *Deployment {
+	return &Deployment{Switch: switchsim.New(res), Server: New(res)}
+}
+
+// Configure seeds middlebox state on both sides: server-resident state is
+// set directly; switch-resident vectors are loaded onto the switch too.
+func (d *Deployment) Configure(setup func(st *ir.State)) error {
+	setup(d.Server.State)
+	for _, gn := range d.Server.Res.OffloadedGlobals {
+		g := d.Server.Res.Prog.Global(gn)
+		switch g.Kind {
+		case ir.KindVec:
+			if err := d.Switch.LoadVector(gn, d.Server.State.Vecs[gn]); err != nil {
+				return err
+			}
+		case ir.KindMap:
+			for k, v := range d.Server.State.Maps[gn] {
+				if err := d.Switch.StageWriteback(switchsim.Update{Table: gn, Key: k, Vals: v}); err != nil {
+					return err
+				}
+			}
+		case ir.KindScalar:
+			if err := d.Switch.StageWriteback(switchsim.Update{Register: gn, RegVal: d.Server.State.Globals[gn]}); err != nil {
+				return err
+			}
+		case ir.KindLPM:
+			if err := d.Switch.LoadLPM(gn, d.Server.State.Lpms[gn]); err != nil {
+				return err
+			}
+		}
+	}
+	d.Switch.FlipVisibility()
+	d.Switch.MergeWriteback()
+	return nil
+}
+
+// Trace describes one packet's full trip.
+type Trace struct {
+	Action   ir.Action
+	FastPath bool
+	// Steps per stage.
+	PreSteps, SrvSteps, PostSteps int
+	// SyncOps is the number of control-plane operations this packet's
+	// updates required (0 on the fast path).
+	SyncOps int
+}
+
+// ClassifyUpdates splits the server's replicated-state updates into cache
+// fills (inserts of keys the switch cannot currently serve — safe to apply
+// without stalling the packet, since a racing lookup just punts to the
+// authoritative server) and synchronous updates (everything else: deletes,
+// overwrites of visible entries, register writes, non-cached tables),
+// which output commit must wait for.
+func ClassifyUpdates(sw *switchsim.Switch, updates []switchsim.Update) (fills, syncs []switchsim.Update) {
+	for _, u := range updates {
+		if u.Table != "" && !u.Delete {
+			if t, ok := sw.Table(u.Table); ok && t.Cached {
+				if _, visible := t.Lookup(u.Key); !visible {
+					fills = append(fills, u)
+					continue
+				}
+				if u.ReadFill {
+					continue // already cached: nothing to do
+				}
+			}
+		}
+		if u.ReadFill {
+			continue // read fills never synchronize
+		}
+		syncs = append(syncs, u)
+	}
+	return fills, syncs
+}
+
+// Process moves one packet through the deployment.
+func (d *Deployment) Process(pkt *packet.Packet) (Trace, error) {
+	tr := Trace{}
+	pre, err := d.Switch.ProcessPre(pkt)
+	if err != nil {
+		return tr, err
+	}
+	tr.PreSteps = pre.Steps
+	if pre.Punt {
+		return d.processPunt(pkt, tr)
+	}
+	if pre.Action != ir.ActionNext {
+		tr.Action = pre.Action
+		tr.FastPath = true
+		return tr, nil
+	}
+
+	// The frame crosses the switch-server link carrying gallium_a; we
+	// serialize/reparse to exercise the real wire format.
+	wire := pkt.Serialize()
+	rx, err := packet.DecodePacket(wire, d.Server.Res.FormatA)
+	if err != nil {
+		return tr, fmt.Errorf("server rx: %w", err)
+	}
+	srvRes, err := d.Server.Process(rx)
+	if err != nil {
+		return tr, err
+	}
+	tr.SrvSteps = srvRes.Steps
+
+	// Output commit: propagate replicated-state updates through the
+	// write-back protocol before the packet is released. Full tables are
+	// soft failures: the entry stays server-only.
+	if len(srvRes.Updates) > 0 {
+		staged := 0
+		for _, u := range srvRes.Updates {
+			if err := d.Switch.StageWriteback(u); err != nil {
+				if errors.Is(err, switchsim.ErrTableFull) {
+					continue
+				}
+				return tr, err
+			}
+			staged++
+		}
+		if staged > 0 {
+			d.Switch.FlipVisibility()
+			d.Switch.MergeWriteback()
+			tr.SyncOps = staged + 1
+		}
+	}
+
+	if srvRes.Action != ir.ActionNext {
+		// The server owned the terminator (loop-bound code): the packet
+		// leaves via the switch as plain forwarding.
+		tr.Action = srvRes.Action
+		*pkt = *rx
+		return tr, nil
+	}
+
+	wire = rx.Serialize()
+	back, err := packet.DecodePacket(wire, d.Server.Res.FormatB)
+	if err != nil {
+		return tr, fmt.Errorf("switch rx from server: %w", err)
+	}
+	post, err := d.Switch.ProcessPost(back)
+	if err != nil {
+		return tr, err
+	}
+	tr.PostSteps = post.Steps
+	tr.Action = post.Action
+	*pkt = *back
+	return tr, nil
+}
+
+// processPunt handles a §7 cache-mode punt: the server runs the full
+// middlebox against authoritative state; cache fills apply without
+// stalling the packet, while updates the switch might already serve are
+// synchronized under output commit before release.
+func (d *Deployment) processPunt(pkt *packet.Packet, tr Trace) (Trace, error) {
+	wire := pkt.Serialize()
+	rx, err := packet.DecodePacket(wire, nil)
+	if err != nil {
+		return tr, fmt.Errorf("server rx (punt): %w", err)
+	}
+	res, err := d.Server.ProcessFull(rx)
+	if err != nil {
+		return tr, err
+	}
+	tr.SrvSteps = res.Steps
+	fills, syncs := ClassifyUpdates(d.Switch, res.Updates)
+	staged := 0
+	for _, u := range append(fills, syncs...) {
+		if err := d.Switch.StageWriteback(u); err != nil {
+			if errors.Is(err, switchsim.ErrTableFull) {
+				continue
+			}
+			return tr, err
+		}
+		staged++
+	}
+	if staged > 0 {
+		d.Switch.FlipVisibility()
+		d.Switch.MergeWriteback()
+	}
+	if len(syncs) > 0 {
+		tr.SyncOps = len(syncs) + 1
+	}
+	tr.Action = res.Action
+	*pkt = *rx
+	return tr, nil
+}

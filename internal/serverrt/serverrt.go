@@ -1,0 +1,184 @@
+// Package serverrt implements the middlebox server: it executes the
+// non-offloaded partition (the paper's generated DPDK application) against
+// the authoritative middlebox state, records every update touching
+// replicated state, and hands those updates to the runtime so they can be
+// pushed through the switch's write-back control plane while the packet is
+// held by output commit (§4.3.3). It also provides the software baseline —
+// the whole input program on the server — which plays the paper's
+// FastClick comparison.
+package serverrt
+
+import (
+	"fmt"
+
+	"gallium/internal/ir"
+	"gallium/internal/packet"
+	"gallium/internal/partition"
+	"gallium/internal/switchsim"
+)
+
+// Result describes one packet's processing on the server.
+type Result struct {
+	Action ir.Action
+	// Steps is the number of executed statements (the cycle model scales
+	// from it).
+	Steps int
+	// Updates lists replicated-state mutations that must be synchronized
+	// to the switch before the packet is released (output commit).
+	Updates []switchsim.Update
+}
+
+// Server runs the non-offloaded partition.
+type Server struct {
+	Res   *partition.Result
+	State *ir.State
+
+	replicated map[string]bool
+	// cached marks tables running in §7 cache mode: authoritative hits
+	// are republished to the switch as read-through fills.
+	cached map[string]bool
+}
+
+// New builds a server for a partitioned middlebox with fresh state.
+func New(res *partition.Result) *Server {
+	s := &Server{
+		Res:        res,
+		State:      ir.NewState(res.Prog),
+		replicated: map[string]bool{},
+		cached:     map[string]bool{},
+	}
+	for _, gn := range res.OffloadedGlobals {
+		s.replicated[gn] = true
+		g := res.Prog.Global(gn)
+		if g.Kind == ir.KindMap {
+			if cap := res.Cons.CacheFor(gn); cap > 0 && cap < g.MaxEntries {
+				s.cached[gn] = true
+			}
+		}
+	}
+	return s
+}
+
+// recorder applies state mutations locally and records those that touch
+// replicated state.
+type recorder struct {
+	srv     *Server
+	updates []switchsim.Update
+}
+
+func (r *recorder) MapFind(name string, key ir.MapKey) ([]uint64, bool) {
+	vals, ok := r.srv.State.MapFind(name, key)
+	if ok && r.srv.cached[name] {
+		// Read-through fill (§7 cache mode): republish the entry so the
+		// switch cache can serve the next packets of this flow.
+		r.updates = append(r.updates, switchsim.Update{
+			Table: name, Key: key, Vals: append([]uint64(nil), vals...), ReadFill: true,
+		})
+	}
+	return vals, ok
+}
+
+func (r *recorder) MapInsert(name string, key ir.MapKey, vals []uint64) error {
+	if r.srv.replicated[name] {
+		r.updates = append(r.updates, switchsim.Update{Table: name, Key: key, Vals: append([]uint64(nil), vals...)})
+	}
+	return r.srv.State.MapInsert(name, key, vals)
+}
+
+func (r *recorder) MapRemove(name string, key ir.MapKey) error {
+	if r.srv.replicated[name] {
+		r.updates = append(r.updates, switchsim.Update{Table: name, Key: key, Delete: true})
+	}
+	return r.srv.State.MapRemove(name, key)
+}
+
+func (r *recorder) VecGet(name string, idx uint64) (uint64, error) {
+	return r.srv.State.VecGet(name, idx)
+}
+
+func (r *recorder) VecLen(name string) uint64 { return r.srv.State.VecLen(name) }
+
+func (r *recorder) GlobalLoad(name string) uint64 { return r.srv.State.GlobalLoad(name) }
+
+func (r *recorder) LpmFind(name string, key uint64) ([]uint64, bool) {
+	return r.srv.State.LpmFind(name, key)
+}
+
+func (r *recorder) GlobalStore(name string, v uint64) error {
+	if r.srv.replicated[name] {
+		r.updates = append(r.updates, switchsim.Update{Register: name, RegVal: v})
+	}
+	return r.srv.State.GlobalStore(name, v)
+}
+
+// Process runs the non-offloaded partition over a slow-path packet. The
+// packet must carry the gallium_a header (attached by the switch); on
+// ActionNext it leaves carrying gallium_b for the post-processing pass.
+func (s *Server) Process(pkt *packet.Packet) (Result, error) {
+	if !pkt.HasGallium {
+		return Result{}, fmt.Errorf("serverrt: slow-path packet lacks gallium_a header")
+	}
+	xfer := map[string]uint64{}
+	for _, v := range s.Res.TransferA {
+		val, err := s.Res.FormatA.Get(pkt.GalData, v.Name)
+		if err != nil {
+			return Result{}, err
+		}
+		xfer[v.Name] = val
+	}
+	pkt.StripGallium()
+
+	rec := &recorder{srv: s}
+	env := &ir.Env{State: s.State, Access: rec, Pkt: pkt, Xfer: xfer}
+	r, err := ir.ExecFunc(s.Res.Prog, s.Res.SrvFn, env)
+	if err != nil {
+		return Result{}, fmt.Errorf("serverrt: %w", err)
+	}
+	if r.Action == ir.ActionNext {
+		pkt.AttachGallium(s.Res.FormatB)
+		for _, v := range s.Res.TransferB {
+			if err := s.Res.FormatB.Set(pkt.GalData, v.Name, xfer[v.Name]); err != nil {
+				return Result{}, err
+			}
+		}
+	}
+	return Result{Action: r.Action, Steps: r.Steps, Updates: rec.updates}, nil
+}
+
+// ProcessFull runs the COMPLETE middlebox program over a punted packet
+// (§7 cache mode: a switch cache miss proves nothing about the
+// authoritative state, so the server re-executes everything). The packet
+// must not carry a gallium header — the switch punts it unmodified.
+func (s *Server) ProcessFull(pkt *packet.Packet) (Result, error) {
+	if pkt.HasGallium {
+		return Result{}, fmt.Errorf("serverrt: punted packet unexpectedly carries a gallium header")
+	}
+	rec := &recorder{srv: s}
+	env := &ir.Env{State: s.State, Access: rec, Pkt: pkt}
+	r, err := ir.ExecFunc(s.Res.Prog, s.Res.Prog.Fn, env)
+	if err != nil {
+		return Result{}, fmt.Errorf("serverrt: full program: %w", err)
+	}
+	return Result{Action: r.Action, Steps: r.Steps, Updates: rec.updates}, nil
+}
+
+// Software is the non-offloaded baseline: the unpartitioned middlebox
+// running entirely on the server.
+type Software struct {
+	Prog  *ir.Program
+	State *ir.State
+}
+
+// NewSoftware builds the baseline with fresh state.
+func NewSoftware(p *ir.Program) *Software {
+	return &Software{Prog: p, State: ir.NewState(p)}
+}
+
+// Process runs the whole input program over one packet.
+func (s *Software) Process(pkt *packet.Packet) (Result, error) {
+	r, err := s.Prog.Exec(&ir.Env{State: s.State, Pkt: pkt})
+	if err != nil {
+		return Result{}, err
+	}
+	return Result{Action: r.Action, Steps: r.Steps}, nil
+}

@@ -1,0 +1,347 @@
+package serverrt
+
+import (
+	"math/rand"
+	"testing"
+
+	"gallium/internal/ir"
+	"gallium/internal/lang"
+	"gallium/internal/middleboxes"
+	"gallium/internal/packet"
+	"gallium/internal/partition"
+)
+
+func deploy(t *testing.T, name string) (*ir.Program, *Deployment) {
+	t.Helper()
+	spec, err := middleboxes.Lookup(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog, err := lang.Compile(spec.Source)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := partition.Partition(prog, partition.DefaultConstraints())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return prog, NewDeployment(res)
+}
+
+// TestDeploymentEquivalenceAllMiddleboxes is the strongest equivalence
+// check in the repository: random traffic through the REAL runtime — the
+// switch pipeline with its tables, wire-format Gallium headers serialized
+// and reparsed on every hop, the server partition, and the write-back
+// synchronization protocol — must match the reference interpreter packet
+// for packet and end in identical state.
+func TestDeploymentEquivalenceAllMiddleboxes(t *testing.T) {
+	names := []string{"minilb", "mazunat", "l4lb", "firewall", "proxy", "trojandetector"}
+	for _, name := range names {
+		t.Run(name, func(t *testing.T) {
+			prog, d := deploy(t, name)
+			ref := NewSoftware(prog)
+
+			setup := func(st *ir.State) {
+				middleboxes.ConfigureState(name, st)
+				if name == "proxy" {
+					middleboxes.RedirectPort(st, 80)
+				}
+				if name == "firewall" {
+					rng := rand.New(rand.NewSource(3))
+					for i := 0; i < 24; i++ {
+						middleboxes.AllowFlow(st, randTuple(rng))
+					}
+				}
+			}
+			setup(ref.State)
+			if err := d.Configure(setup); err != nil {
+				t.Fatal(err)
+			}
+
+			rng := rand.New(rand.NewSource(3))
+			for i := 0; i < 2500; i++ {
+				tup := randTuple(rng)
+				flags := packet.TCPFlagACK
+				switch rng.Intn(8) {
+				case 0:
+					flags = packet.TCPFlagSYN
+				case 1:
+					flags = packet.TCPFlagFIN | packet.TCPFlagACK
+				}
+				payloads := []string{"", "GET /x.zip HTTP/1.1", "data", "SSH-2.0"}
+				var pktRef *packet.Packet
+				if tup.Proto == packet.IPProtocolUDP {
+					pktRef = packet.BuildUDP(tup.SrcIP, tup.DstIP, tup.SrcPort, tup.DstPort, []byte(payloads[rng.Intn(4)]))
+				} else {
+					pktRef = packet.BuildTCP(tup.SrcIP, tup.DstIP, tup.SrcPort, tup.DstPort,
+						packet.TCPOptions{Flags: flags, Payload: []byte(payloads[rng.Intn(4)])})
+				}
+				pktDep := pktRef.Clone()
+
+				rRef, err := ref.Process(pktRef)
+				if err != nil {
+					t.Fatalf("pkt %d: reference: %v", i, err)
+				}
+				tr, err := d.Process(pktDep)
+				if err != nil {
+					t.Fatalf("pkt %d (%v): deployment: %v", i, tup, err)
+				}
+				if rRef.Action != tr.Action {
+					t.Fatalf("pkt %d (%v): action ref=%v dep=%v", i, tup, rRef.Action, tr.Action)
+				}
+				if tr.Action == ir.ActionSent {
+					for _, f := range []string{"ip.saddr", "ip.daddr", "l4.sport", "l4.dport"} {
+						a, _ := pktRef.GetField(f)
+						b, _ := pktDep.GetField(f)
+						if a != b {
+							t.Fatalf("pkt %d (%v): %s ref=%d dep=%d", i, tup, f, a, b)
+						}
+					}
+					if pktDep.HasGallium {
+						t.Fatalf("pkt %d: delivered packet still carries a gallium header", i)
+					}
+				}
+			}
+			if !ref.State.Equal(d.Server.State) {
+				t.Fatal("final server state mismatch with reference")
+			}
+			// Switch table contents must mirror the server's replicated maps.
+			for _, gn := range d.Server.Res.OffloadedGlobals {
+				g := d.Server.Res.Prog.Global(gn)
+				if g.Kind != ir.KindMap {
+					continue
+				}
+				tbl, _ := d.Switch.Table(gn)
+				for k, v := range ref.State.Maps[gn] {
+					got, ok := tbl.Lookup(k)
+					if !ok || got[0] != v[0] {
+						t.Fatalf("switch table %s out of sync at %v", gn, k)
+					}
+				}
+				if tbl.Len() != len(ref.State.Maps[gn]) {
+					t.Fatalf("switch table %s has %d entries, server has %d", gn, tbl.Len(), len(ref.State.Maps[gn]))
+				}
+			}
+		})
+	}
+}
+
+func randTuple(rng *rand.Rand) packet.FiveTuple {
+	proto := packet.IPProtocolTCP
+	if rng.Intn(5) == 0 {
+		proto = packet.IPProtocolUDP
+	}
+	src := packet.MakeIPv4Addr(10, 0, 0, byte(1+rng.Intn(20)))
+	dst := packet.MakeIPv4Addr(93, 184, 0, byte(rng.Intn(20)))
+	if rng.Intn(3) == 0 {
+		src, dst = dst, packet.MakeIPv4Addr(203, 0, 113, 1)
+	}
+	ports := []uint16{80, 22, 443, 6667, 8080}
+	return packet.FiveTuple{
+		SrcIP: src, DstIP: dst,
+		SrcPort: uint16(1024 + rng.Intn(32)), DstPort: ports[rng.Intn(len(ports))],
+		Proto: proto,
+	}
+}
+
+func TestServerRecordsReplicatedUpdates(t *testing.T) {
+	prog, d := deploy(t, "minilb")
+	_ = prog
+	if err := d.Configure(func(st *ir.State) { middleboxes.ConfigureState("minilb", st) }); err != nil {
+		t.Fatal(err)
+	}
+	pkt := packet.BuildTCP(packet.MakeIPv4Addr(1, 2, 3, 4), packet.MakeIPv4Addr(9, 9, 9, 9), 1, 80, packet.TCPOptions{})
+	tr, err := d.Process(pkt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.FastPath {
+		t.Fatal("first packet of a connection must take the slow path")
+	}
+	if tr.SyncOps == 0 {
+		t.Fatal("server insert produced no sync operations")
+	}
+	// The switch now has the entry: second packet is fast.
+	pkt2 := packet.BuildTCP(packet.MakeIPv4Addr(1, 2, 3, 4), packet.MakeIPv4Addr(9, 9, 9, 9), 1, 80, packet.TCPOptions{})
+	tr2, err := d.Process(pkt2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !tr2.FastPath {
+		t.Fatal("second packet should take the fast path after sync")
+	}
+	if tr2.SyncOps != 0 {
+		t.Error("fast path incurred sync operations")
+	}
+}
+
+func TestServerRejectsPacketWithoutHeader(t *testing.T) {
+	_, d := deploy(t, "minilb")
+	pkt := packet.BuildTCP(1, 2, 3, 4, packet.TCPOptions{})
+	if _, err := d.Server.Process(pkt); err == nil {
+		t.Fatal("server must reject packets without gallium_a")
+	}
+}
+
+// TestRunToCompletionCausality verifies §3.1 with delayed synchronization:
+// a packet causally after p (released only once p's updates are synced)
+// observes all of p's updates, while a packet racing the sync observes
+// none — and in both cases each update batch is atomic.
+func TestRunToCompletionCausality(t *testing.T) {
+	spec, _ := middleboxes.Lookup("mazunat")
+	prog, err := lang.Compile(spec.Source)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := partition.Partition(prog, partition.DefaultConstraints())
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := NewDeployment(res)
+
+	// p: first outbound packet of a connection (slow path, allocates a
+	// port, updates fwd+rev+counter).
+	p := packet.BuildTCP(packet.MakeIPv4Addr(10, 0, 0, 1), packet.MakeIPv4Addr(99, 0, 0, 1), 1234, 80, packet.TCPOptions{Flags: packet.TCPFlagSYN})
+	pre, err := d.Switch.ProcessPre(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pre.Action != ir.ActionNext {
+		t.Fatal("expected slow path")
+	}
+	rx, err := packet.DecodePacket(p.Serialize(), res.FormatA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srvRes, err := d.Server.Process(rx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(srvRes.Updates) < 3 {
+		t.Fatalf("expected fwd+rev+counter updates, got %d", len(srvRes.Updates))
+	}
+	// Stage but do NOT flip: a concurrent packet q of the same connection
+	// must observe NONE of the updates (it re-takes the slow path).
+	for _, u := range srvRes.Updates {
+		if err := d.Switch.StageWriteback(u); err != nil {
+			t.Fatal(err)
+		}
+	}
+	q := packet.BuildTCP(packet.MakeIPv4Addr(10, 0, 0, 1), packet.MakeIPv4Addr(99, 0, 0, 1), 1234, 80, packet.TCPOptions{})
+	qPre, err := d.Switch.ProcessPre(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if qPre.Action != ir.ActionNext {
+		t.Fatal("racing packet observed staged (unflipped) state")
+	}
+
+	// Flip: p would now be released (output commit). A causally-later
+	// packet observes ALL updates: fast path with the same translation.
+	d.Switch.FlipVisibility()
+	q2 := packet.BuildTCP(packet.MakeIPv4Addr(10, 0, 0, 1), packet.MakeIPv4Addr(99, 0, 0, 1), 1234, 80, packet.TCPOptions{})
+	q2Pre, err := d.Switch.ProcessPre(q2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q2Pre.Action != ir.ActionSent {
+		t.Fatalf("causally-later packet action = %v, want fast-path sent", q2Pre.Action)
+	}
+	if q2.TCP.SrcPort != rx.TCP.SrcPort {
+		t.Errorf("translation mismatch: q2 port %d, p port %d", q2.TCP.SrcPort, rx.TCP.SrcPort)
+	}
+}
+
+// TestIPGatewayDeploymentEquivalence runs the LPM-based gateway through
+// the full deployment (LPM tables load onto the switch at configure time).
+func TestIPGatewayDeploymentEquivalence(t *testing.T) {
+	prog, d := deploy(t, "ipgateway")
+	ref := NewSoftware(prog)
+	setup := func(st *ir.State) { middleboxes.ConfigureState("ipgateway", st) }
+	setup(ref.State)
+	if err := d.Configure(setup); err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(17))
+	fast := 0
+	for i := 0; i < 1500; i++ {
+		dst := packet.MakeIPv4Addr(byte(rng.Intn(30)), byte(rng.Intn(4)), byte(rng.Intn(4)), byte(rng.Intn(20)))
+		pktRef := packet.BuildTCP(packet.MakeIPv4Addr(1, 1, 1, 1), dst, 5, 6, packet.TCPOptions{})
+		pktDep := pktRef.Clone()
+		rRef, err := ref.Process(pktRef)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tr, err := d.Process(pktDep)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rRef.Action != tr.Action {
+			t.Fatalf("pkt %d: action ref=%v dep=%v", i, rRef.Action, tr.Action)
+		}
+		if tr.Action == ir.ActionSent && (pktRef.IP.DstIP != pktDep.IP.DstIP || pktRef.IP.TTL != pktDep.IP.TTL) {
+			t.Fatalf("pkt %d: hop/ttl mismatch", i)
+		}
+		if tr.FastPath {
+			fast++
+		}
+	}
+	if fast != 1500 {
+		t.Errorf("fast path %d/1500; the gateway should never touch the server", fast)
+	}
+}
+
+// TestServerSideLPM forces an LPM lookup onto the server (unannotated
+// table has no P4 realization) and checks the recorder's read path.
+func TestServerSideLPM(t *testing.T) {
+	src := `
+middlebox srvlpm {
+    lpm<u32 -> u32> routes;
+    proc process(pkt p) {
+        let r = routes.lookup(p.ip.daddr);
+        if (r.ok) {
+            p.ip.daddr = r.v0;
+            send(p);
+        } else {
+            drop(p);
+        }
+    }
+}
+`
+	prog, err := lang.Compile(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := partition.Partition(prog, partition.DefaultConstraints())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.OffloadedGlobals) != 0 {
+		t.Fatalf("unannotated lpm offloaded: %v", res.OffloadedGlobals)
+	}
+	d := NewDeployment(res)
+	if err := d.Configure(func(st *ir.State) {
+		st.AddRoute("routes", uint64(packet.MakeIPv4Addr(10, 0, 0, 0)), 8, 42)
+	}); err != nil {
+		t.Fatal(err)
+	}
+	pkt := packet.BuildTCP(1, packet.MakeIPv4Addr(10, 1, 2, 3), 1, 2, packet.TCPOptions{})
+	tr, err := d.Process(pkt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.FastPath {
+		t.Error("server-side lpm cannot be fast")
+	}
+	if tr.Action != ir.ActionSent || uint64(pkt.IP.DstIP) != 42 {
+		t.Errorf("action=%v hop=%v", tr.Action, pkt.IP.DstIP)
+	}
+	miss := packet.BuildTCP(1, packet.MakeIPv4Addr(11, 1, 2, 3), 1, 2, packet.TCPOptions{})
+	tr, err = d.Process(miss)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Action != ir.ActionDropped {
+		t.Errorf("miss action = %v", tr.Action)
+	}
+}

@@ -1,0 +1,451 @@
+// Package switchsim simulates the programmable switch executing the
+// generated P4 program: the pre- and post-processing partitions run
+// against switch-resident state (match-action tables, registers) under the
+// abstract switch model of §2 — tables are read-only for the data plane,
+// global state is consulted at most once per pass, per-packet scratch is
+// bounded — and state synchronization follows §4.3.3 exactly: every
+// replicated table has a smaller write-back table plus a visibility bit;
+// the server stages updates into the write-back tables through the (slow)
+// control plane, flips the bit with one atomic operation, then lazily
+// merges into the main tables.
+package switchsim
+
+import (
+	"errors"
+	"fmt"
+
+	"gallium/internal/ir"
+	"gallium/internal/packet"
+	"gallium/internal/partition"
+)
+
+// ErrTableFull reports a control-plane insert into a table that already
+// holds its annotated maximum. The runtimes treat it as a soft failure:
+// the entry stays server-only and the affected flow keeps taking the slow
+// path.
+var ErrTableFull = errors.New("switchsim: table full")
+
+// Table is one replicated match-action table: the main table plus the
+// §4.3.3 write-back overlay.
+type Table struct {
+	Main     map[ir.MapKey][]uint64
+	WB       map[ir.MapKey][]uint64
+	UseWB    bool
+	Capacity int
+	// Cached marks a §7 cache table: it holds only a subset of the
+	// server's authoritative map, misses punt the packet to the server,
+	// and inserts beyond capacity evict the oldest entry (FIFO).
+	Cached bool
+	// fifo orders Main's keys by insertion for eviction.
+	fifo []ir.MapKey
+	// deleted marks write-back entries that are deletions ("a special
+	// value indicates table entry deletion").
+	deleted map[ir.MapKey]bool
+}
+
+func newTable(capacity int) *Table {
+	return &Table{
+		Main:     map[ir.MapKey][]uint64{},
+		WB:       map[ir.MapKey][]uint64{},
+		deleted:  map[ir.MapKey]bool{},
+		Capacity: capacity,
+	}
+}
+
+// Lookup consults the write-back table first when the visibility bit is
+// set, then the main table — the data-plane read path of §4.3.3.
+func (t *Table) Lookup(key ir.MapKey) ([]uint64, bool) {
+	if t.UseWB {
+		if t.deleted[key] {
+			return nil, false
+		}
+		if v, ok := t.WB[key]; ok {
+			return v, true
+		}
+	}
+	v, ok := t.Main[key]
+	return v, ok
+}
+
+// Len reports the number of visible entries.
+func (t *Table) Len() int {
+	n := len(t.Main)
+	if t.UseWB {
+		for k := range t.WB {
+			if _, dup := t.Main[k]; !dup {
+				n++
+			}
+		}
+		for k := range t.deleted {
+			if _, ok := t.Main[k]; ok {
+				n--
+			}
+		}
+	}
+	return n
+}
+
+// Update is one staged control-plane mutation.
+type Update struct {
+	// Table names the replicated table; empty when Register is set.
+	Table string
+	Key   ir.MapKey
+	Vals  []uint64
+	// Delete marks a removal.
+	Delete bool
+	// ReadFill marks a §7 read-through cache fill: the server looked the
+	// key up in its authoritative table and republishes it so the switch
+	// cache can serve future packets. Never stalls a packet; dropped when
+	// the switch already holds the key.
+	ReadFill bool
+	// Register names a replicated register (scalar global) to set.
+	Register string
+	RegVal   uint64
+}
+
+// Stats counts data-plane and control-plane activity.
+type Stats struct {
+	PrePackets   int
+	PostPackets  int
+	FastPath     int
+	ToServer     int
+	Punts        int
+	Evictions    int
+	Drops        int
+	CtlOps       int
+	CtlFlips     int
+	StepsTotal   int
+	TableEntries map[string]int
+}
+
+// Switch simulates one programmable switch loaded with a compiled
+// middlebox.
+type Switch struct {
+	Res *partition.Result
+
+	tables    map[string]*Table
+	registers map[string]uint64
+	// vecs holds offloaded vector contents (index-keyed tables + length).
+	vecs map[string][]uint64
+	// lpms holds offloaded LPM tables (control-plane installed, §7).
+	lpms map[string][]ir.LpmEntry
+	// stagedRegs are register updates awaiting the visibility flip.
+	stagedRegs []Update
+	// hasCacheTables is set when any table runs in §7 cache mode.
+	hasCacheTables bool
+
+	stats Stats
+}
+
+// New loads a partitioned middlebox onto a fresh switch.
+func New(res *partition.Result) *Switch {
+	sw := &Switch{
+		Res:       res,
+		tables:    map[string]*Table{},
+		registers: map[string]uint64{},
+		vecs:      map[string][]uint64{},
+		lpms:      map[string][]ir.LpmEntry{},
+	}
+	for _, gn := range res.OffloadedGlobals {
+		g := res.Prog.Global(gn)
+		switch g.Kind {
+		case ir.KindMap:
+			if cap := res.Cons.CacheFor(gn); cap > 0 && cap < g.MaxEntries {
+				t := newTable(cap)
+				t.Cached = true
+				sw.tables[gn] = t
+				sw.hasCacheTables = true
+			} else {
+				sw.tables[gn] = newTable(g.MaxEntries)
+			}
+		case ir.KindVec:
+			sw.vecs[gn] = nil
+		case ir.KindScalar:
+			sw.registers[gn] = 0
+		case ir.KindLPM:
+			sw.lpms[gn] = nil
+		}
+	}
+	return sw
+}
+
+// LoadLPM installs the entries of an offloaded LPM table (control plane;
+// LPM tables are configuration state).
+func (sw *Switch) LoadLPM(name string, entries []ir.LpmEntry) error {
+	if _, ok := sw.lpms[name]; !ok {
+		return fmt.Errorf("switchsim: lpm table %q is not offloaded", name)
+	}
+	g := sw.Res.Prog.Global(name)
+	if g != nil && g.MaxEntries > 0 && len(entries) > g.MaxEntries {
+		return fmt.Errorf("switchsim: lpm %q: %d entries exceed annotation %d", name, len(entries), g.MaxEntries)
+	}
+	sw.lpms[name] = append([]ir.LpmEntry(nil), entries...)
+	return nil
+}
+
+// Stats returns a snapshot of activity counters.
+func (sw *Switch) Stats() Stats {
+	s := sw.stats
+	s.TableEntries = map[string]int{}
+	for n, t := range sw.tables {
+		s.TableEntries[n] = t.Len()
+	}
+	return s
+}
+
+// Table exposes a replicated table (tests and the control plane use it).
+func (sw *Switch) Table(name string) (*Table, bool) {
+	t, ok := sw.tables[name]
+	return t, ok
+}
+
+// Register reads a switch register.
+func (sw *Switch) Register(name string) (uint64, bool) {
+	v, ok := sw.registers[name]
+	return v, ok
+}
+
+// LoadVector installs offloaded vector contents (switch-resident
+// configuration such as a backend pool).
+func (sw *Switch) LoadVector(name string, vals []uint64) error {
+	if _, ok := sw.vecs[name]; !ok {
+		return fmt.Errorf("switchsim: vector %q is not offloaded", name)
+	}
+	g := sw.Res.Prog.Global(name)
+	if g != nil && g.MaxEntries > 0 && len(vals) > g.MaxEntries {
+		return fmt.Errorf("switchsim: vector %q: %d entries exceed annotation %d", name, len(vals), g.MaxEntries)
+	}
+	sw.vecs[name] = append([]uint64(nil), vals...)
+	return nil
+}
+
+// access adapts switch state to the interpreter; the data plane may only
+// read (the partitioner guarantees no offloaded writes, and the simulator
+// enforces it). cacheMiss records lookups that missed a §7 cache table —
+// the packet must then punt to the server, whose state is authoritative.
+type access struct {
+	sw        *Switch
+	cacheMiss *bool
+}
+
+func (a access) MapFind(name string, key ir.MapKey) ([]uint64, bool) {
+	t, ok := a.sw.tables[name]
+	if !ok {
+		return nil, false
+	}
+	vals, hit := t.Lookup(key)
+	if !hit && t.Cached && a.cacheMiss != nil {
+		*a.cacheMiss = true
+	}
+	return vals, hit
+}
+
+func (a access) MapInsert(string, ir.MapKey, []uint64) error {
+	return fmt.Errorf("switchsim: data plane attempted a table insert; P4 tables are read-only (§2.1)")
+}
+
+func (a access) MapRemove(string, ir.MapKey) error {
+	return fmt.Errorf("switchsim: data plane attempted a table delete; P4 tables are read-only (§2.1)")
+}
+
+func (a access) VecGet(name string, idx uint64) (uint64, error) {
+	vec, ok := a.sw.vecs[name]
+	if !ok {
+		return 0, fmt.Errorf("switchsim: vector %q not resident", name)
+	}
+	if idx >= uint64(len(vec)) {
+		return 0, fmt.Errorf("switchsim: vector %q index %d out of range", name, idx)
+	}
+	return vec[idx], nil
+}
+
+func (a access) VecLen(name string) uint64 { return uint64(len(a.sw.vecs[name])) }
+
+func (a access) GlobalLoad(name string) uint64 { return a.sw.registers[name] }
+
+func (a access) GlobalStore(name string, v uint64) error {
+	return fmt.Errorf("switchsim: data plane attempted a register write to replicated state; updates come from the server (§4.3.3)")
+}
+
+func (a access) LpmFind(name string, key uint64) ([]uint64, bool) {
+	best := -1
+	var vals []uint64
+	for _, e := range a.sw.lpms[name] {
+		if e.Matches(key) && e.PrefixLen > best {
+			best = e.PrefixLen
+			vals = e.Vals
+		}
+	}
+	return vals, best >= 0
+}
+
+// PreResult describes the outcome of the pre-processing pass.
+type PreResult struct {
+	Action ir.Action
+	// Punt means a lookup missed a cache table (§7 cache mode): the
+	// packet — unmodified, since the pipeline predicates its actions on
+	// the punt flag — must go to the server, which runs the complete
+	// middlebox against its authoritative state.
+	Punt bool
+	// Steps is the number of executed pipeline statements.
+	Steps int
+}
+
+// ProcessPre runs the pre-processing partition over the packet. If the
+// packet must continue to the server (ActionNext), the synthesized
+// gallium_a header is attached and populated.
+func (sw *Switch) ProcessPre(pkt *packet.Packet) (PreResult, error) {
+	sw.stats.PrePackets++
+	xfer := map[string]uint64{}
+	// Cache mode: run the pipeline against a scratch copy first; a cache
+	// miss discards all its effects (P4 actions are predicated on the
+	// punt flag) and the untouched packet goes to the server.
+	var cacheMiss bool
+	work := pkt
+	if sw.hasCacheTables {
+		work = pkt.Clone()
+	}
+	env := &ir.Env{Access: access{sw, &cacheMiss}, Pkt: work, Xfer: xfer}
+	r, err := ir.ExecFunc(sw.Res.Prog, sw.Res.PreFn, env)
+	if err != nil {
+		return PreResult{}, fmt.Errorf("switchsim: pre pipeline: %w", err)
+	}
+	if cacheMiss {
+		sw.stats.StepsTotal += r.Steps
+		sw.stats.ToServer++
+		sw.stats.Punts++
+		return PreResult{Action: ir.ActionNext, Punt: true, Steps: r.Steps}, nil
+	}
+	if sw.hasCacheTables {
+		*pkt = *work
+	}
+	sw.stats.StepsTotal += r.Steps
+	switch r.Action {
+	case ir.ActionNext:
+		sw.stats.ToServer++
+		pkt.AttachGallium(sw.Res.FormatA)
+		for _, v := range sw.Res.TransferA {
+			if err := sw.Res.FormatA.Set(pkt.GalData, v.Name, xfer[v.Name]); err != nil {
+				return PreResult{}, err
+			}
+		}
+	case ir.ActionDropped:
+		sw.stats.Drops++
+	case ir.ActionSent:
+		sw.stats.FastPath++
+	}
+	return PreResult{Action: r.Action, Steps: r.Steps}, nil
+}
+
+// ProcessPost runs the post-processing partition over a packet returning
+// from the server (it must carry the gallium_b header, which is stripped).
+func (sw *Switch) ProcessPost(pkt *packet.Packet) (PreResult, error) {
+	sw.stats.PostPackets++
+	if !pkt.HasGallium {
+		return PreResult{}, fmt.Errorf("switchsim: post pipeline: packet from server lacks gallium_b header")
+	}
+	xfer := map[string]uint64{}
+	for _, v := range sw.Res.TransferB {
+		val, err := sw.Res.FormatB.Get(pkt.GalData, v.Name)
+		if err != nil {
+			return PreResult{}, err
+		}
+		xfer[v.Name] = val
+	}
+	pkt.StripGallium()
+	env := &ir.Env{Access: access{sw, nil}, Pkt: pkt, Xfer: xfer}
+	r, err := ir.ExecFunc(sw.Res.Prog, sw.Res.PostFn, env)
+	if err != nil {
+		return PreResult{}, fmt.Errorf("switchsim: post pipeline: %w", err)
+	}
+	sw.stats.StepsTotal += r.Steps
+	if r.Action == ir.ActionDropped {
+		sw.stats.Drops++
+	}
+	return PreResult{Action: r.Action, Steps: r.Steps}, nil
+}
+
+// --- Control plane (§4.3.3) ---
+//
+// The server performs updates in three steps: StageWriteback entries (one
+// control op each), FlipVisibility (one atomic op covering all staged
+// tables), then MergeWriteback when convenient.
+
+// StageWriteback installs one update into a write-back table or stages a
+// register value. Staged state is invisible until FlipVisibility.
+func (sw *Switch) StageWriteback(u Update) error {
+	sw.stats.CtlOps++
+	if u.Register != "" {
+		if _, ok := sw.registers[u.Register]; !ok {
+			return fmt.Errorf("switchsim: register %q not resident", u.Register)
+		}
+		sw.stagedRegs = append(sw.stagedRegs, u)
+		return nil
+	}
+	t, ok := sw.tables[u.Table]
+	if !ok {
+		return fmt.Errorf("switchsim: table %q not resident", u.Table)
+	}
+	if u.Delete {
+		t.deleted[u.Key] = true
+		delete(t.WB, u.Key)
+		return nil
+	}
+	if t.Capacity > 0 && t.Len() >= t.Capacity && !t.Cached {
+		if _, exists := t.Lookup(u.Key); !exists {
+			return fmt.Errorf("%w: %q (%d entries)", ErrTableFull, u.Table, t.Capacity)
+		}
+	}
+	t.WB[u.Key] = append([]uint64(nil), u.Vals...)
+	return nil
+}
+
+// FlipVisibility atomically makes all staged write-back state (and staged
+// register values) visible to the data plane.
+func (sw *Switch) FlipVisibility() {
+	sw.stats.CtlFlips++
+	sw.stats.CtlOps++
+	for _, t := range sw.tables {
+		if len(t.WB) > 0 || len(t.deleted) > 0 {
+			t.UseWB = true
+		}
+	}
+	for _, u := range sw.stagedRegs {
+		sw.registers[u.Register] = u.RegVal
+	}
+	sw.stagedRegs = nil
+}
+
+// MergeWriteback folds write-back contents into the main tables and clears
+// the visibility bit (step 3 of §4.3.3, done off the critical path). For
+// §7 cache tables this is also where FIFO eviction keeps the cache within
+// capacity.
+func (sw *Switch) MergeWriteback() {
+	for _, t := range sw.tables {
+		if !t.UseWB {
+			continue
+		}
+		for k, v := range t.WB {
+			if _, existed := t.Main[k]; !existed {
+				t.fifo = append(t.fifo, k)
+			}
+			t.Main[k] = v
+		}
+		for k := range t.deleted {
+			delete(t.Main, k)
+		}
+		t.WB = map[ir.MapKey][]uint64{}
+		t.deleted = map[ir.MapKey]bool{}
+		t.UseWB = false
+		if t.Cached && t.Capacity > 0 {
+			for len(t.Main) > t.Capacity && len(t.fifo) > 0 {
+				victim := t.fifo[0]
+				t.fifo = t.fifo[1:]
+				if _, ok := t.Main[victim]; ok {
+					delete(t.Main, victim)
+					sw.stats.Evictions++
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,185 @@
+// Package trafficgen generates the evaluation workloads: iperf-style
+// parallel TCP streams for the microbenchmarks (Figure 7, Table 2) and
+// flow-size samples drawn from the CONGA paper's enterprise and
+// data-mining distributions for the realistic workloads (Figures 8-9).
+// The CDFs are approximations reconstructed from the CONGA paper's
+// published curves; both have the property the Gallium paper cites — about
+// 90% of flows shorter than ten packets — with the data-mining tail far
+// heavier.
+package trafficgen
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"gallium/internal/packet"
+)
+
+// CDFPoint is one point of a flow-size CDF.
+type CDFPoint struct {
+	Bytes float64
+	Frac  float64
+}
+
+// FlowSizeDist is a piecewise log-linear flow-size distribution.
+type FlowSizeDist struct {
+	Name   string
+	Points []CDFPoint
+}
+
+// Enterprise returns the CONGA enterprise workload distribution.
+func Enterprise() FlowSizeDist {
+	return FlowSizeDist{
+		Name: "enterprise",
+		Points: []CDFPoint{
+			{100, 0}, {500, 0.15}, {1e3, 0.30}, {5e3, 0.60}, {15e3, 0.90},
+			{1e5, 0.935}, {1e6, 0.965}, {1e7, 0.995}, {1e8, 1.0},
+		},
+	}
+}
+
+// DataMining returns the CONGA data-mining workload distribution (heavier
+// tail: most bytes live in multi-megabyte flows).
+func DataMining() FlowSizeDist {
+	return FlowSizeDist{
+		Name: "datamining",
+		Points: []CDFPoint{
+			{100, 0}, {300, 0.50}, {1e3, 0.70}, {2e3, 0.80}, {1e4, 0.90},
+			{1e5, 0.95}, {1e6, 0.97}, {1e7, 0.99}, {1e9, 1.0},
+		},
+	}
+}
+
+// Sample draws one flow size in bytes.
+func (d FlowSizeDist) Sample(rng *rand.Rand) int64 {
+	u := rng.Float64()
+	pts := d.Points
+	for i := 1; i < len(pts); i++ {
+		if u <= pts[i].Frac {
+			lo, hi := pts[i-1], pts[i]
+			span := hi.Frac - lo.Frac
+			var t float64
+			if span > 0 {
+				t = (u - lo.Frac) / span
+			}
+			// Log-linear interpolation between the byte scales.
+			v := math.Exp(math.Log(lo.Bytes) + t*(math.Log(hi.Bytes)-math.Log(lo.Bytes)))
+			return int64(v)
+		}
+	}
+	return int64(pts[len(pts)-1].Bytes)
+}
+
+// SampleFlows draws n flow sizes deterministically from the seed.
+func (d FlowSizeDist) SampleFlows(n int, seed int64) []int64 {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]int64, n)
+	for i := range out {
+		out[i] = d.Sample(rng)
+	}
+	return out
+}
+
+// SplitWorkers deals flow sizes round-robin to the given number of worker
+// queues (each worker sends one flow at a time, as in §6.3).
+func SplitWorkers(sizes []int64, workers int) [][]int64 {
+	out := make([][]int64, workers)
+	for i, s := range sizes {
+		w := i % workers
+		out[w] = append(out[w], s)
+	}
+	return out
+}
+
+// IperfConfig describes the microbenchmark generator: parallel TCP
+// connections at a fixed packet size and aggregate rate (§6.3 uses ten
+// iperf connections).
+type IperfConfig struct {
+	Conns      int
+	PacketSize int
+	// PPS is the aggregate offered packet rate.
+	PPS float64
+	// DurationNs is how long to generate.
+	DurationNs int64
+	Seed       int64
+	// SrcIPs rotate across connections (defaults to internal 10.0.0.x).
+	SrcIPs []packet.IPv4Addr
+	// DstIP is the destination host (defaults to an external address).
+	DstIP packet.IPv4Addr
+	// DstPort is the service port (default 5001, iperf).
+	DstPort uint16
+}
+
+func (c *IperfConfig) defaults() {
+	if c.Conns <= 0 {
+		c.Conns = 10
+	}
+	if c.PacketSize < 64 {
+		c.PacketSize = 64
+	}
+	if c.DstPort == 0 {
+		c.DstPort = 5001
+	}
+	if c.DstIP == 0 {
+		c.DstIP = packet.MakeIPv4Addr(93, 184, 216, 34)
+	}
+	if len(c.SrcIPs) == 0 {
+		for i := 0; i < c.Conns; i++ {
+			c.SrcIPs = append(c.SrcIPs, packet.MakeIPv4Addr(10, 0, 0, byte(10+i%200)))
+		}
+	}
+}
+
+// Tuples returns the five-tuples the generator will use, so scenarios can
+// pre-install middlebox configuration (firewall whitelists) for them.
+func (c IperfConfig) Tuples() []packet.FiveTuple {
+	c.defaults()
+	out := make([]packet.FiveTuple, c.Conns)
+	for i := 0; i < c.Conns; i++ {
+		out[i] = packet.FiveTuple{
+			SrcIP:   c.SrcIPs[i%len(c.SrcIPs)],
+			DstIP:   c.DstIP,
+			SrcPort: uint16(40000 + i),
+			DstPort: c.DstPort,
+			Proto:   packet.IPProtocolTCP,
+		}
+	}
+	return out
+}
+
+// Generate produces the packet stream in time order, invoking emit for
+// each packet. The first packet of every connection is a SYN; the rest
+// carry data padded to the configured size.
+func (c IperfConfig) Generate(emit func(tNs int64, pkt *packet.Packet) error) error {
+	c.defaults()
+	if c.PPS <= 0 || c.DurationNs <= 0 {
+		return fmt.Errorf("trafficgen: iperf config needs PPS and Duration")
+	}
+	tuples := c.Tuples()
+	started := make([]bool, len(tuples))
+	interval := 1e9 / c.PPS
+	rng := rand.New(rand.NewSource(c.Seed))
+	n := int(float64(c.DurationNs) / interval)
+	seqs := make([]uint32, len(tuples))
+	for i := 0; i < n; i++ {
+		t := int64(float64(i) * interval)
+		conn := i % len(tuples)
+		tup := tuples[conn]
+		var pkt *packet.Packet
+		if !started[conn] {
+			pkt = packet.BuildTCP(tup.SrcIP, tup.DstIP, tup.SrcPort, tup.DstPort,
+				packet.TCPOptions{Flags: packet.TCPFlagSYN, Seq: rng.Uint32()})
+			started[conn] = true
+		} else {
+			pkt = packet.BuildTCP(tup.SrcIP, tup.DstIP, tup.SrcPort, tup.DstPort,
+				packet.TCPOptions{Flags: packet.TCPFlagACK, Seq: seqs[conn]})
+			seqs[conn] += uint32(c.PacketSize)
+		}
+		pkt.PadTo(c.PacketSize)
+		if err := emit(t, pkt); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,130 @@
+package trafficgen
+
+import (
+	"math/rand"
+	"testing"
+
+	"gallium/internal/packet"
+)
+
+func TestDistributionsShape(t *testing.T) {
+	for _, d := range []FlowSizeDist{Enterprise(), DataMining()} {
+		rng := rand.New(rand.NewSource(1))
+		n := 50000
+		small := 0
+		var total float64
+		for i := 0; i < n; i++ {
+			s := d.Sample(rng)
+			if s < 100 || s > 2_000_000_000 {
+				t.Fatalf("%s: size %d out of range", d.Name, s)
+			}
+			if s <= 15_000 { // ≈ 10 full-size packets
+				small++
+			}
+			total += float64(s)
+		}
+		frac := float64(small) / float64(n)
+		// The paper: ~90% of flows in both workloads have <10 packets.
+		if frac < 0.80 || frac > 0.97 {
+			t.Errorf("%s: %.1f%% of flows are small, want ≈ 90%%", d.Name, 100*frac)
+		}
+		t.Logf("%s: mean flow = %.0f bytes, small-flow fraction = %.2f", d.Name, total/float64(n), frac)
+	}
+}
+
+func TestDataMiningTailHeavier(t *testing.T) {
+	e := Enterprise().SampleFlows(50000, 7)
+	dm := DataMining().SampleFlows(50000, 7)
+	meanE, meanDM := mean(e), mean(dm)
+	if meanDM < 3*meanE {
+		t.Errorf("data-mining mean (%.0f) should dwarf enterprise mean (%.0f)", meanDM, meanE)
+	}
+	// Long flows (>10MB) carry most data-mining bytes.
+	var longBytes, allBytes float64
+	for _, s := range dm {
+		allBytes += float64(s)
+		if s > 10_000_000 {
+			longBytes += float64(s)
+		}
+	}
+	if longBytes/allBytes < 0.5 {
+		t.Errorf("data-mining long flows carry %.0f%% of bytes, want >50%%", 100*longBytes/allBytes)
+	}
+}
+
+func mean(xs []int64) float64 {
+	var t float64
+	for _, x := range xs {
+		t += float64(x)
+	}
+	return t / float64(len(xs))
+}
+
+func TestSamplingDeterministic(t *testing.T) {
+	a := Enterprise().SampleFlows(100, 42)
+	b := Enterprise().SampleFlows(100, 42)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("same seed produced different samples")
+		}
+	}
+}
+
+func TestSplitWorkers(t *testing.T) {
+	sizes := []int64{1, 2, 3, 4, 5, 6, 7}
+	w := SplitWorkers(sizes, 3)
+	if len(w) != 3 || len(w[0]) != 3 || len(w[1]) != 2 || len(w[2]) != 2 {
+		t.Fatalf("split = %v", w)
+	}
+	if w[0][0] != 1 || w[1][0] != 2 || w[2][0] != 3 || w[0][1] != 4 {
+		t.Fatalf("round-robin order wrong: %v", w)
+	}
+}
+
+func TestIperfGenerate(t *testing.T) {
+	cfg := IperfConfig{Conns: 4, PacketSize: 500, PPS: 1e6, DurationNs: 1_000_000, Seed: 1}
+	var count, syns int
+	var lastT int64 = -1
+	tuples := map[packet.FiveTuple]bool{}
+	err := cfg.Generate(func(tNs int64, pkt *packet.Packet) error {
+		if tNs < lastT {
+			t.Fatal("timestamps not monotone")
+		}
+		lastT = tNs
+		if pkt.WireLen() != 500 {
+			t.Fatalf("packet size = %d, want 500", pkt.WireLen())
+		}
+		if pkt.TCP.SYN() {
+			syns++
+		}
+		tup, _ := pkt.Tuple()
+		tuples[tup] = true
+		count++
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if count != 1000 {
+		t.Errorf("count = %d, want 1000 (1 Mpps for 1 ms)", count)
+	}
+	if syns != 4 {
+		t.Errorf("syns = %d, want one per connection", syns)
+	}
+	if len(tuples) != 4 {
+		t.Errorf("distinct tuples = %d, want 4", len(tuples))
+	}
+	// Tuples() must announce the same tuples in advance.
+	for _, tup := range cfg.Tuples() {
+		if !tuples[tup] {
+			t.Errorf("announced tuple %v never generated", tup)
+		}
+	}
+}
+
+func TestIperfConfigValidation(t *testing.T) {
+	cfg := IperfConfig{}
+	if err := cfg.Generate(func(int64, *packet.Packet) error { return nil }); err == nil {
+		t.Fatal("want error without PPS/Duration")
+	}
+}
