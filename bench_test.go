@@ -14,18 +14,18 @@
 //
 // Component microbenchmarks (compiler passes, switch pipeline, server
 // runtime) follow the experiment benches.
-package gallium
+package gallium_test
 
 import (
 	"testing"
 
+	"gallium"
 	"gallium/internal/eval"
 	"gallium/internal/ir"
-	"gallium/internal/lang"
 	"gallium/internal/middleboxes"
 	"gallium/internal/netsim"
+	"gallium/internal/obs"
 	"gallium/internal/packet"
-	"gallium/internal/partition"
 	"gallium/internal/serverrt"
 	"gallium/internal/switchsim"
 	"gallium/internal/trafficgen"
@@ -102,15 +102,11 @@ func BenchmarkTable2Latency(b *testing.B) {
 // BenchmarkTable3StateSync regenerates Table 3 (control-plane update
 // latency) and also exercises the write-back machinery itself.
 func BenchmarkTable3StateSync(b *testing.B) {
-	prog, err := lang.Compile(middleboxes.MazuNATSource)
+	art, err := gallium.Compile(middleboxes.MazuNATSource, gallium.Options{})
 	if err != nil {
 		b.Fatal(err)
 	}
-	res, err := partition.Partition(prog, partition.DefaultConstraints())
-	if err != nil {
-		b.Fatal(err)
-	}
-	sw := switchsim.New(res)
+	sw := switchsim.New(art.Res)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		// Wrap the key space so the table never exceeds its annotation.
@@ -194,11 +190,7 @@ func BenchmarkHeadline(b *testing.B) {
 // lower, dependency analysis, partitioning, code generation.
 func BenchmarkCompileMazuNAT(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		prog, err := lang.Compile(middleboxes.MazuNATSource)
-		if err != nil {
-			b.Fatal(err)
-		}
-		if _, err := partition.Partition(prog, partition.DefaultConstraints()); err != nil {
+		if _, err := gallium.Compile(middleboxes.MazuNATSource, gallium.Options{}); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -207,15 +199,11 @@ func BenchmarkCompileMazuNAT(b *testing.B) {
 // BenchmarkSwitchFastPath measures the simulated switch's per-packet cost
 // on the fast path (table hit, rewrite, emit).
 func BenchmarkSwitchFastPath(b *testing.B) {
-	prog, err := lang.Compile(middleboxes.MiniLBSource)
+	art, err := gallium.CompileBuiltin("minilb", gallium.Options{})
 	if err != nil {
 		b.Fatal(err)
 	}
-	res, err := partition.Partition(prog, partition.DefaultConstraints())
-	if err != nil {
-		b.Fatal(err)
-	}
-	sw := switchsim.New(res)
+	sw := switchsim.New(art.Res)
 	if err := sw.LoadVector("backends", middleboxes.Backends); err != nil {
 		b.Fatal(err)
 	}
@@ -240,19 +228,15 @@ func BenchmarkSwitchFastPath(b *testing.B) {
 // BenchmarkServerSlowPath measures the server runtime on slow-path
 // packets including transfer header parsing and update recording.
 func BenchmarkServerSlowPath(b *testing.B) {
-	prog, err := lang.Compile(middleboxes.MiniLBSource)
+	art, err := gallium.CompileBuiltin("minilb", gallium.Options{})
 	if err != nil {
 		b.Fatal(err)
 	}
-	res, err := partition.Partition(prog, partition.DefaultConstraints())
-	if err != nil {
-		b.Fatal(err)
-	}
-	sw := switchsim.New(res)
+	sw := switchsim.New(art.Res)
 	if err := sw.LoadVector("backends", middleboxes.Backends); err != nil {
 		b.Fatal(err)
 	}
-	srv := serverrt.New(res)
+	srv := serverrt.New(art.Res)
 	middleboxes.ConfigureState("minilb", srv.State)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
@@ -271,10 +255,11 @@ func BenchmarkServerSlowPath(b *testing.B) {
 // BenchmarkReferenceInterpreter measures the reference interpreter (the
 // software baseline's inner loop).
 func BenchmarkReferenceInterpreter(b *testing.B) {
-	prog, err := lang.Compile(middleboxes.FirewallSource)
+	art, err := gallium.Compile(middleboxes.FirewallSource, gallium.Options{})
 	if err != nil {
 		b.Fatal(err)
 	}
+	prog := art.Prog
 	st := ir.NewState(prog)
 	tup := packet.FiveTuple{SrcIP: packet.MakeIPv4Addr(10, 0, 0, 1), DstIP: 2, SrcPort: 3, DstPort: 4, Proto: packet.IPProtocolTCP}
 	middleboxes.AllowFlow(st, tup)
@@ -340,4 +325,41 @@ func BenchmarkTestbedInject(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+}
+
+// benchTestbedWithMetrics drives the firewall testbed with or without an
+// observability registry; the Off/On pair quantifies the instrumentation
+// overhead (the nil-handle fast path should keep it within a few percent).
+func benchTestbedWithMetrics(b *testing.B, reg *obs.Registry) {
+	b.Helper()
+	art, err := gallium.CompileBuiltin("firewall", gallium.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	gen := trafficgen.IperfConfig{Conns: 10, PacketSize: 500, PPS: 1, DurationNs: 1}
+	tb, err := art.NewTestbed(gallium.TestbedConfig{
+		Mode: gallium.Offloaded, Scenario: true, Flows: gen.Tuples(), Metrics: reg,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	tup := gen.Tuples()[0]
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		pkt := packet.BuildTCP(tup.SrcIP, tup.DstIP, tup.SrcPort, tup.DstPort, packet.TCPOptions{})
+		if _, err := tb.Inject(int64(i)*1000, pkt); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTestbedMetricsOff is the baseline: observability disabled.
+func BenchmarkTestbedMetricsOff(b *testing.B) {
+	benchTestbedWithMetrics(b, nil)
+}
+
+// BenchmarkTestbedMetricsOn runs the same workload with every counter and
+// histogram live.
+func BenchmarkTestbedMetricsOn(b *testing.B) {
+	benchTestbedWithMetrics(b, obs.NewRegistry())
 }

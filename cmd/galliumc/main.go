@@ -6,7 +6,7 @@
 //
 // Usage:
 //
-//	galliumc [-o outdir] [-print pre|srv|post|p4|server|report] <file.mc | builtin-name>
+//	galliumc [-o outdir] [-print pre|srv|post|p4|server|report|deps|all] <file.mc | builtin-name>
 package main
 
 import (
@@ -16,16 +16,15 @@ import (
 	"path/filepath"
 	"strings"
 
-	"gallium/internal/lang"
-	"gallium/internal/middleboxes"
-	"gallium/internal/p4"
-	"gallium/internal/partition"
-	"gallium/internal/servergen"
+	"gallium"
 )
+
+// printValues are the accepted -print selections.
+var printValues = []string{"report", "p4", "server", "pre", "srv", "post", "deps", "all"}
 
 func main() {
 	outDir := flag.String("o", "", "write artifacts into this directory")
-	show := flag.String("print", "report", "what to print: report, p4, server, pre, srv, post, deps, all")
+	show := flag.String("print", "report", "what to print: "+strings.Join(printValues, ", "))
 	depth := flag.Int("depth", 0, "override the switch pipeline-depth constraint")
 	transfer := flag.Int("transfer", 0, "override the transfer-header budget in bytes")
 	memory := flag.Int("memory", 0, "override switch memory in bytes")
@@ -33,7 +32,7 @@ func main() {
 	drmt := flag.Bool("drmt", false, "target a disaggregated-RMT switch (relax rules 3/4)")
 	flag.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: galliumc [-o outdir] [-print what] <file.mc | %s>\n",
-			strings.Join(builtinNames(), " | "))
+			strings.Join(gallium.Builtins(), " | "))
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -41,59 +40,57 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
-	cons := partition.DefaultConstraints()
-	if *depth > 0 {
-		cons.PipelineDepth = *depth
+	if !validPrint(*show) {
+		fmt.Fprintf(os.Stderr, "galliumc: unknown -print value %q (want one of: %s)\n",
+			*show, strings.Join(printValues, ", "))
+		os.Exit(2)
 	}
-	if *transfer > 0 {
-		cons.TransferBytes = *transfer
+	opts := gallium.Options{
+		WeightedObjective: *weighted,
+		DisaggregatedRMT:  *drmt,
 	}
-	if *memory > 0 {
-		cons.SwitchMemoryBytes = *memory
-	}
-	cons.WeightedObjective = *weighted
-	cons.DisaggregatedRMT = *drmt
-	if err := run(flag.Arg(0), *outDir, *show, cons); err != nil {
+	// Overrides apply only when the flag was given on the command line, so
+	// an explicit `-depth 0` reaches the partitioner (and is rejected
+	// there) instead of silently meaning "use the default".
+	flag.Visit(func(f *flag.Flag) {
+		switch f.Name {
+		case "depth":
+			opts.PipelineDepth = gallium.Int(*depth)
+		case "transfer":
+			opts.TransferBytes = gallium.Int(*transfer)
+		case "memory":
+			opts.SwitchMemoryBytes = gallium.Int(*memory)
+		}
+	})
+	if err := run(flag.Arg(0), *outDir, *show, opts); err != nil {
 		fmt.Fprintln(os.Stderr, "galliumc:", err)
 		os.Exit(1)
 	}
 }
 
-func builtinNames() []string {
-	names := []string{"minilb", "ipgateway"}
-	for _, s := range middleboxes.All() {
-		names = append(names, s.Name)
+func validPrint(show string) bool {
+	for _, v := range printValues {
+		if show == v {
+			return true
+		}
 	}
-	return names
+	return false
 }
 
-func run(target, outDir, show string, cons partition.Constraints) error {
-	src, err := loadSource(target)
+func run(target, outDir, show string, opts gallium.Options) error {
+	art, err := gallium.CompileTarget(target, opts)
 	if err != nil {
 		return err
 	}
-	prog, err := lang.Compile(src)
-	if err != nil {
-		return err
-	}
-	res, err := partition.Partition(prog, cons)
-	if err != nil {
-		return err
-	}
-	p4prog, err := p4.Generate(res)
-	if err != nil {
-		return err
-	}
-	srv := servergen.Generate(res)
 
 	if outDir != "" {
 		if err := os.MkdirAll(outDir, 0o755); err != nil {
 			return err
 		}
 		files := map[string]string{
-			prog.Name + ".p4":         p4prog.Source,
-			prog.Name + "_server.cpp": srv.Source,
-			prog.Name + "_report.txt": report(res, p4prog, srv),
+			art.Name + ".p4":         art.P4.Source,
+			art.Name + "_server.cpp": art.Server.Source,
+			art.Name + "_report.txt": report(art),
 		}
 		for name, content := range files {
 			if err := os.WriteFile(filepath.Join(outDir, name), []byte(content), 0o644); err != nil {
@@ -103,13 +100,14 @@ func run(target, outDir, show string, cons partition.Constraints) error {
 		fmt.Printf("wrote %d artifacts to %s\n", len(files), outDir)
 	}
 
+	res := art.Res
 	switch show {
 	case "report":
-		fmt.Print(report(res, p4prog, srv))
+		fmt.Print(report(art))
 	case "p4":
-		fmt.Print(p4prog.Source)
+		fmt.Print(art.P4.Source)
 	case "server":
-		fmt.Print(srv.Source)
+		fmt.Print(art.Server.Source)
 	case "pre":
 		fmt.Print(res.PreFn.String())
 	case "srv":
@@ -125,36 +123,20 @@ func run(target, outDir, show string, cons partition.Constraints) error {
 		}
 		fmt.Print(res.Graph.Dot(names))
 	case "all":
-		fmt.Print(report(res, p4prog, srv))
+		fmt.Print(report(art))
 		fmt.Println("---- P4 ----")
-		fmt.Print(p4prog.Source)
+		fmt.Print(art.P4.Source)
 		fmt.Println("---- server ----")
-		fmt.Print(srv.Source)
-	default:
-		return fmt.Errorf("unknown -print value %q", show)
+		fmt.Print(art.Server.Source)
 	}
 	return nil
 }
 
-func loadSource(target string) (string, error) {
-	if strings.HasSuffix(target, ".mc") {
-		data, err := os.ReadFile(target)
-		if err != nil {
-			return "", err
-		}
-		return string(data), nil
-	}
-	spec, err := middleboxes.Lookup(target)
-	if err != nil {
-		return "", fmt.Errorf("%q is neither a .mc file nor a built-in middlebox", target)
-	}
-	return spec.Source, nil
-}
-
-func report(res *partition.Result, p4prog *p4.Program, srv *servergen.Program) string {
+func report(art *gallium.Artifacts) string {
 	var b strings.Builder
+	res := art.Res
 	r := res.Report
-	fmt.Fprintf(&b, "middlebox %s\n", res.Prog.Name)
+	fmt.Fprintf(&b, "middlebox %s\n", art.Name)
 	fmt.Fprintf(&b, "  statements: %d total = %d pre + %d server + %d post (%.0f%% offloaded)\n",
 		r.NumStmts, r.NumPre, r.NumSrv, r.NumPost, 100*r.OffloadFraction())
 	fmt.Fprintf(&b, "  switch memory: %d bytes across %d globals %v\n",
@@ -166,6 +148,6 @@ func report(res *partition.Result, p4prog *p4.Program, srv *servergen.Program) s
 	fmt.Fprintf(&b, "  transfer headers: pre→server %s (%dB), server→post %s (%dB)\n",
 		res.FormatA, r.TransferABytes, res.FormatB, r.TransferBBytes)
 	fmt.Fprintf(&b, "  generated: %d lines of P4, %d lines of server C++\n",
-		p4prog.LinesOfCode(), srv.LinesOfCode())
+		art.P4.LinesOfCode(), art.Server.LinesOfCode())
 	return b.String()
 }

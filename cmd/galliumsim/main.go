@@ -3,10 +3,16 @@
 // throughput, latency, and path statistics. It is the interactive
 // counterpart of the benchmark harness: one scenario, visible numbers.
 //
+// With -metrics it dumps the full observability snapshot (per-table
+// hit/miss counters, server cache statistics, latency histograms with
+// p50/p95/p99) as JSON; with -trace N it prints the first N packets' hop
+// traces.
+//
 // Usage:
 //
 //	galliumsim [-mb mazunat] [-mode offloaded|software] [-cores 1]
 //	           [-size 500] [-pps 4e6] [-ms 10]
+//	           [-metrics out.json] [-trace 5]
 package main
 
 import (
@@ -16,8 +22,8 @@ import (
 	"sort"
 	"strings"
 
-	"gallium/internal/eval"
-	"gallium/internal/netsim"
+	"gallium"
+	"gallium/internal/obs"
 	"gallium/internal/packet"
 	"gallium/internal/trafficgen"
 )
@@ -31,46 +37,57 @@ func main() {
 	ms := flag.Int("ms", 10, "simulated duration in milliseconds")
 	cache := flag.String("cache", "", "run a table as a §7 switch cache, e.g. -cache conn=512")
 	pcap := flag.String("pcap", "", "write delivered packets to this pcap file")
+	metrics := flag.String("metrics", "", "write the observability snapshot as JSON to this file")
+	trace := flag.Int("trace", 0, "print hop-by-hop traces for the first N packets")
 	flag.Parse()
-	if err := run(*mb, *mode, *cores, *size, *pps, *ms, *cache, *pcap); err != nil {
+	if err := run(*mb, *mode, *cores, *size, *pps, *ms, *cache, *pcap, *metrics, *trace); err != nil {
 		fmt.Fprintln(os.Stderr, "galliumsim:", err)
 		os.Exit(1)
 	}
 }
 
-func run(name, modeStr string, cores, size int, pps float64, ms int, cache, pcapPath string) error {
-	var c *eval.Compiled
-	var err error
-	if cache != "" {
-		var table string
-		var entries int
-		if _, err := fmt.Sscanf(cache, "%s", &table); err != nil || !strings.Contains(cache, "=") {
-			return fmt.Errorf("bad -cache value %q, want table=entries", cache)
-		}
-		parts := strings.SplitN(cache, "=", 2)
-		table = parts[0]
-		if _, err := fmt.Sscanf(parts[1], "%d", &entries); err != nil {
-			return fmt.Errorf("bad -cache entry count %q", parts[1])
-		}
-		c, err = eval.CompileOneWithCache(name, map[string]int{table: entries})
-	} else {
-		c, err = eval.CompileOne(name)
+func parseCache(cache string) (map[string]int, error) {
+	if cache == "" {
+		return nil, nil
 	}
+	parts := strings.SplitN(cache, "=", 2)
+	if len(parts) != 2 || parts[0] == "" {
+		return nil, fmt.Errorf("bad -cache value %q, want table=entries", cache)
+	}
+	var entries int
+	if _, err := fmt.Sscanf(parts[1], "%d", &entries); err != nil {
+		return nil, fmt.Errorf("bad -cache entry count %q", parts[1])
+	}
+	return map[string]int{parts[0]: entries}, nil
+}
+
+func run(name, modeStr string, cores, size int, pps float64, ms int, cache, pcapPath, metricsPath string, traceN int) error {
+	caches, err := parseCache(cache)
 	if err != nil {
 		return err
 	}
-	mode := netsim.Offloaded
-	if modeStr == "software" {
-		mode = netsim.Software
-	} else if modeStr != "offloaded" {
-		return fmt.Errorf("unknown mode %q", modeStr)
+	art, err := gallium.CompileBuiltin(name, gallium.Options{CacheEntries: caches})
+	if err != nil {
+		return err
+	}
+	mode, err := gallium.ParseMode(modeStr)
+	if err != nil {
+		return err
+	}
+
+	var reg *obs.Registry
+	if metricsPath != "" || traceN > 0 {
+		reg = obs.NewRegistry()
+		reg.EnableTracing(traceN)
 	}
 
 	gen := trafficgen.IperfConfig{
 		Conns: 10, PacketSize: size, PPS: pps,
 		DurationNs: int64(ms) * 1_000_000, Seed: 7,
 	}
-	tb, err := eval.NewScenarioTestbed(c, mode, cores, gen.Tuples())
+	tb, err := art.NewTestbed(gallium.TestbedConfig{
+		Mode: mode, Cores: cores, Scenario: true, Flows: gen.Tuples(), Metrics: reg,
+	})
 	if err != nil {
 		return err
 	}
@@ -124,7 +141,7 @@ func run(name, modeStr string, cores, size int, pps float64, ms int, cache, pcap
 	if pcapPath != "" {
 		fmt.Printf("  wrote %d delivered packets to %s\n", len(lats), pcapPath)
 	}
-	if mode == netsim.Offloaded {
+	if mode == gallium.Offloaded {
 		fmt.Printf("  fast path: %d (%.2f%%)  slow path: %d\n",
 			st.FastPath, 100*float64(st.FastPath)/float64(st.Injected), st.SlowPath)
 		fmt.Printf("  control plane: %d ops in %d batches\n", st.CtlOps, st.CtlBatches)
@@ -134,6 +151,27 @@ func run(name, modeStr string, cores, size int, pps float64, ms int, cache, pcap
 	}
 	fmt.Printf("  server cycles: %.0f (%.1f cycles/pkt over slow-path packets)\n",
 		st.ServerCycles, st.ServerCycles/maxf(1, float64(st.SlowPath)))
+
+	if reg != nil {
+		snap := reg.Snapshot()
+		if traceN > 0 {
+			fmt.Printf("\nhop traces (first %d packets):\n", len(snap.Traces))
+			for _, tr := range snap.Traces {
+				fmt.Print(tr.Format())
+			}
+		}
+		if metricsPath != "" {
+			data, err := snap.JSON()
+			if err != nil {
+				return err
+			}
+			if err := os.WriteFile(metricsPath, append(data, '\n'), 0o644); err != nil {
+				return err
+			}
+			fmt.Printf("\nwrote %d counters, %d histograms, %d traces to %s\n",
+				len(snap.Counters), len(snap.Histograms), len(snap.Traces), metricsPath)
+		}
+	}
 	return nil
 }
 

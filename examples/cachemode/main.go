@@ -18,12 +18,10 @@ import (
 	"log"
 	"math/rand"
 
+	"gallium"
 	"gallium/internal/ir"
-	"gallium/internal/lang"
 	"gallium/internal/middleboxes"
 	"gallium/internal/packet"
-	"gallium/internal/partition"
-	"gallium/internal/serverrt"
 )
 
 func main() {
@@ -33,22 +31,19 @@ func main() {
 	fmt.Printf("%10s %14s %11s %8s %11s\n", "cache", "switch memory", "fast path", "punts", "evictions")
 
 	for _, entries := range []int{0, 8, 32, 128, 512, 2048} {
-		prog, err := lang.Compile(middleboxes.MiniLBSource)
-		if err != nil {
-			log.Fatal(err)
-		}
-		cons := partition.DefaultConstraints()
+		var opts gallium.Options
 		label := "full"
 		if entries > 0 {
-			cons.CacheEntries = map[string]int{"conn": entries}
+			opts.CacheEntries = map[string]int{"conn": entries}
 			label = fmt.Sprintf("%d", entries)
 		}
-		res, err := partition.Partition(prog, cons)
+		art, err := gallium.Compile(middleboxes.MiniLBSource, opts)
 		if err != nil {
 			log.Fatal(err)
 		}
-		d := serverrt.NewDeployment(res)
-		if err := d.Configure(func(st *ir.State) { middleboxes.ConfigureState("minilb", st) }); err != nil {
+		res := art.Res
+		d, err := art.NewDeployment(func(st *ir.State) { middleboxes.ConfigureState("minilb", st) })
+		if err != nil {
 			log.Fatal(err)
 		}
 

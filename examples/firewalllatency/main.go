@@ -11,7 +11,7 @@ import (
 	"fmt"
 	"log"
 
-	"gallium/internal/eval"
+	"gallium"
 	"gallium/internal/ir"
 	"gallium/internal/middleboxes"
 	"gallium/internal/netsim"
@@ -19,24 +19,23 @@ import (
 )
 
 func main() {
-	c, err := eval.CompileOne("firewall")
+	art, err := gallium.CompileBuiltin("firewall", gallium.Options{})
 	if err != nil {
 		log.Fatal(err)
 	}
-	if c.Res.Report.NumSrv != 0 {
-		log.Fatalf("firewall should be fully offloaded, server has %d statements", c.Res.Report.NumSrv)
+	if art.Res.Report.NumSrv != 0 {
+		log.Fatalf("firewall should be fully offloaded, server has %d statements", art.Res.Report.NumSrv)
 	}
 	fmt.Printf("firewall partition: %d statements, all on the switch (%d tables)\n\n",
-		c.Res.Report.NumStmts, len(c.Res.OffloadedGlobals))
+		art.Res.Report.NumStmts, len(art.Res.OffloadedGlobals))
 
 	tup := packet.FiveTuple{
 		SrcIP: packet.MakeIPv4Addr(10, 0, 0, 1), DstIP: packet.MakeIPv4Addr(8, 8, 8, 8),
 		SrcPort: 4000, DstPort: 443, Proto: packet.IPProtocolTCP,
 	}
-	measure := func(mode netsim.Mode) float64 {
-		tb, err := netsim.NewTestbed(netsim.Config{
-			Model: netsim.DefaultModel(), Mode: mode, Cores: 1,
-			Res: c.Res, Prog: c.Prog,
+	measure := func(mode gallium.Mode) float64 {
+		tb, err := art.NewTestbed(gallium.TestbedConfig{
+			Mode: mode, Cores: 1,
 			Setup: func(st *ir.State) { middleboxes.AllowFlow(st, tup) },
 		})
 		if err != nil {
@@ -58,8 +57,8 @@ func main() {
 		return sum / float64(n) / 1000
 	}
 
-	gal := measure(netsim.Offloaded)
-	fc := measure(netsim.Software)
+	gal := measure(gallium.Offloaded)
+	fc := measure(gallium.Software)
 
 	m := netsim.DefaultModel()
 	fmt.Println("per-hop latency budget (µs):")

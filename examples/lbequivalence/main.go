@@ -14,7 +14,7 @@ import (
 	"log"
 	"math/rand"
 
-	"gallium/internal/eval"
+	"gallium"
 	"gallium/internal/ir"
 	"gallium/internal/middleboxes"
 	"gallium/internal/packet"
@@ -22,16 +22,16 @@ import (
 )
 
 func main() {
-	c, err := eval.CompileOne("l4lb")
+	art, err := gallium.CompileBuiltin("l4lb", gallium.Options{})
 	if err != nil {
 		log.Fatal(err)
 	}
-	ref := serverrt.NewSoftware(c.Prog)
-	dep := serverrt.NewDeployment(c.Res)
+	ref := serverrt.NewSoftware(art.Prog)
 
 	setup := func(st *ir.State) { middleboxes.ConfigureState("l4lb", st) }
 	setup(ref.State)
-	if err := dep.Configure(setup); err != nil {
+	dep, err := art.NewDeployment(setup)
+	if err != nil {
 		log.Fatal(err)
 	}
 

@@ -11,14 +11,13 @@ import (
 	"fmt"
 	"log"
 
-	"gallium/internal/eval"
-	"gallium/internal/netsim"
+	"gallium"
 	"gallium/internal/packet"
 	"gallium/internal/trafficgen"
 )
 
 func main() {
-	c, err := eval.CompileOne("mazunat")
+	art, err := gallium.CompileBuiltin("mazunat", gallium.Options{})
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -34,9 +33,11 @@ func main() {
 		fastPct float64
 		cycles  float64
 	}
-	run := func(label string, mode netsim.Mode, cores int) outcome {
+	run := func(label string, mode gallium.Mode, cores int) outcome {
 		// Throughput phase: sustained load.
-		tb, err := eval.NewScenarioTestbed(c, mode, cores, gen.Tuples())
+		tb, err := art.NewTestbed(gallium.TestbedConfig{
+			Mode: mode, Cores: cores, Scenario: true, Flows: gen.Tuples(),
+		})
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -50,7 +51,9 @@ func main() {
 
 		// Latency phase: Nptcp-style probes on a fresh, idle testbed (as
 		// in the paper, latency is measured without background load).
-		lt, err := eval.NewScenarioTestbed(c, mode, cores, gen.Tuples())
+		lt, err := art.NewTestbed(gallium.TestbedConfig{
+			Mode: mode, Cores: cores, Scenario: true, Flows: gen.Tuples(),
+		})
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -82,8 +85,8 @@ func main() {
 		}
 	}
 
-	off := run("gallium (switch + 1 core)", netsim.Offloaded, 1)
-	sw4 := run("fastclick (4 cores)", netsim.Software, 4)
+	off := run("gallium (switch + 1 core)", gallium.Offloaded, 1)
+	sw4 := run("fastclick (4 cores)", gallium.Software, 4)
 
 	fmt.Println("MazuNAT, 10 TCP connections, 500B packets, 6 Mpps offered, 10 ms")
 	fmt.Printf("%-28s %10s %12s %11s %14s\n", "deployment", "Gbps", "probe(µs)", "fast path", "server cycles")

@@ -1,0 +1,158 @@
+// Package gallium is the single entry point to the Gallium toolchain: it
+// compiles a MiniClick middlebox, partitions it across a programmable
+// switch and a middlebox server (the paper's §4 pipeline), generates the
+// deployable P4 and server programs, and builds simulated testbeds and
+// deployments from the result.
+//
+// The facade replaces hand-wiring lang.Compile → partition.Partition →
+// p4.Generate/servergen.Generate in every caller:
+//
+//	art, err := gallium.Compile(src, gallium.Options{})
+//	tb, err := art.NewTestbed(gallium.TestbedConfig{Mode: gallium.Offloaded})
+package gallium
+
+import (
+	"fmt"
+	"os"
+	"strings"
+
+	"gallium/internal/ir"
+	"gallium/internal/lang"
+	"gallium/internal/middleboxes"
+	"gallium/internal/p4"
+	"gallium/internal/partition"
+	"gallium/internal/servergen"
+)
+
+// Options tunes the partitioner. The zero value means "paper defaults"
+// throughout; the pointer fields distinguish "not set" from an explicit
+// zero, so Options{PipelineDepth: gallium.Int(0)} is a real (and
+// rejected-by-the-partitioner) request rather than a silent default.
+type Options struct {
+	// PipelineDepth bounds the longest offloaded dependency chain
+	// (Constraint 2). Nil uses the default.
+	PipelineDepth *int
+	// TransferBytes bounds the synthesized switch↔server header
+	// (Constraint 5). Nil uses the paper's 20 bytes.
+	TransferBytes *int
+	// SwitchMemoryBytes bounds offloaded state (Constraint 1).
+	SwitchMemoryBytes *int
+	// MetadataBytes bounds per-packet scratchpad state (Constraint 4).
+	MetadataBytes *int
+	// WeightedObjective enables the §7 weighted offloading objective.
+	WeightedObjective bool
+	// DisaggregatedRMT relaxes label rules 3/4 for dRMT targets.
+	DisaggregatedRMT bool
+	// NoRematerialization ablates rematerialization (DESIGN.md).
+	NoRematerialization bool
+	// CacheEntries runs the named map tables in §7 cache mode with the
+	// given switch-resident entry counts.
+	CacheEntries map[string]int
+}
+
+// Int returns a pointer to v, for the Options override fields.
+func Int(v int) *int { return &v }
+
+// Constraints resolves the options against the partitioner defaults.
+func (o Options) Constraints() partition.Constraints {
+	cons := partition.DefaultConstraints()
+	if o.PipelineDepth != nil {
+		cons.PipelineDepth = *o.PipelineDepth
+	}
+	if o.TransferBytes != nil {
+		cons.TransferBytes = *o.TransferBytes
+	}
+	if o.SwitchMemoryBytes != nil {
+		cons.SwitchMemoryBytes = *o.SwitchMemoryBytes
+	}
+	if o.MetadataBytes != nil {
+		cons.MetadataBytes = *o.MetadataBytes
+	}
+	cons.WeightedObjective = o.WeightedObjective
+	cons.DisaggregatedRMT = o.DisaggregatedRMT
+	cons.NoRematerialization = o.NoRematerialization
+	if len(o.CacheEntries) > 0 {
+		cons.CacheEntries = o.CacheEntries
+	}
+	return cons
+}
+
+// Artifacts is everything Compile produces for one middlebox: the IR, the
+// three-way partition, and the two deployable programs.
+type Artifacts struct {
+	// Name is the middlebox name (from the IR program).
+	Name string
+	// Source is the MiniClick input.
+	Source string
+	// Prog is the compiled IR.
+	Prog *ir.Program
+	// Res is the partitioner output: pre/server/post functions, transfer
+	// formats, offloaded globals, and the resource report.
+	Res *partition.Result
+	// P4 is the generated switch program.
+	P4 *p4.Program
+	// Server is the generated DPDK-style server program.
+	Server *servergen.Program
+}
+
+// Compile runs the full pipeline over MiniClick source: parse and lower to
+// IR, partition under the (possibly overridden) resource constraints, and
+// generate both deployable artifacts.
+func Compile(src string, opts Options) (*Artifacts, error) {
+	prog, err := lang.Compile(src)
+	if err != nil {
+		return nil, err
+	}
+	res, err := partition.Partition(prog, opts.Constraints())
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", prog.Name, err)
+	}
+	p4prog, err := p4.Generate(res)
+	if err != nil {
+		return nil, fmt.Errorf("%s: p4: %w", prog.Name, err)
+	}
+	srv := servergen.Generate(res)
+	return &Artifacts{
+		Name:   prog.Name,
+		Source: src,
+		Prog:   prog,
+		Res:    res,
+		P4:     p4prog,
+		Server: srv,
+	}, nil
+}
+
+// CompileBuiltin compiles one of the built-in evaluation middleboxes by
+// name (see Builtins).
+func CompileBuiltin(name string, opts Options) (*Artifacts, error) {
+	spec, err := middleboxes.Lookup(name)
+	if err != nil {
+		return nil, err
+	}
+	return Compile(spec.Source, opts)
+}
+
+// CompileTarget compiles a .mc source file (by path) or a built-in
+// middlebox (by name) — the CLI's argument convention.
+func CompileTarget(target string, opts Options) (*Artifacts, error) {
+	if strings.HasSuffix(target, ".mc") {
+		data, err := os.ReadFile(target)
+		if err != nil {
+			return nil, err
+		}
+		return Compile(string(data), opts)
+	}
+	if _, err := middleboxes.Lookup(target); err != nil {
+		return nil, fmt.Errorf("%q is neither a .mc file nor a built-in middlebox", target)
+	}
+	return CompileBuiltin(target, opts)
+}
+
+// Builtins returns the names CompileBuiltin accepts.
+func Builtins() []string {
+	names := []string{"minilb", "ipgateway"}
+	for _, s := range middleboxes.All() {
+		names = append(names, s.Name)
+	}
+	return names
+}

@@ -5,12 +5,11 @@ import (
 	"math/rand"
 	"strings"
 
+	"gallium"
 	"gallium/internal/ir"
-	"gallium/internal/lang"
 	"gallium/internal/middleboxes"
 	"gallium/internal/packet"
 	"gallium/internal/partition"
-	"gallium/internal/serverrt"
 )
 
 // Ablations quantify the design choices DESIGN.md calls out: how much the
@@ -31,18 +30,12 @@ type AblationRow struct {
 	Extra string
 }
 
-func partitionWith(name string, mutate func(*partition.Constraints)) (*partition.Result, error) {
-	spec, err := middleboxes.Lookup(name)
+func partitionWith(name string, opts gallium.Options) (*partition.Result, error) {
+	art, err := gallium.CompileBuiltin(name, opts)
 	if err != nil {
 		return nil, err
 	}
-	prog, err := lang.Compile(spec.Source)
-	if err != nil {
-		return nil, err
-	}
-	c := partition.DefaultConstraints()
-	mutate(&c)
-	return partition.Partition(prog, c)
+	return art.Res, nil
 }
 
 // AblationTransferBudget sweeps Constraint 5.
@@ -50,7 +43,7 @@ func AblationTransferBudget() ([]AblationRow, error) {
 	var rows []AblationRow
 	for _, s := range middleboxes.All() {
 		for _, budget := range []int{2, 4, 8, 20} {
-			res, err := partitionWith(s.Name, func(c *partition.Constraints) { c.TransferBytes = budget })
+			res, err := partitionWith(s.Name, gallium.Options{TransferBytes: gallium.Int(budget)})
 			if err != nil {
 				return nil, err
 			}
@@ -69,7 +62,7 @@ func AblationPipelineDepth() ([]AblationRow, error) {
 	var rows []AblationRow
 	for _, s := range middleboxes.All() {
 		for _, depth := range []int{6, 12, 20, 32} {
-			res, err := partitionWith(s.Name, func(c *partition.Constraints) { c.PipelineDepth = depth })
+			res, err := partitionWith(s.Name, gallium.Options{PipelineDepth: gallium.Int(depth)})
 			if err != nil {
 				return nil, err
 			}
@@ -97,7 +90,7 @@ func AblationRematerialization() ([]AblationRow, error) {
 	var rows []AblationRow
 	for _, s := range middleboxes.All() {
 		for _, noRemat := range []bool{false, true} {
-			res, err := partitionWith(s.Name, func(c *partition.Constraints) { c.NoRematerialization = noRemat })
+			res, err := partitionWith(s.Name, gallium.Options{NoRematerialization: noRemat})
 			if err != nil {
 				return nil, err
 			}
@@ -121,7 +114,7 @@ func AblationObjective() ([]AblationRow, error) {
 	var rows []AblationRow
 	for _, s := range middleboxes.All() {
 		for _, weighted := range []bool{false, true} {
-			res, err := partitionWith(s.Name, func(c *partition.Constraints) { c.WeightedObjective = weighted })
+			res, err := partitionWith(s.Name, gallium.Options{WeightedObjective: weighted})
 			if err != nil {
 				return nil, err
 			}
@@ -163,21 +156,17 @@ type CacheRow struct {
 func AblationCacheSize() ([]CacheRow, error) {
 	var rows []CacheRow
 	for _, entries := range []int{0, 8, 32, 128, 512} {
-		spec, _ := middleboxes.Lookup("minilb")
-		prog, err := lang.Compile(spec.Source)
-		if err != nil {
-			return nil, err
-		}
-		c := partition.DefaultConstraints()
+		var opts gallium.Options
 		if entries > 0 {
-			c.CacheEntries = map[string]int{"conn": entries}
+			opts.CacheEntries = map[string]int{"conn": entries}
 		}
-		res, err := partition.Partition(prog, c)
+		art, err := gallium.CompileBuiltin("minilb", opts)
 		if err != nil {
 			return nil, err
 		}
-		d := serverrt.NewDeployment(res)
-		if err := d.Configure(func(st *ir.State) { middleboxes.ConfigureState("minilb", st) }); err != nil {
+		res := art.Res
+		d, err := art.NewDeployment(func(st *ir.State) { middleboxes.ConfigureState("minilb", st) })
+		if err != nil {
 			return nil, err
 		}
 		rng := rand.New(rand.NewSource(9))

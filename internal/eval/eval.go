@@ -6,12 +6,11 @@
 package eval
 
 import (
-	"fmt"
-
+	"gallium"
 	"gallium/internal/ir"
-	"gallium/internal/lang"
 	"gallium/internal/middleboxes"
 	"gallium/internal/netsim"
+	"gallium/internal/obs"
 	"gallium/internal/packet"
 	"gallium/internal/partition"
 	"gallium/internal/trafficgen"
@@ -23,6 +22,9 @@ type Compiled struct {
 	Spec middleboxes.Spec
 	Prog *ir.Program
 	Res  *partition.Result
+	// Art is the full artifact set from the gallium facade (P4, server
+	// program, testbed constructors).
+	Art *gallium.Artifacts
 }
 
 // CompileAll compiles and partitions the five evaluation middleboxes.
@@ -49,47 +51,27 @@ func CompileOneWithCache(name string, caches map[string]int) (*Compiled, error) 
 	if err != nil {
 		return nil, err
 	}
-	prog, err := lang.Compile(spec.Source)
+	art, err := gallium.CompileBuiltin(name, gallium.Options{CacheEntries: caches})
 	if err != nil {
-		return nil, fmt.Errorf("%s: %w", name, err)
+		return nil, err
 	}
-	cons := partition.DefaultConstraints()
-	if len(caches) > 0 {
-		cons.CacheEntries = caches
-	}
-	res, err := partition.Partition(prog, cons)
-	if err != nil {
-		return nil, fmt.Errorf("%s: %w", name, err)
-	}
-	return &Compiled{Name: name, Spec: spec, Prog: prog, Res: res}, nil
+	return &Compiled{Name: name, Spec: spec, Prog: art.Prog, Res: art.Res, Art: art}, nil
 }
 
-// setupFor returns the state-seeding function for a middlebox under the
-// iperf-style microbenchmarks: firewalls whitelist the generated flows,
-// the proxy redirects the benchmark port, load balancers get backends.
-func setupFor(name string, tuples []packet.FiveTuple) func(st *ir.State) {
-	return func(st *ir.State) {
-		middleboxes.ConfigureState(name, st)
-		switch name {
-		case "firewall":
-			for _, tup := range tuples {
-				middleboxes.AllowFlow(st, tup)
-			}
-		case "proxy":
-			middleboxes.RedirectPort(st, 5001)
-		}
-	}
-}
-
-// newTestbed builds a testbed for one (middlebox, mode, cores) cell.
+// newTestbed builds a testbed for one (middlebox, mode, cores) cell,
+// seeding the middlebox's standard benchmark scenario for the flows.
 func newTestbed(c *Compiled, mode netsim.Mode, cores int, tuples []packet.FiveTuple) (*netsim.Testbed, error) {
-	return netsim.NewTestbed(netsim.Config{
-		Model: netsim.DefaultModel(),
-		Mode:  mode,
-		Cores: cores,
-		Res:   c.Res,
-		Prog:  c.Prog,
-		Setup: setupFor(c.Name, tuples),
+	return newTestbedObs(c, mode, cores, tuples, nil)
+}
+
+// newTestbedObs is newTestbed with an observability registry attached.
+func newTestbedObs(c *Compiled, mode netsim.Mode, cores int, tuples []packet.FiveTuple, reg *obs.Registry) (*netsim.Testbed, error) {
+	return c.Art.NewTestbed(gallium.TestbedConfig{
+		Mode:     mode,
+		Cores:    cores,
+		Scenario: true,
+		Flows:    tuples,
+		Metrics:  reg,
 	})
 }
 

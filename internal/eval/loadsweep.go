@@ -5,14 +5,14 @@ import (
 	"strings"
 
 	"gallium/internal/netsim"
+	"gallium/internal/obs"
 	"gallium/internal/packet"
 )
 
 // LoadSweep goes beyond the paper's fixed-rate bars: it sweeps the offered
-// load and records delivered throughput and mean latency, exposing the
-// latency knee where the software middlebox's server saturates — the knee
-// the offloaded deployment simply does not have (its data path is the
-// switch).
+// load and records delivered throughput and latency, exposing the latency
+// knee where the software middlebox's server saturates — the knee the
+// offloaded deployment simply does not have (its data path is the switch).
 
 // LoadPoint is one sweep sample.
 type LoadPoint struct {
@@ -21,11 +21,13 @@ type LoadPoint struct {
 	OfferedPps float64
 	Gbps       float64
 	MeanUs     float64
+	P99Us      float64
 	QueueDrops int
 }
 
 // LoadSweep sweeps offered load for one middlebox across the offloaded and
-// 4-core software deployments.
+// 4-core software deployments. Latency numbers come from the testbed's
+// e2e.latency_ns histogram.
 func LoadSweep(name string, quick bool) ([]LoadPoint, error) {
 	c, err := CompileOne(name)
 	if err != nil {
@@ -40,34 +42,26 @@ func LoadSweep(name string, quick bool) ([]LoadPoint, error) {
 	for _, cfg := range []ConfigSpec{{"Offloaded", netsim.Offloaded, 1}, {"Click-4c", netsim.Software, 4}} {
 		for _, pps := range rates {
 			gen := trafficFor(500, pps, durNs)
-			tb, err := newTestbed(c, cfg.Mode, cfg.Cores, gen.Tuples())
+			reg := obs.NewRegistry()
+			tb, err := newTestbedObs(c, cfg.Mode, cfg.Cores, gen.Tuples(), reg)
 			if err != nil {
 				return nil, err
 			}
-			var latSum float64
-			var latN int
 			if err := gen.Generate(func(tNs int64, pkt *packet.Packet) error {
-				d, err := tb.Inject(tNs, pkt)
-				if err != nil {
-					return err
-				}
-				if d.Delivered {
-					latSum += float64(d.LatencyNs)
-					latN++
-				}
-				return nil
+				_, err := tb.Inject(tNs, pkt)
+				return err
 			}); err != nil {
 				return nil, err
 			}
 			st := tb.Stats()
-			p := LoadPoint{
+			lat := reg.Histogram("e2e.latency_ns", nil)
+			points = append(points, LoadPoint{
 				Middlebox: name, Config: cfg.Label, OfferedPps: pps,
-				Gbps: st.ThroughputBps() / 1e9, QueueDrops: st.QueueDrops,
-			}
-			if latN > 0 {
-				p.MeanUs = latSum / float64(latN) / 1000
-			}
-			points = append(points, p)
+				Gbps:       st.ThroughputBps() / 1e9,
+				MeanUs:     lat.Mean() / 1000,
+				P99Us:      lat.Quantile(0.99) / 1000,
+				QueueDrops: st.QueueDrops,
+			})
 		}
 	}
 	return points, nil
@@ -80,10 +74,10 @@ func FormatLoadSweep(points []LoadPoint) string {
 		return ""
 	}
 	fmt.Fprintf(&b, "Load sweep (%s, 500B packets): latency vs offered load\n", points[0].Middlebox)
-	fmt.Fprintf(&b, "  %-10s %10s %10s %12s %10s\n", "config", "offered", "delivered", "latency", "drops")
+	fmt.Fprintf(&b, "  %-10s %10s %10s %12s %12s %10s\n", "config", "offered", "delivered", "mean", "p99", "drops")
 	for _, p := range points {
-		fmt.Fprintf(&b, "  %-10s %8.1fMpps %8.2fGbps %10.1fµs %10d\n",
-			p.Config, p.OfferedPps/1e6, p.Gbps, p.MeanUs, p.QueueDrops)
+		fmt.Fprintf(&b, "  %-10s %8.1fMpps %8.2fGbps %10.1fµs %10.1fµs %10d\n",
+			p.Config, p.OfferedPps/1e6, p.Gbps, p.MeanUs, p.P99Us, p.QueueDrops)
 	}
 	return b.String()
 }

@@ -3,9 +3,6 @@ package eval
 import (
 	"fmt"
 	"strings"
-
-	"gallium/internal/p4"
-	"gallium/internal/servergen"
 )
 
 // Table1Row compares lines of code before and after compilation, the
@@ -26,16 +23,11 @@ func Table1() ([]Table1Row, error) {
 	}
 	var rows []Table1Row
 	for _, c := range compiled {
-		p4prog, err := p4.Generate(c.Res)
-		if err != nil {
-			return nil, err
-		}
-		srv := servergen.Generate(c.Res)
 		rows = append(rows, Table1Row{
 			Middlebox: c.Name,
 			InputLoC:  countLoC(c.Spec.Source),
-			P4LoC:     p4prog.LinesOfCode(),
-			ServerLoC: srv.LinesOfCode(),
+			P4LoC:     c.Art.P4.LinesOfCode(),
+			ServerLoC: c.Art.Server.LinesOfCode(),
 		})
 	}
 	return rows, nil

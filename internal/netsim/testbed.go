@@ -5,6 +5,7 @@ import (
 	"fmt"
 
 	"gallium/internal/ir"
+	"gallium/internal/obs"
 	"gallium/internal/packet"
 	"gallium/internal/partition"
 	"gallium/internal/serverrt"
@@ -44,6 +45,10 @@ type Config struct {
 	Prog *ir.Program
 	// Setup seeds middlebox state.
 	Setup func(st *ir.State)
+	// Obs, when non-nil, receives metrics from every component and (when
+	// tracing is enabled on it) per-packet hop traces. Nil disables
+	// observability at zero cost.
+	Obs *obs.Registry
 }
 
 // Delivery reports one packet's fate.
@@ -113,6 +118,94 @@ type Testbed struct {
 	jitterState uint64
 
 	stats Stats
+
+	reg   *obs.Registry
+	c     testbedCounters
+	hLat  *obs.Histogram // end-to-end latency, all delivered packets
+	hFast *obs.Histogram // fast-path (switch-only) subset
+	hSlow *obs.Histogram // slow-path (server-visited) subset
+	hWait *obs.Histogram // server ingress queue wait
+	// hStall is the output-commit stall: time a packet is held past server
+	// completion waiting for its write-back batch to flip (§4.3.3).
+	hStall   *obs.Histogram
+	corePkts []*obs.Counter
+	coreBusy []*obs.Counter
+	// tracer is resolved once at build time, like every other handle, so
+	// the per-packet path never touches the registry mutex. Enable tracing
+	// on the registry before constructing the testbed.
+	tracer *obs.TraceRecorder
+}
+
+// testbedCounters are the end-to-end counters.
+type testbedCounters struct {
+	injected, delivered     *obs.Counter
+	mbDrops, queueDrops     *obs.Counter
+	ctlRejected, ctlStalled *obs.Counter
+}
+
+// instrument wires the registry through every component and resolves the
+// testbed's own handles.
+func (tb *Testbed) instrument(reg *obs.Registry) {
+	if reg == nil {
+		return
+	}
+	tb.reg = reg
+	if tb.sw != nil {
+		tb.sw.Instrument(reg)
+	}
+	if tb.srv != nil {
+		tb.srv.Instrument(reg)
+	}
+	if tb.sft != nil {
+		tb.sft.Instrument(reg)
+	}
+	tb.c = testbedCounters{
+		injected:    reg.Counter("e2e.injected"),
+		delivered:   reg.Counter("e2e.delivered"),
+		mbDrops:     reg.Counter("e2e.mb_drops"),
+		queueDrops:  reg.Counter("e2e.queue_drops"),
+		ctlRejected: reg.Counter("e2e.ctl_rejected"),
+		ctlStalled:  reg.Counter("switch.ctl.stalled_packets"),
+	}
+	tb.hFast = reg.Histogram("e2e.latency_ns.fast", nil)
+	tb.hSlow = reg.Histogram("e2e.latency_ns.slow", nil)
+	// Every delivered packet is either fast or slow, so the all-packets
+	// histogram is a read-time merge — one observation per delivery.
+	tb.hLat = reg.MergedHistogram("e2e.latency_ns", tb.hFast, tb.hSlow)
+	tb.hWait = reg.Histogram("server.queue.wait_ns", nil)
+	tb.hStall = reg.Histogram("switch.ctl.stall_ns", nil)
+	tb.tracer = reg.Tracer()
+	tb.corePkts = make([]*obs.Counter, len(tb.coreFreeNs))
+	tb.coreBusy = make([]*obs.Counter, len(tb.coreFreeNs))
+	for i := range tb.coreFreeNs {
+		tb.corePkts[i] = reg.Counter(fmt.Sprintf("core.%d.packets", i))
+		tb.coreBusy[i] = reg.Counter(fmt.Sprintf("core.%d.busy_ns", i))
+	}
+}
+
+// traceStart opens a hop trace for the packet if the registry has tracing
+// enabled and capacity left.
+func (tb *Testbed) traceStart(tNs int64, pkt *packet.Packet) *obs.Trace {
+	if tb.tracer == nil {
+		return nil
+	}
+	summary := "packet"
+	if tup, ok := pkt.Tuple(); ok {
+		summary = tup.String()
+	}
+	tr := tb.tracer.Start(summary)
+	tr.Hop("inject", tNs)
+	return tr
+}
+
+// serveCore accounts one slow-path packet's service on its core.
+func (tb *Testbed) serveCore(core int, waitNs, serviceNs int64) {
+	if tb.reg == nil {
+		return
+	}
+	tb.corePkts[core].Inc()
+	tb.coreBusy[core].Add(uint64(serviceNs))
+	tb.hWait.Observe(waitNs)
 }
 
 // stackNs returns the endpoint stack latency with deterministic jitter
@@ -156,6 +249,7 @@ func NewTestbed(cfg Config) (*Testbed, error) {
 			cfg.Setup(tb.sft.State)
 		}
 	}
+	tb.instrument(cfg.Obs)
 	return tb, nil
 }
 
@@ -216,35 +310,45 @@ func (tb *Testbed) Inject(tNs int64, pkt *packet.Packet) (Delivery, error) {
 	}
 	tb.lastInject = tNs
 	tb.stats.Injected++
+	tb.c.injected.Inc()
 	size := pkt.WireLen()
 	tb.stats.BytesIn += int64(size)
 	m := tb.cfg.Model
+	tr := tb.traceStart(tNs, pkt)
 
 	// Source stack + first link.
 	t := float64(tNs) + tb.stackNs() + m.SerializationNs(size) + m.LinkPropNs
 
 	if tb.cfg.Mode == Software {
-		return tb.injectSoftware(tNs, int64(t), pkt)
+		return tb.injectSoftware(tNs, int64(t), pkt, tr)
 	}
 
 	// Switch pre-processing pass.
 	tb.applyFlips(int64(t))
+	preHop := tr.Hop("switch-pre", int64(t))
+	tb.sw.TraceHop(preHop)
 	pre, err := tb.sw.ProcessPre(pkt)
+	tb.sw.TraceHop(nil)
 	if err != nil {
 		return Delivery{}, err
 	}
+	preHop.SetSteps(pre.Steps)
 	t += m.SwitchPipelineNs
 	if pre.Punt {
-		return tb.injectPunt(tNs, t, pkt)
+		preHop.SetAction("punt")
+		return tb.injectPunt(tNs, t, pkt, tr)
 	}
+	preHop.SetAction(pre.Action.String())
 	switch pre.Action {
 	case ir.ActionDropped:
 		tb.stats.MBDrops++
 		tb.stats.FastPath++
+		tb.c.mbDrops.Inc()
+		tr.Hop("drop", int64(t)).SetNote("middlebox drop on switch")
 		return Delivery{MBDropped: true, FastPath: true}, nil
 	case ir.ActionSent:
 		tb.stats.FastPath++
-		return tb.deliver(tNs, t, pkt, true)
+		return tb.deliver(tNs, t, pkt, true, tr)
 	}
 
 	// Slow path: switch → server link, server queue, service.
@@ -259,6 +363,8 @@ func (tb *Testbed) Inject(tNs int64, pkt *packet.Packet) (Delivery, error) {
 	}
 	if float64(start-arrive) > m.MaxQueueDelayNs {
 		tb.stats.QueueDrops++
+		tb.c.queueDrops.Inc()
+		tr.Hop("drop", start).SetNote("server queue overflow")
 		return Delivery{QueueDropped: true}, nil
 	}
 
@@ -266,9 +372,15 @@ func (tb *Testbed) Inject(tNs int64, pkt *packet.Packet) (Delivery, error) {
 	if err != nil {
 		return Delivery{}, fmt.Errorf("netsim: server rx: %w", err)
 	}
+	srvHop := tr.Hop("server", start)
 	srvRes, err := tb.srv.Process(rx)
 	if err != nil {
 		return Delivery{}, err
+	}
+	srvHop.SetSteps(srvRes.Steps)
+	srvHop.SetAction(srvRes.Action.String())
+	if srvHop != nil && start > arrive {
+		srvHop.SetNote(fmt.Sprintf("queued %.2fµs on core %d", float64(start-arrive)/1000, core))
 	}
 	// The core is busy only for the CPU service time; the fixed datapath
 	// latency (NIC, PCIe, DPDK polling) is pipelined on top.
@@ -276,6 +388,7 @@ func (tb *Testbed) Inject(tNs int64, pkt *packet.Packet) (Delivery, error) {
 	tb.coreFreeNs[core] = busyUntil
 	done := busyUntil + int64(m.ServerDatapathNs)
 	tb.stats.ServerCycles += m.ServerCycles(srvRes.Steps)
+	tb.serveCore(core, start-arrive, busyUntil-start)
 
 	release := done
 	if len(srvRes.Updates) > 0 {
@@ -287,6 +400,7 @@ func (tb *Testbed) Inject(tNs int64, pkt *packet.Packet) (Delivery, error) {
 			if err := tb.sw.StageWriteback(u); err != nil {
 				if errors.Is(err, switchsim.ErrTableFull) {
 					tb.stats.CtlRejected++
+					tb.c.ctlRejected.Inc()
 					continue
 				}
 				return Delivery{}, err
@@ -300,17 +414,27 @@ func (tb *Testbed) Inject(tNs int64, pkt *packet.Packet) (Delivery, error) {
 			release = flipAt
 		}
 	}
+	if release > done {
+		// Output commit held the packet until its write-back batch flipped.
+		tb.c.ctlStalled.Inc()
+		tb.hStall.Observe(release - done)
+		if srvHop != nil {
+			srvHop.SetNote(fmt.Sprintf("output commit stalled %.2fµs", float64(release-done)/1000))
+		}
+	}
 
 	switch srvRes.Action {
 	case ir.ActionDropped:
 		tb.stats.MBDrops++
+		tb.c.mbDrops.Inc()
+		tr.Hop("drop", done).SetNote("middlebox drop on server")
 		return Delivery{MBDropped: true}, nil
 	case ir.ActionSent:
 		// Server-owned terminator: back through the switch as plain
 		// forwarding.
 		tRel := float64(release) + m.SerializationNs(rx.WireLen()) + m.LinkPropNs + m.SwitchPipelineNs
 		*pkt = *rx
-		return tb.deliver(tNs, tRel, pkt, false)
+		return tb.deliver(tNs, tRel, pkt, false, tr)
 	}
 
 	// Back to the switch for post-processing.
@@ -320,23 +444,30 @@ func (tb *Testbed) Inject(tNs int64, pkt *packet.Packet) (Delivery, error) {
 	if err != nil {
 		return Delivery{}, fmt.Errorf("netsim: switch rx from server: %w", err)
 	}
+	postHop := tr.Hop("switch-post", int64(tBack))
+	tb.sw.TraceHop(postHop)
 	post, err := tb.sw.ProcessPost(back)
+	tb.sw.TraceHop(nil)
 	if err != nil {
 		return Delivery{}, err
 	}
+	postHop.SetSteps(post.Steps)
+	postHop.SetAction(post.Action.String())
 	tBack += m.SwitchPipelineNs
 	*pkt = *back
 	if post.Action == ir.ActionDropped {
 		tb.stats.MBDrops++
+		tb.c.mbDrops.Inc()
+		tr.Hop("drop", int64(tBack)).SetNote("middlebox drop on switch post-pass")
 		return Delivery{MBDropped: true}, nil
 	}
-	return tb.deliver(tNs, tBack, pkt, false)
+	return tb.deliver(tNs, tBack, pkt, false, tr)
 }
 
 // injectPunt handles a §7 cache-mode punt: the unmodified packet goes to
 // the server, which runs the full middlebox. Cache fills do not stall the
 // packet; synchronous updates do (output commit).
-func (tb *Testbed) injectPunt(tNs int64, t float64, pkt *packet.Packet) (Delivery, error) {
+func (tb *Testbed) injectPunt(tNs int64, t float64, pkt *packet.Packet, tr *obs.Trace) (Delivery, error) {
 	m := tb.cfg.Model
 	tb.stats.SlowPath++
 	t += m.SerializationNs(pkt.WireLen()) + m.LinkPropNs
@@ -348,20 +479,26 @@ func (tb *Testbed) injectPunt(tNs int64, t float64, pkt *packet.Packet) (Deliver
 	}
 	if float64(start-arrive) > m.MaxQueueDelayNs {
 		tb.stats.QueueDrops++
+		tb.c.queueDrops.Inc()
+		tr.Hop("drop", start).SetNote("server queue overflow")
 		return Delivery{QueueDropped: true}, nil
 	}
 	rx, err := packet.DecodePacket(pkt.Serialize(), nil)
 	if err != nil {
 		return Delivery{}, fmt.Errorf("netsim: server rx (punt): %w", err)
 	}
+	srvHop := tr.Hop("server-full", start)
 	res, err := tb.srv.ProcessFull(rx)
 	if err != nil {
 		return Delivery{}, err
 	}
+	srvHop.SetSteps(res.Steps)
+	srvHop.SetAction(res.Action.String())
 	busyUntil := start + int64(m.ServerServiceNs(res.Steps))
 	tb.coreFreeNs[core] = busyUntil
 	done := busyUntil + int64(m.ServerDatapathNs)
 	tb.stats.ServerCycles += m.ServerCycles(res.Steps)
+	tb.serveCore(core, start-arrive, busyUntil-start)
 
 	release := done
 	fills, syncs := serverrt.ClassifyUpdates(tb.sw, res.Updates)
@@ -371,6 +508,7 @@ func (tb *Testbed) injectPunt(tNs int64, t float64, pkt *packet.Packet) (Deliver
 			if err := tb.sw.StageWriteback(u); err != nil {
 				if errors.Is(err, switchsim.ErrTableFull) {
 					tb.stats.CtlRejected++
+					tb.c.ctlRejected.Inc()
 					continue
 				}
 				return Delivery{}, err
@@ -387,17 +525,26 @@ func (tb *Testbed) injectPunt(tNs int64, t float64, pkt *packet.Packet) (Deliver
 			}
 		}
 	}
+	if release > done {
+		tb.c.ctlStalled.Inc()
+		tb.hStall.Observe(release - done)
+		if srvHop != nil {
+			srvHop.SetNote(fmt.Sprintf("output commit stalled %.2fµs", float64(release-done)/1000))
+		}
+	}
 	if res.Action == ir.ActionDropped {
 		tb.stats.MBDrops++
+		tb.c.mbDrops.Inc()
+		tr.Hop("drop", done).SetNote("middlebox drop on server")
 		return Delivery{MBDropped: true}, nil
 	}
 	// Back out through the switch as plain forwarding.
 	tOut := float64(release) + m.SerializationNs(rx.WireLen()) + m.LinkPropNs + m.SwitchPipelineNs
 	*pkt = *rx
-	return tb.deliver(tNs, tOut, pkt, false)
+	return tb.deliver(tNs, tOut, pkt, false, tr)
 }
 
-func (tb *Testbed) injectSoftware(tNs int64, arriveSwitch int64, pkt *packet.Packet) (Delivery, error) {
+func (tb *Testbed) injectSoftware(tNs int64, arriveSwitch int64, pkt *packet.Packet, tr *obs.Trace) (Delivery, error) {
 	m := tb.cfg.Model
 	// Plain forwarding through the switch to the server.
 	t := float64(arriveSwitch) + m.SwitchPipelineNs + m.SerializationNs(pkt.WireLen()) + m.LinkPropNs
@@ -409,27 +556,35 @@ func (tb *Testbed) injectSoftware(tNs int64, arriveSwitch int64, pkt *packet.Pac
 	}
 	if float64(start-arrive) > m.MaxQueueDelayNs {
 		tb.stats.QueueDrops++
+		tb.c.queueDrops.Inc()
+		tr.Hop("drop", start).SetNote("server queue overflow")
 		return Delivery{QueueDropped: true}, nil
 	}
+	srvHop := tr.Hop("server", start)
 	res, err := tb.sft.Process(pkt)
 	if err != nil {
 		return Delivery{}, err
 	}
+	srvHop.SetSteps(res.Steps)
+	srvHop.SetAction(res.Action.String())
 	busyUntil := start + int64(m.ServerServiceNs(res.Steps))
 	tb.coreFreeNs[core] = busyUntil
 	done := busyUntil + int64(m.ServerDatapathNs)
 	tb.stats.ServerCycles += m.ServerCycles(res.Steps)
 	tb.stats.SlowPath++
+	tb.serveCore(core, start-arrive, busyUntil-start)
 	if res.Action == ir.ActionDropped {
 		tb.stats.MBDrops++
+		tb.c.mbDrops.Inc()
+		tr.Hop("drop", done).SetNote("middlebox drop on server")
 		return Delivery{MBDropped: true}, nil
 	}
 	tOut := float64(done) + m.SerializationNs(pkt.WireLen()) + m.LinkPropNs + m.SwitchPipelineNs
-	return tb.deliver(tNs, tOut, pkt, false)
+	return tb.deliver(tNs, tOut, pkt, false, tr)
 }
 
 // deliver carries the packet over the final link into the sink host.
-func (tb *Testbed) deliver(tInject int64, t float64, pkt *packet.Packet, fast bool) (Delivery, error) {
+func (tb *Testbed) deliver(tInject int64, t float64, pkt *packet.Packet, fast bool, tr *obs.Trace) (Delivery, error) {
 	m := tb.cfg.Model
 	t += m.SerializationNs(pkt.WireLen()) + m.LinkPropNs + tb.stackNs()
 	d := Delivery{Delivered: true, FastPath: fast, DeliverNs: int64(t), LatencyNs: int64(t) - tInject}
@@ -440,6 +595,19 @@ func (tb *Testbed) deliver(tInject int64, t float64, pkt *packet.Packet, fast bo
 	}
 	if d.DeliverNs > tb.stats.LastDeliverNs {
 		tb.stats.LastDeliverNs = d.DeliverNs
+	}
+	if tb.reg != nil {
+		tb.c.delivered.Inc()
+		// hLat is the read-time merge of the two, so one observation
+		// covers both views.
+		if fast {
+			tb.hFast.Observe(d.LatencyNs)
+		} else {
+			tb.hSlow.Observe(d.LatencyNs)
+		}
+	}
+	if tr != nil { // guard: the Sprintf must not run on the untraced path
+		tr.Hop("deliver", d.DeliverNs).SetNote(fmt.Sprintf("latency %.2fµs", float64(d.LatencyNs)/1000))
 	}
 	return d, nil
 }

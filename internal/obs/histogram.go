@@ -1,0 +1,230 @@
+package obs
+
+import (
+	"math"
+	"sync/atomic"
+)
+
+// LatencyBuckets are the default upper bounds (ns) for latency-shaped
+// histograms: 1 µs to 10 ms, roughly logarithmic. The catch-all overflow
+// bucket is implicit.
+var LatencyBuckets = []int64{
+	1_000, 2_000, 5_000, 10_000, 15_000, 20_000, 30_000, 50_000,
+	100_000, 200_000, 500_000, 1_000_000, 2_000_000, 5_000_000, 10_000_000,
+}
+
+// StepBuckets are upper bounds for per-pass executed-statement counts
+// (stage occupancy): the switch pipeline runs tens of statements.
+var StepBuckets = []int64{1, 2, 4, 8, 12, 16, 24, 32, 48, 64, 128}
+
+// Histogram is a fixed-bucket histogram over int64 observations (ns or
+// counts). Observations are lock-free; quantiles interpolate linearly
+// within the containing bucket.
+type Histogram struct {
+	bounds []int64         // upper bounds, ascending; overflow bucket implicit
+	counts []atomic.Uint64 // len(bounds)+1
+	sum    atomic.Int64
+	min    atomic.Int64
+	max    atomic.Int64
+	// parts, when non-nil, makes this a read-time merge: every read folds
+	// the part histograms together and Observe is a no-op. Keeps hot paths
+	// at one observation even when an aggregate view is also registered.
+	parts []*Histogram
+}
+
+func newHistogram(bounds []int64) *Histogram {
+	if bounds == nil {
+		bounds = LatencyBuckets
+	}
+	h := &Histogram{
+		bounds: append([]int64(nil), bounds...),
+		counts: make([]atomic.Uint64, len(bounds)+1),
+	}
+	h.min.Store(math.MaxInt64)
+	return h
+}
+
+func newMergedHistogram(parts []*Histogram) *Histogram {
+	var bounds []int64
+	if len(parts) > 0 {
+		bounds = parts[0].bounds
+	}
+	h := newHistogram(bounds)
+	h.parts = parts
+	return h
+}
+
+// folded returns h itself, or for a merged histogram a point-in-time fold
+// of its parts (which all share h's bounds).
+func (h *Histogram) folded() *Histogram {
+	if h == nil || len(h.parts) == 0 {
+		return h
+	}
+	f := newHistogram(h.bounds)
+	for _, p := range h.parts {
+		for i := range p.counts {
+			f.counts[i].Add(p.counts[i].Load())
+		}
+		f.sum.Add(p.sum.Load())
+		if m := p.min.Load(); m < f.min.Load() {
+			f.min.Store(m)
+		}
+		if m := p.max.Load(); m > f.max.Load() {
+			f.max.Store(m)
+		}
+	}
+	return f
+}
+
+// Observe records one value. Merged histograms ignore observations.
+func (h *Histogram) Observe(v int64) {
+	if h == nil || h.parts != nil {
+		return
+	}
+	// Binary search for the first bound >= v.
+	lo, hi := 0, len(h.bounds)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if v <= h.bounds[mid] {
+			hi = mid
+		} else {
+			lo = mid + 1
+		}
+	}
+	h.counts[lo].Add(1)
+	h.sum.Add(v)
+	for {
+		cur := h.min.Load()
+		if v >= cur || h.min.CompareAndSwap(cur, v) {
+			break
+		}
+	}
+	for {
+		cur := h.max.Load()
+		if v <= cur || h.max.CompareAndSwap(cur, v) {
+			break
+		}
+	}
+}
+
+// Count returns the number of observations. The total is derived from the
+// bucket counts at read time, keeping Observe one atomic add cheaper.
+func (h *Histogram) Count() uint64 {
+	if h == nil {
+		return 0
+	}
+	h = h.folded()
+	var n uint64
+	for i := range h.counts {
+		n += h.counts[i].Load()
+	}
+	return n
+}
+
+// Mean returns the arithmetic mean of the observations.
+func (h *Histogram) Mean() float64 {
+	if h == nil {
+		return 0
+	}
+	h = h.folded()
+	n := h.Count()
+	if n == 0 {
+		return 0
+	}
+	return float64(h.sum.Load()) / float64(n)
+}
+
+// Quantile estimates the q-th quantile (0 < q <= 1) by linear
+// interpolation inside the containing bucket; the overflow bucket is
+// bounded by the observed maximum.
+func (h *Histogram) Quantile(q float64) float64 {
+	if h == nil {
+		return 0
+	}
+	h = h.folded()
+	total := h.Count()
+	if total == 0 {
+		return 0
+	}
+	target := q * float64(total)
+	if target < 1 {
+		target = 1
+	}
+	var cum float64
+	lower := float64(h.min.Load())
+	for i := range h.counts {
+		c := float64(h.counts[i].Load())
+		if c == 0 {
+			continue
+		}
+		// Tighten the bucket to the observed range: the overflow bucket
+		// has no bound, and the extreme buckets cannot extend past min/max.
+		upper := float64(h.max.Load())
+		if i < len(h.bounds) {
+			upper = math.Min(float64(h.bounds[i]), upper)
+		}
+		if upper < lower {
+			upper = lower
+		}
+		if cum+c >= target {
+			return lower + (target-cum)/c*(upper-lower)
+		}
+		cum += c
+		lower = upper
+	}
+	return float64(h.max.Load())
+}
+
+// Bucket is one histogram bucket in a snapshot. UpperBound is the
+// inclusive upper bound in the observation's unit; the final bucket uses
+// UpperBound == -1 to mean +Inf.
+type Bucket struct {
+	UpperBound int64  `json:"le"`
+	Count      uint64 `json:"count"`
+}
+
+// HistSnapshot is the JSON form of a histogram.
+type HistSnapshot struct {
+	Count   uint64   `json:"count"`
+	Sum     int64    `json:"sum"`
+	Min     int64    `json:"min"`
+	Max     int64    `json:"max"`
+	Mean    float64  `json:"mean"`
+	P50     float64  `json:"p50"`
+	P95     float64  `json:"p95"`
+	P99     float64  `json:"p99"`
+	Buckets []Bucket `json:"buckets"`
+}
+
+// Snapshot freezes the histogram, computing the summary quantiles.
+func (h *Histogram) Snapshot() HistSnapshot {
+	if h == nil {
+		return HistSnapshot{}
+	}
+	h = h.folded()
+	s := HistSnapshot{
+		Count: h.Count(),
+		Sum:   h.sum.Load(),
+		Mean:  h.Mean(),
+		P50:   h.Quantile(0.50),
+		P95:   h.Quantile(0.95),
+		P99:   h.Quantile(0.99),
+	}
+	if s.Count > 0 {
+		s.Min = h.min.Load()
+		s.Max = h.max.Load()
+	}
+	s.Buckets = make([]Bucket, 0, len(h.counts))
+	for i := range h.counts {
+		c := h.counts[i].Load()
+		if c == 0 {
+			continue // keep the JSON compact; zero buckets carry no signal
+		}
+		ub := int64(-1)
+		if i < len(h.bounds) {
+			ub = h.bounds[i]
+		}
+		s.Buckets = append(s.Buckets, Bucket{UpperBound: ub, Count: c})
+	}
+	return s
+}

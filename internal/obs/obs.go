@@ -1,0 +1,232 @@
+// Package obs is the observability layer shared by the Gallium runtime
+// stack: atomic counters and gauges, fixed-bucket latency histograms with
+// quantile estimation, and an optional per-packet trace recorder that
+// captures the pre-switch → server → post-switch hop sequence with
+// per-hop timings and table hit/miss outcomes.
+//
+// Every handle is nil-safe: methods on a nil *Registry return nil handles,
+// and methods on nil handles are no-ops. Components therefore resolve
+// their handles once at instrumentation time and call them unconditionally
+// on the hot path — when observability is disabled the per-event cost is a
+// single nil check.
+package obs
+
+import (
+	"encoding/json"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing atomic counter.
+type Counter struct {
+	v atomic.Uint64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Add adds n.
+func (c *Counter) Add(n uint64) {
+	if c == nil {
+		return
+	}
+	c.v.Add(n)
+}
+
+// Value returns the current count.
+func (c *Counter) Value() uint64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is an instantaneous atomic value.
+type Gauge struct {
+	v atomic.Int64
+}
+
+// Set replaces the value.
+func (g *Gauge) Set(v int64) {
+	if g == nil {
+		return
+	}
+	g.v.Store(v)
+}
+
+// Add shifts the value by d.
+func (g *Gauge) Add(d int64) {
+	if g == nil {
+		return
+	}
+	g.v.Add(d)
+}
+
+// Value returns the current value.
+func (g *Gauge) Value() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.v.Load()
+}
+
+// Registry is a string-keyed collection of metrics plus the optional trace
+// recorder. A nil *Registry is valid and hands out nil (no-op) handles.
+type Registry struct {
+	mu       sync.Mutex
+	counters map[string]*Counter
+	gauges   map[string]*Gauge
+	hists    map[string]*Histogram
+	tracer   *TraceRecorder
+}
+
+// NewRegistry returns an empty registry with tracing disabled.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters: map[string]*Counter{},
+		gauges:   map[string]*Gauge{},
+		hists:    map[string]*Histogram{},
+	}
+}
+
+// Counter returns (registering on first use) the named counter.
+func (r *Registry) Counter(name string) *Counter {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c, ok := r.counters[name]
+	if !ok {
+		c = &Counter{}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Gauge returns (registering on first use) the named gauge.
+func (r *Registry) Gauge(name string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	g, ok := r.gauges[name]
+	if !ok {
+		g = &Gauge{}
+		r.gauges[name] = g
+	}
+	return g
+}
+
+// Histogram returns (registering on first use) the named histogram with
+// the given bucket upper bounds; bounds are ignored when the histogram
+// already exists, and LatencyBuckets is used when bounds is nil.
+func (r *Registry) Histogram(name string, bounds []int64) *Histogram {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h, ok := r.hists[name]
+	if !ok {
+		h = newHistogram(bounds)
+		r.hists[name] = h
+	}
+	return h
+}
+
+// MergedHistogram returns (registering on first use) a named read-time
+// merge over parts: its count, sum, min/max, buckets, and quantiles fold
+// the parts together at every read, so hot paths observe into a single
+// part instead of double-counting into an aggregate. All parts must share
+// the merged histogram's bucket bounds; Observe on the merge is a no-op.
+func (r *Registry) MergedHistogram(name string, parts ...*Histogram) *Histogram {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h, ok := r.hists[name]
+	if !ok {
+		h = newMergedHistogram(parts)
+		r.hists[name] = h
+	}
+	return h
+}
+
+// EnableTracing arranges for the first n packets to be traced hop by hop.
+func (r *Registry) EnableTracing(n int) {
+	if r == nil || n <= 0 {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.tracer = &TraceRecorder{capacity: n}
+}
+
+// Tracer returns the trace recorder, or nil when tracing is disabled.
+func (r *Registry) Tracer() *TraceRecorder {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.tracer
+}
+
+// Snapshot is a point-in-time JSON-serializable dump of the registry. The
+// field-by-field schema is documented in DESIGN.md.
+type Snapshot struct {
+	Counters   map[string]uint64       `json:"counters"`
+	Gauges     map[string]int64        `json:"gauges,omitempty"`
+	Histograms map[string]HistSnapshot `json:"histograms"`
+	Traces     []Trace                 `json:"traces,omitempty"`
+}
+
+// Snapshot captures every metric and recorded trace.
+func (r *Registry) Snapshot() *Snapshot {
+	if r == nil {
+		return &Snapshot{Counters: map[string]uint64{}, Histograms: map[string]HistSnapshot{}}
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	s := &Snapshot{
+		Counters:   make(map[string]uint64, len(r.counters)),
+		Histograms: make(map[string]HistSnapshot, len(r.hists)),
+	}
+	for n, c := range r.counters {
+		s.Counters[n] = c.Value()
+	}
+	if len(r.gauges) > 0 {
+		s.Gauges = make(map[string]int64, len(r.gauges))
+		for n, g := range r.gauges {
+			s.Gauges[n] = g.Value()
+		}
+	}
+	for n, h := range r.hists {
+		s.Histograms[n] = h.Snapshot()
+	}
+	if r.tracer != nil {
+		s.Traces = r.tracer.Traces()
+	}
+	return s
+}
+
+// MarshalJSON renders the snapshot with deterministic key order (maps
+// already marshal sorted; this is the plain encoding).
+func (s *Snapshot) JSON() ([]byte, error) {
+	return json.MarshalIndent(s, "", "  ")
+}
+
+// CounterNames returns the registered counter names, sorted (tests and
+// text reports use it).
+func (s *Snapshot) CounterNames() []string {
+	names := make([]string, 0, len(s.Counters))
+	for n := range s.Counters {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}

@@ -1,0 +1,254 @@
+package obs
+
+import (
+	"encoding/json"
+	"math"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestNilRegistryIsNoOp(t *testing.T) {
+	var r *Registry
+	c := r.Counter("x")
+	c.Inc()
+	c.Add(5)
+	if c.Value() != 0 {
+		t.Error("nil counter accumulated")
+	}
+	g := r.Gauge("y")
+	g.Set(3)
+	g.Add(1)
+	if g.Value() != 0 {
+		t.Error("nil gauge accumulated")
+	}
+	h := r.Histogram("z", nil)
+	h.Observe(100)
+	if h.Count() != 0 || h.Mean() != 0 || h.Quantile(0.5) != 0 {
+		t.Error("nil histogram accumulated")
+	}
+	if tr := r.Tracer(); tr != nil {
+		t.Error("nil registry returned a tracer")
+	}
+	var rec *TraceRecorder
+	tr := rec.Start("pkt")
+	hop := tr.Hop("switch", 0)
+	hop.Lookup("t", true)
+	hop.SetAction("sent")
+	s := r.Snapshot()
+	if len(s.Counters) != 0 {
+		t.Error("nil registry snapshot has counters")
+	}
+}
+
+func TestCounterAndGauge(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("pkts")
+	c.Inc()
+	c.Add(9)
+	if got := c.Value(); got != 10 {
+		t.Errorf("counter = %d, want 10", got)
+	}
+	if r.Counter("pkts") != c {
+		t.Error("same name returned a different counter")
+	}
+	g := r.Gauge("depth")
+	g.Set(4)
+	g.Add(-1)
+	if got := g.Value(); got != 3 {
+		t.Errorf("gauge = %d, want 3", got)
+	}
+}
+
+func TestCounterConcurrency(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("n")
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				c.Inc()
+			}
+		}()
+	}
+	wg.Wait()
+	if got := c.Value(); got != 8000 {
+		t.Errorf("counter = %d, want 8000", got)
+	}
+}
+
+func TestHistogramQuantiles(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("lat", nil)
+	// Uniform 1..100 µs in ns.
+	for i := 1; i <= 100; i++ {
+		h.Observe(int64(i) * 1000)
+	}
+	if h.Count() != 100 {
+		t.Fatalf("count = %d", h.Count())
+	}
+	if got, want := h.Mean(), 50_500.0; math.Abs(got-want) > 1 {
+		t.Errorf("mean = %f, want %f", got, want)
+	}
+	p50 := h.Quantile(0.50)
+	if p50 < 30_000 || p50 > 70_000 {
+		t.Errorf("p50 = %f, want ≈50000", p50)
+	}
+	p99 := h.Quantile(0.99)
+	if p99 < 90_000 || p99 > 100_000 {
+		t.Errorf("p99 = %f, want ≈99000", p99)
+	}
+	if p50 > h.Quantile(0.95) || h.Quantile(0.95) > p99 {
+		t.Error("quantiles not monotonic")
+	}
+}
+
+func TestHistogramSingleValue(t *testing.T) {
+	h := newHistogram(nil)
+	for i := 0; i < 10; i++ {
+		h.Observe(7000)
+	}
+	for _, q := range []float64{0.5, 0.95, 0.99} {
+		if got := h.Quantile(q); got != 7000 {
+			t.Errorf("quantile(%f) = %f, want 7000", q, got)
+		}
+	}
+	s := h.Snapshot()
+	if s.Min != 7000 || s.Max != 7000 || s.Count != 10 {
+		t.Errorf("snapshot = %+v", s)
+	}
+}
+
+func TestHistogramOverflowBucket(t *testing.T) {
+	h := newHistogram([]int64{10, 100})
+	h.Observe(5)
+	h.Observe(50)
+	h.Observe(5000) // overflow
+	s := h.Snapshot()
+	if s.Count != 3 || s.Max != 5000 {
+		t.Fatalf("snapshot = %+v", s)
+	}
+	var overflow bool
+	for _, b := range s.Buckets {
+		if b.UpperBound == -1 && b.Count == 1 {
+			overflow = true
+		}
+	}
+	if !overflow {
+		t.Errorf("overflow bucket missing: %+v", s.Buckets)
+	}
+	if p99 := h.Quantile(0.99); p99 > 5000 || p99 <= 100 {
+		t.Errorf("p99 = %f, want in (100, 5000]", p99)
+	}
+}
+
+func TestTraceRecorderCapacity(t *testing.T) {
+	r := NewRegistry()
+	r.EnableTracing(2)
+	tr := r.Tracer()
+	if tr == nil {
+		t.Fatal("tracer not enabled")
+	}
+	t1 := tr.Start("pkt1")
+	t2 := tr.Start("pkt2")
+	t3 := tr.Start("pkt3")
+	if t1 == nil || t2 == nil {
+		t.Fatal("tracer refused within capacity")
+	}
+	if t3 != nil {
+		t.Fatal("tracer exceeded capacity")
+	}
+	hop := t1.Hop("switch-pre", 1000)
+	hop.Lookup("conn", false)
+	hop.SetAction("next")
+	hop.SetSteps(7)
+	t1.Hop("deliver", 9000).SetNote("latency 8.0µs")
+
+	traces := tr.Traces()
+	if len(traces) != 2 {
+		t.Fatalf("traces = %d, want 2", len(traces))
+	}
+	text := traces[0].Format()
+	for _, want := range []string{"trace #0 pkt1", "switch-pre", "conn=miss", "action=next", "steps=7", "deliver"} {
+		if !strings.Contains(text, want) {
+			t.Errorf("formatted trace missing %q:\n%s", want, text)
+		}
+	}
+}
+
+func TestSnapshotJSON(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("switch.table.conn.hits").Add(3)
+	r.Gauge("switch.table.conn.entries").Set(2)
+	r.Histogram("e2e.latency_ns", nil).Observe(15_000)
+	r.EnableTracing(1)
+	tr := r.Tracer().Start("tcp 1.2.3.4:1000 > 9.9.9.9:80")
+	tr.Hop("switch-pre", 0).Lookup("conn", true)
+
+	data, err := r.Snapshot().JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Snapshot
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatalf("snapshot JSON does not round-trip: %v", err)
+	}
+	if back.Counters["switch.table.conn.hits"] != 3 {
+		t.Errorf("counter lost: %+v", back.Counters)
+	}
+	h, ok := back.Histograms["e2e.latency_ns"]
+	if !ok || h.Count != 1 || h.P50 == 0 {
+		t.Errorf("histogram lost: %+v", h)
+	}
+	if len(back.Traces) != 1 || len(back.Traces[0].Hops) != 1 {
+		t.Errorf("trace lost: %+v", back.Traces)
+	}
+}
+
+func TestMergedHistogram(t *testing.T) {
+	r := NewRegistry()
+	fast := r.Histogram("lat.fast", nil)
+	slow := r.Histogram("lat.slow", nil)
+	all := r.MergedHistogram("lat", fast, slow)
+
+	for i := 0; i < 90; i++ {
+		fast.Observe(10_000)
+	}
+	for i := 0; i < 10; i++ {
+		slow.Observe(100_000)
+	}
+	all.Observe(1) // merged views ignore direct observations
+
+	if got := all.Count(); got != 100 {
+		t.Fatalf("merged count = %d, want 100", got)
+	}
+	wantMean := (90*10_000.0 + 10*100_000.0) / 100
+	if got := all.Mean(); got != wantMean {
+		t.Errorf("merged mean = %v, want %v", got, wantMean)
+	}
+	if p50 := all.Quantile(0.50); p50 > 10_000 {
+		t.Errorf("p50 = %v, want <= 10000 (fast bucket)", p50)
+	}
+	if p99 := all.Quantile(0.99); p99 <= 10_000 {
+		t.Errorf("p99 = %v, want in the slow range", p99)
+	}
+	s := all.Snapshot()
+	if s.Count != 100 || s.Min != 10_000 || s.Max != 100_000 {
+		t.Errorf("merged snapshot = %+v", s)
+	}
+	var n uint64
+	for _, b := range s.Buckets {
+		n += b.Count
+	}
+	if n != 100 {
+		t.Errorf("merged buckets sum to %d", n)
+	}
+
+	// The merge is live: later part observations show up on the next read.
+	slow.Observe(200_000)
+	if got := all.Count(); got != 101 {
+		t.Errorf("merge not live: count = %d", got)
+	}
+}

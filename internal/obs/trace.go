@@ -1,0 +1,145 @@
+package obs
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+)
+
+// TraceRecorder captures the first N packets' hop-by-hop traces. Start
+// hands out a *Trace until the capacity is reached; each trace is then
+// appended to by exactly one goroutine (the testbed is single-threaded per
+// packet), so only Start and Traces take the lock.
+type TraceRecorder struct {
+	mu       sync.Mutex
+	capacity int
+	traces   []*Trace
+}
+
+// Start begins a new trace for a packet described by summary (typically
+// the five-tuple). Returns nil when the recorder is nil or full.
+func (tr *TraceRecorder) Start(summary string) *Trace {
+	if tr == nil {
+		return nil
+	}
+	tr.mu.Lock()
+	defer tr.mu.Unlock()
+	if len(tr.traces) >= tr.capacity {
+		return nil
+	}
+	t := &Trace{ID: len(tr.traces), Packet: summary}
+	tr.traces = append(tr.traces, t)
+	return t
+}
+
+// Traces returns copies of the recorded traces.
+func (tr *TraceRecorder) Traces() []Trace {
+	if tr == nil {
+		return nil
+	}
+	tr.mu.Lock()
+	defer tr.mu.Unlock()
+	out := make([]Trace, len(tr.traces))
+	for i, t := range tr.traces {
+		out[i] = *t
+		out[i].Hops = append([]*Hop(nil), t.Hops...)
+	}
+	return out
+}
+
+// Trace is one packet's trip through the deployment.
+type Trace struct {
+	ID     int    `json:"id"`
+	Packet string `json:"packet"`
+	Hops   []*Hop `json:"hops"`
+}
+
+// Hop appends a hop at the given site and simulated time. Nil-safe.
+func (t *Trace) Hop(site string, atNs int64) *Hop {
+	if t == nil {
+		return nil
+	}
+	h := &Hop{Site: site, AtNs: atNs}
+	t.Hops = append(t.Hops, h)
+	return h
+}
+
+// Format renders the trace as indented text with per-hop deltas.
+func (t *Trace) Format() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "trace #%d %s\n", t.ID, t.Packet)
+	var t0 int64
+	if len(t.Hops) > 0 {
+		t0 = t.Hops[0].AtNs
+	}
+	for _, h := range t.Hops {
+		fmt.Fprintf(&b, "  +%-9.2fµs %-12s", float64(h.AtNs-t0)/1000, h.Site)
+		if h.Action != "" {
+			fmt.Fprintf(&b, " action=%s", h.Action)
+		}
+		if h.Steps > 0 {
+			fmt.Fprintf(&b, " steps=%d", h.Steps)
+		}
+		for _, l := range h.Lookups {
+			outcome := "miss"
+			if l.Hit {
+				outcome = "hit"
+			}
+			fmt.Fprintf(&b, " %s=%s", l.Table, outcome)
+		}
+		if h.Note != "" {
+			fmt.Fprintf(&b, " (%s)", h.Note)
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// Hop is one stage of a packet's trip: a pipeline pass, the server, or a
+// terminal event (deliver/drop).
+type Hop struct {
+	Site    string      `json:"site"`
+	AtNs    int64       `json:"at_ns"`
+	Action  string      `json:"action,omitempty"`
+	Steps   int         `json:"steps,omitempty"`
+	Lookups []HopLookup `json:"lookups,omitempty"`
+	Note    string      `json:"note,omitempty"`
+}
+
+// HopLookup is one table lookup performed during a hop.
+type HopLookup struct {
+	Table string `json:"table"`
+	Hit   bool   `json:"hit"`
+}
+
+// Lookup records a table lookup outcome. Nil-safe.
+func (h *Hop) Lookup(table string, hit bool) {
+	if h == nil {
+		return
+	}
+	h.Lookups = append(h.Lookups, HopLookup{Table: table, Hit: hit})
+}
+
+// SetAction records the pass's terminal action. Nil-safe.
+func (h *Hop) SetAction(a string) {
+	if h == nil {
+		return
+	}
+	h.Action = a
+}
+
+// SetSteps records the executed statement count. Nil-safe.
+func (h *Hop) SetSteps(n int) {
+	if h == nil {
+		return
+	}
+	h.Steps = n
+}
+
+// SetNote attaches free-form detail (e.g. the measured latency). Nil-safe.
+func (h *Hop) SetNote(n string) {
+	if h == nil {
+		return
+	}
+	h.Note = n
+}

@@ -12,6 +12,7 @@ import (
 	"fmt"
 
 	"gallium/internal/ir"
+	"gallium/internal/obs"
 	"gallium/internal/packet"
 	"gallium/internal/partition"
 	"gallium/internal/switchsim"
@@ -37,6 +38,45 @@ type Server struct {
 	// cached marks tables running in §7 cache mode: authoritative hits
 	// are republished to the switch as read-through fills.
 	cached map[string]bool
+
+	reg *obs.Registry
+	c   serverCounters
+	// fills tracks per-cached-table read-through fills.
+	fills map[string]*obs.Counter
+}
+
+// serverCounters are the server-wide activity counters.
+type serverCounters struct {
+	packets, steps         *obs.Counter // slow-path partition executions
+	fullPackets, fullSteps *obs.Counter // §7 full-program re-executions
+	updates                *obs.Counter // replicated-state updates recorded
+	cacheLookups           *obs.Counter // authoritative lookups on cached tables
+	cacheHits, cacheMisses *obs.Counter
+	cacheFills             *obs.Counter
+}
+
+// Instrument registers the server's metrics with reg and starts recording
+// into them. Passing nil is a no-op; instrumentation cannot be removed.
+func (s *Server) Instrument(reg *obs.Registry) {
+	if reg == nil {
+		return
+	}
+	s.reg = reg
+	s.c = serverCounters{
+		packets:      reg.Counter("server.packets"),
+		steps:        reg.Counter("server.steps"),
+		fullPackets:  reg.Counter("server.full.packets"),
+		fullSteps:    reg.Counter("server.full.steps"),
+		updates:      reg.Counter("server.updates"),
+		cacheLookups: reg.Counter("server.cache.lookups"),
+		cacheHits:    reg.Counter("server.cache.hits"),
+		cacheMisses:  reg.Counter("server.cache.misses"),
+		cacheFills:   reg.Counter("server.cache.fills"),
+	}
+	s.fills = make(map[string]*obs.Counter, len(s.cached))
+	for name := range s.cached {
+		s.fills[name] = reg.Counter("server.cache." + name + ".fills")
+	}
 }
 
 // New builds a server for a partitioned middlebox with fresh state.
@@ -68,12 +108,24 @@ type recorder struct {
 
 func (r *recorder) MapFind(name string, key ir.MapKey) ([]uint64, bool) {
 	vals, ok := r.srv.State.MapFind(name, key)
+	if r.srv.reg != nil && r.srv.cached[name] {
+		r.srv.c.cacheLookups.Inc()
+		if ok {
+			r.srv.c.cacheHits.Inc()
+		} else {
+			r.srv.c.cacheMisses.Inc()
+		}
+	}
 	if ok && r.srv.cached[name] {
 		// Read-through fill (§7 cache mode): republish the entry so the
 		// switch cache can serve the next packets of this flow.
 		r.updates = append(r.updates, switchsim.Update{
 			Table: name, Key: key, Vals: append([]uint64(nil), vals...), ReadFill: true,
 		})
+		if r.srv.reg != nil {
+			r.srv.c.cacheFills.Inc()
+			r.srv.fills[name].Inc()
+		}
 	}
 	return vals, ok
 }
@@ -142,6 +194,11 @@ func (s *Server) Process(pkt *packet.Packet) (Result, error) {
 			}
 		}
 	}
+	if s.reg != nil {
+		s.c.packets.Inc()
+		s.c.steps.Add(uint64(r.Steps))
+		s.c.updates.Add(uint64(len(rec.updates)))
+	}
 	return Result{Action: r.Action, Steps: r.Steps, Updates: rec.updates}, nil
 }
 
@@ -159,6 +216,11 @@ func (s *Server) ProcessFull(pkt *packet.Packet) (Result, error) {
 	if err != nil {
 		return Result{}, fmt.Errorf("serverrt: full program: %w", err)
 	}
+	if s.reg != nil {
+		s.c.fullPackets.Inc()
+		s.c.fullSteps.Add(uint64(r.Steps))
+		s.c.updates.Add(uint64(len(rec.updates)))
+	}
 	return Result{Action: r.Action, Steps: r.Steps, Updates: rec.updates}, nil
 }
 
@@ -167,11 +229,22 @@ func (s *Server) ProcessFull(pkt *packet.Packet) (Result, error) {
 type Software struct {
 	Prog  *ir.Program
 	State *ir.State
+
+	packets, steps *obs.Counter
 }
 
 // NewSoftware builds the baseline with fresh state.
 func NewSoftware(p *ir.Program) *Software {
 	return &Software{Prog: p, State: ir.NewState(p)}
+}
+
+// Instrument registers the baseline's metrics with reg.
+func (s *Software) Instrument(reg *obs.Registry) {
+	if reg == nil {
+		return
+	}
+	s.packets = reg.Counter("server.packets")
+	s.steps = reg.Counter("server.steps")
 }
 
 // Process runs the whole input program over one packet.
@@ -180,5 +253,7 @@ func (s *Software) Process(pkt *packet.Packet) (Result, error) {
 	if err != nil {
 		return Result{}, err
 	}
+	s.packets.Inc()
+	s.steps.Add(uint64(r.Steps))
 	return Result{Action: r.Action, Steps: r.Steps}, nil
 }

@@ -15,6 +15,7 @@ import (
 	"fmt"
 
 	"gallium/internal/ir"
+	"gallium/internal/obs"
 	"gallium/internal/packet"
 	"gallium/internal/partition"
 )
@@ -41,6 +42,9 @@ type Table struct {
 	// deleted marks write-back entries that are deletions ("a special
 	// value indicates table entry deletion").
 	deleted map[ir.MapKey]bool
+	// obs holds this table's counters when the switch is instrumented;
+	// resolved once so the data plane never does a by-name lookup.
+	obs *tableObs
 }
 
 func newTable(capacity int) *Table {
@@ -55,16 +59,23 @@ func newTable(capacity int) *Table {
 // Lookup consults the write-back table first when the visibility bit is
 // set, then the main table — the data-plane read path of §4.3.3.
 func (t *Table) Lookup(key ir.MapKey) ([]uint64, bool) {
+	v, ok, _ := t.lookup(key)
+	return v, ok
+}
+
+// lookup additionally reports whether the hit was served from the
+// write-back overlay (the instrumentation distinguishes the two).
+func (t *Table) lookup(key ir.MapKey) ([]uint64, bool, bool) {
 	if t.UseWB {
 		if t.deleted[key] {
-			return nil, false
+			return nil, false, false
 		}
 		if v, ok := t.WB[key]; ok {
-			return v, true
+			return v, true, true
 		}
 	}
 	v, ok := t.Main[key]
-	return v, ok
+	return v, ok, false
 }
 
 // Len reports the number of visible entries.
@@ -135,7 +146,69 @@ type Switch struct {
 	hasCacheTables bool
 
 	stats Stats
+
+	// Observability (nil when not instrumented; every handle is nil-safe,
+	// so the hot path pays one nil check when disabled).
+	reg   *obs.Registry
+	c     switchCounters
+	hPre  *obs.Histogram // pre-pass executed statements (stage occupancy)
+	hPost *obs.Histogram // post-pass executed statements
+	hop   *obs.Hop       // active per-packet trace hop, set by the testbed
 }
+
+// tableObs bundles one replicated table's data-plane counters.
+type tableObs struct {
+	lookups, hits, misses *obs.Counter
+	// wbHits counts hits served from the write-back overlay — lookups that
+	// landed inside the visibility window between flip and merge.
+	wbHits  *obs.Counter
+	entries *obs.Gauge
+}
+
+// switchCounters are the switch-wide activity counters.
+type switchCounters struct {
+	pre, post, fast, toServer, punts, drops, evict *obs.Counter
+	ctlOps, ctlFlips, ctlStaged                    *obs.Counter
+}
+
+// Instrument registers the switch's metrics with reg and starts recording
+// into them. Passing nil is a no-op; instrumentation cannot be removed.
+func (sw *Switch) Instrument(reg *obs.Registry) {
+	if reg == nil {
+		return
+	}
+	sw.reg = reg
+	sw.c = switchCounters{
+		pre:       reg.Counter("switch.pre.packets"),
+		post:      reg.Counter("switch.post.packets"),
+		fast:      reg.Counter("switch.fastpath"),
+		toServer:  reg.Counter("switch.to_server"),
+		punts:     reg.Counter("switch.punts"),
+		drops:     reg.Counter("switch.drops"),
+		evict:     reg.Counter("switch.evictions"),
+		ctlOps:    reg.Counter("switch.ctl.ops"),
+		ctlFlips:  reg.Counter("switch.ctl.flips"),
+		ctlStaged: reg.Counter("switch.ctl.staged"),
+	}
+	sw.hPre = reg.Histogram("switch.pre.steps", obs.StepBuckets)
+	sw.hPost = reg.Histogram("switch.post.steps", obs.StepBuckets)
+	for name, t := range sw.tables {
+		prefix := "switch.table." + name + "."
+		m := &tableObs{
+			lookups: reg.Counter(prefix + "lookups"),
+			hits:    reg.Counter(prefix + "hits"),
+			misses:  reg.Counter(prefix + "misses"),
+			wbHits:  reg.Counter(prefix + "wb_hits"),
+			entries: reg.Gauge(prefix + "entries"),
+		}
+		m.entries.Set(int64(t.Len()))
+		t.obs = m
+	}
+}
+
+// TraceHop directs table-lookup trace events of subsequent Process calls
+// into h; nil detaches. The testbed brackets each pipeline pass with it.
+func (sw *Switch) TraceHop(h *obs.Hop) { sw.hop = h }
 
 // New loads a partitioned middlebox onto a fresh switch.
 func New(res *partition.Result) *Switch {
@@ -233,7 +306,21 @@ func (a access) MapFind(name string, key ir.MapKey) ([]uint64, bool) {
 	if !ok {
 		return nil, false
 	}
-	vals, hit := t.Lookup(key)
+	vals, hit, fromWB := t.lookup(key)
+	if a.sw.reg != nil {
+		if m := t.obs; m != nil {
+			m.lookups.Inc()
+			if hit {
+				m.hits.Inc()
+				if fromWB {
+					m.wbHits.Inc()
+				}
+			} else {
+				m.misses.Inc()
+			}
+		}
+	}
+	a.sw.hop.Lookup(name, hit)
 	if !hit && t.Cached && a.cacheMiss != nil {
 		*a.cacheMiss = true
 	}
@@ -296,6 +383,7 @@ type PreResult struct {
 // gallium_a header is attached and populated.
 func (sw *Switch) ProcessPre(pkt *packet.Packet) (PreResult, error) {
 	sw.stats.PrePackets++
+	sw.c.pre.Inc()
 	xfer := map[string]uint64{}
 	// Cache mode: run the pipeline against a scratch copy first; a cache
 	// miss discards all its effects (P4 actions are predicated on the
@@ -314,15 +402,20 @@ func (sw *Switch) ProcessPre(pkt *packet.Packet) (PreResult, error) {
 		sw.stats.StepsTotal += r.Steps
 		sw.stats.ToServer++
 		sw.stats.Punts++
+		sw.c.toServer.Inc()
+		sw.c.punts.Inc()
+		sw.hPre.Observe(int64(r.Steps))
 		return PreResult{Action: ir.ActionNext, Punt: true, Steps: r.Steps}, nil
 	}
 	if sw.hasCacheTables {
 		*pkt = *work
 	}
 	sw.stats.StepsTotal += r.Steps
+	sw.hPre.Observe(int64(r.Steps))
 	switch r.Action {
 	case ir.ActionNext:
 		sw.stats.ToServer++
+		sw.c.toServer.Inc()
 		pkt.AttachGallium(sw.Res.FormatA)
 		for _, v := range sw.Res.TransferA {
 			if err := sw.Res.FormatA.Set(pkt.GalData, v.Name, xfer[v.Name]); err != nil {
@@ -331,8 +424,10 @@ func (sw *Switch) ProcessPre(pkt *packet.Packet) (PreResult, error) {
 		}
 	case ir.ActionDropped:
 		sw.stats.Drops++
+		sw.c.drops.Inc()
 	case ir.ActionSent:
 		sw.stats.FastPath++
+		sw.c.fast.Inc()
 	}
 	return PreResult{Action: r.Action, Steps: r.Steps}, nil
 }
@@ -341,6 +436,7 @@ func (sw *Switch) ProcessPre(pkt *packet.Packet) (PreResult, error) {
 // from the server (it must carry the gallium_b header, which is stripped).
 func (sw *Switch) ProcessPost(pkt *packet.Packet) (PreResult, error) {
 	sw.stats.PostPackets++
+	sw.c.post.Inc()
 	if !pkt.HasGallium {
 		return PreResult{}, fmt.Errorf("switchsim: post pipeline: packet from server lacks gallium_b header")
 	}
@@ -359,8 +455,10 @@ func (sw *Switch) ProcessPost(pkt *packet.Packet) (PreResult, error) {
 		return PreResult{}, fmt.Errorf("switchsim: post pipeline: %w", err)
 	}
 	sw.stats.StepsTotal += r.Steps
+	sw.hPost.Observe(int64(r.Steps))
 	if r.Action == ir.ActionDropped {
 		sw.stats.Drops++
+		sw.c.drops.Inc()
 	}
 	return PreResult{Action: r.Action, Steps: r.Steps}, nil
 }
@@ -375,6 +473,8 @@ func (sw *Switch) ProcessPost(pkt *packet.Packet) (PreResult, error) {
 // register value. Staged state is invisible until FlipVisibility.
 func (sw *Switch) StageWriteback(u Update) error {
 	sw.stats.CtlOps++
+	sw.c.ctlOps.Inc()
+	sw.c.ctlStaged.Inc()
 	if u.Register != "" {
 		if _, ok := sw.registers[u.Register]; !ok {
 			return fmt.Errorf("switchsim: register %q not resident", u.Register)
@@ -405,6 +505,8 @@ func (sw *Switch) StageWriteback(u Update) error {
 func (sw *Switch) FlipVisibility() {
 	sw.stats.CtlFlips++
 	sw.stats.CtlOps++
+	sw.c.ctlFlips.Inc()
+	sw.c.ctlOps.Inc()
 	for _, t := range sw.tables {
 		if len(t.WB) > 0 || len(t.deleted) > 0 {
 			t.UseWB = true
@@ -444,8 +546,12 @@ func (sw *Switch) MergeWriteback() {
 				if _, ok := t.Main[victim]; ok {
 					delete(t.Main, victim)
 					sw.stats.Evictions++
+					sw.c.evict.Inc()
 				}
 			}
+		}
+		if m := t.obs; m != nil {
+			m.entries.Set(int64(t.Len()))
 		}
 	}
 }

@@ -1,0 +1,112 @@
+package gallium
+
+import (
+	"fmt"
+
+	"gallium/internal/ir"
+	"gallium/internal/middleboxes"
+	"gallium/internal/netsim"
+	"gallium/internal/obs"
+	"gallium/internal/packet"
+	"gallium/internal/serverrt"
+)
+
+// Mode selects the deployment under test.
+type Mode = netsim.Mode
+
+// Deployment modes.
+const (
+	// Offloaded runs the Gallium-compiled switch+server pair.
+	Offloaded = netsim.Offloaded
+	// Software runs the unpartitioned middlebox on the server (the
+	// FastClick baseline), with the switch as a plain forwarder.
+	Software = netsim.Software
+)
+
+// ParseMode parses "offloaded" or "software" (the CLI flag values).
+func ParseMode(s string) (Mode, error) {
+	switch s {
+	case "offloaded":
+		return Offloaded, nil
+	case "software":
+		return Software, nil
+	}
+	return Offloaded, fmt.Errorf("unknown mode %q (want offloaded or software)", s)
+}
+
+// TestbedConfig describes one simulated testbed built from compiled
+// artifacts. The zero value runs the offloaded deployment on one server
+// core under the default cost model, with no state seeded and
+// observability off.
+type TestbedConfig struct {
+	// Mode is Offloaded (default) or Software.
+	Mode Mode
+	// Cores is the middlebox server core count; <=0 means 1.
+	Cores int
+	// Model overrides the testbed cost model; nil uses the default.
+	Model *netsim.CostModel
+	// Setup seeds middlebox state before traffic starts.
+	Setup func(st *ir.State)
+	// Scenario, when true, seeds the middlebox's standard benchmark
+	// scenario instead of Setup: configured state (backends, NAT pools),
+	// firewall whitelists for Flows, and the proxy port redirect.
+	Scenario bool
+	// Flows lists the traffic five-tuples the scenario whitelists.
+	Flows []packet.FiveTuple
+	// Metrics, when non-nil, receives counters, histograms, and (if
+	// tracing is enabled on it) per-packet hop traces from every
+	// component. Nil disables observability at zero cost.
+	Metrics *obs.Registry
+}
+
+// NewTestbed builds the packet-level simulator — traffic endpoints,
+// programmable switch, middlebox server — around these artifacts.
+func (a *Artifacts) NewTestbed(cfg TestbedConfig) (*netsim.Testbed, error) {
+	model := netsim.DefaultModel()
+	if cfg.Model != nil {
+		model = *cfg.Model
+	}
+	setup := cfg.Setup
+	if cfg.Scenario {
+		setup = a.ScenarioSetup(cfg.Flows)
+	}
+	return netsim.NewTestbed(netsim.Config{
+		Model: model,
+		Mode:  cfg.Mode,
+		Cores: cfg.Cores,
+		Res:   a.Res,
+		Prog:  a.Prog,
+		Setup: setup,
+		Obs:   cfg.Metrics,
+	})
+}
+
+// ScenarioSetup returns the state-seeding function for the middlebox's
+// standard benchmark scenario: configured state for its name, firewall
+// whitelist entries for the given flows, and the proxy port redirect.
+func (a *Artifacts) ScenarioSetup(flows []packet.FiveTuple) func(st *ir.State) {
+	name := a.Name
+	return func(st *ir.State) {
+		middleboxes.ConfigureState(name, st)
+		switch name {
+		case "firewall":
+			for _, tup := range flows {
+				middleboxes.AllowFlow(st, tup)
+			}
+		case "proxy":
+			middleboxes.RedirectPort(st, 5001)
+		}
+	}
+}
+
+// NewDeployment builds the bare switch+server pair (no timing model) for
+// packet-at-a-time experiments, seeding state with setup when non-nil.
+func (a *Artifacts) NewDeployment(setup func(st *ir.State)) (*serverrt.Deployment, error) {
+	d := serverrt.NewDeployment(a.Res)
+	if setup != nil {
+		if err := d.Configure(setup); err != nil {
+			return nil, err
+		}
+	}
+	return d, nil
+}
