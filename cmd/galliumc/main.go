@@ -17,6 +17,7 @@ import (
 	"strings"
 
 	"gallium"
+	"gallium/internal/analysis"
 )
 
 // printValues are the accepted -print selections.
@@ -30,6 +31,8 @@ func main() {
 	memory := flag.Int("memory", 0, "override switch memory in bytes")
 	weighted := flag.Bool("weighted", false, "use the §7 weighted offloading objective")
 	drmt := flag.Bool("drmt", false, "target a disaggregated-RMT switch (relax rules 3/4)")
+	vet := flag.Bool("vet", false, "run the static-analysis layer (middlebox lint + partition verifier); errors fail the build")
+	werror := flag.Bool("Werror", false, "treat analysis warnings as errors (implies -vet)")
 	flag.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: galliumc [-o outdir] [-print what] <file.mc | %s>\n",
 			strings.Join(gallium.Builtins(), " | "))
@@ -48,6 +51,7 @@ func main() {
 	opts := gallium.Options{
 		WeightedObjective: *weighted,
 		DisaggregatedRMT:  *drmt,
+		Verify:            *vet || *werror,
 	}
 	// Overrides apply only when the flag was given on the command line, so
 	// an explicit `-depth 0` reaches the partitioner (and is rejected
@@ -62,7 +66,7 @@ func main() {
 			opts.SwitchMemoryBytes = gallium.Int(*memory)
 		}
 	})
-	if err := run(flag.Arg(0), *outDir, *show, opts); err != nil {
+	if err := run(flag.Arg(0), *outDir, *show, opts, *werror); err != nil {
 		fmt.Fprintln(os.Stderr, "galliumc:", err)
 		os.Exit(1)
 	}
@@ -77,10 +81,18 @@ func validPrint(show string) bool {
 	return false
 }
 
-func run(target, outDir, show string, opts gallium.Options) error {
+func run(target, outDir, show string, opts gallium.Options, werror bool) error {
 	art, err := gallium.CompileTarget(target, opts)
 	if err != nil {
 		return err
+	}
+	// Diagnostics go to stderr so stdout stays machine-clean for -print
+	// output; a failing -vet surfaces as a *gallium.VerifyError above.
+	if len(art.Diagnostics) > 0 {
+		fmt.Fprint(os.Stderr, art.Diagnostics.Render(art.Name))
+		if n := art.Diagnostics.CountAtLeast(analysis.Warning); werror && n > 0 {
+			return fmt.Errorf("%s: -Werror: %d warning(s)", art.Name, n)
+		}
 	}
 
 	if outDir != "" {

@@ -16,6 +16,7 @@ import (
 	"os"
 	"strings"
 
+	"gallium/internal/analysis"
 	"gallium/internal/ir"
 	"gallium/internal/lang"
 	"gallium/internal/middleboxes"
@@ -48,6 +49,11 @@ type Options struct {
 	// CacheEntries runs the named map tables in §7 cache mode with the
 	// given switch-resident entry counts.
 	CacheEntries map[string]int
+	// Verify runs the static-analysis layer (internal/analysis) over the
+	// input program and the partitioner output before generating
+	// artifacts. Error-severity diagnostics abort the compile with a
+	// *VerifyError; surviving warnings land in Artifacts.Diagnostics.
+	Verify bool
 }
 
 // Int returns a pointer to v, for the Options override fields.
@@ -93,6 +99,27 @@ type Artifacts struct {
 	P4 *p4.Program
 	// Server is the generated DPDK-style server program.
 	Server *servergen.Program
+	// Diagnostics holds the analysis report when Options.Verify was set
+	// (warnings and infos only — errors abort Compile).
+	Diagnostics analysis.Diagnostics
+}
+
+// VerifyError aborts Compile when Options.Verify finds error-severity
+// diagnostics: the lint rejected the input program, or the partition
+// verifier refused to sign off on the partitioner's output. Artifact
+// generation never runs in either case.
+type VerifyError struct {
+	// Name is the middlebox the diagnostics refer to.
+	Name string
+	// Diagnostics is the full report, errors first.
+	Diagnostics analysis.Diagnostics
+}
+
+// Error summarizes the report; VerifyError.Diagnostics has the findings.
+func (e *VerifyError) Error() string {
+	return fmt.Sprintf("%s: verification failed with %d error(s)\n%s",
+		e.Name, e.Diagnostics.CountAtLeast(analysis.Error),
+		strings.TrimRight(e.Diagnostics.Render(e.Name), "\n"))
 }
 
 // Compile runs the full pipeline over MiniClick source: parse and lower to
@@ -107,18 +134,27 @@ func Compile(src string, opts Options) (*Artifacts, error) {
 	if err != nil {
 		return nil, fmt.Errorf("%s: %w", prog.Name, err)
 	}
+	var diags analysis.Diagnostics
+	if opts.Verify {
+		diags = append(analysis.Lint(prog), analysis.Verify(res)...)
+		diags.Sort()
+		if diags.HasErrors() {
+			return nil, &VerifyError{Name: prog.Name, Diagnostics: diags}
+		}
+	}
 	p4prog, err := p4.Generate(res)
 	if err != nil {
 		return nil, fmt.Errorf("%s: p4: %w", prog.Name, err)
 	}
 	srv := servergen.Generate(res)
 	return &Artifacts{
-		Name:   prog.Name,
-		Source: src,
-		Prog:   prog,
-		Res:    res,
-		P4:     p4prog,
-		Server: srv,
+		Name:        prog.Name,
+		Source:      src,
+		Prog:        prog,
+		Res:         res,
+		P4:          p4prog,
+		Server:      srv,
+		Diagnostics: diags,
 	}, nil
 }
 

@@ -7,6 +7,7 @@ import (
 	"testing"
 
 	"gallium"
+	"gallium/internal/analysis"
 	"gallium/internal/middleboxes"
 	"gallium/internal/obs"
 	"gallium/internal/packet"
@@ -210,5 +211,76 @@ func TestNewDeploymentSeedsState(t *testing.T) {
 	}
 	if tr.FastPath {
 		t.Error("first SYN should take the slow path")
+	}
+}
+
+// TestCompileVerifyCleanBuiltins runs every built-in middlebox through the
+// full pipeline with the static-analysis layer gating artifact emission:
+// the lint and the partition verifier must both sign off.
+func TestCompileVerifyCleanBuiltins(t *testing.T) {
+	for _, name := range gallium.Builtins() {
+		t.Run(name, func(t *testing.T) {
+			art, err := gallium.CompileBuiltin(name, gallium.Options{Verify: true})
+			if err != nil {
+				t.Fatalf("verified compile failed: %v", err)
+			}
+			if art.P4 == nil || art.Server == nil {
+				t.Fatal("verification gated artifact emission on a clean program")
+			}
+			if art.Diagnostics.HasErrors() {
+				t.Fatalf("error diagnostics survived a successful compile:\n%s",
+					art.Diagnostics.Render(name))
+			}
+		})
+	}
+}
+
+// TestCompileVerifyCleanExamples does the same for the .mc sources under
+// examples/mc via the CLI's target convention.
+func TestCompileVerifyCleanExamples(t *testing.T) {
+	paths, err := filepath.Glob(filepath.Join("examples", "mc", "*.mc"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(paths) == 0 {
+		t.Fatal("no example sources found")
+	}
+	for _, path := range paths {
+		t.Run(filepath.Base(path), func(t *testing.T) {
+			art, err := gallium.CompileTarget(path, gallium.Options{Verify: true})
+			if err != nil {
+				t.Fatalf("verified compile failed: %v", err)
+			}
+			if art.P4 == nil {
+				t.Fatal("no artifacts emitted")
+			}
+		})
+	}
+}
+
+func TestCompileWithoutVerifySkipsAnalysis(t *testing.T) {
+	art, err := gallium.Compile(middleboxes.MiniLBSource, gallium.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if art.Diagnostics != nil {
+		t.Errorf("analysis ran without Verify: %v", art.Diagnostics)
+	}
+}
+
+// TestVerifyErrorMessage pins the error surface callers (and galliumc)
+// rely on: the count and the rendered findings with their check IDs.
+func TestVerifyErrorMessage(t *testing.T) {
+	e := &gallium.VerifyError{
+		Name: "mb",
+		Diagnostics: analysis.Diagnostics{
+			{Check: analysis.CheckCoverage, Severity: analysis.Error, Message: "statement lost", Stmt: -1},
+		},
+	}
+	msg := e.Error()
+	for _, want := range []string{"mb", "1 error(s)", analysis.CheckCoverage, "statement lost"} {
+		if !strings.Contains(msg, want) {
+			t.Errorf("VerifyError message %q missing %q", msg, want)
+		}
 	}
 }

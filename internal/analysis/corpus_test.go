@@ -1,0 +1,87 @@
+package analysis
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"gallium/internal/lang"
+	"gallium/internal/middleboxes"
+	"gallium/internal/partition"
+)
+
+// corpusPrograms gathers every MiniClick program the repo ships: the
+// middlebox suite, the extra built-ins behind Lookup, and the example
+// sources under examples/mc.
+func corpusPrograms(t *testing.T) map[string]string {
+	t.Helper()
+	progs := map[string]string{}
+	for _, spec := range middleboxes.All() {
+		progs[spec.Name] = spec.Source
+	}
+	for _, name := range []string{"minilb", "ipgateway", "ddosdetector"} {
+		spec, err := middleboxes.Lookup(name)
+		if err != nil {
+			t.Fatalf("Lookup(%s): %v", name, err)
+		}
+		progs[spec.Name] = spec.Source
+	}
+	matches, err := filepath.Glob(filepath.Join("..", "..", "examples", "mc", "*.mc"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, path := range matches {
+		src, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		name := strings.TrimSuffix(filepath.Base(path), ".mc")
+		progs["examples/"+name] = string(src)
+	}
+	if len(progs) < 6 {
+		t.Fatalf("corpus has only %d programs", len(progs))
+	}
+	return progs
+}
+
+// TestVerifyCorpusClean partitions every shipped program and asserts the
+// independent verifier signs off: zero error-severity diagnostics. This
+// is the standing translation-validation bar — any partitioner change
+// that miscompiles a known middlebox fails here.
+func TestVerifyCorpusClean(t *testing.T) {
+	for name, src := range corpusPrograms(t) {
+		t.Run(name, func(t *testing.T) {
+			prog, err := lang.Compile(src)
+			if err != nil {
+				t.Fatalf("compile: %v", err)
+			}
+			res, err := partition.Partition(prog, partition.DefaultConstraints())
+			if err != nil {
+				t.Fatalf("partition: %v", err)
+			}
+			ds := Verify(res)
+			if n := ds.CountAtLeast(Error); n > 0 {
+				t.Errorf("verifier found %d errors on a trusted program:\n%s", n, ds.Render(name))
+			}
+		})
+	}
+}
+
+// TestLintCorpusNoErrors lints every shipped program: warnings are
+// tolerated (some examples deliberately leave slack), error-severity
+// findings are not.
+func TestLintCorpusNoErrors(t *testing.T) {
+	for name, src := range corpusPrograms(t) {
+		t.Run(name, func(t *testing.T) {
+			prog, err := lang.Compile(src)
+			if err != nil {
+				t.Fatalf("compile: %v", err)
+			}
+			ds := Lint(prog)
+			if n := ds.CountAtLeast(Error); n > 0 {
+				t.Errorf("lint found %d errors on a trusted program:\n%s", n, ds.Render(name))
+			}
+		})
+	}
+}

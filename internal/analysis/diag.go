@@ -1,0 +1,261 @@
+// Package analysis is Gallium's translation-validation and lint layer: a
+// diagnostics framework plus two families of checks that stand between
+// the compiler and a silent miscompile.
+//
+// The partition verifier (verify.go) is a translation validator in the
+// Gauntlet tradition ("Finding Bugs in Compilers for Programmable Packet
+// Processing"): written against the IR/deps/liveness layers but
+// independent of the partitioner's own bookkeeping, it re-derives
+// read/write sets, cross-partition dataflow, and resource usage from the
+// *emitted* partition functions and asserts the §4 invariants from
+// scratch. The middlebox lint (lint.go) runs classic dataflow
+// diagnostics over the input program.
+//
+// Every diagnostic carries a stable check ID (see Checks), a severity, a
+// source position recovered from internal/lang line stamps, and renders
+// both human-readably and as JSON.
+package analysis
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Severity ranks diagnostics. Error-severity diagnostics gate artifact
+// emission (gallium.Compile with Verify) and fail galliumc -vet.
+type Severity uint8
+
+// Severities, in ascending order.
+const (
+	Info Severity = iota
+	Warning
+	Error
+)
+
+// String implements fmt.Stringer.
+func (s Severity) String() string {
+	switch s {
+	case Info:
+		return "info"
+	case Warning:
+		return "warning"
+	case Error:
+		return "error"
+	}
+	return fmt.Sprintf("severity(%d)", uint8(s))
+}
+
+// MarshalJSON renders the severity as its name.
+func (s Severity) MarshalJSON() ([]byte, error) { return json.Marshal(s.String()) }
+
+// UnmarshalJSON parses a severity name.
+func (s *Severity) UnmarshalJSON(b []byte) error {
+	var name string
+	if err := json.Unmarshal(b, &name); err != nil {
+		return err
+	}
+	switch name {
+	case "info":
+		*s = Info
+	case "warning":
+		*s = Warning
+	case "error":
+		*s = Error
+	default:
+		return fmt.Errorf("analysis: unknown severity %q", name)
+	}
+	return nil
+}
+
+// Diagnostic is one finding. Stmt is the statement ID within Fn (-1 for
+// program- or function-level findings); Line is the 1-based MiniClick
+// source line when the statement carries one (0 for synthesized or
+// hand-built IR).
+type Diagnostic struct {
+	Check    string   `json:"check"`
+	Severity Severity `json:"severity"`
+	Message  string   `json:"message"`
+	Fn       string   `json:"fn,omitempty"`
+	Stmt     int      `json:"stmt"`
+	Line     int      `json:"line,omitempty"`
+}
+
+// String renders the diagnostic in the compiler's one-line format:
+//
+//	prog.mc:12: error [verify/offloaded-write] message
+func (d Diagnostic) String() string {
+	var b strings.Builder
+	if d.Line > 0 {
+		fmt.Fprintf(&b, "%d: ", d.Line)
+	}
+	fmt.Fprintf(&b, "%s [%s] %s", d.Severity, d.Check, d.Message)
+	if d.Fn != "" {
+		fmt.Fprintf(&b, " (in %s", d.Fn)
+		if d.Stmt >= 0 {
+			fmt.Fprintf(&b, ", s%d", d.Stmt)
+		}
+		b.WriteString(")")
+	}
+	return b.String()
+}
+
+// Diagnostics is a sortable report.
+type Diagnostics []Diagnostic
+
+// Sort orders the report deterministically: severity descending, then
+// check ID, source line, function, statement, message.
+func (ds Diagnostics) Sort() {
+	sort.SliceStable(ds, func(i, j int) bool {
+		a, b := ds[i], ds[j]
+		if a.Severity != b.Severity {
+			return a.Severity > b.Severity
+		}
+		if a.Check != b.Check {
+			return a.Check < b.Check
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		if a.Fn != b.Fn {
+			return a.Fn < b.Fn
+		}
+		if a.Stmt != b.Stmt {
+			return a.Stmt < b.Stmt
+		}
+		return a.Message < b.Message
+	})
+}
+
+// HasErrors reports whether any diagnostic is error severity.
+func (ds Diagnostics) HasErrors() bool { return ds.CountAtLeast(Error) > 0 }
+
+// CountAtLeast counts diagnostics at or above the given severity.
+func (ds Diagnostics) CountAtLeast(min Severity) int {
+	n := 0
+	for _, d := range ds {
+		if d.Severity >= min {
+			n++
+		}
+	}
+	return n
+}
+
+// ByCheck returns the diagnostics carrying the given check ID.
+func (ds Diagnostics) ByCheck(id string) Diagnostics {
+	var out Diagnostics
+	for _, d := range ds {
+		if d.Check == id {
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+// Render formats the report for humans, one diagnostic per line, each
+// prefixed with the program name (so it reads like compiler output).
+func (ds Diagnostics) Render(progName string) string {
+	var b strings.Builder
+	for _, d := range ds {
+		fmt.Fprintf(&b, "%s:%s\n", progName, d.String())
+	}
+	return b.String()
+}
+
+// jsonReport is the stable machine-readable schema (golden-tested).
+type jsonReport struct {
+	Program     string      `json:"program"`
+	Errors      int         `json:"errors"`
+	Warnings    int         `json:"warnings"`
+	Diagnostics Diagnostics `json:"diagnostics"`
+}
+
+// JSON serializes the report with its summary counts. The layout is a
+// compatibility surface: tools parse it, and a golden-file test pins it.
+func (ds Diagnostics) JSON(progName string) ([]byte, error) {
+	rep := jsonReport{
+		Program:     progName,
+		Errors:      ds.CountAtLeast(Error),
+		Warnings:    ds.CountAtLeast(Warning) - ds.CountAtLeast(Error),
+		Diagnostics: ds,
+	}
+	if rep.Diagnostics == nil {
+		rep.Diagnostics = Diagnostics{}
+	}
+	return json.MarshalIndent(rep, "", "  ")
+}
+
+// CheckInfo documents one registered check: the invariant it guards and
+// the paper section motivating it (DESIGN.md mirrors this table).
+type CheckInfo struct {
+	ID       string
+	Severity Severity
+	Doc      string
+	Paper    string
+}
+
+// Checks returns every check the layer can emit, in stable order.
+func Checks() []CheckInfo {
+	return []CheckInfo{
+		// Partition verifier (translation validation).
+		{CheckMetadataCarry, Error, "every value a partition consumes is defined in that partition, carried in the synthesized transfer header, or rematerialized from the packet", "§4.3.2"},
+		{CheckHandoffStore, Error, "every hand-off path stores every transfer-header field exactly as the wire format declares", "§4.3.2, Fig. 5"},
+		{CheckOffloadedWrite, Error, "no switch-partition instruction writes server-owned state", "§2.1, §4.3.3"},
+		{CheckWritebackBypass, Error, "replicated-state writes never execute on the offloaded path: only the server updates switch-resident state, via the write-back protocol", "§4.3.3"},
+		{CheckStaleReadWindow, Error, "an offloaded read of a global never moves across a server-side write to the same global (the packet would observe state from the wrong side of its own update)", "§4.2.1 rules 1-2, §4.3.3"},
+		{CheckSingleAccess, Error, "each global is accessed at most once per switch pass (one table lookup per pipeline traversal)", "§2.2, §4.2.1 rules 3-4"},
+		{CheckFastPathWriteLoss, Error, "a packet the switch completes (fast path) has no pending server-side effects on any path reaching that terminator", "§1, §4.2.1"},
+		{CheckCFGShape, Error, "each partition function preserves the input program's CFG: same blocks, same branch structure, terminator ownership forms a valid pre/server/post pipeline", "§4.3.1, Fig. 4"},
+		{CheckCoverage, Error, "every input statement executes in exactly one partition (pure header loads may be rematerialized into more)", "§4.2.2"},
+		{CheckExpressiveness, Error, "switch partitions contain only P4-expressible instructions", "§2.2, §4.2.1"},
+		{CheckStageBudget, Error, "the longest dependency chain in each switch partition fits the pipeline depth, re-derived from a fresh dependence graph", "§4.2.2 constraint 2"},
+		{CheckSwitchMemory, Error, "switch-resident globals fit switch memory, re-summed from the emitted partitions", "§4.2.2 constraint 1"},
+		{CheckMetadataBudget, Error, "peak live register bits in each switch partition fit the per-packet metadata budget", "§4.2.2 constraint 4"},
+		{CheckTransferBudget, Error, "both synthesized transfer headers fit the transfer byte budget", "§4.2.2 constraint 5"},
+
+		// Middlebox lint (input-program dataflow diagnostics).
+		{CheckUseBeforeDef, Error, "no register is read before it is written on some path from entry", "front-end soundness"},
+		{CheckDeadStore, Warning, "every register write has a subsequent read (dead stores waste switch stages)", "§4.2.2"},
+		{CheckUnreachableBlock, Warning, "every basic block is reachable from entry", "front-end soundness"},
+		{CheckUnusedGlobal, Warning, "every declared global is accessed (unused annotated state wastes switch memory)", "§4.2.2 constraint 1"},
+		{CheckUncheckedMapMiss, Warning, "a map lookup's values are not consumed without testing the found flag (the miss path would read zeroes)", "§3.2"},
+		{CheckWidthTruncation, Warning, "no header store silently truncates a wider register into a narrower field", "§2.2"},
+	}
+}
+
+// Check IDs. These are stable identifiers: tests, CI, and external tools
+// match on them, so renaming one is a breaking change.
+const (
+	CheckMetadataCarry     = "verify/metadata-carry"
+	CheckHandoffStore      = "verify/handoff-store"
+	CheckOffloadedWrite    = "verify/offloaded-write"
+	CheckWritebackBypass   = "verify/writeback-bypass"
+	CheckStaleReadWindow   = "verify/stale-read-window"
+	CheckSingleAccess      = "verify/single-access"
+	CheckFastPathWriteLoss = "verify/fastpath-write-loss"
+	CheckCFGShape          = "verify/cfg-shape"
+	CheckCoverage          = "verify/coverage"
+	CheckExpressiveness    = "verify/expressiveness"
+	CheckStageBudget       = "verify/stage-budget"
+	CheckSwitchMemory      = "verify/switch-memory"
+	CheckMetadataBudget    = "verify/metadata-budget"
+	CheckTransferBudget    = "verify/transfer-budget"
+
+	CheckUseBeforeDef     = "lint/use-before-def"
+	CheckDeadStore        = "lint/dead-store"
+	CheckUnreachableBlock = "lint/unreachable-block"
+	CheckUnusedGlobal     = "lint/unused-global"
+	CheckUncheckedMapMiss = "lint/unchecked-map-miss"
+	CheckWidthTruncation  = "lint/width-truncation"
+)
+
+// checkSeverity returns the registered severity for a check ID.
+func checkSeverity(id string) Severity {
+	for _, c := range Checks() {
+		if c.ID == id {
+			return c.Severity
+		}
+	}
+	return Error
+}

@@ -1,0 +1,165 @@
+package analysis
+
+import (
+	"fmt"
+
+	"gallium/internal/cfg"
+	"gallium/internal/deps"
+	"gallium/internal/ir"
+	"gallium/internal/liveness"
+	"gallium/internal/packet"
+)
+
+// diag builds one diagnostic anchored at a statement (nil for
+// program-level findings).
+func diag(check, fn string, s *ir.Instr, format string, args ...any) Diagnostic {
+	d := Diagnostic{
+		Check:    check,
+		Severity: checkSeverity(check),
+		Message:  fmt.Sprintf(format, args...),
+		Fn:       fn,
+		Stmt:     -1,
+	}
+	if s != nil {
+		d.Stmt = s.ID
+		d.Line = s.Line
+	}
+	return d
+}
+
+// Lint runs the middlebox dataflow diagnostics over an input program:
+// use-before-def, dead stores, unreachable blocks, unused globals,
+// unchecked map misses, and header-field width truncation. The program
+// must be finalized (statement IDs assigned); it is not mutated.
+func Lint(p *ir.Program) Diagnostics {
+	var ds Diagnostics
+	fn := p.Fn
+	if fn == nil || len(fn.Blocks) == 0 {
+		return ds
+	}
+
+	// lint/use-before-def — a register read on some entry path with no
+	// prior write.
+	for _, u := range maybeUninitUses(fn) {
+		ds = append(ds, diag(CheckUseBeforeDef, fn.Name, u.stmt,
+			"register %s (r%d) may be read before it is written", fn.RegName(u.reg), u.reg))
+	}
+
+	// lint/unreachable-block — blocks no entry path reaches. Empty blocks
+	// (synthesized joins) are skipped; only lost code is worth a warning.
+	graph := cfg.New(fn)
+	reach := graph.Reachable()
+	for _, b := range fn.Blocks {
+		if b.ID != 0 && !reach[0][b.ID] && len(b.Instrs) > 0 {
+			ds = append(ds, diag(CheckUnreachableBlock, fn.Name, &b.Instrs[0],
+				"block %d (%d statements) is unreachable from entry", b.ID, len(b.Instrs)))
+		}
+	}
+
+	// lint/dead-store — a pure definition whose results are never read.
+	// Side-effecting kinds are exempt: the instruction is kept for its
+	// effect regardless of its register results.
+	info := liveness.Analyze(fn)
+	for _, b := range fn.Blocks {
+		if b.ID != 0 && !reach[0][b.ID] {
+			continue
+		}
+		live := map[ir.Reg]bool{}
+		for r := range info.LiveOut[b.ID] {
+			live[r] = true
+		}
+		for _, r := range b.Term.Args {
+			live[r] = true
+		}
+		for j := len(b.Instrs) - 1; j >= 0; j-- {
+			s := &b.Instrs[j]
+			if isPureDef(s.Kind) && len(s.Dst) > 0 {
+				dead := true
+				for _, r := range s.Dst {
+					if live[r] {
+						dead = false
+						break
+					}
+				}
+				if dead {
+					ds = append(ds, diag(CheckDeadStore, fn.Name, s,
+						"result of %s into %s (r%d) is never read", s.Kind, fn.RegName(s.Dst[0]), s.Dst[0]))
+				}
+			}
+			for _, r := range s.Dst {
+				delete(live, r)
+			}
+			for _, r := range s.Args {
+				live[r] = true
+			}
+		}
+	}
+
+	// lint/unused-global — declared state no statement touches.
+	accessed := map[string]bool{}
+	usedRegs := map[ir.Reg]bool{}
+	for _, s := range fn.Stmts() {
+		if gn := deps.GlobalAccessed(s); gn != "" {
+			accessed[gn] = true
+		}
+		for _, r := range s.Args {
+			usedRegs[r] = true
+		}
+	}
+	for _, g := range p.Globals {
+		if !accessed[g.Name] {
+			ds = append(ds, diag(CheckUnusedGlobal, fn.Name, nil,
+				"%s %q is declared but never accessed", g.Kind, g.Name))
+		}
+	}
+
+	// lint/unchecked-map-miss — lookup values consumed while the found
+	// flag is never tested: the miss path silently reads zeroes.
+	for _, s := range fn.Stmts() {
+		if (s.Kind != ir.MapFind && s.Kind != ir.LpmFind) || len(s.Dst) < 2 {
+			continue
+		}
+		found := s.Dst[0]
+		valueUsed := false
+		for _, v := range s.Dst[1:] {
+			if usedRegs[v] {
+				valueUsed = true
+				break
+			}
+		}
+		if valueUsed && !usedRegs[found] {
+			ds = append(ds, diag(CheckUncheckedMapMiss, fn.Name, s,
+				"%s values are used but the found flag %s (r%d) is never tested; a reachable miss reads zero values",
+				s.Obj, fn.RegName(found), found))
+		}
+	}
+
+	// lint/width-truncation — storing a wider register into a narrower
+	// header field silently drops high bits.
+	for _, s := range fn.Stmts() {
+		if s.Kind != ir.StoreHeader || len(s.Args) != 1 {
+			continue
+		}
+		if bits, ok := packet.HeaderFieldBits(s.Obj); ok {
+			if rb := fn.RegType(s.Args[0]).Bits(); rb > bits {
+				ds = append(ds, diag(CheckWidthTruncation, fn.Name, s,
+					"storing %d-bit register %s (r%d) into %d-bit field %s truncates",
+					rb, fn.RegName(s.Args[0]), s.Args[0], bits, s.Obj))
+			}
+		}
+	}
+
+	ds.Sort()
+	return ds
+}
+
+// isPureDef reports whether the kind's only observable effect is writing
+// its destination registers.
+func isPureDef(k ir.Kind) bool {
+	switch k {
+	case ir.Const, ir.BinOp, ir.Not, ir.Convert, ir.LoadHeader, ir.Hash,
+		ir.VecGet, ir.VecLen, ir.GlobalLoad:
+		return true
+	}
+	return false
+}

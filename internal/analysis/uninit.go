@@ -1,0 +1,150 @@
+package analysis
+
+import (
+	"gallium/internal/cfg"
+	"gallium/internal/ir"
+)
+
+// uninitUse is one read of a register that is not definitely assigned on
+// every entry path reaching it.
+type uninitUse struct {
+	stmt *ir.Instr
+	reg  ir.Reg
+	term bool // the read is a terminator operand (branch condition)
+	blk  int
+}
+
+// maybeUninitUses runs a forward definite-assignment dataflow over fn:
+// a register is "defined at P" only when every path from entry to P
+// writes it. It returns every read of a not-definitely-assigned register
+// in blocks reachable from entry, deduplicated per (statement, register).
+//
+// The lint layer reports these directly (use-before-def); the partition
+// verifier reuses the same analysis on the emitted partition functions,
+// where an undefined read means a value crossed a partition boundary
+// without a transfer-header carry or rematerialization.
+func maybeUninitUses(fn *ir.Function) []uninitUse {
+	n := len(fn.Blocks)
+	if n == 0 {
+		return nil
+	}
+	nregs := len(fn.Regs)
+	graph := cfg.New(fn)
+	reach := graph.Reachable()
+	reachable := func(b int) bool { return b == 0 || reach[0][b] }
+
+	preds := make([][]int, n)
+	addSucc := func(from, to int) { preds[to] = append(preds[to], from) }
+	for _, b := range fn.Blocks {
+		switch b.Term.Kind {
+		case ir.Jump:
+			addSucc(b.ID, b.Term.Then)
+		case ir.Branch:
+			addSucc(b.ID, b.Term.Then)
+			addSucc(b.ID, b.Term.Else)
+		}
+	}
+
+	// Must-analysis over bitsets: in[b] = ∩ out[preds]; entry starts
+	// empty, everything else starts at ⊤ (all defined) and narrows.
+	newSet := func(val bool) []bool {
+		s := make([]bool, nregs)
+		if val {
+			for i := range s {
+				s[i] = true
+			}
+		}
+		return s
+	}
+	in := make([][]bool, n)
+	out := make([][]bool, n)
+	for i := 0; i < n; i++ {
+		in[i] = newSet(i != 0)
+		out[i] = newSet(i != 0)
+	}
+	transfer := func(b *ir.Block, set []bool) []bool {
+		cur := append([]bool(nil), set...)
+		for i := range b.Instrs {
+			for _, r := range b.Instrs[i].Dst {
+				cur[r] = true
+			}
+		}
+		return cur
+	}
+	for changed := true; changed; {
+		changed = false
+		for _, b := range fn.Blocks {
+			if !reachable(b.ID) {
+				continue
+			}
+			cur := newSet(b.ID != 0)
+			for _, p := range preds[b.ID] {
+				if !reachable(p) {
+					continue
+				}
+				for r := 0; r < nregs; r++ {
+					cur[r] = cur[r] && out[p][r]
+				}
+			}
+			if b.ID == 0 {
+				// Entry has no defined-on-entry registers even with preds
+				// (a loop back to entry cannot define anything first).
+				for r := 0; r < nregs; r++ {
+					cur[r] = false
+				}
+			}
+			o := transfer(b, cur)
+			if !boolsEqual(cur, in[b.ID]) || !boolsEqual(o, out[b.ID]) {
+				in[b.ID], out[b.ID] = cur, o
+				changed = true
+			}
+		}
+	}
+
+	type key struct {
+		id  int
+		reg ir.Reg
+	}
+	seen := map[key]bool{}
+	var uses []uninitUse
+	report := func(s *ir.Instr, r ir.Reg, term bool, blk int) {
+		k := key{s.ID, r}
+		if seen[k] {
+			return
+		}
+		seen[k] = true
+		uses = append(uses, uninitUse{stmt: s, reg: r, term: term, blk: blk})
+	}
+	for _, b := range fn.Blocks {
+		if !reachable(b.ID) {
+			continue
+		}
+		cur := append([]bool(nil), in[b.ID]...)
+		for i := range b.Instrs {
+			s := &b.Instrs[i]
+			for _, r := range s.Args {
+				if !cur[r] {
+					report(s, r, false, b.ID)
+				}
+			}
+			for _, r := range s.Dst {
+				cur[r] = true
+			}
+		}
+		for _, r := range b.Term.Args {
+			if !cur[r] {
+				report(&b.Term, r, true, b.ID)
+			}
+		}
+	}
+	return uses
+}
+
+func boolsEqual(a, b []bool) bool {
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,106 @@
+package deps
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"gallium/internal/ir"
+)
+
+// dotProg builds a small program with one of each dependence-edge kind:
+// the register flowing from load to store is a data dependency, storing
+// over a field another statement read is an anti dependency (picking a
+// register pair with no data overlap, which would win the edge label),
+// and the branch controls its arms.
+func dotProg(t *testing.T) *ir.Program {
+	t.Helper()
+	b := ir.NewBuilder("dotprog")
+	x := b.LoadHeader("x", "ip.saddr", ir.U32)
+	y := b.LoadHeader("y", "ip.daddr", ir.U32)
+	c := b.Const("c", ir.Bool, 1)
+	then := b.NewBlock()
+	els := b.NewBlock()
+	b.Branch(c, then, els)
+	b.SetBlock(then)
+	b.StoreHeader("ip.daddr", x)
+	b.StoreHeader("ip.saddr", y)
+	b.Send()
+	b.SetBlock(els)
+	b.Drop()
+	fn := b.Fn()
+	fn.Finalize()
+	p := &ir.Program{Name: "dotprog", Fn: fn}
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestDotRendersAllEdgeKindsAndNodes(t *testing.T) {
+	p := dotProg(t)
+	g := Build(p)
+	dot := g.Dot(nil)
+
+	if !strings.HasPrefix(dot, "digraph deps {") || !strings.HasSuffix(dot, "}\n") {
+		t.Fatalf("not a graphviz document:\n%s", dot)
+	}
+	// Every statement appears as a node with its printed IR in the label.
+	for _, s := range p.Fn.Stmts() {
+		decl := fmt.Sprintf("n%d [label=", s.ID)
+		if !strings.Contains(dot, decl) {
+			t.Errorf("missing node for s%d:\n%s", s.ID, dot)
+		}
+	}
+	// One style per edge kind.
+	for _, style := range []string{"style=solid", "style=dashed", "style=dotted"} {
+		if !strings.Contains(dot, style) {
+			t.Errorf("no %s edge rendered:\n%s", style, dot)
+		}
+	}
+	if strings.Contains(dot, "subgraph") {
+		t.Error("unclustered rendering emitted subgraphs")
+	}
+}
+
+func TestDotClustersByPartition(t *testing.T) {
+	p := dotProg(t)
+	g := Build(p)
+	// Alternate statements between two partitions; clusters must appear
+	// in first-seen order with every node inside one.
+	assign := make([]string, g.N)
+	for i := range assign {
+		if i%2 == 0 {
+			assign[i] = "pre"
+		} else {
+			assign[i] = "non_off"
+		}
+	}
+	dot := g.Dot(assign)
+	preIdx := strings.Index(dot, `label="pre"`)
+	srvIdx := strings.Index(dot, `label="non_off"`)
+	if preIdx < 0 || srvIdx < 0 {
+		t.Fatalf("missing partition clusters:\n%s", dot)
+	}
+	if preIdx > srvIdx {
+		t.Error("clusters not in first-seen statement order")
+	}
+	if got := strings.Count(dot, "subgraph cluster_"); got != 2 {
+		t.Errorf("want 2 clusters, got %d:\n%s", got, dot)
+	}
+	for i := 0; i < g.N; i++ {
+		if !strings.Contains(dot, fmt.Sprintf("n%d [label=", i)) {
+			t.Errorf("statement s%d missing from clustered rendering", i)
+		}
+	}
+}
+
+func TestInstrLabelFallsBackToKind(t *testing.T) {
+	p := dotProg(t)
+	// A statement ID outside the printed function falls back to the kind
+	// name instead of returning an empty label.
+	ghost := &ir.Instr{Kind: ir.Send, ID: 9999}
+	if got := instrLabel(p.Fn, ghost); got != "send" {
+		t.Errorf("fallback label = %q, want %q", got, "send")
+	}
+}

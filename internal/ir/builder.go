@@ -7,6 +7,10 @@ import "fmt"
 type Builder struct {
 	fn  *Function
 	cur *Block
+	// line is stamped onto every emitted instruction and terminator, so
+	// diagnostics can point back at the source statement. Zero means
+	// "synthesized" (no source position).
+	line int
 }
 
 // NewBuilder starts a function with one entry block (ID 0), which is also
@@ -41,7 +45,12 @@ func (b *Builder) SetBlock(blk *Block) { b.cur = blk }
 // Cur returns the current block.
 func (b *Builder) Cur() *Block { return b.cur }
 
+// SetPos records the source line stamped on subsequently emitted
+// instructions (the front end calls it once per lowered statement).
+func (b *Builder) SetPos(line int) { b.line = line }
+
 func (b *Builder) emit(in Instr) {
+	in.Line = b.line
 	b.cur.Instrs = append(b.cur.Instrs, in)
 }
 
@@ -181,26 +190,26 @@ func (b *Builder) XferStore(field string, x Reg) {
 
 // Jump terminates the current block with an unconditional jump.
 func (b *Builder) Jump(target *Block) {
-	b.cur.Term = Instr{Kind: Jump, Then: target.ID, Else: -1}
+	b.cur.Term = Instr{Kind: Jump, Then: target.ID, Else: -1, Line: b.line}
 }
 
 // Branch terminates the current block with a conditional branch.
 func (b *Builder) Branch(cond Reg, then, els *Block) {
-	b.cur.Term = Instr{Kind: Branch, Args: []Reg{cond}, Then: then.ID, Else: els.ID}
+	b.cur.Term = Instr{Kind: Branch, Args: []Reg{cond}, Then: then.ID, Else: els.ID, Line: b.line}
 }
 
 // Send terminates the current block by forwarding the packet.
 func (b *Builder) Send() {
-	b.cur.Term = Instr{Kind: Send, Then: -1, Else: -1}
+	b.cur.Term = Instr{Kind: Send, Then: -1, Else: -1, Line: b.line}
 }
 
 // Drop terminates the current block by discarding the packet.
 func (b *Builder) Drop() {
-	b.cur.Term = Instr{Kind: Drop, Then: -1, Else: -1}
+	b.cur.Term = Instr{Kind: Drop, Then: -1, Else: -1, Line: b.line}
 }
 
 // ToNext terminates the current block by handing the packet to the next
 // pipeline stage; used only by the partitioner.
 func (b *Builder) ToNext() {
-	b.cur.Term = Instr{Kind: ToNext, Then: -1, Else: -1}
+	b.cur.Term = Instr{Kind: ToNext, Then: -1, Else: -1, Line: b.line}
 }

@@ -530,3 +530,115 @@ func TestPrintAllKinds(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// sendProg wraps a single mutilated function into a program for the
+// structural Validate tests.
+func sendProg(mutate func(fn *Function)) *Program {
+	b := NewBuilder("struct")
+	x := b.Const("x", U32, 1)
+	b.StoreHeader("ip.saddr", x)
+	b.Send()
+	fn := b.Fn()
+	fn.Finalize()
+	mutate(fn)
+	return &Program{Name: "struct", Fn: fn}
+}
+
+func TestValidateStructuralErrors(t *testing.T) {
+	cases := []struct {
+		name   string
+		mutate func(fn *Function)
+		want   string
+	}{
+		{"block ID mismatch", func(fn *Function) {
+			fn.Blocks[0].ID = 3
+		}, "has ID 3"},
+		{"missing terminator", func(fn *Function) {
+			fn.Blocks[0].Term = Instr{}
+		}, "missing terminator"},
+		{"non-terminator as terminator", func(fn *Function) {
+			fn.Blocks[0].Term = Instr{Kind: BinOp, Dst: []Reg{0}, Args: []Reg{0, 0}}
+		}, "non-terminator kind"},
+		{"jump target out of range", func(fn *Function) {
+			fn.Blocks[0].Term = Instr{Kind: Jump, Then: 7}
+		}, "does not exist"},
+		{"jump with arguments", func(fn *Function) {
+			fn.Blocks[0].Term = Instr{Kind: Jump, Then: 0, Args: []Reg{0}}
+		}, "jump takes no arguments"},
+		{"send with arguments", func(fn *Function) {
+			fn.Blocks[0].Term = Instr{Kind: Send, Args: []Reg{0}}
+		}, "takes no arguments"},
+		{"const with args", func(fn *Function) {
+			fn.Blocks[0].Instrs[0] = Instr{Kind: Const, Dst: []Reg{0}, Args: []Reg{0}}
+		}, "want 0 args"},
+		{"storehdr with dst", func(fn *Function) {
+			fn.Blocks[0].Instrs[1] = Instr{Kind: StoreHeader, Obj: "ip.saddr", Dst: []Reg{0}, Args: []Reg{0}}
+		}, "want 0 dsts"},
+		{"loadhdr with args", func(fn *Function) {
+			fn.Blocks[0].Instrs[0] = Instr{Kind: LoadHeader, Obj: "ip.saddr", Dst: []Reg{0}, Args: []Reg{0}}
+		}, "want 0 args"},
+		{"hash without inputs", func(fn *Function) {
+			fn.Blocks[0].Instrs[0] = Instr{Kind: Hash, Dst: []Reg{0}}
+		}, "at least one argument"},
+		{"terminator kind in body", func(fn *Function) {
+			fn.Blocks[0].Instrs[0] = Instr{Kind: Drop}
+		}, "terminator kind inside block body"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			p := sendProg(tc.mutate)
+			err := p.Validate()
+			if err == nil || !strings.Contains(err.Error(), tc.want) {
+				t.Errorf("err = %v, want substring %q", err, tc.want)
+			}
+		})
+	}
+}
+
+func TestValidateBranchTargetsOutOfRange(t *testing.T) {
+	b := NewBuilder("br")
+	c := b.Const("c", Bool, 1)
+	then := b.NewBlock()
+	b.Branch(c, then, then)
+	b.SetBlock(then)
+	b.Drop()
+	fn := b.Fn()
+	fn.Finalize()
+	fn.Blocks[0].Term.Else = 9
+	p := &Program{Name: "br", Fn: fn}
+	if err := p.Validate(); err == nil || !strings.Contains(err.Error(), "do not exist") {
+		t.Errorf("err = %v, want branch-target error", err)
+	}
+}
+
+func TestValidateGlobalOpArities(t *testing.T) {
+	g := &Global{Name: "m", Kind: KindMap, KeyTypes: []Type{U32}, ValTypes: []Type{U32}}
+	sc := &Global{Name: "s", Kind: KindScalar, ValTypes: []Type{U32}}
+	cases := []struct {
+		name string
+		in   Instr
+		want string
+	}{
+		{"mapinsert with dst", Instr{Kind: MapInsert, Obj: "m", Dst: []Reg{0}, Args: []Reg{0, 0}}, "want 0 dsts"},
+		{"mapremove wrong keys", Instr{Kind: MapRemove, Obj: "m", Args: []Reg{0, 0}}, "want 1 args"},
+		{"globalstore with dst", Instr{Kind: GlobalStore, Obj: "s", Dst: []Reg{0}, Args: []Reg{0}}, "want 0 dsts"},
+		{"veclen on a map", Instr{Kind: VecLen, Obj: "m", Dst: []Reg{0}, Args: []Reg{0}}, "is map, want vec"},
+		{"xferload with args", Instr{Kind: XferLoad, Obj: "f", Dst: []Reg{0}, Args: []Reg{0}}, "want 0 args"},
+		{"xferstore with dst", Instr{Kind: XferStore, Obj: "f", Dst: []Reg{0}, Args: []Reg{0}}, "want 0 dsts"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			b := NewBuilder("g")
+			b.Const("x", U32, 0)
+			b.Drop()
+			fn := b.Fn()
+			fn.Blocks[0].Instrs = append(fn.Blocks[0].Instrs, tc.in)
+			fn.Finalize()
+			p := &Program{Name: "g", Globals: []*Global{g, sc}, Fn: fn}
+			err := p.Validate()
+			if err == nil || !strings.Contains(err.Error(), tc.want) {
+				t.Errorf("err = %v, want substring %q", err, tc.want)
+			}
+		})
+	}
+}

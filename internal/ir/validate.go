@@ -48,6 +48,14 @@ func (p *Program) validateFn(f *Function) error {
 		}
 		return nil
 	}
+	// Terminator targets are block indices throughout the toolchain (the
+	// CFG, liveness, and the interpreters all index Blocks by Then/Else),
+	// so a block's ID must equal its slice position.
+	for i, b := range f.Blocks {
+		if b.ID != i {
+			return fmt.Errorf("ir: %s: block at index %d has ID %d", f.Name, i, b.ID)
+		}
+	}
 	for _, b := range f.Blocks {
 		for i := range b.Instrs {
 			in := &b.Instrs[i]
@@ -72,12 +80,18 @@ func (p *Program) validateFn(f *Function) error {
 		t := &b.Term
 		where := fmt.Sprintf("%s block %d terminator (%s)", f.Name, b.ID, t.Kind)
 		if !t.Kind.IsTerminator() {
+			if isZeroInstr(t) {
+				return fmt.Errorf("ir: %s block %d: missing terminator", f.Name, b.ID)
+			}
 			return fmt.Errorf("ir: %s: non-terminator kind as terminator", where)
 		}
 		switch t.Kind {
 		case Jump:
+			if len(t.Args) != 0 {
+				return fmt.Errorf("ir: %s: jump takes no arguments", where)
+			}
 			if t.Then < 0 || t.Then >= len(f.Blocks) {
-				return fmt.Errorf("ir: %s: bad target %d", where, t.Then)
+				return fmt.Errorf("ir: %s: target block %d does not exist", where, t.Then)
 			}
 		case Branch:
 			if len(t.Args) != 1 {
@@ -90,11 +104,24 @@ func (p *Program) validateFn(f *Function) error {
 				return fmt.Errorf("ir: %s: condition is %s, want bool", where, f.RegType(t.Args[0]))
 			}
 			if t.Then < 0 || t.Then >= len(f.Blocks) || t.Else < 0 || t.Else >= len(f.Blocks) {
-				return fmt.Errorf("ir: %s: bad targets %d/%d", where, t.Then, t.Else)
+				return fmt.Errorf("ir: %s: target blocks %d/%d do not exist", where, t.Then, t.Else)
+			}
+		case Send, Drop, ToNext:
+			if len(t.Args) != 0 {
+				return fmt.Errorf("ir: %s: %s takes no arguments", where, t.Kind)
 			}
 		}
 	}
 	return nil
+}
+
+// isZeroInstr reports whether the instruction is the zero value — the
+// signature of a block whose terminator was never set (the builder's
+// placeholder is an explicit Drop, so a zero value means a hand-built
+// block was left open).
+func isZeroInstr(in *Instr) bool {
+	return in.Kind == Const && in.Dst == nil && in.Args == nil &&
+		in.Imm == 0 && in.Obj == "" && in.Then == 0 && in.Else == 0
 }
 
 func (p *Program) validateInstr(f *Function, in *Instr, where string) error {
@@ -122,7 +149,10 @@ func (p *Program) validateInstr(f *Function, in *Instr, where string) error {
 	}
 	switch in.Kind {
 	case Const:
-		return needDst(1)
+		if err := needDst(1); err != nil {
+			return err
+		}
+		return needArgs(0)
 	case BinOp:
 		if err := needDst(1); err != nil {
 			return err
@@ -134,13 +164,28 @@ func (p *Program) validateInstr(f *Function, in *Instr, where string) error {
 		}
 		return needArgs(1)
 	case LoadHeader:
-		return needDst(1)
+		if err := needDst(1); err != nil {
+			return err
+		}
+		return needArgs(0)
 	case StoreHeader:
+		if err := needDst(0); err != nil {
+			return err
+		}
 		return needArgs(1)
 	case PayloadMatch:
-		return needDst(1)
+		if err := needDst(1); err != nil {
+			return err
+		}
+		return needArgs(0)
 	case Hash:
-		return needDst(1)
+		if err := needDst(1); err != nil {
+			return err
+		}
+		if len(in.Args) == 0 {
+			return fmt.Errorf("ir: %s: hash needs at least one argument", where)
+		}
+		return nil
 	case MapFind:
 		g, err := global(KindMap)
 		if err != nil {
@@ -155,10 +200,16 @@ func (p *Program) validateInstr(f *Function, in *Instr, where string) error {
 		if err != nil {
 			return err
 		}
+		if err := needDst(0); err != nil {
+			return err
+		}
 		return needArgs(len(g.KeyTypes) + len(g.ValTypes))
 	case MapRemove:
 		g, err := global(KindMap)
 		if err != nil {
+			return err
+		}
+		if err := needDst(0); err != nil {
 			return err
 		}
 		return needArgs(len(g.KeyTypes))
@@ -174,14 +225,23 @@ func (p *Program) validateInstr(f *Function, in *Instr, where string) error {
 		if _, err := global(KindVec); err != nil {
 			return err
 		}
-		return needDst(1)
+		if err := needDst(1); err != nil {
+			return err
+		}
+		return needArgs(0)
 	case GlobalLoad:
 		if _, err := global(KindScalar); err != nil {
 			return err
 		}
-		return needDst(1)
+		if err := needDst(1); err != nil {
+			return err
+		}
+		return needArgs(0)
 	case GlobalStore:
 		if _, err := global(KindScalar); err != nil {
+			return err
+		}
+		if err := needDst(0); err != nil {
 			return err
 		}
 		return needArgs(1)
@@ -195,8 +255,14 @@ func (p *Program) validateInstr(f *Function, in *Instr, where string) error {
 		}
 		return needDst(1 + len(g.ValTypes))
 	case XferLoad:
-		return needDst(1)
+		if err := needDst(1); err != nil {
+			return err
+		}
+		return needArgs(0)
 	case XferStore:
+		if err := needDst(0); err != nil {
+			return err
+		}
 		return needArgs(1)
 	}
 	return fmt.Errorf("ir: %s: unknown kind", where)

@@ -311,6 +311,7 @@ func stmtLine(s Stmt) int {
 }
 
 func (lo *lowerer) stmt(s Stmt) (bool, error) {
+	lo.b.SetPos(stmtLine(s))
 	switch s := s.(type) {
 	case *VarDeclStmt:
 		t := dslTypes[s.Type]
