@@ -17,6 +17,8 @@
 package gallium_test
 
 import (
+	"context"
+	"fmt"
 	"testing"
 
 	"gallium"
@@ -182,6 +184,50 @@ func BenchmarkHeadline(b *testing.B) {
 	b.ReportMetric(sav, "cycle_savings_pct")
 	b.ReportMetric(lat, "latency_cut_pct")
 	b.Logf("\n%s", eval.FormatHeadline(h))
+}
+
+// BenchmarkEngineThroughput measures the concurrent sharded engine's
+// wall-clock throughput at 1/2/4/8 workers on the NAT and writes the
+// BENCH_pps.json baseline artifact from the results. Each sub-benchmark
+// streams b.N packets (one flow per ~1000 packets) and reports pps.
+func BenchmarkEngineThroughput(b *testing.B) {
+	for _, workers := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			art, err := gallium.CompileBuiltin("mazunat", gallium.Options{})
+			if err != nil {
+				b.Fatal(err)
+			}
+			flows := b.N/1000 + 1
+			if flows > 512 {
+				flows = 512
+			}
+			// 10Mpps offered for exactly b.N packets of virtual time.
+			wl := trafficgen.IperfConfig{Conns: flows, PPS: 1e7, DurationNs: int64(b.N) * 100, Seed: 7}
+			b.ResetTimer()
+			rep, err := art.Run(context.Background(), wl,
+				gallium.WithWorkers(workers), gallium.WithScenario())
+			b.StopTimer()
+			if err != nil {
+				b.Fatal(err)
+			}
+			if rep.Stats.Delivered == 0 {
+				b.Fatal("engine delivered nothing")
+			}
+			b.ReportMetric(rep.PPS, "pps")
+			b.ReportMetric(float64(rep.Stats.Injected), "packets")
+		})
+	}
+	// The persisted baseline comes from a fixed-size ladder (identical
+	// packet count at every worker count), not the b.N-scaled runs above —
+	// benchtime reruns would make those rungs incomparable.
+	rep, err := eval.EnginePPS(true)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := eval.WritePPS(rep, "BENCH_pps.json"); err != nil {
+		b.Fatal(err)
+	}
+	b.Logf("\n%s", eval.FormatPPS(rep))
 }
 
 // --- component microbenchmarks ---

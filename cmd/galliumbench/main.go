@@ -19,18 +19,45 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: table1, offloading, fig7, table2, table3, fig8, fig9, headline, loadsweep, ablation, all")
+	exp := flag.String("exp", "all", "experiment: table1, offloading, fig7, table2, table3, fig8, fig9, headline, loadsweep, ablation, pps, all")
 	quick := flag.Bool("quick", false, "shrink simulated durations and flow counts")
+	ppsOut := flag.String("ppsout", "BENCH_pps.json", "where -exp pps writes the throughput artifact")
+	checkPPS := flag.String("checkpps", "", "validate an existing BENCH_pps.json artifact and exit")
 	flag.Parse()
-	if err := run(*exp, *quick); err != nil {
+	if *checkPPS != "" {
+		rep, err := eval.LoadPPS(*checkPPS)
+		if err == nil {
+			err = eval.ValidatePPS(rep)
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "galliumbench:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("%s: valid\n%s", *checkPPS, eval.FormatPPS(rep))
+		return
+	}
+	if err := run(*exp, *quick, *ppsOut); err != nil {
 		fmt.Fprintln(os.Stderr, "galliumbench:", err)
 		os.Exit(1)
 	}
 }
 
-func run(exp string, quick bool) error {
+func run(exp string, quick bool, ppsOut string) error {
 	want := func(name string) bool { return exp == "all" || exp == name }
 	ran := false
+
+	if want("pps") {
+		rep, err := eval.EnginePPS(quick)
+		if err != nil {
+			return err
+		}
+		if err := eval.WritePPS(rep, ppsOut); err != nil {
+			return err
+		}
+		fmt.Print(eval.FormatPPS(rep))
+		fmt.Println("wrote", ppsOut)
+		ran = true
+	}
 
 	if want("table1") {
 		rows, err := eval.Table1()
@@ -107,7 +134,7 @@ func run(exp string, quick bool) error {
 	}
 	if !ran {
 		return fmt.Errorf("unknown experiment %q (want %s)", exp,
-			strings.Join([]string{"table1", "offloading", "fig7", "table2", "table3", "fig8", "fig9", "headline", "loadsweep", "ablation", "all"}, ", "))
+			strings.Join([]string{"table1", "offloading", "fig7", "table2", "table3", "fig8", "fig9", "headline", "loadsweep", "ablation", "pps", "all"}, ", "))
 	}
 	return nil
 }

@@ -1,26 +1,31 @@
-// Command galliumsim runs one middlebox through the simulated testbed —
-// traffic generators, programmable switch, middlebox server — and prints
+// Command galliumsim runs one middlebox through the simulator — traffic
+// generators, programmable switch, middlebox server — and prints
 // throughput, latency, and path statistics. It is the interactive
 // counterpart of the benchmark harness: one scenario, visible numbers.
 //
-// With -metrics it dumps the full observability snapshot (per-table
-// hit/miss counters, server cache statistics, latency histograms with
-// p50/p95/p99) as JSON; with -trace N it prints the first N packets' hop
-// traces.
+// Traffic streams through the concurrent sharded engine (Artifacts.Run):
+// -workers picks the shard count, and the report includes wall-clock
+// throughput alongside the virtual-time numbers. With -metrics it dumps
+// the full observability snapshot (per-table hit/miss counters, server
+// cache statistics, latency histograms) as JSON; with -trace N it prints
+// the first N packets' hop traces, which switches to the sequential
+// testbed (hop ordering is only meaningful packet-at-a-time).
 //
 // Usage:
 //
-//	galliumsim [-mb mazunat] [-mode offloaded|software] [-cores 1]
+//	galliumsim [-mb mazunat] [-mode offloaded|software] [-workers 4]
 //	           [-size 500] [-pps 4e6] [-ms 10]
 //	           [-metrics out.json] [-trace 5]
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
 	"sort"
 	"strings"
+	"sync"
 
 	"gallium"
 	"gallium/internal/obs"
@@ -31,16 +36,16 @@ import (
 func main() {
 	mb := flag.String("mb", "mazunat", "middlebox: mazunat, l4lb, firewall, proxy, trojandetector, minilb, ipgateway, ddosdetector")
 	mode := flag.String("mode", "offloaded", "deployment: offloaded or software")
-	cores := flag.Int("cores", 1, "middlebox server cores")
+	workers := flag.Int("workers", 1, "concurrent server shards (engine workers)")
 	size := flag.Int("size", 500, "packet size in bytes")
 	pps := flag.Float64("pps", 4e6, "offered aggregate packet rate")
 	ms := flag.Int("ms", 10, "simulated duration in milliseconds")
 	cache := flag.String("cache", "", "run a table as a §7 switch cache, e.g. -cache conn=512")
 	pcap := flag.String("pcap", "", "write delivered packets to this pcap file")
 	metrics := flag.String("metrics", "", "write the observability snapshot as JSON to this file")
-	trace := flag.Int("trace", 0, "print hop-by-hop traces for the first N packets")
+	trace := flag.Int("trace", 0, "print hop-by-hop traces for the first N packets (sequential testbed)")
 	flag.Parse()
-	if err := run(*mb, *mode, *cores, *size, *pps, *ms, *cache, *pcap, *metrics, *trace); err != nil {
+	if err := run(*mb, *mode, *workers, *size, *pps, *ms, *cache, *pcap, *metrics, *trace); err != nil {
 		fmt.Fprintln(os.Stderr, "galliumsim:", err)
 		os.Exit(1)
 	}
@@ -61,7 +66,7 @@ func parseCache(cache string) (map[string]int, error) {
 	return map[string]int{parts[0]: entries}, nil
 }
 
-func run(name, modeStr string, cores, size int, pps float64, ms int, cache, pcapPath, metricsPath string, traceN int) error {
+func run(name, modeStr string, workers, size int, pps float64, ms int, cache, pcapPath, metricsPath string, traceN int) error {
 	caches, err := parseCache(cache)
 	if err != nil {
 		return err
@@ -85,13 +90,101 @@ func run(name, modeStr string, cores, size int, pps float64, ms int, cache, pcap
 		Conns: 10, PacketSize: size, PPS: pps,
 		DurationNs: int64(ms) * 1_000_000, Seed: 7,
 	}
+
+	if traceN > 0 {
+		// Hop traces interleave meaninglessly under concurrency: replay
+		// the workload on the sequential testbed instead.
+		return runTestbed(art, gen, name, modeStr, mode, size, pps, ms, pcapPath, metricsPath, reg, traceN)
+	}
+
+	type delivered struct {
+		deliverNs int64
+		latencyNs int64
+		pkt       *packet.Packet
+	}
+	var mu sync.Mutex
+	var outs []delivered
+	rep, err := art.Run(context.Background(), gen,
+		gallium.WithMode(mode),
+		gallium.WithWorkers(workers),
+		gallium.WithScenario(),
+		gallium.WithMetrics(reg),
+		gallium.WithDeliveries(func(d gallium.Delivery) {
+			if !d.Delivered {
+				return
+			}
+			mu.Lock()
+			outs = append(outs, delivered{d.DeliverNs, d.LatencyNs, d.Pkt})
+			mu.Unlock()
+		}),
+	)
+	if err != nil {
+		return err
+	}
+	// Deliveries arrive in per-worker order; restore global time order.
+	sort.Slice(outs, func(i, j int) bool { return outs[i].deliverNs < outs[j].deliverNs })
+
+	if pcapPath != "" {
+		f, err := os.Create(pcapPath)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		w := packet.NewPcapWriter(f)
+		for _, d := range outs {
+			if err := w.WritePacket(d.deliverNs, d.pkt.Serialize()); err != nil {
+				return err
+			}
+		}
+	}
+
+	st := rep.Stats
+	fmt.Printf("middlebox %s, %s mode, %d worker(s), %dB packets, %.1f Mpps offered, %d ms\n",
+		name, modeStr, rep.Workers, size, pps/1e6, ms)
+	fmt.Printf("  injected %d  delivered %d  mb-drops %d  queue-drops %d\n",
+		st.Injected, st.Delivered, st.MBDrops, st.QueueDrops)
+	fmt.Printf("  throughput: %.2f Gbps virtual, %.2f Mpps wall-clock (%.1f ms wall)\n",
+		st.ThroughputBps()/1e9, rep.PPS/1e6, float64(rep.WallNs)/1e6)
+	if len(outs) > 0 {
+		lats := make([]float64, len(outs))
+		var sum float64
+		for i, d := range outs {
+			lats[i] = float64(d.latencyNs)
+			sum += lats[i]
+		}
+		sort.Float64s(lats)
+		pct := func(q float64) float64 { return lats[int(q*float64(len(lats)-1))] / 1000 }
+		fmt.Printf("  latency: mean %.2f µs, p50 %.2f, p99 %.2f, max %.2f\n",
+			sum/float64(len(lats))/1000, pct(0.50), pct(0.99), lats[len(lats)-1]/1000)
+	}
+	if pcapPath != "" {
+		fmt.Printf("  wrote %d delivered packets to %s\n", len(outs), pcapPath)
+	}
+	if mode == gallium.Offloaded {
+		fmt.Printf("  fast path: %d (%.2f%%)  slow path: %d\n",
+			st.FastPath, 100*float64(st.FastPath)/float64(st.Injected), st.SlowPath)
+		fmt.Printf("  control plane: %d ops in %d batches\n", st.CtlOps, st.CtlBatches)
+		if rep.Switch != nil {
+			fmt.Printf("  switch tables: %v\n", rep.Switch.TableEntries)
+		}
+	}
+	fmt.Printf("  server cycles: %.0f (%.1f cycles/pkt over slow-path packets)\n",
+		st.ServerCycles, st.ServerCycles/maxf(1, float64(st.SlowPath)))
+
+	return writeMetrics(reg, metricsPath, 0)
+}
+
+// runTestbed is the -trace escape hatch: the sequential, packet-at-a-time
+// testbed whose hop traces are globally ordered.
+func runTestbed(art *gallium.Artifacts, gen trafficgen.IperfConfig, name, modeStr string,
+	mode gallium.Mode, size int, pps float64, ms int, pcapPath, metricsPath string,
+	reg *obs.Registry, traceN int) error {
 	tb, err := art.NewTestbed(gallium.TestbedConfig{
-		Mode: mode, Cores: cores, Scenario: true, Flows: gen.Tuples(), Metrics: reg,
+		Mode: mode, Cores: 1, Scenario: true, Flows: gen.Tuples(), Metrics: reg,
 	})
 	if err != nil {
 		return err
 	}
-
 	var pcapW *packet.PcapWriter
 	if pcapPath != "" {
 		f, err := os.Create(pcapPath)
@@ -101,7 +194,6 @@ func run(name, modeStr string, cores, size int, pps float64, ms int, cache, pcap
 		defer f.Close()
 		pcapW = packet.NewPcapWriter(f)
 	}
-
 	var lats []float64
 	err = gen.Generate(func(tNs int64, pkt *packet.Packet) error {
 		d, err := tb.Inject(tNs, pkt)
@@ -121,10 +213,9 @@ func run(name, modeStr string, cores, size int, pps float64, ms int, cache, pcap
 	if err != nil {
 		return err
 	}
-
 	st := tb.Stats()
-	fmt.Printf("middlebox %s, %s mode, %d core(s), %dB packets, %.1f Mpps offered, %d ms\n",
-		name, modeStr, cores, size, pps/1e6, ms)
+	fmt.Printf("middlebox %s, %s mode, sequential testbed (-trace), %dB packets, %.1f Mpps offered, %d ms\n",
+		name, modeStr, size, pps/1e6, ms)
 	fmt.Printf("  injected %d  delivered %d  mb-drops %d  queue-drops %d\n",
 		st.Injected, st.Delivered, st.MBDrops, st.QueueDrops)
 	fmt.Printf("  throughput: %.2f Gbps\n", st.ThroughputBps()/1e9)
@@ -138,39 +229,37 @@ func run(name, modeStr string, cores, size int, pps float64, ms int, cache, pcap
 		fmt.Printf("  latency: mean %.2f µs, p50 %.2f, p99 %.2f, max %.2f\n",
 			sum/float64(len(lats))/1000, pct(0.50), pct(0.99), lats[len(lats)-1]/1000)
 	}
-	if pcapPath != "" {
-		fmt.Printf("  wrote %d delivered packets to %s\n", len(lats), pcapPath)
-	}
 	if mode == gallium.Offloaded {
 		fmt.Printf("  fast path: %d (%.2f%%)  slow path: %d\n",
 			st.FastPath, 100*float64(st.FastPath)/float64(st.Injected), st.SlowPath)
-		fmt.Printf("  control plane: %d ops in %d batches\n", st.CtlOps, st.CtlBatches)
 		if sws, ok := tb.SwitchStats(); ok {
 			fmt.Printf("  switch tables: %v\n", sws.TableEntries)
 		}
 	}
-	fmt.Printf("  server cycles: %.0f (%.1f cycles/pkt over slow-path packets)\n",
-		st.ServerCycles, st.ServerCycles/maxf(1, float64(st.SlowPath)))
+	return writeMetrics(reg, metricsPath, traceN)
+}
 
-	if reg != nil {
-		snap := reg.Snapshot()
-		if traceN > 0 {
-			fmt.Printf("\nhop traces (first %d packets):\n", len(snap.Traces))
-			for _, tr := range snap.Traces {
-				fmt.Print(tr.Format())
-			}
+func writeMetrics(reg *obs.Registry, metricsPath string, traceN int) error {
+	if reg == nil {
+		return nil
+	}
+	snap := reg.Snapshot()
+	if traceN > 0 {
+		fmt.Printf("\nhop traces (first %d packets):\n", len(snap.Traces))
+		for _, tr := range snap.Traces {
+			fmt.Print(tr.Format())
 		}
-		if metricsPath != "" {
-			data, err := snap.JSON()
-			if err != nil {
-				return err
-			}
-			if err := os.WriteFile(metricsPath, append(data, '\n'), 0o644); err != nil {
-				return err
-			}
-			fmt.Printf("\nwrote %d counters, %d histograms, %d traces to %s\n",
-				len(snap.Counters), len(snap.Histograms), len(snap.Traces), metricsPath)
+	}
+	if metricsPath != "" {
+		data, err := snap.JSON()
+		if err != nil {
+			return err
 		}
+		if err := os.WriteFile(metricsPath, append(data, '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("\nwrote %d counters, %d histograms, %d traces to %s\n",
+			len(snap.Counters), len(snap.Histograms), len(snap.Traces), metricsPath)
 	}
 	return nil
 }

@@ -8,6 +8,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -16,6 +17,7 @@ import (
 	"gallium/internal/middleboxes"
 	"gallium/internal/netsim"
 	"gallium/internal/packet"
+	"gallium/internal/trafficgen"
 )
 
 func main() {
@@ -34,27 +36,18 @@ func main() {
 		SrcPort: 4000, DstPort: 443, Proto: packet.IPProtocolTCP,
 	}
 	measure := func(mode gallium.Mode) float64 {
-		tb, err := art.NewTestbed(gallium.TestbedConfig{
-			Mode: mode, Cores: 1,
-			Setup: func(st *ir.State) { middleboxes.AllowFlow(st, tup) },
-		})
+		probes := trafficgen.ProbeConfig{Tuple: tup, Count: 20, PacketSize: 500}
+		rep, err := art.Run(context.Background(), probes,
+			gallium.WithMode(mode),
+			gallium.WithSetup(func(shard int, st *ir.State) { middleboxes.AllowFlow(st, tup) }),
+		)
 		if err != nil {
 			log.Fatal(err)
 		}
-		var sum float64
-		n := 20
-		t := int64(0)
-		for i := 0; i < n; i++ {
-			p := packet.BuildTCP(tup.SrcIP, tup.DstIP, tup.SrcPort, tup.DstPort, packet.TCPOptions{})
-			p.PadTo(500)
-			d, err := tb.Inject(t, p)
-			if err != nil {
-				log.Fatal(err)
-			}
-			sum += float64(d.LatencyNs)
-			t += 1_000_000
+		if rep.Stats.Delivered != rep.Stats.Injected {
+			log.Fatalf("%d of %d probes dropped", rep.Stats.Injected-rep.Stats.Delivered, rep.Stats.Injected)
 		}
-		return sum / float64(n) / 1000
+		return rep.Latency.Mean / 1000
 	}
 
 	gal := measure(gallium.Offloaded)

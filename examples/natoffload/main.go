@@ -1,6 +1,6 @@
-// NAT offload: run MazuNAT through the simulated testbed in both
-// deployments — Gallium-offloaded (switch + one server core) and the
-// software baseline on four cores — under identical iperf-style traffic,
+// NAT offload: run MazuNAT through the concurrent engine in both
+// deployments — Gallium-offloaded (switch + one server shard) and the
+// software baseline on four shards — under identical iperf-style traffic,
 // and compare throughput, latency, fast-path coverage, and server cycles.
 // This is the paper's headline scenario (§6.3) in miniature.
 //
@@ -8,11 +8,12 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
+	"sync"
 
 	"gallium"
-	"gallium/internal/packet"
 	"gallium/internal/trafficgen"
 )
 
@@ -33,60 +34,50 @@ func main() {
 		fastPct float64
 		cycles  float64
 	}
-	run := func(label string, mode gallium.Mode, cores int) outcome {
-		// Throughput phase: sustained load.
-		tb, err := art.NewTestbed(gallium.TestbedConfig{
-			Mode: mode, Cores: cores, Scenario: true, Flows: gen.Tuples(),
-		})
+	run := func(label string, mode gallium.Mode, workers int) outcome {
+		// Throughput phase: sustained load through the engine.
+		rep, err := art.Run(context.Background(), gen,
+			gallium.WithMode(mode), gallium.WithWorkers(workers), gallium.WithScenario())
 		if err != nil {
 			log.Fatal(err)
 		}
-		if err := gen.Generate(func(tNs int64, pkt *packet.Packet) error {
-			_, err := tb.Inject(tNs, pkt)
-			return err
-		}); err != nil {
-			log.Fatal(err)
-		}
-		st := tb.Stats()
+		st := rep.Stats
 
-		// Latency phase: Nptcp-style probes on a fresh, idle testbed (as
-		// in the paper, latency is measured without background load).
-		lt, err := art.NewTestbed(gallium.TestbedConfig{
-			Mode: mode, Cores: cores, Scenario: true, Flows: gen.Tuples(),
-		})
-		if err != nil {
-			log.Fatal(err)
+		// Latency phase: Nptcp-style probes on a fresh, idle engine (as in
+		// the paper, latency is measured without background load). The
+		// leading SYN opens the NAT mapping and is excluded from the mean.
+		probes := trafficgen.ProbeConfig{
+			Tuple: gen.Tuples()[0], Count: 21, PacketSize: 500, SYNFirst: true,
 		}
-		tup := gen.Tuples()[0]
-		syn := packet.BuildTCP(tup.SrcIP, tup.DstIP, tup.SrcPort, tup.DstPort, packet.TCPOptions{Flags: packet.TCPFlagSYN})
-		if _, err := lt.Inject(0, syn); err != nil {
-			log.Fatal(err)
-		}
+		var mu sync.Mutex
 		var latSum float64
-		t := int64(2_000_000)
-		const probes = 20
-		for i := 0; i < probes; i++ {
-			p := packet.BuildTCP(tup.SrcIP, tup.DstIP, tup.SrcPort, tup.DstPort, packet.TCPOptions{})
-			p.PadTo(500)
-			d, err := lt.Inject(t, p)
-			if err != nil {
-				log.Fatal(err)
-			}
-			latSum += float64(d.LatencyNs)
-			t += 1_000_000
+		var latN int
+		if _, err := art.Run(context.Background(), probes,
+			gallium.WithMode(mode), gallium.WithWorkers(workers), gallium.WithScenario(),
+			gallium.WithDeliveries(func(d gallium.Delivery) {
+				if d.Seq == 0 || !d.Delivered {
+					return
+				}
+				mu.Lock()
+				latSum += float64(d.LatencyNs)
+				latN++
+				mu.Unlock()
+			}),
+		); err != nil {
+			log.Fatal(err)
 		}
 
 		return outcome{
 			label:   label,
 			gbps:    st.ThroughputBps() / 1e9,
-			probeUs: latSum / probes / 1000,
+			probeUs: latSum / float64(latN) / 1000,
 			fastPct: 100 * float64(st.FastPath) / float64(st.Injected),
 			cycles:  st.ServerCycles,
 		}
 	}
 
-	off := run("gallium (switch + 1 core)", gallium.Offloaded, 1)
-	sw4 := run("fastclick (4 cores)", gallium.Software, 4)
+	off := run("gallium (switch + 1 shard)", gallium.Offloaded, 1)
+	sw4 := run("fastclick (4 shards)", gallium.Software, 4)
 
 	fmt.Println("MazuNAT, 10 TCP connections, 500B packets, 6 Mpps offered, 10 ms")
 	fmt.Printf("%-28s %10s %12s %11s %14s\n", "deployment", "Gbps", "probe(µs)", "fast path", "server cycles")

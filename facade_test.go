@@ -116,8 +116,29 @@ func TestParseMode(t *testing.T) {
 	if m, err := gallium.ParseMode("software"); err != nil || m != gallium.Software {
 		t.Errorf("software: %v %v", m, err)
 	}
-	if _, err := gallium.ParseMode("hybrid"); err == nil {
+	m, err := gallium.ParseMode("hybrid")
+	if err == nil {
 		t.Error("bad mode accepted")
+	}
+	// The error must come with the zero Mode, never a real deployment: a
+	// caller ignoring the error would otherwise silently run Offloaded.
+	if m == gallium.Offloaded || m == gallium.Software {
+		t.Errorf("ParseMode error returned live mode %v, want zero Mode", m)
+	}
+	if !strings.Contains(err.Error(), "offloaded") || !strings.Contains(err.Error(), "software") {
+		t.Errorf("error %q does not name the valid modes", err)
+	}
+}
+
+func TestModeString(t *testing.T) {
+	if got := gallium.Offloaded.String(); got != "offloaded" {
+		t.Errorf("Offloaded.String() = %q", got)
+	}
+	if got := gallium.Software.String(); got != "software" {
+		t.Errorf("Software.String() = %q", got)
+	}
+	if got := gallium.Mode(0).String(); got != "mode(0)" {
+		t.Errorf("zero Mode String() = %q", got)
 	}
 }
 

@@ -1,0 +1,353 @@
+// Package engine is the concurrent sharded packet engine: the runtime
+// counterpart of the netsim testbed's single-threaded virtual-time model.
+// An RSS-style flow-hash dispatcher fans packets out to N workers, each
+// owning one shard of the middlebox server (its own authoritative state,
+// like a DPDK core with per-core tables); the switch pipeline runs as a
+// shared stage whose data plane takes only a read lock; and the §4.3.3
+// write-back slow path is a real bounded channel drained by a dedicated
+// control-plane goroutine that stages, flips, and merges batches.
+//
+// Ordering guarantees: packets of one flow always hash to the same worker
+// and each worker runs one packet to completion before starting the next,
+// so per-flow processing (and delivery-callback) order equals arrival
+// order — the paper's run-to-completion claim (§4.4), now exercised under
+// real goroutine concurrency rather than modeled. Cross-flow order is
+// unspecified.
+//
+// The control-plane channel is asynchronous across workers but committed
+// per worker: after emitting a write-back batch, a worker waits for the
+// drainer's apply before starting its next packet (§4.3.3 output commit
+// extended to the worker's run-to-completion loop). Because a flow's
+// packets all land on one worker, a flow can never observe the switch
+// missing its own earlier write-back — the remaining stale window is
+// cross-worker only, where flow sharding makes it benign: another
+// worker's flow that misses simply takes the slow path, and its own
+// shard's authoritative state gives the right answer. §7 cache fills
+// stay fully fire-and-forget (a stale fill just re-punts).
+package engine
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"gallium/internal/ir"
+	"gallium/internal/netsim"
+	"gallium/internal/obs"
+	"gallium/internal/packet"
+	"gallium/internal/partition"
+	"gallium/internal/serverrt"
+	"gallium/internal/switchsim"
+)
+
+// Workload is a streaming packet source. Generate must produce packets in
+// non-decreasing injection-time order; Tuples announces the five-tuples in
+// advance so scenarios can pre-install per-flow configuration (firewall
+// whitelists). trafficgen's generators satisfy it.
+type Workload interface {
+	Tuples() []packet.FiveTuple
+	Generate(emit func(tNs int64, pkt *packet.Packet) error) error
+}
+
+// Config describes one engine instance.
+type Config struct {
+	// Mode is Offloaded (default for the zero Mode) or Software.
+	Mode netsim.Mode
+	// Workers is the number of server shards; <=0 means 1.
+	Workers int
+	// Res is required in Offloaded mode.
+	Res *partition.Result
+	// Prog is required in Software mode.
+	Prog *ir.Program
+	// Model is the virtual-time cost model; the zero value means defaults.
+	Model netsim.CostModel
+	// Setup seeds one shard's middlebox state (shard in [0, Workers)).
+	// Configuration must be identical across shards except for explicitly
+	// partitioned allocators (see middleboxes.ConfigureShard).
+	Setup func(shard int, st *ir.State)
+	// Obs, when non-nil, receives metrics: per-worker counters plus
+	// read-time "engine.*" aggregates. Nil disables observability.
+	Obs *obs.Registry
+	// QueueDepth bounds each worker's ingress channel; <=0 means 256.
+	QueueDepth int
+	// CtlQueue bounds the control-plane slow-path channel; <=0 means 256.
+	CtlQueue int
+	// OnDelivery, when non-nil, observes every packet fate. It is invoked
+	// from worker goroutines concurrently (per-flow order preserved); the
+	// callback must be safe for concurrent use.
+	OnDelivery func(Delivery)
+}
+
+// ctlBatch is one packet's replicated-state updates traveling the
+// slow-path channel to the control-plane drainer.
+type ctlBatch struct {
+	updates []switchsim.Update
+	// punt marks §7 cache-mode batches, which the drainer classifies into
+	// fills and synchronous updates before staging.
+	punt bool
+	// applied, when non-nil, is closed once the drainer has applied the
+	// batch: the sending worker blocks on it before its next packet
+	// (§4.3.3 output commit, extended per worker — see Run's doc).
+	applied chan struct{}
+}
+
+// Engine runs workloads through the concurrent sharded pipeline. Build
+// one with New; each Engine runs at most one workload (state carries the
+// traffic history, as on a real deployment).
+type Engine struct {
+	cfg     Config
+	sw      *switchsim.Switch
+	workers []*worker
+
+	ctl    chan ctlBatch
+	ctlWG  sync.WaitGroup
+	cancel context.CancelFunc
+
+	ctlBatches  atomic.Int64
+	ctlOps      atomic.Int64
+	ctlRejected atomic.Int64
+
+	ran      atomic.Bool
+	failOnce sync.Once
+	runErr   error
+}
+
+// New builds an engine: one server shard per worker, all seeded through
+// cfg.Setup, and (in offloaded mode) a shared switch seeded from shard 0's
+// configured state via the ordinary control plane.
+func New(cfg Config) (*Engine, error) {
+	if cfg.Workers <= 0 {
+		cfg.Workers = 1
+	}
+	if cfg.Mode == 0 {
+		cfg.Mode = netsim.Offloaded
+	}
+	if cfg.QueueDepth <= 0 {
+		cfg.QueueDepth = 256
+	}
+	if cfg.CtlQueue <= 0 {
+		cfg.CtlQueue = 256
+	}
+	if cfg.Model == (netsim.CostModel{}) {
+		cfg.Model = netsim.DefaultModel()
+	}
+	e := &Engine{cfg: cfg}
+	switch cfg.Mode {
+	case netsim.Offloaded:
+		if cfg.Res == nil {
+			return nil, fmt.Errorf("engine: offloaded mode needs a partition result")
+		}
+		e.sw = switchsim.New(cfg.Res)
+	case netsim.Software:
+		if cfg.Prog == nil {
+			return nil, fmt.Errorf("engine: software mode needs a program")
+		}
+	default:
+		return nil, fmt.Errorf("engine: unknown mode %v", cfg.Mode)
+	}
+	for i := 0; i < cfg.Workers; i++ {
+		w := &worker{
+			id:   i,
+			eng:  e,
+			jobs: make(chan job, cfg.QueueDepth),
+			hLat: obs.NewHistogram(nil),
+			// Decorrelate the per-worker jitter streams.
+			jitterState: uint64(i+1) * 0x9E3779B97F4A7C15,
+		}
+		if e.sw != nil {
+			w.srv = serverrt.New(cfg.Res)
+			if cfg.Setup != nil {
+				cfg.Setup(i, w.srv.State)
+			}
+		} else {
+			w.sft = serverrt.NewSoftware(cfg.Prog)
+			if cfg.Setup != nil {
+				cfg.Setup(i, w.sft.State)
+			}
+		}
+		e.workers = append(e.workers, w)
+	}
+	if e.sw != nil && cfg.Setup != nil {
+		if err := e.sw.SeedFrom(e.workers[0].srv.State); err != nil {
+			return nil, err
+		}
+	}
+	e.instrument(cfg.Obs)
+	return e, nil
+}
+
+// instrument wires per-worker metrics and registers the read-time
+// aggregates: "engine.*" counters are CounterFuncs summing the per-worker
+// atomics, and "engine.latency_ns" is a merged histogram over the
+// per-worker latency parts — the hot path never touches shared metrics.
+func (e *Engine) instrument(reg *obs.Registry) {
+	if reg == nil {
+		return
+	}
+	if e.sw != nil {
+		e.sw.Instrument(reg)
+	}
+	parts := make([]*obs.Histogram, 0, len(e.workers))
+	for _, w := range e.workers {
+		if w.srv != nil {
+			w.srv.Instrument(reg)
+		}
+		if w.sft != nil {
+			w.sft.Instrument(reg)
+		}
+		prefix := fmt.Sprintf("engine.worker.%d.", w.id)
+		w.c = workerCounters{
+			packets:   reg.Counter(prefix + "packets"),
+			delivered: reg.Counter(prefix + "delivered"),
+			fast:      reg.Counter(prefix + "fastpath"),
+			slow:      reg.Counter(prefix + "slowpath"),
+		}
+		parts = append(parts, w.hLat)
+	}
+	sum := func(pick func(workerCounters) *obs.Counter) func() uint64 {
+		return func() uint64 {
+			var n uint64
+			for _, w := range e.workers {
+				n += pick(w.c).Value()
+			}
+			return n
+		}
+	}
+	reg.CounterFunc("engine.packets", sum(func(c workerCounters) *obs.Counter { return c.packets }))
+	reg.CounterFunc("engine.delivered", sum(func(c workerCounters) *obs.Counter { return c.delivered }))
+	reg.CounterFunc("engine.fastpath", sum(func(c workerCounters) *obs.Counter { return c.fast }))
+	reg.CounterFunc("engine.slowpath", sum(func(c workerCounters) *obs.Counter { return c.slow }))
+	reg.MergedHistogram("engine.latency_ns", parts...)
+}
+
+// fail records the first error and aborts the run.
+func (e *Engine) fail(err error) {
+	e.failOnce.Do(func() {
+		e.runErr = err
+		if e.cancel != nil {
+			e.cancel()
+		}
+	})
+}
+
+// Run streams the workload through the engine: a dispatcher goroutine (the
+// caller) hashes each packet to its flow's worker, workers process to
+// completion in parallel, and the control-plane drainer applies write-back
+// batches. Run blocks until the workload is exhausted and every in-flight
+// packet and control batch has settled, then reports. Cancel ctx to abort:
+// queued packets are drained unprocessed and ctx.Err() is returned.
+func (e *Engine) Run(ctx context.Context, wl Workload) (*Report, error) {
+	if !e.ran.CompareAndSwap(false, true) {
+		return nil, errors.New("engine: Run may be called at most once per Engine")
+	}
+	start := time.Now()
+	runCtx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	e.cancel = cancel
+
+	if e.sw != nil {
+		e.ctl = make(chan ctlBatch, e.cfg.CtlQueue)
+		e.ctlWG.Add(1)
+		go e.drainCtl()
+	}
+	var wg sync.WaitGroup
+	for _, w := range e.workers {
+		wg.Add(1)
+		go func(w *worker) {
+			defer wg.Done()
+			w.loop(runCtx)
+		}(w)
+	}
+
+	var seq, lastT int64
+	first := true
+	genErr := wl.Generate(func(tNs int64, pkt *packet.Packet) error {
+		if err := runCtx.Err(); err != nil {
+			return err
+		}
+		if !first && tNs < lastT {
+			return fmt.Errorf("engine: out-of-order injection (%d < %d)", tNs, lastT)
+		}
+		first = false
+		lastT = tNs
+		flow, _ := pkt.Tuple()
+		j := job{seq: seq, tNs: tNs, flow: flow, pkt: pkt}
+		seq++
+		w := e.workers[netsim.RSSShard(pkt, len(e.workers))]
+		select {
+		case w.jobs <- j:
+			return nil
+		case <-runCtx.Done():
+			return runCtx.Err()
+		}
+	})
+
+	// Shutdown runs unconditionally so no goroutine outlives Run, even
+	// when generation aborted.
+	for _, w := range e.workers {
+		close(w.jobs)
+	}
+	wg.Wait()
+	if e.ctl != nil {
+		close(e.ctl)
+		e.ctlWG.Wait()
+	}
+
+	if e.runErr != nil {
+		return nil, e.runErr
+	}
+	if genErr != nil {
+		return nil, genErr
+	}
+	return e.report(time.Since(start)), nil
+}
+
+// drainCtl is the control-plane goroutine: it applies each slow-path batch
+// through the §4.3.3 protocol — stage every update, one visibility flip,
+// merge — until the channel closes. Full tables are soft failures (the
+// entry stays server-only and its flow keeps taking the slow path).
+func (e *Engine) drainCtl() {
+	defer e.ctlWG.Done()
+	for b := range e.ctl {
+		toStage := b.updates
+		if b.punt {
+			fills, syncs := serverrt.ClassifyUpdates(e.sw, b.updates)
+			toStage = append(fills, syncs...)
+		}
+		staged := 0
+		for _, u := range toStage {
+			if err := e.sw.StageWriteback(u); err != nil {
+				if errors.Is(err, switchsim.ErrTableFull) {
+					e.ctlRejected.Add(1)
+					continue
+				}
+				if b.applied != nil {
+					close(b.applied)
+				}
+				e.fail(err)
+				return
+			}
+			staged++
+		}
+		if staged > 0 {
+			e.sw.FlipVisibility()
+			e.sw.MergeWriteback()
+			e.ctlBatches.Add(1)
+			e.ctlOps.Add(int64(staged))
+		}
+		if b.applied != nil {
+			close(b.applied)
+		}
+	}
+}
+
+// SwitchStats exposes the shared switch's counters (offloaded mode only).
+func (e *Engine) SwitchStats() (switchsim.Stats, bool) {
+	if e.sw == nil {
+		return switchsim.Stats{}, false
+	}
+	return e.sw.Stats(), true
+}

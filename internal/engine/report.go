@@ -1,0 +1,103 @@
+package engine
+
+import (
+	"time"
+
+	"gallium/internal/netsim"
+	"gallium/internal/obs"
+	"gallium/internal/packet"
+	"gallium/internal/switchsim"
+)
+
+// Delivery reports one packet's fate, extending the testbed's Delivery
+// with the dispatch coordinates that only exist under concurrency.
+type Delivery struct {
+	// Seq is the packet's position in the workload stream.
+	Seq int64
+	// TNs is the injection time (virtual ns).
+	TNs int64
+	// Worker is the shard that processed the packet.
+	Worker int
+	// Flow is the packet's ingress five-tuple, captured before the
+	// middlebox rewrote any headers.
+	Flow packet.FiveTuple
+	// Pkt is the packet after processing (rewritten headers).
+	Pkt *packet.Packet
+
+	// Delivered is true when the packet reached the destination host.
+	Delivered bool
+	// MBDropped means the middlebox's logic dropped it (e.g. firewall).
+	MBDropped bool
+	// QueueDropped means the shard's ingress queue overflowed.
+	QueueDropped bool
+	// FastPath means the switch handled it without the server.
+	FastPath bool
+	// DeliverNs is when the packet reached the destination (virtual ns).
+	DeliverNs int64
+	// LatencyNs is end-to-end in virtual time (application to application).
+	LatencyNs int64
+}
+
+// Report summarizes one engine run: virtual-time traffic statistics
+// (aggregated across shards), wall-clock throughput, and the latency
+// distribution merged from the per-worker histograms at read time.
+type Report struct {
+	// Stats aggregates every worker's counters; latencies and delivery
+	// windows are virtual-time, like the testbed's.
+	Stats netsim.Stats
+	// PerWorker holds each shard's own counters (index == worker id).
+	PerWorker []netsim.Stats
+	// Workers is the shard count the engine ran with.
+	Workers int
+	// WallNs is the wall-clock duration of Run.
+	WallNs int64
+	// PPS is wall-clock packets per second (Injected / WallNs) — the
+	// engine's real concurrency throughput, unlike the virtual-time
+	// Stats.ThroughputBps.
+	PPS float64
+	// Latency is the end-to-end virtual-time latency distribution over
+	// all delivered packets.
+	Latency obs.HistSnapshot
+	// Switch holds the shared switch's counters (nil in Software mode).
+	Switch *switchsim.Stats
+}
+
+// report aggregates worker- and engine-level state after the run settled
+// (all workers joined, control channel drained).
+func (e *Engine) report(wall time.Duration) *Report {
+	r := &Report{Workers: len(e.workers), WallNs: int64(wall)}
+	parts := make([]*obs.Histogram, 0, len(e.workers))
+	agg := &r.Stats
+	for _, w := range e.workers {
+		s := w.stats
+		r.PerWorker = append(r.PerWorker, s)
+		agg.Injected += s.Injected
+		agg.Delivered += s.Delivered
+		agg.MBDrops += s.MBDrops
+		agg.QueueDrops += s.QueueDrops
+		agg.FastPath += s.FastPath
+		agg.SlowPath += s.SlowPath
+		agg.BytesIn += s.BytesIn
+		agg.BytesOut += s.BytesOut
+		agg.ServerCycles += s.ServerCycles
+		if s.FirstDeliverNs != 0 && (agg.FirstDeliverNs == 0 || s.FirstDeliverNs < agg.FirstDeliverNs) {
+			agg.FirstDeliverNs = s.FirstDeliverNs
+		}
+		if s.LastDeliverNs > agg.LastDeliverNs {
+			agg.LastDeliverNs = s.LastDeliverNs
+		}
+		parts = append(parts, w.hLat)
+	}
+	agg.CtlBatches = int(e.ctlBatches.Load())
+	agg.CtlOps = int(e.ctlOps.Load())
+	agg.CtlRejected = int(e.ctlRejected.Load())
+	r.Latency = obs.MergeHistograms(parts...).Snapshot()
+	if wall > 0 {
+		r.PPS = float64(agg.Injected) / wall.Seconds()
+	}
+	if e.sw != nil {
+		s := e.sw.Stats()
+		r.Switch = &s
+	}
+	return r
+}

@@ -1,0 +1,350 @@
+package engine
+
+import (
+	"context"
+	"fmt"
+
+	"gallium/internal/ir"
+	"gallium/internal/netsim"
+	"gallium/internal/obs"
+	"gallium/internal/packet"
+	"gallium/internal/serverrt"
+)
+
+// job is one dispatched packet.
+type job struct {
+	seq  int64
+	tNs  int64
+	flow packet.FiveTuple
+	pkt  *packet.Packet
+}
+
+// workerCounters are the per-worker observability handles (nil-safe).
+type workerCounters struct {
+	packets, delivered, fast, slow *obs.Counter
+}
+
+// worker owns one shard of the middlebox server: its own serverrt state
+// (authoritative for the flows hashed to it) and its own virtual-time core
+// model. Everything here is goroutine-local except the shared switch
+// (internally locked) and the control-plane channel.
+type worker struct {
+	id   int
+	eng  *Engine
+	jobs chan job
+
+	// Exactly one of srv (offloaded) or sft (software baseline) is set.
+	srv *serverrt.Server
+	sft *serverrt.Software
+
+	// coreFreeNs models this worker's core occupancy in virtual time, as
+	// the testbed's per-core array does: worker == simulated core.
+	coreFreeNs int64
+	// jitterState drives this worker's deterministic endpoint-stack noise.
+	jitterState uint64
+
+	stats netsim.Stats
+	hLat  *obs.Histogram
+	c     workerCounters
+}
+
+// loop consumes the worker's job channel until it closes. After a
+// cancellation or failure it keeps draining — without processing — so the
+// dispatcher can never block on a full channel during shutdown.
+func (w *worker) loop(ctx context.Context) {
+	for j := range w.jobs {
+		if ctx.Err() != nil {
+			continue
+		}
+		if err := w.process(ctx, j); err != nil {
+			w.eng.fail(err)
+		}
+	}
+}
+
+// stackNs returns the endpoint stack latency with deterministic jitter
+// (the testbed's xorshift stream, one independent stream per worker).
+func (w *worker) stackNs() float64 {
+	m := w.eng.cfg.Model
+	if m.StackJitterFrac == 0 {
+		return m.EndpointStackNs
+	}
+	x := w.jitterState*2862933555777941757 + 3037000493
+	w.jitterState = x
+	u := float64(x>>11) / float64(1<<53) // [0,1)
+	return m.EndpointStackNs * (1 + m.StackJitterFrac*(u-0.5))
+}
+
+// sendCtl hands a write-back batch to the control-plane drainer, blocking
+// on the bounded channel (backpressure) unless the run is being canceled.
+func (w *worker) sendCtl(ctx context.Context, b ctlBatch) error {
+	select {
+	case w.eng.ctl <- b:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// sendCtlCommitted hands a batch to the drainer and blocks until it has
+// been applied. This is §4.3.3 output commit extended to the worker's
+// next packet: because a flow's packets all land on one worker, waiting
+// here guarantees a flow never observes the switch missing its own
+// earlier write-back — without it, a burst's second packet could re-take
+// the slow path with stale carried lookup results and re-execute a
+// non-idempotent miss branch (e.g. re-allocating a NAT port). Workers
+// only wait on their own batches, so cross-worker pipelining is intact.
+func (w *worker) sendCtlCommitted(ctx context.Context, b ctlBatch) error {
+	b.applied = make(chan struct{})
+	if err := w.sendCtl(ctx, b); err != nil {
+		return err
+	}
+	select {
+	case <-b.applied:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// emit fills the job-invariant Delivery fields and invokes the callback.
+func (w *worker) emit(j job, d Delivery) {
+	d.Seq = j.seq
+	d.TNs = j.tNs
+	d.Worker = w.id
+	d.Flow = j.flow
+	d.Pkt = j.pkt
+	if cb := w.eng.cfg.OnDelivery; cb != nil {
+		cb(d)
+	}
+}
+
+// deliver carries the packet over the final link into the sink host.
+func (w *worker) deliver(j job, t float64, fast bool) {
+	m := w.eng.cfg.Model
+	t += m.SerializationNs(j.pkt.WireLen()) + m.LinkPropNs + w.stackNs()
+	d := Delivery{Delivered: true, FastPath: fast, DeliverNs: int64(t), LatencyNs: int64(t) - j.tNs}
+	w.stats.Delivered++
+	w.stats.BytesOut += int64(j.pkt.WireLen())
+	if w.stats.FirstDeliverNs == 0 || d.DeliverNs < w.stats.FirstDeliverNs {
+		w.stats.FirstDeliverNs = d.DeliverNs
+	}
+	if d.DeliverNs > w.stats.LastDeliverNs {
+		w.stats.LastDeliverNs = d.DeliverNs
+	}
+	w.hLat.Observe(d.LatencyNs)
+	w.c.delivered.Inc()
+	w.emit(j, d)
+}
+
+// process runs one packet to completion: the engine counterpart of
+// Testbed.Inject, with this worker as the packet's (simulated) core.
+func (w *worker) process(ctx context.Context, j job) error {
+	e := w.eng
+	m := e.cfg.Model
+	w.stats.Injected++
+	w.c.packets.Inc()
+	size := j.pkt.WireLen()
+	w.stats.BytesIn += int64(size)
+
+	// Source stack + first link.
+	t := float64(j.tNs) + w.stackNs() + m.SerializationNs(size) + m.LinkPropNs
+
+	if e.sw == nil {
+		return w.processSoftware(j, t)
+	}
+
+	// Switch pre-processing pass (shared stage, read lock inside).
+	pre, err := e.sw.ProcessPre(j.pkt)
+	if err != nil {
+		return err
+	}
+	t += m.SwitchPipelineNs
+	if pre.Punt {
+		return w.processPunt(ctx, j, t)
+	}
+	switch pre.Action {
+	case ir.ActionDropped:
+		w.stats.MBDrops++
+		w.stats.FastPath++
+		w.c.fast.Inc()
+		w.emit(j, Delivery{MBDropped: true, FastPath: true})
+		return nil
+	case ir.ActionSent:
+		w.stats.FastPath++
+		w.c.fast.Inc()
+		w.deliver(j, t, true)
+		return nil
+	}
+
+	// Slow path: switch → this worker's server shard.
+	w.stats.SlowPath++
+	w.c.slow.Inc()
+	t += m.SerializationNs(j.pkt.WireLen()) + m.LinkPropNs
+	arrive := int64(t)
+	start := arrive
+	if w.coreFreeNs > start {
+		start = w.coreFreeNs
+	}
+	if float64(start-arrive) > m.MaxQueueDelayNs {
+		w.stats.QueueDrops++
+		w.emit(j, Delivery{QueueDropped: true})
+		return nil
+	}
+	rx, err := packet.DecodePacket(j.pkt.Serialize(), e.cfg.Res.FormatA)
+	if err != nil {
+		return fmt.Errorf("engine: server rx: %w", err)
+	}
+	srvRes, err := w.srv.Process(rx)
+	if err != nil {
+		return err
+	}
+	busyUntil := start + int64(m.ServerServiceNs(srvRes.Steps))
+	w.coreFreeNs = busyUntil
+	done := busyUntil + int64(m.ServerDatapathNs)
+	w.stats.ServerCycles += m.ServerCycles(srvRes.Steps)
+
+	release := done
+	if len(srvRes.Updates) > 0 {
+		// Hand the batch to the control-plane drainer, account the
+		// output-commit stall in virtual time (§4.3.3), and wait for the
+		// apply before this worker's next packet so a flow never races its
+		// own write-back.
+		if err := w.sendCtlCommitted(ctx, ctlBatch{updates: srvRes.Updates}); err != nil {
+			return err
+		}
+		release = done + int64(m.CtlBatchNs(len(srvRes.Updates)))
+	}
+
+	switch srvRes.Action {
+	case ir.ActionDropped:
+		w.stats.MBDrops++
+		w.emit(j, Delivery{MBDropped: true})
+		return nil
+	case ir.ActionSent:
+		// Server-owned terminator: back through the switch as plain
+		// forwarding.
+		tRel := float64(release) + m.SerializationNs(rx.WireLen()) + m.LinkPropNs + m.SwitchPipelineNs
+		*j.pkt = *rx
+		w.deliver(j, tRel, false)
+		return nil
+	}
+
+	// Back to the switch for post-processing.
+	tBack := float64(release) + m.SerializationNs(rx.WireLen()) + m.LinkPropNs
+	back, err := packet.DecodePacket(rx.Serialize(), e.cfg.Res.FormatB)
+	if err != nil {
+		return fmt.Errorf("engine: switch rx from server: %w", err)
+	}
+	post, err := e.sw.ProcessPost(back)
+	if err != nil {
+		return err
+	}
+	tBack += m.SwitchPipelineNs
+	*j.pkt = *back
+	if post.Action == ir.ActionDropped {
+		w.stats.MBDrops++
+		w.emit(j, Delivery{MBDropped: true})
+		return nil
+	}
+	w.deliver(j, tBack, false)
+	return nil
+}
+
+// processPunt handles a §7 cache-mode punt: the unmodified packet goes to
+// this worker's shard, which runs the full middlebox against its
+// authoritative state. Cache fills do not stall the packet; synchronous
+// updates do (output commit).
+func (w *worker) processPunt(ctx context.Context, j job, t float64) error {
+	e := w.eng
+	m := e.cfg.Model
+	w.stats.SlowPath++
+	w.c.slow.Inc()
+	t += m.SerializationNs(j.pkt.WireLen()) + m.LinkPropNs
+	arrive := int64(t)
+	start := arrive
+	if w.coreFreeNs > start {
+		start = w.coreFreeNs
+	}
+	if float64(start-arrive) > m.MaxQueueDelayNs {
+		w.stats.QueueDrops++
+		w.emit(j, Delivery{QueueDropped: true})
+		return nil
+	}
+	rx, err := packet.DecodePacket(j.pkt.Serialize(), nil)
+	if err != nil {
+		return fmt.Errorf("engine: server rx (punt): %w", err)
+	}
+	res, err := w.srv.ProcessFull(rx)
+	if err != nil {
+		return err
+	}
+	busyUntil := start + int64(m.ServerServiceNs(res.Steps))
+	w.coreFreeNs = busyUntil
+	done := busyUntil + int64(m.ServerDatapathNs)
+	w.stats.ServerCycles += m.ServerCycles(res.Steps)
+
+	release := done
+	if len(res.Updates) > 0 {
+		// Classify against the switch now for the stall estimate (only
+		// synchronous updates hold the packet; read-through fills do not);
+		// the drainer re-classifies at apply time. Fills stay fire-and-
+		// forget (§7: a stale fill just re-punts, which is benign);
+		// synchronous updates get the committed send like the normal path.
+		fills, syncs := serverrt.ClassifyUpdates(e.sw, res.Updates)
+		b := ctlBatch{updates: res.Updates, punt: true}
+		if len(syncs) > 0 {
+			if err := w.sendCtlCommitted(ctx, b); err != nil {
+				return err
+			}
+			release = done + int64(m.CtlBatchNs(len(fills)+len(syncs)))
+		} else if err := w.sendCtl(ctx, b); err != nil {
+			return err
+		}
+	}
+	if res.Action == ir.ActionDropped {
+		w.stats.MBDrops++
+		w.emit(j, Delivery{MBDropped: true})
+		return nil
+	}
+	// Back out through the switch as plain forwarding.
+	tOut := float64(release) + m.SerializationNs(rx.WireLen()) + m.LinkPropNs + m.SwitchPipelineNs
+	*j.pkt = *rx
+	w.deliver(j, tOut, false)
+	return nil
+}
+
+// processSoftware runs the whole middlebox on this worker's shard (the
+// FastClick baseline), with the switch as a plain forwarder.
+func (w *worker) processSoftware(j job, t float64) error {
+	m := w.eng.cfg.Model
+	t += m.SwitchPipelineNs + m.SerializationNs(j.pkt.WireLen()) + m.LinkPropNs
+	arrive := int64(t)
+	start := arrive
+	if w.coreFreeNs > start {
+		start = w.coreFreeNs
+	}
+	if float64(start-arrive) > m.MaxQueueDelayNs {
+		w.stats.QueueDrops++
+		w.emit(j, Delivery{QueueDropped: true})
+		return nil
+	}
+	res, err := w.sft.Process(j.pkt)
+	if err != nil {
+		return err
+	}
+	busyUntil := start + int64(m.ServerServiceNs(res.Steps))
+	w.coreFreeNs = busyUntil
+	done := busyUntil + int64(m.ServerDatapathNs)
+	w.stats.ServerCycles += m.ServerCycles(res.Steps)
+	w.stats.SlowPath++
+	w.c.slow.Inc()
+	if res.Action == ir.ActionDropped {
+		w.stats.MBDrops++
+		w.emit(j, Delivery{MBDropped: true})
+		return nil
+	}
+	tOut := float64(done) + m.SerializationNs(j.pkt.WireLen()) + m.LinkPropNs + m.SwitchPipelineNs
+	w.deliver(j, tOut, false)
+	return nil
+}

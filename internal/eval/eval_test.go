@@ -324,19 +324,18 @@ func TestOffloadingReport(t *testing.T) {
 	for _, r := range rows {
 		byName[r.Middlebox] = r
 	}
-	// §6.2 claims, middlebox by middlebox.
+	// §6.2 claims, middlebox by middlebox. The port counter stays on the
+	// server (its read feeds a server-side write; the split RMW would race
+	// under asynchronous write-back — partition rule 7), so only the two
+	// translation tables land on the switch.
 	nat := byName["mazunat"]
-	if len(nat.SwitchState) != 3 { // two translation tables + the counter register
+	if len(nat.SwitchState) != 2 {
 		t.Errorf("mazunat switch state = %+v", nat.SwitchState)
 	}
-	hasRegister := false
 	for _, st := range nat.SwitchState {
 		if st.Realization == "register" {
-			hasRegister = true
+			t.Errorf("mazunat's mutated counter %q offloaded as a register", st.Name)
 		}
-	}
-	if !hasRegister {
-		t.Error("mazunat's port counter should offload as a P4 register (§6.2)")
 	}
 	for _, mb := range []string{"firewall", "proxy"} {
 		if byName[mb].Srv != 0 {
@@ -358,5 +357,48 @@ func TestOffloadingReport(t *testing.T) {
 		if !strings.Contains(txt, want) {
 			t.Errorf("report missing %q", want)
 		}
+	}
+}
+
+func TestEnginePPSArtifactRoundTrip(t *testing.T) {
+	rep, err := EnginePPS(true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ValidatePPS(rep); err != nil {
+		t.Fatalf("fresh report invalid: %v", err)
+	}
+	path := t.TempDir() + "/BENCH_pps.json"
+	if err := WritePPS(rep, path); err != nil {
+		t.Fatal(err)
+	}
+	back, err := LoadPPS(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ValidatePPS(back); err != nil {
+		t.Fatalf("artifact invalid after round trip: %v", err)
+	}
+	if len(back.Points) != 4 || back.Points[2].Workers != 4 {
+		t.Fatalf("ladder corrupted: %+v", back.Points)
+	}
+	if back.Points[0].PPS != rep.Points[0].PPS {
+		t.Error("pps lost in serialization")
+	}
+	if FormatPPS(back) == "" {
+		t.Error("empty rendering")
+	}
+
+	// Validation rejects broken artifacts.
+	bad := *back
+	bad.Points = back.Points[:2]
+	if err := ValidatePPS(&bad); err == nil {
+		t.Error("short ladder accepted")
+	}
+	bad2 := *back
+	bad2.Points = append([]PPSPoint(nil), back.Points...)
+	bad2.Points[1].Packets++
+	if err := ValidatePPS(&bad2); err == nil {
+		t.Error("incomparable packet counts accepted")
 	}
 }

@@ -1,0 +1,140 @@
+package eval
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"strings"
+
+	"gallium"
+	"gallium/internal/trafficgen"
+)
+
+// PPSPoint is one worker-count measurement of the concurrent engine's
+// wall-clock throughput.
+type PPSPoint struct {
+	Workers int `json:"workers"`
+	// Packets is how many packets the run streamed.
+	Packets int64 `json:"packets"`
+	// WallNs is the run's wall-clock duration.
+	WallNs int64 `json:"wall_ns"`
+	// PPS is wall-clock packets per second.
+	PPS float64 `json:"pps"`
+	// FastPathPct is the fraction the switch served alone.
+	FastPathPct float64 `json:"fast_path_pct"`
+}
+
+// PPSReport is the engine-throughput baseline artifact (BENCH_pps.json):
+// the scaling curve of the concurrent sharded engine over worker counts.
+// Wall-clock throughput depends on the host, so the artifact records the
+// environment alongside the numbers.
+type PPSReport struct {
+	Middlebox  string     `json:"middlebox"`
+	GoMaxProcs int        `json:"gomaxprocs"`
+	NumCPU     int        `json:"num_cpu"`
+	Points     []PPSPoint `json:"points"`
+}
+
+// ppsWorkerCounts is the scaling ladder the baseline measures.
+var ppsWorkerCounts = []int{1, 2, 4, 8}
+
+// EnginePPS measures the concurrent engine's wall-clock throughput on the
+// NAT (the stateful middlebox with both fast- and slow-path traffic) at
+// 1, 2, 4, and 8 workers.
+func EnginePPS(quick bool) (*PPSReport, error) {
+	const name = "mazunat"
+	flows := 64
+	durNs := int64(20_000_000) // 20ms of traffic at 10Mpps ≈ 200k packets
+	if quick {
+		durNs = 2_000_000
+	}
+	rep := &PPSReport{Middlebox: name, GoMaxProcs: runtime.GOMAXPROCS(0), NumCPU: runtime.NumCPU()}
+	for _, workers := range ppsWorkerCounts {
+		// Fresh artifacts per run: engine state carries traffic history.
+		c, err := CompileOne(name)
+		if err != nil {
+			return nil, err
+		}
+		wl := trafficgen.IperfConfig{Conns: flows, PPS: 1e7, DurationNs: durNs, Seed: 7}
+		r, err := c.Art.Run(context.Background(), wl,
+			gallium.WithWorkers(workers), gallium.WithScenario())
+		if err != nil {
+			return nil, err
+		}
+		p := PPSPoint{Workers: workers, Packets: int64(r.Stats.Injected), WallNs: r.WallNs, PPS: r.PPS}
+		if r.Stats.Injected > 0 {
+			p.FastPathPct = 100 * float64(r.Stats.FastPath) / float64(r.Stats.Injected)
+		}
+		rep.Points = append(rep.Points, p)
+	}
+	return rep, nil
+}
+
+// WritePPS writes the report as the BENCH_pps.json artifact.
+func WritePPS(rep *PPSReport, path string) error {
+	b, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(b, '\n'), 0o644)
+}
+
+// LoadPPS reads a BENCH_pps.json artifact back.
+func LoadPPS(path string) (*PPSReport, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var rep PPSReport
+	if err := json.Unmarshal(b, &rep); err != nil {
+		return nil, fmt.Errorf("pps artifact %s: %w", path, err)
+	}
+	return &rep, nil
+}
+
+// ValidatePPS checks the structural invariants of a throughput artifact:
+// the full worker ladder, positive throughput at every point, and a
+// consistent packet count across worker counts. It deliberately does NOT
+// gate on speedup — wall-clock scaling depends on the host's core count
+// (a single-core CI runner cannot exhibit it), so scaling is reported,
+// not asserted.
+func ValidatePPS(rep *PPSReport) error {
+	if len(rep.Points) != len(ppsWorkerCounts) {
+		return fmt.Errorf("pps artifact has %d points, want %d", len(rep.Points), len(ppsWorkerCounts))
+	}
+	for i, p := range rep.Points {
+		if p.Workers != ppsWorkerCounts[i] {
+			return fmt.Errorf("point %d measures %d workers, want %d", i, p.Workers, ppsWorkerCounts[i])
+		}
+		if p.PPS <= 0 || p.WallNs <= 0 || p.Packets <= 0 {
+			return fmt.Errorf("point %d is degenerate: %+v", i, p)
+		}
+		if p.Packets != rep.Points[0].Packets {
+			return fmt.Errorf("point %d streamed %d packets, others %d — runs not comparable",
+				i, p.Packets, rep.Points[0].Packets)
+		}
+	}
+	if rep.GoMaxProcs <= 0 {
+		return fmt.Errorf("pps artifact does not record GOMAXPROCS")
+	}
+	return nil
+}
+
+// FormatPPS renders the scaling curve for the terminal.
+func FormatPPS(rep *PPSReport) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Engine throughput baseline (%s, GOMAXPROCS=%d, %d CPUs)\n",
+		rep.Middlebox, rep.GoMaxProcs, rep.NumCPU)
+	fmt.Fprintf(&b, "%-8s %12s %12s %10s %10s\n", "workers", "packets", "wall_ms", "Mpps", "speedup")
+	base := 0.0
+	for _, p := range rep.Points {
+		if base == 0 {
+			base = p.PPS
+		}
+		fmt.Fprintf(&b, "%-8d %12d %12.2f %10.3f %9.2fx\n",
+			p.Workers, p.Packets, float64(p.WallNs)/1e6, p.PPS/1e6, p.PPS/base)
+	}
+	return b.String()
+}

@@ -379,6 +379,24 @@ func ConfigureState(name string, st *ir.State) {
 	}
 }
 
+// ConfigureShard seeds one shard of a multi-worker deployment:
+// ConfigureState plus per-shard partitioning of allocator globals. Flow
+// state (NAT bindings, LB connections) shards cleanly under flow-hash
+// dispatch, but the NAT's monotonic external-port allocator is a scalar:
+// identical copies on every shard would hand out colliding external
+// ports. Each shard therefore starts its allocator in a disjoint slice of
+// the port space — the way multi-core NATs partition port ranges per
+// core — so concurrently allocated ports never collide across shards.
+func ConfigureShard(name string, shard, total int, st *ir.State) {
+	ConfigureState(name, st)
+	if total <= 1 || shard < 0 || shard >= total {
+		return
+	}
+	if name == "mazunat" {
+		st.Globals["next_port"] = uint64(shard) * uint64(65536/total)
+	}
+}
+
 // AllowFlow installs a firewall whitelist rule for the given five-tuple
 // (both tables keep the same orientation as the packet headers).
 func AllowFlow(st *ir.State, t packet.FiveTuple) {

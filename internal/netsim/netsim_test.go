@@ -478,3 +478,47 @@ func TestFluidMatchesPacketLevel(t *testing.T) {
 		t.Errorf("engines disagree by %.2fx", ratio)
 	}
 }
+
+func TestModeZeroDefaultsToOffloaded(t *testing.T) {
+	// A zero-Mode config (e.g. built from TestbedConfig{}) must run the
+	// offloaded deployment, even though Mode(0) itself is "unset".
+	spec, err := middleboxes.Lookup("firewall")
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog, err := lang.Compile(spec.Source)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := partition.Partition(prog, partition.DefaultConstraints())
+	if err != nil {
+		t.Fatal(err)
+	}
+	tb, err := NewTestbed(Config{Model: DefaultModel(), Res: res, Prog: prog})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := tb.SwitchStats(); !ok {
+		t.Fatal("zero Mode did not build the offloaded deployment")
+	}
+	if _, err := NewTestbed(Config{Model: DefaultModel(), Mode: Mode(7), Res: res, Prog: prog}); err == nil {
+		t.Fatal("unknown mode accepted")
+	}
+}
+
+func TestRSSShardSymmetricAndBounded(t *testing.T) {
+	fwd := packet.BuildTCP(packet.MakeIPv4Addr(10, 0, 0, 1), packet.MakeIPv4Addr(20, 0, 0, 2), 1234, 80, packet.TCPOptions{})
+	rev := packet.BuildTCP(packet.MakeIPv4Addr(20, 0, 0, 2), packet.MakeIPv4Addr(10, 0, 0, 1), 80, 1234, packet.TCPOptions{})
+	for _, n := range []int{1, 2, 4, 8} {
+		f, r := RSSShard(fwd, n), RSSShard(rev, n)
+		if f != r {
+			t.Errorf("n=%d: directions land on different shards (%d vs %d)", n, f, r)
+		}
+		if f < 0 || f >= n {
+			t.Errorf("n=%d: shard %d out of range", n, f)
+		}
+	}
+	if got := RSSShard(fwd, 0); got != 0 {
+		t.Errorf("RSSShard(_, 0) = %d, want 0", got)
+	}
+}

@@ -12,24 +12,30 @@ import (
 	"gallium/internal/switchsim"
 )
 
-// Mode selects the deployment under test.
+// Mode selects the deployment under test. The zero Mode is "unset": it
+// defaults to Offloaded when a testbed or engine is built from it, and is
+// what ParseMode returns alongside an error — so an ignored parse error
+// can never be mistaken for an explicit mode choice.
 type Mode int
 
 // Deployment modes.
 const (
 	// Offloaded runs the Gallium-compiled switch+server pair.
-	Offloaded Mode = iota
+	Offloaded Mode = iota + 1
 	// Software runs the unpartitioned middlebox on the server (the
 	// FastClick baseline), with the switch as a plain forwarder.
 	Software
 )
 
-// String implements fmt.Stringer.
+// String implements fmt.Stringer for flag defaults and error messages.
 func (m Mode) String() string {
-	if m == Offloaded {
+	switch m {
+	case Offloaded:
 		return "offloaded"
+	case Software:
+		return "software"
 	}
-	return "software"
+	return fmt.Sprintf("mode(%d)", int(m))
 }
 
 // Config describes one testbed instance.
@@ -226,6 +232,9 @@ func NewTestbed(cfg Config) (*Testbed, error) {
 	if cfg.Cores <= 0 {
 		cfg.Cores = 1
 	}
+	if cfg.Mode == 0 {
+		cfg.Mode = Offloaded
+	}
 	tb := &Testbed{cfg: cfg, coreFreeNs: make([]int64, cfg.Cores)}
 	switch cfg.Mode {
 	case Offloaded:
@@ -236,7 +245,7 @@ func NewTestbed(cfg Config) (*Testbed, error) {
 		tb.srv = serverrt.New(cfg.Res)
 		if cfg.Setup != nil {
 			cfg.Setup(tb.srv.State)
-			if err := tb.seedSwitch(); err != nil {
+			if err := tb.sw.SeedFrom(tb.srv.State); err != nil {
 				return nil, err
 			}
 		}
@@ -248,42 +257,11 @@ func NewTestbed(cfg Config) (*Testbed, error) {
 		if cfg.Setup != nil {
 			cfg.Setup(tb.sft.State)
 		}
+	default:
+		return nil, fmt.Errorf("netsim: unknown mode %v", cfg.Mode)
 	}
 	tb.instrument(cfg.Obs)
 	return tb, nil
-}
-
-// seedSwitch copies configured replicated state onto the switch (initial
-// table contents install through the ordinary control plane, but before
-// traffic starts, so they are immediately merged).
-func (tb *Testbed) seedSwitch() error {
-	res := tb.cfg.Res
-	for _, gn := range res.OffloadedGlobals {
-		g := res.Prog.Global(gn)
-		switch g.Kind {
-		case ir.KindVec:
-			if err := tb.sw.LoadVector(gn, tb.srv.State.Vecs[gn]); err != nil {
-				return err
-			}
-		case ir.KindMap:
-			for k, v := range tb.srv.State.Maps[gn] {
-				if err := tb.sw.StageWriteback(switchsim.Update{Table: gn, Key: k, Vals: v}); err != nil {
-					return err
-				}
-			}
-		case ir.KindScalar:
-			if err := tb.sw.StageWriteback(switchsim.Update{Register: gn, RegVal: tb.srv.State.Globals[gn]}); err != nil {
-				return err
-			}
-		case ir.KindLPM:
-			if err := tb.sw.LoadLPM(gn, tb.srv.State.Lpms[gn]); err != nil {
-				return err
-			}
-		}
-	}
-	tb.sw.FlipVisibility()
-	tb.sw.MergeWriteback()
-	return nil
 }
 
 // applyFlips makes all control-plane batches whose flip time has passed
@@ -354,8 +332,7 @@ func (tb *Testbed) Inject(tNs int64, pkt *packet.Packet) (Delivery, error) {
 	// Slow path: switch → server link, server queue, service.
 	tb.stats.SlowPath++
 	t += m.SerializationNs(pkt.WireLen()) + m.LinkPropNs
-	tupleHash := rssHash(pkt)
-	core := int(tupleHash % uint64(len(tb.coreFreeNs)))
+	core := RSSShard(pkt, len(tb.coreFreeNs))
 	arrive := int64(t)
 	start := arrive
 	if tb.coreFreeNs[core] > start {
@@ -471,7 +448,7 @@ func (tb *Testbed) injectPunt(tNs int64, t float64, pkt *packet.Packet, tr *obs.
 	m := tb.cfg.Model
 	tb.stats.SlowPath++
 	t += m.SerializationNs(pkt.WireLen()) + m.LinkPropNs
-	core := int(rssHash(pkt) % uint64(len(tb.coreFreeNs)))
+	core := RSSShard(pkt, len(tb.coreFreeNs))
 	arrive := int64(t)
 	start := arrive
 	if tb.coreFreeNs[core] > start {
@@ -548,7 +525,7 @@ func (tb *Testbed) injectSoftware(tNs int64, arriveSwitch int64, pkt *packet.Pac
 	m := tb.cfg.Model
 	// Plain forwarding through the switch to the server.
 	t := float64(arriveSwitch) + m.SwitchPipelineNs + m.SerializationNs(pkt.WireLen()) + m.LinkPropNs
-	core := int(rssHash(pkt) % uint64(len(tb.coreFreeNs)))
+	core := RSSShard(pkt, len(tb.coreFreeNs))
 	arrive := int64(t)
 	start := arrive
 	if tb.coreFreeNs[core] > start {
@@ -630,4 +607,16 @@ func rssHash(pkt *packet.Packet) uint64 {
 		return tup.SymmetricHash()
 	}
 	return uint64(pkt.IP.SrcIP) * 2654435761
+}
+
+// RSSShard maps a packet to one of n shards the way NIC RSS steers flows
+// to cores: a symmetric flow hash, so both directions of a connection land
+// on the same shard. The testbed's core model and the concurrent engine's
+// dispatcher share this function — a flow is served by the same (simulated
+// or real) core in either world.
+func RSSShard(pkt *packet.Packet, n int) int {
+	if n <= 1 {
+		return 0
+	}
+	return int(rssHash(pkt) % uint64(n))
 }

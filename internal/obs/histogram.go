@@ -32,6 +32,17 @@ type Histogram struct {
 	parts []*Histogram
 }
 
+// NewHistogram returns a standalone (unregistered) histogram with the
+// given bucket upper bounds; nil bounds means LatencyBuckets. Sharded
+// components keep one per worker and publish a read-time merge via
+// MergeHistograms or Registry.MergedHistogram.
+func NewHistogram(bounds []int64) *Histogram { return newHistogram(bounds) }
+
+// MergeHistograms returns an unregistered read-time merge over parts: all
+// reads fold the parts together and Observe is a no-op. All parts must
+// share the same bucket bounds.
+func MergeHistograms(parts ...*Histogram) *Histogram { return newMergedHistogram(parts) }
+
 func newHistogram(bounds []int64) *Histogram {
 	if bounds == nil {
 		bounds = LatencyBuckets

@@ -78,7 +78,10 @@ type Registry struct {
 	counters map[string]*Counter
 	gauges   map[string]*Gauge
 	hists    map[string]*Histogram
-	tracer   *TraceRecorder
+	// funcs are derived counters computed at snapshot time (read-time
+	// merges over per-worker counters).
+	funcs  map[string]func() uint64
+	tracer *TraceRecorder
 }
 
 // NewRegistry returns an empty registry with tracing disabled.
@@ -87,6 +90,7 @@ func NewRegistry() *Registry {
 		counters: map[string]*Counter{},
 		gauges:   map[string]*Gauge{},
 		hists:    map[string]*Histogram{},
+		funcs:    map[string]func() uint64{},
 	}
 }
 
@@ -156,6 +160,21 @@ func (r *Registry) MergedHistogram(name string, parts ...*Histogram) *Histogram 
 	return h
 }
 
+// CounterFunc registers a derived counter whose value is computed by fn at
+// snapshot time — the counter analogue of MergedHistogram. Sharded
+// components register one per aggregate name, summing their per-worker
+// counters, so the hot path stays one uncontended atomic increment while
+// snapshots still show the fleet-wide total. Later registrations under the
+// same name replace earlier ones.
+func (r *Registry) CounterFunc(name string, fn func() uint64) {
+	if r == nil || fn == nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.funcs[name] = fn
+}
+
 // EnableTracing arranges for the first n packets to be traced hop by hop.
 func (r *Registry) EnableTracing(n int) {
 	if r == nil || n <= 0 {
@@ -198,6 +217,9 @@ func (r *Registry) Snapshot() *Snapshot {
 	}
 	for n, c := range r.counters {
 		s.Counters[n] = c.Value()
+	}
+	for n, fn := range r.funcs {
+		s.Counters[n] = fn()
 	}
 	if len(r.gauges) > 0 {
 		s.Gauges = make(map[string]int64, len(r.gauges))

@@ -252,3 +252,53 @@ func TestMergedHistogram(t *testing.T) {
 		t.Errorf("merge not live: count = %d", got)
 	}
 }
+
+func TestCounterFuncMergesAtSnapshotTime(t *testing.T) {
+	reg := NewRegistry()
+	// Per-worker counters, as the engine keeps them.
+	w0 := reg.Counter("engine.worker.0.packets")
+	w1 := reg.Counter("engine.worker.1.packets")
+	reg.CounterFunc("engine.packets", func() uint64 { return w0.Value() + w1.Value() })
+	w0.Add(3)
+	w1.Add(4)
+	if got := reg.Snapshot().Counters["engine.packets"]; got != 7 {
+		t.Errorf("derived counter = %d, want 7", got)
+	}
+	w1.Inc()
+	if got := reg.Snapshot().Counters["engine.packets"]; got != 8 {
+		t.Errorf("derived counter after update = %d, want 8 (must be read-time)", got)
+	}
+	// Nil-safety: no-ops, no panics.
+	var nilReg *Registry
+	nilReg.CounterFunc("x", func() uint64 { return 1 })
+	reg.CounterFunc("y", nil)
+	if _, ok := reg.Snapshot().Counters["y"]; ok {
+		t.Error("nil func registered")
+	}
+}
+
+func TestStandaloneHistogramMerge(t *testing.T) {
+	a := NewHistogram(nil)
+	b := NewHistogram(nil)
+	a.Observe(1_500)
+	b.Observe(40_000)
+	b.Observe(40_000)
+	m := MergeHistograms(a, b)
+	if got := m.Count(); got != 3 {
+		t.Fatalf("merged count = %d, want 3", got)
+	}
+	s := m.Snapshot()
+	if s.Min != 1_500 || s.Max != 40_000 {
+		t.Errorf("merged min/max = %d/%d", s.Min, s.Max)
+	}
+	// Observing into a merge is a documented no-op.
+	m.Observe(99)
+	if got := m.Count(); got != 3 {
+		t.Errorf("merge accepted an observation (count %d)", got)
+	}
+	// Later observations into parts show up at the next read.
+	a.Observe(2_000)
+	if got := m.Count(); got != 4 {
+		t.Errorf("merge not read-time: count %d, want 4", got)
+	}
+}

@@ -95,9 +95,12 @@ func TestGenerateMazuNAT(t *testing.T) {
 	if _, ok := p.TableFor("nat_rev"); !ok {
 		t.Error("no table for nat_rev")
 	}
-	// The port counter offloads as a register (§6.2).
-	if _, ok := p.RegisterFor("next_port"); !ok {
-		t.Error("no register for next_port counter")
+	// The port counter must NOT offload: its read feeds a server-side
+	// write (split read-modify-write), so under asynchronous write-back a
+	// switch-resident register would hand two concurrent flows the same
+	// port (partition rule 7). The allocator lives on the server.
+	if _, ok := p.RegisterFor("next_port"); ok {
+		t.Error("next_port counter offloaded despite server-side write (split RMW)")
 	}
 	if p.Resources.MemoryBytes == 0 {
 		t.Error("no switch memory accounted")

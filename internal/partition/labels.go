@@ -108,6 +108,29 @@ func applyRulesFixpoint(g *deps.Graph, labels []LabelSet, c Constraints) {
 		}
 	}
 
+	// Rule 7 (write-back atomicity): a read of a *mutated* global cannot
+	// run on the switch at all. Global writes execute only on the server
+	// and reach the switch's register through the asynchronous §4.3.3
+	// write-back, so a switch-side read can observe the stale pre-write
+	// value. For a read that feeds the write — a split read-modify-write
+	// like mazunat's port allocator — two concurrent slow-path packets
+	// would then both see the old value and duplicate the allocation.
+	// Keeping every read of a written global on the server makes the
+	// server's shard state authoritative for it; read-only globals still
+	// offload as plain registers. Like rule 6 this is path-insensitive and
+	// runs once up front (writes never carry an offload label).
+	for _, w := range stmts {
+		if !deps.IsGlobalWrite(w) {
+			continue
+		}
+		gname := deps.GlobalAccessed(w)
+		for _, r := range stmts {
+			if r.Kind == ir.GlobalLoad && r.Obj == gname {
+				labels[r.ID] &^= LPre | LPost
+			}
+		}
+	}
+
 	for changed := true; changed; {
 		changed = false
 		for sp := 0; sp < g.N; sp++ {

@@ -27,35 +27,10 @@ func NewDeployment(res *partition.Result) *Deployment {
 }
 
 // Configure seeds middlebox state on both sides: server-resident state is
-// set directly; switch-resident vectors are loaded onto the switch too.
+// set directly, then replicated there through the switch control plane.
 func (d *Deployment) Configure(setup func(st *ir.State)) error {
 	setup(d.Server.State)
-	for _, gn := range d.Server.Res.OffloadedGlobals {
-		g := d.Server.Res.Prog.Global(gn)
-		switch g.Kind {
-		case ir.KindVec:
-			if err := d.Switch.LoadVector(gn, d.Server.State.Vecs[gn]); err != nil {
-				return err
-			}
-		case ir.KindMap:
-			for k, v := range d.Server.State.Maps[gn] {
-				if err := d.Switch.StageWriteback(switchsim.Update{Table: gn, Key: k, Vals: v}); err != nil {
-					return err
-				}
-			}
-		case ir.KindScalar:
-			if err := d.Switch.StageWriteback(switchsim.Update{Register: gn, RegVal: d.Server.State.Globals[gn]}); err != nil {
-				return err
-			}
-		case ir.KindLPM:
-			if err := d.Switch.LoadLPM(gn, d.Server.State.Lpms[gn]); err != nil {
-				return err
-			}
-		}
-	}
-	d.Switch.FlipVisibility()
-	d.Switch.MergeWriteback()
-	return nil
+	return d.Switch.SeedFrom(d.Server.State)
 }
 
 // Trace describes one packet's full trip.
@@ -74,12 +49,14 @@ type Trace struct {
 // without stalling the packet, since a racing lookup just punts to the
 // authoritative server) and synchronous updates (everything else: deletes,
 // overwrites of visible entries, register writes, non-cached tables),
-// which output commit must wait for.
+// which output commit must wait for. Classification reads switch state
+// through VisibleEntry (under the data-plane lock), so the engine's
+// control-plane drainer can call it while workers keep processing packets.
 func ClassifyUpdates(sw *switchsim.Switch, updates []switchsim.Update) (fills, syncs []switchsim.Update) {
 	for _, u := range updates {
 		if u.Table != "" && !u.Delete {
-			if t, ok := sw.Table(u.Table); ok && t.Cached {
-				if _, visible := t.Lookup(u.Key); !visible {
+			if visible, cached := sw.VisibleEntry(u.Table, u.Key); cached {
+				if !visible {
 					fills = append(fills, u)
 					continue
 				}

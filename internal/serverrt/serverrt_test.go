@@ -217,8 +217,15 @@ func TestRunToCompletionCausality(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(srvRes.Updates) < 3 {
-		t.Fatalf("expected fwd+rev+counter updates, got %d", len(srvRes.Updates))
+	// fwd+rev map inserts replicate; the port counter stays server-only
+	// (its read-modify-write cannot split across the async write-back).
+	if len(srvRes.Updates) != 2 {
+		t.Fatalf("expected fwd+rev updates, got %d", len(srvRes.Updates))
+	}
+	for _, u := range srvRes.Updates {
+		if u.Register != "" {
+			t.Fatalf("register %q replicated despite server-side RMW", u.Register)
+		}
 	}
 	// Stage but do NOT flip: a concurrent packet q of the same connection
 	// must observe NONE of the updates (it re-takes the slow path).
@@ -247,8 +254,18 @@ func TestRunToCompletionCausality(t *testing.T) {
 	if q2Pre.Action != ir.ActionSent {
 		t.Fatalf("causally-later packet action = %v, want fast-path sent", q2Pre.Action)
 	}
-	if q2.TCP.SrcPort != rx.TCP.SrcPort {
-		t.Errorf("translation mismatch: q2 port %d, p port %d", q2.TCP.SrcPort, rx.TCP.SrcPort)
+	// Finish p's journey (server → switch post pass) to get its final
+	// translation: the sport rewrite may execute on either side of the
+	// split, so only the fully processed packet is comparable.
+	back, err := packet.DecodePacket(rx.Serialize(), res.FormatB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.Switch.ProcessPost(back); err != nil {
+		t.Fatal(err)
+	}
+	if q2.TCP.SrcPort != back.TCP.SrcPort {
+		t.Errorf("translation mismatch: q2 port %d, p port %d", q2.TCP.SrcPort, back.TCP.SrcPort)
 	}
 }
 

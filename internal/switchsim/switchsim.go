@@ -13,6 +13,8 @@ package switchsim
 import (
 	"errors"
 	"fmt"
+	"sync"
+	"sync/atomic"
 
 	"gallium/internal/ir"
 	"gallium/internal/obs"
@@ -114,7 +116,8 @@ type Update struct {
 	RegVal   uint64
 }
 
-// Stats counts data-plane and control-plane activity.
+// Stats counts data-plane and control-plane activity. It is a
+// point-in-time snapshot; the live counters are atomics inside Switch.
 type Stats struct {
 	PrePackets   int
 	PostPackets  int
@@ -129,10 +132,28 @@ type Stats struct {
 	TableEntries map[string]int
 }
 
+// liveStats are the switch's activity counters. They are atomic so
+// concurrent data-plane passes (the engine runs one per worker) never
+// race; Stats() folds them into the exported snapshot type.
+type liveStats struct {
+	prePackets, postPackets, fastPath, toServer, punts atomic.Int64
+	evictions, drops, ctlOps, ctlFlips, stepsTotal     atomic.Int64
+}
+
 // Switch simulates one programmable switch loaded with a compiled
 // middlebox.
+//
+// Concurrency: the data plane (ProcessPre/ProcessPost) runs under a read
+// lock — many pipeline passes proceed in parallel, as on real switch
+// hardware where the match-action stages are read-only for packets. The
+// control plane (StageWriteback, FlipVisibility, MergeWriteback, the
+// Load* configuration calls) takes the write lock, which is the simulated
+// analogue of the §4.3.3 protocol's single atomic visibility flip.
 type Switch struct {
 	Res *partition.Result
+
+	// mu separates the read-only data plane from control-plane mutation.
+	mu sync.RWMutex
 
 	tables    map[string]*Table
 	registers map[string]uint64
@@ -145,7 +166,7 @@ type Switch struct {
 	// hasCacheTables is set when any table runs in §7 cache mode.
 	hasCacheTables bool
 
-	stats Stats
+	stats liveStats
 
 	// Observability (nil when not instrumented; every handle is nil-safe,
 	// so the hot path pays one nil check when disabled).
@@ -177,6 +198,8 @@ func (sw *Switch) Instrument(reg *obs.Registry) {
 	if reg == nil {
 		return
 	}
+	sw.mu.Lock()
+	defer sw.mu.Unlock()
 	sw.reg = reg
 	sw.c = switchCounters{
 		pre:       reg.Counter("switch.pre.packets"),
@@ -242,9 +265,47 @@ func New(res *partition.Result) *Switch {
 	return sw
 }
 
+// SeedFrom installs configured replicated state from an authoritative
+// server-state snapshot: vectors and LPM tables load directly (they are
+// configuration), while map entries and register values go through the
+// ordinary §4.3.3 write-back control plane and are flipped and merged
+// before the call returns. Every runtime (testbed, deployment, engine)
+// seeds its switch through this one path.
+func (sw *Switch) SeedFrom(st *ir.State) error {
+	res := sw.Res
+	for _, gn := range res.OffloadedGlobals {
+		g := res.Prog.Global(gn)
+		switch g.Kind {
+		case ir.KindVec:
+			if err := sw.LoadVector(gn, st.Vecs[gn]); err != nil {
+				return err
+			}
+		case ir.KindMap:
+			for k, v := range st.Maps[gn] {
+				if err := sw.StageWriteback(Update{Table: gn, Key: k, Vals: v}); err != nil {
+					return err
+				}
+			}
+		case ir.KindScalar:
+			if err := sw.StageWriteback(Update{Register: gn, RegVal: st.Globals[gn]}); err != nil {
+				return err
+			}
+		case ir.KindLPM:
+			if err := sw.LoadLPM(gn, st.Lpms[gn]); err != nil {
+				return err
+			}
+		}
+	}
+	sw.FlipVisibility()
+	sw.MergeWriteback()
+	return nil
+}
+
 // LoadLPM installs the entries of an offloaded LPM table (control plane;
 // LPM tables are configuration state).
 func (sw *Switch) LoadLPM(name string, entries []ir.LpmEntry) error {
+	sw.mu.Lock()
+	defer sw.mu.Unlock()
 	if _, ok := sw.lpms[name]; !ok {
 		return fmt.Errorf("switchsim: lpm table %q is not offloaded", name)
 	}
@@ -258,8 +319,21 @@ func (sw *Switch) LoadLPM(name string, entries []ir.LpmEntry) error {
 
 // Stats returns a snapshot of activity counters.
 func (sw *Switch) Stats() Stats {
-	s := sw.stats
-	s.TableEntries = map[string]int{}
+	sw.mu.RLock()
+	defer sw.mu.RUnlock()
+	s := Stats{
+		PrePackets:   int(sw.stats.prePackets.Load()),
+		PostPackets:  int(sw.stats.postPackets.Load()),
+		FastPath:     int(sw.stats.fastPath.Load()),
+		ToServer:     int(sw.stats.toServer.Load()),
+		Punts:        int(sw.stats.punts.Load()),
+		Evictions:    int(sw.stats.evictions.Load()),
+		Drops:        int(sw.stats.drops.Load()),
+		CtlOps:       int(sw.stats.ctlOps.Load()),
+		CtlFlips:     int(sw.stats.ctlFlips.Load()),
+		StepsTotal:   int(sw.stats.stepsTotal.Load()),
+		TableEntries: map[string]int{},
+	}
 	for n, t := range sw.tables {
 		s.TableEntries[n] = t.Len()
 	}
@@ -267,13 +341,34 @@ func (sw *Switch) Stats() Stats {
 }
 
 // Table exposes a replicated table (tests and the control plane use it).
+// The returned Table is NOT safe to use concurrently with data-plane
+// traffic; concurrent callers classify against VisibleEntry instead.
 func (sw *Switch) Table(name string) (*Table, bool) {
+	sw.mu.RLock()
+	defer sw.mu.RUnlock()
 	t, ok := sw.tables[name]
 	return t, ok
 }
 
+// VisibleEntry reports whether the named table currently serves key on the
+// data plane, and whether the table runs in §7 cache mode. It takes the
+// data-plane read lock, so the control plane can classify updates while
+// worker goroutines keep processing packets.
+func (sw *Switch) VisibleEntry(table string, key ir.MapKey) (visible, cached bool) {
+	sw.mu.RLock()
+	defer sw.mu.RUnlock()
+	t, ok := sw.tables[table]
+	if !ok {
+		return false, false
+	}
+	_, visible = t.Lookup(key)
+	return visible, t.Cached
+}
+
 // Register reads a switch register.
 func (sw *Switch) Register(name string) (uint64, bool) {
+	sw.mu.RLock()
+	defer sw.mu.RUnlock()
 	v, ok := sw.registers[name]
 	return v, ok
 }
@@ -281,6 +376,8 @@ func (sw *Switch) Register(name string) (uint64, bool) {
 // LoadVector installs offloaded vector contents (switch-resident
 // configuration such as a backend pool).
 func (sw *Switch) LoadVector(name string, vals []uint64) error {
+	sw.mu.Lock()
+	defer sw.mu.Unlock()
 	if _, ok := sw.vecs[name]; !ok {
 		return fmt.Errorf("switchsim: vector %q is not offloaded", name)
 	}
@@ -382,7 +479,12 @@ type PreResult struct {
 // packet must continue to the server (ActionNext), the synthesized
 // gallium_a header is attached and populated.
 func (sw *Switch) ProcessPre(pkt *packet.Packet) (PreResult, error) {
-	sw.stats.PrePackets++
+	// The data plane only reads switch state: a read lock lets every
+	// worker's pre pass run concurrently while control-plane flips
+	// serialize against all of them.
+	sw.mu.RLock()
+	defer sw.mu.RUnlock()
+	sw.stats.prePackets.Add(1)
 	sw.c.pre.Inc()
 	xfer := map[string]uint64{}
 	// Cache mode: run the pipeline against a scratch copy first; a cache
@@ -399,9 +501,9 @@ func (sw *Switch) ProcessPre(pkt *packet.Packet) (PreResult, error) {
 		return PreResult{}, fmt.Errorf("switchsim: pre pipeline: %w", err)
 	}
 	if cacheMiss {
-		sw.stats.StepsTotal += r.Steps
-		sw.stats.ToServer++
-		sw.stats.Punts++
+		sw.stats.stepsTotal.Add(int64(r.Steps))
+		sw.stats.toServer.Add(1)
+		sw.stats.punts.Add(1)
 		sw.c.toServer.Inc()
 		sw.c.punts.Inc()
 		sw.hPre.Observe(int64(r.Steps))
@@ -410,11 +512,11 @@ func (sw *Switch) ProcessPre(pkt *packet.Packet) (PreResult, error) {
 	if sw.hasCacheTables {
 		*pkt = *work
 	}
-	sw.stats.StepsTotal += r.Steps
+	sw.stats.stepsTotal.Add(int64(r.Steps))
 	sw.hPre.Observe(int64(r.Steps))
 	switch r.Action {
 	case ir.ActionNext:
-		sw.stats.ToServer++
+		sw.stats.toServer.Add(1)
 		sw.c.toServer.Inc()
 		pkt.AttachGallium(sw.Res.FormatA)
 		for _, v := range sw.Res.TransferA {
@@ -423,10 +525,10 @@ func (sw *Switch) ProcessPre(pkt *packet.Packet) (PreResult, error) {
 			}
 		}
 	case ir.ActionDropped:
-		sw.stats.Drops++
+		sw.stats.drops.Add(1)
 		sw.c.drops.Inc()
 	case ir.ActionSent:
-		sw.stats.FastPath++
+		sw.stats.fastPath.Add(1)
 		sw.c.fast.Inc()
 	}
 	return PreResult{Action: r.Action, Steps: r.Steps}, nil
@@ -435,7 +537,9 @@ func (sw *Switch) ProcessPre(pkt *packet.Packet) (PreResult, error) {
 // ProcessPost runs the post-processing partition over a packet returning
 // from the server (it must carry the gallium_b header, which is stripped).
 func (sw *Switch) ProcessPost(pkt *packet.Packet) (PreResult, error) {
-	sw.stats.PostPackets++
+	sw.mu.RLock()
+	defer sw.mu.RUnlock()
+	sw.stats.postPackets.Add(1)
 	sw.c.post.Inc()
 	if !pkt.HasGallium {
 		return PreResult{}, fmt.Errorf("switchsim: post pipeline: packet from server lacks gallium_b header")
@@ -454,10 +558,10 @@ func (sw *Switch) ProcessPost(pkt *packet.Packet) (PreResult, error) {
 	if err != nil {
 		return PreResult{}, fmt.Errorf("switchsim: post pipeline: %w", err)
 	}
-	sw.stats.StepsTotal += r.Steps
+	sw.stats.stepsTotal.Add(int64(r.Steps))
 	sw.hPost.Observe(int64(r.Steps))
 	if r.Action == ir.ActionDropped {
-		sw.stats.Drops++
+		sw.stats.drops.Add(1)
 		sw.c.drops.Inc()
 	}
 	return PreResult{Action: r.Action, Steps: r.Steps}, nil
@@ -472,7 +576,9 @@ func (sw *Switch) ProcessPost(pkt *packet.Packet) (PreResult, error) {
 // StageWriteback installs one update into a write-back table or stages a
 // register value. Staged state is invisible until FlipVisibility.
 func (sw *Switch) StageWriteback(u Update) error {
-	sw.stats.CtlOps++
+	sw.mu.Lock()
+	defer sw.mu.Unlock()
+	sw.stats.ctlOps.Add(1)
 	sw.c.ctlOps.Inc()
 	sw.c.ctlStaged.Inc()
 	if u.Register != "" {
@@ -501,10 +607,14 @@ func (sw *Switch) StageWriteback(u Update) error {
 }
 
 // FlipVisibility atomically makes all staged write-back state (and staged
-// register values) visible to the data plane.
+// register values) visible to the data plane. Under concurrency the write
+// lock is what makes the flip atomic with respect to in-flight packets: a
+// lookup sees either the entire batch or none of it.
 func (sw *Switch) FlipVisibility() {
-	sw.stats.CtlFlips++
-	sw.stats.CtlOps++
+	sw.mu.Lock()
+	defer sw.mu.Unlock()
+	sw.stats.ctlFlips.Add(1)
+	sw.stats.ctlOps.Add(1)
 	sw.c.ctlFlips.Inc()
 	sw.c.ctlOps.Inc()
 	for _, t := range sw.tables {
@@ -523,6 +633,8 @@ func (sw *Switch) FlipVisibility() {
 // §7 cache tables this is also where FIFO eviction keeps the cache within
 // capacity.
 func (sw *Switch) MergeWriteback() {
+	sw.mu.Lock()
+	defer sw.mu.Unlock()
 	for _, t := range sw.tables {
 		if !t.UseWB {
 			continue
@@ -545,7 +657,7 @@ func (sw *Switch) MergeWriteback() {
 				t.fifo = t.fifo[1:]
 				if _, ok := t.Main[victim]; ok {
 					delete(t.Main, victim)
-					sw.stats.Evictions++
+					sw.stats.evictions.Add(1)
 					sw.c.evict.Inc()
 				}
 			}

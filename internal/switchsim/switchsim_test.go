@@ -117,17 +117,54 @@ func TestAtomicBatchAcrossTables(t *testing.T) {
 	}
 }
 
-func TestRegisterStagedUntilFlip(t *testing.T) {
-	res := compileMB(t, "mazunat")
-	sw := New(res)
-	if err := sw.StageWriteback(Update{Register: "next_port", RegVal: 5}); err != nil {
+// regBoxSource has a control-plane-configured register: the global is
+// read-only in the data plane (a written global may not offload at all —
+// partition rule 7), so it lands on the switch and only StageWriteback
+// can change it.
+const regBoxSource = `
+middlebox regbox {
+    global u16 blocked;
+    map<u16 -> u16> seen(max = 16);
+    proc process(pkt p) {
+        u16 b = blocked;
+        if (p.tcp.dport == b) {
+            drop(p);
+        }
+        let m = seen.find(p.tcp.dport);
+        if (m.ok) {
+            send(p);
+        } else {
+            seen.insert(p.tcp.dport, b);
+            send(p);
+        }
+    }
+}
+`
+
+func compileSrc(t *testing.T, src string) *partition.Result {
+	t.Helper()
+	prog, err := lang.Compile(src)
+	if err != nil {
 		t.Fatal(err)
 	}
-	if v, _ := sw.Register("next_port"); v != 0 {
+	res, err := partition.Partition(prog, partition.DefaultConstraints())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func TestRegisterStagedUntilFlip(t *testing.T) {
+	res := compileSrc(t, regBoxSource)
+	sw := New(res)
+	if err := sw.StageWriteback(Update{Register: "blocked", RegVal: 5}); err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := sw.Register("blocked"); v != 0 {
 		t.Fatal("register updated before flip")
 	}
 	sw.FlipVisibility()
-	if v, _ := sw.Register("next_port"); v != 5 {
+	if v, _ := sw.Register("blocked"); v != 5 {
 		t.Fatalf("register = %d after flip, want 5", v)
 	}
 }
@@ -316,14 +353,15 @@ func TestFullPrePostPass(t *testing.T) {
 	}
 }
 
-// TestSwitchRegisterAndLpmDataPlane exercises the register (MazuNAT's
-// counter) and LPM (ipgateway) read paths on the switch pipeline.
+// TestSwitchRegisterAndLpmDataPlane exercises the register (a read-only
+// config scalar) and LPM (ipgateway) read paths on the switch pipeline.
 func TestSwitchRegisterAndLpmDataPlane(t *testing.T) {
-	// MazuNAT: a miss packet packs the current counter value into the
-	// gallium header (the paper's §6.2 description).
-	res := compileMB(t, "mazunat")
+	// regbox: a miss packet packs the register value it read into the
+	// gallium header (the paper's §6.2 description) for the server-side
+	// insert to consume.
+	res := compileSrc(t, regBoxSource)
 	sw := New(res)
-	if err := sw.StageWriteback(Update{Register: "next_port", RegVal: 77}); err != nil {
+	if err := sw.StageWriteback(Update{Register: "blocked", RegVal: 77}); err != nil {
 		t.Fatal(err)
 	}
 	sw.FlipVisibility()
@@ -337,19 +375,19 @@ func TestSwitchRegisterAndLpmDataPlane(t *testing.T) {
 	}
 	foundCounter := false
 	for _, v := range res.TransferA {
-		if strings.HasPrefix(v.Name, "port_") {
+		if strings.HasPrefix(v.Name, "b_") {
 			got, err := res.FormatA.Get(pkt.GalData, v.Name)
 			if err != nil {
 				t.Fatal(err)
 			}
 			if got != 77 {
-				t.Errorf("counter in header = %d, want 77", got)
+				t.Errorf("register value in header = %d, want 77", got)
 			}
 			foundCounter = true
 		}
 	}
 	if !foundCounter {
-		t.Error("counter value not in the transfer header")
+		t.Error("register value not in the transfer header")
 	}
 
 	// ipgateway: LPM routing entirely on the switch.

@@ -183,3 +183,70 @@ func (c IperfConfig) Generate(emit func(tNs int64, pkt *packet.Packet) error) er
 	}
 	return nil
 }
+
+// ProbeConfig generates a fixed-interval probe stream on one connection —
+// the latency-experiment workload. Probes are evenly spaced and carry
+// their index in the TCP sequence number, so any latency difference comes
+// from the deployment under test, never from the generator.
+type ProbeConfig struct {
+	// Tuple is the probe connection (defaults to an internal client
+	// hitting an external web server).
+	Tuple packet.FiveTuple
+	// Count is the number of probes; <=0 means 20.
+	Count int
+	// IntervalNs is the probe spacing; <=0 means 1ms — far apart enough
+	// that each probe sees an idle deployment.
+	IntervalNs int64
+	// PacketSize pads probes (minimum 64).
+	PacketSize int
+	// StartNs offsets the first probe.
+	StartNs int64
+	// SYNFirst makes probe 0 a SYN, so the flow takes the slow path once
+	// (state insert) and latency experiments can split cold from warm.
+	SYNFirst bool
+}
+
+func (c *ProbeConfig) defaults() {
+	if c.Tuple == (packet.FiveTuple{}) {
+		c.Tuple = packet.FiveTuple{
+			SrcIP:   packet.MakeIPv4Addr(10, 0, 0, 1),
+			DstIP:   packet.MakeIPv4Addr(93, 184, 216, 34),
+			SrcPort: 40000,
+			DstPort: 80,
+			Proto:   packet.IPProtocolTCP,
+		}
+	}
+	if c.Count <= 0 {
+		c.Count = 20
+	}
+	if c.IntervalNs <= 0 {
+		c.IntervalNs = 1_000_000
+	}
+	if c.PacketSize < 64 {
+		c.PacketSize = 64
+	}
+}
+
+// Tuples returns the single probe connection.
+func (c ProbeConfig) Tuples() []packet.FiveTuple {
+	c.defaults()
+	return []packet.FiveTuple{c.Tuple}
+}
+
+// Generate emits the probe stream in time order.
+func (c ProbeConfig) Generate(emit func(tNs int64, pkt *packet.Packet) error) error {
+	c.defaults()
+	for i := 0; i < c.Count; i++ {
+		flags := packet.TCPFlagACK
+		if c.SYNFirst && i == 0 {
+			flags = packet.TCPFlagSYN
+		}
+		pkt := packet.BuildTCP(c.Tuple.SrcIP, c.Tuple.DstIP, c.Tuple.SrcPort, c.Tuple.DstPort,
+			packet.TCPOptions{Flags: flags, Seq: uint32(i)})
+		pkt.PadTo(c.PacketSize)
+		if err := emit(c.StartNs+int64(i)*c.IntervalNs, pkt); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,134 @@
+package gallium
+
+import (
+	"context"
+
+	"gallium/internal/engine"
+	"gallium/internal/ir"
+	"gallium/internal/middleboxes"
+	"gallium/internal/netsim"
+	"gallium/internal/obs"
+	"gallium/internal/packet"
+)
+
+// Workload is a streaming packet source for Run: trafficgen's generators
+// (IperfConfig, ProbeConfig) satisfy it, as does any type producing
+// packets in non-decreasing injection-time order.
+type Workload = engine.Workload
+
+// Report is one engine run's result: aggregated and per-worker traffic
+// statistics, wall-clock throughput, and the latency distribution.
+type Report = engine.Report
+
+// Delivery is one packet's fate, as observed by WithDeliveries callbacks.
+type Delivery = engine.Delivery
+
+// RunOption configures Artifacts.Run.
+type RunOption func(*runConfig)
+
+type runConfig struct {
+	engine.Config
+	scenario bool
+}
+
+// WithWorkers sets the number of concurrent server shards (default 1).
+// Packets are RSS-hashed to shards by flow, so per-flow order is
+// preserved at any worker count.
+func WithWorkers(n int) RunOption {
+	return func(c *runConfig) { c.Workers = n }
+}
+
+// WithMode selects Offloaded (default) or Software.
+func WithMode(m Mode) RunOption {
+	return func(c *runConfig) { c.Mode = m }
+}
+
+// WithMetrics attaches an observability registry: per-worker counters,
+// read-time "engine.*" aggregates, and switch/server component metrics.
+func WithMetrics(reg *obs.Registry) RunOption {
+	return func(c *runConfig) { c.Obs = reg }
+}
+
+// WithScenario seeds every shard with the middlebox's standard benchmark
+// scenario: configured state (backends, NAT pools — partitioned across
+// shards where the middlebox needs it), firewall whitelist entries for
+// the workload's announced tuples, and the proxy port redirect.
+func WithScenario() RunOption {
+	return func(c *runConfig) { c.scenario = true }
+}
+
+// WithSetup seeds each shard's state explicitly (shard in [0, workers)).
+// Mutually exclusive with WithScenario, which wins if both are given.
+func WithSetup(fn func(shard int, st *ir.State)) RunOption {
+	return func(c *runConfig) { c.Setup = fn }
+}
+
+// WithCostModel overrides the virtual-time cost model.
+func WithCostModel(m netsim.CostModel) RunOption {
+	return func(c *runConfig) { c.Model = m }
+}
+
+// WithDeliveries registers a per-packet fate callback. It is invoked
+// concurrently from worker goroutines (per-flow order preserved) and must
+// be safe for concurrent use.
+func WithDeliveries(fn func(Delivery)) RunOption {
+	return func(c *runConfig) { c.OnDelivery = fn }
+}
+
+// WithQueueDepth bounds each worker's ingress channel (default 256).
+func WithQueueDepth(n int) RunOption {
+	return func(c *runConfig) { c.QueueDepth = n }
+}
+
+// WithCtlQueue bounds the control-plane slow-path channel (default 256).
+func WithCtlQueue(n int) RunOption {
+	return func(c *runConfig) { c.CtlQueue = n }
+}
+
+// Run streams a workload through the concurrent sharded packet engine
+// built from these artifacts: an RSS-style dispatcher fans packets out to
+// per-flow worker shards, the switch pipeline runs as a shared stage, and
+// the §4.3.3 write-back slow path drains through a bounded control-plane
+// channel. Run blocks until the workload is exhausted and every in-flight
+// packet and state update has settled; cancel ctx to abort early.
+//
+// This is the primary way to execute traffic against compiled artifacts.
+// For packet-at-a-time experiments that need exact injection-time control
+// (latency sweeps, per-packet traces), build a Testbed and use Inject.
+func (a *Artifacts) Run(ctx context.Context, wl Workload, opts ...RunOption) (*Report, error) {
+	var cfg runConfig
+	for _, opt := range opts {
+		opt(&cfg)
+	}
+	if cfg.scenario {
+		cfg.Setup = a.shardScenarioSetup(wl.Tuples(), cfg.Workers)
+	}
+	cfg.Res = a.Res
+	cfg.Prog = a.Prog
+	eng, err := engine.New(cfg.Config)
+	if err != nil {
+		return nil, err
+	}
+	return eng.Run(ctx, wl)
+}
+
+// shardScenarioSetup is ScenarioSetup's shard-aware counterpart: identical
+// configuration on every shard, except allocators the middlebox must
+// partition across concurrent shards (mazunat's external-port space).
+func (a *Artifacts) shardScenarioSetup(flows []packet.FiveTuple, workers int) func(int, *ir.State) {
+	if workers <= 0 {
+		workers = 1
+	}
+	name := a.Name
+	return func(shard int, st *ir.State) {
+		middleboxes.ConfigureShard(name, shard, workers, st)
+		switch name {
+		case "firewall":
+			for _, tup := range flows {
+				middleboxes.AllowFlow(st, tup)
+			}
+		case "proxy":
+			middleboxes.RedirectPort(st, 5001)
+		}
+	}
+}

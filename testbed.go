@@ -23,7 +23,9 @@ const (
 	Software = netsim.Software
 )
 
-// ParseMode parses "offloaded" or "software" (the CLI flag values).
+// ParseMode parses "offloaded" or "software" (the CLI flag values). On
+// error it returns the zero Mode — not Offloaded — so a caller that drops
+// the error cannot silently run the wrong deployment.
 func ParseMode(s string) (Mode, error) {
 	switch s {
 	case "offloaded":
@@ -31,7 +33,7 @@ func ParseMode(s string) (Mode, error) {
 	case "software":
 		return Software, nil
 	}
-	return Offloaded, fmt.Errorf("unknown mode %q (want offloaded or software)", s)
+	return 0, fmt.Errorf("unknown mode %q (want %v or %v)", s, Offloaded, Software)
 }
 
 // TestbedConfig describes one simulated testbed built from compiled
@@ -61,6 +63,12 @@ type TestbedConfig struct {
 
 // NewTestbed builds the packet-level simulator — traffic endpoints,
 // programmable switch, middlebox server — around these artifacts.
+//
+// The testbed's Inject is the low-level escape hatch: a sequential,
+// virtual-time, packet-at-a-time model with deterministic latencies,
+// right for latency experiments, per-packet traces, and differential
+// tests that need exact control over injection times. For streaming a
+// workload through the concurrent engine, use Artifacts.Run instead.
 func (a *Artifacts) NewTestbed(cfg TestbedConfig) (*netsim.Testbed, error) {
 	model := netsim.DefaultModel()
 	if cfg.Model != nil {
