@@ -1,0 +1,116 @@
+// Allocation-regression tests for the per-packet execution path. The
+// engine's throughput scaling depends on the fast path staying off the
+// allocator (and therefore off the GC): compiled scratchpad slots, pooled
+// execution contexts, and reusable server scratch are all asserted here
+// via testing.AllocsPerRun, across every bundled middlebox.
+package gallium_test
+
+import (
+	"testing"
+
+	"gallium"
+	"gallium/internal/ir"
+	"gallium/internal/middleboxes"
+	"gallium/internal/packet"
+	"gallium/internal/serverrt"
+	"gallium/internal/switchsim"
+)
+
+// allocBudget is the per-packet allocation budget for the steady-state
+// pipeline: ProcessPre + server execution + ProcessPost. Zero is the
+// design target; the budget leaves room for a middlebox whose steady
+// state legitimately writes per-packet state (one map-value clone).
+const allocBudget = 2
+
+// resetPacket restores dst to the pristine packet while keeping dst's
+// gallium buffer capacity, so the measured loop replays the same flow
+// without per-iteration packet construction.
+func resetPacket(dst, src *packet.Packet) {
+	gal := dst.GalData
+	*dst = *src
+	dst.GalData = gal[:0]
+}
+
+func TestFastPathAllocs(t *testing.T) {
+	for _, spec := range middleboxes.All() {
+		t.Run(spec.Name, func(t *testing.T) {
+			art, err := gallium.Compile(spec.Source, gallium.Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			sw := switchsim.New(art.Res)
+			srv := serverrt.New(art.Res)
+			middleboxes.ConfigureState(spec.Name, srv.State)
+			tup := packet.FiveTuple{
+				SrcIP: packet.MakeIPv4Addr(10, 0, 0, 1), DstIP: packet.MakeIPv4Addr(9, 9, 9, 9),
+				SrcPort: 1234, DstPort: 80, Proto: packet.IPProtocolTCP,
+			}
+			switch spec.Name {
+			case "firewall":
+				middleboxes.AllowFlow(srv.State, tup)
+			case "proxy":
+				middleboxes.RedirectPort(srv.State, 5001)
+			}
+			if err := sw.SeedFrom(srv.State); err != nil {
+				t.Fatal(err)
+			}
+			pristine := packet.BuildTCP(tup.SrcIP, tup.DstIP, tup.SrcPort, tup.DstPort,
+				packet.TCPOptions{Payload: []byte("hello middlebox")})
+			buf := &packet.Packet{}
+
+			// run pushes one packet of the flow through the partitioned
+			// pipeline. During warmup (apply=true) recorded write-backs go
+			// through the control plane so the flow's state replicates to
+			// the switch and later packets reach steady state.
+			run := func(apply bool) error {
+				resetPacket(buf, pristine)
+				pre, err := sw.ProcessPre(buf)
+				if err != nil {
+					return err
+				}
+				if pre.Action != ir.ActionNext || pre.Punt {
+					return nil
+				}
+				res, err := srv.Process(buf)
+				if err != nil {
+					return err
+				}
+				if apply && len(res.Updates) > 0 {
+					for _, u := range res.Updates {
+						if err := sw.StageWriteback(u); err != nil {
+							return err
+						}
+					}
+					sw.FlipVisibility()
+					sw.MergeWriteback()
+				}
+				if res.Action != ir.ActionNext {
+					return nil
+				}
+				_, err = sw.ProcessPost(buf)
+				return err
+			}
+
+			// Warm the flow: first packets allocate connection state,
+			// replicate it, and grow the reusable buffers.
+			for i := 0; i < 3; i++ {
+				if err := run(true); err != nil {
+					t.Fatal(err)
+				}
+			}
+			var failed error
+			allocs := testing.AllocsPerRun(200, func() {
+				if failed != nil {
+					return
+				}
+				failed = run(false)
+			})
+			if failed != nil {
+				t.Fatal(failed)
+			}
+			if allocs > allocBudget {
+				t.Fatalf("steady-state pipeline allocates %.1f objects/packet, budget is %d", allocs, allocBudget)
+			}
+		})
+	}
+}

@@ -13,6 +13,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 
 	"gallium/internal/eval"
@@ -23,11 +25,17 @@ func main() {
 	quick := flag.Bool("quick", false, "shrink simulated durations and flow counts")
 	ppsOut := flag.String("ppsout", "BENCH_pps.json", "where -exp pps writes the throughput artifact")
 	checkPPS := flag.String("checkpps", "", "validate an existing BENCH_pps.json artifact and exit")
+	minScale := flag.Float64("minscale", 0, "with -checkpps: fail unless top-ladder pps >= minscale x 1-worker pps (skipped on <4-CPU artifacts)")
+	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
+	memProfile := flag.String("memprofile", "", "write a heap profile (after the run) to this file")
 	flag.Parse()
 	if *checkPPS != "" {
 		rep, err := eval.LoadPPS(*checkPPS)
 		if err == nil {
 			err = eval.ValidatePPS(rep)
+		}
+		if err == nil {
+			err = eval.CheckScaling(rep, *minScale)
 		}
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "galliumbench:", err)
@@ -36,9 +44,34 @@ func main() {
 		fmt.Printf("%s: valid\n%s", *checkPPS, eval.FormatPPS(rep))
 		return
 	}
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "galliumbench:", err)
+			os.Exit(1)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "galliumbench:", err)
+			os.Exit(1)
+		}
+		defer pprof.StopCPUProfile()
+	}
 	if err := run(*exp, *quick, *ppsOut); err != nil {
 		fmt.Fprintln(os.Stderr, "galliumbench:", err)
 		os.Exit(1)
+	}
+	if *memProfile != "" {
+		f, err := os.Create(*memProfile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "galliumbench:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		runtime.GC() // settle the heap so the profile shows retained allocations
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "galliumbench:", err)
+			os.Exit(1)
+		}
 	}
 }
 

@@ -15,15 +15,18 @@
 // unspecified.
 //
 // The control-plane channel is asynchronous across workers but committed
-// per worker: after emitting a write-back batch, a worker waits for the
-// drainer's apply before starting its next packet (§4.3.3 output commit
-// extended to the worker's run-to-completion loop). Because a flow's
-// packets all land on one worker, a flow can never observe the switch
-// missing its own earlier write-back — the remaining stale window is
-// cross-worker only, where flow sharding makes it benign: another
-// worker's flow that misses simply takes the slow path, and its own
-// shard's authoritative state gives the right answer. §7 cache fills
-// stay fully fire-and-forget (a stale fill just re-punts).
+// per flow: after emitting a write-back batch, a worker records it as
+// pending and only stalls a later packet of the SAME flow on the drainer's
+// apply (§4.3.3 output commit, narrowed from the worker to the flow).
+// Workers pull packets in batches and close each batch with a barrier on
+// every still-pending apply, so the commit wait is amortized across the
+// batch instead of paid before every next packet. Because a flow's packets
+// all land on one worker, a flow can never observe the switch missing its
+// own earlier write-back — the remaining stale window is cross-flow only,
+// where flow sharding makes it benign: a flow that misses simply takes the
+// slow path, and its own shard's authoritative state gives the right
+// answer. §7 cache fills stay fully fire-and-forget (a stale fill just
+// re-punts).
 package engine
 
 import (
@@ -58,6 +61,13 @@ type Config struct {
 	Mode netsim.Mode
 	// Workers is the number of server shards; <=0 means 1.
 	Workers int
+	// Batch is how many queued packets a worker pulls per batch (one
+	// blocking receive, then a non-blocking drain). Within a batch,
+	// write-back commits overlap with other flows' packets — a worker only
+	// stalls a packet on its OWN flow's pending commit — and the batch ends
+	// with one barrier on everything still in flight, amortizing the
+	// output-commit wait over the batch. <=0 means 32.
+	Batch int
 	// Res is required in Offloaded mode.
 	Res *partition.Result
 	// Prog is required in Software mode.
@@ -127,6 +137,9 @@ func New(cfg Config) (*Engine, error) {
 	}
 	if cfg.QueueDepth <= 0 {
 		cfg.QueueDepth = 256
+	}
+	if cfg.Batch <= 0 {
+		cfg.Batch = 32
 	}
 	if cfg.CtlQueue <= 0 {
 		cfg.CtlQueue = 256

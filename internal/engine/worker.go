@@ -43,23 +43,110 @@ type worker struct {
 	// jitterState drives this worker's deterministic endpoint-stack noise.
 	jitterState uint64
 
+	// batch and pending are reused across batches so the steady state
+	// allocates neither.
+	batch   []job
+	pending []pendingApply
+
 	stats netsim.Stats
 	hLat  *obs.Histogram
 	c     workerCounters
 }
 
-// loop consumes the worker's job channel until it closes. After a
-// cancellation or failure it keeps draining — without processing — so the
-// dispatcher can never block on a full channel during shutdown.
+// pendingApply is one in-flight write-back batch: the flow it belongs to
+// and the drainer's apply signal.
+type pendingApply struct {
+	flow    packet.FiveTuple
+	applied chan struct{}
+}
+
+// loop consumes the worker's job channel in batches: one blocking receive,
+// then a non-blocking drain up to the configured batch size. Jobs still
+// run strictly in arrival order — batching changes when the worker waits
+// for control-plane applies (per flow inside the batch, everything at the
+// batch boundary), not the processing order. After a cancellation or
+// failure it keeps draining — without processing — so the dispatcher can
+// never block on a full channel during shutdown.
 func (w *worker) loop(ctx context.Context) {
-	for j := range w.jobs {
-		if ctx.Err() != nil {
-			continue
+	max := w.eng.cfg.Batch
+	for {
+		j, ok := <-w.jobs
+		if !ok {
+			break
 		}
-		if err := w.process(ctx, j); err != nil {
-			w.eng.fail(err)
+		batch := append(w.batch[:0], j)
+		open := true
+		for open && len(batch) < max {
+			select {
+			case j, ok := <-w.jobs:
+				if !ok {
+					open = false
+					break
+				}
+				batch = append(batch, j)
+			default:
+				open = false
+			}
+		}
+		w.batch = batch
+		for _, j := range batch {
+			if ctx.Err() != nil {
+				continue
+			}
+			// A packet must not overtake its own flow's pending write-back:
+			// otherwise a burst's second packet could re-take the slow path
+			// with stale lookups and re-execute a non-idempotent miss branch
+			// (e.g. re-allocating a NAT port).
+			if err := w.waitFlow(ctx, j.flow); err != nil {
+				continue
+			}
+			if err := w.process(ctx, j); err != nil {
+				w.eng.fail(err)
+			}
+		}
+		w.waitAll(ctx)
+	}
+	w.waitAll(ctx)
+}
+
+// waitFlow blocks until every pending apply of the given flow has landed,
+// and opportunistically retires any other applies that already completed.
+func (w *worker) waitFlow(ctx context.Context, flow packet.FiveTuple) error {
+	if len(w.pending) == 0 {
+		return nil
+	}
+	var err error
+	kept := w.pending[:0]
+	for _, p := range w.pending {
+		select {
+		case <-p.applied:
+			continue
+		default:
+		}
+		if p.flow == flow && err == nil {
+			select {
+			case <-p.applied:
+				continue
+			case <-ctx.Done():
+				err = ctx.Err()
+			}
+		}
+		kept = append(kept, p)
+	}
+	w.pending = kept
+	return err
+}
+
+// waitAll is the batch-boundary barrier: the worker does not pull the next
+// batch until every in-flight write-back of this one has been applied.
+func (w *worker) waitAll(ctx context.Context) {
+	for _, p := range w.pending {
+		select {
+		case <-p.applied:
+		case <-ctx.Done():
 		}
 	}
+	w.pending = w.pending[:0]
 }
 
 // stackNs returns the endpoint stack latency with deterministic jitter
@@ -86,25 +173,20 @@ func (w *worker) sendCtl(ctx context.Context, b ctlBatch) error {
 	}
 }
 
-// sendCtlCommitted hands a batch to the drainer and blocks until it has
-// been applied. This is §4.3.3 output commit extended to the worker's
-// next packet: because a flow's packets all land on one worker, waiting
-// here guarantees a flow never observes the switch missing its own
-// earlier write-back — without it, a burst's second packet could re-take
-// the slow path with stale carried lookup results and re-execute a
-// non-idempotent miss branch (e.g. re-allocating a NAT port). Workers
-// only wait on their own batches, so cross-worker pipelining is intact.
-func (w *worker) sendCtlCommitted(ctx context.Context, b ctlBatch) error {
+// sendCtlPending hands a batch to the drainer and records it as pending
+// for the packet's flow. This is §4.3.3 output commit narrowed to the
+// flow: because a flow's packets all land on one worker, waitFlow before
+// the flow's next packet (and waitAll at the batch boundary) guarantees a
+// flow never observes the switch missing its own earlier write-back —
+// while packets of OTHER flows keep flowing instead of stalling behind
+// this commit.
+func (w *worker) sendCtlPending(ctx context.Context, flow packet.FiveTuple, b ctlBatch) error {
 	b.applied = make(chan struct{})
 	if err := w.sendCtl(ctx, b); err != nil {
 		return err
 	}
-	select {
-	case <-b.applied:
-		return nil
-	case <-ctx.Done():
-		return ctx.Err()
-	}
+	w.pending = append(w.pending, pendingApply{flow: flow, applied: b.applied})
+	return nil
 }
 
 // emit fills the job-invariant Delivery fields and invokes the callback.
@@ -207,10 +289,9 @@ func (w *worker) process(ctx context.Context, j job) error {
 	release := done
 	if len(srvRes.Updates) > 0 {
 		// Hand the batch to the control-plane drainer, account the
-		// output-commit stall in virtual time (§4.3.3), and wait for the
-		// apply before this worker's next packet so a flow never races its
-		// own write-back.
-		if err := w.sendCtlCommitted(ctx, ctlBatch{updates: srvRes.Updates}); err != nil {
+		// output-commit stall in virtual time (§4.3.3), and record it as
+		// pending so this flow's next packet waits for the apply.
+		if err := w.sendCtlPending(ctx, j.flow, ctlBatch{updates: srvRes.Updates}); err != nil {
 			return err
 		}
 		release = done + int64(m.CtlBatchNs(len(srvRes.Updates)))
@@ -294,7 +375,7 @@ func (w *worker) processPunt(ctx context.Context, j job, t float64) error {
 		fills, syncs := serverrt.ClassifyUpdates(e.sw, res.Updates)
 		b := ctlBatch{updates: res.Updates, punt: true}
 		if len(syncs) > 0 {
-			if err := w.sendCtlCommitted(ctx, b); err != nil {
+			if err := w.sendCtlPending(ctx, j.flow, b); err != nil {
 				return err
 			}
 			release = done + int64(m.CtlBatchNs(len(fills)+len(syncs)))

@@ -11,6 +11,11 @@ type Builder struct {
 	// diagnostics can point back at the source statement. Zero means
 	// "synthesized" (no source position).
 	line int
+	// xferSlots assigns each distinct transfer-variable name a stable
+	// 1-based scratchpad slot, mirroring what the partitioner computes for
+	// generated code, so hand-built functions execute against a flat
+	// []uint64 transfer context.
+	xferSlots map[string]int
 }
 
 // NewBuilder starts a function with one entry block (ID 0), which is also
@@ -176,16 +181,34 @@ func (b *Builder) LpmFind(name string, g *Global, key Reg) (found Reg, vals []Re
 	return found, vals
 }
 
+// XferSlot returns the scratchpad slot (1-based) for a transfer-variable
+// name, assigning the next free slot on first use.
+func (b *Builder) XferSlot(field string) int {
+	if b.xferSlots == nil {
+		b.xferSlots = map[string]int{}
+	}
+	s, ok := b.xferSlots[field]
+	if !ok {
+		s = len(b.xferSlots) + 1
+		b.xferSlots[field] = s
+	}
+	return s
+}
+
+// NumXferSlots reports how many distinct transfer slots the builder has
+// assigned; size Env.Xfer with it when executing the built function.
+func (b *Builder) NumXferSlots() int { return len(b.xferSlots) }
+
 // XferLoad emits dst = transfer[name]; used only by the partitioner.
 func (b *Builder) XferLoad(regName, field string, t Type) Reg {
 	dst := b.NewReg(regName, t)
-	b.emit(Instr{Kind: XferLoad, Dst: []Reg{dst}, Obj: field, Typ: t})
+	b.emit(Instr{Kind: XferLoad, Dst: []Reg{dst}, Obj: field, Typ: t, Slot: b.XferSlot(field)})
 	return dst
 }
 
 // XferStore emits transfer[name] = x; used only by the partitioner.
 func (b *Builder) XferStore(field string, x Reg) {
-	b.emit(Instr{Kind: XferStore, Args: []Reg{x}, Obj: field})
+	b.emit(Instr{Kind: XferStore, Args: []Reg{x}, Obj: field, Slot: b.XferSlot(field)})
 }
 
 // Jump terminates the current block with an unconditional jump.

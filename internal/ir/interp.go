@@ -278,9 +278,16 @@ type Env struct {
 	// view); otherwise State is used directly.
 	Access StateAccess
 	Pkt    *packet.Packet
-	// Xfer holds synthesized transfer variables (the Gallium header's
-	// fields) for partitioned functions; nil for the reference program.
-	Xfer map[string]uint64
+	// Xfer is the flat transfer-variable scratchpad for partitioned
+	// functions, indexed by the compile-time slot of each XferLoad/
+	// XferStore (Instr.Slot, 1-based); nil for the reference program.
+	// Callers reusing an Env across packets clear it between packets.
+	Xfer []uint64
+	// Regs, when its capacity suffices, is reused as the virtual-register
+	// file instead of allocating one per ExecFunc call. ExecFunc stores
+	// the (possibly grown) buffer back, so a pooled Env converges to
+	// zero-allocation execution.
+	Regs []uint64
 }
 
 func (e *Env) access() StateAccess {
@@ -309,7 +316,14 @@ func (p *Program) Exec(env *Env) (Result, error) {
 
 // ExecFunc runs fn (the whole program or one partition) against env.
 func ExecFunc(p *Program, fn *Function, env *Env) (Result, error) {
-	regs := make([]uint64, len(fn.Regs))
+	var regs []uint64
+	if cap(env.Regs) >= len(fn.Regs) {
+		regs = env.Regs[:len(fn.Regs)]
+		clear(regs)
+	} else {
+		regs = make([]uint64, len(fn.Regs))
+		env.Regs = regs
+	}
 	blk := fn.Blocks[0]
 	steps := 0
 	for {
@@ -377,7 +391,12 @@ func execInstr(p *Program, fn *Function, in *Instr, regs []uint64, env *Env) err
 			return err
 		}
 	case PayloadMatch:
-		if bytes.Contains(env.Pkt.Payload, []byte(in.Obj)) {
+		pat := in.pat
+		if pat == nil {
+			// Hand-built IR that skipped Finalize's precompile step.
+			pat = []byte(in.Obj)
+		}
+		if bytes.Contains(env.Pkt.Payload, pat) {
 			regs[in.Dst[0]] = 1
 		} else {
 			regs[in.Dst[0]] = 0
@@ -428,10 +447,10 @@ func execInstr(p *Program, fn *Function, in *Instr, regs []uint64, env *Env) err
 			return fmt.Errorf("ir: stmt %d: %w", in.ID, err)
 		}
 	case XferLoad:
-		if env.Xfer == nil {
-			return fmt.Errorf("ir: stmt %d: xferload %q with no transfer context", in.ID, in.Obj)
+		if in.Slot <= 0 || in.Slot > len(env.Xfer) {
+			return fmt.Errorf("ir: stmt %d: xferload %q with no transfer context (slot %d, %d slots)", in.ID, in.Obj, in.Slot, len(env.Xfer))
 		}
-		regs[in.Dst[0]] = mask(in.Dst[0], env.Xfer[in.Obj])
+		regs[in.Dst[0]] = mask(in.Dst[0], env.Xfer[in.Slot-1])
 	case LpmFind:
 		if vals, ok := env.access().LpmFind(in.Obj, regs[in.Args[0]]); ok {
 			regs[in.Dst[0]] = 1
@@ -445,10 +464,10 @@ func execInstr(p *Program, fn *Function, in *Instr, regs []uint64, env *Env) err
 			}
 		}
 	case XferStore:
-		if env.Xfer == nil {
-			return fmt.Errorf("ir: stmt %d: xferstore %q with no transfer context", in.ID, in.Obj)
+		if in.Slot <= 0 || in.Slot > len(env.Xfer) {
+			return fmt.Errorf("ir: stmt %d: xferstore %q with no transfer context (slot %d, %d slots)", in.ID, in.Obj, in.Slot, len(env.Xfer))
 		}
-		env.Xfer[in.Obj] = regs[in.Args[0]]
+		env.Xfer[in.Slot-1] = regs[in.Args[0]]
 	default:
 		return fmt.Errorf("ir: stmt %d: cannot execute kind %s", in.ID, in.Kind)
 	}
@@ -512,12 +531,18 @@ func boolVal(b bool) uint64 {
 	return 0
 }
 
+// keyOf builds a composite key directly from the register file, without
+// the intermediate slice MakeMapKey's variadic signature would allocate.
 func keyOf(regs []uint64, args []Reg) MapKey {
-	vals := make([]uint64, len(args))
-	for i, r := range args {
-		vals[i] = regs[r]
+	var k MapKey
+	if len(args) > len(k.K) {
+		panic(fmt.Sprintf("ir: map key arity %d exceeds max %d", len(args), len(k.K)))
 	}
-	return MakeMapKey(vals...)
+	for i, r := range args {
+		k.K[i] = regs[r]
+	}
+	k.N = uint8(len(args))
+	return k
 }
 
 // hashValues computes a deterministic 64-bit FNV-1a hash over the argument

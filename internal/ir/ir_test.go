@@ -412,12 +412,14 @@ func TestXferLoadStoreRequireContext(t *testing.T) {
 	if _, err := p.Exec(&Env{State: NewState(p), Pkt: pkt}); err == nil {
 		t.Fatal("want error without Xfer context")
 	}
-	xfer := map[string]uint64{"hash32": 123}
+	// The builder assigned "hash32" slot 1 and "out" slot 2.
+	xfer := make([]uint64, b.NumXferSlots())
+	xfer[0] = 123
 	if _, err := p.Exec(&Env{State: NewState(p), Pkt: pkt, Xfer: xfer}); err != nil {
 		t.Fatal(err)
 	}
-	if xfer["out"] != 123 {
-		t.Errorf("xfer out = %d", xfer["out"])
+	if xfer[1] != 123 {
+		t.Errorf("xfer out slot = %d, want 123", xfer[1])
 	}
 }
 
@@ -526,7 +528,7 @@ func TestPrintAllKinds(t *testing.T) {
 	st.Vecs["v"] = []uint64{1, 2, 3, 4, 5, 6, 7, 8}
 	st.AddRoute("l", 0, 0, 5)
 	pkt := packet.BuildTCP(1, 2, 3, 4, packet.TCPOptions{Payload: []byte("SIG")})
-	if _, err := ExecFunc(p, fn, &Env{State: st, Pkt: pkt, Xfer: map[string]uint64{"tvar": 9}}); err != nil {
+	if _, err := ExecFunc(p, fn, &Env{State: st, Pkt: pkt, Xfer: []uint64{9, 0}}); err != nil {
 		t.Fatal(err)
 	}
 }

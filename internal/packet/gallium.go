@@ -103,6 +103,29 @@ func (f *HeaderFormat) Set(data []byte, name string, v uint64) error {
 	return setBits(data, off, bits, v)
 }
 
+// FieldSpec is a precomputed field location inside a header's data area.
+// Hot paths resolve fields to specs once (at load time) and then read and
+// write through GetAt/SetAt without per-packet name lookups.
+type FieldSpec struct {
+	Off, Bits int
+}
+
+// Spec resolves the named field to its precomputed location.
+func (f *HeaderFormat) Spec(name string) (FieldSpec, bool) {
+	off, bits, ok := f.FieldOffset(name)
+	return FieldSpec{Off: off, Bits: bits}, ok
+}
+
+// GetAt extracts the field at a precomputed location from data.
+func (f *HeaderFormat) GetAt(data []byte, s FieldSpec) (uint64, error) {
+	return getBits(data, s.Off, s.Bits)
+}
+
+// SetAt stores the field at a precomputed location into data.
+func (f *HeaderFormat) SetAt(data []byte, s FieldSpec, v uint64) error {
+	return setBits(data, s.Off, s.Bits, v)
+}
+
 // String renders the format compactly, e.g. "{cond:1, hash32:32}".
 func (f *HeaderFormat) String() string {
 	var b strings.Builder

@@ -149,16 +149,25 @@ func (p *Packet) Tuple() (FiveTuple, bool) {
 }
 
 // AttachGallium adds an empty Gallium header of the given format to the
-// packet (all fields zero).
+// packet (all fields zero). A buffer left over from an earlier attach is
+// reused when large enough, so a packet cycling through the pipeline does
+// not allocate per pass.
 func (p *Packet) AttachGallium(f *HeaderFormat) {
 	p.HasGallium = true
-	p.GalData = make([]byte, f.DataLen())
+	n := f.DataLen()
+	if cap(p.GalData) >= n {
+		p.GalData = p.GalData[:n]
+		clear(p.GalData)
+	} else {
+		p.GalData = make([]byte, n)
+	}
 }
 
-// StripGallium removes the Gallium header.
+// StripGallium removes the Gallium header. The data buffer's capacity is
+// retained for a later AttachGallium.
 func (p *Packet) StripGallium() {
 	p.HasGallium = false
-	p.GalData = nil
+	p.GalData = p.GalData[:0]
 }
 
 // headerFieldInfo describes a named packet header field usable by compiled

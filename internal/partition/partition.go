@@ -165,6 +165,11 @@ type TransferVar struct {
 	Name string
 	Reg  ir.Reg
 	Bits int
+	// Slot is the variable's 1-based index into the flat per-packet
+	// transfer scratchpad ([]uint64). Transfer names are register-keyed,
+	// so a register crossing both boundaries shares one slot between
+	// TransferA and TransferB.
+	Slot int
 }
 
 // Result is the partitioner's output: per-statement assignment, the three
@@ -187,6 +192,11 @@ type Result struct {
 	TransferA, TransferB []TransferVar
 	// FormatA and FormatB are the wire formats (Figure 5).
 	FormatA, FormatB *packet.HeaderFormat
+	// XferSlots maps each transfer-variable name to its 1-based
+	// scratchpad slot; NumXferSlots is the scratchpad length the runtimes
+	// size their per-packet []uint64 with.
+	XferSlots    map[string]int
+	NumXferSlots int
 
 	// OffloadedGlobals lists globals resident on the switch, and
 	// SwitchAccess maps each to the single statement ID whose access runs

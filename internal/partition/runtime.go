@@ -29,7 +29,15 @@ type PipelineTrace struct {
 // protocol on top of the same partition functions.
 func (res *Result) ExecPipeline(st *ir.State, pkt *packet.Packet) (PipelineTrace, error) {
 	tr := PipelineTrace{Xfer: map[string]uint64{}}
-	env := &ir.Env{State: st, Pkt: pkt, Xfer: tr.Xfer}
+	// The stages execute against the compiled flat scratchpad; the trace
+	// exposes it name-keyed for readability.
+	xs := make([]uint64, res.NumXferSlots)
+	env := &ir.Env{State: st, Pkt: pkt, Xfer: xs}
+	snapshotXfer := func() {
+		for name, slot := range res.XferSlots {
+			tr.Xfer[name] = xs[slot-1]
+		}
+	}
 
 	r, err := ir.ExecFunc(res.Prog, res.PreFn, env)
 	if err != nil {
@@ -41,12 +49,14 @@ func (res *Result) ExecPipeline(st *ir.State, pkt *packet.Packet) (PipelineTrace
 		tr.FastPath = true
 		return tr, nil
 	}
+	snapshotXfer()
 
 	r, err = ir.ExecFunc(res.Prog, res.SrvFn, env)
 	if err != nil {
 		return tr, fmt.Errorf("server: %w", err)
 	}
 	tr.SrvSteps = r.Steps
+	snapshotXfer()
 	if r.Action != ir.ActionNext {
 		tr.Action = r.Action
 		return tr, nil
@@ -57,6 +67,7 @@ func (res *Result) ExecPipeline(st *ir.State, pkt *packet.Packet) (PipelineTrace
 		return tr, fmt.Errorf("post: %w", err)
 	}
 	tr.PostSteps = r.Steps
+	snapshotXfer()
 	if r.Action == ir.ActionNext {
 		return tr, fmt.Errorf("post partition returned ToNext; no later stage exists")
 	}

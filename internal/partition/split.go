@@ -33,6 +33,9 @@ import (
 type splitOut struct {
 	pre, srv, post *ir.Function
 	ta, tb         []TransferVar
+	// slots is the compiled transfer-scratchpad layout: variable name →
+	// 1-based slot index shared across both boundaries.
+	slots map[string]int
 }
 
 func computeSplit(p *ir.Program, g *deps.Graph, assignv []ID, cons Constraints) (*splitOut, error) {
@@ -242,6 +245,35 @@ func computeSplit(p *ir.Program, g *deps.Graph, assignv []ID, cons Constraints) 
 	addHandoff(srv, tb)
 	addPrologue(post, Post, tb)
 
+	// Compile the transfer scratchpad layout: every distinct variable name
+	// gets a fixed slot, and every synthesized XferLoad/XferStore carries
+	// it, so the runtimes index a flat []uint64 instead of hashing names
+	// per packet. Names are register-keyed, so a register crossing both
+	// boundaries (pre→srv and srv→post) shares one slot.
+	slots := map[string]int{}
+	assignSlots := func(vars []TransferVar) {
+		for i := range vars {
+			s, ok := slots[vars[i].Name]
+			if !ok {
+				s = len(slots) + 1
+				slots[vars[i].Name] = s
+			}
+			vars[i].Slot = s
+		}
+	}
+	assignSlots(ta)
+	assignSlots(tb)
+	for _, f := range []*ir.Function{pre, srv, post} {
+		for _, b := range f.Blocks {
+			for i := range b.Instrs {
+				switch b.Instrs[i].Kind {
+				case ir.XferLoad, ir.XferStore:
+					b.Instrs[i].Slot = slots[b.Instrs[i].Obj]
+				}
+			}
+		}
+	}
+
 	pre.Finalize()
 	srv.Finalize()
 	post.Finalize()
@@ -250,7 +282,7 @@ func computeSplit(p *ir.Program, g *deps.Graph, assignv []ID, cons Constraints) 
 			return nil, fmt.Errorf("partition: generated %s invalid: %w", f.Name, err)
 		}
 	}
-	return &splitOut{pre: pre, srv: srv, post: post, ta: ta, tb: tb}, nil
+	return &splitOut{pre: pre, srv: srv, post: post, ta: ta, tb: tb, slots: slots}, nil
 }
 
 func rematContains(regs []ir.Reg, r ir.Reg) bool {
@@ -300,6 +332,8 @@ func buildSplit(res *Result) error {
 	}
 	res.PreFn, res.SrvFn, res.PostFn = split.pre, split.srv, split.post
 	res.TransferA, res.TransferB = split.ta, split.tb
+	res.XferSlots = split.slots
+	res.NumXferSlots = len(split.slots)
 	res.FormatA, err = headerFormat(split.ta)
 	if err != nil {
 		return fmt.Errorf("partition: pre→server header: %w", err)

@@ -29,7 +29,11 @@ type Result struct {
 	Updates []switchsim.Update
 }
 
-// Server runs the non-offloaded partition.
+// Server runs the non-offloaded partition. A Server is NOT safe for
+// concurrent use — the engine runs one per worker shard — which lets it
+// keep a reusable execution scratchpad (transfer slots, register file,
+// recorder) so a steady-state packet that records no updates allocates
+// nothing.
 type Server struct {
 	Res   *partition.Result
 	State *ir.State
@@ -39,10 +43,34 @@ type Server struct {
 	// are republished to the switch as read-through fills.
 	cached map[string]bool
 
+	// Reusable per-packet scratch (single-goroutine use).
+	rec  recorder
+	env  ir.Env
+	xfer []uint64
+	// xferA and xferB pair each transfer variable's scratchpad slot with
+	// its precomputed header position (resolved once at construction).
+	xferA, xferB []xferField
+
 	reg *obs.Registry
 	c   serverCounters
 	// fills tracks per-cached-table read-through fills.
 	fills map[string]*obs.Counter
+}
+
+// xferField pairs a transfer variable's scratchpad slot with its
+// precomputed wire position.
+type xferField struct {
+	slot int
+	spec packet.FieldSpec
+}
+
+func compileXferFields(vars []partition.TransferVar, f *packet.HeaderFormat) []xferField {
+	out := make([]xferField, 0, len(vars))
+	for _, v := range vars {
+		spec, _ := f.Spec(v.Name)
+		out = append(out, xferField{slot: v.Slot, spec: spec})
+	}
+	return out
 }
 
 // serverCounters are the server-wide activity counters.
@@ -96,6 +124,10 @@ func New(res *partition.Result) *Server {
 			}
 		}
 	}
+	s.rec.srv = s
+	s.xfer = make([]uint64, res.NumXferSlots)
+	s.xferA = compileXferFields(res.TransferA, res.FormatA)
+	s.xferB = compileXferFields(res.TransferB, res.FormatB)
 	return s
 }
 
@@ -170,26 +202,31 @@ func (s *Server) Process(pkt *packet.Packet) (Result, error) {
 	if !pkt.HasGallium {
 		return Result{}, fmt.Errorf("serverrt: slow-path packet lacks gallium_a header")
 	}
-	xfer := map[string]uint64{}
-	for _, v := range s.Res.TransferA {
-		val, err := s.Res.FormatA.Get(pkt.GalData, v.Name)
+	xfer := s.scratchXfer()
+	for _, f := range s.xferA {
+		val, err := s.Res.FormatA.GetAt(pkt.GalData, f.spec)
 		if err != nil {
 			return Result{}, err
 		}
-		xfer[v.Name] = val
+		if f.slot <= 0 {
+			return Result{}, fmt.Errorf("serverrt: transfer field without compiled slot")
+		}
+		xfer[f.slot-1] = val
 	}
 	pkt.StripGallium()
 
-	rec := &recorder{srv: s}
-	env := &ir.Env{State: s.State, Access: rec, Pkt: pkt, Xfer: xfer}
+	env := s.scratchEnv(pkt, xfer)
 	r, err := ir.ExecFunc(s.Res.Prog, s.Res.SrvFn, env)
 	if err != nil {
 		return Result{}, fmt.Errorf("serverrt: %w", err)
 	}
 	if r.Action == ir.ActionNext {
 		pkt.AttachGallium(s.Res.FormatB)
-		for _, v := range s.Res.TransferB {
-			if err := s.Res.FormatB.Set(pkt.GalData, v.Name, xfer[v.Name]); err != nil {
+		for _, f := range s.xferB {
+			if f.slot <= 0 {
+				return Result{}, fmt.Errorf("serverrt: transfer field without compiled slot")
+			}
+			if err := s.Res.FormatB.SetAt(pkt.GalData, f.spec, xfer[f.slot-1]); err != nil {
 				return Result{}, err
 			}
 		}
@@ -197,9 +234,36 @@ func (s *Server) Process(pkt *packet.Packet) (Result, error) {
 	if s.reg != nil {
 		s.c.packets.Inc()
 		s.c.steps.Add(uint64(r.Steps))
-		s.c.updates.Add(uint64(len(rec.updates)))
+		s.c.updates.Add(uint64(len(s.rec.updates)))
 	}
-	return Result{Action: r.Action, Steps: r.Steps, Updates: rec.updates}, nil
+	return Result{Action: r.Action, Steps: r.Steps, Updates: s.takeUpdates()}, nil
+}
+
+// scratchXfer returns the reusable transfer scratchpad, zeroed.
+func (s *Server) scratchXfer() []uint64 {
+	clear(s.xfer)
+	return s.xfer
+}
+
+// scratchEnv wires the reusable environment for one execution. The env's
+// register file (Env.Regs) is retained across packets and reused by the
+// interpreter.
+func (s *Server) scratchEnv(pkt *packet.Packet, xfer []uint64) *ir.Env {
+	s.env.State = s.State
+	s.env.Access = &s.rec
+	s.env.Pkt = pkt
+	s.env.Xfer = xfer
+	return &s.env
+}
+
+// takeUpdates hands ownership of the recorded updates to the caller (they
+// may outlive this packet: the engine ships them to an asynchronous
+// control-plane drainer, so the slice cannot be reused). The common
+// steady-state case records nothing and returns nil without allocating.
+func (s *Server) takeUpdates() []switchsim.Update {
+	u := s.rec.updates
+	s.rec.updates = nil
+	return u
 }
 
 // ProcessFull runs the COMPLETE middlebox program over a punted packet
@@ -210,8 +274,7 @@ func (s *Server) ProcessFull(pkt *packet.Packet) (Result, error) {
 	if pkt.HasGallium {
 		return Result{}, fmt.Errorf("serverrt: punted packet unexpectedly carries a gallium header")
 	}
-	rec := &recorder{srv: s}
-	env := &ir.Env{State: s.State, Access: rec, Pkt: pkt}
+	env := s.scratchEnv(pkt, nil)
 	r, err := ir.ExecFunc(s.Res.Prog, s.Res.Prog.Fn, env)
 	if err != nil {
 		return Result{}, fmt.Errorf("serverrt: full program: %w", err)
@@ -219,9 +282,9 @@ func (s *Server) ProcessFull(pkt *packet.Packet) (Result, error) {
 	if s.reg != nil {
 		s.c.fullPackets.Inc()
 		s.c.fullSteps.Add(uint64(r.Steps))
-		s.c.updates.Add(uint64(len(rec.updates)))
+		s.c.updates.Add(uint64(len(s.rec.updates)))
 	}
-	return Result{Action: r.Action, Steps: r.Steps, Updates: rec.updates}, nil
+	return Result{Action: r.Action, Steps: r.Steps, Updates: s.takeUpdates()}, nil
 }
 
 // Software is the non-offloaded baseline: the unpartitioned middlebox
@@ -229,6 +292,10 @@ func (s *Server) ProcessFull(pkt *packet.Packet) (Result, error) {
 type Software struct {
 	Prog  *ir.Program
 	State *ir.State
+
+	// env is reused across packets (a Software instance is single-goroutine,
+	// one per engine worker).
+	env ir.Env
 
 	packets, steps *obs.Counter
 }
@@ -249,7 +316,9 @@ func (s *Software) Instrument(reg *obs.Registry) {
 
 // Process runs the whole input program over one packet.
 func (s *Software) Process(pkt *packet.Packet) (Result, error) {
-	r, err := s.Prog.Exec(&ir.Env{State: s.State, Pkt: pkt})
+	s.env.State = s.State
+	s.env.Pkt = pkt
+	r, err := s.Prog.Exec(&s.env)
 	if err != nil {
 		return Result{}, err
 	}

@@ -143,17 +143,25 @@ type liveStats struct {
 // Switch simulates one programmable switch loaded with a compiled
 // middlebox.
 //
-// Concurrency: the data plane (ProcessPre/ProcessPost) runs under a read
-// lock — many pipeline passes proceed in parallel, as on real switch
-// hardware where the match-action stages are read-only for packets. The
-// control plane (StageWriteback, FlipVisibility, MergeWriteback, the
-// Load* configuration calls) takes the write lock, which is the simulated
-// analogue of the §4.3.3 protocol's single atomic visibility flip.
+// Concurrency: the data plane (ProcessPre/ProcessPost) is lock-free — it
+// reads an immutable state snapshot through one atomic pointer load, like
+// RCU, so any number of worker pipelines proceed in parallel without
+// convoying on a lock, as on real switch hardware where the match-action
+// stages are read-only for packets. The control plane (StageWriteback,
+// FlipVisibility, MergeWriteback, the Load* configuration calls)
+// serializes on mu, mutates the authoritative state copy-on-write (maps
+// reachable from a published snapshot are never written in place), and
+// publishes a fresh snapshot with one atomic store — the visibility flip
+// of §4.3.3 therefore IS a single atomic operation: an in-flight packet
+// sees either the entire staged batch or none of it.
 type Switch struct {
 	Res *partition.Result
 
-	// mu separates the read-only data plane from control-plane mutation.
+	// mu serializes control-plane mutation. The data plane never takes it.
 	mu sync.RWMutex
+
+	// snap is the published immutable data-plane view.
+	snap atomic.Pointer[snapshot]
 
 	tables    map[string]*Table
 	registers map[string]uint64
@@ -166,15 +174,115 @@ type Switch struct {
 	// hasCacheTables is set when any table runs in §7 cache mode.
 	hasCacheTables bool
 
+	// xferA and xferB are the compiled transfer-field layouts: per
+	// variable, the scratchpad slot paired with its precomputed bit
+	// position in the synthesized header, so the hot path never resolves
+	// field names.
+	xferA, xferB []xferField
+
 	stats liveStats
 
-	// Observability (nil when not instrumented; every handle is nil-safe,
-	// so the hot path pays one nil check when disabled).
-	reg   *obs.Registry
+	// Observability handles also live on the snapshot (where the data
+	// plane reads them); these fields are the authoritative copies the
+	// control plane republishes from. hop is the active per-packet trace
+	// hop, set by the (sequential) testbed only.
 	c     switchCounters
 	hPre  *obs.Histogram // pre-pass executed statements (stage occupancy)
 	hPost *obs.Histogram // post-pass executed statements
-	hop   *obs.Hop       // active per-packet trace hop, set by the testbed
+	hop   *obs.Hop
+}
+
+// xferField pairs a transfer variable's scratchpad slot with its
+// precomputed wire position.
+type xferField struct {
+	slot int
+	spec packet.FieldSpec
+}
+
+// snapshot is the immutable data-plane view of switch state, published
+// via an atomic pointer (RCU-style). Readers load it once per pass and
+// never lock; publishers build a new snapshot under mu and store it. All
+// maps and slices reachable from a published snapshot are immutable —
+// the control plane replaces them wholesale instead of writing in place.
+type snapshot struct {
+	tables    map[string]*snapTable
+	registers map[string]uint64
+	vecs      map[string][]uint64
+	lpms      map[string][]ir.LpmEntry
+
+	// Data-plane observability handles travel with the snapshot so
+	// Instrument (a control-plane write) is an ordinary publication.
+	c     switchCounters
+	hPre  *obs.Histogram
+	hPost *obs.Histogram
+}
+
+// snapTable is one table's view inside a snapshot: the main map (shared
+// with the authoritative Table under copy-on-write discipline) plus a
+// private copy of the write-back overlay taken at flip time.
+type snapTable struct {
+	main    map[ir.MapKey][]uint64
+	wb      map[ir.MapKey][]uint64
+	deleted map[ir.MapKey]bool
+	useWB   bool
+	cached  bool
+	obs     *tableObs
+}
+
+// lookup mirrors Table.lookup against the snapshot view.
+func (t *snapTable) lookup(key ir.MapKey) ([]uint64, bool, bool) {
+	if t.useWB {
+		if t.deleted[key] {
+			return nil, false, false
+		}
+		if v, ok := t.wb[key]; ok {
+			return v, true, true
+		}
+	}
+	v, ok := t.main[key]
+	return v, ok, false
+}
+
+// publishLocked builds and atomically publishes a fresh snapshot of the
+// authoritative state. Callers hold mu (or have exclusive access during
+// construction). Main maps are shared by reference — MergeWriteback
+// replaces them copy-on-write — while the small write-back overlays are
+// copied so later staging can't race a reader.
+func (sw *Switch) publishLocked() {
+	snap := &snapshot{
+		tables:    make(map[string]*snapTable, len(sw.tables)),
+		registers: make(map[string]uint64, len(sw.registers)),
+		vecs:      make(map[string][]uint64, len(sw.vecs)),
+		lpms:      make(map[string][]ir.LpmEntry, len(sw.lpms)),
+		c:         sw.c,
+		hPre:      sw.hPre,
+		hPost:     sw.hPost,
+	}
+	for n, t := range sw.tables {
+		st := &snapTable{main: t.Main, cached: t.Cached, obs: t.obs}
+		if t.UseWB {
+			st.useWB = true
+			st.wb = make(map[ir.MapKey][]uint64, len(t.WB))
+			for k, v := range t.WB {
+				st.wb[k] = v
+			}
+			st.deleted = make(map[ir.MapKey]bool, len(t.deleted))
+			for k := range t.deleted {
+				st.deleted[k] = true
+			}
+		}
+		snap.tables[n] = st
+	}
+	for n, v := range sw.registers {
+		snap.registers[n] = v
+	}
+	for n, v := range sw.vecs {
+		snap.vecs[n] = v
+	}
+	for n, v := range sw.lpms {
+		snap.lpms[n] = v
+	}
+	sw.snap.Store(snap)
 }
 
 // tableObs bundles one replicated table's data-plane counters.
@@ -200,7 +308,6 @@ func (sw *Switch) Instrument(reg *obs.Registry) {
 	}
 	sw.mu.Lock()
 	defer sw.mu.Unlock()
-	sw.reg = reg
 	sw.c = switchCounters{
 		pre:       reg.Counter("switch.pre.packets"),
 		post:      reg.Counter("switch.post.packets"),
@@ -227,6 +334,7 @@ func (sw *Switch) Instrument(reg *obs.Registry) {
 		m.entries.Set(int64(t.Len()))
 		t.obs = m
 	}
+	sw.publishLocked()
 }
 
 // TraceHop directs table-lookup trace events of subsequent Process calls
@@ -262,7 +370,26 @@ func New(res *partition.Result) *Switch {
 			sw.lpms[gn] = nil
 		}
 	}
+	sw.xferA = compileXferFields(res.TransferA, res.FormatA)
+	sw.xferB = compileXferFields(res.TransferB, res.FormatB)
+	sw.publishLocked()
 	return sw
+}
+
+// compileXferFields resolves each transfer variable to its scratchpad slot
+// and precomputed header position once, at load time.
+func compileXferFields(vars []partition.TransferVar, f *packet.HeaderFormat) []xferField {
+	out := make([]xferField, 0, len(vars))
+	for _, v := range vars {
+		spec, ok := f.Spec(v.Name)
+		if !ok || v.Slot <= 0 {
+			// Unreachable for compiler-produced Results; a hand-built Result
+			// without slots falls back to failing loudly at Set/Get time.
+			spec = packet.FieldSpec{Off: -1}
+		}
+		out = append(out, xferField{slot: v.Slot, spec: spec})
+	}
+	return out
 }
 
 // SeedFrom installs configured replicated state from an authoritative
@@ -314,6 +441,7 @@ func (sw *Switch) LoadLPM(name string, entries []ir.LpmEntry) error {
 		return fmt.Errorf("switchsim: lpm %q: %d entries exceed annotation %d", name, len(entries), g.MaxEntries)
 	}
 	sw.lpms[name] = append([]ir.LpmEntry(nil), entries...)
+	sw.publishLocked()
 	return nil
 }
 
@@ -351,25 +479,21 @@ func (sw *Switch) Table(name string) (*Table, bool) {
 }
 
 // VisibleEntry reports whether the named table currently serves key on the
-// data plane, and whether the table runs in §7 cache mode. It takes the
-// data-plane read lock, so the control plane can classify updates while
-// worker goroutines keep processing packets.
+// data plane, and whether the table runs in §7 cache mode. It reads the
+// published snapshot — exactly what in-flight packets see — so the control
+// plane can classify updates while worker goroutines keep processing.
 func (sw *Switch) VisibleEntry(table string, key ir.MapKey) (visible, cached bool) {
-	sw.mu.RLock()
-	defer sw.mu.RUnlock()
-	t, ok := sw.tables[table]
+	t, ok := sw.snap.Load().tables[table]
 	if !ok {
 		return false, false
 	}
-	_, visible = t.Lookup(key)
-	return visible, t.Cached
+	_, visible, _ = t.lookup(key)
+	return visible, t.cached
 }
 
-// Register reads a switch register.
+// Register reads a switch register (the data plane's published value).
 func (sw *Switch) Register(name string) (uint64, bool) {
-	sw.mu.RLock()
-	defer sw.mu.RUnlock()
-	v, ok := sw.registers[name]
+	v, ok := sw.snap.Load().registers[name]
 	return v, ok
 }
 
@@ -386,54 +510,56 @@ func (sw *Switch) LoadVector(name string, vals []uint64) error {
 		return fmt.Errorf("switchsim: vector %q: %d entries exceed annotation %d", name, len(vals), g.MaxEntries)
 	}
 	sw.vecs[name] = append([]uint64(nil), vals...)
+	sw.publishLocked()
 	return nil
 }
 
-// access adapts switch state to the interpreter; the data plane may only
-// read (the partitioner guarantees no offloaded writes, and the simulator
-// enforces it). cacheMiss records lookups that missed a §7 cache table —
-// the packet must then punt to the server, whose state is authoritative.
+// access adapts one published snapshot to the interpreter; the data plane
+// may only read (the partitioner guarantees no offloaded writes, and the
+// simulator enforces it). cacheMiss records lookups that missed a §7 cache
+// table — the packet must then punt to the server, whose state is
+// authoritative. It is used by pointer (embedded in the pooled execCtx) so
+// handing it to the interpreter's Access interface never allocates.
 type access struct {
-	sw        *Switch
-	cacheMiss *bool
+	snap      *snapshot
+	hop       *obs.Hop
+	cacheMiss bool
 }
 
-func (a access) MapFind(name string, key ir.MapKey) ([]uint64, bool) {
-	t, ok := a.sw.tables[name]
+func (a *access) MapFind(name string, key ir.MapKey) ([]uint64, bool) {
+	t, ok := a.snap.tables[name]
 	if !ok {
 		return nil, false
 	}
 	vals, hit, fromWB := t.lookup(key)
-	if a.sw.reg != nil {
-		if m := t.obs; m != nil {
-			m.lookups.Inc()
-			if hit {
-				m.hits.Inc()
-				if fromWB {
-					m.wbHits.Inc()
-				}
-			} else {
-				m.misses.Inc()
+	if m := t.obs; m != nil {
+		m.lookups.Inc()
+		if hit {
+			m.hits.Inc()
+			if fromWB {
+				m.wbHits.Inc()
 			}
+		} else {
+			m.misses.Inc()
 		}
 	}
-	a.sw.hop.Lookup(name, hit)
-	if !hit && t.Cached && a.cacheMiss != nil {
-		*a.cacheMiss = true
+	a.hop.Lookup(name, hit)
+	if !hit && t.cached {
+		a.cacheMiss = true
 	}
 	return vals, hit
 }
 
-func (a access) MapInsert(string, ir.MapKey, []uint64) error {
+func (a *access) MapInsert(string, ir.MapKey, []uint64) error {
 	return fmt.Errorf("switchsim: data plane attempted a table insert; P4 tables are read-only (§2.1)")
 }
 
-func (a access) MapRemove(string, ir.MapKey) error {
+func (a *access) MapRemove(string, ir.MapKey) error {
 	return fmt.Errorf("switchsim: data plane attempted a table delete; P4 tables are read-only (§2.1)")
 }
 
-func (a access) VecGet(name string, idx uint64) (uint64, error) {
-	vec, ok := a.sw.vecs[name]
+func (a *access) VecGet(name string, idx uint64) (uint64, error) {
+	vec, ok := a.snap.vecs[name]
 	if !ok {
 		return 0, fmt.Errorf("switchsim: vector %q not resident", name)
 	}
@@ -443,24 +569,66 @@ func (a access) VecGet(name string, idx uint64) (uint64, error) {
 	return vec[idx], nil
 }
 
-func (a access) VecLen(name string) uint64 { return uint64(len(a.sw.vecs[name])) }
+func (a *access) VecLen(name string) uint64 { return uint64(len(a.snap.vecs[name])) }
 
-func (a access) GlobalLoad(name string) uint64 { return a.sw.registers[name] }
+func (a *access) GlobalLoad(name string) uint64 { return a.snap.registers[name] }
 
-func (a access) GlobalStore(name string, v uint64) error {
+func (a *access) GlobalStore(name string, v uint64) error {
 	return fmt.Errorf("switchsim: data plane attempted a register write to replicated state; updates come from the server (§4.3.3)")
 }
 
-func (a access) LpmFind(name string, key uint64) ([]uint64, bool) {
+func (a *access) LpmFind(name string, key uint64) ([]uint64, bool) {
 	best := -1
 	var vals []uint64
-	for _, e := range a.sw.lpms[name] {
+	for _, e := range a.snap.lpms[name] {
 		if e.Matches(key) && e.PrefixLen > best {
 			best = e.PrefixLen
 			vals = e.Vals
 		}
 	}
 	return vals, best >= 0
+}
+
+// execCtx bundles everything one pipeline pass needs — the snapshot
+// adapter, the interpreter environment, and the transfer scratchpad — into
+// a single pooled object so a steady-state pass performs zero heap
+// allocations. The env's register file (Env.Regs) is retained across uses
+// and reused by the interpreter.
+type execCtx struct {
+	acc  access
+	env  ir.Env
+	xfer []uint64
+}
+
+var execPool = sync.Pool{New: func() any { return new(execCtx) }}
+
+// getCtx checks an execution context out of the pool, wired to snap and
+// the given packet, with a zeroed scratchpad of the compiled slot count.
+func (sw *Switch) getCtx(snap *snapshot, pkt *packet.Packet) *execCtx {
+	ctx := execPool.Get().(*execCtx)
+	ctx.acc = access{snap: snap, hop: sw.hop}
+	n := sw.Res.NumXferSlots
+	if cap(ctx.xfer) >= n {
+		ctx.xfer = ctx.xfer[:n]
+		clear(ctx.xfer)
+	} else {
+		ctx.xfer = make([]uint64, n)
+	}
+	ctx.env.Access = &ctx.acc
+	ctx.env.State = nil
+	ctx.env.Pkt = pkt
+	ctx.env.Xfer = ctx.xfer
+	return ctx
+}
+
+// putCtx drops references that must not outlive the pass (snapshot,
+// packet) and returns the context to the pool.
+func putCtx(ctx *execCtx) {
+	ctx.acc = access{}
+	ctx.env.Access = nil
+	ctx.env.Pkt = nil
+	ctx.env.Xfer = nil
+	execPool.Put(ctx)
 }
 
 // PreResult describes the outcome of the pre-processing pass.
@@ -479,57 +647,58 @@ type PreResult struct {
 // packet must continue to the server (ActionNext), the synthesized
 // gallium_a header is attached and populated.
 func (sw *Switch) ProcessPre(pkt *packet.Packet) (PreResult, error) {
-	// The data plane only reads switch state: a read lock lets every
-	// worker's pre pass run concurrently while control-plane flips
-	// serialize against all of them.
-	sw.mu.RLock()
-	defer sw.mu.RUnlock()
+	// The data plane is lock-free: one atomic load pins the state snapshot
+	// for the whole pass, so every worker's pre pass runs concurrently and
+	// a control-plane flip mid-pass cannot tear the view.
+	snap := sw.snap.Load()
 	sw.stats.prePackets.Add(1)
-	sw.c.pre.Inc()
-	xfer := map[string]uint64{}
+	snap.c.pre.Inc()
 	// Cache mode: run the pipeline against a scratch copy first; a cache
 	// miss discards all its effects (P4 actions are predicated on the
 	// punt flag) and the untouched packet goes to the server.
-	var cacheMiss bool
 	work := pkt
 	if sw.hasCacheTables {
 		work = pkt.Clone()
 	}
-	env := &ir.Env{Access: access{sw, &cacheMiss}, Pkt: work, Xfer: xfer}
-	r, err := ir.ExecFunc(sw.Res.Prog, sw.Res.PreFn, env)
+	ctx := sw.getCtx(snap, work)
+	defer putCtx(ctx)
+	r, err := ir.ExecFunc(sw.Res.Prog, sw.Res.PreFn, &ctx.env)
 	if err != nil {
 		return PreResult{}, fmt.Errorf("switchsim: pre pipeline: %w", err)
 	}
-	if cacheMiss {
+	if ctx.acc.cacheMiss {
 		sw.stats.stepsTotal.Add(int64(r.Steps))
 		sw.stats.toServer.Add(1)
 		sw.stats.punts.Add(1)
-		sw.c.toServer.Inc()
-		sw.c.punts.Inc()
-		sw.hPre.Observe(int64(r.Steps))
+		snap.c.toServer.Inc()
+		snap.c.punts.Inc()
+		snap.hPre.Observe(int64(r.Steps))
 		return PreResult{Action: ir.ActionNext, Punt: true, Steps: r.Steps}, nil
 	}
 	if sw.hasCacheTables {
 		*pkt = *work
 	}
 	sw.stats.stepsTotal.Add(int64(r.Steps))
-	sw.hPre.Observe(int64(r.Steps))
+	snap.hPre.Observe(int64(r.Steps))
 	switch r.Action {
 	case ir.ActionNext:
 		sw.stats.toServer.Add(1)
-		sw.c.toServer.Inc()
+		snap.c.toServer.Inc()
 		pkt.AttachGallium(sw.Res.FormatA)
-		for _, v := range sw.Res.TransferA {
-			if err := sw.Res.FormatA.Set(pkt.GalData, v.Name, xfer[v.Name]); err != nil {
+		for _, f := range sw.xferA {
+			if f.slot <= 0 {
+				return PreResult{}, fmt.Errorf("switchsim: transfer field without compiled slot")
+			}
+			if err := sw.Res.FormatA.SetAt(pkt.GalData, f.spec, ctx.xfer[f.slot-1]); err != nil {
 				return PreResult{}, err
 			}
 		}
 	case ir.ActionDropped:
 		sw.stats.drops.Add(1)
-		sw.c.drops.Inc()
+		snap.c.drops.Inc()
 	case ir.ActionSent:
 		sw.stats.fastPath.Add(1)
-		sw.c.fast.Inc()
+		snap.c.fast.Inc()
 	}
 	return PreResult{Action: r.Action, Steps: r.Steps}, nil
 }
@@ -537,32 +706,34 @@ func (sw *Switch) ProcessPre(pkt *packet.Packet) (PreResult, error) {
 // ProcessPost runs the post-processing partition over a packet returning
 // from the server (it must carry the gallium_b header, which is stripped).
 func (sw *Switch) ProcessPost(pkt *packet.Packet) (PreResult, error) {
-	sw.mu.RLock()
-	defer sw.mu.RUnlock()
+	snap := sw.snap.Load()
 	sw.stats.postPackets.Add(1)
-	sw.c.post.Inc()
+	snap.c.post.Inc()
 	if !pkt.HasGallium {
 		return PreResult{}, fmt.Errorf("switchsim: post pipeline: packet from server lacks gallium_b header")
 	}
-	xfer := map[string]uint64{}
-	for _, v := range sw.Res.TransferB {
-		val, err := sw.Res.FormatB.Get(pkt.GalData, v.Name)
+	ctx := sw.getCtx(snap, pkt)
+	defer putCtx(ctx)
+	for _, f := range sw.xferB {
+		if f.slot <= 0 {
+			return PreResult{}, fmt.Errorf("switchsim: transfer field without compiled slot")
+		}
+		val, err := sw.Res.FormatB.GetAt(pkt.GalData, f.spec)
 		if err != nil {
 			return PreResult{}, err
 		}
-		xfer[v.Name] = val
+		ctx.xfer[f.slot-1] = val
 	}
 	pkt.StripGallium()
-	env := &ir.Env{Access: access{sw, nil}, Pkt: pkt, Xfer: xfer}
-	r, err := ir.ExecFunc(sw.Res.Prog, sw.Res.PostFn, env)
+	r, err := ir.ExecFunc(sw.Res.Prog, sw.Res.PostFn, &ctx.env)
 	if err != nil {
 		return PreResult{}, fmt.Errorf("switchsim: post pipeline: %w", err)
 	}
 	sw.stats.stepsTotal.Add(int64(r.Steps))
-	sw.hPost.Observe(int64(r.Steps))
+	snap.hPost.Observe(int64(r.Steps))
 	if r.Action == ir.ActionDropped {
 		sw.stats.drops.Add(1)
-		sw.c.drops.Inc()
+		snap.c.drops.Inc()
 	}
 	return PreResult{Action: r.Action, Steps: r.Steps}, nil
 }
@@ -607,9 +778,10 @@ func (sw *Switch) StageWriteback(u Update) error {
 }
 
 // FlipVisibility atomically makes all staged write-back state (and staged
-// register values) visible to the data plane. Under concurrency the write
-// lock is what makes the flip atomic with respect to in-flight packets: a
-// lookup sees either the entire batch or none of it.
+// register values) visible to the data plane. Under concurrency the single
+// snapshot publication is what makes the flip atomic with respect to
+// in-flight packets: a pass pinned the previous snapshot and sees none of
+// the batch, or loads the new one and sees all of it — never a half.
 func (sw *Switch) FlipVisibility() {
 	sw.mu.Lock()
 	defer sw.mu.Unlock()
@@ -626,6 +798,7 @@ func (sw *Switch) FlipVisibility() {
 		sw.registers[u.Register] = u.RegVal
 	}
 	sw.stagedRegs = nil
+	sw.publishLocked()
 }
 
 // MergeWriteback folds write-back contents into the main tables and clears
@@ -635,19 +808,29 @@ func (sw *Switch) FlipVisibility() {
 func (sw *Switch) MergeWriteback() {
 	sw.mu.Lock()
 	defer sw.mu.Unlock()
+	changed := false
 	for _, t := range sw.tables {
 		if !t.UseWB {
 			continue
 		}
+		changed = true
+		// Copy-on-write: readers of the published snapshot share the main
+		// map by reference, so the merge folds into a fresh map and swaps
+		// it in rather than mutating in place.
+		newMain := make(map[ir.MapKey][]uint64, len(t.Main)+len(t.WB))
+		for k, v := range t.Main {
+			newMain[k] = v
+		}
 		for k, v := range t.WB {
-			if _, existed := t.Main[k]; !existed {
+			if _, existed := newMain[k]; !existed {
 				t.fifo = append(t.fifo, k)
 			}
-			t.Main[k] = v
+			newMain[k] = v
 		}
 		for k := range t.deleted {
-			delete(t.Main, k)
+			delete(newMain, k)
 		}
+		t.Main = newMain
 		t.WB = map[ir.MapKey][]uint64{}
 		t.deleted = map[ir.MapKey]bool{}
 		t.UseWB = false
@@ -665,5 +848,8 @@ func (sw *Switch) MergeWriteback() {
 		if m := t.obs; m != nil {
 			m.entries.Set(int64(t.Len()))
 		}
+	}
+	if changed {
+		sw.publishLocked()
 	}
 }

@@ -208,7 +208,7 @@ middlebox tinytbl {
 func TestDataPlaneIsReadOnly(t *testing.T) {
 	res := compileMB(t, "minilb")
 	sw := New(res)
-	a := access{sw, nil}
+	a := &access{snap: sw.snap.Load()}
 	if err := a.MapInsert("conn", ir.MakeMapKey(1), []uint64{1}); err == nil {
 		t.Error("data-plane insert must be rejected")
 	}

@@ -75,6 +75,14 @@ func WithDeliveries(fn func(Delivery)) RunOption {
 	return func(c *runConfig) { c.OnDelivery = fn }
 }
 
+// WithBatch sets how many queued packets a worker pulls per batch
+// (default 32). Larger batches amortize the §4.3.3 output-commit wait
+// across more packets; per-flow processing order is preserved at any
+// batch size.
+func WithBatch(n int) RunOption {
+	return func(c *runConfig) { c.Batch = n }
+}
+
 // WithQueueDepth bounds each worker's ingress channel (default 256).
 func WithQueueDepth(n int) RunOption {
 	return func(c *runConfig) { c.QueueDepth = n }
