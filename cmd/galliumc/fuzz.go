@@ -1,0 +1,31 @@
+package main
+
+import (
+	"fmt"
+	"os"
+	"time"
+
+	"gallium/internal/difftest"
+)
+
+// runFuzz executes `galliumc -fuzz n`: the differential equivalence
+// fuzzer over seeds fuzzseed..fuzzseed+n-1. Every finding is minimized
+// and, when -fuzzout is set, written as a self-contained .mc/.trace
+// corpus pair. Exit status is the number of findings (clamped for the
+// shell), so CI can gate on it directly.
+func runFuzz(n int, seed uint64, budget time.Duration, outDir string) int {
+	findings := difftest.Fuzz(difftest.FuzzOptions{
+		Start:  seed,
+		N:      n,
+		Budget: budget,
+		OutDir: outDir,
+		Log: func(format string, args ...any) {
+			fmt.Fprintf(os.Stderr, format+"\n", args...)
+		},
+	})
+	if len(findings) == 0 {
+		return 0
+	}
+	fmt.Fprintf(os.Stderr, "galliumc: -fuzz: %d divergent case(s)\n", len(findings))
+	return 1
+}

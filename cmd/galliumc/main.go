@@ -33,12 +33,19 @@ func main() {
 	drmt := flag.Bool("drmt", false, "target a disaggregated-RMT switch (relax rules 3/4)")
 	vet := flag.Bool("vet", false, "run the static-analysis layer (middlebox lint + partition verifier); errors fail the build")
 	werror := flag.Bool("Werror", false, "treat analysis warnings as errors (implies -vet)")
+	fuzzN := flag.Int("fuzz", 0, "run the differential equivalence fuzzer over N generated cases and exit")
+	fuzzSeed := flag.Uint64("fuzzseed", 0, "first seed for -fuzz (failing seeds replay with -fuzz 1 -fuzzseed N)")
+	fuzzTime := flag.Duration("fuzztime", 0, "wall-clock budget for -fuzz (0 = unbounded)")
+	fuzzOut := flag.String("fuzzout", "", "write shrunk corpus cases for -fuzz findings into this directory")
 	flag.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: galliumc [-o outdir] [-print what] <file.mc | %s>\n",
 			strings.Join(gallium.Builtins(), " | "))
 		flag.PrintDefaults()
 	}
 	flag.Parse()
+	if *fuzzN > 0 {
+		os.Exit(runFuzz(*fuzzN, *fuzzSeed, *fuzzTime, *fuzzOut))
+	}
 	if flag.NArg() != 1 {
 		flag.Usage()
 		os.Exit(2)

@@ -3,70 +3,34 @@ package analysis
 import (
 	"testing"
 
-	"gallium/internal/ir"
 	"gallium/internal/lang"
 	"gallium/internal/middleboxes"
 	"gallium/internal/packet"
 	"gallium/internal/partition"
 )
 
-// Mutation harness: each test partitions a known-good program, seeds one
-// fault class into the partitioner's output (the exact kind of bug a
-// partitioner regression would produce), and asserts the verifier flags
-// it under the expected check ID. A verifier these mutants slip past is
-// decorative. CI runs the harness as `go test ./internal/analysis/ -run
-// Mutation`.
+// Mutation harness, verifier leg: each fault class from Mutations
+// partitions a known-good program, seeds the fault into the partitioner's
+// output, and asserts the verifier flags it under the expected check ID.
+// A verifier these mutants slip past is decorative. The runtime leg of
+// the same harness lives in internal/difftest, which executes every
+// Behavioral mutant against the unpartitioned oracle. CI runs both as
+// `go test ./internal/analysis/ ./internal/difftest/ -run Mutation`.
 
-// staleReadSource re-reads a map entry after inserting it, so the second
-// find is ordered after a server-side write and must stay on the server.
-const staleReadSource = `
-middlebox staleread {
-    map<u16 -> u32> m(max = 1024);
-
-    proc process(pkt p) {
-        u16 key = p.l4.sport;
-        let r = m.find(key);
-        if (r.ok) {
-            p.ip.daddr = r.v0;
-            send(p);
-        } else {
-            u32 addr = p.ip.daddr;
-            m.insert(key, addr);
-            let r2 = m.find(key);
-            if (r2.ok) {
-                p.ip.daddr = r2.v0;
-                send(p);
-            } else {
-                send(p);
-            }
-        }
-    }
-}
-`
-
-// serverGlobalSource keeps its counter entirely on the server: the
-// accesses are control-dependent on a payload match, which P4 cannot
-// express, so the switch never touches the global.
-const serverGlobalSource = `
-middlebox srvcounter {
-    global u32 hits;
-
-    proc process(pkt p) {
-        if (payload_contains("GET")) {
-            u32 h = hits;
-            hits = h + 1;
-        }
-        send(p);
-    }
-}
-`
-
-// mutationHost compiles and partitions a program, failing the test on
-// any front-end or partitioner error and asserting the unmutated result
-// verifies clean (so the seeded fault is the only thing a failure can
-// blame).
-func mutationHost(t *testing.T, src string) *partition.Result {
+// mutationHost compiles and partitions a host program, failing the test
+// on any front-end or partitioner error and asserting the unmutated
+// result verifies clean (so the seeded fault is the only thing a failure
+// can blame).
+func mutationHost(t *testing.T, host string) *partition.Result {
 	t.Helper()
+	src := HostSource(host)
+	if src == "" {
+		spec, err := middleboxes.Lookup(host)
+		if err != nil {
+			t.Fatal(err)
+		}
+		src = spec.Source
+	}
 	prog, err := lang.Compile(src)
 	if err != nil {
 		t.Fatalf("compile: %v", err)
@@ -79,50 +43,6 @@ func mutationHost(t *testing.T, src string) *partition.Result {
 		t.Fatalf("unmutated result does not verify:\n%s", ds.Render(prog.Name))
 	}
 	return res
-}
-
-func minilbHost(t *testing.T) *partition.Result {
-	t.Helper()
-	spec, err := middleboxes.Lookup("minilb")
-	if err != nil {
-		t.Fatal(err)
-	}
-	return mutationHost(t, spec.Source)
-}
-
-// findInstr locates the first instruction in fn matching pred.
-func findInstr(t *testing.T, fn *ir.Function, what string, pred func(*ir.Instr) bool) (blk, idx int) {
-	t.Helper()
-	for _, b := range fn.Blocks {
-		for i := range b.Instrs {
-			if pred(&b.Instrs[i]) {
-				return b.ID, i
-			}
-		}
-	}
-	t.Fatalf("no %s in %s", what, fn.Name)
-	return 0, 0
-}
-
-func byKindObj(kind ir.Kind, obj string) func(*ir.Instr) bool {
-	return func(in *ir.Instr) bool { return in.Kind == kind && in.Obj == obj }
-}
-
-// removeInstr deletes the instruction at (blk, idx) and renumbers.
-func removeInstr(fn *ir.Function, blk, idx int) ir.Instr {
-	in := fn.Blocks[blk].Instrs[idx]
-	instrs := fn.Blocks[blk].Instrs
-	fn.Blocks[blk].Instrs = append(instrs[:idx:idx], instrs[idx+1:]...)
-	fn.Finalize()
-	return in
-}
-
-// insertInstr appends an instruction to a block's body and renumbers.
-// Partition functions share the input's register numbering, so an
-// instruction lifted from one partition is well-formed in another.
-func insertInstr(fn *ir.Function, blk int, in ir.Instr) {
-	fn.Blocks[blk].Instrs = append(fn.Blocks[blk].Instrs, in)
-	fn.Finalize()
 }
 
 // expectCheck verifies the mutated result and asserts the expected check
@@ -138,109 +58,26 @@ func expectCheck(t *testing.T, res *partition.Result, id string) {
 	}
 }
 
-// Fault class 1: a value consumed after a partition boundary loses its
-// transfer-header carry (the consumer reads an undefined register).
-func TestMutationDroppedCarry(t *testing.T) {
-	res := minilbHost(t)
-	blk, idx := findInstr(t, res.PostFn, "XferLoad", func(in *ir.Instr) bool {
-		return in.Kind == ir.XferLoad
-	})
-	removeInstr(res.PostFn, blk, idx)
-	expectCheck(t, res, CheckMetadataCarry)
-}
-
-// Fault class 2: a hand-off path forgets to capture a transfer variable
-// the wire format declares.
-func TestMutationDroppedHandoffStore(t *testing.T) {
-	res := minilbHost(t)
-	blk, idx := findInstr(t, res.SrvFn, "XferStore", func(in *ir.Instr) bool {
-		return in.Kind == ir.XferStore
-	})
-	removeInstr(res.SrvFn, blk, idx)
-	expectCheck(t, res, CheckHandoffStore)
-}
-
-// Fault class 3: a replicated-state write migrates onto the offloaded
-// path, bypassing the write-back protocol.
-func TestMutationWritebackBypass(t *testing.T) {
-	res := minilbHost(t)
-	blk, idx := findInstr(t, res.SrvFn, "MapInsert", byKindObj(ir.MapInsert, "conn"))
-	in := removeInstr(res.SrvFn, blk, idx)
-	insertInstr(res.PreFn, blk, in)
-	expectCheck(t, res, CheckWritebackBypass)
-}
-
-// Fault class 4: a write to server-owned state (a global the switch
-// never reads) appears in a switch partition.
-func TestMutationOffloadedWrite(t *testing.T) {
-	res := mutationHost(t, serverGlobalSource)
-	blk, idx := findInstr(t, res.SrvFn, "GlobalStore", byKindObj(ir.GlobalStore, "hits"))
-	in := res.SrvFn.Blocks[blk].Instrs[idx]
-	insertInstr(res.PreFn, blk, in)
-	expectCheck(t, res, CheckOffloadedWrite)
-}
-
-// Fault class 5: a read ordered after a server write to the same global
-// moves onto the pre pass, opening a stale-read window (§4.3.3): the
-// switch would consult the table before the server's insert lands.
-func TestMutationStaleReadWindow(t *testing.T) {
-	res := mutationHost(t, staleReadSource)
-	blk, idx := findInstr(t, res.SrvFn, "post-insert MapFind", byKindObj(ir.MapFind, "m"))
-	in := removeInstr(res.SrvFn, blk, idx)
-	insertInstr(res.PreFn, blk, in)
-	expectCheck(t, res, CheckStaleReadWindow)
-}
-
-// Fault class 6: a partition's CFG diverges from the input program (a
-// branch retargeted by a codegen bug).
-func TestMutationRetargetedBranch(t *testing.T) {
-	res := minilbHost(t)
-	for i := range res.PostFn.Blocks {
-		term := &res.PostFn.Blocks[i].Term
-		if term.Kind == ir.Branch {
-			term.Then = term.Else
-			expectCheck(t, res, CheckCFGShape)
-			return
-		}
+// TestMutationClasses drives all twelve fault classes through the
+// verifier.
+func TestMutationClasses(t *testing.T) {
+	if len(Mutations) != 12 {
+		t.Fatalf("harness has %d mutation classes, want 12", len(Mutations))
 	}
-	t.Fatal("no branch in post partition")
-}
-
-// Fault class 7: the pre partition claims a terminator it does not own,
-// sending the packet out while server-side effects (the conn insert) are
-// still pending on that path.
-func TestMutationStolenTerminator(t *testing.T) {
-	res := minilbHost(t)
-	for i := range res.PreFn.Blocks {
-		term := &res.PreFn.Blocks[i].Term
-		if term.Kind == ir.ToNext {
-			term.Kind = ir.Send
-			expectCheck(t, res, CheckFastPathWriteLoss)
-			return
-		}
+	for _, m := range Mutations {
+		t.Run(m.Name, func(t *testing.T) {
+			res := mutationHost(t, m.Host)
+			if err := m.Apply(res); err != nil {
+				t.Fatalf("seeding fault: %v", err)
+			}
+			expectCheck(t, res, m.Check)
+		})
 	}
-	t.Fatal("no hand-off in pre partition")
 }
 
-// Fault class 8: an input statement executes in no partition.
-func TestMutationDeletedStmt(t *testing.T) {
-	res := minilbHost(t)
-	blk, idx := findInstr(t, res.SrvFn, "VecGet", byKindObj(ir.VecGet, "backends"))
-	removeInstr(res.SrvFn, blk, idx)
-	expectCheck(t, res, CheckCoverage)
-}
-
-// Fault class 9: a global is consulted twice in one switch pass.
-func TestMutationDuplicatedAccess(t *testing.T) {
-	res := minilbHost(t)
-	blk, idx := findInstr(t, res.PreFn, "MapFind", byKindObj(ir.MapFind, "conn"))
-	insertInstr(res.PreFn, blk, res.PreFn.Blocks[blk].Instrs[idx])
-	expectCheck(t, res, CheckSingleAccess)
-}
-
-// Fault class 10: the partitioner accepts a result that overruns the
-// switch's resource budgets; the verifier re-derives each budget from
-// the emitted partitions and catches all four.
+// TestMutationResourceBudgets extends the resource-budget class to all
+// four switch budgets; the verifier re-derives each from the emitted
+// partitions.
 func TestMutationResourceBudgets(t *testing.T) {
 	cases := []struct {
 		name    string
@@ -254,31 +91,18 @@ func TestMutationResourceBudgets(t *testing.T) {
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
-			res := minilbHost(t)
+			res := mutationHost(t, "minilb")
 			tc.tighten(&res.Cons)
 			expectCheck(t, res, tc.check)
 		})
 	}
 }
 
-// Fault class 11: a switch partition contains an instruction P4 cannot
-// express (and that the input program never had).
-func TestMutationForeignInstr(t *testing.T) {
-	res := minilbHost(t)
-	blk, idx := findInstr(t, res.PreFn, "MapFind", byKindObj(ir.MapFind, "conn"))
-	seed := res.PreFn.Blocks[blk].Instrs[idx]
-	insertInstr(res.PreFn, blk, ir.Instr{
-		Kind: ir.Hash,
-		Dst:  []ir.Reg{seed.Args[0]},
-		Args: []ir.Reg{seed.Args[0]},
-	})
-	expectCheck(t, res, CheckExpressiveness)
-}
-
-// Fault class 12: the synthesized wire format loses a field the emitted
-// code still loads and stores.
-func TestMutationNarrowedFormat(t *testing.T) {
-	res := minilbHost(t)
+// TestMutationNarrowedFormatBothSides pins the detail that a dropped wire
+// field is flagged on both ends of the boundary: the load that can no
+// longer be satisfied and the store with nowhere to go.
+func TestMutationNarrowedFormatBothSides(t *testing.T) {
+	res := mutationHost(t, "minilb")
 	if res.FormatA == nil || len(res.FormatA.Fields) == 0 {
 		t.Fatal("minilb has no pre→server format")
 	}

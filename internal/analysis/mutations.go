@@ -1,0 +1,343 @@
+package analysis
+
+import (
+	"fmt"
+
+	"gallium/internal/ir"
+	"gallium/internal/packet"
+	"gallium/internal/partition"
+)
+
+// Mutation harness fault classes. Each class seeds one kind of
+// partitioner regression into a known-good partition result — exactly the
+// bug a compiler change could introduce. Two layers hunt the mutants:
+// the verifier (translation validation over the partition result, see
+// mutate_test.go) and the differential fuzzer (runtime execution against
+// the unpartitioned oracle, see internal/difftest). A fault class both
+// layers miss is a hole in the safety net.
+
+// StaleReadHostSource re-reads a map entry after inserting it. The second
+// find is ordered after a server-side write, so it must stay on the
+// server; the found branch leaves a visible mark (TOS) so a stale miss
+// also diverges at runtime.
+const StaleReadHostSource = `
+middlebox staleread {
+    map<u16 -> u32> m(max = 1024);
+
+    proc process(pkt p) {
+        u16 key = p.l4.sport;
+        let r = m.find(key);
+        if (r.ok) {
+            p.ip.daddr = r.v0;
+            send(p);
+        } else {
+            u32 addr = p.ip.daddr;
+            m.insert(key, addr);
+            let r2 = m.find(key);
+            if (r2.ok) {
+                p.ip.tos = 7;
+                p.ip.daddr = r2.v0;
+                send(p);
+            } else {
+                send(p);
+            }
+        }
+    }
+}
+`
+
+// ServerGlobalHostSource keeps its counter entirely on the server: the
+// accesses are control-dependent on a payload match, which P4 cannot
+// express, so the switch never touches the global. The counter's low
+// bits are echoed into the TOS byte so a lost or duplicated increment is
+// visible in packet output, not just in final state.
+const ServerGlobalHostSource = `
+middlebox srvcounter {
+    global u32 hits;
+
+    proc process(pkt p) {
+        if (payload_contains("GET")) {
+            u32 h = hits;
+            hits = h + 1;
+            p.ip.tos = (u8)(h & 0xFF);
+        }
+        send(p);
+    }
+}
+`
+
+// MutationClass is one seeded fault class.
+type MutationClass struct {
+	// Name is a stable kebab-case identifier.
+	Name string
+	// Host selects the program the fault is seeded into: "minilb" (the
+	// §4 running example, supplied by the caller), "staleread", or
+	// "srvcounter".
+	Host string
+	// Check is the verifier check ID expected to flag the mutant.
+	Check string
+	// Behavioral reports whether the fault changes runtime semantics.
+	// Resource-budget and redundant-access faults are structural only —
+	// the mutant computes the same function — so the differential layer
+	// cannot see them and the verifier is the only line of defense.
+	Behavioral bool
+	// Apply seeds the fault into a freshly partitioned result. It
+	// returns an error when the host lacks the expected anchor (which
+	// means the host program or partitioner changed shape).
+	Apply func(res *partition.Result) error
+}
+
+// HostSource returns the MiniClick source for a mutation host name, or
+// "" for hosts the caller must supply (minilb, which lives in
+// internal/middleboxes — analysis does not depend on it).
+func HostSource(host string) string {
+	switch host {
+	case "staleread":
+		return StaleReadHostSource
+	case "srvcounter":
+		return ServerGlobalHostSource
+	}
+	return ""
+}
+
+// findMutInstr locates the first instruction in fn matching pred.
+func findMutInstr(fn *ir.Function, what string, pred func(*ir.Instr) bool) (blk, idx int, err error) {
+	for _, b := range fn.Blocks {
+		for i := range b.Instrs {
+			if pred(&b.Instrs[i]) {
+				return b.ID, i, nil
+			}
+		}
+	}
+	return 0, 0, fmt.Errorf("no %s in %s", what, fn.Name)
+}
+
+// findLastMutInstr locates the last instruction in fn matching pred.
+func findLastMutInstr(fn *ir.Function, what string, pred func(*ir.Instr) bool) (blk, idx int, err error) {
+	found := false
+	for _, b := range fn.Blocks {
+		for i := range b.Instrs {
+			if pred(&b.Instrs[i]) {
+				blk, idx, found = b.ID, i, true
+			}
+		}
+	}
+	if !found {
+		return 0, 0, fmt.Errorf("no %s in %s", what, fn.Name)
+	}
+	return blk, idx, nil
+}
+
+func byKindObj(kind ir.Kind, obj string) func(*ir.Instr) bool {
+	return func(in *ir.Instr) bool { return in.Kind == kind && in.Obj == obj }
+}
+
+// removeInstr deletes the instruction at (blk, idx) and renumbers.
+func removeInstr(fn *ir.Function, blk, idx int) ir.Instr {
+	in := fn.Blocks[blk].Instrs[idx]
+	instrs := fn.Blocks[blk].Instrs
+	fn.Blocks[blk].Instrs = append(instrs[:idx:idx], instrs[idx+1:]...)
+	fn.Finalize()
+	return in
+}
+
+// insertInstr appends an instruction to a block's body and renumbers.
+// Partition functions share the input's register numbering, so an
+// instruction lifted from one partition is well-formed in another.
+func insertInstr(fn *ir.Function, blk int, in ir.Instr) {
+	fn.Blocks[blk].Instrs = append(fn.Blocks[blk].Instrs, in)
+	fn.Finalize()
+}
+
+// Mutations is the harness: the twelve fault classes of PR 2, as data so
+// both detection layers can iterate them.
+var Mutations = []MutationClass{
+	{
+		// A value consumed after a partition boundary loses its
+		// transfer-header carry (the consumer reads an undefined
+		// register).
+		Name: "dropped-carry", Host: "minilb", Check: CheckMetadataCarry, Behavioral: true,
+		Apply: func(res *partition.Result) error {
+			// The last carry is the chosen backend address — the one
+			// value the post pass visibly consumes (storehdr daddr).
+			blk, idx, err := findLastMutInstr(res.PostFn, "XferLoad", func(in *ir.Instr) bool {
+				return in.Kind == ir.XferLoad
+			})
+			if err != nil {
+				return err
+			}
+			removeInstr(res.PostFn, blk, idx)
+			return nil
+		},
+	},
+	{
+		// A hand-off path forgets to capture a transfer variable the
+		// wire format declares.
+		Name: "dropped-handoff-store", Host: "minilb", Check: CheckHandoffStore, Behavioral: true,
+		Apply: func(res *partition.Result) error {
+			// Drop the backend-address store (the last one), so the post
+			// pass rewrites daddr from a field the server never filled.
+			blk, idx, err := findLastMutInstr(res.SrvFn, "XferStore", func(in *ir.Instr) bool {
+				return in.Kind == ir.XferStore
+			})
+			if err != nil {
+				return err
+			}
+			removeInstr(res.SrvFn, blk, idx)
+			return nil
+		},
+	},
+	{
+		// A replicated-state write migrates onto the offloaded path,
+		// bypassing the write-back protocol.
+		Name: "writeback-bypass", Host: "minilb", Check: CheckWritebackBypass, Behavioral: true,
+		Apply: func(res *partition.Result) error {
+			blk, idx, err := findMutInstr(res.SrvFn, "MapInsert", byKindObj(ir.MapInsert, "conn"))
+			if err != nil {
+				return err
+			}
+			in := removeInstr(res.SrvFn, blk, idx)
+			insertInstr(res.PreFn, blk, in)
+			return nil
+		},
+	},
+	{
+		// A write to server-owned state (a global the switch never
+		// reads) appears in a switch partition.
+		Name: "offloaded-write", Host: "srvcounter", Check: CheckOffloadedWrite, Behavioral: true,
+		Apply: func(res *partition.Result) error {
+			blk, idx, err := findMutInstr(res.SrvFn, "GlobalStore", byKindObj(ir.GlobalStore, "hits"))
+			if err != nil {
+				return err
+			}
+			in := res.SrvFn.Blocks[blk].Instrs[idx]
+			// Plant the write in the pre pass's entry block — the one
+			// block every packet executes — not in the replica of the
+			// payload-gated block, which the switch hands off before
+			// reaching.
+			insertInstr(res.PreFn, 0, in)
+			return nil
+		},
+	},
+	{
+		// A read ordered after a server write to the same global moves
+		// onto the pre pass, opening a §4.3.3 stale-read window: the
+		// switch consults the table before the server's insert lands.
+		Name: "stale-read-window", Host: "staleread", Check: CheckStaleReadWindow, Behavioral: true,
+		Apply: func(res *partition.Result) error {
+			blk, idx, err := findMutInstr(res.SrvFn, "post-insert MapFind", byKindObj(ir.MapFind, "m"))
+			if err != nil {
+				return err
+			}
+			in := removeInstr(res.SrvFn, blk, idx)
+			insertInstr(res.PreFn, blk, in)
+			return nil
+		},
+	},
+	{
+		// A partition's CFG diverges from the input program (a branch
+		// retargeted by a codegen bug).
+		Name: "retargeted-branch", Host: "minilb", Check: CheckCFGShape, Behavioral: true,
+		Apply: func(res *partition.Result) error {
+			// Retarget the else edge onto the then block: the server-path
+			// packets (bk.ok false) fall into the found-arm replica,
+			// which drops them. Collapsing the other way would merely
+			// send every packet down the path those packets already take.
+			for i := range res.PostFn.Blocks {
+				term := &res.PostFn.Blocks[i].Term
+				if term.Kind == ir.Branch {
+					term.Else = term.Then
+					return nil
+				}
+			}
+			return fmt.Errorf("no branch in post partition")
+		},
+	},
+	{
+		// The pre partition claims a terminator it does not own, sending
+		// the packet out while server-side effects are still pending.
+		Name: "stolen-terminator", Host: "minilb", Check: CheckFastPathWriteLoss, Behavioral: true,
+		Apply: func(res *partition.Result) error {
+			for i := range res.PreFn.Blocks {
+				term := &res.PreFn.Blocks[i].Term
+				if term.Kind == ir.ToNext {
+					term.Kind = ir.Send
+					return nil
+				}
+			}
+			return fmt.Errorf("no hand-off in pre partition")
+		},
+	},
+	{
+		// An input statement executes in no partition.
+		Name: "deleted-stmt", Host: "minilb", Check: CheckCoverage, Behavioral: true,
+		Apply: func(res *partition.Result) error {
+			blk, idx, err := findMutInstr(res.SrvFn, "VecGet", byKindObj(ir.VecGet, "backends"))
+			if err != nil {
+				return err
+			}
+			removeInstr(res.SrvFn, blk, idx)
+			return nil
+		},
+	},
+	{
+		// A global is consulted twice in one switch pass. The duplicate
+		// returns the same values, so runtime behavior is unchanged —
+		// this is a resource-model violation only the verifier can see.
+		Name: "duplicated-access", Host: "minilb", Check: CheckSingleAccess, Behavioral: false,
+		Apply: func(res *partition.Result) error {
+			blk, idx, err := findMutInstr(res.PreFn, "MapFind", byKindObj(ir.MapFind, "conn"))
+			if err != nil {
+				return err
+			}
+			insertInstr(res.PreFn, blk, res.PreFn.Blocks[blk].Instrs[idx])
+			return nil
+		},
+	},
+	{
+		// The partitioner accepts a result that overruns the switch's
+		// resource budgets. Pure capacity accounting — the program still
+		// computes the right function. (mutate_test.go covers all four
+		// budgets; the stage budget stands in for the class here.)
+		Name: "resource-budget", Host: "minilb", Check: CheckStageBudget, Behavioral: false,
+		Apply: func(res *partition.Result) error {
+			res.Cons.PipelineDepth = 1
+			return nil
+		},
+	},
+	{
+		// A switch partition contains an instruction P4 cannot express
+		// (and that the input program never had). The hash clobbers the
+		// connection key register before the hand-off captures it.
+		Name: "foreign-instr", Host: "minilb", Check: CheckExpressiveness, Behavioral: true,
+		Apply: func(res *partition.Result) error {
+			blk, idx, err := findMutInstr(res.PreFn, "MapFind", byKindObj(ir.MapFind, "conn"))
+			if err != nil {
+				return err
+			}
+			seed := res.PreFn.Blocks[blk].Instrs[idx]
+			insertInstr(res.PreFn, blk, ir.Instr{
+				Kind: ir.Hash,
+				Dst:  []ir.Reg{seed.Args[0]},
+				Args: []ir.Reg{seed.Args[0]},
+			})
+			return nil
+		},
+	},
+	{
+		// The synthesized wire format loses a field the emitted code
+		// still loads and stores.
+		Name: "narrowed-format", Host: "minilb", Check: CheckMetadataCarry, Behavioral: true,
+		Apply: func(res *partition.Result) error {
+			if res.FormatA == nil || len(res.FormatA.Fields) == 0 {
+				return fmt.Errorf("host has no pre→server format")
+			}
+			narrowed, err := packet.NewHeaderFormat(res.FormatA.Fields[1:])
+			if err != nil {
+				return err
+			}
+			res.FormatA = narrowed
+			return nil
+		},
+	},
+}

@@ -451,6 +451,30 @@ func (v *verifier) outgoingFormat(id partition.ID) *packet.HeaderFormat {
 	return nil
 }
 
+// partReachable reports whether any packet can ever enter the partition:
+// the server only sees packets the pre pass hands off, and the post pass
+// only sees packets the server hands off. A partition with no incoming
+// hand-off holds nothing but replicated dead code (e.g. a program whose
+// observable work all offloads, leaving every Send/Drop on the switch),
+// so consumer-side dataflow obligations are vacuous there.
+func (v *verifier) partReachable(id partition.ID) bool {
+	hasHandoff := func(f *ir.Function) bool {
+		for _, b := range f.Blocks {
+			if b.Term.Kind == ir.ToNext {
+				return true
+			}
+		}
+		return false
+	}
+	switch id {
+	case partition.NonOff:
+		return hasHandoff(v.res.PreFn)
+	case partition.Post:
+		return hasHandoff(v.res.PreFn) && hasHandoff(v.res.SrvFn)
+	}
+	return true
+}
+
 // checkCarries re-derives cross-partition dataflow on the consumer side.
 // Two obligations: (a) every XferLoad names a field of the incoming wire
 // format at the right width; (b) every register a partition actually
@@ -459,6 +483,9 @@ func (v *verifier) outgoingFormat(id partition.ID) *packet.HeaderFormat {
 // An undefined read means a value was dropped at a partition boundary.
 func (v *verifier) checkCarries() {
 	for _, p := range v.parts {
+		if !v.partReachable(p.id) {
+			continue
+		}
 		format := v.incomingFormat(p.id)
 		for _, b := range p.fn.Blocks {
 			for i := range b.Instrs {

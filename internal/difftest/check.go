@@ -1,0 +1,360 @@
+package difftest
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"sort"
+	"sync"
+
+	"gallium"
+	"gallium/internal/ir"
+	"gallium/internal/netsim"
+	"gallium/internal/packet"
+	"gallium/internal/serverrt"
+)
+
+// Case is one differential test input: a generated program and a
+// deterministic trace, both derived from Seed.
+type Case struct {
+	Seed  uint64
+	Spec  *ProgramSpec
+	Trace *Trace
+}
+
+// GenCase derives the canonical (program, trace) pair for a seed.
+func GenCase(seed uint64, traceLen int) *Case {
+	return &Case{Seed: seed, Spec: GenProgram(seed), Trace: GenTrace(seed, traceLen)}
+}
+
+// PacketOutcome is one packet's observable fate: sent (with canonical
+// output bytes) or dropped by the middlebox.
+type PacketOutcome struct {
+	Sent  bool
+	Bytes []byte
+}
+
+// Divergence describes a difference between a subject leg and the oracle
+// (or a failure to execute at all). A nil *Divergence means the case
+// passed every leg.
+type Divergence struct {
+	// Leg is where the difference surfaced: "compile", "oracle",
+	// "inject", "run1", or "run8".
+	Leg    string
+	Detail string
+}
+
+func (d *Divergence) String() string {
+	if d == nil {
+		return "ok"
+	}
+	return d.Leg + ": " + d.Detail
+}
+
+// fuzzModel is the cost model every leg runs under: default constants,
+// but an effectively unbounded server ingress queue (a queue drop is a
+// performance artifact, not middlebox semantics) and no endpoint jitter.
+func fuzzModel() netsim.CostModel {
+	m := netsim.DefaultModel()
+	m.MaxQueueDelayNs = 1e15
+	m.StackJitterFrac = 0
+	return m
+}
+
+// outBytes canonicalizes a processed packet for comparison: the transfer
+// (gallium) header, if any leg left one attached, is not part of the
+// middlebox's observable output.
+func outBytes(p *packet.Packet) []byte {
+	q := p.Clone()
+	q.StripGallium()
+	return q.Serialize()
+}
+
+// Setup seeds the read-only and initial state for a generated program.
+// The oracle and every subject shard run it identically.
+func (p *ProgramSpec) Setup(st *ir.State) {
+	for _, v := range p.Vecs {
+		st.Vecs[v.Name] = append([]uint64(nil), v.Seed...)
+	}
+	for _, g := range p.Globals {
+		st.Globals[g.Name] = g.Init
+	}
+	for _, l := range p.Lpms {
+		st.AddRoute(l.Name, 0, 0, 7)
+		st.AddRoute(l.Name, uint64(packet.MakeIPv4Addr(10, 0, 0, 0)), 8, 9)
+		st.AddRoute(l.Name, uint64(packet.MakeIPv4Addr(10, 0, 1, 0)), 24, 11)
+	}
+}
+
+// runOracle executes the unpartitioned IR sequentially through the
+// reference interpreter — the definition of correct behavior.
+func runOracle(prog *ir.Program, spec *ProgramSpec, tr *Trace) ([]PacketOutcome, *ir.State, error) {
+	soft := serverrt.NewSoftware(prog)
+	spec.Setup(soft.State)
+	outs := make([]PacketOutcome, len(tr.Packets))
+	for i := range tr.Packets {
+		pkt := tr.Build(i)
+		res, err := soft.Process(pkt)
+		if err != nil {
+			return nil, nil, fmt.Errorf("packet %d: %w", i, err)
+		}
+		if res.Action == ir.ActionSent {
+			outs[i] = PacketOutcome{Sent: true, Bytes: outBytes(pkt)}
+		}
+	}
+	return outs, soft.State, nil
+}
+
+// runInject executes the partitioned deployment packet-at-a-time through
+// the testbed, with packets spaced so every control-plane flip lands
+// before the next arrival.
+func runInject(art *gallium.Artifacts, spec *ProgramSpec, tr *Trace) ([]PacketOutcome, *ir.State, error) {
+	model := fuzzModel()
+	tb, err := art.NewTestbed(gallium.TestbedConfig{Model: &model, Setup: spec.Setup})
+	if err != nil {
+		return nil, nil, err
+	}
+	outs := make([]PacketOutcome, len(tr.Packets))
+	for i := range tr.Packets {
+		pkt := tr.Build(i)
+		d, err := tb.Inject(int64(i)*PacketSpacingNs, pkt)
+		if err != nil {
+			return nil, nil, fmt.Errorf("packet %d: %w", i, err)
+		}
+		switch {
+		case d.QueueDropped:
+			return nil, nil, fmt.Errorf("packet %d: unexpected queue drop", i)
+		case d.Delivered:
+			outs[i] = PacketOutcome{Sent: true, Bytes: outBytes(pkt)}
+		}
+	}
+	return outs, tb.ServerState(), nil
+}
+
+// runEngine executes the same trace through the concurrent engine.
+// Batch=1 makes each worker fully synchronous with its own write-backs:
+// a worker never starts its next packet before the previous one's
+// control-plane flip is visible, which closes the §4.3.3 stale window
+// within a shard. With one worker that makes the engine sequentially
+// equivalent to the oracle; with eight, equivalence additionally needs
+// the program to be shard-safe.
+func runEngine(art *gallium.Artifacts, spec *ProgramSpec, tr *Trace, workers int) ([]PacketOutcome, []bool, []*ir.State, error) {
+	outs := make([]PacketOutcome, len(tr.Packets))
+	seen := make([]bool, len(tr.Packets))
+	var states []*ir.State
+	var mu sync.Mutex
+	var qdrop bool
+	_, err := art.Run(context.Background(), tr,
+		gallium.WithWorkers(workers),
+		gallium.WithBatch(1),
+		gallium.WithQueueDepth(len(tr.Packets)+8),
+		gallium.WithCostModel(fuzzModel()),
+		gallium.WithSetup(func(shard int, st *ir.State) { spec.Setup(st) }),
+		gallium.WithDeliveries(func(d gallium.Delivery) {
+			mu.Lock()
+			defer mu.Unlock()
+			if d.Seq < 0 || d.Seq >= int64(len(outs)) {
+				return
+			}
+			seen[d.Seq] = true
+			if d.QueueDropped {
+				qdrop = true
+			}
+			if d.Delivered {
+				outs[d.Seq] = PacketOutcome{Sent: true, Bytes: outBytes(d.Pkt)}
+			}
+		}),
+		gallium.WithShardStates(func(shard int, st *ir.State) {
+			states = append(states, st.Clone())
+		}),
+	)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	if qdrop {
+		return nil, nil, nil, fmt.Errorf("unexpected queue drop")
+	}
+	for i, s := range seen {
+		if !s {
+			return nil, nil, nil, fmt.Errorf("packet %d: no delivery reported", i)
+		}
+	}
+	return outs, seen, states, nil
+}
+
+// comparePackets reports the first per-packet difference from the oracle.
+func comparePackets(leg string, oracle, got []PacketOutcome) *Divergence {
+	for i := range oracle {
+		o, g := oracle[i], got[i]
+		if o.Sent != g.Sent {
+			return &Divergence{Leg: leg, Detail: fmt.Sprintf(
+				"packet %d: oracle %s, subject %s", i, fate(o.Sent), fate(g.Sent))}
+		}
+		if o.Sent && !bytes.Equal(o.Bytes, g.Bytes) {
+			return &Divergence{Leg: leg, Detail: fmt.Sprintf(
+				"packet %d: output bytes differ (%s)", i, firstByteDiff(o.Bytes, g.Bytes))}
+		}
+	}
+	return nil
+}
+
+func fate(sent bool) string {
+	if sent {
+		return "sent"
+	}
+	return "dropped"
+}
+
+func firstByteDiff(a, b []byte) string {
+	if len(a) != len(b) {
+		return fmt.Sprintf("len %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return fmt.Sprintf("offset %d: %#02x vs %#02x", i, a[i], b[i])
+		}
+	}
+	return "equal"
+}
+
+// stateDiff describes the first difference between two states, or "".
+func stateDiff(want, got *ir.State) string {
+	var names []string
+	for n := range want.Maps {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		wm, gm := want.Maps[n], got.Maps[n]
+		if len(wm) != len(gm) {
+			return fmt.Sprintf("map %s: %d entries vs %d", n, len(wm), len(gm))
+		}
+		for k, wv := range wm {
+			gv, ok := gm[k]
+			if !ok {
+				return fmt.Sprintf("map %s: key %v missing", n, k)
+			}
+			for i := range wv {
+				if i >= len(gv) || wv[i] != gv[i] {
+					return fmt.Sprintf("map %s: key %v: value %v vs %v", n, k, wv, gv)
+				}
+			}
+		}
+	}
+	for n, wv := range want.Globals {
+		if gv := got.Globals[n]; gv != wv {
+			return fmt.Sprintf("global %s: %d vs %d", n, wv, gv)
+		}
+	}
+	for n, wv := range want.Vecs {
+		gv := got.Vecs[n]
+		if len(wv) != len(gv) {
+			return fmt.Sprintf("vec %s: len %d vs %d", n, len(wv), len(gv))
+		}
+		for i := range wv {
+			if wv[i] != gv[i] {
+				return fmt.Sprintf("vec %s[%d]: %d vs %d", n, i, wv[i], gv[i])
+			}
+		}
+	}
+	return ""
+}
+
+// mergeShardStates union-merges per-shard final states of a shard-safe
+// program: map keyspaces must be disjoint (each key is owned by the one
+// flow — hence one shard — that can construct it), and globals, vecs, and
+// LPM tables must be identical on every shard (they are read-only for
+// shard-safe programs). Any violation is itself a divergence.
+func mergeShardStates(states []*ir.State) (*ir.State, string) {
+	merged := states[0].Clone()
+	for si, st := range states[1:] {
+		for name, m := range st.Maps {
+			for k, v := range m {
+				if ex, ok := merged.Maps[name][k]; ok {
+					return nil, fmt.Sprintf("map %s: key %v present on multiple shards (%v vs %v)", name, k, ex, v)
+				}
+				merged.Maps[name][k] = append([]uint64(nil), v...)
+			}
+		}
+		for name, v := range st.Globals {
+			if merged.Globals[name] != v {
+				return nil, fmt.Sprintf("global %s: shard 0 has %d, shard %d has %d", name, merged.Globals[name], si+1, v)
+			}
+		}
+	}
+	return merged, ""
+}
+
+// CompileCase compiles the case's program through the full pipeline with
+// verification on.
+func CompileCase(c *Case) (*gallium.Artifacts, error) {
+	return gallium.Compile(c.Spec.Render(), gallium.Options{Verify: true})
+}
+
+// RunCase compiles and differentially executes one case. A nil result
+// means oracle, Inject, 1-worker Run, and 8-worker Run all agreed.
+func RunCase(c *Case) *Divergence {
+	art, err := CompileCase(c)
+	if err != nil {
+		return &Divergence{Leg: "compile", Detail: err.Error()}
+	}
+	return DiffArtifacts(art, c.Spec, c.Trace)
+}
+
+// DiffArtifacts differentially executes prebuilt artifacts against the
+// oracle (which always runs the *unpartitioned* art.Prog). The mutation
+// harness calls this with deliberately corrupted partition results.
+func DiffArtifacts(art *gallium.Artifacts, spec *ProgramSpec, tr *Trace) *Divergence {
+	oracle, ostate, err := runOracle(art.Prog, spec, tr)
+	if err != nil {
+		return &Divergence{Leg: "oracle", Detail: err.Error()}
+	}
+
+	// Leg 1: sequential testbed injection.
+	outs, state, err := runInject(art, spec, tr)
+	if err != nil {
+		return &Divergence{Leg: "inject", Detail: err.Error()}
+	}
+	if d := comparePackets("inject", oracle, outs); d != nil {
+		return d
+	}
+	if diff := stateDiff(ostate, state); diff != "" {
+		return &Divergence{Leg: "inject", Detail: "final state: " + diff}
+	}
+
+	// Leg 2: concurrent engine, one worker (sequentially equivalent).
+	outs, _, states, err := runEngine(art, spec, tr, 1)
+	if err != nil {
+		return &Divergence{Leg: "run1", Detail: err.Error()}
+	}
+	if d := comparePackets("run1", oracle, outs); d != nil {
+		return d
+	}
+	if diff := stateDiff(ostate, states[0]); diff != "" {
+		return &Divergence{Leg: "run1", Detail: "final state: " + diff}
+	}
+
+	// Leg 3: concurrent engine, eight workers.
+	outs, _, states, err = runEngine(art, spec, tr, 8)
+	if err != nil {
+		return &Divergence{Leg: "run8", Detail: err.Error()}
+	}
+	if spec.ShardSafe {
+		if d := comparePackets("run8", oracle, outs); d != nil {
+			return d
+		}
+		merged, conflict := mergeShardStates(states)
+		if conflict != "" {
+			return &Divergence{Leg: "run8", Detail: conflict}
+		}
+		if diff := stateDiff(ostate, merged); diff != "" {
+			return &Divergence{Leg: "run8", Detail: "merged final state: " + diff}
+		}
+	}
+	// Non-shard-safe programs already got the relaxed checks inside
+	// runEngine: no execution errors, no queue drops, and a reported
+	// fate for every packet. Cross-flow state interleaving under 8
+	// concurrent shards is legitimately different from sequential
+	// execution, so per-packet and state equality are not required.
+	return nil
+}

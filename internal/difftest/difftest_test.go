@@ -1,0 +1,228 @@
+package difftest_test
+
+import (
+	"fmt"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+
+	"gallium/internal/difftest"
+)
+
+// TestDifferentialFuzz runs the differential equivalence check over a
+// deterministic seed range: every generated (program, trace) pair must
+// compile, and the Inject, 1-worker, and 8-worker legs must match the
+// unpartitioned reference-interpreter oracle. Failures print the seed so
+// the case can be replayed exactly with `galliumc -fuzz 1 -fuzzseed N`.
+func TestDifferentialFuzz(t *testing.T) {
+	n := 400
+	if testing.Short() {
+		n = 60
+	}
+	const chunk = 50
+	for lo := 0; lo < n; lo += chunk {
+		hi := min(lo+chunk, n)
+		t.Run(fmt.Sprintf("seeds=%d-%d", lo, hi-1), func(t *testing.T) {
+			t.Parallel()
+			for seed := uint64(lo); seed < uint64(hi); seed++ {
+				c := difftest.GenCase(seed, difftest.DefaultTraceLen)
+				if d := difftest.RunCase(c); d != nil {
+					t.Errorf("seed %d diverged: %s (replay: galliumc -fuzz 1 -fuzzseed %d)",
+						seed, d, seed)
+				}
+			}
+		})
+	}
+}
+
+// TestRegressionCorpus replays every shrunk case in the permanent corpus.
+// Each .mc/.trace pair captured a real divergence when it was written; a
+// nonzero divergence here means a fixed bug has regressed.
+func TestRegressionCorpus(t *testing.T) {
+	t.Parallel()
+	files, err := filepath.Glob(filepath.Join("testdata", "regressions", "*.mc"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(files) == 0 {
+		t.Fatal("no regression corpus cases found")
+	}
+	for _, f := range files {
+		t.Run(filepath.Base(f), func(t *testing.T) {
+			t.Parallel()
+			d, err := difftest.ReplayCorpusCase(f)
+			if err != nil {
+				t.Fatalf("replay: %v", err)
+			}
+			if d != nil {
+				t.Fatalf("regressed: %s", d)
+			}
+		})
+	}
+}
+
+// TestGenDeterminism pins the contract that makes failure seeds
+// replayable: the same seed always yields byte-identical source and an
+// identical trace.
+func TestGenDeterminism(t *testing.T) {
+	t.Parallel()
+	for _, seed := range []uint64{0, 1, 45, 703, 1 << 40} {
+		a := difftest.GenCase(seed, difftest.DefaultTraceLen)
+		b := difftest.GenCase(seed, difftest.DefaultTraceLen)
+		if a.Spec.Render() != b.Spec.Render() {
+			t.Fatalf("seed %d: non-deterministic program", seed)
+		}
+		if a.Trace.Format() != b.Trace.Format() {
+			t.Fatalf("seed %d: non-deterministic trace", seed)
+		}
+	}
+}
+
+// TestTraceFormatRoundTrip checks the corpus text format reproduces the
+// exact packet sequence.
+func TestTraceFormatRoundTrip(t *testing.T) {
+	t.Parallel()
+	for _, seed := range []uint64{3, 17, 99} {
+		tr := difftest.GenTrace(seed, 24)
+		back, err := difftest.ParseTrace(tr.Format())
+		if err != nil {
+			t.Fatalf("seed %d: parse formatted trace: %v", seed, err)
+		}
+		if !reflect.DeepEqual(tr.Packets, back.Packets) {
+			t.Fatalf("seed %d: trace round-trip mismatch", seed)
+		}
+	}
+}
+
+// TestCorpusProgramRoundTrip checks that a formatted corpus program
+// carries enough state (shard-safety, vector seeds, LPM tables, global
+// initial values) in its difftest: directives to rebuild an equivalent
+// ProgramSpec without the generator.
+func TestCorpusProgramRoundTrip(t *testing.T) {
+	t.Parallel()
+	for seed := uint64(0); seed < 40; seed++ {
+		c := difftest.GenCase(seed, 4)
+		src := difftest.FormatCorpusProgram(c, &difftest.Divergence{Leg: "run8", Detail: "synthetic"})
+		spec, err := difftest.ParseCorpusProgram(src)
+		if err != nil {
+			t.Fatalf("seed %d: parse corpus program: %v", seed, err)
+		}
+		if spec.ShardSafe != c.Spec.ShardSafe {
+			t.Errorf("seed %d: ShardSafe %v, want %v", seed, spec.ShardSafe, c.Spec.ShardSafe)
+		}
+		// The directives carry exactly what Setup consumes: vector seed
+		// values, LPM table names, and global initial values. Sizes and
+		// types are re-derived from the MiniClick source at compile time.
+		if len(spec.Vecs) != len(c.Spec.Vecs) {
+			t.Fatalf("seed %d: %d vec directives, want %d", seed, len(spec.Vecs), len(c.Spec.Vecs))
+		}
+		for i, v := range spec.Vecs {
+			if v.Name != c.Spec.Vecs[i].Name || !reflect.DeepEqual(v.Seed, c.Spec.Vecs[i].Seed) {
+				t.Errorf("seed %d: vec %q seed did not round-trip", seed, c.Spec.Vecs[i].Name)
+			}
+		}
+		if len(spec.Globals) != len(c.Spec.Globals) {
+			t.Fatalf("seed %d: %d global directives, want %d", seed, len(spec.Globals), len(c.Spec.Globals))
+		}
+		for i, g := range spec.Globals {
+			if g.Name != c.Spec.Globals[i].Name || g.Init != c.Spec.Globals[i].Init {
+				t.Errorf("seed %d: global %q init did not round-trip", seed, c.Spec.Globals[i].Name)
+			}
+		}
+		if len(spec.Lpms) != len(c.Spec.Lpms) {
+			t.Errorf("seed %d: lpm decls did not round-trip", seed)
+		}
+	}
+}
+
+// TestShrinkWith exercises the minimizer against a synthetic predicate —
+// "fails iff the program writes p.tcp.window and the trace contains a UDP
+// packet" — so minimality can be asserted exactly without needing a live
+// pipeline bug. The shrunk case must be the essence of the failure: one
+// UDP packet and the single offending statement.
+func TestShrinkWith(t *testing.T) {
+	t.Parallel()
+	spec := &difftest.ProgramSpec{
+		Name:      "shrinkme",
+		ShardSafe: true,
+		Consts:    []difftest.ConstDecl{{Name: "C0", Type: "u16", Expr: "740"}},
+		Globals:   []difftest.GlobalDecl{{Name: "g0", Type: "u32", Init: 5}},
+		Body: &difftest.Block{Stmts: []difftest.Stmt{
+			&difftest.RawStmt{Text: "p.ip.tos = 3;"},
+			&difftest.IfStmt{
+				Cond: "p.ip.ttl > 4",
+				Then: &difftest.Block{Stmts: []difftest.Stmt{
+					&difftest.RawStmt{Text: "p.ip.tos = 9;"},
+				}},
+				Else: &difftest.Block{Stmts: []difftest.Stmt{
+					&difftest.RawStmt{Text: "p.ip.ttl = 1;"},
+				}},
+			},
+			&difftest.RawStmt{Text: "p.tcp.window = C0;"},
+			&difftest.RawStmt{Text: "p.ip.ttl = (p.ip.ttl - 1);"},
+			&difftest.TermStmt{Op: "send"},
+		}},
+	}
+	trace := difftest.GenTrace(12, 9)
+	hasUDP := false
+	for _, p := range trace.Packets {
+		if p.Proto == 17 {
+			hasUDP = true
+		}
+	}
+	if !hasUDP {
+		t.Fatal("fixture trace has no UDP packet; pick another seed")
+	}
+	pred := func(s *difftest.ProgramSpec, tr *difftest.Trace) bool {
+		if !strings.Contains(s.Render(), "p.tcp.window") {
+			return false
+		}
+		for _, p := range tr.Packets {
+			if p.Proto == 17 {
+				return true
+			}
+		}
+		return false
+	}
+	c := &difftest.Case{Seed: 12, Spec: spec, Trace: trace}
+	out := difftest.ShrinkWith(c, pred)
+
+	if got := len(out.Trace.Packets); got != 1 {
+		t.Errorf("shrunk trace has %d packets, want 1", got)
+	} else if out.Trace.Packets[0].Proto != 17 {
+		t.Errorf("shrunk trace kept a non-UDP packet")
+	}
+	if !pred(out.Spec, out.Trace) {
+		t.Fatal("shrunk case no longer satisfies the failure predicate")
+	}
+	if got := len(out.Spec.Body.Stmts); got != 1 {
+		t.Errorf("shrunk body has %d statements, want 1:\n%s", got, out.Spec.Render())
+	}
+	if len(out.Spec.Consts) != 0 || len(out.Spec.Globals) != 0 {
+		t.Errorf("shrinker kept unneeded declarations:\n%s", out.Spec.Render())
+	}
+	// The original case must be untouched: shrinking works on clones.
+	if len(spec.Body.Stmts) != 5 || len(trace.Packets) != 9 {
+		t.Error("ShrinkWith mutated its input case")
+	}
+}
+
+// TestFuzzEntryPoint drives the Fuzz loop the way galliumc -fuzz and the
+// nightly job do, over a known-clean seed range, and checks it reports no
+// findings and honors the budget option.
+func TestFuzzEntryPoint(t *testing.T) {
+	t.Parallel()
+	var lines []string
+	findings := difftest.Fuzz(difftest.FuzzOptions{
+		Start: 0, N: 5, NoShrink: true,
+		Log: func(f string, a ...any) { lines = append(lines, fmt.Sprintf(f, a...)) },
+	})
+	if len(findings) != 0 {
+		t.Fatalf("clean seed range produced findings: %v", findings)
+	}
+	joined := strings.Join(lines, "\n")
+	if !strings.Contains(joined, "5/5") {
+		t.Errorf("fuzz log missing progress summary:\n%s", joined)
+	}
+}

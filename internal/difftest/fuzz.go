@@ -1,0 +1,99 @@
+package difftest
+
+import (
+	"fmt"
+	"time"
+)
+
+// DefaultTraceLen is the per-case trace length when FuzzOptions doesn't
+// override it: long enough that flows revisit state several times, short
+// enough that one case runs in milliseconds.
+const DefaultTraceLen = 16
+
+// FuzzOptions configures a Fuzz run.
+type FuzzOptions struct {
+	// Start is the first seed; seeds Start..Start+N-1 are executed.
+	Start uint64
+	// N is the number of cases to run.
+	N int
+	// TraceLen is the packets per trace (DefaultTraceLen when 0).
+	TraceLen int
+	// Budget stops the run early when non-zero wall-clock time elapses.
+	Budget time.Duration
+	// OutDir receives shrunk corpus files for each finding ("" disables).
+	OutDir string
+	// NoShrink skips minimization (findings carry the raw case only).
+	NoShrink bool
+	// Log receives progress lines (nil for silence).
+	Log func(format string, args ...any)
+}
+
+// Finding is one failing seed, with its shrunk reproduction when
+// minimization ran.
+type Finding struct {
+	Seed       uint64
+	Divergence *Divergence
+	Case       *Case
+	Shrunk     *Case       // nil when NoShrink
+	ShrunkDiv  *Divergence // divergence of the shrunk case
+	File       string      // corpus .mc path when OutDir was set
+}
+
+// Fuzz runs the differential equivalence fuzzer over a seed range: for
+// each seed it generates a program and trace, compiles through the full
+// pipeline with translation validation on, and compares Inject, 1-worker
+// Run, and 8-worker Run against the unpartitioned oracle. Every failing
+// seed is minimized and written to the corpus directory. The run itself
+// never returns an error — infrastructure problems surface as findings on
+// the leg where they occurred.
+func Fuzz(opts FuzzOptions) []Finding {
+	logf := opts.Log
+	if logf == nil {
+		logf = func(string, ...any) {}
+	}
+	traceLen := opts.TraceLen
+	if traceLen <= 0 {
+		traceLen = DefaultTraceLen
+	}
+	start := time.Now()
+	var findings []Finding
+	ran := 0
+	for i := 0; i < opts.N; i++ {
+		if opts.Budget > 0 && time.Since(start) > opts.Budget {
+			logf("difftest: budget exhausted after %d/%d cases", i, opts.N)
+			break
+		}
+		ran++
+		seed := opts.Start + uint64(i)
+		c := GenCase(seed, traceLen)
+		d := RunCase(c)
+		if d == nil {
+			continue
+		}
+		logf("difftest: seed %d FAILED: %s (replay: galliumc -fuzz 1 -fuzzseed %d)", seed, d, seed)
+		f := Finding{Seed: seed, Divergence: d, Case: c}
+		if !opts.NoShrink {
+			f.Shrunk = Shrink(c)
+			f.ShrunkDiv = RunCase(f.Shrunk)
+			logf("difftest: seed %d shrunk to %d stmt bytes / %d packets (%s)",
+				seed, len(f.Shrunk.Spec.Render()), len(f.Shrunk.Trace.Packets), f.ShrunkDiv)
+		}
+		if opts.OutDir != "" {
+			wc, wd := f.Case, f.Divergence
+			if f.Shrunk != nil && f.ShrunkDiv != nil {
+				wc, wd = f.Shrunk, f.ShrunkDiv
+			}
+			stem := fmt.Sprintf("seed%d", seed)
+			if err := WriteCorpusCase(opts.OutDir, stem, wc, wd); err != nil {
+				logf("difftest: seed %d: writing corpus: %v", seed, err)
+			} else {
+				f.File = opts.OutDir + "/" + stem + ".mc"
+				logf("difftest: seed %d: corpus written to %s", seed, f.File)
+			}
+		}
+		findings = append(findings, f)
+	}
+	logf("difftest: %d/%d cases, %d findings in %v",
+		ran, opts.N, len(findings), time.Since(start).Round(time.Millisecond))
+	return findings
+}

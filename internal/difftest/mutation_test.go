@@ -1,0 +1,108 @@
+package difftest_test
+
+import (
+	"testing"
+
+	"gallium"
+	"gallium/internal/analysis"
+	"gallium/internal/difftest"
+	"gallium/internal/middleboxes"
+	"gallium/internal/packet"
+)
+
+// Mutation harness, runtime leg. The verifier leg in internal/analysis
+// proves every seeded partitioner fault is flagged by translation
+// validation; this leg proves the *differential fuzzer* would also have
+// seen the behavioral ones — by executing each mutant against the
+// unpartitioned oracle and requiring a divergence. Together the two legs
+// establish that no fault class depends on a single detection layer
+// (except the structural-only classes, which compute the right function
+// and are the verifier's alone by construction).
+
+// mutationHostCase compiles a mutation host and pairs it with the state
+// seeds and workload its code paths need.
+func mutationHostCase(t *testing.T, host string) (*gallium.Artifacts, *difftest.ProgramSpec, *difftest.Trace) {
+	t.Helper()
+	src := analysis.HostSource(host)
+	if src == "" {
+		mb, err := middleboxes.Lookup(host)
+		if err != nil {
+			t.Fatal(err)
+		}
+		src = mb.Source
+	}
+	art, err := gallium.Compile(src, gallium.Options{Verify: true})
+	if err != nil {
+		t.Fatalf("compile %s: %v", host, err)
+	}
+	spec := &difftest.ProgramSpec{Name: host}
+	if host == "minilb" {
+		spec.Vecs = []difftest.VecDecl{{Name: "backends", Seed: []uint64{
+			0xC0A80101, 0xC0A80102, 0xC0A80103,
+		}}}
+	}
+	tr := difftest.GenTrace(1, 16)
+	// Guarantee the payload-gated paths run: srvcounter's counter (and
+	// with it the whole server partition) only moves on "GET" payloads,
+	// and repeated flows exercise minilb's connection-consistency map.
+	src4 := packet.MakeIPv4Addr(10, 0, 0, 9)
+	dst4 := packet.MakeIPv4Addr(192, 0, 2, 1)
+	for i := 0; i < 6; i++ {
+		tr.Packets = append(tr.Packets, difftest.TracePacket{
+			Proto: 6, Src: src4, Dst: dst4,
+			Sport: uint16(2000 + i%2), Dport: 80,
+			Flags: 16, Seq: uint32(9000 + i), TTL: 32, ID: uint16(500 + i),
+			Payload: "GET /index.html",
+		})
+	}
+	if d := difftest.DiffArtifacts(art, spec, tr); d != nil {
+		t.Fatalf("unmutated %s diverges from oracle: %s", host, d)
+	}
+	return art, spec, tr
+}
+
+// TestMutationDifftestLeg runs all twelve fault classes through both
+// detection layers and records which one caught each.
+func TestMutationDifftestLeg(t *testing.T) {
+	if testing.Short() {
+		t.Skip("mutation runtime leg runs in full mode and CI")
+	}
+	type verdict struct{ verifier, difftest bool }
+	caught := map[string]verdict{}
+	for _, m := range analysis.Mutations {
+		t.Run(m.Name, func(t *testing.T) {
+			art, spec, tr := mutationHostCase(t, m.Host)
+			if err := m.Apply(art.Res); err != nil {
+				t.Fatalf("seeding fault: %v", err)
+			}
+			v := verdict{
+				verifier: analysis.Verify(art.Res).HasErrors(),
+				difftest: difftest.DiffArtifacts(art, spec, tr) != nil,
+			}
+			caught[m.Name] = v
+			switch {
+			case v.verifier && v.difftest:
+				t.Logf("%-22s caught by: verifier + difftest", m.Name)
+			case v.verifier:
+				t.Logf("%-22s caught by: verifier only", m.Name)
+			case v.difftest:
+				t.Logf("%-22s caught by: difftest only", m.Name)
+			default:
+				t.Errorf("%s escaped BOTH detection layers", m.Name)
+			}
+			if m.Behavioral && !v.difftest {
+				t.Errorf("%s is behavioral but produced no runtime divergence", m.Name)
+			}
+		})
+	}
+	n := 0
+	for _, v := range caught {
+		if v.difftest {
+			n++
+		}
+	}
+	t.Logf("difftest leg caught %d/%d mutation classes at runtime", n, len(analysis.Mutations))
+	if n < 10 {
+		t.Errorf("difftest leg caught %d/12 mutation classes, want >= 10", n)
+	}
+}

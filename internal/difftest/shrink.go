@@ -1,0 +1,380 @@
+package difftest
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+
+	"gallium"
+)
+
+// maxShrinkEdits bounds the total number of candidate re-executions one
+// Shrink call may perform, so a pathological case cannot stall the fuzz
+// loop. Each accepted edit restarts the scan, so the bound also caps
+// accepted edits.
+const maxShrinkEdits = 800
+
+// Shrink greedily minimizes a failing case: first the trace (ddmin-style
+// chunk removal), then the statement tree (statement deletion, else-arm
+// deletion, branch hoisting) and finally unused declarations. A candidate
+// edit is kept only when the reduced case still fails; for runtime
+// divergences a candidate that stops compiling is always rejected, so the
+// shrinker cannot walk a semantic bug into a syntax error. The returned
+// case reproduces *a* divergence — not necessarily on the same leg, since
+// a minimal program often trips the earliest check.
+func Shrink(c *Case) *Case {
+	d := RunCase(c)
+	if d == nil {
+		return c // not failing; nothing to do
+	}
+	compileOnly := d.Leg == "compile"
+	return ShrinkWith(c, func(spec *ProgramSpec, tr *Trace) bool {
+		art, err := gallium.Compile(spec.Render(), gallium.Options{Verify: true})
+		if err != nil {
+			return compileOnly
+		}
+		if compileOnly {
+			return false
+		}
+		return DiffArtifacts(art, spec, tr) != nil
+	})
+}
+
+// ShrinkWith minimizes a case against an arbitrary still-fails predicate.
+// The predicate must hold for the case as given; every accepted edit
+// preserves it. Split out from Shrink so the minimization machinery is
+// testable without a live pipeline bug.
+func ShrinkWith(c *Case, stillFails func(*ProgramSpec, *Trace) bool) *Case {
+	sh := &shrinker{budget: maxShrinkEdits, pred: stillFails}
+	out := &Case{
+		Seed:  c.Seed,
+		Spec:  cloneSpec(c.Spec),
+		Trace: &Trace{Packets: append([]TracePacket(nil), c.Trace.Packets...)},
+	}
+	out.Trace = sh.shrinkTrace(out.Spec, out.Trace)
+	sh.shrinkSpec(out.Spec, out.Trace)
+	return out
+}
+
+type shrinker struct {
+	budget int
+	pred   func(*ProgramSpec, *Trace) bool
+}
+
+// fails reports whether the candidate still exhibits a failure of the
+// kind being minimized.
+func (sh *shrinker) fails(spec *ProgramSpec, tr *Trace) bool {
+	if sh.budget <= 0 {
+		return false
+	}
+	sh.budget--
+	return sh.pred(spec, tr)
+}
+
+// shrinkTrace removes packet chunks while the case keeps failing.
+func (sh *shrinker) shrinkTrace(spec *ProgramSpec, tr *Trace) *Trace {
+	for chunk := len(tr.Packets) / 2; chunk >= 1; chunk /= 2 {
+		for i := 0; i+chunk <= len(tr.Packets); {
+			if len(tr.Packets) <= chunk {
+				break
+			}
+			cand := &Trace{Packets: append(append([]TracePacket(nil),
+				tr.Packets[:i]...), tr.Packets[i+chunk:]...)}
+			if sh.fails(spec, cand) {
+				tr = cand
+			} else {
+				i += chunk
+			}
+		}
+	}
+	return tr
+}
+
+// shrinkSpec repeatedly applies the first accepted edit until no edit is
+// accepted (or the budget runs out). Restarting the scan after every
+// accepted edit keeps the block list fresh — an edit can detach subtrees,
+// and editing a detached block would otherwise loop forever on an
+// unchanged render.
+func (sh *shrinker) shrinkSpec(spec *ProgramSpec, tr *Trace) {
+	for sh.budget > 0 && sh.oneEdit(spec, tr) {
+	}
+}
+
+func (sh *shrinker) oneEdit(spec *ProgramSpec, tr *Trace) bool {
+	var blocks []*Block
+	collectBlocks(spec.Body, &blocks)
+
+	// Statement deletion, innermost blocks first (they were appended
+	// last), largest index first so earlier candidates stay valid.
+	for bi := len(blocks) - 1; bi >= 0; bi-- {
+		bl := blocks[bi]
+		for i := len(bl.Stmts) - 1; i >= 0; i-- {
+			orig := bl.Stmts
+			bl.Stmts = append(append([]Stmt(nil), orig[:i]...), orig[i+1:]...)
+			if sh.fails(spec, tr) {
+				return true
+			}
+			bl.Stmts = orig
+		}
+	}
+
+	// Else-arm deletion and branch hoisting (replace an if by one arm).
+	for bi := len(blocks) - 1; bi >= 0; bi-- {
+		bl := blocks[bi]
+		for i := len(bl.Stmts) - 1; i >= 0; i-- {
+			ifs, ok := bl.Stmts[i].(*IfStmt)
+			if !ok {
+				continue
+			}
+			if ifs.Else != nil {
+				saved := ifs.Else
+				ifs.Else = nil
+				if sh.fails(spec, tr) {
+					return true
+				}
+				ifs.Else = saved
+			}
+			for _, arm := range []*Block{ifs.Then, ifs.Else} {
+				if arm == nil {
+					continue
+				}
+				orig := bl.Stmts
+				cand := append([]Stmt(nil), orig[:i]...)
+				cand = append(cand, arm.Stmts...)
+				cand = append(cand, orig[i+1:]...)
+				bl.Stmts = cand
+				if sh.fails(spec, tr) {
+					return true
+				}
+				bl.Stmts = orig
+			}
+		}
+	}
+
+	// Declaration removal: kept only when every use is already gone.
+	if len(spec.Maps) > 0 {
+		for i := len(spec.Maps) - 1; i >= 0; i-- {
+			orig := spec.Maps
+			spec.Maps = append(append([]MapDecl(nil), orig[:i]...), orig[i+1:]...)
+			if sh.fails(spec, tr) {
+				return true
+			}
+			spec.Maps = orig
+		}
+	}
+	if len(spec.Vecs) > 0 {
+		orig := spec.Vecs
+		spec.Vecs = nil
+		if sh.fails(spec, tr) {
+			return true
+		}
+		spec.Vecs = orig
+	}
+	if len(spec.Lpms) > 0 {
+		orig := spec.Lpms
+		spec.Lpms = nil
+		if sh.fails(spec, tr) {
+			return true
+		}
+		spec.Lpms = orig
+	}
+	for i := len(spec.Globals) - 1; i >= 0; i-- {
+		orig := spec.Globals
+		spec.Globals = append(append([]GlobalDecl(nil), orig[:i]...), orig[i+1:]...)
+		if sh.fails(spec, tr) {
+			return true
+		}
+		spec.Globals = orig
+	}
+	for i := len(spec.Consts) - 1; i >= 0; i-- {
+		orig := spec.Consts
+		spec.Consts = append(append([]ConstDecl(nil), orig[:i]...), orig[i+1:]...)
+		if sh.fails(spec, tr) {
+			return true
+		}
+		spec.Consts = orig
+	}
+	return false
+}
+
+func collectBlocks(bl *Block, out *[]*Block) {
+	*out = append(*out, bl)
+	for _, s := range bl.Stmts {
+		switch t := s.(type) {
+		case *IfStmt:
+			collectBlocks(t.Then, out)
+			if t.Else != nil {
+				collectBlocks(t.Else, out)
+			}
+		case *WhileStmt:
+			collectBlocks(t.Body, out)
+		}
+	}
+}
+
+func cloneSpec(s *ProgramSpec) *ProgramSpec {
+	out := *s
+	out.Maps = append([]MapDecl(nil), s.Maps...)
+	out.Vecs = append([]VecDecl(nil), s.Vecs...)
+	out.Lpms = append([]LpmDecl(nil), s.Lpms...)
+	out.Globals = append([]GlobalDecl(nil), s.Globals...)
+	out.Consts = append([]ConstDecl(nil), s.Consts...)
+	out.Body = cloneBlock(s.Body)
+	return &out
+}
+
+func cloneBlock(bl *Block) *Block {
+	out := &Block{Stmts: make([]Stmt, len(bl.Stmts))}
+	for i, s := range bl.Stmts {
+		switch t := s.(type) {
+		case *IfStmt:
+			c := &IfStmt{Cond: t.Cond, Then: cloneBlock(t.Then)}
+			if t.Else != nil {
+				c.Else = cloneBlock(t.Else)
+			}
+			out.Stmts[i] = c
+		case *WhileStmt:
+			out.Stmts[i] = &WhileStmt{Counter: t.Counter, Type: t.Type, Bound: t.Bound, Body: cloneBlock(t.Body)}
+		case *RawStmt:
+			out.Stmts[i] = &RawStmt{Text: t.Text}
+		case *TermStmt:
+			out.Stmts[i] = &TermStmt{Op: t.Op}
+		default:
+			out.Stmts[i] = s
+		}
+	}
+	return out
+}
+
+// ---------------------------------------------------------------------------
+// Corpus files
+//
+// A regression case is two files: <stem>.mc holding the (shrunk) program
+// with `// difftest:` directives that make replay self-contained — the
+// shard-safety flag and the exact initial state Setup would seed — and
+// <stem>.trace holding the packet trace in the text format. Replay never
+// needs the generating seed.
+// ---------------------------------------------------------------------------
+
+// FormatCorpusProgram renders the corpus .mc content for a case.
+func FormatCorpusProgram(c *Case, d *Divergence) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "// difftest regression (seed %d)\n", c.Seed)
+	if d != nil {
+		fmt.Fprintf(&b, "// divergence at capture time: %s\n", d)
+	}
+	fmt.Fprintf(&b, "// difftest:shardsafe %v\n", c.Spec.ShardSafe)
+	for _, v := range c.Spec.Vecs {
+		strs := make([]string, len(v.Seed))
+		for i, x := range v.Seed {
+			strs[i] = strconv.FormatUint(x, 10)
+		}
+		fmt.Fprintf(&b, "// difftest:vec %s %s\n", v.Name, strings.Join(strs, ","))
+	}
+	for _, l := range c.Spec.Lpms {
+		fmt.Fprintf(&b, "// difftest:lpm %s\n", l.Name)
+	}
+	for _, g := range c.Spec.Globals {
+		fmt.Fprintf(&b, "// difftest:global %s %d\n", g.Name, g.Init)
+	}
+	b.WriteString(c.Spec.Render())
+	return b.String()
+}
+
+// ParseCorpusProgram extracts the replay spec from corpus .mc content:
+// the returned ProgramSpec carries only what DiffArtifacts needs (the
+// shard-safety flag and Setup's state seeds); its Body is nil and the
+// source must be compiled from the returned text.
+func ParseCorpusProgram(src string) (*ProgramSpec, error) {
+	spec := &ProgramSpec{}
+	for ln, line := range strings.Split(src, "\n") {
+		line = strings.TrimSpace(line)
+		rest, ok := strings.CutPrefix(line, "// difftest:")
+		if !ok {
+			continue
+		}
+		f := strings.Fields(rest)
+		if len(f) == 0 {
+			return nil, fmt.Errorf("corpus line %d: empty directive", ln+1)
+		}
+		switch f[0] {
+		case "shardsafe":
+			if len(f) != 2 {
+				return nil, fmt.Errorf("corpus line %d: shardsafe wants one arg", ln+1)
+			}
+			spec.ShardSafe = f[1] == "true"
+		case "vec":
+			if len(f) != 3 {
+				return nil, fmt.Errorf("corpus line %d: vec wants name and values", ln+1)
+			}
+			var vals []uint64
+			for _, s := range strings.Split(f[2], ",") {
+				v, err := strconv.ParseUint(s, 10, 64)
+				if err != nil {
+					return nil, fmt.Errorf("corpus line %d: vec value %q: %v", ln+1, s, err)
+				}
+				vals = append(vals, v)
+			}
+			spec.Vecs = append(spec.Vecs, VecDecl{Name: f[1], Seed: vals})
+		case "lpm":
+			if len(f) != 2 {
+				return nil, fmt.Errorf("corpus line %d: lpm wants a name", ln+1)
+			}
+			spec.Lpms = append(spec.Lpms, LpmDecl{Name: f[1]})
+		case "global":
+			if len(f) != 3 {
+				return nil, fmt.Errorf("corpus line %d: global wants name and value", ln+1)
+			}
+			v, err := strconv.ParseUint(f[2], 10, 64)
+			if err != nil {
+				return nil, fmt.Errorf("corpus line %d: global value %q: %v", ln+1, f[2], err)
+			}
+			spec.Globals = append(spec.Globals, GlobalDecl{Name: f[1], Init: v})
+		default:
+			return nil, fmt.Errorf("corpus line %d: unknown directive %q", ln+1, f[0])
+		}
+	}
+	return spec, nil
+}
+
+// WriteCorpusCase writes <stem>.mc and <stem>.trace under dir.
+func WriteCorpusCase(dir, stem string, c *Case, d *Divergence) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	mc := filepath.Join(dir, stem+".mc")
+	if err := os.WriteFile(mc, []byte(FormatCorpusProgram(c, d)), 0o644); err != nil {
+		return err
+	}
+	return os.WriteFile(filepath.Join(dir, stem+".trace"), []byte(c.Trace.Format()), 0o644)
+}
+
+// ReplayCorpusCase loads <stem>.mc + <stem>.trace and differentially
+// executes them. It returns the divergence (nil when the case passes —
+// the expected state once the bug a case captured is fixed, since the
+// corpus pins the *input*, not the failure).
+func ReplayCorpusCase(mcPath string) (*Divergence, error) {
+	src, err := os.ReadFile(mcPath)
+	if err != nil {
+		return nil, err
+	}
+	spec, err := ParseCorpusProgram(string(src))
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", mcPath, err)
+	}
+	trText, err := os.ReadFile(strings.TrimSuffix(mcPath, ".mc") + ".trace")
+	if err != nil {
+		return nil, err
+	}
+	tr, err := ParseTrace(string(trText))
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", mcPath, err)
+	}
+	art, err := gallium.Compile(string(src), gallium.Options{Verify: true})
+	if err != nil {
+		return &Divergence{Leg: "compile", Detail: err.Error()}, nil
+	}
+	return DiffArtifacts(art, spec, tr), nil
+}

@@ -1,0 +1,303 @@
+package difftest
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"gallium/internal/packet"
+)
+
+// PacketSpacingNs is the virtual-time gap between trace packets on the
+// Inject leg. It is chosen far above the control plane's flip latency
+// (~135µs per batch) so that every write-back staged by packet N is
+// visible on the switch before packet N+1 arrives — the §4.3.3 stale
+// window is closed by construction and the sequential legs must match the
+// oracle exactly.
+const PacketSpacingNs = 10_000_000
+
+// TracePacket is one deterministic trace entry.
+type TracePacket struct {
+	Proto   uint8 // 6 (TCP) or 17 (UDP)
+	Src     packet.IPv4Addr
+	Dst     packet.IPv4Addr
+	Sport   uint16
+	Dport   uint16
+	Flags   uint8 // TCP only
+	Seq     uint32
+	TTL     uint8
+	TOS     uint8
+	ID      uint16
+	Payload string
+}
+
+// Trace is a deterministic packet workload. It satisfies the engine's
+// Workload interface (injection times are index*PacketSpacingNs).
+type Trace struct {
+	Packets []TracePacket
+}
+
+// Build materializes packet i. Each call returns a fresh Packet, so every
+// execution leg starts from identical bytes.
+func (t *Trace) Build(i int) *packet.Packet {
+	tp := t.Packets[i]
+	var p *packet.Packet
+	if tp.Proto == uint8(packet.IPProtocolUDP) {
+		p = packet.BuildUDP(tp.Src, tp.Dst, tp.Sport, tp.Dport, []byte(tp.Payload))
+	} else {
+		p = packet.BuildTCP(tp.Src, tp.Dst, tp.Sport, tp.Dport, packet.TCPOptions{
+			Flags:   tp.Flags,
+			Seq:     tp.Seq,
+			Payload: []byte(tp.Payload),
+		})
+	}
+	p.IP.TTL = tp.TTL
+	p.IP.TOS = tp.TOS
+	p.IP.ID = tp.ID
+	return p
+}
+
+// Tuples announces the five-tuples (Workload interface).
+func (t *Trace) Tuples() []packet.FiveTuple {
+	seen := map[packet.FiveTuple]bool{}
+	var out []packet.FiveTuple
+	for i := range t.Packets {
+		tup, ok := t.Build(i).Tuple()
+		if ok && !seen[tup] {
+			seen[tup] = true
+			out = append(out, tup)
+		}
+	}
+	return out
+}
+
+// Generate streams the trace (Workload interface).
+func (t *Trace) Generate(emit func(tNs int64, pkt *packet.Packet) error) error {
+	for i := range t.Packets {
+		if err := emit(int64(i)*PacketSpacingNs, t.Build(i)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// traceSrcPool / traceDstPool are the address pools flows draw from; they
+// straddle the 10/8 "internal" network so generated programs branching on
+// address prefixes see both outcomes, and they collide on /24s so derived
+// (masked) map keys alias across flows.
+var traceSrcPool = []packet.IPv4Addr{
+	packet.MakeIPv4Addr(10, 0, 0, 1),
+	packet.MakeIPv4Addr(10, 0, 0, 2),
+	packet.MakeIPv4Addr(10, 0, 1, 7),
+	packet.MakeIPv4Addr(192, 168, 1, 5),
+	packet.MakeIPv4Addr(203, 0, 113, 9),
+}
+
+var traceDstPool = []packet.IPv4Addr{
+	packet.MakeIPv4Addr(192, 168, 1, 9),
+	packet.MakeIPv4Addr(10, 0, 1, 3),
+	packet.MakeIPv4Addr(198, 51, 100, 4),
+}
+
+var tracePortPool = []uint16{22, 53, 80, 443, 1234, 5001, 6667, 8080}
+
+var traceFlagSets = []uint8{
+	packet.TCPFlagSYN,
+	packet.TCPFlagSYN | packet.TCPFlagACK,
+	packet.TCPFlagACK,
+	packet.TCPFlagACK | packet.TCPFlagPSH,
+	packet.TCPFlagACK | packet.TCPFlagFIN,
+	packet.TCPFlagRST,
+}
+
+// GenTrace derives a deterministic n-packet trace from the seed: a small
+// pool of flows (so state built by one packet is observed by later ones),
+// per-packet control-flag and payload variation, and payloads that
+// sometimes contain the generator's payload_contains patterns.
+func GenTrace(seed uint64, n int) *Trace {
+	r := newRNG(seed ^ 0xD1F7E57)
+	type flow struct {
+		proto        uint8
+		src, dst     packet.IPv4Addr
+		sport, dport uint16
+	}
+	nf := r.rangen(2, 6)
+	flows := make([]flow, nf)
+	for i := range flows {
+		proto := uint8(packet.IPProtocolTCP)
+		if r.pct(30) {
+			proto = uint8(packet.IPProtocolUDP)
+		}
+		flows[i] = flow{
+			proto: proto,
+			src:   pick(r, traceSrcPool),
+			dst:   pick(r, traceDstPool),
+			sport: pick(r, tracePortPool),
+			dport: pick(r, tracePortPool),
+		}
+	}
+	tr := &Trace{}
+	for i := 0; i < n; i++ {
+		f := flows[r.intn(nf)]
+		tp := TracePacket{
+			Proto: f.proto,
+			Src:   f.src, Dst: f.dst,
+			Sport: f.sport, Dport: f.dport,
+			TTL: uint8(r.rangen(1, 64)),
+			TOS: uint8(r.intn(4)),
+			ID:  uint16(r.intn(1000)),
+			Seq: uint32(i * 100),
+		}
+		if f.proto == uint8(packet.IPProtocolTCP) {
+			tp.Flags = pick(r, traceFlagSets)
+		}
+		switch r.intn(10) {
+		case 0, 1, 2: // payload containing a pattern the programs test for
+			tp.Payload = pick(r, payloadPatterns) + " /index.html"
+		case 3, 4: // junk payload
+			tp.Payload = "xxxxxxxxxx"
+		}
+		tr.Packets = append(tr.Packets, tp)
+	}
+	return tr
+}
+
+// ---------------------------------------------------------------------------
+// Corpus text format
+//
+// One packet per line, space-separated key=value pairs; payloads are
+// Go-quoted. The format round-trips exactly so a corpus case replays the
+// same bytes that failed.
+// ---------------------------------------------------------------------------
+
+// Format renders the trace in the corpus text format.
+func (t *Trace) Format() string {
+	var b strings.Builder
+	for _, tp := range t.Packets {
+		proto := "tcp"
+		if tp.Proto == uint8(packet.IPProtocolUDP) {
+			proto = "udp"
+		}
+		fmt.Fprintf(&b, "proto=%s src=%s sport=%d dst=%s dport=%d flags=%d seq=%d ttl=%d tos=%d id=%d payload=%s\n",
+			proto, tp.Src, tp.Sport, tp.Dst, tp.Dport, tp.Flags, tp.Seq, tp.TTL, tp.TOS, tp.ID,
+			strconv.Quote(tp.Payload))
+	}
+	return b.String()
+}
+
+// ParseTrace parses the corpus text format.
+func ParseTrace(text string) (*Trace, error) {
+	tr := &Trace{}
+	for ln, line := range strings.Split(text, "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		var tp TracePacket
+		for _, kv := range splitFields(line) {
+			k, v, ok := strings.Cut(kv, "=")
+			if !ok {
+				return nil, fmt.Errorf("trace line %d: bad field %q", ln+1, kv)
+			}
+			var err error
+			switch k {
+			case "proto":
+				switch v {
+				case "tcp":
+					tp.Proto = uint8(packet.IPProtocolTCP)
+				case "udp":
+					tp.Proto = uint8(packet.IPProtocolUDP)
+				default:
+					err = fmt.Errorf("unknown proto %q", v)
+				}
+			case "src":
+				tp.Src, err = parseIP(v)
+			case "dst":
+				tp.Dst, err = parseIP(v)
+			case "sport":
+				tp.Sport, err = parseU16(v)
+			case "dport":
+				tp.Dport, err = parseU16(v)
+			case "flags":
+				var n uint64
+				n, err = strconv.ParseUint(v, 10, 8)
+				tp.Flags = uint8(n)
+			case "seq":
+				var n uint64
+				n, err = strconv.ParseUint(v, 10, 32)
+				tp.Seq = uint32(n)
+			case "ttl":
+				var n uint64
+				n, err = strconv.ParseUint(v, 10, 8)
+				tp.TTL = uint8(n)
+			case "tos":
+				var n uint64
+				n, err = strconv.ParseUint(v, 10, 8)
+				tp.TOS = uint8(n)
+			case "id":
+				var n uint64
+				n, err = strconv.ParseUint(v, 10, 16)
+				tp.ID = uint16(n)
+			case "payload":
+				tp.Payload, err = strconv.Unquote(v)
+			default:
+				err = fmt.Errorf("unknown key %q", k)
+			}
+			if err != nil {
+				return nil, fmt.Errorf("trace line %d: %s: %v", ln+1, k, err)
+			}
+		}
+		tr.Packets = append(tr.Packets, tp)
+	}
+	if len(tr.Packets) == 0 {
+		return nil, fmt.Errorf("trace: no packets")
+	}
+	return tr, nil
+}
+
+// splitFields splits on spaces outside quoted payloads.
+func splitFields(line string) []string {
+	var out []string
+	var cur strings.Builder
+	inQuote := false
+	for i := 0; i < len(line); i++ {
+		c := line[i]
+		switch {
+		case c == '"' && (i == 0 || line[i-1] != '\\'):
+			inQuote = !inQuote
+			cur.WriteByte(c)
+		case c == ' ' && !inQuote:
+			if cur.Len() > 0 {
+				out = append(out, cur.String())
+				cur.Reset()
+			}
+		default:
+			cur.WriteByte(c)
+		}
+	}
+	if cur.Len() > 0 {
+		out = append(out, cur.String())
+	}
+	return out
+}
+
+func parseIP(s string) (packet.IPv4Addr, error) {
+	parts := strings.Split(s, ".")
+	if len(parts) != 4 {
+		return 0, fmt.Errorf("bad IPv4 %q", s)
+	}
+	var oct [4]byte
+	for i, p := range parts {
+		n, err := strconv.ParseUint(p, 10, 8)
+		if err != nil {
+			return 0, fmt.Errorf("bad IPv4 %q: %v", s, err)
+		}
+		oct[i] = byte(n)
+	}
+	return packet.MakeIPv4Addr(oct[0], oct[1], oct[2], oct[3]), nil
+}
+
+func parseU16(s string) (uint16, error) {
+	n, err := strconv.ParseUint(s, 10, 16)
+	return uint16(n), err
+}

@@ -364,3 +364,19 @@ func (e *Engine) SwitchStats() (switchsim.Stats, bool) {
 	}
 	return e.sw.Stats(), true
 }
+
+// ShardStates returns each worker shard's authoritative middlebox state,
+// indexed by shard. Only meaningful after Run has returned (workers own
+// their states exclusively while running).
+func (e *Engine) ShardStates() []*ir.State {
+	states := make([]*ir.State, len(e.workers))
+	for i, w := range e.workers {
+		switch {
+		case w.srv != nil:
+			states[i] = w.srv.State
+		case w.sft != nil:
+			states[i] = w.sft.State
+		}
+	}
+	return states
+}

@@ -89,6 +89,9 @@ func roundRobin(flows []packet.FiveTuple, perFlow, finAt int) scripted {
 // FIFO + run-to-completion), even though flows interleave freely across
 // worker goroutines. Run under -race in CI.
 func TestPerFlowOrderingEightWorkers(t *testing.T) {
+	if testing.Short() {
+		t.Skip("1600-packet concurrency property; runs in full mode and CI (-race)")
+	}
 	_, res := compileMB(t, "l4lb")
 	const nFlows, perFlow = 32, 50
 
@@ -296,6 +299,9 @@ func natFlows(n int) []packet.FiveTuple {
 // each flow allocates exactly one external port (no slow-path churn, no
 // nat_rev bloat).
 func TestCtlChannelDrainsEveryBatch(t *testing.T) {
+	if testing.Short() {
+		t.Skip("backpressure property over 200 flows; runs in full mode and CI (-race)")
+	}
 	_, res := compileMB(t, "mazunat")
 	const nFlows = 200
 	eng, err := New(Config{

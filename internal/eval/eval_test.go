@@ -6,6 +6,7 @@ import (
 )
 
 func TestTable1Shape(t *testing.T) {
+	t.Parallel()
 	rows, err := Table1()
 	if err != nil {
 		t.Fatal(err)
@@ -31,6 +32,7 @@ func TestTable1Shape(t *testing.T) {
 }
 
 func TestFigure7Shape(t *testing.T) {
+	t.Parallel()
 	points, err := Figure7(true)
 	if err != nil {
 		t.Fatal(err)
@@ -86,6 +88,7 @@ func TestFigure7Shape(t *testing.T) {
 }
 
 func TestTable2Shape(t *testing.T) {
+	t.Parallel()
 	rows, err := Table2()
 	if err != nil {
 		t.Fatal(err)
@@ -115,6 +118,7 @@ func TestTable2Shape(t *testing.T) {
 }
 
 func TestTable3Shape(t *testing.T) {
+	t.Parallel()
 	rows := Table3()
 	if len(rows) != 3 {
 		t.Fatalf("rows = %d", len(rows))
@@ -136,6 +140,7 @@ func TestTable3Shape(t *testing.T) {
 }
 
 func TestHeadlineShape(t *testing.T) {
+	t.Parallel()
 	h, err := Headline(true)
 	if err != nil {
 		t.Fatal(err)
@@ -170,6 +175,7 @@ func TestHeadlineShape(t *testing.T) {
 }
 
 func TestFigures89Shape(t *testing.T) {
+	t.Parallel()
 	fig8, fig9, err := Figures89(true)
 	if err != nil {
 		t.Fatal(err)
@@ -238,6 +244,7 @@ func TestFigures89Shape(t *testing.T) {
 }
 
 func TestLoadSweepShape(t *testing.T) {
+	t.Parallel()
 	points, err := LoadSweep("mazunat", true)
 	if err != nil {
 		t.Fatal(err)
@@ -274,6 +281,7 @@ func TestLoadSweepShape(t *testing.T) {
 }
 
 func TestAblationsRun(t *testing.T) {
+	t.Parallel()
 	txt, err := Ablations()
 	if err != nil {
 		t.Fatal(err)
@@ -313,6 +321,7 @@ func TestAblationsRun(t *testing.T) {
 }
 
 func TestOffloadingReport(t *testing.T) {
+	t.Parallel()
 	rows, err := Offloading()
 	if err != nil {
 		t.Fatal(err)
@@ -361,6 +370,7 @@ func TestOffloadingReport(t *testing.T) {
 }
 
 func TestEnginePPSArtifactRoundTrip(t *testing.T) {
+	t.Parallel()
 	rep, err := EnginePPS(true)
 	if err != nil {
 		t.Fatal(err)

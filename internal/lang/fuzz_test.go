@@ -1,0 +1,52 @@
+package lang_test
+
+import (
+	"testing"
+
+	"gallium/internal/difftest"
+	"gallium/internal/lang"
+	"gallium/internal/middleboxes"
+)
+
+// FuzzParse hammers the MiniClick front end with mutated source text.
+// The parser must reject garbage with an error, never a panic; and any
+// program the parser accepts must survive lowering the same way (an
+// error is fine, a crash is a bug). Seeds are the shipped middleboxes,
+// a slice of the difftest generator's output, and small fragments chosen
+// to reach the tokenizer's corners.
+func FuzzParse(f *testing.F) {
+	for _, spec := range middleboxes.All() {
+		f.Add(spec.Source)
+	}
+	f.Add(middleboxes.MiniLBSource)
+	for seed := uint64(0); seed < 8; seed++ {
+		f.Add(difftest.GenProgram(seed).Render())
+	}
+	for _, frag := range []string{
+		"",
+		"middlebox m {",
+		"middlebox m { proc process(pkt p) { send(p); } }",
+		"middlebox m { map<u16 -> u32> t(max = 4); proc process(pkt p) { drop(p); } }",
+		"middlebox m { proc process(pkt p) { u8 x = (u8)(p.ip.ttl - 1); if (x > 0) { send(p); } else { drop(p); } } }",
+		"// comment only",
+		"middlebox m { const u32 C = ip(10, 0, 0, 1); global u16 g; proc process(pkt p) { g = p.l4.sport; send(p); } }",
+		"middlebox \x00 { }",
+		"middlebox m { proc process(pkt p) { let r = t.find(p.l4.sport); if (r.ok) { send(p); } } }",
+		"middlebox m { proc process(pkt p) { while (1 < 2) { send(p); } } }",
+		"middlebox m { proc process(pkt p) { p.ip.tos = 0xFFFFFFFFFFFFFFFFFF; send(p); } }",
+	} {
+		f.Add(frag)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		file, err := lang.Parse(src)
+		if err != nil {
+			return // rejected cleanly
+		}
+		if file == nil {
+			t.Fatal("Parse returned nil file and nil error")
+		}
+		// Lowering may reject the program (type errors, unsupported
+		// constructs) but must not crash on anything the parser accepts.
+		_, _ = lang.Compile(src)
+	})
+}

@@ -20,7 +20,17 @@ func Parse(src string) (*File, error) {
 type parser struct {
 	toks []Token
 	i    int
+	// exprDepth / blockDepth guard the recursive-descent routines
+	// against adversarial nesting (a 100k-deep `!!!!…` chain or brace
+	// tower parses fine but costs quadratic lowering time and,
+	// eventually, the goroutine stack). Real programs nest a handful of
+	// levels; the caps are far above anything expressible on a switch.
+	exprDepth  int
+	blockDepth int
 }
+
+// maxNestDepth bounds expression and block nesting.
+const maxNestDepth = 200
 
 func (p *parser) cur() Token  { return p.toks[p.i] }
 func (p *parser) peek() Token { return p.toks[min(p.i+1, len(p.toks)-1)] }
@@ -357,8 +367,14 @@ func (p *parser) procDecl() (*ProcDecl, error) {
 }
 
 func (p *parser) block() (*Block, error) {
+	t := p.cur()
 	if _, err := p.expect(TokLBrace, "'{'"); err != nil {
 		return nil, err
+	}
+	p.blockDepth++
+	defer func() { p.blockDepth-- }()
+	if p.blockDepth > maxNestDepth {
+		return nil, errf(t.Line, t.Col, "blocks nest deeper than %d levels", maxNestDepth)
 	}
 	b := &Block{}
 	for p.cur().Kind != TokRBrace {
@@ -651,7 +667,12 @@ func (p *parser) binExpr(minPrec int) (Expr, error) {
 }
 
 func (p *parser) unaryExpr() (Expr, error) {
+	p.exprDepth++
+	defer func() { p.exprDepth-- }()
 	t := p.cur()
+	if p.exprDepth > maxNestDepth {
+		return nil, errf(t.Line, t.Col, "expressions nest deeper than %d levels", maxNestDepth)
+	}
 	if t.Kind == TokBang {
 		p.next()
 		x, err := p.unaryExpr()

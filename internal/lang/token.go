@@ -14,7 +14,6 @@ package lang
 import (
 	"fmt"
 	"strings"
-	"unicode"
 )
 
 // TokKind identifies token kinds.
@@ -126,7 +125,11 @@ func Lex(src string) ([]Token, error) {
 			for i < n && src[i] != '\n' {
 				advance(1)
 			}
-		case unicode.IsLetter(rune(c)) || c == '_':
+		// Identifier start must use the same byte-level test as the
+		// identifier body: classifying a stray high byte (0x80-0xFF) as a
+		// letter via unicode.IsLetter(rune(c)) would scan a zero-length
+		// identifier and loop without advancing.
+		case c == '_' || c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z':
 			j := i
 			for j < n && (isIdentChar(src[j])) {
 				j++

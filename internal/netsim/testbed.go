@@ -592,6 +592,19 @@ func (tb *Testbed) deliver(tInject int64, t float64, pkt *packet.Packet, fast bo
 // Stats returns the run counters so far.
 func (tb *Testbed) Stats() Stats { return tb.stats }
 
+// ServerState exposes the authoritative middlebox state: the server's in
+// offloaded mode, the software runner's otherwise. Callers must not
+// mutate it while injections are in flight.
+func (tb *Testbed) ServerState() *ir.State {
+	if tb.srv != nil {
+		return tb.srv.State
+	}
+	if tb.sft != nil {
+		return tb.sft.State
+	}
+	return nil
+}
+
 // SwitchStats exposes the switch counters (offloaded mode only).
 func (tb *Testbed) SwitchStats() (switchsim.Stats, bool) {
 	if tb.sw == nil {

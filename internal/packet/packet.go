@@ -181,6 +181,48 @@ type headerFieldInfo struct {
 // headerFields is the table of packet header fields addressable from
 // MiniClick programs and compiled P4 pipelines. The names mirror the field
 // paths in the DSL (`p.ip.saddr` etc.).
+// tcpField/udpField gate an accessor pair on header presence, giving
+// absent headers wire semantics: reads return zero and writes are
+// dropped, exactly what a serialize/parse hop preserves. Without the
+// guard an in-memory write to e.g. tcp.window on a UDP packet would read
+// back locally but silently vanish at the first switch↔server hop,
+// making behavior depend on where the partitioner placed the access.
+func tcpField(get func(*Packet) uint64, set func(*Packet, uint64)) (func(*Packet) uint64, func(*Packet, uint64)) {
+	return func(p *Packet) uint64 {
+			if !p.HasTCP {
+				return 0
+			}
+			return get(p)
+		}, func(p *Packet, v uint64) {
+			if p.HasTCP {
+				set(p, v)
+			}
+		}
+}
+
+func udpField(get func(*Packet) uint64, set func(*Packet, uint64)) (func(*Packet) uint64, func(*Packet, uint64)) {
+	return func(p *Packet) uint64 {
+			if !p.HasUDP {
+				return 0
+			}
+			return get(p)
+		}, func(p *Packet, v uint64) {
+			if p.HasUDP {
+				set(p, v)
+			}
+		}
+}
+
+func guardedTCP(bits int, get func(*Packet) uint64, set func(*Packet, uint64)) headerFieldInfo {
+	g, s := tcpField(get, set)
+	return headerFieldInfo{bits, g, s}
+}
+
+func guardedUDP(bits int, get func(*Packet) uint64, set func(*Packet, uint64)) headerFieldInfo {
+	g, s := udpField(get, set)
+	return headerFieldInfo{bits, g, s}
+}
+
 var headerFields = map[string]headerFieldInfo{
 	"ip.saddr":   {32, func(p *Packet) uint64 { return uint64(p.IP.SrcIP) }, func(p *Packet, v uint64) { p.IP.SrcIP = IPv4Addr(v) }},
 	"ip.daddr":   {32, func(p *Packet) uint64 { return uint64(p.IP.DstIP) }, func(p *Packet, v uint64) { p.IP.DstIP = IPv4Addr(v) }},
@@ -189,44 +231,52 @@ var headerFields = map[string]headerFieldInfo{
 	"ip.tos":     {8, func(p *Packet) uint64 { return uint64(p.IP.TOS) }, func(p *Packet, v uint64) { p.IP.TOS = uint8(v) }},
 	"ip.len":     {16, func(p *Packet) uint64 { return uint64(p.IP.Length) }, func(p *Packet, v uint64) { p.IP.Length = uint16(v) }},
 	"ip.id":      {16, func(p *Packet) uint64 { return uint64(p.IP.ID) }, func(p *Packet, v uint64) { p.IP.ID = uint16(v) }},
-	"tcp.sport":  {16, func(p *Packet) uint64 { return uint64(p.TCP.SrcPort) }, func(p *Packet, v uint64) { p.TCP.SrcPort = uint16(v) }},
-	"tcp.dport":  {16, func(p *Packet) uint64 { return uint64(p.TCP.DstPort) }, func(p *Packet, v uint64) { p.TCP.DstPort = uint16(v) }},
-	"tcp.seq":    {32, func(p *Packet) uint64 { return uint64(p.TCP.Seq) }, func(p *Packet, v uint64) { p.TCP.Seq = uint32(v) }},
-	"tcp.ack":    {32, func(p *Packet) uint64 { return uint64(p.TCP.Ack) }, func(p *Packet, v uint64) { p.TCP.Ack = uint32(v) }},
-	"tcp.flags":  {8, func(p *Packet) uint64 { return uint64(p.TCP.Flags) }, func(p *Packet, v uint64) { p.TCP.Flags = uint8(v) }},
-	"tcp.window": {16, func(p *Packet) uint64 { return uint64(p.TCP.Window) }, func(p *Packet, v uint64) { p.TCP.Window = uint16(v) }},
-	"udp.sport":  {16, func(p *Packet) uint64 { return uint64(p.UDP.SrcPort) }, func(p *Packet, v uint64) { p.UDP.SrcPort = uint16(v) }},
-	"udp.dport":  {16, func(p *Packet) uint64 { return uint64(p.UDP.DstPort) }, func(p *Packet, v uint64) { p.UDP.DstPort = uint16(v) }},
-	"udp.len":    {16, func(p *Packet) uint64 { return uint64(p.UDP.Length) }, func(p *Packet, v uint64) { p.UDP.Length = uint16(v) }},
+	"tcp.sport":  guardedTCP(16, func(p *Packet) uint64 { return uint64(p.TCP.SrcPort) }, func(p *Packet, v uint64) { p.TCP.SrcPort = uint16(v) }),
+	"tcp.dport":  guardedTCP(16, func(p *Packet) uint64 { return uint64(p.TCP.DstPort) }, func(p *Packet, v uint64) { p.TCP.DstPort = uint16(v) }),
+	"tcp.seq":    guardedTCP(32, func(p *Packet) uint64 { return uint64(p.TCP.Seq) }, func(p *Packet, v uint64) { p.TCP.Seq = uint32(v) }),
+	"tcp.ack":    guardedTCP(32, func(p *Packet) uint64 { return uint64(p.TCP.Ack) }, func(p *Packet, v uint64) { p.TCP.Ack = uint32(v) }),
+	"tcp.flags":  guardedTCP(8, func(p *Packet) uint64 { return uint64(p.TCP.Flags) }, func(p *Packet, v uint64) { p.TCP.Flags = uint8(v) }),
+	"tcp.window": guardedTCP(16, func(p *Packet) uint64 { return uint64(p.TCP.Window) }, func(p *Packet, v uint64) { p.TCP.Window = uint16(v) }),
+	"udp.sport":  guardedUDP(16, func(p *Packet) uint64 { return uint64(p.UDP.SrcPort) }, func(p *Packet, v uint64) { p.UDP.SrcPort = uint16(v) }),
+	"udp.dport":  guardedUDP(16, func(p *Packet) uint64 { return uint64(p.UDP.DstPort) }, func(p *Packet, v uint64) { p.UDP.DstPort = uint16(v) }),
+	"udp.len":    guardedUDP(16, func(p *Packet) uint64 { return uint64(p.UDP.Length) }, func(p *Packet, v uint64) { p.UDP.Length = uint16(v) }),
 
 	// Unified transport ports: in P4 these are common metadata fields the
 	// parser fills from whichever L4 header is present, letting middlebox
 	// code treat TCP and UDP five-tuples uniformly.
 	"l4.sport": {16,
 		func(p *Packet) uint64 {
-			if p.HasUDP {
+			switch {
+			case p.HasUDP:
 				return uint64(p.UDP.SrcPort)
+			case p.HasTCP:
+				return uint64(p.TCP.SrcPort)
 			}
-			return uint64(p.TCP.SrcPort)
+			return 0
 		},
 		func(p *Packet, v uint64) {
-			if p.HasUDP {
+			switch {
+			case p.HasUDP:
 				p.UDP.SrcPort = uint16(v)
-			} else {
+			case p.HasTCP:
 				p.TCP.SrcPort = uint16(v)
 			}
 		}},
 	"l4.dport": {16,
 		func(p *Packet) uint64 {
-			if p.HasUDP {
+			switch {
+			case p.HasUDP:
 				return uint64(p.UDP.DstPort)
+			case p.HasTCP:
+				return uint64(p.TCP.DstPort)
 			}
-			return uint64(p.TCP.DstPort)
+			return 0
 		},
 		func(p *Packet, v uint64) {
-			if p.HasUDP {
+			switch {
+			case p.HasUDP:
 				p.UDP.DstPort = uint16(v)
-			} else {
+			case p.HasTCP:
 				p.TCP.DstPort = uint16(v)
 			}
 		}},

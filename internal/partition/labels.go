@@ -131,6 +131,30 @@ func applyRulesFixpoint(g *deps.Graph, labels []LabelSet, c Constraints) {
 		}
 	}
 
+	// Rule 8 (same-packet read-after-write): a map or vector read that may
+	// execute after a write to the same object must not run on the
+	// switch's post pass. Server-side writes reach the replicated table
+	// only through the asynchronous §4.3.3 write-back, so a post-pass read
+	// would observe the pre-write entry for the very packet that performed
+	// the write. Reads that *precede* the write keep their labels: a
+	// pre-pass read matches sequential order, and the anti-dependence edge
+	// already strips post via rule 1. (Rule 7 handles written scalars,
+	// which lose pre as well.)
+	for _, w := range stmts {
+		if w.Kind != ir.MapInsert && w.Kind != ir.MapRemove {
+			continue
+		}
+		gname := deps.GlobalAccessed(w)
+		for _, r := range stmts {
+			switch r.Kind {
+			case ir.MapFind, ir.VecGet, ir.VecLen, ir.LpmFind:
+				if deps.GlobalAccessed(r) == gname && g.CanHappenAfter(w.ID, r.ID) {
+					labels[r.ID] &^= LPost
+				}
+			}
+		}
+	}
+
 	for changed := true; changed; {
 		changed = false
 		for sp := 0; sp < g.N; sp++ {

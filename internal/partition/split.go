@@ -172,8 +172,11 @@ func computeSplit(p *ir.Program, g *deps.Graph, assignv []ID, cons Constraints) 
 		rematRegs[part] = append(rematRegs[part], r)
 	}
 
+	// Iterate the liveness sets in register order: the order determines
+	// the rematerialization prologues, and with it the emitted P4/server
+	// text — codegen must be deterministic for a given input.
 	inPost := map[ir.Reg]bool{}
-	for r := range postUses {
+	for _, r := range sortedRegs(postUses) {
 		if !definedIn(r, Pre, NonOff) {
 			continue
 		}
@@ -184,7 +187,7 @@ func computeSplit(p *ir.Program, g *deps.Graph, assignv []ID, cons Constraints) 
 		}
 	}
 	inSrv := map[ir.Reg]bool{}
-	for r := range srvUses {
+	for _, r := range sortedRegs(srvUses) {
 		if !definedIn(r, Pre) {
 			continue
 		}
@@ -194,7 +197,7 @@ func computeSplit(p *ir.Program, g *deps.Graph, assignv []ID, cons Constraints) 
 			inSrv[r] = true
 		}
 	}
-	for r := range inPost {
+	for _, r := range sortedRegs(inPost) {
 		if !definedIn(r, Pre) || inSrv[r] {
 			continue
 		}
@@ -296,12 +299,17 @@ func rematContains(regs []ir.Reg, r ir.Reg) bool {
 
 // transferVars orders a register set deterministically and names the
 // resulting header fields.
-func transferVars(fn *ir.Function, set map[ir.Reg]bool) []TransferVar {
+func sortedRegs(set map[ir.Reg]bool) []ir.Reg {
 	regs := make([]ir.Reg, 0, len(set))
 	for r := range set {
 		regs = append(regs, r)
 	}
 	sort.Slice(regs, func(i, j int) bool { return regs[i] < regs[j] })
+	return regs
+}
+
+func transferVars(fn *ir.Function, set map[ir.Reg]bool) []TransferVar {
+	regs := sortedRegs(set)
 	vars := make([]TransferVar, len(regs))
 	for i, r := range regs {
 		vars[i] = TransferVar{

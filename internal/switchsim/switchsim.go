@@ -774,6 +774,11 @@ func (sw *Switch) StageWriteback(u Update) error {
 		}
 	}
 	t.WB[u.Key] = append([]uint64(nil), u.Vals...)
+	// Last writer wins within a write-back window: a staged insert
+	// supersedes an earlier staged deletion of the same key, keeping
+	// deleted and WB mutually exclusive so the overlay read path and the
+	// merge agree regardless of application order.
+	delete(t.deleted, u.Key)
 	return nil
 }
 

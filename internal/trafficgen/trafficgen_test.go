@@ -180,6 +180,9 @@ func TestIperfGenerateDeterministicWithSeed(t *testing.T) {
 // generator and hash make this deterministic, so a failure means the
 // hash, not bad luck.
 func TestIperfShardDistributionUniform(t *testing.T) {
+	if testing.Short() {
+		t.Skip("statistical sweep; runs in full mode and CI")
+	}
 	const nFlows, shards = 512, 8
 	srcs := make([]packet.IPv4Addr, nFlows)
 	for i := range srcs {

@@ -28,7 +28,8 @@ type RunOption func(*runConfig)
 
 type runConfig struct {
 	engine.Config
-	scenario bool
+	scenario    bool
+	shardStates func(shard int, st *ir.State)
 }
 
 // WithWorkers sets the number of concurrent server shards (default 1).
@@ -61,6 +62,14 @@ func WithScenario() RunOption {
 // Mutually exclusive with WithScenario, which wins if both are given.
 func WithSetup(fn func(shard int, st *ir.State)) RunOption {
 	return func(c *runConfig) { c.Setup = fn }
+}
+
+// WithShardStates registers a callback invoked once per shard after the
+// run settles, exposing each shard's final authoritative middlebox state.
+// Differential tests use it to compare the sharded outcome against a
+// sequential oracle; the states must not be retained past the callback.
+func WithShardStates(fn func(shard int, st *ir.State)) RunOption {
+	return func(c *runConfig) { c.shardStates = fn }
 }
 
 // WithCostModel overrides the virtual-time cost model.
@@ -117,7 +126,13 @@ func (a *Artifacts) Run(ctx context.Context, wl Workload, opts ...RunOption) (*R
 	if err != nil {
 		return nil, err
 	}
-	return eng.Run(ctx, wl)
+	rep, err := eng.Run(ctx, wl)
+	if err == nil && cfg.shardStates != nil {
+		for shard, st := range eng.ShardStates() {
+			cfg.shardStates(shard, st)
+		}
+	}
+	return rep, err
 }
 
 // shardScenarioSetup is ScenarioSetup's shard-aware counterpart: identical
