@@ -21,7 +21,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: table1, offloading, fig7, table2, table3, fig8, fig9, headline, loadsweep, ablation, pps, all")
+	exp := flag.String("exp", "all", "experiment: table1, offloading, fig7, table2, table3, fig8, fig9, headline, loadsweep, ablation, reconfig, pps, all")
 	quick := flag.Bool("quick", false, "shrink simulated durations and flow counts")
 	ppsOut := flag.String("ppsout", "BENCH_pps.json", "where -exp pps writes the throughput artifact")
 	checkPPS := flag.String("checkpps", "", "validate an existing BENCH_pps.json artifact and exit")
@@ -165,9 +165,23 @@ func run(exp string, quick bool, ppsOut string) error {
 		fmt.Println(eval.FormatHeadline(h))
 		ran = true
 	}
+	if want("reconfig") {
+		rows, err := eval.ReconfigEval(quick)
+		if err != nil {
+			return err
+		}
+		fmt.Println(eval.FormatReconfig(rows))
+		for _, r := range rows {
+			if !r.Accounted() {
+				return fmt.Errorf("reconfig: %s lost packets (injected %d != delivered %d + drops %d)",
+					r.Middlebox, r.Injected, r.Delivered, r.MBDrops+r.QueueDrops)
+			}
+		}
+		ran = true
+	}
 	if !ran {
 		return fmt.Errorf("unknown experiment %q (want %s)", exp,
-			strings.Join([]string{"table1", "offloading", "fig7", "table2", "table3", "fig8", "fig9", "headline", "loadsweep", "ablation", "pps", "all"}, ", "))
+			strings.Join([]string{"table1", "offloading", "fig7", "table2", "table3", "fig8", "fig9", "headline", "loadsweep", "ablation", "reconfig", "pps", "all"}, ", "))
 	}
 	return nil
 }

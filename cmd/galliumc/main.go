@@ -7,6 +7,7 @@
 // Usage:
 //
 //	galliumc [-o outdir] [-print pre|srv|post|p4|server|report|deps|all] <file.mc | builtin-name>
+//	galliumc firewall mazunat l4lb        # chained-pipeline report
 package main
 
 import (
@@ -46,7 +47,7 @@ func main() {
 	if *fuzzN > 0 {
 		os.Exit(runFuzz(*fuzzN, *fuzzSeed, *fuzzTime, *fuzzOut))
 	}
-	if flag.NArg() != 1 {
+	if flag.NArg() < 1 {
 		flag.Usage()
 		os.Exit(2)
 	}
@@ -73,10 +74,76 @@ func main() {
 			opts.SwitchMemoryBytes = gallium.Int(*memory)
 		}
 	})
-	if err := run(flag.Arg(0), *outDir, *show, opts, *werror); err != nil {
+	var err error
+	if flag.NArg() > 1 {
+		err = runChain(flag.Args(), *outDir, *show, opts, *werror)
+	} else {
+		err = run(flag.Arg(0), *outDir, *show, opts, *werror)
+	}
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "galliumc:", err)
 		os.Exit(1)
 	}
+}
+
+// runChain compiles several middleboxes as one deployment pipeline:
+// per-stage reports plus the combined resource footprint the chained
+// switch program would occupy. Only -print report (and -o, which writes
+// each stage's artifacts) make sense for a chain.
+func runChain(targets []string, outDir, show string, opts gallium.Options, werror bool) error {
+	if show != "report" {
+		return fmt.Errorf("-print %s prints one program; chains support only -print report", show)
+	}
+	var arts []*gallium.Artifacts
+	for _, target := range targets {
+		art, err := gallium.CompileTarget(target, opts)
+		if err != nil {
+			return err
+		}
+		if len(art.Diagnostics) > 0 {
+			fmt.Fprint(os.Stderr, art.Diagnostics.Render(art.Name))
+			if n := art.Diagnostics.CountAtLeast(analysis.Warning); werror && n > 0 {
+				return fmt.Errorf("%s: -Werror: %d warning(s)", art.Name, n)
+			}
+		}
+		arts = append(arts, art)
+	}
+	if _, err := gallium.Chain(arts...); err != nil {
+		return err
+	}
+	var memory, depth, stmts, offloaded int
+	fmt.Printf("pipeline: %d stages\n", len(arts))
+	for i, art := range arts {
+		r := art.Res.Report
+		fmt.Printf("[stage %d] %s", i, report(art))
+		memory += r.SwitchMemoryBytes
+		depth += r.DepthPre + r.DepthPost
+		stmts += r.NumStmts
+		offloaded += r.NumPre + r.NumPost
+	}
+	fmt.Printf("combined: %d statements (%d offloaded), %d bytes switch memory, %d pipeline stages deep\n",
+		stmts, offloaded, memory, depth)
+	if outDir != "" {
+		if err := os.MkdirAll(outDir, 0o755); err != nil {
+			return err
+		}
+		n := 0
+		for _, art := range arts {
+			files := map[string]string{
+				art.Name + ".p4":         art.P4.Source,
+				art.Name + "_server.cpp": art.Server.Source,
+				art.Name + "_report.txt": report(art),
+			}
+			for name, content := range files {
+				if err := os.WriteFile(filepath.Join(outDir, name), []byte(content), 0o644); err != nil {
+					return err
+				}
+				n++
+			}
+		}
+		fmt.Printf("wrote %d artifacts to %s\n", n, outDir)
+	}
+	return nil
 }
 
 func validPrint(show string) bool {

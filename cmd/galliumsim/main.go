@@ -1,21 +1,32 @@
-// Command galliumsim runs one middlebox through the simulator — traffic
-// generators, programmable switch, middlebox server — and prints
-// throughput, latency, and path statistics. It is the interactive
-// counterpart of the benchmark harness: one scenario, visible numbers.
+// Command galliumsim runs one middlebox — or a chain of them — through
+// the simulator: traffic generators, programmable switch, middlebox
+// server. It prints throughput, latency, and path statistics, and can
+// stay resident as a live deployment whose control plane galliumctl
+// reconfigures over a unix socket.
 //
 // Traffic streams through the concurrent sharded engine (Artifacts.Run):
 // -workers picks the shard count, and the report includes wall-clock
-// throughput alongside the virtual-time numbers. With -metrics it dumps
-// the full observability snapshot (per-table hit/miss counters, server
-// cache statistics, latency histograms) as JSON; with -trace N it prints
-// the first N packets' hop traces, which switches to the sequential
-// testbed (hop ordering is only meaningful packet-at-a-time).
+// throughput alongside the virtual-time numbers. -mb takes a comma-
+// separated chain (firewall,mazunat,l4lb) sharing one engine pass. With
+// -metrics it dumps the full observability snapshot (per-table hit/miss
+// counters, server cache statistics, latency histograms) as JSON; with
+// -trace N it prints the first N packets' hop traces, which switches to
+// the sequential testbed (hop ordering is only meaningful
+// packet-at-a-time).
+//
+// With -serve PATH the simulator keeps generating traffic segment after
+// segment until interrupted, answering the galliumctl JSON protocol on
+// the unix socket at PATH: live stats, firewall rule swaps, LB pool
+// changes with draining, NAT port repartitioning — each applied to the
+// running engine as one atomic visibility flip.
 //
 // Usage:
 //
-//	galliumsim [-mb mazunat] [-mode offloaded|software] [-workers 4]
+//	galliumsim [-mb mazunat | -mb firewall,mazunat,l4lb]
+//	           [-mode offloaded|software] [-workers 4]
 //	           [-size 500] [-pps 4e6] [-ms 10]
 //	           [-metrics out.json] [-trace 5]
+//	           [-serve /tmp/gallium.sock]
 package main
 
 import (
@@ -23,9 +34,11 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"sort"
 	"strings"
 	"sync"
+	"syscall"
 
 	"gallium"
 	"gallium/internal/obs"
@@ -34,18 +47,19 @@ import (
 )
 
 func main() {
-	mb := flag.String("mb", "mazunat", "middlebox: mazunat, l4lb, firewall, proxy, trojandetector, minilb, ipgateway, ddosdetector")
+	mb := flag.String("mb", "mazunat", "middlebox, or a comma-separated chain: mazunat, l4lb, firewall, proxy, trojandetector, minilb, ipgateway, ddosdetector")
 	mode := flag.String("mode", "offloaded", "deployment: offloaded or software")
 	workers := flag.Int("workers", 1, "concurrent server shards (engine workers)")
 	size := flag.Int("size", 500, "packet size in bytes")
 	pps := flag.Float64("pps", 4e6, "offered aggregate packet rate")
-	ms := flag.Int("ms", 10, "simulated duration in milliseconds")
+	ms := flag.Int("ms", 10, "simulated duration in milliseconds (per segment with -serve)")
 	cache := flag.String("cache", "", "run a table as a §7 switch cache, e.g. -cache conn=512")
 	pcap := flag.String("pcap", "", "write delivered packets to this pcap file")
 	metrics := flag.String("metrics", "", "write the observability snapshot as JSON to this file")
 	trace := flag.Int("trace", 0, "print hop-by-hop traces for the first N packets (sequential testbed)")
+	serve := flag.String("serve", "", "stay resident and answer the galliumctl protocol on this unix socket")
 	flag.Parse()
-	if err := run(*mb, *mode, *workers, *size, *pps, *ms, *cache, *pcap, *metrics, *trace); err != nil {
+	if err := run(*mb, *mode, *workers, *size, *pps, *ms, *cache, *pcap, *metrics, *trace, *serve); err != nil {
 		fmt.Fprintln(os.Stderr, "galliumsim:", err)
 		os.Exit(1)
 	}
@@ -66,14 +80,19 @@ func parseCache(cache string) (map[string]int, error) {
 	return map[string]int{parts[0]: entries}, nil
 }
 
-func run(name, modeStr string, workers, size int, pps float64, ms int, cache, pcapPath, metricsPath string, traceN int) error {
+func run(mbList, modeStr string, workers, size int, pps float64, ms int, cache, pcapPath, metricsPath string, traceN int, servePath string) error {
 	caches, err := parseCache(cache)
 	if err != nil {
 		return err
 	}
-	art, err := gallium.CompileBuiltin(name, gallium.Options{CacheEntries: caches})
-	if err != nil {
-		return err
+	names := strings.Split(mbList, ",")
+	arts := make([]*gallium.Artifacts, 0, len(names))
+	for _, name := range names {
+		art, err := gallium.CompileBuiltin(strings.TrimSpace(name), gallium.Options{CacheEntries: caches})
+		if err != nil {
+			return err
+		}
+		arts = append(arts, art)
 	}
 	mode, err := gallium.ParseMode(modeStr)
 	if err != nil {
@@ -92,9 +111,20 @@ func run(name, modeStr string, workers, size int, pps float64, ms int, cache, pc
 	}
 
 	if traceN > 0 {
+		if len(arts) > 1 {
+			return fmt.Errorf("-trace replays on the sequential testbed, which runs a single middlebox (got a %d-stage chain)", len(arts))
+		}
 		// Hop traces interleave meaninglessly under concurrency: replay
 		// the workload on the sequential testbed instead.
-		return runTestbed(art, gen, name, modeStr, mode, size, pps, ms, pcapPath, metricsPath, reg, traceN)
+		return runTestbed(arts[0], gen, names[0], modeStr, mode, size, pps, ms, pcapPath, metricsPath, reg, traceN)
+	}
+
+	chain, err := gallium.Chain(arts...)
+	if err != nil {
+		return err
+	}
+	if servePath != "" {
+		return runServe(chain, gen, mbList, modeStr, mode, workers, servePath, reg, metricsPath)
 	}
 
 	type delivered struct {
@@ -104,7 +134,7 @@ func run(name, modeStr string, workers, size int, pps float64, ms int, cache, pc
 	}
 	var mu sync.Mutex
 	var outs []delivered
-	rep, err := art.Run(context.Background(), gen,
+	rep, err := chain.Run(context.Background(), gen,
 		gallium.WithMode(mode),
 		gallium.WithWorkers(workers),
 		gallium.WithScenario(),
@@ -140,7 +170,7 @@ func run(name, modeStr string, workers, size int, pps float64, ms int, cache, pc
 
 	st := rep.Stats
 	fmt.Printf("middlebox %s, %s mode, %d worker(s), %dB packets, %.1f Mpps offered, %d ms\n",
-		name, modeStr, rep.Workers, size, pps/1e6, ms)
+		mbList, modeStr, rep.Workers, size, pps/1e6, ms)
 	fmt.Printf("  injected %d  delivered %d  mb-drops %d  queue-drops %d\n",
 		st.Injected, st.Delivered, st.MBDrops, st.QueueDrops)
 	fmt.Printf("  throughput: %.2f Gbps virtual, %.2f Mpps wall-clock (%.1f ms wall)\n",
@@ -164,13 +194,81 @@ func run(name, modeStr string, workers, size int, pps float64, ms int, cache, pc
 		fmt.Printf("  fast path: %d (%.2f%%)  slow path: %d\n",
 			st.FastPath, 100*float64(st.FastPath)/float64(st.Injected), st.SlowPath)
 		fmt.Printf("  control plane: %d ops in %d batches\n", st.CtlOps, st.CtlBatches)
-		if rep.Switch != nil {
-			fmt.Printf("  switch tables: %v\n", rep.Switch.TableEntries)
+		for i, sws := range rep.SwitchStages {
+			label := ""
+			if len(rep.SwitchStages) > 1 {
+				label = fmt.Sprintf(" [%s]", names[i])
+			}
+			fmt.Printf("  switch tables%s: %v\n", label, sws.TableEntries)
 		}
 	}
 	fmt.Printf("  server cycles: %.0f (%.1f cycles/pkt over slow-path packets)\n",
 		st.ServerCycles, st.ServerCycles/maxf(1, float64(st.SlowPath)))
 
+	return writeMetrics(reg, metricsPath, 0)
+}
+
+// runServe keeps the deployment live: segment after segment of generated
+// traffic flows through one Session while the control server answers
+// galliumctl on the unix socket. Interrupt (SIGINT/SIGTERM) drains and
+// prints the final report.
+func runServe(chain *gallium.Pipeline, gen trafficgen.IperfConfig, mbList, modeStr string,
+	mode gallium.Mode, workers int, servePath string, reg *obs.Registry, metricsPath string) error {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	s, err := chain.Open(
+		gallium.WithMode(mode),
+		gallium.WithWorkers(workers),
+		gallium.WithScenario(),
+		gallium.WithFlows(gen.Tuples()),
+		gallium.WithMetrics(reg),
+	)
+	if err != nil {
+		return err
+	}
+	srv, err := s.Serve(servePath)
+	if err != nil {
+		_, _ = s.Close()
+		return err
+	}
+	fmt.Printf("galliumsim: serving %s (%s mode, %d worker(s)) on %s\n",
+		mbList, modeStr, workers, servePath)
+	fmt.Printf("galliumsim: feeding %.1f Mpps in %d ms segments until interrupted\n",
+		gen.PPS/1e6, gen.DurationNs/1_000_000)
+
+	var offset int64
+	segments := 0
+	for ctx.Err() == nil {
+		if err := s.Feed(trafficgen.Shifted{WL: gen, OffsetNs: offset}); err != nil {
+			if ctx.Err() != nil {
+				break
+			}
+			_ = srv.Close()
+			_, _ = s.Close()
+			return err
+		}
+		offset += gen.DurationNs
+		segments++
+	}
+
+	fmt.Printf("galliumsim: interrupted after %d segment(s), draining\n", segments)
+	if err := srv.Close(); err != nil {
+		return err
+	}
+	rep, err := s.Close()
+	if err != nil {
+		return err
+	}
+	st := rep.Stats
+	fmt.Printf("  injected %d  delivered %d  mb-drops %d  queue-drops %d  reconfigs %d\n",
+		st.Injected, st.Delivered, st.MBDrops, st.QueueDrops, rep.Reconfigs)
+	fmt.Printf("  throughput: %.2f Gbps virtual, %.2f Mpps wall-clock\n",
+		st.ThroughputBps()/1e9, rep.PPS/1e6)
+	if mode == gallium.Offloaded {
+		fmt.Printf("  fast path: %d  slow path: %d  control plane: %d ops in %d batches\n",
+			st.FastPath, st.SlowPath, st.CtlOps, st.CtlBatches)
+	}
 	return writeMetrics(reg, metricsPath, 0)
 }
 

@@ -9,6 +9,14 @@
 //
 //	art, err := gallium.Compile(src, gallium.Options{})
 //	tb, err := art.NewTestbed(gallium.TestbedConfig{Mode: gallium.Offloaded})
+//
+// Compiled artifacts run three ways, from lowest-level to highest:
+// NewTestbed for the sequential virtual-time simulator (Inject,
+// Reconfigure — the differential-test oracle), Run for a one-shot batch
+// through the concurrent engine, and Open for a long-lived Session with
+// live reconfiguration (Feed, Reconfigure, Stats, Serve). Chain composes
+// several compiled middleboxes into one pipeline served by a single
+// engine pass.
 package gallium
 
 import (

@@ -1,0 +1,333 @@
+package ctlplane_test
+
+import (
+	"encoding/json"
+	"fmt"
+	"net"
+	"strings"
+	"sync"
+	"testing"
+
+	gallium "gallium"
+	"gallium/internal/ctlplane"
+	"gallium/internal/ir"
+	"gallium/internal/packet"
+	"gallium/internal/serverrt"
+)
+
+// targetFor compiles a builtin middlebox into a control-plane target.
+func targetFor(t *testing.T, name string) ctlplane.Target {
+	t.Helper()
+	art, err := gallium.CompileBuiltin(name, gallium.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ctlplane.Target{Name: art.Name, Res: art.Res, Prog: art.Prog}
+}
+
+// freshState builds an initialized server shard state for the target.
+func freshState(t *testing.T, tg ctlplane.Target) *ir.State {
+	t.Helper()
+	return serverrt.New(tg.Res).State
+}
+
+func tuple(a, b, c, d byte, sport, dport uint16) packet.FiveTuple {
+	return packet.FiveTuple{
+		SrcIP: packet.MakeIPv4Addr(a, b, c, d), DstIP: packet.MakeIPv4Addr(198, 51, 100, 7),
+		SrcPort: sport, DstPort: dport, Proto: packet.IPProtocolTCP,
+	}
+}
+
+// TestCompileValidation: every typed op rejects a target whose compiled
+// program lacks the state the op manipulates, with an error naming the
+// mismatch.
+func TestCompileValidation(t *testing.T) {
+	firewall := targetFor(t, "firewall")
+	l4lb := targetFor(t, "l4lb")
+	mazunat := targetFor(t, "mazunat")
+	cases := []struct {
+		name    string
+		op      ctlplane.Op
+		tg      ctlplane.Target
+		wantErr string
+	}{
+		{"swap-on-lb", ctlplane.FirewallRuleSwap{}, l4lb, "not a whitelist firewall"},
+		{"pool-on-firewall", ctlplane.LBPoolChange{Backends: []ctlplane.Backend{{Addr: 1, Weight: 1}}}, firewall, "not a load balancer"},
+		{"pool-negative-weight", ctlplane.LBPoolChange{Backends: []ctlplane.Backend{{Addr: 1, Weight: -1}}}, l4lb, "negative weight"},
+		{"pool-empty", ctlplane.LBPoolChange{}, l4lb, "no backend with positive weight"},
+		{"pool-all-zero-weights", ctlplane.LBPoolChange{Backends: []ctlplane.Backend{{Addr: 1, Weight: 0}}}, l4lb, "no backend with positive weight"},
+		{"repartition-on-firewall", ctlplane.NATRepartition{}, firewall, "not a NAT"},
+		{"repartition-base-count", ctlplane.NATRepartition{Bases: []uint16{0, 100}}, mazunat, "2 port bases for 4 shards"},
+		{"replace-unknown-table", ctlplane.TableReplace{Table: "no_such"}, firewall, `no map "no_such"`},
+		{"replace-bad-arity", ctlplane.TableReplace{
+			Table:   "wl_out",
+			Entries: map[ir.MapKey][]uint64{ir.MakeMapKey(1, 2): {1}},
+		}, firewall, "key arity"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := ctlplane.Compile(tc.op, []ctlplane.Target{tc.tg}, 4)
+			if err == nil {
+				t.Fatalf("Compile accepted %s", tc.name)
+			}
+			if !strings.Contains(err.Error(), tc.wantErr) {
+				t.Errorf("error %q does not contain %q", err, tc.wantErr)
+			}
+		})
+	}
+}
+
+// TestCompileStageRange: out-of-range stage addressing fails before op
+// validation runs.
+func TestCompileStageRange(t *testing.T) {
+	fw := targetFor(t, "firewall")
+	for _, stage := range []int{-1, 1, 7} {
+		_, err := ctlplane.Compile(ctlplane.FirewallRuleSwap{At: stage}, []ctlplane.Target{fw}, 1)
+		if err == nil || !strings.Contains(err.Error(), "out of range") {
+			t.Errorf("stage %d: got %v, want out-of-range error", stage, err)
+		}
+	}
+}
+
+// TestFirewallSwapLowering: rules split by direction, both tables replaced
+// in the switch updates, and the mutation installs fresh map copies on
+// every shard.
+func TestFirewallSwapLowering(t *testing.T) {
+	fw := targetFor(t, "firewall")
+	out := tuple(10, 0, 0, 1, 1000, 80)     // 10/8 source: outbound
+	in := tuple(203, 0, 113, 50, 443, 1000) // external source: inbound
+	r, err := ctlplane.Compile(ctlplane.FirewallRuleSwap{Rules: []packet.FiveTuple{out, in}}, []ctlplane.Target{fw}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	replaced := map[string]int{}
+	for _, u := range r.Updates {
+		if !u.Replace {
+			t.Errorf("update for %q is not a whole-table replace", u.Table)
+		}
+		replaced[u.Table] = len(u.Entries)
+	}
+	if replaced["wl_out"] != 1 || replaced["wl_in"] != 1 {
+		t.Errorf("switch updates = %v, want one rule in each direction table", replaced)
+	}
+	// The mutation rewrites every shard's maps with independent copies.
+	st0, st1 := freshState(t, fw), freshState(t, fw)
+	r.Mutate(0, st0)
+	r.Mutate(1, st1)
+	if len(st0.Maps["wl_out"]) != 1 || len(st0.Maps["wl_in"]) != 1 {
+		t.Fatalf("shard 0 maps after swap: out=%d in=%d", len(st0.Maps["wl_out"]), len(st0.Maps["wl_in"]))
+	}
+	for k := range st0.Maps["wl_out"] {
+		st0.Maps["wl_out"][k] = []uint64{99}
+	}
+	for _, v := range st1.Maps["wl_out"] {
+		if v[0] == 99 {
+			t.Error("shards share whitelist storage; mutation must install fresh copies")
+		}
+	}
+}
+
+// TestLBPoolLoweringWeights: weights expand into the vector by
+// repetition, and purge semantics follow Drain.
+func TestLBPoolLoweringWeights(t *testing.T) {
+	lb := targetFor(t, "l4lb")
+	op := ctlplane.LBPoolChange{
+		Backends: []ctlplane.Backend{{Addr: 7, Weight: 2}, {Addr: 9, Weight: 1}},
+	}
+	r, err := ctlplane.Compile(op, []ctlplane.Target{lb}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Updates) != 1 || r.Updates[0].Vec != "backends" {
+		t.Fatalf("updates = %+v, want one backends vector flip", r.Updates)
+	}
+	want := []uint64{7, 7, 9}
+	if got := r.Updates[0].VecVals; len(got) != 3 || got[0] != 7 || got[1] != 7 || got[2] != 9 {
+		t.Errorf("weighted vector = %v, want %v", got, want)
+	}
+	// Without drain, connections pinned to absent backends are purged.
+	st := freshState(t, lb)
+	gone := ir.MakeMapKey(1, 2, 3, 4, 6)
+	kept := ir.MakeMapKey(5, 6, 7, 8, 6)
+	st.Maps["conns"] = map[ir.MapKey][]uint64{gone: {42}, kept: {7}}
+	r.Mutate(0, st)
+	if _, ok := st.Maps["conns"][gone]; ok {
+		t.Error("connection on removed backend survived a non-draining pool change")
+	}
+	if _, ok := st.Maps["conns"][kept]; !ok {
+		t.Error("connection on kept backend was purged")
+	}
+
+	// With drain, both survive.
+	op.Drain = true
+	r, err = ctlplane.Compile(op, []ctlplane.Target{lb}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st = freshState(t, lb)
+	st.Maps["conns"] = map[ir.MapKey][]uint64{gone: {42}, kept: {7}}
+	r.Mutate(0, st)
+	if len(st.Maps["conns"]) != 2 {
+		t.Errorf("draining change left %d connections, want 2", len(st.Maps["conns"]))
+	}
+}
+
+// TestNATRepartitionEvenSplit: nil Bases means an even split of the
+// 16-bit port space across shards.
+func TestNATRepartitionEvenSplit(t *testing.T) {
+	nat := targetFor(t, "mazunat")
+	const workers = 4
+	r, err := ctlplane.Compile(ctlplane.NATRepartition{}, []ctlplane.Target{nat}, workers)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Updates) != 0 {
+		t.Errorf("repartition emitted switch updates %v; the allocator is server-only", r.Updates)
+	}
+	for shard := 0; shard < workers; shard++ {
+		st := freshState(t, nat)
+		r.Mutate(shard, st)
+		if got, want := st.Globals["next_port"], uint64(shard*16384); got != want {
+			t.Errorf("shard %d allocator base = %d, want %d", shard, got, want)
+		}
+	}
+}
+
+// TestToOp covers the wire-to-typed lowering: stage-name resolution,
+// address parsing, and unknown operations.
+func TestToOp(t *testing.T) {
+	names := []string{"firewall", "mazunat", "l4lb"}
+
+	op, err := ctlplane.Request{
+		Op: ctlplane.OpFirewallSwap, Stage: 2, StageName: "firewall",
+		Rules: []ctlplane.Rule{{Src: "10.1.2.3", Dst: "8.8.8.8", Sport: 1, Dport: 2, Proto: 6}},
+	}.ToOp(names)
+	if err != nil {
+		t.Fatal(err)
+	}
+	swap, ok := op.(ctlplane.FirewallRuleSwap)
+	if !ok || swap.Stage() != 0 {
+		t.Errorf("stage name must win over index: got %T stage %d", op, op.Stage())
+	}
+	if len(swap.Rules) != 1 || swap.Rules[0].SrcIP != packet.MakeIPv4Addr(10, 1, 2, 3) {
+		t.Errorf("parsed rules: %+v", swap.Rules)
+	}
+
+	lbop, err := ctlplane.Request{
+		Op: ctlplane.OpLBPool, StageName: "l4lb",
+		Backends: []ctlplane.PoolMember{{Addr: "10.0.1.1", Weight: 3}},
+		Drain:    true,
+	}.ToOp(names)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pool := lbop.(ctlplane.LBPoolChange)
+	if pool.Stage() != 2 || !pool.Drain || pool.Backends[0].Weight != 3 {
+		t.Errorf("lowered pool change: %+v", pool)
+	}
+
+	if _, err := (ctlplane.Request{Op: ctlplane.OpFirewallSwap, StageName: "nope"}).ToOp(names); err == nil || !strings.Contains(err.Error(), `"nope"`) {
+		t.Errorf("unknown stage name: %v", err)
+	}
+	if _, err := (ctlplane.Request{Op: ctlplane.OpFirewallSwap, Rules: []ctlplane.Rule{{Src: "not-an-ip", Dst: "1.2.3.4"}}}).ToOp(names); err == nil {
+		t.Error("bad source address accepted")
+	}
+	if _, err := (ctlplane.Request{Op: "reboot"}).ToOp(names); err == nil || !strings.Contains(err.Error(), "unknown operation") {
+		t.Errorf("unknown op: %v", err)
+	}
+	if _, err := (ctlplane.Request{Op: ctlplane.OpNATRepartition, Stage: 1, Bases: []uint16{1, 2}}).ToOp(names); err != nil {
+		t.Errorf("repartition lowering: %v", err)
+	}
+}
+
+// fakeRuntime records the ops the server hands it.
+type fakeRuntime struct {
+	mu       sync.Mutex
+	ops      []ctlplane.Op
+	applyErr error
+}
+
+func (f *fakeRuntime) Reconfigure(op ctlplane.Op) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.applyErr != nil {
+		return f.applyErr
+	}
+	f.ops = append(f.ops, op)
+	return nil
+}
+
+func (f *fakeRuntime) StatsPayload() (*ctlplane.StatsPayload, error) {
+	return &ctlplane.StatsPayload{Injected: 42, Delivered: 40, Workers: 4,
+		Stages: []ctlplane.StageStats{{Name: "firewall", Epoch: 3}}}, nil
+}
+
+func (f *fakeRuntime) StageNames() []string { return []string{"firewall", "l4lb"} }
+
+// TestServerClientRoundTrip drives the unix-socket protocol end to end
+// against a fake runtime: ping, stats, a typed op, error surfacing, and a
+// malformed request line.
+func TestServerClientRoundTrip(t *testing.T) {
+	rt := &fakeRuntime{}
+	srv := ctlplane.NewServer(rt)
+	sock := t.TempDir() + "/ctl.sock"
+	if err := srv.Listen(sock); err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	c, err := ctlplane.Dial(sock)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	if _, err := c.Do(ctlplane.Request{Op: ctlplane.OpPing}); err != nil {
+		t.Fatal(err)
+	}
+	resp, err := c.Do(ctlplane.Request{Op: ctlplane.OpStats})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Stats == nil || resp.Stats.Injected != 42 || resp.Stats.Stages[0].Epoch != 3 {
+		t.Fatalf("stats round trip: %+v", resp.Stats)
+	}
+	if _, err := c.Do(ctlplane.Request{
+		Op: ctlplane.OpLBPool, StageName: "l4lb",
+		Backends: []ctlplane.PoolMember{{Addr: "10.0.1.1", Weight: 1}},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	rt.mu.Lock()
+	if len(rt.ops) != 1 {
+		t.Fatalf("runtime saw %d ops, want 1", len(rt.ops))
+	}
+	if pool, ok := rt.ops[0].(ctlplane.LBPoolChange); !ok || pool.Stage() != 1 {
+		t.Errorf("runtime received %T stage %d, want LBPoolChange stage 1", rt.ops[0], rt.ops[0].Stage())
+	}
+	rt.applyErr = fmt.Errorf("shard 3 rejected the flip")
+	rt.mu.Unlock()
+	if _, err := c.Do(ctlplane.Request{
+		Op: ctlplane.OpLBPool, Backends: []ctlplane.PoolMember{{Addr: "10.0.1.1", Weight: 1}},
+	}); err == nil || !strings.Contains(err.Error(), "shard 3 rejected") {
+		t.Errorf("apply error did not surface: %v", err)
+	}
+
+	// A raw connection sending garbage gets an error response, not a
+	// hangup.
+	raw, err := net.Dial("unix", sock)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer raw.Close()
+	if _, err := raw.Write([]byte("not json\n")); err != nil {
+		t.Fatal(err)
+	}
+	var malformed ctlplane.Response
+	if err := json.NewDecoder(raw).Decode(&malformed); err != nil {
+		t.Fatal(err)
+	}
+	if malformed.OK || !strings.Contains(malformed.Error, "bad request") {
+		t.Errorf("malformed line response: %+v", malformed)
+	}
+}

@@ -1,0 +1,144 @@
+package ctlplane
+
+import (
+	"fmt"
+
+	"gallium/internal/packet"
+)
+
+// The JSON wire protocol between galliumctl and galliumsim -serve:
+// newline-delimited JSON over a unix socket, one Request per line
+// answered by one Response. Operation names:
+//
+//	firewall-swap    — replace the firewall whitelist (Rules)
+//	lb-pool          — replace the LB backend pool (Backends, Drain)
+//	nat-repartition  — re-split the NAT port space (Bases, optional)
+//	stats            — report live traffic/switch counters
+//	ping             — liveness check
+const (
+	OpFirewallSwap   = "firewall-swap"
+	OpLBPool         = "lb-pool"
+	OpNATRepartition = "nat-repartition"
+	OpStats          = "stats"
+	OpPing           = "ping"
+)
+
+// Rule is one firewall whitelist rule on the wire.
+type Rule struct {
+	Src   string `json:"src"`
+	Dst   string `json:"dst"`
+	Sport uint16 `json:"sport"`
+	Dport uint16 `json:"dport"`
+	Proto uint8  `json:"proto"`
+}
+
+// PoolMember is one weighted LB backend on the wire.
+type PoolMember struct {
+	Addr   string `json:"addr"`
+	Weight int    `json:"weight"`
+}
+
+// Request is one control request.
+type Request struct {
+	Op string `json:"op"`
+	// Stage addresses a pipeline stage by index; StageName (when set)
+	// addresses it by middlebox name and wins over Stage.
+	Stage     int    `json:"stage,omitempty"`
+	StageName string `json:"stage_name,omitempty"`
+
+	Rules    []Rule       `json:"rules,omitempty"`
+	Backends []PoolMember `json:"backends,omitempty"`
+	Drain    bool         `json:"drain,omitempty"`
+	Bases    []uint16     `json:"bases,omitempty"`
+}
+
+// Response answers one Request.
+type Response struct {
+	OK    bool   `json:"ok"`
+	Error string `json:"error,omitempty"`
+	// Stats carries the stats payload for OpStats.
+	Stats *StatsPayload `json:"stats,omitempty"`
+}
+
+// StatsPayload is the live counters snapshot served over the socket.
+type StatsPayload struct {
+	Injected   int64   `json:"injected"`
+	Delivered  int64   `json:"delivered"`
+	MBDrops    int64   `json:"mb_drops"`
+	QueueDrops int64   `json:"queue_drops"`
+	FastPath   int64   `json:"fast_path"`
+	SlowPath   int64   `json:"slow_path"`
+	Reconfigs  int     `json:"reconfigs"`
+	Workers    int     `json:"workers"`
+	PPS        float64 `json:"pps"`
+	// Stages reports each pipeline stage's switch activity (offloaded
+	// mode; empty in software mode).
+	Stages []StageStats `json:"stages,omitempty"`
+}
+
+// StageStats is one stage's switch-side counters.
+type StageStats struct {
+	Name      string `json:"name,omitempty"`
+	FastPath  int    `json:"fast_path"`
+	ToServer  int    `json:"to_server"`
+	CtlOps    int    `json:"ctl_ops"`
+	CtlFlips  int    `json:"ctl_flips"`
+	Reconfigs int    `json:"reconfigs"`
+	Epoch     uint64 `json:"epoch"`
+}
+
+// resolveStage maps the request's stage addressing onto a stage index.
+func (r Request) resolveStage(names []string) (int, error) {
+	if r.StageName == "" {
+		return r.Stage, nil
+	}
+	for i, n := range names {
+		if n == r.StageName {
+			return i, nil
+		}
+	}
+	return 0, fmt.Errorf("ctlplane: no pipeline stage named %q (have %v)", r.StageName, names)
+}
+
+// ToOp lowers a wire request into a typed Op. names lists the pipeline's
+// stage names for by-name addressing; stats/ping requests are not ops and
+// return an error here.
+func (r Request) ToOp(names []string) (Op, error) {
+	stage, err := r.resolveStage(names)
+	if err != nil {
+		return nil, err
+	}
+	switch r.Op {
+	case OpFirewallSwap:
+		rules := make([]packet.FiveTuple, 0, len(r.Rules))
+		for _, w := range r.Rules {
+			src, err := packet.ParseIPv4Addr(w.Src)
+			if err != nil {
+				return nil, err
+			}
+			dst, err := packet.ParseIPv4Addr(w.Dst)
+			if err != nil {
+				return nil, err
+			}
+			rules = append(rules, packet.FiveTuple{
+				SrcIP: src, DstIP: dst,
+				SrcPort: w.Sport, DstPort: w.Dport,
+				Proto: packet.IPProtocol(w.Proto),
+			})
+		}
+		return FirewallRuleSwap{At: stage, Rules: rules}, nil
+	case OpLBPool:
+		members := make([]Backend, 0, len(r.Backends))
+		for _, m := range r.Backends {
+			addr, err := packet.ParseIPv4Addr(m.Addr)
+			if err != nil {
+				return nil, err
+			}
+			members = append(members, Backend{Addr: addr, Weight: m.Weight})
+		}
+		return LBPoolChange{At: stage, Backends: members, Drain: r.Drain}, nil
+	case OpNATRepartition:
+		return NATRepartition{At: stage, Bases: r.Bases}, nil
+	}
+	return nil, fmt.Errorf("ctlplane: unknown operation %q", r.Op)
+}

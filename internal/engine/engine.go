@@ -27,6 +27,18 @@
 // slow path, and its own shard's authoritative state gives the right
 // answer. §7 cache fills stay fully fire-and-forget (a stale fill just
 // re-punts).
+//
+// Lifecycle: an Engine is long-lived. Start spawns the workers and the
+// control-plane drainer; Feed streams one workload through them (callable
+// repeatedly, injection times non-decreasing across feeds); Reconfigure
+// applies a control-plane change as one atomic visibility flip while
+// traffic keeps flowing; Stop joins everything and reports. Run is the
+// one-shot convenience composing the three.
+//
+// Pipelines: Config.Stages chains several compiled middleboxes through one
+// engine pass — a packet traverses stage 0's switch/server pair, then
+// stage 1's, sharing the worker's (simulated) core and the single
+// control-plane drainer. Single-middlebox configs are a one-stage chain.
 package engine
 
 import (
@@ -55,6 +67,20 @@ type Workload interface {
 	Generate(emit func(tNs int64, pkt *packet.Packet) error) error
 }
 
+// StageConfig describes one stage of the engine's middlebox pipeline.
+type StageConfig struct {
+	// Name labels the stage (reconfig addressing, diagnostics).
+	Name string
+	// Res is required in Offloaded mode.
+	Res *partition.Result
+	// Prog is required in Software mode.
+	Prog *ir.Program
+	// Setup seeds one shard's middlebox state for this stage (shard in
+	// [0, Workers)). Configuration must be identical across shards except
+	// for explicitly partitioned allocators (middleboxes.ConfigureShard).
+	Setup func(shard int, st *ir.State)
+}
+
 // Config describes one engine instance.
 type Config struct {
 	// Mode is Offloaded (default for the zero Mode) or Software.
@@ -68,16 +94,18 @@ type Config struct {
 	// with one barrier on everything still in flight, amortizing the
 	// output-commit wait over the batch. <=0 means 32.
 	Batch int
-	// Res is required in Offloaded mode.
+	// Stages is the middlebox pipeline, traversed in order. Empty Stages
+	// with Res or Prog set builds the single-stage pipeline (the common
+	// case); setting both is an error.
+	Stages []StageConfig
+	// Res is the single-stage shorthand for Stages (Offloaded mode).
 	Res *partition.Result
-	// Prog is required in Software mode.
+	// Prog is the single-stage shorthand for Stages (Software mode).
 	Prog *ir.Program
+	// Setup is the single-stage shorthand for StageConfig.Setup.
+	Setup func(shard int, st *ir.State)
 	// Model is the virtual-time cost model; the zero value means defaults.
 	Model netsim.CostModel
-	// Setup seeds one shard's middlebox state (shard in [0, Workers)).
-	// Configuration must be identical across shards except for explicitly
-	// partitioned allocators (see middleboxes.ConfigureShard).
-	Setup func(shard int, st *ir.State)
 	// Obs, when non-nil, receives metrics: per-worker counters plus
 	// read-time "engine.*" aggregates. Nil disables observability.
 	Obs *obs.Registry
@@ -91,43 +119,97 @@ type Config struct {
 	OnDelivery func(Delivery)
 }
 
-// ctlBatch is one packet's replicated-state updates traveling the
+// ctlBatch is one batch of replicated-state updates traveling the
 // slow-path channel to the control-plane drainer.
 type ctlBatch struct {
 	updates []switchsim.Update
+	// stage routes the batch to its pipeline stage's switch.
+	stage int
 	// punt marks §7 cache-mode batches, which the drainer classifies into
 	// fills and synchronous updates before staging.
 	punt bool
+	// reconfig marks a control-plane reconfiguration: the drainer flips
+	// even when nothing staged (so the snapshot epoch proves propagation)
+	// and accounts it on the switch's reconfig counters.
+	reconfig bool
 	// applied, when non-nil, is closed once the drainer has applied the
 	// batch: the sending worker blocks on it before its next packet
 	// (§4.3.3 output commit, extended per worker — see Run's doc).
 	applied chan struct{}
 }
 
+// Reconfig is one compiled control-plane change, applied by Engine.
+// Reconfigure as a single atomic visibility flip. The ctlplane package
+// compiles typed operations (rule swaps, pool changes, repartitions) into
+// this mechanism-level form.
+type Reconfig struct {
+	// Stage addresses the pipeline stage being reconfigured.
+	Stage int
+	// Mutate, when non-nil, runs once per shard INSIDE that shard's worker
+	// goroutine against its authoritative state (preserving the engine's
+	// goroutine confinement), and returns any shard-owned switch updates
+	// (e.g. deletions of connection entries pointing at removed backends).
+	Mutate func(shard int, st *ir.State) []switchsim.Update
+	// Updates are shard-independent switch updates (table replacements,
+	// vector swaps, register writes) staged with the shard-owned ones and
+	// flipped together.
+	Updates []switchsim.Update
+}
+
 // Engine runs workloads through the concurrent sharded pipeline. Build
-// one with New; each Engine runs at most one workload (state carries the
-// traffic history, as on a real deployment).
+// one with New; drive it either with the one-shot Run or with the
+// long-lived Start / Feed / Reconfigure / Stop lifecycle.
 type Engine struct {
 	cfg     Config
-	sw      *switchsim.Switch
+	stages  []StageConfig
+	sws     []*switchsim.Switch // per stage; nil slice in Software mode
 	workers []*worker
 
 	ctl    chan ctlBatch
 	ctlWG  sync.WaitGroup
+	wg     sync.WaitGroup
 	cancel context.CancelFunc
+	runCtx context.Context
+
+	// feedMu serializes Feed calls (one dispatcher at a time); reconfMu
+	// serializes Reconfigure. Feed and Reconfigure may run concurrently
+	// with each other.
+	feedMu   sync.Mutex
+	reconfMu sync.Mutex
+	seq      int64
+	lastT    int64
+	fedAny   bool
+
+	started atomic.Bool
+	stopped atomic.Bool
+	startT  time.Time
 
 	ctlBatches  atomic.Int64
 	ctlOps      atomic.Int64
 	ctlRejected atomic.Int64
+	reconfigs   atomic.Int64
 
 	ran      atomic.Bool
 	failOnce sync.Once
-	runErr   error
+	runErr   atomic.Pointer[error]
 }
 
-// New builds an engine: one server shard per worker, all seeded through
-// cfg.Setup, and (in offloaded mode) a shared switch seeded from shard 0's
-// configured state via the ordinary control plane.
+// normalizeStages folds the single-stage shorthand fields into Stages.
+func normalizeStages(cfg *Config) error {
+	if len(cfg.Stages) > 0 {
+		if cfg.Res != nil || cfg.Prog != nil || cfg.Setup != nil {
+			return fmt.Errorf("engine: Stages and the single-stage Res/Prog/Setup fields are mutually exclusive")
+		}
+		return nil
+	}
+	cfg.Stages = []StageConfig{{Res: cfg.Res, Prog: cfg.Prog, Setup: cfg.Setup}}
+	return nil
+}
+
+// New builds an engine: one server shard per worker per stage, all seeded
+// through each stage's Setup, and (in offloaded mode) one shared switch
+// per stage seeded from shard 0's configured state via the ordinary
+// control plane.
 func New(cfg Config) (*Engine, error) {
 	if cfg.Workers <= 0 {
 		cfg.Workers = 1
@@ -147,16 +229,23 @@ func New(cfg Config) (*Engine, error) {
 	if cfg.Model == (netsim.CostModel{}) {
 		cfg.Model = netsim.DefaultModel()
 	}
-	e := &Engine{cfg: cfg}
+	if err := normalizeStages(&cfg); err != nil {
+		return nil, err
+	}
+	e := &Engine{cfg: cfg, stages: cfg.Stages}
 	switch cfg.Mode {
 	case netsim.Offloaded:
-		if cfg.Res == nil {
-			return nil, fmt.Errorf("engine: offloaded mode needs a partition result")
+		for si, st := range e.stages {
+			if st.Res == nil {
+				return nil, fmt.Errorf("engine: offloaded stage %d needs a partition result", si)
+			}
+			e.sws = append(e.sws, switchsim.New(st.Res))
 		}
-		e.sw = switchsim.New(cfg.Res)
 	case netsim.Software:
-		if cfg.Prog == nil {
-			return nil, fmt.Errorf("engine: software mode needs a program")
+		for si, st := range e.stages {
+			if st.Prog == nil {
+				return nil, fmt.Errorf("engine: software stage %d needs a program", si)
+			}
 		}
 	default:
 		return nil, fmt.Errorf("engine: unknown mode %v", cfg.Mode)
@@ -170,22 +259,28 @@ func New(cfg Config) (*Engine, error) {
 			// Decorrelate the per-worker jitter streams.
 			jitterState: uint64(i+1) * 0x9E3779B97F4A7C15,
 		}
-		if e.sw != nil {
-			w.srv = serverrt.New(cfg.Res)
-			if cfg.Setup != nil {
-				cfg.Setup(i, w.srv.State)
-			}
-		} else {
-			w.sft = serverrt.NewSoftware(cfg.Prog)
-			if cfg.Setup != nil {
-				cfg.Setup(i, w.sft.State)
+		for _, st := range e.stages {
+			if len(e.sws) > 0 {
+				srv := serverrt.New(st.Res)
+				if st.Setup != nil {
+					st.Setup(i, srv.State)
+				}
+				w.srv = append(w.srv, srv)
+			} else {
+				sft := serverrt.NewSoftware(st.Prog)
+				if st.Setup != nil {
+					st.Setup(i, sft.State)
+				}
+				w.sft = append(w.sft, sft)
 			}
 		}
 		e.workers = append(e.workers, w)
 	}
-	if e.sw != nil && cfg.Setup != nil {
-		if err := e.sw.SeedFrom(e.workers[0].srv.State); err != nil {
-			return nil, err
+	for si, st := range e.stages {
+		if len(e.sws) > 0 && st.Setup != nil {
+			if err := e.sws[si].SeedFrom(e.workers[0].srv[si].State); err != nil {
+				return nil, err
+			}
 		}
 	}
 	e.instrument(cfg.Obs)
@@ -200,16 +295,16 @@ func (e *Engine) instrument(reg *obs.Registry) {
 	if reg == nil {
 		return
 	}
-	if e.sw != nil {
-		e.sw.Instrument(reg)
+	for _, sw := range e.sws {
+		sw.Instrument(reg)
 	}
 	parts := make([]*obs.Histogram, 0, len(e.workers))
 	for _, w := range e.workers {
-		if w.srv != nil {
-			w.srv.Instrument(reg)
+		for _, srv := range w.srv {
+			srv.Instrument(reg)
 		}
-		if w.sft != nil {
-			w.sft.Instrument(reg)
+		for _, sft := range w.sft {
+			sft.Instrument(reg)
 		}
 		prefix := fmt.Sprintf("engine.worker.%d.", w.id)
 		w.c = workerCounters{
@@ -233,17 +328,251 @@ func (e *Engine) instrument(reg *obs.Registry) {
 	reg.CounterFunc("engine.delivered", sum(func(c workerCounters) *obs.Counter { return c.delivered }))
 	reg.CounterFunc("engine.fastpath", sum(func(c workerCounters) *obs.Counter { return c.fast }))
 	reg.CounterFunc("engine.slowpath", sum(func(c workerCounters) *obs.Counter { return c.slow }))
+	reg.CounterFunc("engine.reconfigs", func() uint64 { return uint64(e.reconfigs.Load()) })
 	reg.MergedHistogram("engine.latency_ns", parts...)
 }
 
 // fail records the first error and aborts the run.
 func (e *Engine) fail(err error) {
 	e.failOnce.Do(func() {
-		e.runErr = err
+		e.runErr.Store(&err)
 		if e.cancel != nil {
 			e.cancel()
 		}
 	})
+}
+
+// err returns the first recorded failure, if any.
+func (e *Engine) err() error {
+	if p := e.runErr.Load(); p != nil {
+		return *p
+	}
+	return nil
+}
+
+// Start spawns the worker goroutines and (in offloaded mode) the
+// control-plane drainer. It may be called once per Engine; cancel ctx to
+// abort everything in flight.
+func (e *Engine) Start(ctx context.Context) error {
+	if !e.started.CompareAndSwap(false, true) {
+		return errors.New("engine: Start may be called at most once per Engine")
+	}
+	e.startT = time.Now()
+	e.runCtx, e.cancel = context.WithCancel(ctx)
+	if len(e.sws) > 0 {
+		e.ctl = make(chan ctlBatch, e.cfg.CtlQueue)
+		e.ctlWG.Add(1)
+		go e.drainCtl()
+	}
+	for _, w := range e.workers {
+		e.wg.Add(1)
+		go func(w *worker) {
+			defer e.wg.Done()
+			w.loop(e.runCtx)
+		}(w)
+	}
+	return nil
+}
+
+// Feed streams one workload through the running engine and blocks until
+// every packet of it (and every control batch those packets emitted) has
+// settled. Injection times must be non-decreasing across successive Feeds
+// — the engine models one continuous deployment, so virtual time cannot
+// restart. Feed may not run concurrently with itself or Stop; it MAY run
+// concurrently with Reconfigure (that is the point of the live control
+// plane).
+func (e *Engine) Feed(wl Workload) error {
+	if !e.started.Load() || e.stopped.Load() {
+		return errors.New("engine: Feed requires a started, unstopped engine")
+	}
+	e.feedMu.Lock()
+	defer e.feedMu.Unlock()
+	genErr := wl.Generate(func(tNs int64, pkt *packet.Packet) error {
+		if err := e.runCtx.Err(); err != nil {
+			return err
+		}
+		if e.fedAny && tNs < e.lastT {
+			return fmt.Errorf("engine: out-of-order injection (%d < %d)", tNs, e.lastT)
+		}
+		e.fedAny = true
+		e.lastT = tNs
+		flow, _ := pkt.Tuple()
+		j := job{seq: e.seq, tNs: tNs, flow: flow, pkt: pkt}
+		e.seq++
+		w := e.workers[netsim.RSSShard(pkt, len(e.workers))]
+		select {
+		case w.jobs <- j:
+			return nil
+		case <-e.runCtx.Done():
+			return e.runCtx.Err()
+		}
+	})
+	e.settle(nil)
+	if err := e.err(); err != nil {
+		return err
+	}
+	return genErr
+}
+
+// settle injects a barrier control job into every worker and blocks until
+// each has finished all previously queued packets and retired their
+// pending write-back applies. When stats is non-nil it additionally
+// receives a copy of each worker's counters, taken inside the worker
+// goroutine (race-free even while traffic flows).
+func (e *Engine) settle(stats []netsim.Stats) {
+	var wg sync.WaitGroup
+	for i, w := range e.workers {
+		wg.Add(1)
+		i := i
+		j := job{ctrl: func(w *worker) {
+			w.waitAll(e.runCtx)
+			if stats != nil {
+				stats[i] = w.stats
+			}
+			wg.Done()
+		}}
+		select {
+		case w.jobs <- j:
+		case <-e.runCtx.Done():
+			// Aborting: the worker may never pull the barrier; don't wait.
+			wg.Done()
+		}
+	}
+	wg.Wait()
+}
+
+// Reconfigure applies one compiled control-plane change atomically with
+// respect to the data plane: every worker pauses at its current packet
+// boundary, applies the per-shard mutation against its own state (in its
+// own goroutine), the collected switch updates are staged and flipped as
+// ONE batch through the §4.3.3 write-back path, and only then do the
+// workers resume. Packets queue (bounded, with backpressure) during the
+// pause instead of dropping, so a reconfiguration loses zero packets; a
+// packet processed before the flip sees the old configuration everywhere,
+// a packet after sees the new — never a mix.
+func (e *Engine) Reconfigure(r Reconfig) error {
+	if !e.started.Load() || e.stopped.Load() {
+		return errors.New("engine: Reconfigure requires a started, unstopped engine")
+	}
+	if r.Stage < 0 || r.Stage >= len(e.stages) {
+		return fmt.Errorf("engine: reconfigure stage %d out of range (pipeline has %d stages)", r.Stage, len(e.stages))
+	}
+	e.reconfMu.Lock()
+	defer e.reconfMu.Unlock()
+	ctx := e.runCtx
+
+	var mu sync.Mutex
+	shardUpdates := append([]switchsim.Update(nil), r.Updates...)
+	release := make(chan struct{})
+	ready := make(chan struct{}, len(e.workers))
+	paused := 0
+	for i, w := range e.workers {
+		i := i
+		j := job{ctrl: func(w *worker) {
+			if r.Mutate != nil {
+				ups := r.Mutate(i, w.stageState(r.Stage))
+				if len(ups) > 0 {
+					mu.Lock()
+					shardUpdates = append(shardUpdates, ups...)
+					mu.Unlock()
+				}
+			}
+			ready <- struct{}{}
+			select {
+			case <-release:
+			case <-ctx.Done():
+			}
+		}}
+		select {
+		case w.jobs <- j:
+			paused++
+		case <-ctx.Done():
+		}
+	}
+	for n := 0; n < paused; n++ {
+		select {
+		case <-ready:
+		case <-ctx.Done():
+			close(release)
+			return ctx.Err()
+		}
+	}
+	if err := ctx.Err(); err != nil {
+		close(release)
+		return err
+	}
+
+	// All workers are quiescent and their earlier write-back batches are
+	// already ahead of ours in the (FIFO) control channel. Ship the whole
+	// reconfiguration as one batch: the drainer stages everything, flips
+	// once, and merges — the single snapshot store is the atomicity.
+	if len(e.sws) > 0 {
+		b := ctlBatch{updates: shardUpdates, stage: r.Stage, reconfig: true, applied: make(chan struct{})}
+		select {
+		case e.ctl <- b:
+		case <-ctx.Done():
+			close(release)
+			return ctx.Err()
+		}
+		select {
+		case <-b.applied:
+		case <-ctx.Done():
+			close(release)
+			return ctx.Err()
+		}
+	}
+	close(release)
+	e.reconfigs.Add(1)
+	if err := e.err(); err != nil {
+		return err
+	}
+	return ctx.Err()
+}
+
+// Stop closes the ingress, joins every worker and the control-plane
+// drainer, and reports. No Feed or Reconfigure may be in flight or issued
+// afterwards.
+func (e *Engine) Stop() (*Report, error) {
+	if !e.started.Load() {
+		return nil, errors.New("engine: Stop requires Start")
+	}
+	if !e.stopped.CompareAndSwap(false, true) {
+		return nil, errors.New("engine: Stop may be called at most once per Engine")
+	}
+	for _, w := range e.workers {
+		close(w.jobs)
+	}
+	e.wg.Wait()
+	if e.ctl != nil {
+		close(e.ctl)
+		e.ctlWG.Wait()
+	}
+	e.cancel()
+	if err := e.err(); err != nil {
+		return nil, err
+	}
+	per := make([]netsim.Stats, len(e.workers))
+	for i, w := range e.workers {
+		per[i] = w.stats
+	}
+	return e.buildReport(per, time.Since(e.startT)), nil
+}
+
+// LiveReport settles every worker at a barrier and reports the traffic
+// processed so far without stopping the engine: per-worker counters are
+// copied inside each worker's goroutine, so the snapshot is race-free even
+// while another goroutine keeps feeding. It reflects all packets dispatched
+// before the call; packets fed concurrently may or may not be included.
+func (e *Engine) LiveReport() (*Report, error) {
+	if !e.started.Load() || e.stopped.Load() {
+		return nil, errors.New("engine: LiveReport requires a started, unstopped engine")
+	}
+	per := make([]netsim.Stats, len(e.workers))
+	e.settle(per)
+	if err := e.err(); err != nil {
+		return nil, err
+	}
+	return e.buildReport(per, time.Since(e.startT)), nil
 }
 
 // Run streams the workload through the engine: a dispatcher goroutine (the
@@ -256,66 +585,21 @@ func (e *Engine) Run(ctx context.Context, wl Workload) (*Report, error) {
 	if !e.ran.CompareAndSwap(false, true) {
 		return nil, errors.New("engine: Run may be called at most once per Engine")
 	}
-	start := time.Now()
-	runCtx, cancel := context.WithCancel(ctx)
-	defer cancel()
-	e.cancel = cancel
-
-	if e.sw != nil {
-		e.ctl = make(chan ctlBatch, e.cfg.CtlQueue)
-		e.ctlWG.Add(1)
-		go e.drainCtl()
+	if err := e.Start(ctx); err != nil {
+		return nil, err
 	}
-	var wg sync.WaitGroup
-	for _, w := range e.workers {
-		wg.Add(1)
-		go func(w *worker) {
-			defer wg.Done()
-			w.loop(runCtx)
-		}(w)
+	feedErr := e.Feed(wl)
+	rep, stopErr := e.Stop()
+	if feedErr != nil {
+		return nil, feedErr
 	}
-
-	var seq, lastT int64
-	first := true
-	genErr := wl.Generate(func(tNs int64, pkt *packet.Packet) error {
-		if err := runCtx.Err(); err != nil {
-			return err
-		}
-		if !first && tNs < lastT {
-			return fmt.Errorf("engine: out-of-order injection (%d < %d)", tNs, lastT)
-		}
-		first = false
-		lastT = tNs
-		flow, _ := pkt.Tuple()
-		j := job{seq: seq, tNs: tNs, flow: flow, pkt: pkt}
-		seq++
-		w := e.workers[netsim.RSSShard(pkt, len(e.workers))]
-		select {
-		case w.jobs <- j:
-			return nil
-		case <-runCtx.Done():
-			return runCtx.Err()
-		}
-	})
-
-	// Shutdown runs unconditionally so no goroutine outlives Run, even
-	// when generation aborted.
-	for _, w := range e.workers {
-		close(w.jobs)
+	if stopErr != nil {
+		return nil, stopErr
 	}
-	wg.Wait()
-	if e.ctl != nil {
-		close(e.ctl)
-		e.ctlWG.Wait()
+	if err := ctx.Err(); err != nil {
+		return nil, err
 	}
-
-	if e.runErr != nil {
-		return nil, e.runErr
-	}
-	if genErr != nil {
-		return nil, genErr
-	}
-	return e.report(time.Since(start)), nil
+	return rep, nil
 }
 
 // drainCtl is the control-plane goroutine: it applies each slow-path batch
@@ -325,14 +609,16 @@ func (e *Engine) Run(ctx context.Context, wl Workload) (*Report, error) {
 func (e *Engine) drainCtl() {
 	defer e.ctlWG.Done()
 	for b := range e.ctl {
+		sw := e.sws[b.stage]
 		toStage := b.updates
 		if b.punt {
-			fills, syncs := serverrt.ClassifyUpdates(e.sw, b.updates)
+			fills, syncs := serverrt.ClassifyUpdates(sw, b.updates)
 			toStage = append(fills, syncs...)
 		}
 		staged := 0
+		failed := false
 		for _, u := range toStage {
-			if err := e.sw.StageWriteback(u); err != nil {
+			if err := sw.StageWriteback(u); err != nil {
 				if errors.Is(err, switchsim.ErrTableFull) {
 					e.ctlRejected.Add(1)
 					continue
@@ -341,15 +627,22 @@ func (e *Engine) drainCtl() {
 					close(b.applied)
 				}
 				e.fail(err)
-				return
+				failed = true
+				break
 			}
 			staged++
 		}
-		if staged > 0 {
-			e.sw.FlipVisibility()
-			e.sw.MergeWriteback()
+		if failed {
+			return
+		}
+		if staged > 0 || b.reconfig {
+			sw.FlipVisibility()
+			sw.MergeWriteback()
 			e.ctlBatches.Add(1)
 			e.ctlOps.Add(int64(staged))
+		}
+		if b.reconfig {
+			sw.MarkReconfig()
 		}
 		if b.applied != nil {
 			close(b.applied)
@@ -357,26 +650,51 @@ func (e *Engine) drainCtl() {
 	}
 }
 
-// SwitchStats exposes the shared switch's counters (offloaded mode only).
+// SwitchStats exposes the first stage's switch counters (offloaded mode
+// only); for chained pipelines use SwitchStatsAt.
 func (e *Engine) SwitchStats() (switchsim.Stats, bool) {
-	if e.sw == nil {
-		return switchsim.Stats{}, false
-	}
-	return e.sw.Stats(), true
+	return e.SwitchStatsAt(0)
 }
 
-// ShardStates returns each worker shard's authoritative middlebox state,
-// indexed by shard. Only meaningful after Run has returned (workers own
-// their states exclusively while running).
+// SwitchStatsAt exposes one pipeline stage's switch counters.
+func (e *Engine) SwitchStatsAt(stage int) (switchsim.Stats, bool) {
+	if stage < 0 || stage >= len(e.sws) {
+		return switchsim.Stats{}, false
+	}
+	return e.sws[stage].Stats(), true
+}
+
+// Stages reports the pipeline's stage count.
+func (e *Engine) Stages() int { return len(e.stages) }
+
+// Uptime reports wall-clock time since Start.
+func (e *Engine) Uptime() time.Duration {
+	if !e.started.Load() {
+		return 0
+	}
+	return time.Since(e.startT)
+}
+
+// StageName reports a stage's label ("" when unnamed).
+func (e *Engine) StageName(stage int) string {
+	if stage < 0 || stage >= len(e.stages) {
+		return ""
+	}
+	return e.stages[stage].Name
+}
+
+// ShardStates returns each worker shard's authoritative middlebox state
+// for the FIRST pipeline stage, indexed by shard. Only meaningful after
+// the engine stopped (workers own their states exclusively while running).
 func (e *Engine) ShardStates() []*ir.State {
+	return e.ShardStatesAt(0)
+}
+
+// ShardStatesAt returns each shard's state for one pipeline stage.
+func (e *Engine) ShardStatesAt(stage int) []*ir.State {
 	states := make([]*ir.State, len(e.workers))
 	for i, w := range e.workers {
-		switch {
-		case w.srv != nil:
-			states[i] = w.srv.State
-		case w.sft != nil:
-			states[i] = w.sft.State
-		}
+		states[i] = w.stageState(stage)
 	}
 	return states
 }

@@ -58,18 +58,26 @@ type Report struct {
 	// Latency is the end-to-end virtual-time latency distribution over
 	// all delivered packets.
 	Latency obs.HistSnapshot
-	// Switch holds the shared switch's counters (nil in Software mode).
+	// Switch holds the first pipeline stage's switch counters (nil in
+	// Software mode).
 	Switch *switchsim.Stats
+	// SwitchStages holds every pipeline stage's switch counters in stage
+	// order (nil in Software mode); SwitchStages[0] equals *Switch.
+	SwitchStages []switchsim.Stats
+	// Reconfigs counts control-plane reconfigurations applied during the
+	// run.
+	Reconfigs int
 }
 
-// report aggregates worker- and engine-level state after the run settled
-// (all workers joined, control channel drained).
-func (e *Engine) report(wall time.Duration) *Report {
+// buildReport aggregates worker- and engine-level state from a consistent
+// per-worker stats snapshot (taken either after the run settled or inside
+// each worker's goroutine at a live barrier).
+func (e *Engine) buildReport(per []netsim.Stats, wall time.Duration) *Report {
 	r := &Report{Workers: len(e.workers), WallNs: int64(wall)}
 	parts := make([]*obs.Histogram, 0, len(e.workers))
 	agg := &r.Stats
-	for _, w := range e.workers {
-		s := w.stats
+	for i, w := range e.workers {
+		s := per[i]
 		r.PerWorker = append(r.PerWorker, s)
 		agg.Injected += s.Injected
 		agg.Delivered += s.Delivered
@@ -91,13 +99,16 @@ func (e *Engine) report(wall time.Duration) *Report {
 	agg.CtlBatches = int(e.ctlBatches.Load())
 	agg.CtlOps = int(e.ctlOps.Load())
 	agg.CtlRejected = int(e.ctlRejected.Load())
+	r.Reconfigs = int(e.reconfigs.Load())
 	r.Latency = obs.MergeHistograms(parts...).Snapshot()
 	if wall > 0 {
 		r.PPS = float64(agg.Injected) / wall.Seconds()
 	}
-	if e.sw != nil {
-		s := e.sw.Stats()
-		r.Switch = &s
+	for _, sw := range e.sws {
+		r.SwitchStages = append(r.SwitchStages, sw.Stats())
+	}
+	if len(r.SwitchStages) > 0 {
+		r.Switch = &r.SwitchStages[0]
 	}
 	return r
 }

@@ -11,12 +11,17 @@ import (
 	"gallium/internal/serverrt"
 )
 
-// job is one dispatched packet.
+// job is one dispatched packet, or (when ctrl is set) a control job the
+// worker executes in its own goroutine between packets: reconfiguration
+// mutations, settle barriers, stats snapshots. Control jobs keep the
+// engine's goroutine confinement — shard state is only ever touched from
+// its worker's goroutine — and are ordered with packets by channel FIFO.
 type job struct {
 	seq  int64
 	tNs  int64
 	flow packet.FiveTuple
 	pkt  *packet.Packet
+	ctrl func(w *worker)
 }
 
 // workerCounters are the per-worker observability handles (nil-safe).
@@ -25,20 +30,23 @@ type workerCounters struct {
 }
 
 // worker owns one shard of the middlebox server: its own serverrt state
-// (authoritative for the flows hashed to it) and its own virtual-time core
-// model. Everything here is goroutine-local except the shared switch
-// (internally locked) and the control-plane channel.
+// per pipeline stage (authoritative for the flows hashed to it) and its
+// own virtual-time core model. Everything here is goroutine-local except
+// the shared switches (internally locked) and the control-plane channel.
 type worker struct {
 	id   int
 	eng  *Engine
 	jobs chan job
 
-	// Exactly one of srv (offloaded) or sft (software baseline) is set.
-	srv *serverrt.Server
-	sft *serverrt.Software
+	// Exactly one of srv (offloaded) or sft (software baseline) is
+	// populated, with one entry per pipeline stage.
+	srv []*serverrt.Server
+	sft []*serverrt.Software
 
 	// coreFreeNs models this worker's core occupancy in virtual time, as
-	// the testbed's per-core array does: worker == simulated core.
+	// the testbed's per-core array does: worker == simulated core. Chained
+	// stages share the core, as chained middlebox elements share a DPDK
+	// core in the paper's runtime.
 	coreFreeNs int64
 	// jitterState drives this worker's deterministic endpoint-stack noise.
 	jitterState uint64
@@ -51,6 +59,17 @@ type worker struct {
 	stats netsim.Stats
 	hLat  *obs.Histogram
 	c     workerCounters
+}
+
+// stageState returns this shard's authoritative state for one stage.
+func (w *worker) stageState(stage int) *ir.State {
+	switch {
+	case stage >= 0 && stage < len(w.srv):
+		return w.srv[stage].State
+	case stage >= 0 && stage < len(w.sft):
+		return w.sft[stage].State
+	}
+	return nil
 }
 
 // pendingApply is one in-flight write-back batch: the flow it belongs to
@@ -66,7 +85,8 @@ type pendingApply struct {
 // for control-plane applies (per flow inside the batch, everything at the
 // batch boundary), not the processing order. After a cancellation or
 // failure it keeps draining — without processing — so the dispatcher can
-// never block on a full channel during shutdown.
+// never block on a full channel during shutdown; control jobs still run
+// then, so barriers and reconfigurations can't deadlock an abort.
 func (w *worker) loop(ctx context.Context) {
 	max := w.eng.cfg.Batch
 	for {
@@ -90,6 +110,10 @@ func (w *worker) loop(ctx context.Context) {
 		}
 		w.batch = batch
 		for _, j := range batch {
+			if j.ctrl != nil {
+				j.ctrl(w)
+				continue
+			}
 			if ctx.Err() != nil {
 				continue
 			}
@@ -219,8 +243,34 @@ func (w *worker) deliver(j job, t float64, fast bool) {
 	w.emit(j, d)
 }
 
-// process runs one packet to completion: the engine counterpart of
-// Testbed.Inject, with this worker as the packet's (simulated) core.
+// markSlow accounts the packet's first departure from the fast path; the
+// counters are per packet, not per stage, so a chained pipeline counts
+// like a single middlebox would.
+func (w *worker) markSlow(tookSlow *bool) {
+	if *tookSlow {
+		return
+	}
+	*tookSlow = true
+	w.stats.SlowPath++
+	w.c.slow.Inc()
+}
+
+// stageVerdict is one pipeline stage's outcome for a packet.
+type stageVerdict int
+
+const (
+	// stageContinue advances the packet to the next stage (or delivery).
+	stageContinue stageVerdict = iota
+	// stageMBDrop means the stage's middlebox logic dropped the packet.
+	stageMBDrop
+	// stageQueueDrop means the shard's (virtual-time) queue overflowed.
+	stageQueueDrop
+)
+
+// process runs one packet to completion through every pipeline stage: the
+// engine counterpart of Testbed.Inject, with this worker as the packet's
+// (simulated) core. A packet that survives stage i feeds stage i+1 with
+// its rewritten headers; any stage may drop it.
 func (w *worker) process(ctx context.Context, j job) error {
 	e := w.eng
 	m := e.cfg.Model
@@ -232,54 +282,86 @@ func (w *worker) process(ctx context.Context, j job) error {
 	// Source stack + first link.
 	t := float64(j.tNs) + w.stackNs() + m.SerializationNs(size) + m.LinkPropNs
 
-	if e.sw == nil {
-		return w.processSoftware(j, t)
+	tookSlow := false
+	for si := range e.stages {
+		var v stageVerdict
+		var err error
+		if len(e.sws) > 0 {
+			v, err = w.runStage(ctx, si, j, &t, &tookSlow)
+		} else {
+			v, err = w.runSoftwareStage(si, j, &t, &tookSlow)
+		}
+		if err != nil {
+			return err
+		}
+		switch v {
+		case stageMBDrop:
+			w.stats.MBDrops++
+			if !tookSlow {
+				w.stats.FastPath++
+				w.c.fast.Inc()
+			}
+			w.emit(j, Delivery{MBDropped: true, FastPath: !tookSlow})
+			return nil
+		case stageQueueDrop:
+			w.stats.QueueDrops++
+			w.emit(j, Delivery{QueueDropped: true})
+			return nil
+		}
 	}
+	if !tookSlow {
+		w.stats.FastPath++
+		w.c.fast.Inc()
+	}
+	w.deliver(j, t, !tookSlow)
+	return nil
+}
+
+// runStage carries the packet through one offloaded stage: the switch
+// pre-pass, then — when the compiled pipeline can't finish it — the
+// slow-path trip to this worker's server shard and the post-pass back
+// through the switch. On stageContinue, *t is the virtual time at which
+// the packet leaves the stage and j.pkt carries its rewritten headers.
+func (w *worker) runStage(ctx context.Context, si int, j job, t *float64, tookSlow *bool) (stageVerdict, error) {
+	e := w.eng
+	m := e.cfg.Model
+	sw := e.sws[si]
+	res := e.stages[si].Res
 
 	// Switch pre-processing pass (shared stage, read lock inside).
-	pre, err := e.sw.ProcessPre(j.pkt)
+	pre, err := sw.ProcessPre(j.pkt)
 	if err != nil {
-		return err
+		return 0, err
 	}
-	t += m.SwitchPipelineNs
+	*t += m.SwitchPipelineNs
 	if pre.Punt {
-		return w.processPunt(ctx, j, t)
+		return w.runPunt(ctx, si, j, t, tookSlow)
 	}
 	switch pre.Action {
 	case ir.ActionDropped:
-		w.stats.MBDrops++
-		w.stats.FastPath++
-		w.c.fast.Inc()
-		w.emit(j, Delivery{MBDropped: true, FastPath: true})
-		return nil
+		return stageMBDrop, nil
 	case ir.ActionSent:
-		w.stats.FastPath++
-		w.c.fast.Inc()
-		w.deliver(j, t, true)
-		return nil
+		return stageContinue, nil
 	}
 
 	// Slow path: switch → this worker's server shard.
-	w.stats.SlowPath++
-	w.c.slow.Inc()
-	t += m.SerializationNs(j.pkt.WireLen()) + m.LinkPropNs
-	arrive := int64(t)
+	w.markSlow(tookSlow)
+	*t += m.SerializationNs(j.pkt.WireLen()) + m.LinkPropNs
+	arrive := int64(*t)
 	start := arrive
 	if w.coreFreeNs > start {
 		start = w.coreFreeNs
 	}
 	if float64(start-arrive) > m.MaxQueueDelayNs {
-		w.stats.QueueDrops++
-		w.emit(j, Delivery{QueueDropped: true})
-		return nil
+		return stageQueueDrop, nil
 	}
-	rx, err := packet.DecodePacket(j.pkt.Serialize(), e.cfg.Res.FormatA)
+	rx, err := packet.DecodePacket(j.pkt.Serialize(), res.FormatA)
 	if err != nil {
-		return fmt.Errorf("engine: server rx: %w", err)
+		return 0, fmt.Errorf("engine: server rx: %w", err)
 	}
-	srvRes, err := w.srv.Process(rx)
+	srvRes, err := w.srv[si].Process(rx)
 	if err != nil {
-		return err
+		return 0, err
 	}
 	busyUntil := start + int64(m.ServerServiceNs(srvRes.Steps))
 	w.coreFreeNs = busyUntil
@@ -291,74 +373,66 @@ func (w *worker) process(ctx context.Context, j job) error {
 		// Hand the batch to the control-plane drainer, account the
 		// output-commit stall in virtual time (§4.3.3), and record it as
 		// pending so this flow's next packet waits for the apply.
-		if err := w.sendCtlPending(ctx, j.flow, ctlBatch{updates: srvRes.Updates}); err != nil {
-			return err
+		if err := w.sendCtlPending(ctx, j.flow, ctlBatch{updates: srvRes.Updates, stage: si}); err != nil {
+			return 0, err
 		}
 		release = done + int64(m.CtlBatchNs(len(srvRes.Updates)))
 	}
 
 	switch srvRes.Action {
 	case ir.ActionDropped:
-		w.stats.MBDrops++
-		w.emit(j, Delivery{MBDropped: true})
-		return nil
+		return stageMBDrop, nil
 	case ir.ActionSent:
 		// Server-owned terminator: back through the switch as plain
 		// forwarding.
-		tRel := float64(release) + m.SerializationNs(rx.WireLen()) + m.LinkPropNs + m.SwitchPipelineNs
+		*t = float64(release) + m.SerializationNs(rx.WireLen()) + m.LinkPropNs + m.SwitchPipelineNs
 		*j.pkt = *rx
-		w.deliver(j, tRel, false)
-		return nil
+		return stageContinue, nil
 	}
 
 	// Back to the switch for post-processing.
 	tBack := float64(release) + m.SerializationNs(rx.WireLen()) + m.LinkPropNs
-	back, err := packet.DecodePacket(rx.Serialize(), e.cfg.Res.FormatB)
+	back, err := packet.DecodePacket(rx.Serialize(), res.FormatB)
 	if err != nil {
-		return fmt.Errorf("engine: switch rx from server: %w", err)
+		return 0, fmt.Errorf("engine: switch rx from server: %w", err)
 	}
-	post, err := e.sw.ProcessPost(back)
+	post, err := sw.ProcessPost(back)
 	if err != nil {
-		return err
+		return 0, err
 	}
 	tBack += m.SwitchPipelineNs
 	*j.pkt = *back
 	if post.Action == ir.ActionDropped {
-		w.stats.MBDrops++
-		w.emit(j, Delivery{MBDropped: true})
-		return nil
+		return stageMBDrop, nil
 	}
-	w.deliver(j, tBack, false)
-	return nil
+	*t = tBack
+	return stageContinue, nil
 }
 
-// processPunt handles a §7 cache-mode punt: the unmodified packet goes to
-// this worker's shard, which runs the full middlebox against its
+// runPunt handles a §7 cache-mode punt: the unmodified packet goes to
+// this worker's shard, which runs the stage's full middlebox against its
 // authoritative state. Cache fills do not stall the packet; synchronous
 // updates do (output commit).
-func (w *worker) processPunt(ctx context.Context, j job, t float64) error {
+func (w *worker) runPunt(ctx context.Context, si int, j job, t *float64, tookSlow *bool) (stageVerdict, error) {
 	e := w.eng
 	m := e.cfg.Model
-	w.stats.SlowPath++
-	w.c.slow.Inc()
-	t += m.SerializationNs(j.pkt.WireLen()) + m.LinkPropNs
-	arrive := int64(t)
+	w.markSlow(tookSlow)
+	*t += m.SerializationNs(j.pkt.WireLen()) + m.LinkPropNs
+	arrive := int64(*t)
 	start := arrive
 	if w.coreFreeNs > start {
 		start = w.coreFreeNs
 	}
 	if float64(start-arrive) > m.MaxQueueDelayNs {
-		w.stats.QueueDrops++
-		w.emit(j, Delivery{QueueDropped: true})
-		return nil
+		return stageQueueDrop, nil
 	}
 	rx, err := packet.DecodePacket(j.pkt.Serialize(), nil)
 	if err != nil {
-		return fmt.Errorf("engine: server rx (punt): %w", err)
+		return 0, fmt.Errorf("engine: server rx (punt): %w", err)
 	}
-	res, err := w.srv.ProcessFull(rx)
+	res, err := w.srv[si].ProcessFull(rx)
 	if err != nil {
-		return err
+		return 0, err
 	}
 	busyUntil := start + int64(m.ServerServiceNs(res.Steps))
 	w.coreFreeNs = busyUntil
@@ -372,60 +446,52 @@ func (w *worker) processPunt(ctx context.Context, j job, t float64) error {
 		// the drainer re-classifies at apply time. Fills stay fire-and-
 		// forget (§7: a stale fill just re-punts, which is benign);
 		// synchronous updates get the committed send like the normal path.
-		fills, syncs := serverrt.ClassifyUpdates(e.sw, res.Updates)
-		b := ctlBatch{updates: res.Updates, punt: true}
+		fills, syncs := serverrt.ClassifyUpdates(e.sws[si], res.Updates)
+		b := ctlBatch{updates: res.Updates, stage: si, punt: true}
 		if len(syncs) > 0 {
 			if err := w.sendCtlPending(ctx, j.flow, b); err != nil {
-				return err
+				return 0, err
 			}
 			release = done + int64(m.CtlBatchNs(len(fills)+len(syncs)))
 		} else if err := w.sendCtl(ctx, b); err != nil {
-			return err
+			return 0, err
 		}
 	}
 	if res.Action == ir.ActionDropped {
-		w.stats.MBDrops++
-		w.emit(j, Delivery{MBDropped: true})
-		return nil
+		return stageMBDrop, nil
 	}
 	// Back out through the switch as plain forwarding.
-	tOut := float64(release) + m.SerializationNs(rx.WireLen()) + m.LinkPropNs + m.SwitchPipelineNs
+	*t = float64(release) + m.SerializationNs(rx.WireLen()) + m.LinkPropNs + m.SwitchPipelineNs
 	*j.pkt = *rx
-	w.deliver(j, tOut, false)
-	return nil
+	return stageContinue, nil
 }
 
-// processSoftware runs the whole middlebox on this worker's shard (the
-// FastClick baseline), with the switch as a plain forwarder.
-func (w *worker) processSoftware(j job, t float64) error {
+// runSoftwareStage runs one stage of the software baseline on this
+// worker's shard (the FastClick comparison), with the switch as a plain
+// forwarder.
+func (w *worker) runSoftwareStage(si int, j job, t *float64, tookSlow *bool) (stageVerdict, error) {
 	m := w.eng.cfg.Model
-	t += m.SwitchPipelineNs + m.SerializationNs(j.pkt.WireLen()) + m.LinkPropNs
-	arrive := int64(t)
+	*t += m.SwitchPipelineNs + m.SerializationNs(j.pkt.WireLen()) + m.LinkPropNs
+	arrive := int64(*t)
 	start := arrive
 	if w.coreFreeNs > start {
 		start = w.coreFreeNs
 	}
 	if float64(start-arrive) > m.MaxQueueDelayNs {
-		w.stats.QueueDrops++
-		w.emit(j, Delivery{QueueDropped: true})
-		return nil
+		return stageQueueDrop, nil
 	}
-	res, err := w.sft.Process(j.pkt)
+	w.markSlow(tookSlow)
+	res, err := w.sft[si].Process(j.pkt)
 	if err != nil {
-		return err
+		return 0, err
 	}
 	busyUntil := start + int64(m.ServerServiceNs(res.Steps))
 	w.coreFreeNs = busyUntil
 	done := busyUntil + int64(m.ServerDatapathNs)
 	w.stats.ServerCycles += m.ServerCycles(res.Steps)
-	w.stats.SlowPath++
-	w.c.slow.Inc()
 	if res.Action == ir.ActionDropped {
-		w.stats.MBDrops++
-		w.emit(j, Delivery{MBDropped: true})
-		return nil
+		return stageMBDrop, nil
 	}
-	tOut := float64(done) + m.SerializationNs(j.pkt.WireLen()) + m.LinkPropNs + m.SwitchPipelineNs
-	w.deliver(j, tOut, false)
-	return nil
+	*t = float64(done) + m.SerializationNs(j.pkt.WireLen()) + m.LinkPropNs + m.SwitchPipelineNs
+	return stageContinue, nil
 }

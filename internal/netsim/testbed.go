@@ -264,6 +264,40 @@ func NewTestbed(cfg Config) (*Testbed, error) {
 	return tb, nil
 }
 
+// Reconfigure applies one control-plane change to the sequential testbed
+// between injections: mutate runs against the authoritative server state
+// (returning any extra switch updates, e.g. connection purges), then the
+// given updates plus mutate's are staged and flipped as one batch. It is
+// the oracle counterpart of the engine's Reconfigure — differential tests
+// apply the same change at the same packet index on both sides. Any
+// write-back still awaiting its scheduled flip shares the batch (a
+// sequential reconfiguration quiesces the deployment).
+func (tb *Testbed) Reconfigure(mutate func(st *ir.State) []switchsim.Update, updates []switchsim.Update) error {
+	all := append([]switchsim.Update(nil), updates...)
+	if mutate != nil {
+		all = append(all, mutate(tb.ServerState())...)
+	}
+	if tb.sw == nil {
+		return nil
+	}
+	for _, u := range all {
+		if err := tb.sw.StageWriteback(u); err != nil {
+			if errors.Is(err, switchsim.ErrTableFull) {
+				tb.stats.CtlRejected++
+				tb.c.ctlRejected.Inc()
+				continue
+			}
+			return err
+		}
+	}
+	tb.sw.FlipVisibility()
+	tb.sw.MergeWriteback()
+	tb.sw.MarkReconfig()
+	tb.stats.CtlBatches++
+	tb.flips = tb.flips[:0]
+	return nil
+}
+
 // applyFlips makes all control-plane batches whose flip time has passed
 // visible to the data plane.
 func (tb *Testbed) applyFlips(nowNs int64) {

@@ -3,6 +3,8 @@ package packet
 import (
 	"encoding/binary"
 	"fmt"
+	"strconv"
+	"strings"
 )
 
 // IPv4HeaderLen is the length of an IPv4 header without options.
@@ -29,6 +31,23 @@ func MakeIPv4Addr(a, b, c, d byte) IPv4Addr {
 // String formats the address in dotted-quad form.
 func (a IPv4Addr) String() string {
 	return fmt.Sprintf("%d.%d.%d.%d", byte(a>>24), byte(a>>16), byte(a>>8), byte(a))
+}
+
+// ParseIPv4Addr parses a dotted-quad address ("10.0.1.2").
+func ParseIPv4Addr(s string) (IPv4Addr, error) {
+	parts := strings.Split(s, ".")
+	if len(parts) != 4 {
+		return 0, fmt.Errorf("packet: %q is not a dotted-quad IPv4 address", s)
+	}
+	var octs [4]byte
+	for i, p := range parts {
+		v, err := strconv.Atoi(p)
+		if err != nil || v < 0 || v > 255 {
+			return 0, fmt.Errorf("packet: %q is not a dotted-quad IPv4 address", s)
+		}
+		octs[i] = byte(v)
+	}
+	return MakeIPv4Addr(octs[0], octs[1], octs[2], octs[3]), nil
 }
 
 // IPv4 is an IPv4 header (options unsupported; IHL is always 5).

@@ -33,6 +33,33 @@ func (d *Deployment) Configure(setup func(st *ir.State)) error {
 	return d.Switch.SeedFrom(d.Server.State)
 }
 
+// Reconfigure applies one control-plane change to the bare pair between
+// packets: mutate runs against the authoritative server state (returning
+// any extra switch updates, e.g. connection purges), then the given
+// updates plus mutate's are staged and made visible as one atomic flip —
+// the same §4.3.3 batch the write-back path uses, so a packet processed
+// before the call sees only the old configuration and a packet processed
+// after sees only the new one. Updates rejected because the target table
+// is full stay server-only, matching the write-back soft-failure policy.
+func (d *Deployment) Reconfigure(mutate func(st *ir.State) []switchsim.Update, updates []switchsim.Update) error {
+	all := append([]switchsim.Update(nil), updates...)
+	if mutate != nil {
+		all = append(all, mutate(d.Server.State)...)
+	}
+	for _, u := range all {
+		if err := d.Switch.StageWriteback(u); err != nil {
+			if errors.Is(err, switchsim.ErrTableFull) {
+				continue
+			}
+			return err
+		}
+	}
+	d.Switch.FlipVisibility()
+	d.Switch.MergeWriteback()
+	d.Switch.MarkReconfig()
+	return nil
+}
+
 // Trace describes one packet's full trip.
 type Trace struct {
 	Action   ir.Action

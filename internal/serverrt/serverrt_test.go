@@ -9,6 +9,7 @@ import (
 	"gallium/internal/middleboxes"
 	"gallium/internal/packet"
 	"gallium/internal/partition"
+	"gallium/internal/switchsim"
 )
 
 func deploy(t *testing.T, name string) (*ir.Program, *Deployment) {
@@ -360,5 +361,66 @@ middlebox srvlpm {
 	}
 	if tr.Action != ir.ActionDropped {
 		t.Errorf("miss action = %v", tr.Action)
+	}
+}
+
+// TestDeploymentReconfigureAtomicFlip drives the bare pair's hot-reconfig
+// path: a whitelist swap staged through Reconfigure must take effect
+// between two packets — the old rule serves the packet before the call,
+// the new rule the packet after — on both the server state and the
+// offloaded switch tables, in one flip.
+func TestDeploymentReconfigureAtomicFlip(t *testing.T) {
+	_, d := deploy(t, "firewall")
+	tupA := packet.FiveTuple{
+		SrcIP: packet.MakeIPv4Addr(10, 0, 0, 1), DstIP: packet.MakeIPv4Addr(93, 184, 0, 7),
+		SrcPort: 34000, DstPort: 80, Proto: packet.IPProtocolTCP,
+	}
+	tupB := tupA
+	tupB.SrcIP = packet.MakeIPv4Addr(10, 0, 0, 2)
+	if err := d.Configure(func(st *ir.State) { middleboxes.AllowFlow(st, tupA) }); err != nil {
+		t.Fatal(err)
+	}
+
+	send := func(tup packet.FiveTuple) ir.Action {
+		t.Helper()
+		pkt := packet.BuildTCP(tup.SrcIP, tup.DstIP, tup.SrcPort, tup.DstPort,
+			packet.TCPOptions{Flags: packet.TCPFlagACK})
+		tr, err := d.Process(pkt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return tr.Action
+	}
+
+	if got := send(tupA); got != ir.ActionSent {
+		t.Fatalf("pre-reconfig: whitelisted flow A got %v, want sent", got)
+	}
+	if got := send(tupB); got == ir.ActionSent {
+		t.Fatal("pre-reconfig: flow B passed before it was whitelisted")
+	}
+
+	keyA := ir.MakeMapKey(uint64(tupA.SrcIP), uint64(tupA.DstIP), uint64(tupA.SrcPort), uint64(tupA.DstPort), uint64(tupA.Proto))
+	keyB := ir.MakeMapKey(uint64(tupB.SrcIP), uint64(tupB.DstIP), uint64(tupB.SrcPort), uint64(tupB.DstPort), uint64(tupB.Proto))
+	mutate := func(st *ir.State) []switchsim.Update {
+		delete(st.Maps["wl_out"], keyA)
+		middleboxes.AllowFlow(st, tupB)
+		return nil
+	}
+	updates := []switchsim.Update{
+		{Table: "wl_out", Key: keyB, Vals: []uint64{1}},
+		{Table: "wl_out", Key: keyA, Delete: true},
+	}
+	if err := d.Reconfigure(mutate, updates); err != nil {
+		t.Fatal(err)
+	}
+
+	if got := send(tupB); got != ir.ActionSent {
+		t.Fatalf("post-reconfig: whitelisted flow B got %v, want sent", got)
+	}
+	if got := send(tupA); got == ir.ActionSent {
+		t.Fatal("post-reconfig: flow A still passes after its rule was removed")
+	}
+	if got := d.Switch.Stats().Reconfigs; got != 1 {
+		t.Fatalf("switch counted %d reconfigs, want 1", got)
 	}
 }

@@ -100,7 +100,7 @@ func (t *Table) Len() int {
 
 // Update is one staged control-plane mutation.
 type Update struct {
-	// Table names the replicated table; empty when Register is set.
+	// Table names the replicated table; empty when Register or Vec is set.
 	Table string
 	Key   ir.MapKey
 	Vals  []uint64
@@ -114,6 +114,19 @@ type Update struct {
 	// Register names a replicated register (scalar global) to set.
 	Register string
 	RegVal   uint64
+	// Replace, with Table set, replaces the table's entire visible
+	// content with Entries at the next flip. The delta (inserts of new or
+	// changed entries, deletions of absent keys) is computed at staging
+	// time against the authoritative content, so a reconfiguring control
+	// plane ships one Update per table instead of hand-computing diffs.
+	Replace bool
+	Entries map[ir.MapKey][]uint64
+	// Vec names an offloaded vector whose contents are replaced wholesale
+	// with VecVals at the next flip (a reconfigured backend pool). Unlike
+	// LoadVector, the staged replacement becomes visible atomically with
+	// every other update in the same flip.
+	Vec     string
+	VecVals []uint64
 }
 
 // Stats counts data-plane and control-plane activity. It is a
@@ -128,7 +141,14 @@ type Stats struct {
 	Drops        int
 	CtlOps       int
 	CtlFlips     int
-	StepsTotal   int
+	// Reconfigs counts control-plane reconfiguration batches (rule swaps,
+	// pool changes) applied through the write-back path.
+	Reconfigs  int
+	StepsTotal int
+	// Epoch is the snapshot publication counter: it advances every time a
+	// new data-plane snapshot is published, so two equal epochs bracket a
+	// quiescent data plane.
+	Epoch        uint64
 	TableEntries map[string]int
 }
 
@@ -138,6 +158,7 @@ type Stats struct {
 type liveStats struct {
 	prePackets, postPackets, fastPath, toServer, punts atomic.Int64
 	evictions, drops, ctlOps, ctlFlips, stepsTotal     atomic.Int64
+	reconfigs                                          atomic.Int64
 }
 
 // Switch simulates one programmable switch loaded with a compiled
@@ -171,6 +192,12 @@ type Switch struct {
 	lpms map[string][]ir.LpmEntry
 	// stagedRegs are register updates awaiting the visibility flip.
 	stagedRegs []Update
+	// stagedVecs are vector replacements awaiting the visibility flip.
+	stagedVecs map[string][]uint64
+	// epoch counts snapshot publications (the §4.3.3 flip plus every other
+	// control-plane publish); exposed to the control plane so it can tell
+	// whether its reconfiguration has reached the data plane.
+	epoch atomic.Uint64
 	// hasCacheTables is set when any table runs in §7 cache mode.
 	hasCacheTables bool
 
@@ -186,10 +213,11 @@ type Switch struct {
 	// plane reads them); these fields are the authoritative copies the
 	// control plane republishes from. hop is the active per-packet trace
 	// hop, set by the (sequential) testbed only.
-	c     switchCounters
-	hPre  *obs.Histogram // pre-pass executed statements (stage occupancy)
-	hPost *obs.Histogram // post-pass executed statements
-	hop   *obs.Hop
+	c      switchCounters
+	hPre   *obs.Histogram // pre-pass executed statements (stage occupancy)
+	hPost  *obs.Histogram // post-pass executed statements
+	gEpoch *obs.Gauge     // snapshot-epoch gauge ("switch.snapshot.epoch")
+	hop    *obs.Hop
 }
 
 // xferField pairs a transfer variable's scratchpad slot with its
@@ -283,6 +311,7 @@ func (sw *Switch) publishLocked() {
 		snap.lpms[n] = v
 	}
 	sw.snap.Store(snap)
+	sw.gEpoch.Set(int64(sw.epoch.Add(1)))
 }
 
 // tableObs bundles one replicated table's data-plane counters.
@@ -297,7 +326,7 @@ type tableObs struct {
 // switchCounters are the switch-wide activity counters.
 type switchCounters struct {
 	pre, post, fast, toServer, punts, drops, evict *obs.Counter
-	ctlOps, ctlFlips, ctlStaged                    *obs.Counter
+	ctlOps, ctlFlips, ctlStaged, ctlReconfigs      *obs.Counter
 }
 
 // Instrument registers the switch's metrics with reg and starts recording
@@ -316,12 +345,14 @@ func (sw *Switch) Instrument(reg *obs.Registry) {
 		punts:     reg.Counter("switch.punts"),
 		drops:     reg.Counter("switch.drops"),
 		evict:     reg.Counter("switch.evictions"),
-		ctlOps:    reg.Counter("switch.ctl.ops"),
-		ctlFlips:  reg.Counter("switch.ctl.flips"),
-		ctlStaged: reg.Counter("switch.ctl.staged"),
+		ctlOps:        reg.Counter("switch.ctl.ops"),
+		ctlFlips:      reg.Counter("switch.ctl.flips"),
+		ctlStaged:     reg.Counter("switch.ctl.staged"),
+		ctlReconfigs:  reg.Counter("switch.ctl.reconfigs"),
 	}
 	sw.hPre = reg.Histogram("switch.pre.steps", obs.StepBuckets)
 	sw.hPost = reg.Histogram("switch.post.steps", obs.StepBuckets)
+	sw.gEpoch = reg.Gauge("switch.snapshot.epoch")
 	for name, t := range sw.tables {
 		prefix := "switch.table." + name + "."
 		m := &tableObs{
@@ -344,11 +375,12 @@ func (sw *Switch) TraceHop(h *obs.Hop) { sw.hop = h }
 // New loads a partitioned middlebox onto a fresh switch.
 func New(res *partition.Result) *Switch {
 	sw := &Switch{
-		Res:       res,
-		tables:    map[string]*Table{},
-		registers: map[string]uint64{},
-		vecs:      map[string][]uint64{},
-		lpms:      map[string][]ir.LpmEntry{},
+		Res:        res,
+		tables:     map[string]*Table{},
+		registers:  map[string]uint64{},
+		vecs:       map[string][]uint64{},
+		lpms:       map[string][]ir.LpmEntry{},
+		stagedVecs: map[string][]uint64{},
 	}
 	for _, gn := range res.OffloadedGlobals {
 		g := res.Prog.Global(gn)
@@ -459,7 +491,9 @@ func (sw *Switch) Stats() Stats {
 		Drops:        int(sw.stats.drops.Load()),
 		CtlOps:       int(sw.stats.ctlOps.Load()),
 		CtlFlips:     int(sw.stats.ctlFlips.Load()),
+		Reconfigs:    int(sw.stats.reconfigs.Load()),
 		StepsTotal:   int(sw.stats.stepsTotal.Load()),
+		Epoch:        sw.epoch.Load(),
 		TableEntries: map[string]int{},
 	}
 	for n, t := range sw.tables {
@@ -745,7 +779,8 @@ func (sw *Switch) ProcessPost(pkt *packet.Packet) (PreResult, error) {
 // tables), then MergeWriteback when convenient.
 
 // StageWriteback installs one update into a write-back table or stages a
-// register value. Staged state is invisible until FlipVisibility.
+// register value, vector replacement, or whole-table replacement. Staged
+// state is invisible until FlipVisibility.
 func (sw *Switch) StageWriteback(u Update) error {
 	sw.mu.Lock()
 	defer sw.mu.Unlock()
@@ -759,9 +794,23 @@ func (sw *Switch) StageWriteback(u Update) error {
 		sw.stagedRegs = append(sw.stagedRegs, u)
 		return nil
 	}
+	if u.Vec != "" {
+		if _, ok := sw.vecs[u.Vec]; !ok {
+			return fmt.Errorf("switchsim: vector %q is not offloaded", u.Vec)
+		}
+		g := sw.Res.Prog.Global(u.Vec)
+		if g != nil && g.MaxEntries > 0 && len(u.VecVals) > g.MaxEntries {
+			return fmt.Errorf("switchsim: vector %q: %d entries exceed annotation %d", u.Vec, len(u.VecVals), g.MaxEntries)
+		}
+		sw.stagedVecs[u.Vec] = append([]uint64(nil), u.VecVals...)
+		return nil
+	}
 	t, ok := sw.tables[u.Table]
 	if !ok {
 		return fmt.Errorf("switchsim: table %q not resident", u.Table)
+	}
+	if u.Replace {
+		return sw.stageReplaceLocked(t, u)
 	}
 	if u.Delete {
 		t.deleted[u.Key] = true
@@ -779,6 +828,35 @@ func (sw *Switch) StageWriteback(u Update) error {
 	// deleted and WB mutually exclusive so the overlay read path and the
 	// merge agree regardless of application order.
 	delete(t.deleted, u.Key)
+	return nil
+}
+
+// stageReplaceLocked computes the delta from a table's currently visible
+// content to u.Entries and stages it as ordinary write-back inserts and
+// deletions — so a whole-table replacement rides the §4.3.3 flip like any
+// other batch and becomes visible atomically with it.
+func (sw *Switch) stageReplaceLocked(t *Table, u Update) error {
+	if t.Capacity > 0 && len(u.Entries) > t.Capacity && !t.Cached {
+		return fmt.Errorf("%w: %q (%d entries, capacity %d)", ErrTableFull, u.Table, len(u.Entries), t.Capacity)
+	}
+	// Delete every currently visible key absent from the replacement.
+	for k := range t.Main {
+		if _, keep := u.Entries[k]; !keep {
+			t.deleted[k] = true
+			delete(t.WB, k)
+		}
+	}
+	for k := range t.WB {
+		if _, keep := u.Entries[k]; !keep {
+			t.deleted[k] = true
+			delete(t.WB, k)
+		}
+	}
+	// Install the replacement content as staged inserts.
+	for k, v := range u.Entries {
+		t.WB[k] = append([]uint64(nil), v...)
+		delete(t.deleted, k)
+	}
 	return nil
 }
 
@@ -803,8 +881,26 @@ func (sw *Switch) FlipVisibility() {
 		sw.registers[u.Register] = u.RegVal
 	}
 	sw.stagedRegs = nil
+	for name, vals := range sw.stagedVecs {
+		sw.vecs[name] = vals
+		delete(sw.stagedVecs, name)
+	}
 	sw.publishLocked()
 }
+
+// MarkReconfig accounts one applied control-plane reconfiguration batch (a
+// rule-set swap, pool change, or repartition that went through the
+// write-back path as a unit). Pure accounting: the atomicity comes from the
+// single FlipVisibility the batch shares.
+func (sw *Switch) MarkReconfig() {
+	sw.stats.reconfigs.Add(1)
+	sw.c.ctlReconfigs.Inc()
+}
+
+// Epoch reports the snapshot publication counter: it advances on every
+// data-plane publish, so observing a later epoch proves a reconfiguration
+// has reached in-flight packets.
+func (sw *Switch) Epoch() uint64 { return sw.epoch.Load() }
 
 // MergeWriteback folds write-back contents into the main tables and clears
 // the visibility bit (step 3 of §4.3.3, done off the critical path). For

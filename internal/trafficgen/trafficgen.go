@@ -250,3 +250,27 @@ func (c ProbeConfig) Generate(emit func(tNs int64, pkt *packet.Packet) error) er
 	}
 	return nil
 }
+
+// Shifted replays an inner workload with all injection times offset by
+// OffsetNs. Successive segments of one generator keep virtual time
+// monotonic across repeated engine feeds — the long-lived session's way
+// of modeling continuous traffic:
+//
+//	for i := int64(0); ; i++ {
+//		s.Feed(trafficgen.Shifted{WL: gen, OffsetNs: i * gen.DurationNs})
+//	}
+type Shifted struct {
+	WL interface {
+		Tuples() []packet.FiveTuple
+		Generate(emit func(tNs int64, pkt *packet.Packet) error) error
+	}
+	OffsetNs int64
+}
+
+// Tuples announces the inner workload's flows.
+func (s Shifted) Tuples() []packet.FiveTuple { return s.WL.Tuples() }
+
+// Generate emits the inner stream with shifted timestamps.
+func (s Shifted) Generate(emit func(tNs int64, pkt *packet.Packet) error) error {
+	return s.WL.Generate(func(t int64, p *packet.Packet) error { return emit(t+s.OffsetNs, p) })
+}

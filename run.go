@@ -2,6 +2,7 @@ package gallium
 
 import (
 	"context"
+	"fmt"
 
 	"gallium/internal/engine"
 	"gallium/internal/ir"
@@ -11,9 +12,9 @@ import (
 	"gallium/internal/packet"
 )
 
-// Workload is a streaming packet source for Run: trafficgen's generators
-// (IperfConfig, ProbeConfig) satisfy it, as does any type producing
-// packets in non-decreasing injection-time order.
+// Workload is a streaming packet source for Run and Session.Feed:
+// trafficgen's generators (IperfConfig, ProbeConfig) satisfy it, as does
+// any type producing packets in non-decreasing injection-time order.
 type Workload = engine.Workload
 
 // Report is one engine run's result: aggregated and per-worker traffic
@@ -23,13 +24,31 @@ type Report = engine.Report
 // Delivery is one packet's fate, as observed by WithDeliveries callbacks.
 type Delivery = engine.Delivery
 
-// RunOption configures Artifacts.Run.
+// RunOption configures Artifacts.Run, Open, and Pipeline.Open. Options
+// that reject their argument surface the error from Run/Open (the first
+// invalid option wins), so a typo'd queue size cannot silently fall back
+// to a default.
 type RunOption func(*runConfig)
+
+// Option is RunOption's session-flavored name: Open(arts, ...Option).
+type Option = RunOption
 
 type runConfig struct {
 	engine.Config
-	scenario    bool
-	shardStates func(shard int, st *ir.State)
+	scenario bool
+	flows    []packet.FiveTuple
+	// seedFns run per shard before the engine starts; settleFns run per
+	// shard after the run settles. WithState registers in both.
+	seedFns   []func(shard int, st *ir.State)
+	settleFns []func(shard int, st *ir.State)
+	err       error
+}
+
+// fail records the first option error.
+func (c *runConfig) fail(err error) {
+	if c.err == nil {
+		c.err = err
+	}
 }
 
 // WithWorkers sets the number of concurrent server shards (default 1).
@@ -50,26 +69,54 @@ func WithMetrics(reg *obs.Registry) RunOption {
 	return func(c *runConfig) { c.Obs = reg }
 }
 
-// WithScenario seeds every shard with the middlebox's standard benchmark
-// scenario: configured state (backends, NAT pools — partitioned across
-// shards where the middlebox needs it), firewall whitelist entries for
-// the workload's announced tuples, and the proxy port redirect.
+// WithScenario seeds every shard of every stage with the middlebox's
+// standard benchmark scenario: configured state (backends, NAT pools —
+// partitioned across shards where the middlebox needs it), firewall
+// whitelist entries for the workload's announced tuples (Run) or
+// WithFlows (Open), and the proxy port redirect. It wins over WithState
+// seeding when both are given.
 func WithScenario() RunOption {
 	return func(c *runConfig) { c.scenario = true }
 }
 
-// WithSetup seeds each shard's state explicitly (shard in [0, workers)).
-// Mutually exclusive with WithScenario, which wins if both are given.
+// WithFlows announces the traffic five-tuples a WithScenario session
+// whitelists. Run fills this from the workload automatically; Open has no
+// workload yet, so sessions pass the planned flows here.
+func WithFlows(flows []packet.FiveTuple) RunOption {
+	return func(c *runConfig) { c.flows = flows }
+}
+
+// WithState registers a per-shard state hook (shard in [0, workers)),
+// invoked whenever the shard's authoritative state is quiescent and safe
+// to touch from the caller's goroutine: once per shard before the engine
+// starts (seed configuration there) and once per shard after the run
+// settles (read final state there — differential tests compare it against
+// a sequential oracle). The states must not be retained past the call.
+// Multiple WithState options compose in registration order. For chained
+// pipelines the hook receives stage 0's state; seed later stages through
+// WithScenario or reconfigure them via Session.Reconfigure.
+func WithState(fn func(shard int, st *ir.State)) RunOption {
+	return func(c *runConfig) {
+		c.seedFns = append(c.seedFns, fn)
+		c.settleFns = append(c.settleFns, fn)
+	}
+}
+
+// WithSetup seeds each shard's state before the engine starts.
+//
+// Deprecated: WithSetup is WithState's seeding half; new code should use
+// WithState.
 func WithSetup(fn func(shard int, st *ir.State)) RunOption {
-	return func(c *runConfig) { c.Setup = fn }
+	return func(c *runConfig) { c.seedFns = append(c.seedFns, fn) }
 }
 
 // WithShardStates registers a callback invoked once per shard after the
 // run settles, exposing each shard's final authoritative middlebox state.
-// Differential tests use it to compare the sharded outcome against a
-// sequential oracle; the states must not be retained past the callback.
+//
+// Deprecated: WithShardStates is WithState's inspection half; new code
+// should use WithState.
 func WithShardStates(fn func(shard int, st *ir.State)) RunOption {
-	return func(c *runConfig) { c.shardStates = fn }
+	return func(c *runConfig) { c.settleFns = append(c.settleFns, fn) }
 }
 
 // WithCostModel overrides the virtual-time cost model.
@@ -92,14 +139,33 @@ func WithBatch(n int) RunOption {
 	return func(c *runConfig) { c.Batch = n }
 }
 
-// WithQueueDepth bounds each worker's ingress channel (default 256).
+// WithQueueDepth bounds each worker's ingress queue to n packets
+// (default 256). The unit is packets per worker: a full queue exerts
+// backpressure on the dispatcher rather than dropping. n must be
+// positive; a non-positive n is an error, not a silent default.
 func WithQueueDepth(n int) RunOption {
-	return func(c *runConfig) { c.QueueDepth = n }
+	return func(c *runConfig) {
+		if n <= 0 {
+			c.fail(fmt.Errorf("gallium: WithQueueDepth(%d): depth must be a positive packet count", n))
+			return
+		}
+		c.QueueDepth = n
+	}
 }
 
-// WithCtlQueue bounds the control-plane slow-path channel (default 256).
+// WithCtlQueue bounds the control-plane slow-path channel to n write-back
+// batches (default 256). The unit is batches (one batch per slow-path
+// packet that recorded updates, plus one per reconfiguration): a full
+// channel backpressures the workers that feed it. n must be positive; a
+// non-positive n is an error, not a silent default.
 func WithCtlQueue(n int) RunOption {
-	return func(c *runConfig) { c.CtlQueue = n }
+	return func(c *runConfig) {
+		if n <= 0 {
+			c.fail(fmt.Errorf("gallium: WithCtlQueue(%d): depth must be a positive batch count", n))
+			return
+		}
+		c.CtlQueue = n
+	}
 }
 
 // Run streams a workload through the concurrent sharded packet engine
@@ -109,30 +175,30 @@ func WithCtlQueue(n int) RunOption {
 // channel. Run blocks until the workload is exhausted and every in-flight
 // packet and state update has settled; cancel ctx to abort early.
 //
-// This is the primary way to execute traffic against compiled artifacts.
-// For packet-at-a-time experiments that need exact injection-time control
-// (latency sweeps, per-packet traces), build a Testbed and use Inject.
+// Run is the one-shot convenience over the Session lifecycle: it opens a
+// session, feeds the workload, and closes. Long-lived traffic with hot
+// reconfiguration uses Open / Session.Feed / Session.Reconfigure
+// directly. For packet-at-a-time experiments that need exact
+// injection-time control (latency sweeps, per-packet traces), build a
+// Testbed and use Inject.
 func (a *Artifacts) Run(ctx context.Context, wl Workload, opts ...RunOption) (*Report, error) {
-	var cfg runConfig
-	for _, opt := range opts {
-		opt(&cfg)
-	}
-	if cfg.scenario {
-		cfg.Setup = a.shardScenarioSetup(wl.Tuples(), cfg.Workers)
-	}
-	cfg.Res = a.Res
-	cfg.Prog = a.Prog
-	eng, err := engine.New(cfg.Config)
+	opts = append([]RunOption{WithFlows(wl.Tuples())}, opts...)
+	s, err := openSession(ctx, []*Artifacts{a}, opts)
 	if err != nil {
 		return nil, err
 	}
-	rep, err := eng.Run(ctx, wl)
-	if err == nil && cfg.shardStates != nil {
-		for shard, st := range eng.ShardStates() {
-			cfg.shardStates(shard, st)
-		}
+	feedErr := s.Feed(wl)
+	rep, closeErr := s.Close()
+	if feedErr != nil {
+		return nil, feedErr
 	}
-	return rep, err
+	if closeErr != nil {
+		return nil, closeErr
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	return rep, nil
 }
 
 // shardScenarioSetup is ScenarioSetup's shard-aware counterpart: identical

@@ -67,8 +67,13 @@ type TestbedConfig struct {
 // The testbed's Inject is the low-level escape hatch: a sequential,
 // virtual-time, packet-at-a-time model with deterministic latencies,
 // right for latency experiments, per-packet traces, and differential
-// tests that need exact control over injection times. For streaming a
-// workload through the concurrent engine, use Artifacts.Run instead.
+// tests that need exact control over injection times. Its Reconfigure
+// applies a control-plane change between two injections, which makes it
+// the oracle counterpart of Session.Reconfigure: differential tests
+// apply the same compiled change at the same packet index on both
+// sides. For streaming a workload through the concurrent engine, use
+// Artifacts.Run (one-shot) or Open (long-lived Session with live
+// reconfiguration) instead.
 func (a *Artifacts) NewTestbed(cfg TestbedConfig) (*netsim.Testbed, error) {
 	model := netsim.DefaultModel()
 	if cfg.Model != nil {
