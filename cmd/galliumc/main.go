@@ -11,6 +11,7 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -34,6 +35,8 @@ func main() {
 	drmt := flag.Bool("drmt", false, "target a disaggregated-RMT switch (relax rules 3/4)")
 	vet := flag.Bool("vet", false, "run the static-analysis layer (middlebox lint + partition verifier); errors fail the build")
 	werror := flag.Bool("Werror", false, "treat analysis warnings as errors (implies -vet)")
+	explain := flag.Bool("explain", false, "print each diagnostic's derivation chain (implies -vet)")
+	jsonOut := flag.Bool("json", false, "emit the analysis report as JSON on stdout and nothing else (implies -vet; -print/-o output is suppressed)")
 	fuzzN := flag.Int("fuzz", 0, "run the differential equivalence fuzzer over N generated cases and exit")
 	fuzzSeed := flag.Uint64("fuzzseed", 0, "first seed for -fuzz (failing seeds replay with -fuzz 1 -fuzzseed N)")
 	fuzzTime := flag.Duration("fuzztime", 0, "wall-clock budget for -fuzz (0 = unbounded)")
@@ -59,8 +62,9 @@ func main() {
 	opts := gallium.Options{
 		WeightedObjective: *weighted,
 		DisaggregatedRMT:  *drmt,
-		Verify:            *vet || *werror,
+		Verify:            *vet || *werror || *explain || *jsonOut,
 	}
+	dopts := diagOpts{werror: *werror, explain: *explain, json: *jsonOut}
 	// Overrides apply only when the flag was given on the command line, so
 	// an explicit `-depth 0` reaches the partitioner (and is rejected
 	// there) instead of silently meaning "use the default".
@@ -76,21 +80,57 @@ func main() {
 	})
 	var err error
 	if flag.NArg() > 1 {
-		err = runChain(flag.Args(), *outDir, *show, opts, *werror)
+		err = runChain(flag.Args(), *outDir, *show, opts, dopts)
 	} else {
-		err = run(flag.Arg(0), *outDir, *show, opts, *werror)
+		err = run(flag.Arg(0), *outDir, *show, opts, dopts)
 	}
 	if err != nil {
+		// With -json, a verification failure still produces the full
+		// machine-readable report on stdout before the nonzero exit.
+		var ve *gallium.VerifyError
+		if dopts.json && errors.As(err, &ve) {
+			if out, jerr := ve.Diagnostics.JSON(ve.Name); jerr == nil {
+				fmt.Println(string(out))
+			}
+		}
 		fmt.Fprintln(os.Stderr, "galliumc:", err)
 		os.Exit(1)
 	}
+}
+
+// diagOpts carries the diagnostic-presentation flags through run/runChain.
+type diagOpts struct {
+	werror, explain, json bool
+}
+
+// reportDiagnostics renders one compiled middlebox's analysis report per
+// the presentation flags and enforces -Werror. JSON goes to stdout (the
+// machine surface); human renderings go to stderr like compiler output.
+func reportDiagnostics(art *gallium.Artifacts, d diagOpts) error {
+	if d.json {
+		out, err := art.Diagnostics.JSON(art.Name)
+		if err != nil {
+			return err
+		}
+		fmt.Println(string(out))
+	} else if len(art.Diagnostics) > 0 {
+		if d.explain {
+			fmt.Fprint(os.Stderr, art.Diagnostics.RenderExplain(art.Name))
+		} else {
+			fmt.Fprint(os.Stderr, art.Diagnostics.Render(art.Name))
+		}
+	}
+	if n := art.Diagnostics.CountAtLeast(analysis.Warning); d.werror && n > 0 {
+		return fmt.Errorf("%s: -Werror: %d warning(s)", art.Name, n)
+	}
+	return nil
 }
 
 // runChain compiles several middleboxes as one deployment pipeline:
 // per-stage reports plus the combined resource footprint the chained
 // switch program would occupy. Only -print report (and -o, which writes
 // each stage's artifacts) make sense for a chain.
-func runChain(targets []string, outDir, show string, opts gallium.Options, werror bool) error {
+func runChain(targets []string, outDir, show string, opts gallium.Options, dopts diagOpts) error {
 	if show != "report" {
 		return fmt.Errorf("-print %s prints one program; chains support only -print report", show)
 	}
@@ -100,11 +140,8 @@ func runChain(targets []string, outDir, show string, opts gallium.Options, werro
 		if err != nil {
 			return err
 		}
-		if len(art.Diagnostics) > 0 {
-			fmt.Fprint(os.Stderr, art.Diagnostics.Render(art.Name))
-			if n := art.Diagnostics.CountAtLeast(analysis.Warning); werror && n > 0 {
-				return fmt.Errorf("%s: -Werror: %d warning(s)", art.Name, n)
-			}
+		if err := reportDiagnostics(art, dopts); err != nil {
+			return err
 		}
 		arts = append(arts, art)
 	}
@@ -155,18 +192,19 @@ func validPrint(show string) bool {
 	return false
 }
 
-func run(target, outDir, show string, opts gallium.Options, werror bool) error {
+func run(target, outDir, show string, opts gallium.Options, dopts diagOpts) error {
 	art, err := gallium.CompileTarget(target, opts)
 	if err != nil {
 		return err
 	}
-	// Diagnostics go to stderr so stdout stays machine-clean for -print
-	// output; a failing -vet surfaces as a *gallium.VerifyError above.
-	if len(art.Diagnostics) > 0 {
-		fmt.Fprint(os.Stderr, art.Diagnostics.Render(art.Name))
-		if n := art.Diagnostics.CountAtLeast(analysis.Warning); werror && n > 0 {
-			return fmt.Errorf("%s: -Werror: %d warning(s)", art.Name, n)
-		}
+	// Human diagnostics go to stderr so stdout stays machine-clean for
+	// -print output; a failing -vet surfaces as a *gallium.VerifyError
+	// above. -json instead owns stdout with the report.
+	if err := reportDiagnostics(art, dopts); err != nil {
+		return err
+	}
+	if dopts.json {
+		return nil
 	}
 
 	if outDir != "" {

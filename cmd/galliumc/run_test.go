@@ -1,0 +1,101 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"gallium"
+)
+
+// These tests drive the CLI's internal entry points in-process (the
+// exec-based tests in vet_test.go pin exit codes but produce no
+// coverage of this package), one per surface: single-target runs across
+// every -print mode, artifact writing, chained pipelines, diagnostics
+// presentation, and the fuzz entry point.
+
+func TestRunPrintModes(t *testing.T) {
+	for _, show := range printValues {
+		if show == "deps" || show == "all" {
+			continue // covered below; "all" just concatenates
+		}
+		if err := run("firewall", "", show, gallium.Options{}, diagOpts{}); err != nil {
+			t.Errorf("run(-print %s): %v", show, err)
+		}
+	}
+	if err := run("firewall", "", "deps", gallium.Options{}, diagOpts{}); err != nil {
+		t.Errorf("run(-print deps): %v", err)
+	}
+	if err := run("firewall", "", "all", gallium.Options{}, diagOpts{}); err != nil {
+		t.Errorf("run(-print all): %v", err)
+	}
+	if !validPrint("report") || validPrint("bogus") {
+		t.Error("validPrint misclassifies")
+	}
+}
+
+func TestRunWritesArtifacts(t *testing.T) {
+	dir := t.TempDir()
+	if err := run("firewall", dir, "report", gallium.Options{}, diagOpts{}); err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"firewall.p4", "firewall_server.cpp", "firewall_report.txt"} {
+		if _, err := os.Stat(filepath.Join(dir, name)); err != nil {
+			t.Errorf("artifact %s not written: %v", name, err)
+		}
+	}
+}
+
+func TestRunVetPresentation(t *testing.T) {
+	opts := gallium.Options{Verify: true}
+	if err := run("firewall", "", "report", opts, diagOpts{}); err != nil {
+		t.Errorf("vet render: %v", err)
+	}
+	if err := run("firewall", "", "report", opts, diagOpts{explain: true}); err != nil {
+		t.Errorf("vet explain: %v", err)
+	}
+	if err := run("firewall", "", "report", opts, diagOpts{json: true}); err != nil {
+		t.Errorf("vet json: %v", err)
+	}
+	// The firewall's report is info-only, so even -Werror passes.
+	if err := run("firewall", "", "report", opts, diagOpts{werror: true}); err != nil {
+		t.Errorf("vet werror on clean target: %v", err)
+	}
+}
+
+func TestRunWerrorFailsOnWarnings(t *testing.T) {
+	f := filepath.Join(t.TempDir(), "warn.mc")
+	if err := os.WriteFile(f, []byte(vetSource), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	err := run(f, "", "report", gallium.Options{Verify: true}, diagOpts{werror: true})
+	if err == nil || !strings.Contains(err.Error(), "-Werror") {
+		t.Fatalf("want -Werror failure, got %v", err)
+	}
+}
+
+func TestRunChainReport(t *testing.T) {
+	dir := t.TempDir()
+	if err := runChain([]string{"firewall", "l4lb"}, dir, "report", gallium.Options{}, diagOpts{}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(filepath.Join(dir, "l4lb.p4")); err != nil {
+		t.Errorf("chain artifact missing: %v", err)
+	}
+	if err := runChain([]string{"firewall", "l4lb"}, "", "p4", gallium.Options{}, diagOpts{}); err == nil {
+		t.Error("chain with -print p4 should be rejected")
+	}
+}
+
+func TestRunUnknownTarget(t *testing.T) {
+	if err := run("no-such-box", "", "report", gallium.Options{}, diagOpts{}); err == nil {
+		t.Error("unknown target did not error")
+	}
+}
+
+func TestRunFuzzClean(t *testing.T) {
+	if code := runFuzz(3, 0, 0, ""); code != 0 {
+		t.Fatalf("clean fuzz range exited %d", code)
+	}
+}

@@ -1,0 +1,168 @@
+package main
+
+import (
+	"encoding/json"
+	"errors"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// buildCLI compiles the galliumc binary once per test binary and returns
+// its path. Tests then exercise real flag parsing and exit codes.
+func buildCLI(t *testing.T) string {
+	t.Helper()
+	bin := filepath.Join(t.TempDir(), "galliumc")
+	out, err := exec.Command("go", "build", "-o", bin, ".").CombinedOutput()
+	if err != nil {
+		t.Fatalf("go build: %v\n%s", err, out)
+	}
+	return bin
+}
+
+// vetSource carries two source-reachable warnings (a map value
+// consumed without testing the found flag, an unused global) plus the
+// info-severity flow-affinity certificate with its derivation notes.
+// interval/width-truncation is unreachable from well-typed MiniClick —
+// every header store's register already has the field's exact width —
+// so the CLI contract for it is pinned by the IR-level mutation tests.
+const vetSource = `middlebox vetcase {
+    map<u32, u32, u16, u16, u8 -> u16> flows(max = 1024);
+    global u32 unused;
+    proc process(pkt p) {
+        let r = flows.find(p.ip.saddr, p.ip.daddr, p.l4.sport, p.l4.dport, p.ip.proto);
+        p.ip.id = r.v0;
+        send(p);
+    }
+}
+`
+
+func writeSource(t *testing.T, src string) string {
+	t.Helper()
+	f := filepath.Join(t.TempDir(), "prog.mc")
+	if err := os.WriteFile(f, []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return f
+}
+
+func exitCode(t *testing.T, err error) int {
+	t.Helper()
+	if err == nil {
+		return 0
+	}
+	var ee *exec.ExitError
+	if !errors.As(err, &ee) {
+		t.Fatalf("command did not run: %v", err)
+	}
+	return ee.ExitCode()
+}
+
+// TestVetExitCodes pins the CLI contract: warnings alone exit 0 under
+// -vet, exit 1 under -Werror, and a clean builtin is silent on stderr
+// apart from its info-severity certificate.
+func TestVetExitCodes(t *testing.T) {
+	bin := buildCLI(t)
+	src := writeSource(t, vetSource)
+
+	out, err := exec.Command(bin, "-vet", src).CombinedOutput()
+	if code := exitCode(t, err); code != 0 {
+		t.Fatalf("-vet with warnings exited %d, want 0:\n%s", code, out)
+	}
+	if !strings.Contains(string(out), "lint/unchecked-map-miss") {
+		t.Fatalf("-vet output missing lint/unchecked-map-miss:\n%s", out)
+	}
+
+	out, err = exec.Command(bin, "-Werror", src).CombinedOutput()
+	if code := exitCode(t, err); code != 1 {
+		t.Fatalf("-Werror with warnings exited %d, want 1:\n%s", code, out)
+	}
+	if !strings.Contains(string(out), "-Werror") {
+		t.Fatalf("-Werror exit message missing:\n%s", out)
+	}
+
+	out, err = exec.Command(bin, "-vet", "firewall").CombinedOutput()
+	if code := exitCode(t, err); code != 0 {
+		t.Fatalf("-vet firewall exited %d, want 0:\n%s", code, out)
+	}
+	if !strings.Contains(string(out), "affinity/certificate") {
+		t.Fatalf("-vet firewall missing its affinity certificate:\n%s", out)
+	}
+}
+
+// TestVetExplain: -explain must append the derivation chain under each
+// diagnostic as indented note lines.
+func TestVetExplain(t *testing.T) {
+	bin := buildCLI(t)
+	src := writeSource(t, vetSource)
+	out, err := exec.Command(bin, "-vet", "-explain", src).CombinedOutput()
+	if code := exitCode(t, err); code != 0 {
+		t.Fatalf("-explain exited %d, want 0:\n%s", code, out)
+	}
+	s := string(out)
+	if !strings.Contains(s, "    note: ") {
+		t.Fatalf("-explain output has no note lines:\n%s", s)
+	}
+	if !strings.Contains(s, "identity of ip.saddr") {
+		t.Fatalf("-explain output missing the affinity derivation chain:\n%s", s)
+	}
+}
+
+// vetReport mirrors the stable JSON schema of Diagnostics.JSON.
+type vetReport struct {
+	Program     string `json:"program"`
+	Errors      int    `json:"errors"`
+	Warnings    int    `json:"warnings"`
+	Diagnostics []struct {
+		Check    string   `json:"check"`
+		Severity string   `json:"severity"`
+		Message  string   `json:"message"`
+		Fn       string   `json:"fn"`
+		Stmt     int      `json:"stmt"`
+		Line     int      `json:"line"`
+		Notes    []string `json:"notes"`
+	} `json:"diagnostics"`
+}
+
+// TestVetJSONSchema: -json owns stdout with the machine-readable report;
+// the new check IDs appear with severity and 1-based source lines.
+func TestVetJSONSchema(t *testing.T) {
+	bin := buildCLI(t)
+	src := writeSource(t, vetSource)
+	cmd := exec.Command(bin, "-json", src)
+	var stdout, stderr strings.Builder
+	cmd.Stdout, cmd.Stderr = &stdout, &stderr
+	if err := cmd.Run(); err != nil {
+		t.Fatalf("-json exited nonzero: %v\n%s", err, stderr.String())
+	}
+	var rep vetReport
+	if err := json.Unmarshal([]byte(stdout.String()), &rep); err != nil {
+		t.Fatalf("stdout is not the JSON report: %v\n%s", err, stdout.String())
+	}
+	if rep.Program != "vetcase" || rep.Errors != 0 || rep.Warnings < 2 {
+		t.Fatalf("report summary = %q/%d errors/%d warnings, want vetcase/0/>=2",
+			rep.Program, rep.Errors, rep.Warnings)
+	}
+	checks := map[string]bool{}
+	for _, d := range rep.Diagnostics {
+		checks[d.Check] = true
+		if d.Check == "affinity/certificate" {
+			if d.Severity != "info" {
+				t.Errorf("certificate severity %q, want info", d.Severity)
+			}
+			if d.Line <= 0 {
+				t.Errorf("certificate diagnostic has no source line: %+v", d)
+			}
+			if len(d.Notes) == 0 {
+				t.Errorf("certificate diagnostic has no derivation notes")
+			}
+		}
+	}
+	for _, want := range []string{"affinity/certificate", "lint/unchecked-map-miss", "lint/unused-global"} {
+		if !checks[want] {
+			t.Errorf("JSON report missing %s:\n%s", want, stdout.String())
+		}
+	}
+}

@@ -76,7 +76,8 @@ func TestChecksRegistry(t *testing.T) {
 			t.Errorf("duplicate check ID %s", c.ID)
 		}
 		seen[c.ID] = true
-		if !strings.HasPrefix(c.ID, "verify/") && !strings.HasPrefix(c.ID, "lint/") {
+		if !strings.HasPrefix(c.ID, "verify/") && !strings.HasPrefix(c.ID, "lint/") &&
+			!strings.HasPrefix(c.ID, "affinity/") && !strings.HasPrefix(c.ID, "interval/") {
 			t.Errorf("check ID %s has no family prefix", c.ID)
 		}
 		if c.Doc == "" || c.Paper == "" {
@@ -178,11 +179,72 @@ func TestLintUncheckedMapMiss(t *testing.T) {
 func TestLintWidthTruncation(t *testing.T) {
 	b := ir.NewBuilder("trunc")
 	x := b.LoadHeader("x", "ip.saddr", ir.U32)
-	b.StoreHeader("l4.sport", x) // 32-bit register into a 16-bit field
+	b.StoreHeader("l4.sport", x) // 32-bit value into a 16-bit field
 	b.Send()
 	ds := Lint(buildProg(b))
-	if len(ds.ByCheck(CheckWidthTruncation)) != 1 {
+	got := ds.ByCheck(CheckIntervalTruncation)
+	if len(got) != 1 {
 		t.Fatalf("truncating store not flagged:\n%s", ds.Render("trunc"))
+	}
+	if len(got[0].Notes) == 0 {
+		t.Fatalf("truncation diagnostic has no derivation notes: %+v", got[0])
+	}
+}
+
+// TestLintWidthTruncationMaskedValueClean pins the precision win over
+// the old lint/width-truncation type heuristic: a u32 register provably
+// masked below the field maximum is not a truncation.
+func TestLintWidthTruncationMaskedValueClean(t *testing.T) {
+	b := ir.NewBuilder("masked")
+	x := b.LoadHeader("x", "ip.saddr", ir.U32)
+	m := b.Const("m", ir.U32, 0xFF)
+	lo := b.BinOp("lo", ir.And, x, m)
+	b.StoreHeader("ip.tos", lo) // wide register, narrow proven range
+	b.Send()
+	ds := Lint(buildProg(b))
+	if got := ds.ByCheck(CheckIntervalTruncation); len(got) != 0 {
+		t.Fatalf("masked store flagged:\n%s", ds.Render("masked"))
+	}
+}
+
+// TestLintWidthTruncationUnreachableClean: a truncating store on a
+// statically infeasible path is not reported.
+func TestLintWidthTruncationUnreachableClean(t *testing.T) {
+	b := ir.NewBuilder("deadpath")
+	then := b.NewBlock()
+	els := b.NewBlock()
+	one := b.Const("one", ir.U32, 1)
+	two := b.Const("two", ir.U32, 2)
+	cond := b.BinOp("cond", ir.Gt, one, two)
+	wide := b.LoadHeader("wide", "ip.saddr", ir.U32)
+	b.Branch(cond, then, els)
+	b.SetBlock(then)
+	b.StoreHeader("ip.tos", wide)
+	b.Send()
+	b.SetBlock(els)
+	b.Send()
+	ds := Lint(buildProg(b))
+	if got := ds.ByCheck(CheckIntervalTruncation); len(got) != 0 {
+		t.Fatalf("store on infeasible path flagged:\n%s", ds.Render("deadpath"))
+	}
+}
+
+// TestLintAffinityCertificateInfo: Lint surfaces the per-map affinity
+// verdict as an info-severity diagnostic.
+func TestLintAffinityCertificateInfo(t *testing.T) {
+	g := &ir.Global{Name: "m", Kind: ir.KindMap, KeyTypes: []ir.Type{ir.U8}, ValTypes: []ir.Type{ir.U32}, MaxEntries: 64}
+	b := ir.NewBuilder("cert")
+	k := b.LoadHeader("k", "ip.ttl", ir.U8)
+	v := b.LoadHeader("v", "ip.saddr", ir.U32)
+	b.MapInsert(g, []ir.Reg{k}, []ir.Reg{v})
+	b.Send()
+	ds := Lint(buildProg(b, g))
+	got := ds.ByCheck(CheckAffinityCertificate)
+	if len(got) != 1 || got[0].Severity != Info {
+		t.Fatalf("want one affinity/certificate info, got:\n%s", ds.Render("cert"))
+	}
+	if !strings.Contains(got[0].Message, "cross-flow") {
+		t.Fatalf("certificate verdict missing from message: %s", got[0].Message)
 	}
 }
 

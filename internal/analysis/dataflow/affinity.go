@@ -1,0 +1,658 @@
+package dataflow
+
+import (
+	"fmt"
+	"sort"
+
+	"gallium/internal/ir"
+)
+
+// FlowFields are the five ingress header fields that identify a flow —
+// exactly the tuple the engine hashes to pick a worker shard, so a map
+// whose keys are provably a function of these fields is touched by only
+// one shard per flow.
+var FlowFields = [5]string{"ip.saddr", "ip.daddr", "l4.sport", "l4.dport", "ip.proto"}
+
+// flowFieldBits are the widths of FlowFields, for deciding whether a
+// Convert preserves an identity copy.
+var flowFieldBits = [5]int{32, 32, 16, 16, 8}
+
+const (
+	protoBit  = uint8(1 << 4)
+	allFields = uint8(1<<5 - 1)
+)
+
+// Taint is the provenance of one value in the flow-affinity lattice.
+type Taint struct {
+	// Fields is a bitset over FlowFields indices the value may depend on.
+	Fields uint8
+	// NonFlow marks dependence on anything that is not a pure function
+	// of the ingress five-tuple: mutable state reads, payload contents,
+	// non-tuple header fields.
+	NonFlow bool
+	// Ident is the FlowFields index this value is an exact, lossless
+	// copy of (-1 when it is not an identity copy of any tuple field).
+	Ident int8
+}
+
+// nonFlow is the top-of-lattice taint for values the analysis cannot
+// relate to the ingress tuple.
+var nonFlow = Taint{NonFlow: true, Ident: -1}
+
+// pure is the taint of a constant: a (trivial) pure function of the
+// tuple, identity of nothing.
+var pure = Taint{Ident: -1}
+
+// Join is the lattice join: union of dependence fields, sticky NonFlow,
+// identity kept only when both sides agree.
+func (t Taint) Join(o Taint) Taint { return joinTaint(t, o) }
+
+func joinTaint(a, b Taint) Taint {
+	t := Taint{
+		Fields:  a.Fields | b.Fields,
+		NonFlow: a.NonFlow || b.NonFlow,
+		Ident:   -1,
+	}
+	if a.Ident == b.Ident {
+		t.Ident = a.Ident
+	}
+	return t
+}
+
+// String renders a taint for diagnostics: "identity of ip.saddr",
+// "derived from {ip.saddr, ip.proto}", or "non-flow".
+func (t Taint) String() string {
+	if t.NonFlow {
+		return "non-flow"
+	}
+	if t.Ident >= 0 {
+		return "identity of " + FlowFields[t.Ident]
+	}
+	if t.Fields == 0 {
+		return "constant"
+	}
+	s := "derived from {"
+	first := true
+	for i, f := range FlowFields {
+		if t.Fields&(1<<i) != 0 {
+			if !first {
+				s += ", "
+			}
+			s += f
+			first = false
+		}
+	}
+	return s + "}"
+}
+
+// Verdict classifies one map-access site (and, as the minimum over
+// sites, a whole map) by how its keys relate to the ingress tuple.
+type Verdict uint8
+
+const (
+	// CrossFlow: some key component may depend on non-flow inputs, so
+	// two different flows can compute the same key — state is shared
+	// across flows (and therefore across worker shards).
+	CrossFlow Verdict = iota
+	// Derived: every key component is a pure function of the ingress
+	// tuple, but the components do not include lossless copies of all
+	// five fields, so distinct flows may still collide on a key.
+	Derived
+	// Exact: the key components include identity copies of all five
+	// tuple fields — distinct flows always produce distinct keys, so
+	// each key is owned by exactly one flow (and one shard).
+	Exact
+)
+
+// String implements fmt.Stringer ("cross-flow", "derived", "exact") —
+// also the wire form used by the // difftest:affinity corpus directive.
+func (v Verdict) String() string {
+	switch v {
+	case Exact:
+		return "exact"
+	case Derived:
+		return "derived"
+	}
+	return "cross-flow"
+}
+
+// ParseVerdict is String's inverse.
+func ParseVerdict(s string) (Verdict, bool) {
+	switch s {
+	case "exact":
+		return Exact, true
+	case "derived":
+		return Derived, true
+	case "cross-flow":
+		return CrossFlow, true
+	}
+	return CrossFlow, false
+}
+
+// Site is one analyzed access: a map find/insert/remove with its key
+// component taints, or a scalar-global store.
+type Site struct {
+	// Stmt and Line locate the access in the input function/source.
+	Stmt, Line int
+	// Kind is the accessing instruction kind.
+	Kind ir.Kind
+	// Verdict classifies the access (map sites only).
+	Verdict Verdict
+	// Taints are the per-key-component taints at the access (map sites).
+	Taints []Taint
+	// Why is a short human-readable derivation for the verdict.
+	Why []string
+}
+
+// MapAffinity is the certificate entry for one map global.
+type MapAffinity struct {
+	Name string
+	// Verdict is the weakest verdict over all reachable access sites;
+	// a map with no reachable accesses is vacuously Exact.
+	Verdict Verdict
+	// Sites lists every reachable access in statement order.
+	Sites []Site
+}
+
+// Affinity is the flow-affinity certificate for one input program: the
+// machine-checked answer to "is this program's cross-packet state
+// partitioned by flow?". The partitioner stores one in
+// partition.Result; difftest cross-checks it against the generator's
+// declared ShardSafe bit, Session selects exact vs. relaxed multi-worker
+// state merging with it, and the verifier re-derives it to catch
+// affinity-breaking transformations.
+type Affinity struct {
+	// Maps holds the per-map certificates, keyed by global name. Only
+	// map-kind globals appear.
+	Maps map[string]*MapAffinity
+	// GlobalWrites maps scalar-global name → reachable data-path store
+	// sites. Any entry makes the program cross-flow: a scalar written on
+	// the data path aggregates across flows.
+	GlobalWrites map[string][]Site
+	// RegSummary is the flow-insensitive join of every register's taint
+	// across the function — the verifier's fallback when relating
+	// partition registers back to input provenance.
+	RegSummary []Taint
+}
+
+// Verdict is the program-level classification: the weakest map verdict,
+// forced to CrossFlow by any data-path scalar-global write.
+func (a *Affinity) Verdict() Verdict {
+	v := Exact
+	for _, m := range a.Maps {
+		if m.Verdict < v {
+			v = m.Verdict
+		}
+	}
+	if len(a.GlobalWrites) > 0 {
+		v = CrossFlow
+	}
+	return v
+}
+
+// Exact reports whether the whole program is certified flow-affine:
+// every map key is provably flow-owned and no scalar global is written.
+// Exact implies per-shard runs partition state exactly — the disjoint
+// union of shard states equals the sequential run's state.
+func (a *Affinity) Exact() bool { return a.Verdict() == Exact }
+
+// MapVerdict returns the certificate verdict for one map. Maps that
+// never appear in the program report Exact (vacuously: no access, no
+// cross-flow access).
+func (a *Affinity) MapVerdict(name string) Verdict {
+	if m, ok := a.Maps[name]; ok {
+		return m.Verdict
+	}
+	return Exact
+}
+
+// MapNames returns the certified map names in sorted order.
+func (a *Affinity) MapNames() []string {
+	names := make([]string, 0, len(a.Maps))
+	for n := range a.Maps {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// WrittenGlobals returns the data-path-written scalar names, sorted.
+func (a *Affinity) WrittenGlobals() []string {
+	names := make([]string, 0, len(a.GlobalWrites))
+	for n := range a.GlobalWrites {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Summary renders the certificate as one line per map plus the written
+// globals — the report surface.
+func (a *Affinity) Summary() string {
+	s := fmt.Sprintf("flow-affinity: %s", a.Verdict())
+	for _, n := range a.MapNames() {
+		s += fmt.Sprintf("; map %s: %s", n, a.Maps[n].Verdict)
+	}
+	if w := a.WrittenGlobals(); len(w) > 0 {
+		s += fmt.Sprintf("; written globals: %v", w)
+	}
+	return s
+}
+
+// affState is the lattice state: one taint per register plus the taint
+// of every header field (header fields are mutable through
+// StoreHeader, so their provenance flows with control).
+type affState struct {
+	regs []Taint
+	hdr  map[string]Taint
+}
+
+func (s *affState) clone() *affState {
+	c := &affState{regs: append([]Taint(nil), s.regs...), hdr: make(map[string]Taint, len(s.hdr))}
+	for k, v := range s.hdr {
+		c.hdr[k] = v
+	}
+	return c
+}
+
+// ingressHeaderTaints is the boundary header environment: the five
+// tuple fields are identity copies of themselves; the TCP/UDP port
+// aliases are *derived* (reading tcp.sport yields the flow's source
+// port only when the packet actually carries TCP — it reads 0 on a UDP
+// packet — so its value is a function of {port, proto}, never a
+// lossless copy); every other field is non-flow.
+func ingressHeaderTaints() map[string]Taint {
+	h := map[string]Taint{}
+	for i, f := range FlowFields {
+		h[f] = Taint{Fields: 1 << i, Ident: int8(i)}
+	}
+	h["tcp.sport"] = Taint{Fields: 1<<2 | protoBit, Ident: -1}
+	h["udp.sport"] = Taint{Fields: 1<<2 | protoBit, Ident: -1}
+	h["tcp.dport"] = Taint{Fields: 1<<3 | protoBit, Ident: -1}
+	h["udp.dport"] = Taint{Fields: 1<<3 | protoBit, Ident: -1}
+	return h
+}
+
+// headerTaint reads field f from the environment; unknown fields (ttl,
+// tos, lengths, TCP flags, …) are non-flow.
+func headerTaint(hdr map[string]Taint, f string) Taint {
+	if t, ok := hdr[f]; ok {
+		return t
+	}
+	return nonFlow
+}
+
+// portAliases returns the alias group a port field belongs to: the
+// virtual l4.* accessor overlays the protocol-specific fields.
+func portAliases(f string) (virtual, tcp, udp string, ok bool) {
+	switch f {
+	case "l4.sport", "tcp.sport", "udp.sport":
+		return "l4.sport", "tcp.sport", "udp.sport", true
+	case "l4.dport", "tcp.dport", "udp.dport":
+		return "l4.dport", "tcp.dport", "udp.dport", true
+	}
+	return "", "", "", false
+}
+
+// affProblem is the dataflow Problem: forward, header env at the
+// boundary, per-instruction taint transfer.
+type affProblem struct {
+	fn *ir.Function
+}
+
+func (p *affProblem) Direction() Direction { return Forward }
+func (p *affProblem) Bottom() *affState    { return nil }
+func (p *affProblem) IsBottom(s *affState) bool {
+	return s == nil
+}
+
+func (p *affProblem) Boundary() *affState {
+	s := &affState{regs: make([]Taint, len(p.fn.Regs)), hdr: ingressHeaderTaints()}
+	for i := range s.regs {
+		// Registers start undefined; reading one before any def is a
+		// separate lint (use-before-def). Treat the undefined value as a
+		// constant zero — pure — so affinity does not double-report.
+		s.regs[i] = pure
+	}
+	return s
+}
+
+func (p *affProblem) Join(a, b *affState) *affState {
+	j := a.clone()
+	for i := range j.regs {
+		j.regs[i] = joinTaint(j.regs[i], b.regs[i])
+	}
+	for k := range j.hdr {
+		if bt, ok := b.hdr[k]; ok {
+			j.hdr[k] = joinTaint(j.hdr[k], bt)
+		} else {
+			j.hdr[k] = joinTaint(j.hdr[k], nonFlow)
+		}
+	}
+	for k, bt := range b.hdr {
+		if _, ok := j.hdr[k]; !ok {
+			j.hdr[k] = joinTaint(bt, nonFlow)
+		}
+	}
+	return j
+}
+
+func (p *affProblem) Equal(a, b *affState) bool {
+	for i := range a.regs {
+		if a.regs[i] != b.regs[i] {
+			return false
+		}
+	}
+	if len(a.hdr) != len(b.hdr) {
+		return false
+	}
+	for k, v := range a.hdr {
+		if bv, ok := b.hdr[k]; !ok || bv != v {
+			return false
+		}
+	}
+	return true
+}
+
+func (p *affProblem) Transfer(b *ir.Block, in *affState) *affState {
+	s := in.clone()
+	for i := range b.Instrs {
+		affStep(p.fn, s, &b.Instrs[i])
+	}
+	return s
+}
+
+// affStep applies one instruction's taint transfer to s in place.
+func affStep(fn *ir.Function, s *affState, in *ir.Instr) {
+	setDst := func(t Taint) {
+		if len(in.Dst) > 0 && in.Dst[0] != ir.NoReg {
+			s.regs[in.Dst[0]] = t
+		}
+	}
+	switch in.Kind {
+	case ir.Const:
+		setDst(pure)
+	case ir.BinOp:
+		t := joinTaint(s.regs[in.Args[0]], s.regs[in.Args[1]])
+		t.Ident = -1
+		setDst(t)
+	case ir.Not:
+		t := s.regs[in.Args[0]]
+		t.Ident = -1
+		setDst(t)
+	case ir.Convert:
+		t := s.regs[in.Args[0]]
+		if t.Ident >= 0 && in.Typ.Bits() < flowFieldBits[t.Ident] {
+			// A narrowing conversion loses bits of the tuple field: the
+			// result is still a pure function of it, but no longer an
+			// identity copy (two flows can collide after truncation).
+			t.Ident = -1
+		}
+		setDst(t)
+	case ir.LoadHeader:
+		setDst(headerTaint(s.hdr, in.Obj))
+	case ir.StoreHeader:
+		stored := s.regs[in.Args[0]]
+		if virt, tcp, udp, ok := portAliases(in.Obj); ok {
+			// Port fields alias: the stored value lands in whichever L4
+			// header the packet carries, so reading any alias afterwards
+			// yields a function of {stored value, ip.proto}.
+			masked := stored
+			masked.Fields |= protoBit
+			masked.Ident = -1
+			switch in.Obj {
+			case virt:
+				s.hdr[virt], s.hdr[tcp], s.hdr[udp] = masked, masked, masked
+			case tcp:
+				s.hdr[tcp] = masked
+				s.hdr[virt] = joinTaint(headerTaint(s.hdr, udp), masked)
+			case udp:
+				s.hdr[udp] = masked
+				s.hdr[virt] = joinTaint(headerTaint(s.hdr, tcp), masked)
+			}
+		} else {
+			s.hdr[in.Obj] = stored
+		}
+	case ir.Hash:
+		t := pure
+		for _, a := range in.Args {
+			t = joinTaint(t, s.regs[a])
+		}
+		t.Ident = -1
+		setDst(t)
+	case ir.MapFind, ir.VecGet, ir.VecLen, ir.GlobalLoad, ir.LpmFind, ir.PayloadMatch:
+		// Reads of mutable or configuration state (and payload bytes) are
+		// not functions of the ingress tuple. Conservative for read-only
+		// vectors/LPMs, but keeps the exactness argument airtight.
+		for _, d := range in.Dst {
+			if d != ir.NoReg {
+				s.regs[d] = nonFlow
+			}
+		}
+	case ir.XferLoad:
+		// Synthesized by the partitioner: restores the captured register's
+		// own value, so its taint is whatever the register already carries
+		// (input programs never contain these).
+	case ir.MapInsert, ir.MapRemove, ir.GlobalStore, ir.XferStore:
+		// No register effects.
+	}
+}
+
+// TransferTaint locally evaluates one instruction's destination taint
+// given a lookup for its argument taints — the verifier uses it to
+// re-evaluate partition instructions that do not appear in the input
+// program (a transformation-introduced definition feeding a map key).
+// Header reads use the ingress environment. Returns ok=false when the
+// instruction defines no register.
+func TransferTaint(in *ir.Instr, argTaint func(ir.Reg) Taint) (Taint, bool) {
+	if len(in.Dst) == 0 || in.Dst[0] == ir.NoReg {
+		return Taint{}, false
+	}
+	switch in.Kind {
+	case ir.Const:
+		return pure, true
+	case ir.BinOp, ir.Not, ir.Hash:
+		t := pure
+		for _, a := range in.Args {
+			t = joinTaint(t, argTaint(a))
+		}
+		t.Ident = -1
+		return t, true
+	case ir.Convert:
+		t := argTaint(in.Args[0])
+		if t.Ident >= 0 && in.Typ.Bits() < flowFieldBits[t.Ident] {
+			t.Ident = -1
+		}
+		return t, true
+	case ir.LoadHeader:
+		return headerTaint(ingressHeaderTaints(), in.Obj), true
+	case ir.MapFind, ir.VecGet, ir.VecLen, ir.GlobalLoad, ir.LpmFind, ir.PayloadMatch:
+		return nonFlow, true
+	}
+	return nonFlow, true
+}
+
+// AnalyzeAffinity runs the flow-affinity taint analysis over the input
+// program and returns its certificate. The program must be finalized.
+func AnalyzeAffinity(p *ir.Program) *Affinity {
+	fn := p.Fn
+	prob := &affProblem{fn: fn}
+	res := Solve[*affState](fn, prob)
+
+	a := &Affinity{
+		Maps:         map[string]*MapAffinity{},
+		GlobalWrites: map[string][]Site{},
+		RegSummary:   make([]Taint, len(fn.Regs)),
+	}
+	for i := range a.RegSummary {
+		a.RegSummary[i] = pure
+	}
+	// Every declared map gets an entry, even if never accessed: the
+	// certificate must answer MapVerdict for all of them.
+	for _, g := range p.Globals {
+		if g.Kind == ir.KindMap {
+			a.Maps[g.Name] = &MapAffinity{Name: g.Name, Verdict: Exact}
+		}
+	}
+	defs := lastDefs(fn)
+	for _, b := range fn.Blocks {
+		in := res.In[b.ID]
+		if in == nil {
+			continue // unreachable
+		}
+		s := in.clone()
+		for i := range b.Instrs {
+			instr := &b.Instrs[i]
+			recordAffinitySite(p, fn, a, s, instr, defs)
+			affStep(fn, s, instr)
+			for _, d := range instr.Dst {
+				if d != ir.NoReg {
+					a.RegSummary[d] = joinTaint(a.RegSummary[d], s.regs[d])
+				}
+			}
+		}
+	}
+	return a
+}
+
+// recordAffinitySite classifies one map access or global store against
+// the state s holding just before the instruction executes.
+func recordAffinitySite(p *ir.Program, fn *ir.Function, a *Affinity, s *affState, in *ir.Instr, defs []*ir.Instr) {
+	switch in.Kind {
+	case ir.MapFind, ir.MapInsert, ir.MapRemove:
+		g := p.Global(in.Obj)
+		if g == nil || g.Kind != ir.KindMap {
+			return
+		}
+		nk := len(g.KeyTypes)
+		if in.Kind != ir.MapInsert || nk > len(in.Args) {
+			nk = len(in.Args)
+		}
+		taints := make([]Taint, nk)
+		for i := 0; i < nk; i++ {
+			taints[i] = s.regs[in.Args[i]]
+		}
+		site := Site{
+			Stmt:    in.ID,
+			Line:    in.Line,
+			Kind:    in.Kind,
+			Verdict: KeyVerdict(taints),
+			Taints:  taints,
+		}
+		site.Why = explainSite(fn, in, taints, defs)
+		m := a.Maps[in.Obj]
+		if m == nil {
+			m = &MapAffinity{Name: in.Obj, Verdict: Exact}
+			a.Maps[in.Obj] = m
+		}
+		m.Sites = append(m.Sites, site)
+		if site.Verdict < m.Verdict {
+			m.Verdict = site.Verdict
+		}
+	case ir.GlobalStore:
+		g := p.Global(in.Obj)
+		if g != nil && g.Kind != ir.KindScalar {
+			return
+		}
+		site := Site{Stmt: in.ID, Line: in.Line, Kind: in.Kind, Verdict: CrossFlow}
+		site.Why = []string{fmt.Sprintf("scalar global %q is written on the data path: one cell aggregates state across all flows", in.Obj)}
+		a.GlobalWrites[in.Obj] = append(a.GlobalWrites[in.Obj], site)
+	}
+}
+
+// KeyVerdict classifies one key tuple by its component taints: any
+// non-flow component ⇒ CrossFlow; identity copies of all five tuple
+// fields present ⇒ Exact (extra pure components cannot merge two
+// distinct flows onto one key); otherwise Derived.
+func KeyVerdict(taints []Taint) Verdict {
+	var cover uint8
+	for _, t := range taints {
+		if t.NonFlow {
+			return CrossFlow
+		}
+		if t.Ident >= 0 {
+			cover |= 1 << t.Ident
+		}
+	}
+	if cover == allFields {
+		return Exact
+	}
+	return Derived
+}
+
+// lastDefs maps each register to its last defining instruction in
+// statement order — best-effort def info for derivation chains (exact
+// for the straight-line runs diagnostics care about).
+func lastDefs(fn *ir.Function) []*ir.Instr {
+	defs := make([]*ir.Instr, len(fn.Regs))
+	for _, b := range fn.Blocks {
+		for i := range b.Instrs {
+			in := &b.Instrs[i]
+			for _, d := range in.Dst {
+				if d != ir.NoReg {
+					defs[d] = in
+				}
+			}
+		}
+	}
+	return defs
+}
+
+// explainSite builds the derivation chain for a map-access site: one
+// line per key component, descending into the defining instructions of
+// the first offending (non-flow or non-identity) component.
+func explainSite(fn *ir.Function, in *ir.Instr, taints []Taint, defs []*ir.Instr) []string {
+	why := make([]string, 0, len(taints)+3)
+	worst := -1
+	for i, t := range taints {
+		r := in.Args[i]
+		why = append(why, fmt.Sprintf("key[%d] = %s: %s", i, fn.RegName(r), t))
+		if worst < 0 && (t.NonFlow || t.Ident < 0) {
+			worst = i
+		}
+	}
+	if worst >= 0 {
+		why = append(why, explainReg(fn, in.Args[worst], defs, 3)...)
+	}
+	return why
+}
+
+// explainReg walks the def chain of r up to depth steps, one line per
+// defining instruction.
+func explainReg(fn *ir.Function, r ir.Reg, defs []*ir.Instr, depth int) []string {
+	var out []string
+	for depth > 0 {
+		depth--
+		if int(r) >= len(defs) || defs[r] == nil {
+			return out
+		}
+		d := defs[r]
+		line := ""
+		if d.Line > 0 {
+			line = fmt.Sprintf(" (line %d)", d.Line)
+		}
+		switch d.Kind {
+		case ir.LoadHeader:
+			out = append(out, fmt.Sprintf("  %s ← read of header field %s%s", fn.RegName(r), d.Obj, line))
+			return out
+		case ir.Const:
+			out = append(out, fmt.Sprintf("  %s ← constant %d%s", fn.RegName(r), d.Imm, line))
+			return out
+		case ir.MapFind, ir.VecGet, ir.VecLen, ir.GlobalLoad, ir.LpmFind, ir.PayloadMatch:
+			out = append(out, fmt.Sprintf("  %s ← %s of %q%s: state reads are not functions of the flow tuple", fn.RegName(r), d.Kind, d.Obj, line))
+			return out
+		case ir.Hash:
+			out = append(out, fmt.Sprintf("  %s ← hash%s: hashing loses the identity of its inputs", fn.RegName(r), line))
+			return out
+		case ir.BinOp:
+			out = append(out, fmt.Sprintf("  %s ← %s of %s, %s%s", fn.RegName(r), d.Op, fn.RegName(d.Args[0]), fn.RegName(d.Args[1]), line))
+			r = d.Args[0]
+		case ir.Convert, ir.Not:
+			out = append(out, fmt.Sprintf("  %s ← %s of %s%s", fn.RegName(r), d.Kind, fn.RegName(d.Args[0]), line))
+			r = d.Args[0]
+		default:
+			return out
+		}
+	}
+	return out
+}

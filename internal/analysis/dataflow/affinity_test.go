@@ -1,0 +1,257 @@
+package dataflow
+
+import (
+	"strings"
+	"testing"
+
+	"gallium/internal/ir"
+	"gallium/internal/lang"
+)
+
+func compile(t *testing.T, src string) *ir.Program {
+	t.Helper()
+	p, err := lang.Compile(src)
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	return p
+}
+
+// TestAffinityExact: a map keyed by the full captured five-tuple is
+// certified exact, and so is the whole program.
+func TestAffinityExact(t *testing.T) {
+	p := compile(t, `
+middlebox exact {
+    map<u32,u32,u16,u16,u8 -> u32> flows(max = 1024);
+
+    proc process(pkt p) {
+        u32 fsrc = p.ip.saddr;
+        u32 fdst = p.ip.daddr;
+        u16 fsp = p.l4.sport;
+        u16 fdp = p.l4.dport;
+        u8 fpr = p.ip.proto;
+        let r = flows.find(fsrc, fdst, fsp, fdp, fpr);
+        if (r.ok) {
+            p.ip.daddr = r.v0;
+        } else {
+            flows.insert(fsrc, fdst, fsp, fdp, fpr, p.ip.daddr);
+        }
+        send(p);
+    }
+}
+`)
+	a := AnalyzeAffinity(p)
+	if got := a.MapVerdict("flows"); got != Exact {
+		t.Fatalf("flows verdict = %s, want exact\n%s", got, a.Summary())
+	}
+	if !a.Exact() {
+		t.Fatalf("program not certified exact: %s", a.Summary())
+	}
+}
+
+// TestAffinityDerived: keys that are pure functions of the tuple but
+// not identity copies of all five fields (a hash, a truncation) are
+// derived — flow-pure but collidable.
+func TestAffinityDerived(t *testing.T) {
+	p := compile(t, `
+middlebox derived {
+    map<u16 -> u32> m(max = 1024);
+
+    proc process(pkt p) {
+        u16 k = (u16)(p.ip.saddr & 65535);
+        let r = m.find(k);
+        if (!r.ok) {
+            m.insert(k, p.ip.daddr);
+        }
+        send(p);
+    }
+}
+`)
+	a := AnalyzeAffinity(p)
+	if got := a.MapVerdict("m"); got != Derived {
+		t.Fatalf("m verdict = %s, want derived\n%s", got, a.Summary())
+	}
+	if a.Verdict() != Derived {
+		t.Fatalf("program verdict = %s, want derived", a.Verdict())
+	}
+}
+
+// TestAffinityCrossFlowKey: a key component read from a non-tuple
+// header field makes the map cross-flow.
+func TestAffinityCrossFlowKey(t *testing.T) {
+	p := compile(t, `
+middlebox crosskey {
+    map<u8 -> u32> m(max = 256);
+
+    proc process(pkt p) {
+        u8 k = p.ip.ttl;
+        m.insert(k, p.ip.saddr);
+        send(p);
+    }
+}
+`)
+	a := AnalyzeAffinity(p)
+	if got := a.MapVerdict("m"); got != CrossFlow {
+		t.Fatalf("m verdict = %s, want cross-flow\n%s", got, a.Summary())
+	}
+	// The derivation chain should name the offending header read.
+	site := a.Maps["m"].Sites[0]
+	joined := strings.Join(site.Why, "\n")
+	if !strings.Contains(joined, "ip.ttl") {
+		t.Fatalf("derivation chain does not mention ip.ttl:\n%s", joined)
+	}
+}
+
+// TestAffinityGlobalWrite: any data-path scalar write makes the program
+// cross-flow even when every map is exact.
+func TestAffinityGlobalWrite(t *testing.T) {
+	p := compile(t, `
+middlebox counter {
+    global u32 hits;
+
+    proc process(pkt p) {
+        u32 h = hits;
+        hits = h + 1;
+        send(p);
+    }
+}
+`)
+	a := AnalyzeAffinity(p)
+	if len(a.GlobalWrites["hits"]) == 0 {
+		t.Fatalf("global write not recorded: %s", a.Summary())
+	}
+	if a.Verdict() != CrossFlow || a.Exact() {
+		t.Fatalf("program verdict = %s, want cross-flow", a.Verdict())
+	}
+}
+
+// TestAffinityPortAliasIsDerived: tcp.sport is not an identity copy of
+// the flow's source port (it reads 0 on non-TCP packets), so a key
+// built from the protocol-specific port fields is derived, not exact.
+func TestAffinityPortAliasIsDerived(t *testing.T) {
+	p := compile(t, `
+middlebox portalias {
+    map<u32,u32,u16,u16,u8 -> u32> m(max = 1024);
+
+    proc process(pkt p) {
+        u32 fsrc = p.ip.saddr;
+        u32 fdst = p.ip.daddr;
+        u16 tsp = p.tcp.sport;
+        u16 fdp = p.l4.dport;
+        u8 fpr = p.ip.proto;
+        m.insert(fsrc, fdst, tsp, fdp, fpr, 1);
+        send(p);
+    }
+}
+`)
+	a := AnalyzeAffinity(p)
+	if got := a.MapVerdict("m"); got != Derived {
+		t.Fatalf("m verdict = %s, want derived (tcp.sport is not l4.sport)", got)
+	}
+}
+
+// TestAffinityHeaderRewriteKillsIdentity: capturing a tuple field
+// *after* rewriting it yields the written value's provenance, not the
+// ingress field — the header environment must flow through stores.
+func TestAffinityHeaderRewriteKillsIdentity(t *testing.T) {
+	p := compile(t, `
+middlebox rewrite {
+    map<u32,u32,u16,u16,u8 -> u32> m(max = 1024);
+
+    proc process(pkt p) {
+        p.ip.saddr = 7;
+        u32 fsrc = p.ip.saddr;
+        u32 fdst = p.ip.daddr;
+        u16 fsp = p.l4.sport;
+        u16 fdp = p.l4.dport;
+        u8 fpr = p.ip.proto;
+        m.insert(fsrc, fdst, fsp, fdp, fpr, 1);
+        send(p);
+    }
+}
+`)
+	a := AnalyzeAffinity(p)
+	if got := a.MapVerdict("m"); got != Derived {
+		t.Fatalf("m verdict = %s, want derived (saddr was rewritten before capture)", got)
+	}
+}
+
+// TestAffinityHashedKeyIsDerived: hashing tuple fields keeps purity but
+// destroys identity.
+func TestAffinityHashedKeyIsDerived(t *testing.T) {
+	p := compile(t, `
+middlebox hashed {
+    map<u32 -> u32> m(max = 1024);
+
+    proc process(pkt p) {
+        u32 h = hash(p.ip.saddr, p.ip.daddr);
+        m.insert(h, 1);
+        send(p);
+    }
+}
+`)
+	a := AnalyzeAffinity(p)
+	if got := a.MapVerdict("m"); got != Derived {
+		t.Fatalf("m verdict = %s, want derived", got)
+	}
+}
+
+// TestAffinityUnusedMapVacuouslyExact: declared but never accessed maps
+// certify exact (no access can cross flows).
+func TestAffinityUnusedMapVacuouslyExact(t *testing.T) {
+	p := compile(t, `
+middlebox unused {
+    map<u16 -> u32> ghost(max = 16);
+
+    proc process(pkt p) {
+        send(p);
+    }
+}
+`)
+	a := AnalyzeAffinity(p)
+	if got := a.MapVerdict("ghost"); got != Exact {
+		t.Fatalf("ghost verdict = %s, want exact (vacuous)", got)
+	}
+	if !a.Exact() {
+		t.Fatalf("program not exact: %s", a.Summary())
+	}
+}
+
+// TestAffinityBranchJoin: a key that is an identity copy on one path
+// and a constant on the other joins to non-identity — derived.
+func TestAffinityBranchJoin(t *testing.T) {
+	p := compile(t, `
+middlebox joins {
+    map<u32,u32,u16,u16,u8 -> u32> m(max = 1024);
+
+    proc process(pkt p) {
+        u32 fsrc = p.ip.saddr;
+        u32 fdst = p.ip.daddr;
+        u16 fsp = p.l4.sport;
+        u16 fdp = p.l4.dport;
+        u8 fpr = p.ip.proto;
+        if (p.ip.ttl == 0) {
+            fsrc = 0;
+        }
+        m.insert(fsrc, fdst, fsp, fdp, fpr, 1);
+        send(p);
+    }
+}
+`)
+	a := AnalyzeAffinity(p)
+	if got := a.MapVerdict("m"); got != Derived {
+		t.Fatalf("m verdict = %s, want derived (fsrc joins ident with const)", got)
+	}
+}
+
+func TestVerdictStringRoundTrip(t *testing.T) {
+	for _, v := range []Verdict{Exact, Derived, CrossFlow} {
+		got, ok := ParseVerdict(v.String())
+		if !ok || got != v {
+			t.Fatalf("ParseVerdict(%q) = %v, %v", v.String(), got, ok)
+		}
+	}
+	if _, ok := ParseVerdict("bogus"); ok {
+		t.Fatal("ParseVerdict accepted junk")
+	}
+}

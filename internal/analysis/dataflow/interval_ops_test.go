@@ -1,0 +1,117 @@
+package dataflow
+
+import (
+	"testing"
+
+	"gallium/internal/ir"
+)
+
+const top64 = ^uint64(0)
+
+// TestBinOpInterval pins the per-operator transfer, including the
+// overflow fallbacks to the full 64-bit range (the destination mask
+// re-narrows those in ivStep).
+func TestBinOpInterval(t *testing.T) {
+	iv := func(lo, hi uint64) Interval { return Interval{lo, hi} }
+	cases := []struct {
+		name string
+		op   ir.Op
+		x, y Interval
+		want Interval
+	}{
+		{"add", ir.Add, iv(1, 2), iv(10, 20), iv(11, 22)},
+		{"add-overflow", ir.Add, iv(0, top64), iv(1, 1), iv(0, top64)},
+		{"sub", ir.Sub, iv(10, 20), iv(1, 5), iv(5, 19)},
+		{"sub-may-wrap", ir.Sub, iv(0, 20), iv(1, 5), iv(0, top64)},
+		{"mul", ir.Mul, iv(2, 3), iv(4, 5), iv(8, 15)},
+		{"mul-overflow", ir.Mul, iv(1, top64), iv(2, 2), iv(0, top64)},
+		{"div", ir.Div, iv(10, 20), iv(2, 5), iv(2, 10)},
+		{"div-by-zero", ir.Div, iv(10, 20), iv(0, 5), iv(0, top64)},
+		{"mod", ir.Mod, iv(0, 100), iv(7, 7), iv(0, 6)},
+		{"mod-small-lhs", ir.Mod, iv(0, 3), iv(7, 7), iv(0, 3)},
+		{"mod-zero", ir.Mod, iv(1, 2), iv(0, 0), iv(0, top64)},
+		{"and", ir.And, iv(0, 0xFF), iv(0, 0x0F), iv(0, 0x0F)},
+		{"or", ir.Or, iv(4, 4), iv(1, 3), iv(4, 7)},
+		{"xor", ir.Xor, iv(0, 4), iv(0, 3), iv(0, 7)},
+		{"shl", ir.Shl, iv(1, 2), iv(4, 4), iv(16, 32)},
+		{"shl-overflow", ir.Shl, iv(1, top64), iv(1, 1), iv(0, top64)},
+		{"shl-wide-shift", ir.Shl, iv(1, 1), iv(0, 64), iv(0, top64)},
+		{"shr", ir.Shr, iv(16, 32), iv(1, 4), iv(1, 16)},
+		{"shr-all-out", ir.Shr, iv(16, 32), iv(64, 64), iv(0, 0)},
+		{"cmp", ir.Lt, iv(0, 9), iv(3, 3), iv(0, 1)},
+	}
+	for _, c := range cases {
+		if got := binOpInterval(c.op, c.x, c.y); got != c.want {
+			t.Errorf("%s: binOpInterval(%s, %s) = %s, want %s", c.name, c.x, c.y, got, c.want)
+		}
+	}
+}
+
+// TestRefineCmp pins the branch-edge narrowing for every comparison,
+// including infeasible combinations (dead edges).
+func TestRefineCmp(t *testing.T) {
+	iv := func(lo, hi uint64) Interval { return Interval{lo, hi} }
+	cases := []struct {
+		name     string
+		op       ir.Op
+		x, y     Interval
+		wx, wy   Interval
+		feasible bool
+	}{
+		{"eq-overlap", ir.Eq, iv(0, 10), iv(5, 20), iv(5, 10), iv(5, 10), true},
+		{"eq-disjoint", ir.Eq, iv(0, 3), iv(5, 9), iv(0, 3), iv(5, 9), false},
+		{"ne-same-singleton", ir.Ne, iv(4, 4), iv(4, 4), iv(4, 4), iv(4, 4), false},
+		{"ne-shaves-lo", ir.Ne, iv(4, 9), iv(4, 4), iv(5, 9), iv(4, 4), true},
+		{"ne-shaves-hi", ir.Ne, iv(0, 4), iv(4, 4), iv(0, 3), iv(4, 4), true},
+		{"lt", ir.Lt, iv(0, 10), iv(3, 5), iv(0, 4), iv(3, 5), true},
+		{"lt-infeasible", ir.Lt, iv(9, 10), iv(0, 5), iv(9, 4), iv(10, 5), false},
+		{"lt-zero-rhs", ir.Lt, iv(0, 10), iv(0, 0), iv(0, 10), iv(0, 0), false},
+		{"le", ir.Le, iv(0, 10), iv(3, 5), iv(0, 5), iv(3, 5), true},
+		{"gt", ir.Gt, iv(0, 10), iv(3, 5), iv(4, 10), iv(3, 5), true},
+		{"gt-zero-lhs", ir.Gt, iv(0, 0), iv(0, 5), iv(0, 0), iv(0, 5), false},
+		{"ge", ir.Ge, iv(0, 10), iv(3, 5), iv(3, 10), iv(3, 5), true},
+	}
+	for _, c := range cases {
+		gx, gy, feasible := refineCmp(c.op, c.x, c.y)
+		if feasible != c.feasible {
+			t.Errorf("%s: feasible = %v, want %v", c.name, feasible, c.feasible)
+			continue
+		}
+		if feasible && (gx != c.wx || gy != c.wy) {
+			t.Errorf("%s: refineCmp = %s/%s, want %s/%s", c.name, gx, gy, c.wx, c.wy)
+		}
+	}
+}
+
+// TestNegateCmp: the not-taken edge refines with the negated operator.
+func TestNegateCmp(t *testing.T) {
+	pairs := map[ir.Op]ir.Op{
+		ir.Eq: ir.Ne, ir.Ne: ir.Eq,
+		ir.Lt: ir.Ge, ir.Ge: ir.Lt,
+		ir.Le: ir.Gt, ir.Gt: ir.Le,
+	}
+	for op, want := range pairs {
+		if got := negateCmp(op); got != want {
+			t.Errorf("negateCmp(%v) = %v, want %v", op, got, want)
+		}
+		if back := negateCmp(negateCmp(op)); back != op {
+			t.Errorf("negateCmp is not an involution on %v", op)
+		}
+	}
+	if got := negateCmp(ir.Add); got != ir.Add {
+		t.Errorf("non-comparison negated to %v", got)
+	}
+}
+
+// TestIntervalStringAndMask covers the small rendering helpers.
+func TestIntervalStringAndMask(t *testing.T) {
+	if got := (Interval{3, 3}).String(); got != "3" {
+		t.Errorf("singleton renders %q", got)
+	}
+	if got := (Interval{1, 5}).String(); got != "[1, 5]" {
+		t.Errorf("range renders %q", got)
+	}
+	if mask(8) != 0xFF || mask(64) != top64 || mask(70) != top64 {
+		t.Error("mask widths wrong")
+	}
+}

@@ -1,0 +1,144 @@
+package dataflow
+
+import (
+	"strings"
+	"testing"
+
+	"gallium/internal/ir"
+)
+
+// TestTaintJoin pins the lattice join laws the solver depends on:
+// sticky NonFlow, field union, identity preserved only on agreement.
+func TestTaintJoin(t *testing.T) {
+	a := Taint{Fields: 1 << 0, Ident: 0}
+	b := Taint{Fields: 1 << 1, Ident: 1}
+	j := a.Join(b)
+	if j.Fields != 0b11 || j.Ident != -1 || j.NonFlow {
+		t.Errorf("join of two identities = %+v", j)
+	}
+	if same := a.Join(a); same != a {
+		t.Errorf("join is not idempotent: %+v", same)
+	}
+	if j := a.Join(nonFlow); !j.NonFlow {
+		t.Error("NonFlow is not sticky under join")
+	}
+	if j := pure.Join(pure); j != pure {
+		t.Errorf("pure join pure = %+v", j)
+	}
+}
+
+// TestTaintString covers the diagnostic renderings.
+func TestTaintString(t *testing.T) {
+	cases := []struct {
+		in   Taint
+		want string
+	}{
+		{nonFlow, "non-flow"},
+		{pure, "constant"},
+		{Taint{Fields: 1 << 0, Ident: 0}, "identity of ip.saddr"},
+		{Taint{Fields: 1<<0 | 1<<4, Ident: -1}, "derived from {ip.saddr, ip.proto}"},
+	}
+	for _, c := range cases {
+		if got := c.in.String(); got != c.want {
+			t.Errorf("%+v.String() = %q, want %q", c.in, got, c.want)
+		}
+	}
+}
+
+// TestTransferTaint pins the verifier-facing single-instruction
+// transfer used to judge foreign (mutation-introduced) instructions.
+func TestTransferTaint(t *testing.T) {
+	env := map[ir.Reg]Taint{
+		0: {Fields: 1 << 0, Ident: 0}, // identity of ip.saddr
+		1: pure,
+	}
+	look := func(r ir.Reg) Taint { return env[r] }
+
+	cases := []struct {
+		name  string
+		in    ir.Instr
+		want  Taint
+		wrote bool
+	}{
+		{"const", ir.Instr{Kind: ir.Const, Dst: []ir.Reg{2}, Typ: ir.U32}, pure, true},
+		{"binop-joins", ir.Instr{Kind: ir.BinOp, Dst: []ir.Reg{2}, Args: []ir.Reg{0, 1}},
+			Taint{Fields: 1 << 0, Ident: -1}, true},
+		{"hash-kills-identity", ir.Instr{Kind: ir.Hash, Dst: []ir.Reg{2}, Args: []ir.Reg{0}},
+			Taint{Fields: 1 << 0, Ident: -1}, true},
+		{"convert-wide-keeps-identity", ir.Instr{Kind: ir.Convert, Dst: []ir.Reg{2}, Args: []ir.Reg{0}, Typ: ir.U64},
+			Taint{Fields: 1 << 0, Ident: 0}, true},
+		{"convert-narrow-kills-identity", ir.Instr{Kind: ir.Convert, Dst: []ir.Reg{2}, Args: []ir.Reg{0}, Typ: ir.U8},
+			Taint{Fields: 1 << 0, Ident: -1}, true},
+		{"loadheader-tuple", ir.Instr{Kind: ir.LoadHeader, Dst: []ir.Reg{2}, Obj: "ip.proto"},
+			Taint{Fields: protoBit, Ident: 4}, true},
+		{"loadheader-nonflow", ir.Instr{Kind: ir.LoadHeader, Dst: []ir.Reg{2}, Obj: "ip.ttl"},
+			nonFlow, true},
+		{"state-read", ir.Instr{Kind: ir.GlobalLoad, Dst: []ir.Reg{2}}, nonFlow, true},
+		{"no-dst", ir.Instr{Kind: ir.GlobalStore, Args: []ir.Reg{0}}, Taint{}, false},
+	}
+	for _, c := range cases {
+		got, wrote := TransferTaint(&c.in, look)
+		if wrote != c.wrote || (wrote && got != c.want) {
+			t.Errorf("%s: TransferTaint = %+v/%v, want %+v/%v", c.name, got, wrote, c.want, c.wrote)
+		}
+	}
+}
+
+// TestAffinityAccessors covers the certificate's report surface on a
+// hand-assembled value.
+func TestAffinityAccessors(t *testing.T) {
+	a := &Affinity{
+		Maps: map[string]*MapAffinity{
+			"b": {Name: "b", Verdict: Derived},
+			"a": {Name: "a", Verdict: Exact},
+		},
+		GlobalWrites: map[string][]Site{"g0": {{Stmt: 3}}},
+	}
+	if got := a.MapNames(); len(got) != 2 || got[0] != "a" || got[1] != "b" {
+		t.Errorf("MapNames = %v", got)
+	}
+	if got := a.WrittenGlobals(); len(got) != 1 || got[0] != "g0" {
+		t.Errorf("WrittenGlobals = %v", got)
+	}
+	if a.MapVerdict("absent") != Exact {
+		t.Error("absent map is not vacuously exact")
+	}
+	if a.Verdict() != CrossFlow || a.Exact() {
+		t.Errorf("global write did not force cross-flow: %s", a.Summary())
+	}
+	s := a.Summary()
+	for _, want := range []string{"flow-affinity: cross-flow", "map a: exact", "map b: derived", "written globals: [g0]"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("Summary missing %q: %s", want, s)
+		}
+	}
+}
+
+// TestAffStateEqual covers the solver-facing state comparison, which
+// only runs on block revisits (loops).
+func TestAffStateEqual(t *testing.T) {
+	p := &affProblem{}
+	mk := func(reg Taint, hdr map[string]Taint) *affState {
+		return &affState{regs: []Taint{reg}, hdr: hdr}
+	}
+	a := mk(pure, map[string]Taint{"ip.saddr": {Fields: 1 << 0, Ident: 0}})
+	if !p.Equal(a, mk(pure, map[string]Taint{"ip.saddr": {Fields: 1 << 0, Ident: 0}})) {
+		t.Error("identical states compared unequal")
+	}
+	if p.Equal(a, mk(nonFlow, a.hdr)) {
+		t.Error("differing regs compared equal")
+	}
+	if p.Equal(a, mk(pure, map[string]Taint{})) {
+		t.Error("differing header envs compared equal")
+	}
+	if p.Equal(a, mk(pure, map[string]Taint{"ip.daddr": {Fields: 1 << 1, Ident: 1}})) {
+		t.Error("mismatched header keys compared equal")
+	}
+}
+
+// TestVerdictParseRejects: unknown wire forms are rejected.
+func TestVerdictParseRejects(t *testing.T) {
+	if _, ok := ParseVerdict("bogus"); ok {
+		t.Error("ParseVerdict accepted bogus input")
+	}
+}

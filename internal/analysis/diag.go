@@ -80,6 +80,10 @@ type Diagnostic struct {
 	Fn       string   `json:"fn,omitempty"`
 	Stmt     int      `json:"stmt"`
 	Line     int      `json:"line,omitempty"`
+	// Notes is the derivation chain behind the finding (dataflow facts,
+	// one step per line), rendered by galliumc -vet -explain. Omitted
+	// from JSON when empty, so the schema stays additive.
+	Notes []string `json:"notes,omitempty"`
 }
 
 // String renders the diagnostic in the compiler's one-line format:
@@ -163,6 +167,20 @@ func (ds Diagnostics) Render(progName string) string {
 	return b.String()
 }
 
+// RenderExplain renders like Render but follows each diagnostic with
+// its derivation chain (Notes), one indented step per line — the
+// galliumc -vet -explain surface.
+func (ds Diagnostics) RenderExplain(progName string) string {
+	var b strings.Builder
+	for _, d := range ds {
+		fmt.Fprintf(&b, "%s:%s\n", progName, d.String())
+		for _, n := range d.Notes {
+			fmt.Fprintf(&b, "    note: %s\n", n)
+		}
+	}
+	return b.String()
+}
+
 // jsonReport is the stable machine-readable schema (golden-tested).
 type jsonReport struct {
 	Program     string      `json:"program"`
@@ -220,7 +238,14 @@ func Checks() []CheckInfo {
 		{CheckUnreachableBlock, Warning, "every basic block is reachable from entry", "front-end soundness"},
 		{CheckUnusedGlobal, Warning, "every declared global is accessed (unused annotated state wastes switch memory)", "§4.2.2 constraint 1"},
 		{CheckUncheckedMapMiss, Warning, "a map lookup's values are not consumed without testing the found flag (the miss path would read zeroes)", "§3.2"},
-		{CheckWidthTruncation, Warning, "no header store silently truncates a wider register into a narrower field", "§2.2"},
+
+		// Dataflow clients (internal/analysis/dataflow).
+		{CheckIntervalTruncation, Warning, "no reachable header store's proven value range exceeds the field width (path-sensitive interval analysis; replaces the lint/width-truncation type heuristic)", "§2.2"},
+		{CheckAffinityCertificate, Info, "per-map flow-affinity certificate: whether every key on every path is a pure (or identity) function of the ingress five-tuple", "§4.2, state locality"},
+		{CheckAffinityCrossFlowKey, Error, "no partition transformation degrades a certified flow-pure map key into one depending on non-flow inputs", "§4.3, state locality"},
+		{CheckAffinityUnprovableKey, Error, "no partition transformation degrades a certified exact (flow-owned) map key into a merely derived one", "§4.3, state locality"},
+		{CheckAffinityCrossFlowState, Error, "no partition introduces a data-path write to a scalar global the input certificate records as read-only", "§4.3, state locality"},
+		{CheckAffinityDrift, Error, "the stored flow-affinity certificate matches a fresh derivation from the input program (consumers trust it for state merging)", "§4.3"},
 	}
 }
 
@@ -247,7 +272,13 @@ const (
 	CheckUnreachableBlock = "lint/unreachable-block"
 	CheckUnusedGlobal     = "lint/unused-global"
 	CheckUncheckedMapMiss = "lint/unchecked-map-miss"
-	CheckWidthTruncation  = "lint/width-truncation"
+
+	CheckIntervalTruncation     = "interval/width-truncation"
+	CheckAffinityCertificate    = "affinity/certificate"
+	CheckAffinityCrossFlowKey   = "affinity/cross-flow-key"
+	CheckAffinityUnprovableKey  = "affinity/unprovable-key"
+	CheckAffinityCrossFlowState = "affinity/cross-flow-state"
+	CheckAffinityDrift          = "affinity/certificate-drift"
 )
 
 // checkSeverity returns the registered severity for a check ID.

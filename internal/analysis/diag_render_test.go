@@ -1,0 +1,59 @@
+package analysis
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestRenderSurfaces pins the two human-facing report renderings: the
+// plain one-line-per-diagnostic form and the -explain form that appends
+// each finding's derivation chain.
+func TestRenderSurfaces(t *testing.T) {
+	ds := Diagnostics{
+		{
+			Check:    "affinity/cross-flow-state",
+			Severity: Error,
+			Message:  "global g written on a flow-keyed path",
+			Fn:       "process",
+			Stmt:     3,
+			Line:     12,
+			Notes:    []string{"key derives from {ip.saddr}", "write reaches shard state"},
+		},
+		{Check: "lint/unused-global", Severity: Warning, Message: "global u is never read", Stmt: -1},
+	}
+
+	plain := ds.Render("prog.mc")
+	for _, want := range []string{
+		"prog.mc:12: error [affinity/cross-flow-state] global g written on a flow-keyed path (in process, s3)",
+		"prog.mc:warning [lint/unused-global] global u is never read",
+	} {
+		if !strings.Contains(plain, want) {
+			t.Errorf("Render missing %q:\n%s", want, plain)
+		}
+	}
+	if strings.Contains(plain, "note:") {
+		t.Error("Render leaked derivation notes")
+	}
+
+	explained := ds.RenderExplain("prog.mc")
+	for _, want := range []string{
+		"    note: key derives from {ip.saddr}",
+		"    note: write reaches shard state",
+	} {
+		if !strings.Contains(explained, want) {
+			t.Errorf("RenderExplain missing %q:\n%s", want, explained)
+		}
+	}
+}
+
+// TestDefinedRegsEqual covers the uninit lattice's state comparison,
+// which the solver only consults on revisits.
+func TestDefinedRegsEqual(t *testing.T) {
+	p := &definedRegs{}
+	if !p.Equal([]bool{true, false}, []bool{true, false}) {
+		t.Error("equal states compared unequal")
+	}
+	if p.Equal([]bool{true}, []bool{false}) {
+		t.Error("unequal states compared equal")
+	}
+}

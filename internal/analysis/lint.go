@@ -3,11 +3,11 @@ package analysis
 import (
 	"fmt"
 
+	"gallium/internal/analysis/dataflow"
 	"gallium/internal/cfg"
 	"gallium/internal/deps"
 	"gallium/internal/ir"
 	"gallium/internal/liveness"
-	"gallium/internal/packet"
 )
 
 // diag builds one diagnostic anchored at a statement (nil for
@@ -29,8 +29,9 @@ func diag(check, fn string, s *ir.Instr, format string, args ...any) Diagnostic 
 
 // Lint runs the middlebox dataflow diagnostics over an input program:
 // use-before-def, dead stores, unreachable blocks, unused globals,
-// unchecked map misses, and header-field width truncation. The program
-// must be finalized (statement IDs assigned); it is not mutated.
+// unchecked map misses, interval-proven header-width truncation, and the
+// informational flow-affinity certificate. The program must be finalized
+// (statement IDs assigned); it is not mutated.
 func Lint(p *ir.Program) Diagnostics {
 	var ds Diagnostics
 	fn := p.Fn
@@ -134,19 +135,44 @@ func Lint(p *ir.Program) Diagnostics {
 		}
 	}
 
-	// lint/width-truncation — storing a wider register into a narrower
-	// header field silently drops high bits.
-	for _, s := range fn.Stmts() {
-		if s.Kind != ir.StoreHeader || len(s.Args) != 1 {
-			continue
-		}
-		if bits, ok := packet.HeaderFieldBits(s.Obj); ok {
-			if rb := fn.RegType(s.Args[0]).Bits(); rb > bits {
-				ds = append(ds, diag(CheckWidthTruncation, fn.Name, s,
-					"storing %d-bit register %s (r%d) into %d-bit field %s truncates",
-					rb, fn.RegName(s.Args[0]), s.Args[0], bits, s.Obj))
+	// interval/width-truncation — a reachable header store whose proven
+	// value range exceeds the field width. The interval analysis replaces
+	// the old register-type heuristic: a u32 register provably masked to
+	// 8 bits no longer warns, while a genuinely wide value still does.
+	iv := dataflow.AnalyzeIntervals(p)
+	for _, tr := range iv.Truncations {
+		d := diag(CheckIntervalTruncation, fn.Name, fn.Stmt(tr.Stmt),
+			"storing %s (range %s) into %d-bit field %s can truncate",
+			fn.RegName(fn.Stmt(tr.Stmt).Args[0]), tr.Val, tr.FieldBits, tr.Field)
+		d.Notes = tr.Why
+		ds = append(ds, d)
+	}
+
+	// affinity/certificate — the machine-checked flow-affinity verdict
+	// for each map, plus any data-path scalar writes. Informational: the
+	// certificate itself lives in partition.Result; these surface it in
+	// -vet output and the JSON report.
+	aff := dataflow.AnalyzeAffinity(p)
+	for _, name := range aff.MapNames() {
+		m := aff.Maps[name]
+		d := diag(CheckAffinityCertificate, fn.Name, nil,
+			"map %q flow-affinity: %s (%d access site(s))", name, m.Verdict, len(m.Sites))
+		for _, site := range m.Sites {
+			if site.Verdict == m.Verdict {
+				d.Stmt = site.Stmt
+				d.Line = site.Line
+				d.Notes = site.Why
+				break
 			}
 		}
+		ds = append(ds, d)
+	}
+	for _, name := range aff.WrittenGlobals() {
+		site := aff.GlobalWrites[name][0]
+		d := diag(CheckAffinityCertificate, fn.Name, fn.Stmt(site.Stmt),
+			"global %q is written on the data path: state aggregates across flows (multi-worker merges are relaxed)", name)
+		d.Notes = site.Why
+		ds = append(ds, d)
 	}
 
 	ds.Sort()

@@ -58,11 +58,11 @@ func expectCheck(t *testing.T, res *partition.Result, id string) {
 	}
 }
 
-// TestMutationClasses drives all twelve fault classes through the
+// TestMutationClasses drives all fifteen fault classes through the
 // verifier.
 func TestMutationClasses(t *testing.T) {
-	if len(Mutations) != 12 {
-		t.Fatalf("harness has %d mutation classes, want 12", len(Mutations))
+	if len(Mutations) != 15 {
+		t.Fatalf("harness has %d mutation classes, want 15", len(Mutations))
 	}
 	for _, m := range Mutations {
 		t.Run(m.Name, func(t *testing.T) {

@@ -66,6 +66,36 @@ middlebox srvcounter {
 }
 `
 
+// FlowMapHostSource is a flow table keyed by the full ingress 5-tuple —
+// the exact-affinity shape the dataflow certificate exists to prove. The
+// found arm echoes the first-seen IP ID (so a hit is visible in packet
+// bytes) and the read-only scalar `seen` into TOS (so a foreign write to
+// it is visible too); the miss arm records the packet's own ID.
+const FlowMapHostSource = `
+middlebox flowmap {
+    map<u32, u32, u16, u16, u8 -> u16> flows(max = 4096);
+    global u32 seen;
+
+    proc process(pkt p) {
+        u32 fsrc = p.ip.saddr;
+        u32 fdst = p.ip.daddr;
+        u16 fsp = p.l4.sport;
+        u16 fdp = p.l4.dport;
+        u8 fpr = p.ip.proto;
+        u32 s = seen;
+        let r = flows.find(fsrc, fdst, fsp, fdp, fpr);
+        if (r.ok) {
+            p.ip.id = r.v0;
+            p.ip.tos = (u8)(s & 0xFF);
+        } else {
+            u16 mark = p.ip.id;
+            flows.insert(fsrc, fdst, fsp, fdp, fpr, mark);
+        }
+        send(p);
+    }
+}
+`
+
 // MutationClass is one seeded fault class.
 type MutationClass struct {
 	// Name is a stable kebab-case identifier.
@@ -96,6 +126,8 @@ func HostSource(host string) string {
 		return StaleReadHostSource
 	case "srvcounter":
 		return ServerGlobalHostSource
+	case "flowmap":
+		return FlowMapHostSource
 	}
 	return ""
 }
@@ -149,8 +181,20 @@ func insertInstr(fn *ir.Function, blk int, in ir.Instr) {
 	fn.Finalize()
 }
 
-// Mutations is the harness: the twelve fault classes of PR 2, as data so
-// both detection layers can iterate them.
+// insertInstrBefore places an instruction at (blk, idx), ahead of the
+// instruction currently there — for faults that must take effect before
+// a specific access executes (a key clobber is only behavioral when it
+// runs before the lookup that consumes the key).
+func insertInstrBefore(fn *ir.Function, blk, idx int, in ir.Instr) {
+	instrs := fn.Blocks[blk].Instrs
+	instrs = append(instrs[:idx:idx], append([]ir.Instr{in}, instrs[idx:]...)...)
+	fn.Blocks[blk].Instrs = instrs
+	fn.Finalize()
+}
+
+// Mutations is the harness: the twelve fault classes of PR 2 plus the
+// three flow-affinity classes, as data so both detection layers can
+// iterate them.
 var Mutations = []MutationClass{
 	{
 		// A value consumed after a partition boundary loses its
@@ -337,6 +381,68 @@ var Mutations = []MutationClass{
 				return err
 			}
 			res.FormatA = narrowed
+			return nil
+		},
+	},
+	{
+		// A map key register is clobbered with non-flow state (the
+		// per-packet IP ID) before the lookup: two packets of one flow no
+		// longer map to one key, so the certified-exact flow table stops
+		// being partitioned by flow. Repeat packets that should hit now
+		// miss, leaving the echoed first-seen ID unwritten.
+		Name: "cross-flow-key", Host: "flowmap", Check: CheckAffinityCrossFlowKey, Behavioral: true,
+		Apply: func(res *partition.Result) error {
+			blk, idx, err := findMutInstr(res.PreFn, "MapFind", byKindObj(ir.MapFind, "flows"))
+			if err != nil {
+				return err
+			}
+			seed := res.PreFn.Blocks[blk].Instrs[idx]
+			insertInstrBefore(res.PreFn, blk, idx, ir.Instr{
+				Kind: ir.LoadHeader,
+				Obj:  "ip.id",
+				Dst:  []ir.Reg{seed.Args[0]},
+			})
+			return nil
+		},
+	},
+	{
+		// The inserted key is hashed first: still a pure function of the
+		// flow tuple — no cross-flow aliasing from other state — but no
+		// longer the identity the exact certificate requires, and the
+		// lookup side (unhashed) misses entries the oracle finds.
+		Name: "unprovable-key", Host: "flowmap", Check: CheckAffinityUnprovableKey, Behavioral: true,
+		Apply: func(res *partition.Result) error {
+			blk, idx, err := findMutInstr(res.SrvFn, "MapInsert", byKindObj(ir.MapInsert, "flows"))
+			if err != nil {
+				return err
+			}
+			seed := res.SrvFn.Blocks[blk].Instrs[idx]
+			insertInstrBefore(res.SrvFn, blk, idx, ir.Instr{
+				Kind: ir.Hash,
+				Dst:  []ir.Reg{seed.Args[0]},
+				Args: []ir.Reg{seed.Args[0]},
+			})
+			return nil
+		},
+	},
+	{
+		// A scalar global the input program only reads gains a server-side
+		// write: state silently starts aggregating across flows, so the
+		// certificate's exact multi-worker merge is no longer sound. The
+		// host echoes the scalar into TOS, so the foreign write is visible
+		// in packet bytes as well as in final state.
+		Name: "cross-flow-state", Host: "flowmap", Check: CheckAffinityCrossFlowState, Behavioral: true,
+		Apply: func(res *partition.Result) error {
+			blk, idx, err := findMutInstr(res.SrvFn, "saddr load", byKindObj(ir.LoadHeader, "ip.saddr"))
+			if err != nil {
+				return err
+			}
+			src := res.SrvFn.Blocks[blk].Instrs[idx]
+			insertInstr(res.SrvFn, blk, ir.Instr{
+				Kind: ir.GlobalStore,
+				Obj:  "seen",
+				Args: []ir.Reg{src.Dst[0]},
+			})
 			return nil
 		},
 	},

@@ -1,7 +1,7 @@
 package analysis
 
 import (
-	"gallium/internal/cfg"
+	"gallium/internal/analysis/dataflow"
 	"gallium/internal/ir"
 )
 
@@ -14,6 +14,41 @@ type uninitUse struct {
 	blk  int
 }
 
+// definedRegs is the definite-assignment problem on the dataflow solver:
+// a forward must-analysis whose state is the set of registers written on
+// *every* path from entry. The boundary (entry) state is empty — a loop
+// back to entry cannot define anything first — and joins intersect, so
+// the intersection with the empty boundary keeps the entry block clean
+// even when it has predecessors.
+type definedRegs struct {
+	fn *ir.Function
+}
+
+func (p *definedRegs) Direction() dataflow.Direction { return dataflow.Forward }
+func (p *definedRegs) Bottom() []bool                { return nil }
+func (p *definedRegs) IsBottom(s []bool) bool        { return s == nil }
+func (p *definedRegs) Boundary() []bool              { return make([]bool, len(p.fn.Regs)) }
+
+func (p *definedRegs) Join(a, b []bool) []bool {
+	j := append([]bool(nil), a...)
+	for i := range j {
+		j[i] = j[i] && b[i]
+	}
+	return j
+}
+
+func (p *definedRegs) Equal(a, b []bool) bool { return boolsEqual(a, b) }
+
+func (p *definedRegs) Transfer(b *ir.Block, in []bool) []bool {
+	cur := append([]bool(nil), in...)
+	for i := range b.Instrs {
+		for _, r := range b.Instrs[i].Dst {
+			cur[r] = true
+		}
+	}
+	return cur
+}
+
 // maybeUninitUses runs a forward definite-assignment dataflow over fn:
 // a register is "defined at P" only when every path from entry to P
 // writes it. It returns every read of a not-definitely-assigned register
@@ -24,82 +59,10 @@ type uninitUse struct {
 // where an undefined read means a value crossed a partition boundary
 // without a transfer-header carry or rematerialization.
 func maybeUninitUses(fn *ir.Function) []uninitUse {
-	n := len(fn.Blocks)
-	if n == 0 {
+	if len(fn.Blocks) == 0 {
 		return nil
 	}
-	nregs := len(fn.Regs)
-	graph := cfg.New(fn)
-	reach := graph.Reachable()
-	reachable := func(b int) bool { return b == 0 || reach[0][b] }
-
-	preds := make([][]int, n)
-	addSucc := func(from, to int) { preds[to] = append(preds[to], from) }
-	for _, b := range fn.Blocks {
-		switch b.Term.Kind {
-		case ir.Jump:
-			addSucc(b.ID, b.Term.Then)
-		case ir.Branch:
-			addSucc(b.ID, b.Term.Then)
-			addSucc(b.ID, b.Term.Else)
-		}
-	}
-
-	// Must-analysis over bitsets: in[b] = ∩ out[preds]; entry starts
-	// empty, everything else starts at ⊤ (all defined) and narrows.
-	newSet := func(val bool) []bool {
-		s := make([]bool, nregs)
-		if val {
-			for i := range s {
-				s[i] = true
-			}
-		}
-		return s
-	}
-	in := make([][]bool, n)
-	out := make([][]bool, n)
-	for i := 0; i < n; i++ {
-		in[i] = newSet(i != 0)
-		out[i] = newSet(i != 0)
-	}
-	transfer := func(b *ir.Block, set []bool) []bool {
-		cur := append([]bool(nil), set...)
-		for i := range b.Instrs {
-			for _, r := range b.Instrs[i].Dst {
-				cur[r] = true
-			}
-		}
-		return cur
-	}
-	for changed := true; changed; {
-		changed = false
-		for _, b := range fn.Blocks {
-			if !reachable(b.ID) {
-				continue
-			}
-			cur := newSet(b.ID != 0)
-			for _, p := range preds[b.ID] {
-				if !reachable(p) {
-					continue
-				}
-				for r := 0; r < nregs; r++ {
-					cur[r] = cur[r] && out[p][r]
-				}
-			}
-			if b.ID == 0 {
-				// Entry has no defined-on-entry registers even with preds
-				// (a loop back to entry cannot define anything first).
-				for r := 0; r < nregs; r++ {
-					cur[r] = false
-				}
-			}
-			o := transfer(b, cur)
-			if !boolsEqual(cur, in[b.ID]) || !boolsEqual(o, out[b.ID]) {
-				in[b.ID], out[b.ID] = cur, o
-				changed = true
-			}
-		}
-	}
+	res := dataflow.Solve[[]bool](fn, &definedRegs{fn: fn})
 
 	type key struct {
 		id  int
@@ -116,10 +79,10 @@ func maybeUninitUses(fn *ir.Function) []uninitUse {
 		uses = append(uses, uninitUse{stmt: s, reg: r, term: term, blk: blk})
 	}
 	for _, b := range fn.Blocks {
-		if !reachable(b.ID) {
-			continue
+		if res.In[b.ID] == nil {
+			continue // unreachable from entry
 		}
-		cur := append([]bool(nil), in[b.ID]...)
+		cur := append([]bool(nil), res.In[b.ID]...)
 		for i := range b.Instrs {
 			s := &b.Instrs[i]
 			for _, r := range s.Args {

@@ -53,6 +53,7 @@ func Verify(res *partition.Result) Diagnostics {
 	v.checkRematClobber()
 	v.checkFastPath()
 	v.checkResources()
+	v.checkAffinity()
 	v.ds.Sort()
 	return v.ds
 }

@@ -1,0 +1,164 @@
+package analysis
+
+import (
+	"gallium/internal/analysis/dataflow"
+	"gallium/internal/ir"
+)
+
+// checkAffinity validates the flow-affinity certificate differentially.
+// Two obligations:
+//
+//  1. affinity/certificate-drift — the certificate stored in the Result
+//     must match a fresh derivation from the input program. Consumers
+//     (Session merge policy, the difftest oracle) trust the stored copy,
+//     so a stale or tampered certificate is an error even when the
+//     partitions themselves are sound.
+//
+//  2. The partitions must not weaken the certificate. Any
+//     non-synthesized partition instruction whose fingerprint does not
+//     appear in the input program is *foreign* — introduced by a
+//     transformation rather than copied from the source. A foreign store
+//     to a scalar global the input never writes silently invalidates the
+//     exact multi-worker merge (affinity/cross-flow-state); a foreign
+//     definition feeding a map key can degrade that map's verdict
+//     (affinity/cross-flow-key when the key becomes dependent on
+//     non-flow state, affinity/unprovable-key when it merely loses the
+//     exact identity cover).
+//
+// Legitimate partitioner output contains no foreign instructions
+// (checkCoverage enforces that independently), so obligation 2 never
+// fires on trusted output by construction: copied access sites are
+// judged by the input's own flow-sensitive per-site taints, not
+// re-derived through the partition CFG.
+func (v *verifier) checkAffinity() {
+	fn := v.prog.Fn
+	cert := dataflow.AnalyzeAffinity(v.prog)
+
+	if v.res.Affinity != nil && v.res.Affinity.Summary() != cert.Summary() {
+		v.errf(fn.Name, nil, CheckAffinityDrift,
+			"stored certificate (%s) does not match a fresh derivation from the input (%s)",
+			v.res.Affinity.Summary(), cert.Summary())
+	}
+
+	inputFP := map[string]bool{}
+	for _, s := range fn.Stmts() {
+		inputFP[fingerprint(s)] = true
+	}
+
+	// Per-site key taints from the certificate, keyed by fingerprint so
+	// they can be looked up from the partition copies. When identical
+	// content appears at several input sites, the taints are joined —
+	// conservative, and each joined component still certifies at least
+	// the map verdict.
+	siteTaints := map[string][]dataflow.Taint{}
+	for _, m := range cert.Maps {
+		for _, site := range m.Sites {
+			s := fn.Stmt(site.Stmt)
+			if s == nil {
+				continue
+			}
+			fp := fingerprint(s)
+			if prev, ok := siteTaints[fp]; ok {
+				for i := range prev {
+					if i < len(site.Taints) {
+						prev[i] = prev[i].Join(site.Taints[i])
+					}
+				}
+			} else {
+				siteTaints[fp] = append([]dataflow.Taint(nil), site.Taints...)
+			}
+		}
+	}
+
+	summary := func(r ir.Reg) dataflow.Taint {
+		if int(r) >= 0 && int(r) < len(cert.RegSummary) {
+			return cert.RegSummary[r]
+		}
+		return dataflow.Taint{NonFlow: true, Ident: -1}
+	}
+
+	for _, part := range v.parts {
+		// Pass 1: taints of foreign definitions, evaluated locally with
+		// the input register summary as fallback. Two sweeps resolve
+		// foreign→foreign chains of the depth mutations produce without
+		// a full fixpoint.
+		foreign := map[ir.Reg]dataflow.Taint{}
+		lookup := func(r ir.Reg) dataflow.Taint {
+			if t, ok := foreign[r]; ok {
+				return t
+			}
+			return summary(r)
+		}
+		for sweep := 0; sweep < 2; sweep++ {
+			for _, b := range part.fn.Blocks {
+				for i := range b.Instrs {
+					in := &b.Instrs[i]
+					if synthesized(in.Kind) || inputFP[fingerprint(in)] {
+						continue
+					}
+					if t, ok := dataflow.TransferTaint(in, lookup); ok {
+						foreign[in.Dst[0]] = t
+					}
+				}
+			}
+		}
+
+		// Pass 2: re-judge every state access touched by foreign content.
+		for _, b := range part.fn.Blocks {
+			for i := range b.Instrs {
+				in := &b.Instrs[i]
+				if synthesized(in.Kind) {
+					continue
+				}
+				isForeign := !inputFP[fingerprint(in)]
+				switch in.Kind {
+				case ir.GlobalStore:
+					g := v.prog.Global(in.Obj)
+					if isForeign && (g == nil || g.Kind == ir.KindScalar) && len(cert.GlobalWrites[in.Obj]) == 0 {
+						v.errf(part.fn.Name, in, CheckAffinityCrossFlowState,
+							"foreign store to scalar global %q: the input program never writes it, so the certified exact multi-worker merge no longer holds", in.Obj)
+					}
+				case ir.MapFind, ir.MapInsert, ir.MapRemove:
+					g := v.prog.Global(in.Obj)
+					if g == nil || g.Kind != ir.KindMap {
+						continue
+					}
+					nk := len(g.KeyTypes)
+					if in.Kind != ir.MapInsert || nk > len(in.Args) {
+						nk = len(in.Args)
+					}
+					base := siteTaints[fingerprint(in)]
+					taints := make([]dataflow.Taint, nk)
+					touched := isForeign
+					for j := 0; j < nk; j++ {
+						r := in.Args[j]
+						if t, ok := foreign[r]; ok {
+							taints[j] = t
+							touched = true
+						} else if !isForeign && j < len(base) {
+							taints[j] = base[j]
+						} else {
+							taints[j] = summary(r)
+						}
+					}
+					if !touched {
+						continue
+					}
+					got, want := dataflow.KeyVerdict(taints), cert.MapVerdict(in.Obj)
+					if got >= want {
+						continue
+					}
+					if got == dataflow.CrossFlow {
+						v.errf(part.fn.Name, in, CheckAffinityCrossFlowKey,
+							"key of %s depends on non-flow state (%s; certificate says %s)",
+							describe(in), got, want)
+					} else {
+						v.errf(part.fn.Name, in, CheckAffinityUnprovableKey,
+							"key of %s is no longer provably an exact flow identity (%s; certificate says %s)",
+							describe(in), got, want)
+					}
+				}
+			}
+		}
+	}
+}

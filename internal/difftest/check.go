@@ -39,7 +39,9 @@ type PacketOutcome struct {
 // passed every leg.
 type Divergence struct {
 	// Leg is where the difference surfaced: "compile", "oracle",
-	// "inject", "run1", or "run8".
+	// "affinity" (the static certificate contradicted the generator's
+	// shard-safety declaration or a recorded verdict), "inject", "run1",
+	// or "run8".
 	Leg    string
 	Detail string
 }
@@ -260,31 +262,6 @@ func stateDiff(want, got *ir.State) string {
 	return ""
 }
 
-// mergeShardStates union-merges per-shard final states of a shard-safe
-// program: map keyspaces must be disjoint (each key is owned by the one
-// flow — hence one shard — that can construct it), and globals, vecs, and
-// LPM tables must be identical on every shard (they are read-only for
-// shard-safe programs). Any violation is itself a divergence.
-func mergeShardStates(states []*ir.State) (*ir.State, string) {
-	merged := states[0].Clone()
-	for si, st := range states[1:] {
-		for name, m := range st.Maps {
-			for k, v := range m {
-				if ex, ok := merged.Maps[name][k]; ok {
-					return nil, fmt.Sprintf("map %s: key %v present on multiple shards (%v vs %v)", name, k, ex, v)
-				}
-				merged.Maps[name][k] = append([]uint64(nil), v...)
-			}
-		}
-		for name, v := range st.Globals {
-			if merged.Globals[name] != v {
-				return nil, fmt.Sprintf("global %s: shard 0 has %d, shard %d has %d", name, merged.Globals[name], si+1, v)
-			}
-		}
-	}
-	return merged, ""
-}
-
 // CompileCase compiles the case's program through the full pipeline with
 // verification on.
 func CompileCase(c *Case) (*gallium.Artifacts, error) {
@@ -305,6 +282,21 @@ func RunCase(c *Case) *Divergence {
 // oracle (which always runs the *unpartitioned* art.Prog). The mutation
 // harness calls this with deliberately corrupted partition results.
 func DiffArtifacts(art *gallium.Artifacts, spec *ProgramSpec, tr *Trace) *Divergence {
+	// Leg 0: static certificate cross-check. The generator *constructs*
+	// shard-safe programs (full-tuple keys, unwritten globals); the
+	// dataflow analyzer must independently *prove* the same property. A
+	// shard-safe program the analyzer cannot certify exact is a false
+	// negative in the analysis — caught here without running a packet.
+	cert := art.Affinity()
+	certExact := cert != nil && cert.Exact()
+	if spec.ShardSafe && !certExact {
+		detail := "no certificate attached"
+		if cert != nil {
+			detail = cert.Summary()
+		}
+		return &Divergence{Leg: "affinity", Detail: "generator declares shard-safe but the analyzer could not certify exact flow affinity (" + detail + ")"}
+	}
+
 	oracle, ostate, err := runOracle(art.Prog, spec, tr)
 	if err != nil {
 		return &Divergence{Leg: "oracle", Detail: err.Error()}
@@ -339,11 +331,18 @@ func DiffArtifacts(art *gallium.Artifacts, spec *ProgramSpec, tr *Trace) *Diverg
 	if err != nil {
 		return &Divergence{Leg: "run8", Detail: err.Error()}
 	}
-	if spec.ShardSafe {
+	if spec.ShardSafe || certExact {
+		// The exact leg runs whenever the certificate proves flow
+		// affinity, not only when the generator *declared* it: a
+		// certified-exact program must match the oracle per packet under
+		// 8 workers, with per-shard states disjoint-union merging to the
+		// sequential final state. A false "exact" verdict surfaces here
+		// as a runtime divergence — the certificate is an oracle
+		// dimension, not trusted metadata.
 		if d := comparePackets("run8", oracle, outs); d != nil {
 			return d
 		}
-		merged, conflict := mergeShardStates(states)
+		merged, _, conflict := art.MergeShardStates(states)
 		if conflict != "" {
 			return &Divergence{Leg: "run8", Detail: conflict}
 		}
@@ -351,10 +350,10 @@ func DiffArtifacts(art *gallium.Artifacts, spec *ProgramSpec, tr *Trace) *Diverg
 			return &Divergence{Leg: "run8", Detail: "merged final state: " + diff}
 		}
 	}
-	// Non-shard-safe programs already got the relaxed checks inside
-	// runEngine: no execution errors, no queue drops, and a reported
-	// fate for every packet. Cross-flow state interleaving under 8
-	// concurrent shards is legitimately different from sequential
-	// execution, so per-packet and state equality are not required.
+	// Remaining programs already got the relaxed checks inside runEngine:
+	// no execution errors, no queue drops, and a reported fate for every
+	// packet. Cross-flow state interleaving under 8 concurrent shards is
+	// legitimately different from sequential execution, so per-packet and
+	// state equality are not required.
 	return nil
 }

@@ -36,6 +36,44 @@ func TestDifferentialFuzz(t *testing.T) {
 	}
 }
 
+// TestAffinityCrossCheck is the analysis self-check: over 200 generated
+// programs, the flow-affinity certificate must cover the generator's
+// declared ShardSafe bit. The generator only declares shard-safe when
+// every map key is the verbatim ingress 5-tuple and no global is
+// written, so a declared-safe program the analyzer cannot certify exact
+// is an analyzer bug (a spurious "cross-flow"). The reverse direction —
+// an exact certificate on a declared-unsafe program — is legitimate
+// (the generator's unsafe mode still emits flow-keyed maps 30% of the
+// time) and is validated semantically by TestDifferentialFuzz, whose
+// 8-worker leg treats any exact certificate as an equality oracle.
+func TestAffinityCrossCheck(t *testing.T) {
+	t.Parallel()
+	exact, relaxed := 0, 0
+	for seed := uint64(0); seed < 200; seed++ {
+		c := difftest.GenCase(seed, 4)
+		cert, err := difftest.CompileAffinity(c.Spec)
+		if err != nil {
+			t.Fatalf("seed %d: compile: %v", seed, err)
+		}
+		if cert == nil {
+			t.Fatalf("seed %d: compile attached no affinity certificate", seed)
+		}
+		if c.Spec.ShardSafe && !cert.Exact() {
+			t.Errorf("seed %d: declared shard-safe but certificate is %q (%s)",
+				seed, cert.Verdict(), cert.Summary())
+		}
+		if cert.Exact() {
+			exact++
+		} else {
+			relaxed++
+		}
+	}
+	if exact == 0 || relaxed == 0 {
+		t.Fatalf("degenerate seed range: %d exact, %d relaxed — cross-check is vacuous", exact, relaxed)
+	}
+	t.Logf("200 seeds: %d certified exact, %d cross-flow/derived", exact, relaxed)
+}
+
 // TestRegressionCorpus replays every shrunk case in the permanent corpus.
 // Each .mc/.trace pair captured a real divergence when it was written; a
 // nonzero divergence here means a fixed bug has regressed.

@@ -72,6 +72,11 @@ type ProgramSpec struct {
 	// and globals are never written. For these, 8-worker execution must
 	// equal the sequential oracle with per-shard map states union-merged.
 	ShardSafe bool
+	// Affinity is the expected flow-affinity certificate verdict in wire
+	// form ("exact", "derived", "cross-flow"), recorded by corpus files so
+	// replay cross-checks the dataflow analyzer against the value captured
+	// at write time. Empty means unrecorded (no check).
+	Affinity string
 	Maps      []MapDecl
 	Vecs      []VecDecl
 	Lpms      []LpmDecl

@@ -8,6 +8,7 @@ import (
 	"strings"
 
 	"gallium"
+	"gallium/internal/analysis/dataflow"
 )
 
 // maxShrinkEdits bounds the total number of candidate re-executions one
@@ -266,6 +267,9 @@ func FormatCorpusProgram(c *Case, d *Divergence) string {
 		fmt.Fprintf(&b, "// divergence at capture time: %s\n", d)
 	}
 	fmt.Fprintf(&b, "// difftest:shardsafe %v\n", c.Spec.ShardSafe)
+	if v := affinityVerdict(c.Spec); v != "" {
+		fmt.Fprintf(&b, "// difftest:affinity %s\n", v)
+	}
 	for _, v := range c.Spec.Vecs {
 		strs := make([]string, len(v.Seed))
 		for i, x := range v.Seed {
@@ -281,6 +285,28 @@ func FormatCorpusProgram(c *Case, d *Divergence) string {
 	}
 	b.WriteString(c.Spec.Render())
 	return b.String()
+}
+
+// CompileAffinity compiles the spec's source (without verification) and
+// returns its flow-affinity certificate. CI's analysis self-check uses
+// it to cross-check certificates against generator metadata.
+func CompileAffinity(spec *ProgramSpec) (*gallium.FlowAffinity, error) {
+	art, err := gallium.Compile(spec.Render(), gallium.Options{})
+	if err != nil {
+		return nil, err
+	}
+	return art.Affinity(), nil
+}
+
+// affinityVerdict returns the spec's certificate verdict in wire form,
+// or "" when the source does not compile (shrunk compile-leg cases) —
+// the directive is then simply omitted.
+func affinityVerdict(spec *ProgramSpec) string {
+	cert, err := CompileAffinity(spec)
+	if err != nil || cert == nil {
+		return ""
+	}
+	return cert.Verdict().String()
 }
 
 // ParseCorpusProgram extracts the replay spec from corpus .mc content:
@@ -305,6 +331,14 @@ func ParseCorpusProgram(src string) (*ProgramSpec, error) {
 				return nil, fmt.Errorf("corpus line %d: shardsafe wants one arg", ln+1)
 			}
 			spec.ShardSafe = f[1] == "true"
+		case "affinity":
+			if len(f) != 2 {
+				return nil, fmt.Errorf("corpus line %d: affinity wants one verdict", ln+1)
+			}
+			if _, ok := dataflow.ParseVerdict(f[1]); !ok {
+				return nil, fmt.Errorf("corpus line %d: unknown affinity verdict %q", ln+1, f[1])
+			}
+			spec.Affinity = f[1]
 		case "vec":
 			if len(f) != 3 {
 				return nil, fmt.Errorf("corpus line %d: vec wants name and values", ln+1)
@@ -375,6 +409,18 @@ func ReplayCorpusCase(mcPath string) (*Divergence, error) {
 	art, err := gallium.Compile(string(src), gallium.Options{Verify: true})
 	if err != nil {
 		return &Divergence{Leg: "compile", Detail: err.Error()}, nil
+	}
+	if spec.Affinity != "" {
+		want, _ := dataflow.ParseVerdict(spec.Affinity)
+		cert := art.Affinity()
+		switch {
+		case cert == nil:
+			return &Divergence{Leg: "affinity", Detail: fmt.Sprintf(
+				"corpus recorded verdict %q but the compile attached no certificate", spec.Affinity)}, nil
+		case cert.Verdict() != want:
+			return &Divergence{Leg: "affinity", Detail: fmt.Sprintf(
+				"analyzer verdict %q differs from the %q recorded at capture time", cert.Verdict(), spec.Affinity)}, nil
+		}
 	}
 	return DiffArtifacts(art, spec, tr), nil
 }

@@ -1,0 +1,82 @@
+package eval
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestReconfigEvalQuickZeroLoss runs the quick reconfiguration ladder
+// end to end: every middlebox row must account for all injected packets
+// (the zero-loss invariant the control plane promises) and record that
+// its reconfigurations actually applied.
+func TestReconfigEvalQuickZeroLoss(t *testing.T) {
+	if testing.Short() {
+		t.Skip("live sessions under sustained traffic; runs in full mode and CI")
+	}
+	rows, err := ReconfigEval(true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) == 0 {
+		t.Fatal("no reconfig rows")
+	}
+	for _, r := range rows {
+		if !r.Accounted() {
+			t.Errorf("%s/%s lost packets: injected=%d delivered=%d mb=%d q=%d",
+				r.Middlebox, r.Op, r.Injected, r.Delivered, r.MBDrops, r.QueueDrops)
+		}
+		if r.Reconfigs == 0 {
+			t.Errorf("%s/%s applied no reconfigurations", r.Middlebox, r.Op)
+		}
+	}
+
+	out := FormatReconfig(rows)
+	for _, want := range []string{"middlebox", rows[0].Middlebox, rows[0].Op} {
+		if !strings.Contains(out, want) {
+			t.Errorf("FormatReconfig missing %q:\n%s", want, out)
+		}
+	}
+	if strings.Contains(out, "LOSS!") {
+		t.Errorf("clean rows rendered the loss marker:\n%s", out)
+	}
+	// An unaccounted row must carry the loss marker.
+	bad := rows[0]
+	bad.Delivered--
+	if got := FormatReconfig([]ReconfigRow{bad}); !strings.Contains(got, "LOSS!") {
+		t.Errorf("unaccounted row missing LOSS! marker:\n%s", got)
+	}
+}
+
+// TestCheckScaling pins the scaling gate's decision table, including the
+// vacuous passes that keep it honest on small hosts.
+func TestCheckScaling(t *testing.T) {
+	rep := func(gomaxprocs int, pps ...float64) *PPSReport {
+		r := &PPSReport{GoMaxProcs: gomaxprocs}
+		for i, p := range pps {
+			r.Points = append(r.Points, PPSPoint{Workers: 1 << i, PPS: p})
+		}
+		return r
+	}
+	cases := []struct {
+		name    string
+		rep     *PPSReport
+		min     float64
+		wantErr string
+	}{
+		{"disabled", rep(8, 1e6, 1e6), 0, ""},
+		{"single-point", rep(8, 1e6), 1.5, ""},
+		{"small-host-vacuous", rep(2, 1e6, 1e6), 1.5, ""},
+		{"degenerate-baseline", rep(8, 0, 1e6), 1.5, "degenerate"},
+		{"regression", rep(8, 1e6, 1.2e6), 1.5, "scaling regression"},
+		{"pass", rep(8, 1e6, 2e6), 1.5, ""},
+	}
+	for _, c := range cases {
+		err := CheckScaling(c.rep, c.min)
+		switch {
+		case c.wantErr == "" && err != nil:
+			t.Errorf("%s: unexpected error %v", c.name, err)
+		case c.wantErr != "" && (err == nil || !strings.Contains(err.Error(), c.wantErr)):
+			t.Errorf("%s: error %v, want containing %q", c.name, err, c.wantErr)
+		}
+	}
+}

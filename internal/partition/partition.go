@@ -19,6 +19,7 @@ package partition
 import (
 	"fmt"
 
+	"gallium/internal/analysis/dataflow"
 	"gallium/internal/deps"
 	"gallium/internal/ir"
 	"gallium/internal/packet"
@@ -204,6 +205,14 @@ type Result struct {
 	OffloadedGlobals []string
 	SwitchAccess     map[string]int
 
+	// Affinity is the flow-affinity certificate derived from the input
+	// program: per-map key-provenance verdicts plus data-path scalar
+	// writes. difftest cross-checks it against the generator's declared
+	// ShardSafe bit, Session picks exact vs. relaxed multi-worker state
+	// merging with it, and the verifier re-derives it to catch
+	// affinity-breaking transformations (affinity/* checks).
+	Affinity *dataflow.Affinity
+
 	// Report carries resource accounting.
 	Report Report
 }
@@ -295,6 +304,7 @@ func Partition(p *ir.Program, c Constraints) (*Result, error) {
 	if err := buildSplit(res); err != nil {
 		return nil, err
 	}
+	res.Affinity = dataflow.AnalyzeAffinity(p)
 	fillReport(res, c)
 	return res, nil
 }

@@ -1,0 +1,76 @@
+package gallium
+
+import (
+	"fmt"
+
+	"gallium/internal/analysis/dataflow"
+	"gallium/internal/ir"
+)
+
+// FlowAffinity is the flow-affinity certificate the partitioner derives
+// for every compiled program: a machine-checked, per-map answer to "is
+// cross-packet state partitioned by ingress flow?". See
+// internal/analysis/dataflow for the underlying taint analysis.
+type FlowAffinity = dataflow.Affinity
+
+// Affinity returns the artifacts' flow-affinity certificate, or nil when
+// no partition result is attached.
+func (a *Artifacts) Affinity() *FlowAffinity {
+	if a.Res == nil {
+		return nil
+	}
+	return a.Res.Affinity
+}
+
+// MergeShardStates combines per-worker final states into one view, with
+// the merge policy selected by the flow-affinity certificate.
+//
+// When the certificate is Exact — every map key a pure flow identity, no
+// scalar global written — concurrent shards partition state exactly, so
+// the merge is the disjoint union of map entries with scalars required
+// identical across shards. Any violation falsifies the certificate; it
+// is returned as a non-empty conflict with a nil merged state, and
+// callers should treat it like a failed differential run.
+//
+// Otherwise the merge is relaxed: map entries union with later shards
+// winning key collisions, and scalars, vectors, and LPM tables keep
+// shard 0's values. That is a diagnostic view — cross-flow state
+// legitimately interleaves under concurrency and has no sequential
+// equivalent to reconstruct.
+//
+// exact reports which policy ran. A nil or empty states slice returns a
+// nil merged state.
+func (a *Artifacts) MergeShardStates(states []*ir.State) (merged *ir.State, exact bool, conflict string) {
+	if len(states) == 0 {
+		return nil, false, ""
+	}
+	cert := a.Affinity()
+	exact = cert != nil && cert.Exact()
+	merged = states[0].Clone()
+	for si, st := range states[1:] {
+		for name, m := range st.Maps {
+			if merged.Maps[name] == nil {
+				merged.Maps[name] = map[ir.MapKey][]uint64{}
+			}
+			for k, v := range m {
+				if ex, ok := merged.Maps[name][k]; ok && exact {
+					return nil, true, fmt.Sprintf(
+						"map %s: key %v present on multiple shards (%v vs %v) despite an exact certificate",
+						name, k, ex, v)
+				}
+				merged.Maps[name][k] = append([]uint64(nil), v...)
+			}
+		}
+		if !exact {
+			continue
+		}
+		for name, v := range st.Globals {
+			if mv := merged.Globals[name]; mv != v {
+				return nil, true, fmt.Sprintf(
+					"global %s: shard 0 has %d, shard %d has %d despite an exact certificate",
+					name, mv, si+1, v)
+			}
+		}
+	}
+	return merged, exact, ""
+}

@@ -41,6 +41,9 @@ type runConfig struct {
 	// shard after the run settles. WithState registers in both.
 	seedFns   []func(shard int, st *ir.State)
 	settleFns []func(shard int, st *ir.State)
+	// mergedFns run once after the settle hooks with the shard states
+	// merged under the certificate-selected policy (WithMergedState).
+	mergedFns []func(merged *ir.State, exact bool, conflict string)
 	err       error
 }
 
@@ -117,6 +120,17 @@ func WithSetup(fn func(shard int, st *ir.State)) RunOption {
 // should use WithState.
 func WithShardStates(fn func(shard int, st *ir.State)) RunOption {
 	return func(c *runConfig) { c.settleFns = append(c.settleFns, fn) }
+}
+
+// WithMergedState registers a hook invoked once when the session closes,
+// after any WithState settle hooks, with every worker shard's final
+// state merged through Artifacts.MergeShardStates. exact reports whether
+// the flow-affinity certificate authorized the exact disjoint-union
+// policy; a non-empty conflict means the shard states falsified an exact
+// certificate (merged is nil in that case). For chained pipelines the
+// merge covers stage 0's shards, matching WithState.
+func WithMergedState(fn func(merged *ir.State, exact bool, conflict string)) RunOption {
+	return func(c *runConfig) { c.mergedFns = append(c.mergedFns, fn) }
 }
 
 // WithCostModel overrides the virtual-time cost model.

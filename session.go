@@ -113,6 +113,10 @@ type Session struct {
 	cancel  context.CancelFunc
 
 	settleFns []func(shard int, st *ir.State)
+	mergedFns []func(merged *ir.State, exact bool, conflict string)
+	// merge combines shard states for the mergedFns hooks; bound to stage
+	// 0's artifacts at open time (Artifacts.MergeShardStates).
+	merge func(states []*ir.State) (*ir.State, bool, string)
 
 	mu     sync.Mutex
 	closed bool
@@ -177,6 +181,8 @@ func openSession(ctx context.Context, arts []*Artifacts, opts []RunOption) (*Ses
 		workers:   workers,
 		cancel:    cancel,
 		settleFns: cfg.settleFns,
+		mergedFns: cfg.mergedFns,
+		merge:     arts[0].MergeShardStates,
 	}, nil
 }
 
@@ -262,8 +268,9 @@ func (s *Session) Drain() error {
 
 // Close stops the session — joins the workers and the control-plane
 // drainer — and returns the final report. Any WithState /
-// WithShardStates hooks observe each shard's final state here.
-// Idempotent: later calls return the first result.
+// WithShardStates hooks observe each shard's final state here, and
+// WithMergedState hooks then receive the certificate-policy merge of
+// those states. Idempotent: later calls return the first result.
 func (s *Session) Close() (*Report, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -279,10 +286,17 @@ func (s *Session) Close() (*Report, error) {
 	if err != nil {
 		return nil, err
 	}
-	if len(s.settleFns) > 0 {
-		for shard, st := range s.eng.ShardStates() {
+	if len(s.settleFns) > 0 || len(s.mergedFns) > 0 {
+		states := s.eng.ShardStates()
+		for shard, st := range states {
 			for _, fn := range s.settleFns {
 				fn(shard, st)
+			}
+		}
+		if len(s.mergedFns) > 0 {
+			merged, exact, conflict := s.merge(states)
+			for _, fn := range s.mergedFns {
+				fn(merged, exact, conflict)
 			}
 		}
 	}

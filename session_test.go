@@ -715,3 +715,49 @@ func TestOpenSoftwareMode(t *testing.T) {
 		t.Errorf("software reconfig not counted: %d", rep.Reconfigs)
 	}
 }
+
+// TestPipelineOpenDrainUptime covers the long-lived handle over a
+// chained pipeline: Open (the Pipeline counterpart of gallium.Open),
+// the Drain quiescence barrier, and the Uptime clock.
+func TestPipelineOpenDrainUptime(t *testing.T) {
+	var arts []*gallium.Artifacts
+	for _, name := range []string{"firewall", "l4lb"} {
+		art, err := gallium.CompileBuiltin(name, gallium.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		arts = append(arts, art)
+	}
+	chain, err := gallium.Chain(arts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gen := iperfWorkload(6)
+	s, err := chain.Open(
+		gallium.WithWorkers(2),
+		gallium.WithScenario(),
+		gallium.WithFlows(gen.Tuples()),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Feed(gen); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Drain(); err != nil {
+		t.Fatal(err)
+	}
+	if s.Uptime() <= 0 {
+		t.Error("session uptime is zero after traffic")
+	}
+	rep, err := s.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Stats.Injected == 0 {
+		t.Error("pipeline session saw no traffic")
+	}
+	if len(rep.SwitchStages) != 2 {
+		t.Errorf("report covers %d stages, want 2", len(rep.SwitchStages))
+	}
+}
