@@ -1,0 +1,37 @@
+package dataflow
+
+import (
+	"testing"
+	"time"
+
+	"gallium/internal/ir"
+)
+
+func TestDownCounterTerminates(t *testing.T) {
+	b := ir.NewBuilder("down")
+	head := b.NewBlock()
+	body := b.NewBlock()
+	exit := b.NewBlock()
+	x := b.LoadHeader("x", "ip.saddr", ir.U32)
+	zero := b.Const("zero", ir.U32, 0)
+	one := b.Const("one", ir.U32, 1)
+	b.Jump(head)
+	b.SetBlock(head)
+	cond := b.BinOp("cond", ir.Gt, x, zero)
+	b.Branch(cond, body, exit)
+	b.SetBlock(body)
+	x2 := b.BinOp("x2", ir.Sub, x, one)
+	body.Instrs[len(body.Instrs)-1].Dst = []ir.Reg{x}
+	_ = x2
+	b.Jump(head)
+	b.SetBlock(exit)
+	b.Send()
+	p := buildProg(b)
+	done := make(chan struct{})
+	go func() { AnalyzeIntervals(p); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatal("AnalyzeIntervals did not terminate within 10s on a u32 down-counter loop")
+	}
+}
