@@ -21,14 +21,28 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: table1, offloading, fig7, table2, table3, fig8, fig9, headline, loadsweep, ablation, reconfig, pps, all")
+	exp := flag.String("exp", "all", "experiment: table1, offloading, fig7, table2, table3, fig8, fig9, headline, loadsweep, ablation, reconfig, pps, flows, all")
 	quick := flag.Bool("quick", false, "shrink simulated durations and flow counts")
 	ppsOut := flag.String("ppsout", "BENCH_pps.json", "where -exp pps writes the throughput artifact")
 	checkPPS := flag.String("checkpps", "", "validate an existing BENCH_pps.json artifact and exit")
+	flowsOut := flag.String("flowsout", "BENCH_flows.json", "where -exp flows writes the flow-soak artifact")
+	checkFlows := flag.String("checkflows", "", "validate an existing BENCH_flows.json artifact and exit")
 	minScale := flag.Float64("minscale", 0, "with -checkpps: fail unless top-ladder pps >= minscale x 1-worker pps (skipped on <4-CPU artifacts)")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
 	memProfile := flag.String("memprofile", "", "write a heap profile (after the run) to this file")
 	flag.Parse()
+	if *checkFlows != "" {
+		rep, err := eval.LoadFlows(*checkFlows)
+		if err == nil {
+			err = eval.ValidateFlows(rep)
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "galliumbench:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("%s: valid\n%s", *checkFlows, eval.FormatFlows(rep))
+		return
+	}
 	if *checkPPS != "" {
 		rep, err := eval.LoadPPS(*checkPPS)
 		if err == nil {
@@ -56,7 +70,7 @@ func main() {
 		}
 		defer pprof.StopCPUProfile()
 	}
-	if err := run(*exp, *quick, *ppsOut); err != nil {
+	if err := run(*exp, *quick, *ppsOut, *flowsOut); err != nil {
 		fmt.Fprintln(os.Stderr, "galliumbench:", err)
 		os.Exit(1)
 	}
@@ -75,7 +89,7 @@ func main() {
 	}
 }
 
-func run(exp string, quick bool, ppsOut string) error {
+func run(exp string, quick bool, ppsOut, flowsOut string) error {
 	want := func(name string) bool { return exp == "all" || exp == name }
 	ran := false
 
@@ -92,6 +106,21 @@ func run(exp string, quick bool, ppsOut string) error {
 		ran = true
 	}
 
+	if want("flows") {
+		rep, err := eval.FlowSoak(quick)
+		if err != nil {
+			return err
+		}
+		if err := eval.ValidateFlows(rep); err != nil {
+			return err
+		}
+		if err := eval.WriteFlows(rep, flowsOut); err != nil {
+			return err
+		}
+		fmt.Print(eval.FormatFlows(rep))
+		fmt.Println("wrote", flowsOut)
+		ran = true
+	}
 	if want("table1") {
 		rows, err := eval.Table1()
 		if err != nil {
@@ -181,7 +210,7 @@ func run(exp string, quick bool, ppsOut string) error {
 	}
 	if !ran {
 		return fmt.Errorf("unknown experiment %q (want %s)", exp,
-			strings.Join([]string{"table1", "offloading", "fig7", "table2", "table3", "fig8", "fig9", "headline", "loadsweep", "ablation", "reconfig", "pps", "all"}, ", "))
+			strings.Join([]string{"table1", "offloading", "fig7", "table2", "table3", "fig8", "fig9", "headline", "loadsweep", "ablation", "reconfig", "pps", "flows", "all"}, ", "))
 	}
 	return nil
 }

@@ -55,6 +55,8 @@ commands:
   firewall-swap [rules...]     replace the firewall whitelist atomically
   lb-pool addr=weight,...      replace the LB backend pool (weights; -drain)
   nat-repartition              re-split the NAT port space across shards
+  flow-table -capacity N       retune the flow-state lifecycle live
+      [-tcp-syn 5s] [-tcp-est 5m] [-tcp-fin 10s] [-udp 30s] [-policy lru|none]
 `)
 }
 
@@ -133,6 +135,34 @@ func run(sock, cmd string, args []string) error {
 			mode = "draining"
 		}
 		fmt.Printf("replaced LB pool: %d backend(s), %s\n", len(pool), mode)
+		return nil
+
+	case "flow-table":
+		fs := flag.NewFlagSet(cmd, flag.ExitOnError)
+		capacity := fs.Int("capacity", 0, "engine-wide concurrent-flow limit (required, positive)")
+		tcpSyn := fs.Duration("tcp-syn", 0, "TCP half-open timeout (0 = runtime default)")
+		tcpEst := fs.Duration("tcp-est", 0, "TCP established timeout (0 = runtime default)")
+		tcpFin := fs.Duration("tcp-fin", 0, "TCP closing timeout (0 = runtime default)")
+		udp := fs.Duration("udp", 0, "UDP session timeout (0 = runtime default)")
+		policy := fs.String("policy", "", `eviction policy: "lru" (default) or "none"`)
+		if err := fs.Parse(args); err != nil {
+			return err
+		}
+		if fs.NArg() != 0 {
+			return fmt.Errorf("flow-table takes flags only, got %q", fs.Args())
+		}
+		ft := &ctlplane.FlowTableConfig{
+			Capacity:         *capacity,
+			TCPSynNs:         int64(*tcpSyn),
+			TCPEstablishedNs: int64(*tcpEst),
+			TCPFinNs:         int64(*tcpFin),
+			UDPNs:            int64(*udp),
+			EvictPolicy:      *policy,
+		}
+		if _, err := c.Do(ctlplane.Request{Op: ctlplane.OpFlowTable, FlowTable: ft}); err != nil {
+			return err
+		}
+		fmt.Printf("retuned flow table: capacity %d\n", *capacity)
 		return nil
 
 	case "nat-repartition":
@@ -253,6 +283,10 @@ func printStats(st *ctlplane.StatsPayload) error {
 		st.Injected, st.Delivered, st.MBDrops, st.QueueDrops)
 	fmt.Printf("fast path %d  slow path %d  workers %d  reconfigs %d  %.2f Mpps wall-clock\n",
 		st.FastPath, st.SlowPath, st.Workers, st.Reconfigs, st.PPS/1e6)
+	if st.FlowCapacity > 0 {
+		fmt.Printf("flow table: occupancy %d/%d  peak %d  expired %d  evicted %d\n",
+			st.FlowOccupancy, st.FlowCapacity, st.FlowPeak, st.FlowExpired, st.FlowEvicted)
+	}
 	for i, sg := range st.Stages {
 		name := sg.Name
 		if name == "" {

@@ -39,7 +39,7 @@ func main() {
 		probes := trafficgen.ProbeConfig{Tuple: tup, Count: 20, PacketSize: 500}
 		rep, err := art.Run(context.Background(), probes,
 			gallium.WithMode(mode),
-			gallium.WithSetup(func(shard int, st *ir.State) { middleboxes.AllowFlow(st, tup) }),
+			gallium.WithState(func(shard int, st *ir.State) { middleboxes.AllowFlow(st, tup) }),
 		)
 		if err != nil {
 			log.Fatal(err)

@@ -231,6 +231,7 @@ func Checks() []CheckInfo {
 		{CheckSwitchMemory, Error, "switch-resident globals fit switch memory, re-summed from the emitted partitions", "§4.2.2 constraint 1"},
 		{CheckMetadataBudget, Error, "peak live register bits in each switch partition fit the per-packet metadata budget", "§4.2.2 constraint 4"},
 		{CheckTransferBudget, Error, "both synthesized transfer headers fit the transfer byte budget", "§4.2.2 constraint 5"},
+		{CheckExpirySafe, Error, "every switch-partition lookup into a dynamic map (one the server inserts into) tests the found flag before consuming values — with flow-state expiry armed an entry can vanish between packets, and an untested miss silently reads zeroes instead of detouring to the server", "§4.3.3, state lifecycle"},
 
 		// Middlebox lint (input-program dataflow diagnostics).
 		{CheckUseBeforeDef, Error, "no register is read before it is written on some path from entry", "front-end soundness"},
@@ -266,6 +267,7 @@ const (
 	CheckSwitchMemory      = "verify/switch-memory"
 	CheckMetadataBudget    = "verify/metadata-budget"
 	CheckTransferBudget    = "verify/transfer-budget"
+	CheckExpirySafe        = "verify/expiry-safe"
 
 	CheckUseBeforeDef     = "lint/use-before-def"
 	CheckDeadStore        = "lint/dead-store"

@@ -1,0 +1,109 @@
+package analysis
+
+import (
+	"strings"
+	"testing"
+
+	"gallium/internal/lang"
+	"gallium/internal/partition"
+)
+
+// expiryHoleSource consumes a dynamic map's lookup values on the switch
+// without ever testing the found flag. Before the flow-state lifecycle
+// existed this was merely sloppy (lint warns); with expiry armed the
+// entry can vanish between packets and the untested miss silently
+// forwards on zeroes, so the verifier now rejects it outright.
+const expiryHoleSource = `
+middlebox expiryhole {
+    map<u32 -> u32> conns(max = 1024);
+
+    proc process(pkt p) {
+        let c = conns.find(p.ip.saddr);
+        p.ip.daddr = c.v0;
+        if (p.udp.sport == 9) {
+            conns.insert(p.ip.saddr, p.ip.saddr);
+        }
+        send(p);
+    }
+}
+`
+
+// expiryCheckedSource is the fixed twin: same shape, but the found flag
+// gates the value use, so a post-expiry miss detours instead of reading
+// zeroes.
+const expiryCheckedSource = `
+middlebox expirychecked {
+    map<u32 -> u32> conns(max = 1024);
+
+    proc process(pkt p) {
+        let c = conns.find(p.ip.saddr);
+        if (c.ok) {
+            p.ip.daddr = c.v0;
+        }
+        if (p.udp.sport == 9) {
+            conns.insert(p.ip.saddr, p.ip.saddr);
+        }
+        send(p);
+    }
+}
+`
+
+func partitionSource(t *testing.T, src string) *partition.Result {
+	t.Helper()
+	prog, err := lang.Compile(src)
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	res, err := partition.Partition(prog, partition.DefaultConstraints())
+	if err != nil {
+		t.Fatalf("partition: %v", err)
+	}
+	return res
+}
+
+// TestVerifyExpirySafeFires: an offloaded lookup of a dynamic map whose
+// values are consumed with the found flag untested is an error under the
+// stable ID verify/expiry-safe.
+func TestVerifyExpirySafeFires(t *testing.T) {
+	res := partitionSource(t, expiryHoleSource)
+	ds := Verify(res)
+	got := ds.ByCheck(CheckExpirySafe)
+	if len(got) == 0 {
+		t.Fatalf("untested dynamic-map lookup not flagged as %s; verifier reported:\n%s",
+			CheckExpirySafe, ds.Render("expiryhole"))
+	}
+	if got[0].Severity != Error {
+		t.Fatalf("expiry-safe severity = %s, want error", got[0].Severity)
+	}
+	if !strings.Contains(got[0].Message, "conns") {
+		t.Fatalf("finding does not name the map: %s", got[0].Message)
+	}
+}
+
+// TestVerifyExpirySafeCleanWhenChecked: gating the value use on the
+// found flag silences the check (the corpus-wide clean test covers the
+// shipped middleboxes; this pins the minimal fixed program).
+func TestVerifyExpirySafeCleanWhenChecked(t *testing.T) {
+	res := partitionSource(t, expiryCheckedSource)
+	ds := Verify(res)
+	if got := ds.ByCheck(CheckExpirySafe); len(got) > 0 {
+		t.Fatalf("found-flag-tested lookup wrongly flagged:\n%s", ds.Render("expirychecked"))
+	}
+	if ds.HasErrors() {
+		t.Fatalf("fixed program should verify clean:\n%s", ds.Render("expirychecked"))
+	}
+}
+
+// TestExpirySafeRegistered: the check ID is in the stable registry with
+// error severity.
+func TestExpirySafeRegistered(t *testing.T) {
+	for _, c := range Checks() {
+		if c.ID == CheckExpirySafe {
+			if c.Severity != Error {
+				t.Fatalf("registered severity = %s, want error", c.Severity)
+			}
+			return
+		}
+	}
+	t.Fatalf("%s missing from Checks()", CheckExpirySafe)
+}

@@ -53,6 +53,7 @@ func Verify(res *partition.Result) Diagnostics {
 	v.checkRematClobber()
 	v.checkFastPath()
 	v.checkResources()
+	v.checkExpirySafety()
 	v.checkAffinity()
 	v.ds.Sort()
 	return v.ds
@@ -780,6 +781,67 @@ func (v *verifier) checkFastPath() {
 							"switch-owned %s at block %d skips the server, losing %s in %s (block %d)",
 							tk, b.ID, describe(in), p.fn.Name, sb.ID)
 					}
+				}
+			}
+		}
+	}
+}
+
+// checkExpirySafety guards the flow-state lifecycle: once expiry is
+// armed, any entry of a dynamic map (one the server inserts into) can
+// vanish between two packets of the same flow. A switch-partition
+// lookup into such a map must therefore test the found flag before
+// consuming the values. An untested lookup was tolerable before the
+// lifecycle existed — a seeded entry never disappeared mid-run — but
+// under expiry the miss path is reachable for every flow, and it
+// silently reads zero values where the live entry used to be, keeping
+// the packet on the fast path instead of detouring to the server to
+// re-establish the session. A found flag exported through the transfer
+// header (XferStore) counts as tested: the server-side continuation
+// observes it.
+func (v *verifier) checkExpirySafety() {
+	dynamic := map[string]bool{}
+	for _, s := range v.prog.Fn.Stmts() {
+		if s.Kind == ir.MapInsert {
+			dynamic[s.Obj] = true
+		}
+	}
+	if len(dynamic) == 0 {
+		return
+	}
+	for _, p := range v.parts {
+		if p.id == partition.NonOff {
+			continue
+		}
+		used := map[ir.Reg]bool{}
+		for _, b := range p.fn.Blocks {
+			for i := range b.Instrs {
+				for _, r := range b.Instrs[i].Args {
+					used[r] = true
+				}
+			}
+			for _, r := range b.Term.Args {
+				used[r] = true
+			}
+		}
+		for _, b := range p.fn.Blocks {
+			for i := range b.Instrs {
+				in := &b.Instrs[i]
+				if in.Kind != ir.MapFind || !dynamic[in.Obj] || len(in.Dst) < 2 {
+					continue
+				}
+				found := in.Dst[0]
+				valueUsed := false
+				for _, r := range in.Dst[1:] {
+					if used[r] {
+						valueUsed = true
+						break
+					}
+				}
+				if valueUsed && !used[found] {
+					v.errf(p.fn.Name, in, CheckExpirySafe,
+						"offloaded lookup of dynamic map %q consumes values without testing the found flag %s (r%d): once expiry is armed the entry can vanish between packets, and the untested miss reads zeroes on the fast path instead of detouring to the server",
+						in.Obj, p.fn.RegName(found), found)
 				}
 			}
 		}

@@ -19,6 +19,7 @@ import (
 	"slices"
 
 	"gallium/internal/engine"
+	"gallium/internal/flowstate"
 	"gallium/internal/ir"
 	"gallium/internal/packet"
 	"gallium/internal/partition"
@@ -290,6 +291,30 @@ func (o NATRepartition) compile(t Target, workers int) (engine.Reconfig, error) 
 			return nil
 		},
 	}, nil
+}
+
+// FlowTableUpdate retunes the session's flow-state lifecycle live:
+// capacity, protocol timeouts, and eviction policy take effect at the
+// reconfiguration barrier — atomically with respect to packet
+// processing — and a session opened without WithFlowTable can be armed
+// mid-run this way. The lifecycle is engine-wide, so the op carries no
+// stage address.
+type FlowTableUpdate struct {
+	// Table is the complete new flow-table config (zero timeout fields
+	// select the defaults, as at open time).
+	Table flowstate.Config
+}
+
+// Stage implements Op. The lifecycle is engine-wide; stage 0 is only
+// the compile-time anchor.
+func (o FlowTableUpdate) Stage() int { return 0 }
+
+func (o FlowTableUpdate) compile(t Target, workers int) (engine.Reconfig, error) {
+	if err := o.Table.Validate(); err != nil {
+		return engine.Reconfig{}, fmt.Errorf("ctlplane: flow table: %w", err)
+	}
+	cfg := o.Table
+	return engine.Reconfig{FlowTable: &cfg}, nil
 }
 
 // TableReplace is the generic escape hatch: it atomically replaces one

@@ -1,0 +1,160 @@
+package ctlplane_test
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"gallium/internal/ctlplane"
+	"gallium/internal/flowstate"
+)
+
+// TestFlowTableToOp covers the wire lowering of the flow-table op:
+// payload required, policy parsed, nanosecond timeouts lifted into
+// durations, and validation errors surfaced at lowering time.
+func TestFlowTableToOp(t *testing.T) {
+	names := []string{"l4lb"}
+
+	op, err := ctlplane.Request{
+		Op: ctlplane.OpFlowTable,
+		FlowTable: &ctlplane.FlowTableConfig{
+			Capacity:         4096,
+			TCPSynNs:         int64(2 * time.Second),
+			TCPEstablishedNs: int64(10 * time.Minute),
+			TCPFinNs:         int64(5 * time.Second),
+			UDPNs:            int64(20 * time.Second),
+			EvictPolicy:      "none",
+		},
+	}.ToOp(names)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ft, ok := op.(ctlplane.FlowTableUpdate)
+	if !ok {
+		t.Fatalf("lowered to %T, want FlowTableUpdate", op)
+	}
+	want := flowstate.Config{
+		Capacity: 4096,
+		TCPTimeouts: flowstate.TCPTimeouts{
+			Syn: 2 * time.Second, Established: 10 * time.Minute, Fin: 5 * time.Second,
+		},
+		UDPTimeout:  20 * time.Second,
+		EvictPolicy: flowstate.EvictNone,
+	}
+	if ft.Table != want {
+		t.Fatalf("lowered config = %+v, want %+v", ft.Table, want)
+	}
+
+	if _, err := (ctlplane.Request{Op: ctlplane.OpFlowTable}).ToOp(names); err == nil ||
+		!strings.Contains(err.Error(), "flow_table") {
+		t.Errorf("missing payload not rejected: %v", err)
+	}
+	if _, err := (ctlplane.Request{
+		Op:        ctlplane.OpFlowTable,
+		FlowTable: &ctlplane.FlowTableConfig{Capacity: 10, EvictPolicy: "fifo"},
+	}).ToOp(names); err == nil || !strings.Contains(err.Error(), "fifo") {
+		t.Errorf("unknown policy not rejected: %v", err)
+	}
+}
+
+// TestFlowTableWireRoundTrip: FromConfig renders exactly what toConfig
+// reads back.
+func TestFlowTableWireRoundTrip(t *testing.T) {
+	cfg := flowstate.Config{
+		Capacity: 1 << 20,
+		TCPTimeouts: flowstate.TCPTimeouts{
+			Syn: 5 * time.Second, Established: 5 * time.Minute, Fin: 10 * time.Second,
+		},
+		UDPTimeout:  30 * time.Second,
+		EvictPolicy: flowstate.EvictLRU,
+	}
+	op, err := ctlplane.Request{Op: ctlplane.OpFlowTable, FlowTable: ctlplane.FromConfig(cfg)}.
+		ToOp([]string{"l4lb"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := op.(ctlplane.FlowTableUpdate).Table; got != cfg {
+		t.Fatalf("round trip drifted: %+v, want %+v", got, cfg)
+	}
+}
+
+// TestFlowTableCompileValidation: compiling the typed op validates the
+// config (Session.Reconfigure surfaces it before touching the engine).
+func TestFlowTableCompileValidation(t *testing.T) {
+	_, err := ctlplane.Compile(ctlplane.FlowTableUpdate{
+		Table: flowstate.Config{Capacity: -1},
+	}, []ctlplane.Target{{Name: "l4lb"}}, 1)
+	if err == nil || !strings.Contains(err.Error(), "capacity") {
+		t.Fatalf("invalid flow table compiled: %v", err)
+	}
+	r, err := ctlplane.Compile(ctlplane.FlowTableUpdate{
+		Table: flowstate.Config{Capacity: 64},
+	}, []ctlplane.Target{{Name: "l4lb"}}, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.FlowTable == nil || r.FlowTable.Capacity != 64 {
+		t.Fatalf("compiled reconfig = %+v", r.FlowTable)
+	}
+}
+
+// flowRuntime serves a stats payload with the flow gauges filled.
+type flowRuntime struct{ ops []ctlplane.Op }
+
+func (f *flowRuntime) Reconfigure(op ctlplane.Op) error {
+	f.ops = append(f.ops, op)
+	return nil
+}
+
+func (f *flowRuntime) StatsPayload() (*ctlplane.StatsPayload, error) {
+	return &ctlplane.StatsPayload{
+		Workers:      2,
+		FlowCapacity: 1024, FlowOccupancy: 700, FlowPeak: 900,
+		FlowExpired: 55, FlowEvicted: 7,
+	}, nil
+}
+
+func (f *flowRuntime) StageNames() []string { return []string{"l4lb"} }
+
+// TestFlowTableServerRoundTrip drives a flow-table retune and a stats
+// read through the unix-socket protocol: the typed op reaches the
+// runtime intact and the flow gauges survive the JSON hop.
+func TestFlowTableServerRoundTrip(t *testing.T) {
+	rt := &flowRuntime{}
+	srv := ctlplane.NewServer(rt)
+	sock := t.TempDir() + "/ctl.sock"
+	if err := srv.Listen(sock); err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	c, err := ctlplane.Dial(sock)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	if _, err := c.Do(ctlplane.Request{
+		Op:        ctlplane.OpFlowTable,
+		FlowTable: &ctlplane.FlowTableConfig{Capacity: 2048, UDPNs: int64(time.Minute)},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if len(rt.ops) != 1 {
+		t.Fatalf("runtime saw %d ops, want 1", len(rt.ops))
+	}
+	ft, ok := rt.ops[0].(ctlplane.FlowTableUpdate)
+	if !ok || ft.Table.Capacity != 2048 || ft.Table.UDPTimeout != time.Minute {
+		t.Fatalf("runtime received %#v", rt.ops[0])
+	}
+
+	resp, err := c.Do(ctlplane.Request{Op: ctlplane.OpStats})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := resp.Stats
+	if st == nil || st.FlowCapacity != 1024 || st.FlowOccupancy != 700 ||
+		st.FlowPeak != 900 || st.FlowExpired != 55 || st.FlowEvicted != 7 {
+		t.Fatalf("flow gauges lost on the wire: %+v", st)
+	}
+}

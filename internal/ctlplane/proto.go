@@ -2,7 +2,9 @@ package ctlplane
 
 import (
 	"fmt"
+	"time"
 
+	"gallium/internal/flowstate"
 	"gallium/internal/packet"
 )
 
@@ -13,12 +15,14 @@ import (
 //	firewall-swap    — replace the firewall whitelist (Rules)
 //	lb-pool          — replace the LB backend pool (Backends, Drain)
 //	nat-repartition  — re-split the NAT port space (Bases, optional)
+//	flow-table       — retune the flow-state lifecycle (FlowTable)
 //	stats            — report live traffic/switch counters
 //	ping             — liveness check
 const (
 	OpFirewallSwap   = "firewall-swap"
 	OpLBPool         = "lb-pool"
 	OpNATRepartition = "nat-repartition"
+	OpFlowTable      = "flow-table"
 	OpStats          = "stats"
 	OpPing           = "ping"
 )
@@ -50,6 +54,20 @@ type Request struct {
 	Backends []PoolMember `json:"backends,omitempty"`
 	Drain    bool         `json:"drain,omitempty"`
 	Bases    []uint16     `json:"bases,omitempty"`
+	// FlowTable carries the flow-table retune for OpFlowTable.
+	FlowTable *FlowTableConfig `json:"flow_table,omitempty"`
+}
+
+// FlowTableConfig is the flow-state lifecycle config on the wire.
+// Timeouts are nanoseconds; zero fields select the runtime defaults.
+type FlowTableConfig struct {
+	Capacity         int    `json:"capacity"`
+	TCPSynNs         int64  `json:"tcp_syn_ns,omitempty"`
+	TCPEstablishedNs int64  `json:"tcp_established_ns,omitempty"`
+	TCPFinNs         int64  `json:"tcp_fin_ns,omitempty"`
+	UDPNs            int64  `json:"udp_ns,omitempty"`
+	// EvictPolicy is "lru" (default) or "none".
+	EvictPolicy string `json:"evict_policy,omitempty"`
 }
 
 // Response answers one Request.
@@ -74,6 +92,13 @@ type StatsPayload struct {
 	// Stages reports each pipeline stage's switch activity (offloaded
 	// mode; empty in software mode).
 	Stages []StageStats `json:"stages,omitempty"`
+	// Flow-table lifecycle gauges (present only when the session runs
+	// with a flow table; FlowCapacity == 0 means lifecycle disabled).
+	FlowCapacity  int    `json:"flow_capacity,omitempty"`
+	FlowOccupancy uint64 `json:"flow_occupancy,omitempty"`
+	FlowPeak      uint64 `json:"flow_peak,omitempty"`
+	FlowExpired   uint64 `json:"flow_expired,omitempty"`
+	FlowEvicted   uint64 `json:"flow_evicted,omitempty"`
 }
 
 // StageStats is one stage's switch-side counters.
@@ -139,6 +164,49 @@ func (r Request) ToOp(names []string) (Op, error) {
 		return LBPoolChange{At: stage, Backends: members, Drain: r.Drain}, nil
 	case OpNATRepartition:
 		return NATRepartition{At: stage, Bases: r.Bases}, nil
+	case OpFlowTable:
+		if r.FlowTable == nil {
+			return nil, fmt.Errorf("ctlplane: flow-table request lacks a flow_table payload")
+		}
+		cfg, err := r.FlowTable.toConfig()
+		if err != nil {
+			return nil, err
+		}
+		return FlowTableUpdate{Table: cfg}, nil
 	}
 	return nil, fmt.Errorf("ctlplane: unknown operation %q", r.Op)
+}
+
+// toConfig lifts the wire form into the runtime config.
+func (w *FlowTableConfig) toConfig() (flowstate.Config, error) {
+	cfg := flowstate.Config{
+		Capacity: w.Capacity,
+		TCPTimeouts: flowstate.TCPTimeouts{
+			Syn:         time.Duration(w.TCPSynNs),
+			Established: time.Duration(w.TCPEstablishedNs),
+			Fin:         time.Duration(w.TCPFinNs),
+		},
+		UDPTimeout: time.Duration(w.UDPNs),
+	}
+	if w.EvictPolicy != "" {
+		p, ok := flowstate.ParseEvictPolicy(w.EvictPolicy)
+		if !ok {
+			return flowstate.Config{}, fmt.Errorf("ctlplane: unknown eviction policy %q (want \"lru\" or \"none\")", w.EvictPolicy)
+		}
+		cfg.EvictPolicy = p
+	}
+	return cfg, nil
+}
+
+// FromConfig renders a runtime config in wire form (galliumctl uses it
+// to build flow-table requests).
+func FromConfig(cfg flowstate.Config) *FlowTableConfig {
+	return &FlowTableConfig{
+		Capacity:         cfg.Capacity,
+		TCPSynNs:         int64(cfg.TCPTimeouts.Syn),
+		TCPEstablishedNs: int64(cfg.TCPTimeouts.Established),
+		TCPFinNs:         int64(cfg.TCPTimeouts.Fin),
+		UDPNs:            int64(cfg.UDPTimeout),
+		EvictPolicy:      cfg.EvictPolicy.String(),
+	}
 }

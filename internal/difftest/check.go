@@ -8,6 +8,7 @@ import (
 	"sync"
 
 	"gallium"
+	"gallium/internal/flowstate"
 	"gallium/internal/ir"
 	"gallium/internal/netsim"
 	"gallium/internal/packet"
@@ -140,18 +141,32 @@ func runInject(art *gallium.Artifacts, spec *ProgramSpec, tr *Trace) ([]PacketOu
 // within a shard. With one worker that makes the engine sequentially
 // equivalent to the oracle; with eight, equivalence additionally needs
 // the program to be shard-safe.
-func runEngine(art *gallium.Artifacts, spec *ProgramSpec, tr *Trace, workers int) ([]PacketOutcome, []bool, []*ir.State, error) {
+func runEngine(art *gallium.Artifacts, spec *ProgramSpec, tr *Trace, workers int, extra ...gallium.Option) ([]PacketOutcome, []bool, []*ir.State, error) {
 	outs := make([]PacketOutcome, len(tr.Packets))
 	seen := make([]bool, len(tr.Packets))
 	var states []*ir.State
 	var mu sync.Mutex
 	var qdrop bool
-	_, err := art.Run(context.Background(), tr,
+	seeded := make(map[int]bool)
+	opts := []gallium.Option{
 		gallium.WithWorkers(workers),
 		gallium.WithBatch(1),
 		gallium.WithQueueDepth(len(tr.Packets)+8),
 		gallium.WithCostModel(fuzzModel()),
-		gallium.WithSetup(func(shard int, st *ir.State) { spec.Setup(st) }),
+		// WithState visits each shard twice: before the engine starts
+		// (seed it) and at settle (snapshot the final authoritative
+		// state). Setup is not idempotent — AddRoute appends — so the
+		// settle visit must clone instead of re-seeding.
+		gallium.WithState(func(shard int, st *ir.State) {
+			mu.Lock()
+			defer mu.Unlock()
+			if !seeded[shard] {
+				seeded[shard] = true
+				spec.Setup(st)
+				return
+			}
+			states = append(states, st.Clone())
+		}),
 		gallium.WithDeliveries(func(d gallium.Delivery) {
 			mu.Lock()
 			defer mu.Unlock()
@@ -166,10 +181,9 @@ func runEngine(art *gallium.Artifacts, spec *ProgramSpec, tr *Trace, workers int
 				outs[d.Seq] = PacketOutcome{Sent: true, Bytes: outBytes(d.Pkt)}
 			}
 		}),
-		gallium.WithShardStates(func(shard int, st *ir.State) {
-			states = append(states, st.Clone())
-		}),
-	)
+	}
+	opts = append(opts, extra...)
+	_, err := art.Run(context.Background(), tr, opts...)
 	if err != nil {
 		return nil, nil, nil, err
 	}
@@ -182,6 +196,53 @@ func runEngine(art *gallium.Artifacts, spec *ProgramSpec, tr *Trace, workers int
 		}
 	}
 	return outs, seen, states, nil
+}
+
+// runExpiry is the flow-state lifecycle leg. With a flow table armed,
+// the engine expires entries incrementally — swept at batch boundaries
+// and propagated to switch partitions through the §4.3.3 control-plane
+// flip — while the oracle here is a sequential interpreter whose
+// tracker is swept exhaustively after every packet. Batch=1 with
+// SweepEvery=1 and one worker makes the two sweep schedules identical:
+// both observe packet i at virtual time i*PacketSpacingNs and expire
+// afterwards, so every find either hits in both legs or misses in both.
+// Generated capacities are never reached, keeping sampled LRU eviction
+// (the one deliberately nondeterministic lifecycle mechanism) out of
+// the comparison.
+func runExpiry(art *gallium.Artifacts, spec *ProgramSpec, tr *Trace) *Divergence {
+	cfg := spec.Expiry.Normalized()
+	cfg.SweepEvery = 1
+	cfg.SweepLimit = 1 << 30
+
+	soft := serverrt.NewSoftware(art.Prog)
+	spec.Setup(soft.State)
+	trk := flowstate.NewTracker(cfg, soft.State, flowstate.DynamicMaps(art.Prog))
+	oracle := make([]PacketOutcome, len(tr.Packets))
+	for i := range tr.Packets {
+		pkt := tr.Build(i)
+		tNs := int64(i) * PacketSpacingNs
+		soft.SetClock(tNs, uint8(flowstate.ClassOf(pkt)))
+		res, err := soft.Process(pkt)
+		if err != nil {
+			return &Divergence{Leg: "expiry", Detail: fmt.Sprintf("oracle packet %d: %v", i, err)}
+		}
+		if res.Action == ir.ActionSent {
+			oracle[i] = PacketOutcome{Sent: true, Bytes: outBytes(pkt)}
+		}
+		trk.Sweep(tNs, true)
+	}
+
+	outs, _, states, err := runEngine(art, spec, tr, 1, gallium.WithFlowTable(cfg))
+	if err != nil {
+		return &Divergence{Leg: "expiry", Detail: err.Error()}
+	}
+	if d := comparePackets("expiry", oracle, outs); d != nil {
+		return d
+	}
+	if diff := stateDiff(soft.State, states[0]); diff != "" {
+		return &Divergence{Leg: "expiry", Detail: "final state: " + diff}
+	}
+	return nil
 }
 
 // comparePackets reports the first per-packet difference from the oracle.
@@ -355,5 +416,14 @@ func DiffArtifacts(art *gallium.Artifacts, spec *ProgramSpec, tr *Trace) *Diverg
 	// packet. Cross-flow state interleaving under 8 concurrent shards is
 	// legitimately different from sequential execution, so per-packet and
 	// state equality are not required.
+
+	// Leg 4: flow-state lifecycle, when the case arms one. Expiry must
+	// not be able to resurrect a stale window or diverge from the
+	// sequential definition of "this entry is gone now".
+	if spec.Expiry != nil {
+		if d := runExpiry(art, spec, tr); d != nil {
+			return d
+		}
+	}
 	return nil
 }

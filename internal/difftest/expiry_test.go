@@ -1,0 +1,142 @@
+package difftest_test
+
+import (
+	"context"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"gallium"
+	"gallium/internal/difftest"
+	"gallium/internal/flowstate"
+)
+
+// TestExpiryDirectiveRoundTrip: a case with a flow table armed writes a
+// // difftest:expiry line that parses back to the identical config, so
+// corpus replay runs the same lifecycle that diverged at capture time.
+func TestExpiryDirectiveRoundTrip(t *testing.T) {
+	t.Parallel()
+	c := difftest.GenCase(11, 4)
+	s := time.Duration(difftest.PacketSpacingNs)
+	c.Spec.Expiry = &flowstate.Config{
+		Capacity: 512,
+		TCPTimeouts: flowstate.TCPTimeouts{
+			Syn: 1 * s, Established: 4 * s, Fin: 2 * s,
+		},
+		UDPTimeout: 6 * s,
+	}
+	src := difftest.FormatCorpusProgram(c, nil)
+	if !strings.Contains(src, "// difftest:expiry 512 ") {
+		t.Fatalf("expiry directive missing from corpus text:\n%s", src)
+	}
+	spec, err := difftest.ParseCorpusProgram(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if spec.Expiry == nil || *spec.Expiry != *c.Spec.Expiry {
+		t.Fatalf("expiry round trip drifted: %+v, want %+v", spec.Expiry, c.Spec.Expiry)
+	}
+
+	for _, bad := range []string{
+		"// difftest:expiry 512 1 2\n",     // wrong arity
+		"// difftest:expiry 512 9 4 1 6\n", // syn > established
+		"// difftest:expiry 0 1 4 2 6\n",   // non-positive capacity
+		"// difftest:expiry 512 x 4 2 6\n", // non-numeric
+	} {
+		if _, err := difftest.ParseCorpusProgram(bad); err == nil {
+			t.Errorf("malformed directive accepted: %q", bad)
+		}
+	}
+}
+
+// TestGenProgramArmsExpiry: the generator attaches valid lifecycle
+// configs to a healthy fraction of seeds, so the fuzz loop actually
+// exercises the expiry leg rather than skipping it everywhere.
+func TestGenProgramArmsExpiry(t *testing.T) {
+	t.Parallel()
+	armed := 0
+	for seed := uint64(0); seed < 200; seed++ {
+		e := difftest.GenProgram(seed).Expiry
+		if e == nil {
+			continue
+		}
+		armed++
+		if err := e.Validate(); err != nil {
+			t.Fatalf("seed %d: generated expiry config invalid: %v", seed, err)
+		}
+		for _, d := range []time.Duration{e.TCPTimeouts.Syn, e.TCPTimeouts.Established,
+			e.TCPTimeouts.Fin, e.UDPTimeout} {
+			if d%time.Duration(difftest.PacketSpacingNs) != 0 {
+				t.Fatalf("seed %d: timeout %v is not a multiple of the packet spacing", seed, d)
+			}
+		}
+	}
+	if armed < 20 || armed > 100 {
+		t.Fatalf("expiry armed on %d/200 seeds, want roughly a quarter", armed)
+	}
+}
+
+// TestExpiryCorpusCaseBites runs the shipped stale-window corpus program
+// through the engine twice — lifecycle off, then on — and checks the
+// returning flow's packet is the discriminator: without expiry its map
+// entry survives the idle gap (hit, tos=7); with the armed flow table
+// the entry is gone from server AND switch when the flow returns (miss,
+// tos=1). The corpus replay test then holds the oracle and the engine to
+// the same answer; this test pins that the answer is the interesting one.
+func TestExpiryCorpusCaseBites(t *testing.T) {
+	t.Parallel()
+	dir := filepath.Join("testdata", "regressions")
+	src, err := os.ReadFile(filepath.Join(dir, "expiry-stale-window.mc"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	trText, err := os.ReadFile(filepath.Join(dir, "expiry-stale-window.trace"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec, err := difftest.ParseCorpusProgram(string(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if spec.Expiry == nil {
+		t.Fatal("corpus case carries no expiry directive")
+	}
+	tr, err := difftest.ParseTrace(string(trText))
+	if err != nil {
+		t.Fatal(err)
+	}
+	art, err := gallium.Compile(string(src), gallium.Options{Verify: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	last := len(tr.Packets) - 1
+	run := func(opts ...gallium.Option) uint8 {
+		tos := make([]uint8, len(tr.Packets))
+		opts = append(opts,
+			gallium.WithWorkers(1), gallium.WithBatch(1),
+			gallium.WithQueueDepth(len(tr.Packets)+8),
+			gallium.WithDeliveries(func(d gallium.Delivery) {
+				if d.Delivered && d.Seq >= 0 && d.Seq < int64(len(tos)) {
+					tos[d.Seq] = d.Pkt.IP.TOS
+				}
+			}),
+		)
+		if _, err := art.Run(context.Background(), tr, opts...); err != nil {
+			t.Fatal(err)
+		}
+		return tos[last]
+	}
+
+	if got := run(); got != 7 {
+		t.Fatalf("without lifecycle the returning packet should hit (tos=7), got tos=%d", got)
+	}
+	cfg := spec.Expiry.Normalized()
+	cfg.SweepEvery = 1
+	cfg.SweepLimit = 1 << 30
+	if got := run(gallium.WithFlowTable(cfg)); got != 1 {
+		t.Fatalf("with lifecycle armed the returning packet should miss (tos=1), got tos=%d", got)
+	}
+}

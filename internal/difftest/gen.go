@@ -4,6 +4,9 @@ import (
 	"fmt"
 	"strconv"
 	"strings"
+	"time"
+
+	"gallium/internal/flowstate"
 )
 
 // ---------------------------------------------------------------------------
@@ -77,6 +80,13 @@ type ProgramSpec struct {
 	// replay cross-checks the dataflow analyzer against the value captured
 	// at write time. Empty means unrecorded (no check).
 	Affinity string
+	// Expiry, when non-nil, arms the flow-state lifecycle on the engine
+	// legs and runs the extra expiry leg: a sequential oracle that sweeps
+	// the tracker after every packet must agree with the engine's
+	// incremental, control-plane-mediated expiry. Timeouts are generated
+	// as multiples of PacketSpacingNs so whether an entry is stale at
+	// packet i is exact integer arithmetic, never a rounding accident.
+	Expiry    *flowstate.Config
 	Maps      []MapDecl
 	Vecs      []VecDecl
 	Lpms      []LpmDecl
@@ -671,5 +681,24 @@ func GenProgram(seed uint64) *ProgramSpec {
 	body.Stmts = append(preamble, body.Stmts...)
 	body.Stmts = append(body.Stmts, &TermStmt{Op: "send"})
 	spec.Body = body
+
+	// A quarter of the seeds run with the flow-state lifecycle armed.
+	// These draws come after everything else so adding them did not
+	// reshuffle the programs existing seeds generate. Capacity is far
+	// above any trace's flow count: the expiry leg exercises timeouts,
+	// not sampled LRU eviction (the one lifecycle mechanism that is
+	// deliberately not packet-deterministic).
+	if r.pct(25) {
+		s := time.Duration(PacketSpacingNs)
+		spec.Expiry = &flowstate.Config{
+			Capacity: 1 << 20,
+			TCPTimeouts: flowstate.TCPTimeouts{
+				Syn:         time.Duration(r.rangen(1, 3)) * s,
+				Established: time.Duration(r.rangen(3, 12)) * s,
+				Fin:         time.Duration(r.rangen(1, 3)) * s,
+			},
+			UDPTimeout: time.Duration(r.rangen(2, 8)) * s,
+		}
+	}
 	return spec
 }

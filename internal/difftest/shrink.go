@@ -6,9 +6,11 @@ import (
 	"path/filepath"
 	"strconv"
 	"strings"
+	"time"
 
 	"gallium"
 	"gallium/internal/analysis/dataflow"
+	"gallium/internal/flowstate"
 )
 
 // maxShrinkEdits bounds the total number of candidate re-executions one
@@ -283,6 +285,11 @@ func FormatCorpusProgram(c *Case, d *Divergence) string {
 	for _, g := range c.Spec.Globals {
 		fmt.Fprintf(&b, "// difftest:global %s %d\n", g.Name, g.Init)
 	}
+	if e := c.Spec.Expiry; e != nil {
+		fmt.Fprintf(&b, "// difftest:expiry %d %d %d %d %d\n", e.Capacity,
+			int64(e.TCPTimeouts.Syn), int64(e.TCPTimeouts.Established),
+			int64(e.TCPTimeouts.Fin), int64(e.UDPTimeout))
+	}
 	b.WriteString(c.Spec.Render())
 	return b.String()
 }
@@ -366,6 +373,31 @@ func ParseCorpusProgram(src string) (*ProgramSpec, error) {
 				return nil, fmt.Errorf("corpus line %d: global value %q: %v", ln+1, f[2], err)
 			}
 			spec.Globals = append(spec.Globals, GlobalDecl{Name: f[1], Init: v})
+		case "expiry":
+			if len(f) != 6 {
+				return nil, fmt.Errorf("corpus line %d: expiry wants capacity and four timeouts (ns)", ln+1)
+			}
+			nums := make([]int64, 5)
+			for i, s := range f[1:] {
+				v, err := strconv.ParseInt(s, 10, 64)
+				if err != nil {
+					return nil, fmt.Errorf("corpus line %d: expiry field %q: %v", ln+1, s, err)
+				}
+				nums[i] = v
+			}
+			cfg := &flowstate.Config{
+				Capacity: int(nums[0]),
+				TCPTimeouts: flowstate.TCPTimeouts{
+					Syn:         time.Duration(nums[1]),
+					Established: time.Duration(nums[2]),
+					Fin:         time.Duration(nums[3]),
+				},
+				UDPTimeout: time.Duration(nums[4]),
+			}
+			if err := cfg.Validate(); err != nil {
+				return nil, fmt.Errorf("corpus line %d: expiry: %v", ln+1, err)
+			}
+			spec.Expiry = cfg
 		default:
 			return nil, fmt.Errorf("corpus line %d: unknown directive %q", ln+1, f[0])
 		}

@@ -49,6 +49,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"gallium/internal/flowstate"
 	"gallium/internal/ir"
 	"gallium/internal/netsim"
 	"gallium/internal/obs"
@@ -117,6 +118,12 @@ type Config struct {
 	// from worker goroutines concurrently (per-flow order preserved); the
 	// callback must be safe for concurrent use.
 	OnDelivery func(Delivery)
+	// FlowTable, when non-nil, bounds the pipeline's dynamic flow state:
+	// per-entry last-touch stamping, protocol-aware timeouts, and
+	// capacity eviction (see internal/flowstate). Capacity is engine-wide
+	// and split evenly across shards. Nil disables the lifecycle; state
+	// then grows without bound, as before.
+	FlowTable *flowstate.Config
 }
 
 // ctlBatch is one batch of replicated-state updates traveling the
@@ -154,6 +161,12 @@ type Reconfig struct {
 	// vector swaps, register writes) staged with the shard-owned ones and
 	// flipped together.
 	Updates []switchsim.Update
+	// FlowTable, when non-nil, retunes (or first arms) the ENGINE-WIDE
+	// flow-state lifecycle while traffic flows: each worker adopts the
+	// new capacity/timeouts inside its own goroutine during the pause, so
+	// the retune is atomic with respect to packet processing. Stage still
+	// addresses Mutate/Updates only.
+	FlowTable *flowstate.Config
 }
 
 // Engine runs workloads through the concurrent sharded pipeline. Build
@@ -164,6 +177,17 @@ type Engine struct {
 	stages  []StageConfig
 	sws     []*switchsim.Switch // per stage; nil slice in Software mode
 	workers []*worker
+
+	// lifeDyn lists each stage's dynamic maps (those the data path
+	// inserts into — the lifecycle-managed tables); lifeOff marks which
+	// of a stage's globals are switch-resident, so expiry of an
+	// offloaded entry ships a deletion through the control plane.
+	lifeDyn [][]string
+	lifeOff []map[string]bool
+	// flowCfg is the engine-wide lifecycle config (normalized, total
+	// capacity); nil when the lifecycle is disabled. Reconfigure swaps
+	// it atomically for live retuning.
+	flowCfg atomic.Pointer[flowstate.Config]
 
 	ctl    chan ctlBatch
 	ctlWG  sync.WaitGroup
@@ -250,6 +274,20 @@ func New(cfg Config) (*Engine, error) {
 	default:
 		return nil, fmt.Errorf("engine: unknown mode %v", cfg.Mode)
 	}
+	for _, st := range e.stages {
+		prog := st.Prog
+		if st.Res != nil {
+			prog = st.Res.Prog
+		}
+		e.lifeDyn = append(e.lifeDyn, flowstate.DynamicMaps(prog))
+		off := map[string]bool{}
+		if st.Res != nil {
+			for _, g := range st.Res.OffloadedGlobals {
+				off[g] = true
+			}
+		}
+		e.lifeOff = append(e.lifeOff, off)
+	}
 	for i := 0; i < cfg.Workers; i++ {
 		w := &worker{
 			id:   i,
@@ -258,6 +296,8 @@ func New(cfg Config) (*Engine, error) {
 			hLat: obs.NewHistogram(nil),
 			// Decorrelate the per-worker jitter streams.
 			jitterState: uint64(i+1) * 0x9E3779B97F4A7C15,
+			life:  make([]atomic.Pointer[flowstate.Tracker], len(e.stages)),
+			touch: make([]func(string, ir.MapKey), len(e.stages)),
 		}
 		for _, st := range e.stages {
 			if len(e.sws) > 0 {
@@ -281,6 +321,16 @@ func New(cfg Config) (*Engine, error) {
 			if err := e.sws[si].SeedFrom(e.workers[0].srv[si].State); err != nil {
 				return nil, err
 			}
+		}
+	}
+	if cfg.FlowTable != nil {
+		if err := cfg.FlowTable.Validate(); err != nil {
+			return nil, fmt.Errorf("engine: flow table: %w", err)
+		}
+		n := cfg.FlowTable.Normalized()
+		e.flowCfg.Store(&n)
+		for _, w := range e.workers {
+			w.setLifecycle(n)
 		}
 	}
 	e.instrument(cfg.Obs)
@@ -330,6 +380,34 @@ func (e *Engine) instrument(reg *obs.Registry) {
 	reg.CounterFunc("engine.slowpath", sum(func(c workerCounters) *obs.Counter { return c.slow }))
 	reg.CounterFunc("engine.reconfigs", func() uint64 { return uint64(e.reconfigs.Load()) })
 	reg.MergedHistogram("engine.latency_ns", parts...)
+	if e.flowCfg.Load() != nil {
+		flowSum := func(pick func(flowstate.Stats) uint64) func() uint64 {
+			return func() uint64 {
+				var n uint64
+				for _, fs := range e.flowTrackerStats() {
+					n += pick(fs)
+				}
+				return n
+			}
+		}
+		reg.CounterFunc("engine.flow.occupancy", flowSum(func(s flowstate.Stats) uint64 { return s.Occupancy }))
+		reg.CounterFunc("engine.flow.expired", flowSum(func(s flowstate.Stats) uint64 { return s.Expired }))
+		reg.CounterFunc("engine.flow.evicted", flowSum(func(s flowstate.Stats) uint64 { return s.Evicted }))
+	}
+}
+
+// flowTrackerStats snapshots every armed tracker's counters (atomics, so
+// safe to read while workers run).
+func (e *Engine) flowTrackerStats() []flowstate.Stats {
+	var out []flowstate.Stats
+	for _, w := range e.workers {
+		for si := range w.life {
+			if tr := w.life[si].Load(); tr != nil {
+				out = append(out, tr.Stats())
+			}
+		}
+	}
+	return out
 }
 
 // fail records the first error and aborts the run.
@@ -425,6 +503,13 @@ func (e *Engine) settle(stats []netsim.Stats) {
 		wg.Add(1)
 		i := i
 		j := job{ctrl: func(w *worker) {
+			// A settle barrier is a quiescent point: run a FULL expiry
+			// sweep (exact timeouts + deterministic LRU) before waiting
+			// out the in-flight applies, so its deletions land inside
+			// this barrier too.
+			if w.lifeOn {
+				w.sweep(e.runCtx, true)
+			}
 			w.waitAll(e.runCtx)
 			if stats != nil {
 				stats[i] = w.stats
@@ -457,6 +542,11 @@ func (e *Engine) Reconfigure(r Reconfig) error {
 	if r.Stage < 0 || r.Stage >= len(e.stages) {
 		return fmt.Errorf("engine: reconfigure stage %d out of range (pipeline has %d stages)", r.Stage, len(e.stages))
 	}
+	if r.FlowTable != nil {
+		if err := r.FlowTable.Validate(); err != nil {
+			return fmt.Errorf("engine: flow table: %w", err)
+		}
+	}
 	e.reconfMu.Lock()
 	defer e.reconfMu.Unlock()
 	ctx := e.runCtx
@@ -476,6 +566,11 @@ func (e *Engine) Reconfigure(r Reconfig) error {
 					shardUpdates = append(shardUpdates, ups...)
 					mu.Unlock()
 				}
+			}
+			if r.FlowTable != nil {
+				// Retune (or first arm) this shard's lifecycle inside its
+				// own goroutine, preserving state confinement.
+				w.setLifecycle(r.FlowTable.Normalized())
 			}
 			ready <- struct{}{}
 			select {
@@ -521,12 +616,22 @@ func (e *Engine) Reconfigure(r Reconfig) error {
 			return ctx.Err()
 		}
 	}
+	if r.FlowTable != nil {
+		n := r.FlowTable.Normalized()
+		e.flowCfg.Store(&n)
+	}
 	close(release)
 	e.reconfigs.Add(1)
 	if err := e.err(); err != nil {
 		return err
 	}
 	return ctx.Err()
+}
+
+// FlowConfig returns the engine-wide flow-table config (normalized), or
+// nil when the lifecycle is disabled.
+func (e *Engine) FlowConfig() *flowstate.Config {
+	return e.flowCfg.Load()
 }
 
 // Stop closes the ingress, joins every worker and the control-plane
@@ -637,7 +742,12 @@ func (e *Engine) drainCtl() {
 		}
 		if staged > 0 || b.reconfig {
 			sw.FlipVisibility()
-			sw.MergeWriteback()
+			// Amortized: small overlays stay in place (lookups read them
+			// first anyway); the fold happens once they outgrow the main
+			// table's sqrt threshold. A per-batch full merge would copy
+			// the whole main table copy-on-write per slow-path insert —
+			// quadratic under a flow flood.
+			sw.CompactWriteback()
 			e.ctlBatches.Add(1)
 			e.ctlOps.Add(int64(staged))
 		}

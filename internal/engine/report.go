@@ -67,6 +67,24 @@ type Report struct {
 	// Reconfigs counts control-plane reconfigurations applied during the
 	// run.
 	Reconfigs int
+	// Flow summarizes the flow-state lifecycle (nil when no FlowTable
+	// was configured).
+	Flow *FlowReport
+}
+
+// FlowReport aggregates the flow-state lifecycle counters across every
+// worker's per-stage tracker.
+type FlowReport struct {
+	// Capacity is the configured engine-wide entry limit.
+	Capacity int
+	// Occupancy is the live entry count across all dynamic maps at the
+	// last sweep; Peak is its high-water mark.
+	Occupancy uint64
+	Peak      uint64
+	// Expired counts entries removed by session timeout; Evicted counts
+	// entries removed by capacity (LRU) eviction.
+	Expired uint64
+	Evicted uint64
 }
 
 // buildReport aggregates worker- and engine-level state from a consistent
@@ -109,6 +127,16 @@ func (e *Engine) buildReport(per []netsim.Stats, wall time.Duration) *Report {
 	}
 	if len(r.SwitchStages) > 0 {
 		r.Switch = &r.SwitchStages[0]
+	}
+	if cfg := e.flowCfg.Load(); cfg != nil {
+		fr := &FlowReport{Capacity: cfg.Capacity}
+		for _, fs := range e.flowTrackerStats() {
+			fr.Occupancy += fs.Occupancy
+			fr.Peak += fs.Peak
+			fr.Expired += fs.Expired
+			fr.Evicted += fs.Evicted
+		}
+		r.Flow = fr
 	}
 	return r
 }

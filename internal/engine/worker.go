@@ -3,12 +3,15 @@ package engine
 import (
 	"context"
 	"fmt"
+	"sync/atomic"
 
+	"gallium/internal/flowstate"
 	"gallium/internal/ir"
 	"gallium/internal/netsim"
 	"gallium/internal/obs"
 	"gallium/internal/packet"
 	"gallium/internal/serverrt"
+	"gallium/internal/switchsim"
 )
 
 // job is one dispatched packet, or (when ctrl is set) a control job the
@@ -59,6 +62,119 @@ type worker struct {
 	stats netsim.Stats
 	hLat  *obs.Histogram
 	c     workerCounters
+
+	// Flow-state lifecycle. life holds one tracker per stage (nil when
+	// the stage has no dynamic maps or the lifecycle is disabled); the
+	// element pointers are atomic so report building can snapshot
+	// counters while the worker retunes mid-run. touch holds the
+	// per-stage switch fast-path callbacks and, like lifeOn, lastTNs
+	// and sweepDue, is touched only by this worker's goroutine (or
+	// before Start).
+	life     []atomic.Pointer[flowstate.Tracker]
+	touch    []func(string, ir.MapKey)
+	lifeOn   bool
+	lastTNs  int64
+	sweepDue int
+}
+
+// setLifecycle arms (or retunes) this worker's flow-state trackers for
+// the given ENGINE-WIDE config. It runs either before Start or inside
+// this worker's own goroutine as a control job, preserving the engine's
+// state confinement.
+func (w *worker) setLifecycle(cfg flowstate.Config) {
+	shard := cfg.Shard(len(w.eng.workers))
+	for si := range w.eng.stages {
+		dyn := w.eng.lifeDyn[si]
+		if len(dyn) == 0 {
+			continue
+		}
+		if tr := w.life[si].Load(); tr != nil {
+			tr.SetConfig(shard)
+			w.lifeOn = true
+			continue
+		}
+		st := w.stageState(si)
+		if st == nil {
+			continue
+		}
+		w.life[si].Store(flowstate.NewTracker(shard, st, dyn))
+		w.touch[si] = st.Touch
+		w.lifeOn = true
+	}
+}
+
+// setClock stamps the packet's virtual time and traffic class onto every
+// lifecycle-armed stage state before the packet executes, so map touches
+// (server-side finds/inserts and switch fast-path hits) record liveness.
+// The class is taken from the packet as it arrived, before any stage
+// rewrites headers.
+func (w *worker) setClock(j job) {
+	if j.tNs > w.lastTNs {
+		w.lastTNs = j.tNs
+	}
+	class := uint8(flowstate.ClassOf(j.pkt))
+	for si := range w.life {
+		if w.life[si].Load() == nil {
+			continue
+		}
+		st := w.stageState(si)
+		st.NowNs = j.tNs
+		st.Class = class
+	}
+}
+
+// maybeSweep runs an incremental expiry sweep once enough packets have
+// passed since the last one. It runs at the batch boundary, BEFORE the
+// batch's waitAll barrier, so the deletions it ships are applied and
+// visible before any packet of the next batch runs.
+func (w *worker) maybeSweep(ctx context.Context, npkts int) {
+	cfg := w.eng.flowCfg.Load()
+	if cfg == nil || cfg.SweepEvery < 0 {
+		return
+	}
+	w.sweepDue += npkts
+	if w.sweepDue < cfg.SweepEvery {
+		return
+	}
+	w.sweepDue = 0
+	w.sweep(ctx, false)
+}
+
+// sweep expires (and, over capacity, evicts) this worker's tracked flow
+// entries as of its latest packet time. Removals of switch-resident
+// entries ship through the ordinary control channel as expiry-marked
+// deletions, so they ride the §4.3.3 stage/flip/merge discipline: a
+// later re-insert of the same key is enqueued behind the deletion on the
+// FIFO channel (or supersedes it within the same staged window, last
+// writer wins), so an expiry can never resurrect a stale entry over a
+// fresher one.
+func (w *worker) sweep(ctx context.Context, full bool) {
+	for si := range w.life {
+		tr := w.life[si].Load()
+		if tr == nil {
+			continue
+		}
+		removals := tr.Sweep(w.lastTNs, full)
+		if len(removals) == 0 || si >= len(w.eng.sws) {
+			continue
+		}
+		off := w.eng.lifeOff[si]
+		var ups []switchsim.Update
+		for _, r := range removals {
+			if !off[r.Table] {
+				continue
+			}
+			ups = append(ups, switchsim.Update{Table: r.Table, Key: r.Key, Delete: true, Expire: true})
+		}
+		if len(ups) == 0 {
+			continue
+		}
+		// The zero flow tuple never matches a real packet's, so only the
+		// batch-boundary barrier (not per-flow waits) blocks on this.
+		if err := w.sendCtlPending(ctx, packet.FiveTuple{}, ctlBatch{updates: ups, stage: si}); err != nil {
+			return
+		}
+	}
 }
 
 // stageState returns this shard's authoritative state for one stage.
@@ -109,6 +225,7 @@ func (w *worker) loop(ctx context.Context) {
 			}
 		}
 		w.batch = batch
+		npkts := 0
 		for _, j := range batch {
 			if j.ctrl != nil {
 				j.ctrl(w)
@@ -117,6 +234,7 @@ func (w *worker) loop(ctx context.Context) {
 			if ctx.Err() != nil {
 				continue
 			}
+			npkts++
 			// A packet must not overtake its own flow's pending write-back:
 			// otherwise a burst's second packet could re-take the slow path
 			// with stale lookups and re-execute a non-idempotent miss branch
@@ -128,7 +246,15 @@ func (w *worker) loop(ctx context.Context) {
 				w.eng.fail(err)
 			}
 		}
+		if w.lifeOn && npkts > 0 {
+			w.maybeSweep(ctx, npkts)
+		}
 		w.waitAll(ctx)
+	}
+	// Final full sweep before the engine joins: the control channel is
+	// still open (Stop closes it only after every worker exits).
+	if w.lifeOn {
+		w.sweep(ctx, true)
 	}
 	w.waitAll(ctx)
 }
@@ -276,6 +402,9 @@ func (w *worker) process(ctx context.Context, j job) error {
 	m := e.cfg.Model
 	w.stats.Injected++
 	w.c.packets.Inc()
+	if w.lifeOn {
+		w.setClock(j)
+	}
 	size := j.pkt.WireLen()
 	w.stats.BytesIn += int64(size)
 
@@ -328,8 +457,15 @@ func (w *worker) runStage(ctx context.Context, si int, j job, t *float64, tookSl
 	sw := e.sws[si]
 	res := e.stages[si].Res
 
-	// Switch pre-processing pass (shared stage, read lock inside).
-	pre, err := sw.ProcessPre(j.pkt)
+	// Switch pre-processing pass (shared stage, read lock inside). When
+	// the lifecycle is armed, fast-path table hits stamp this worker's
+	// own shard state via the touch callback (same goroutine — flow
+	// affinity makes the switch hit's flow owned by this worker).
+	var onTouch func(string, ir.MapKey)
+	if w.lifeOn {
+		onTouch = w.touch[si]
+	}
+	pre, err := sw.ProcessPreTouch(j.pkt, onTouch)
 	if err != nil {
 		return 0, err
 	}
@@ -396,7 +532,7 @@ func (w *worker) runStage(ctx context.Context, si int, j job, t *float64, tookSl
 	if err != nil {
 		return 0, fmt.Errorf("engine: switch rx from server: %w", err)
 	}
-	post, err := sw.ProcessPost(back)
+	post, err := sw.ProcessPostTouch(back, onTouch)
 	if err != nil {
 		return 0, err
 	}

@@ -1,0 +1,490 @@
+// Package flowstate implements the bounded flow-state lifecycle for
+// Gallium middleboxes: per-entry last-touch stamping on ir.State maps,
+// protocol-aware session timeouts (TCP SYN / established / FIN-or-RST
+// vs UDP, in the style of yanet2's SessionsTimeouts), and capacity
+// enforcement with LRU-style eviction.
+//
+// The package is deliberately runtime-agnostic: a Tracker arms the
+// lifecycle metadata of one ir.State and sweeps it when asked. The
+// engine decides *when* to sweep (incrementally between batches, fully
+// at settle barriers) and *how* removals of switch-resident entries
+// propagate — they ride the §4.3.3 staged-write-back/visibility-flip
+// path like any other control-plane update, so an expiry can never
+// resurrect a stale window: a later re-insert of the same key is
+// enqueued behind the delete on the FIFO control channel and wins via
+// the last-writer-wins merge discipline.
+package flowstate
+
+import (
+	"fmt"
+	"sort"
+	"sync/atomic"
+	"time"
+
+	"gallium/internal/ir"
+	"gallium/internal/packet"
+)
+
+// Class is the traffic class used to select a session timeout for a
+// flow-table entry. It is stamped onto entries as they are touched.
+type Class uint8
+
+const (
+	// ClassOther covers non-TCP/UDP traffic and entries adopted by a
+	// sweep before any packet touched them (e.g. seeded state).
+	ClassOther Class = iota
+	// ClassUDP covers UDP flows.
+	ClassUDP
+	// ClassTCPSyn covers half-open TCP flows (SYN seen, not ACKed).
+	ClassTCPSyn
+	// ClassTCPEst covers established TCP flows.
+	ClassTCPEst
+	// ClassTCPFin covers closing TCP flows (FIN or RST seen).
+	ClassTCPFin
+
+	numClasses
+)
+
+// String returns the class name.
+func (c Class) String() string {
+	switch c {
+	case ClassOther:
+		return "other"
+	case ClassUDP:
+		return "udp"
+	case ClassTCPSyn:
+		return "tcp-syn"
+	case ClassTCPEst:
+		return "tcp-established"
+	case ClassTCPFin:
+		return "tcp-fin"
+	}
+	return fmt.Sprintf("class(%d)", uint8(c))
+}
+
+// ClassOf classifies a packet for timeout selection. TCP packets with
+// SYN and no ACK are half-open; FIN or RST marks the flow closing;
+// everything else TCP counts as established. The classification is
+// taken from the packet as it entered the pipeline, before any header
+// rewrites.
+func ClassOf(p *packet.Packet) Class {
+	switch {
+	case p == nil:
+		return ClassOther
+	case p.HasTCP:
+		fl := p.TCP.Flags
+		switch {
+		case fl&packet.TCPFlagSYN != 0 && fl&packet.TCPFlagACK == 0:
+			return ClassTCPSyn
+		case fl&(packet.TCPFlagFIN|packet.TCPFlagRST) != 0:
+			return ClassTCPFin
+		default:
+			return ClassTCPEst
+		}
+	case p.HasUDP:
+		return ClassUDP
+	}
+	return ClassOther
+}
+
+// TCPTimeouts holds the per-phase TCP session timeouts. A zero field
+// selects the package default for that phase.
+type TCPTimeouts struct {
+	// Syn bounds half-open flows (SYN seen, not yet ACKed).
+	Syn time.Duration
+	// Established bounds fully established flows.
+	Established time.Duration
+	// Fin bounds closing flows (FIN or RST seen).
+	Fin time.Duration
+}
+
+// EvictPolicy selects what happens when a flow table exceeds Capacity.
+type EvictPolicy uint8
+
+const (
+	// EvictLRU evicts the least-recently-touched entries once the
+	// table exceeds Capacity. This is the default.
+	EvictLRU EvictPolicy = iota
+	// EvictNone disables capacity eviction; the table may exceed
+	// Capacity until timeouts catch up. Occupancy is still reported.
+	EvictNone
+)
+
+// String returns the policy name ("lru" / "none").
+func (p EvictPolicy) String() string {
+	switch p {
+	case EvictLRU:
+		return "lru"
+	case EvictNone:
+		return "none"
+	}
+	return fmt.Sprintf("policy(%d)", uint8(p))
+}
+
+// ParseEvictPolicy parses "lru" or "none".
+func ParseEvictPolicy(s string) (EvictPolicy, bool) {
+	switch s {
+	case "lru":
+		return EvictLRU, true
+	case "none":
+		return EvictNone, true
+	}
+	return 0, false
+}
+
+// Defaults applied by Config.Normalized for zero fields.
+const (
+	DefaultSynTimeout         = 5 * time.Second
+	DefaultEstablishedTimeout = 5 * time.Minute
+	DefaultFinTimeout         = 10 * time.Second
+	DefaultUDPTimeout         = 30 * time.Second
+	DefaultSweepEvery         = 1024
+	DefaultSweepLimit         = 4096
+)
+
+// Config bounds the dynamic flow state of a pipeline. The facade
+// exposes it as gallium.FlowTable.
+type Config struct {
+	// Capacity is the maximum number of concurrent entries across all
+	// dynamic maps of the pipeline (summed over shards). Required.
+	Capacity int
+	// TCPTimeouts holds per-phase TCP timeouts; zero fields default.
+	TCPTimeouts TCPTimeouts
+	// UDPTimeout bounds idle UDP (and unclassified) flows; zero
+	// selects DefaultUDPTimeout.
+	UDPTimeout time.Duration
+	// EvictPolicy selects capacity enforcement (default EvictLRU).
+	EvictPolicy EvictPolicy
+	// SweepEvery is the number of packets a worker processes between
+	// incremental expiry sweeps. Zero selects DefaultSweepEvery; a
+	// negative value disables incremental sweeps entirely so expiry
+	// runs only at settle barriers (used by difftest for determinism).
+	SweepEvery int
+	// SweepLimit caps how many entries one incremental sweep examines
+	// (Redis-style sampling keeps sweeps O(1) per packet). Zero
+	// selects DefaultSweepLimit.
+	SweepLimit int
+}
+
+// Validate rejects configurations that cannot be meant: non-positive
+// capacity, negative timeouts, inverted TCP phase timeouts (a SYN or
+// FIN timeout longer than the established timeout would keep half-open
+// or closing flows around longer than live ones), and unknown eviction
+// policies.
+func (c Config) Validate() error {
+	if c.Capacity <= 0 {
+		return fmt.Errorf("flow table capacity must be a positive entry count, got %d", c.Capacity)
+	}
+	if c.TCPTimeouts.Syn < 0 || c.TCPTimeouts.Established < 0 || c.TCPTimeouts.Fin < 0 {
+		return fmt.Errorf("TCP timeouts must be non-negative, got syn=%v established=%v fin=%v",
+			c.TCPTimeouts.Syn, c.TCPTimeouts.Established, c.TCPTimeouts.Fin)
+	}
+	if c.UDPTimeout < 0 {
+		return fmt.Errorf("UDP timeout must be non-negative, got %v", c.UDPTimeout)
+	}
+	n := c.Normalized()
+	if n.TCPTimeouts.Syn > n.TCPTimeouts.Established {
+		return fmt.Errorf("inverted TCP timeouts: syn %v exceeds established %v",
+			n.TCPTimeouts.Syn, n.TCPTimeouts.Established)
+	}
+	if n.TCPTimeouts.Fin > n.TCPTimeouts.Established {
+		return fmt.Errorf("inverted TCP timeouts: fin %v exceeds established %v",
+			n.TCPTimeouts.Fin, n.TCPTimeouts.Established)
+	}
+	if c.EvictPolicy > EvictNone {
+		return fmt.Errorf("unknown eviction policy %d", c.EvictPolicy)
+	}
+	return nil
+}
+
+// Normalized returns a copy with defaults filled in for zero fields.
+// Negative SweepEvery (barrier-only sweeping) is preserved.
+func (c Config) Normalized() Config {
+	if c.TCPTimeouts.Syn == 0 {
+		c.TCPTimeouts.Syn = DefaultSynTimeout
+	}
+	if c.TCPTimeouts.Established == 0 {
+		c.TCPTimeouts.Established = DefaultEstablishedTimeout
+	}
+	if c.TCPTimeouts.Fin == 0 {
+		c.TCPTimeouts.Fin = DefaultFinTimeout
+	}
+	if c.UDPTimeout == 0 {
+		c.UDPTimeout = DefaultUDPTimeout
+	}
+	if c.SweepEvery == 0 {
+		c.SweepEvery = DefaultSweepEvery
+	}
+	if c.SweepLimit <= 0 {
+		c.SweepLimit = DefaultSweepLimit
+	}
+	return c
+}
+
+// Shard returns the per-worker slice of a normalized config: Capacity
+// is split evenly (rounding up) across workers, everything else is
+// copied through.
+func (c Config) Shard(workers int) Config {
+	c = c.Normalized()
+	if workers > 1 {
+		c.Capacity = (c.Capacity + workers - 1) / workers
+	}
+	return c
+}
+
+// timeoutNs returns the idle timeout for a class on a normalized config.
+func (c *Config) timeoutNs(class uint8) int64 {
+	switch Class(class) {
+	case ClassTCPSyn:
+		return int64(c.TCPTimeouts.Syn)
+	case ClassTCPEst:
+		return int64(c.TCPTimeouts.Established)
+	case ClassTCPFin:
+		return int64(c.TCPTimeouts.Fin)
+	default: // ClassUDP and ClassOther
+		return int64(c.UDPTimeout)
+	}
+}
+
+// Removal names one entry removed by a sweep.
+type Removal struct {
+	Table string
+	Key   ir.MapKey
+	// Evicted is true for capacity evictions, false for timeouts.
+	Evicted bool
+}
+
+// Stats is a point-in-time snapshot of a tracker's counters.
+type Stats struct {
+	Capacity  int
+	Occupancy uint64
+	Peak      uint64
+	Expired   uint64
+	Evicted   uint64
+}
+
+// Tracker arms the lifecycle metadata of one ir.State (one worker's
+// per-stage shard) and sweeps it. Sweep must be called from the
+// goroutine that owns the state; the counters are atomics so Stats is
+// safe to read from anywhere.
+type Tracker struct {
+	cfg    atomic.Pointer[Config] // normalized, per-shard
+	st     *ir.State
+	tables []string
+
+	expired   atomic.Uint64
+	evicted   atomic.Uint64
+	occupancy atomic.Uint64
+	peak      atomic.Uint64
+}
+
+// NewTracker arms st's lifecycle metadata for the named tables (the
+// pipeline's dynamic maps) under cfg, which is normalized and should
+// already be per-shard (see Config.Shard).
+func NewTracker(cfg Config, st *ir.State, tables []string) *Tracker {
+	t := &Tracker{st: st, tables: append([]string(nil), tables...)}
+	n := cfg.Normalized()
+	t.cfg.Store(&n)
+	if st.LastTouch == nil {
+		st.LastTouch = make(map[string]map[ir.MapKey]int64)
+		st.TouchClass = make(map[string]map[ir.MapKey]uint8)
+	}
+	for _, name := range t.tables {
+		if st.LastTouch[name] == nil {
+			st.LastTouch[name] = make(map[ir.MapKey]int64)
+			st.TouchClass[name] = make(map[ir.MapKey]uint8)
+		}
+	}
+	return t
+}
+
+// SetConfig retunes the tracker in place (live flow-table reconfig).
+// cfg should already be per-shard. Counters are preserved.
+func (t *Tracker) SetConfig(cfg Config) {
+	n := cfg.Normalized()
+	t.cfg.Store(&n)
+}
+
+// Config returns the tracker's current (normalized, per-shard) config.
+func (t *Tracker) Config() Config { return *t.cfg.Load() }
+
+// Tables returns the tracked map names.
+func (t *Tracker) Tables() []string { return t.tables }
+
+// Stats snapshots the tracker's counters.
+func (t *Tracker) Stats() Stats {
+	return Stats{
+		Capacity:  t.cfg.Load().Capacity,
+		Occupancy: t.occupancy.Load(),
+		Peak:      t.peak.Load(),
+		Expired:   t.expired.Load(),
+		Evicted:   t.evicted.Load(),
+	}
+}
+
+type lruEntry struct {
+	table string
+	key   ir.MapKey
+	touch int64
+}
+
+// Sweep expires idle entries and enforces capacity as of virtual time
+// nowNs, returning the removals so the caller can propagate deletions
+// of switch-resident entries through the control plane.
+//
+// A full sweep examines every entry, expires exactly the stale ones,
+// and — under EvictLRU — evicts the globally least-recently-touched
+// entries down to capacity, deterministically (timestamp order, key
+// tie-break). An incremental sweep samples at most SweepLimit entries
+// (Go's randomized map iteration is the sampler) and evicts the oldest
+// of the sample, trading exactness for O(1) cost per packet; full
+// sweeps at settle barriers restore exactness.
+//
+// Entries that predate arming (seeded state, mid-run retune) carry no
+// stamp; a sweep adopts them as touched-now rather than expiring state
+// it never saw.
+func (t *Tracker) Sweep(nowNs int64, full bool) []Removal {
+	cfg := t.cfg.Load()
+	var out []Removal
+	var sample []lruEntry
+	budget := -1
+	if !full {
+		budget = cfg.SweepLimit
+	}
+
+scan:
+	for _, name := range t.tables {
+		m := t.st.Maps[name]
+		lt := t.st.LastTouch[name]
+		tc := t.st.TouchClass[name]
+		if m == nil || lt == nil {
+			continue
+		}
+		for k := range m {
+			if budget == 0 {
+				break scan
+			}
+			if budget > 0 {
+				budget--
+			}
+			touch, ok := lt[k]
+			if !ok {
+				lt[k] = nowNs
+				tc[k] = uint8(ClassOther)
+				continue
+			}
+			if nowNs-touch >= cfg.timeoutNs(tc[k]) {
+				delete(m, k)
+				delete(lt, k)
+				delete(tc, k)
+				out = append(out, Removal{Table: name, Key: k})
+				t.expired.Add(1)
+				continue
+			}
+			if !full && cfg.EvictPolicy == EvictLRU {
+				sample = append(sample, lruEntry{name, k, touch})
+			}
+		}
+	}
+
+	if cfg.EvictPolicy == EvictLRU {
+		if over := t.occupancyNow() - cfg.Capacity; over > 0 {
+			if full {
+				out = append(out, t.evictOldest(t.collectAll(), over)...)
+			} else {
+				out = append(out, t.evictOldest(sample, over)...)
+			}
+		}
+	}
+
+	occ := uint64(t.occupancyNow())
+	t.occupancy.Store(occ)
+	if occ > t.peak.Load() {
+		t.peak.Store(occ)
+	}
+	return out
+}
+
+func (t *Tracker) occupancyNow() int {
+	n := 0
+	for _, name := range t.tables {
+		n += len(t.st.Maps[name])
+	}
+	return n
+}
+
+func (t *Tracker) collectAll() []lruEntry {
+	var all []lruEntry
+	for _, name := range t.tables {
+		lt := t.st.LastTouch[name]
+		for k := range t.st.Maps[name] {
+			all = append(all, lruEntry{name, k, lt[k]})
+		}
+	}
+	return all
+}
+
+// evictOldest removes up to n entries from the candidate set, oldest
+// first with a deterministic (table, key) tie-break, and returns them
+// as evictions.
+func (t *Tracker) evictOldest(cands []lruEntry, n int) []Removal {
+	if n > len(cands) {
+		n = len(cands)
+	}
+	if n <= 0 {
+		return nil
+	}
+	sort.Slice(cands, func(i, j int) bool {
+		a, b := cands[i], cands[j]
+		if a.touch != b.touch {
+			return a.touch < b.touch
+		}
+		if a.table != b.table {
+			return a.table < b.table
+		}
+		return lessKey(a.key, b.key)
+	})
+	out := make([]Removal, 0, n)
+	for _, c := range cands[:n] {
+		delete(t.st.Maps[c.table], c.key)
+		delete(t.st.LastTouch[c.table], c.key)
+		delete(t.st.TouchClass[c.table], c.key)
+		out = append(out, Removal{Table: c.table, Key: c.key, Evicted: true})
+		t.evicted.Add(1)
+	}
+	return out
+}
+
+func lessKey(a, b ir.MapKey) bool {
+	if a.N != b.N {
+		return a.N < b.N
+	}
+	for i := range a.K {
+		if a.K[i] != b.K[i] {
+			return a.K[i] < b.K[i]
+		}
+	}
+	return false
+}
+
+// DynamicMaps returns the sorted names of the program's dynamic maps:
+// those the data path inserts into, i.e. the maps whose population
+// tracks live flows. Config-style maps only written by Setup are not
+// lifecycle-managed.
+func DynamicMaps(p *ir.Program) []string {
+	if p == nil || p.Fn == nil {
+		return nil
+	}
+	seen := make(map[string]bool)
+	var out []string
+	for _, b := range p.Fn.Blocks {
+		for i := range b.Instrs {
+			if in := &b.Instrs[i]; in.Kind == ir.MapInsert && !seen[in.Obj] {
+				seen[in.Obj] = true
+				out = append(out, in.Obj)
+			}
+		}
+	}
+	sort.Strings(out)
+	return out
+}

@@ -83,6 +83,19 @@ type State struct {
 	Vecs    map[string][]uint64
 	Globals map[string]uint64
 	Lpms    map[string][]LpmEntry
+
+	// Lifecycle metadata, armed per map by the flow-state tracker
+	// (internal/flowstate). When LastTouch[name] is non-nil, MapFind
+	// hits and MapInserts on that map stamp the entry with NowNs and
+	// Class; MapRemove drops the stamp. Unarmed state pays one nil
+	// check per access and never allocates. The metadata is runtime
+	// scaffolding, not middlebox state: Equal ignores it.
+	LastTouch  map[string]map[MapKey]int64
+	TouchClass map[string]map[MapKey]uint8
+	// NowNs and Class are the current packet's virtual time and
+	// traffic class, set by the runtime before each packet executes.
+	NowNs int64
+	Class uint8
 }
 
 // NewState initializes empty state for the program's globals.
@@ -136,6 +149,26 @@ func (s *State) Clone() *State {
 		}
 		c.Lpms[name] = cp
 	}
+	if s.LastTouch != nil {
+		c.LastTouch = make(map[string]map[MapKey]int64, len(s.LastTouch))
+		for name, lt := range s.LastTouch {
+			cm := make(map[MapKey]int64, len(lt))
+			for k, v := range lt {
+				cm[k] = v
+			}
+			c.LastTouch[name] = cm
+		}
+		c.TouchClass = make(map[string]map[MapKey]uint8, len(s.TouchClass))
+		for name, tc := range s.TouchClass {
+			cm := make(map[MapKey]uint8, len(tc))
+			for k, v := range tc {
+				cm[k] = v
+			}
+			c.TouchClass[name] = cm
+		}
+	}
+	c.NowNs = s.NowNs
+	c.Class = s.Class
 	return c
 }
 
@@ -217,19 +250,52 @@ type StateAccess interface {
 // MapFind implements StateAccess.
 func (s *State) MapFind(name string, key MapKey) ([]uint64, bool) {
 	vals, ok := s.Maps[name][key]
+	if ok && s.LastTouch != nil {
+		s.stamp(name, key)
+	}
 	return vals, ok
 }
 
 // MapInsert implements StateAccess.
 func (s *State) MapInsert(name string, key MapKey, vals []uint64) error {
 	s.Maps[name][key] = vals
+	if s.LastTouch != nil {
+		s.stamp(name, key)
+	}
 	return nil
 }
 
 // MapRemove implements StateAccess.
 func (s *State) MapRemove(name string, key MapKey) error {
 	delete(s.Maps[name], key)
+	if s.LastTouch != nil {
+		if lt := s.LastTouch[name]; lt != nil {
+			delete(lt, key)
+			delete(s.TouchClass[name], key)
+		}
+	}
 	return nil
+}
+
+// Touch stamps an existing entry with the state's current NowNs/Class.
+// It is a no-op unless the map is lifecycle-armed and the key present;
+// the switch fast path uses it to record liveness for entries it serves
+// without a server round trip.
+func (s *State) Touch(name string, key MapKey) {
+	if s.LastTouch == nil {
+		return
+	}
+	if _, ok := s.Maps[name][key]; !ok {
+		return
+	}
+	s.stamp(name, key)
+}
+
+func (s *State) stamp(name string, key MapKey) {
+	if lt := s.LastTouch[name]; lt != nil {
+		lt[key] = s.NowNs
+		s.TouchClass[name][key] = s.Class
+	}
 }
 
 // VecGet implements StateAccess.

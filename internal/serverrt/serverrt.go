@@ -195,6 +195,13 @@ func (r *recorder) GlobalStore(name string, v uint64) error {
 	return r.srv.State.GlobalStore(name, v)
 }
 
+// SetClock sets the virtual time and traffic class stamped onto
+// lifecycle-armed flow-table entries by subsequent Process calls.
+func (s *Server) SetClock(nowNs int64, class uint8) {
+	s.State.NowNs = nowNs
+	s.State.Class = class
+}
+
 // Process runs the non-offloaded partition over a slow-path packet. The
 // packet must carry the gallium_a header (attached by the switch); on
 // ActionNext it leaves carrying gallium_b for the post-processing pass.
@@ -312,6 +319,13 @@ func (s *Software) Instrument(reg *obs.Registry) {
 	}
 	s.packets = reg.Counter("server.packets")
 	s.steps = reg.Counter("server.steps")
+}
+
+// SetClock sets the virtual time and traffic class stamped onto
+// lifecycle-armed flow-table entries by subsequent Process calls.
+func (s *Software) SetClock(nowNs int64, class uint8) {
+	s.State.NowNs = nowNs
+	s.State.Class = class
 }
 
 // Process runs the whole input program over one packet.

@@ -106,6 +106,14 @@ type Update struct {
 	Vals  []uint64
 	// Delete marks a removal.
 	Delete bool
+	// Expire marks a Delete that originates from the flow-state
+	// lifecycle (timeout expiry or capacity eviction) rather than the
+	// middlebox program; the switch counts these separately. An expiry
+	// rides the ordinary staged-delete path, so a later re-insert of the
+	// same key in the same window supersedes it (last-writer-wins) and a
+	// re-insert in a later batch is applied after it — an expiry can
+	// never clobber a fresher entry.
+	Expire bool
 	// ReadFill marks a §7 read-through cache fill: the server looked the
 	// key up in its authoritative table and republishes it so the switch
 	// cache can serve future packets. Never stalls a packet; dropped when
@@ -141,6 +149,9 @@ type Stats struct {
 	Drops        int
 	CtlOps       int
 	CtlFlips     int
+	// Expired counts staged deletions marked as lifecycle expirations
+	// (flow-table timeouts and capacity evictions).
+	Expired int
 	// Reconfigs counts control-plane reconfiguration batches (rule swaps,
 	// pool changes) applied through the write-back path.
 	Reconfigs  int
@@ -158,7 +169,7 @@ type Stats struct {
 type liveStats struct {
 	prePackets, postPackets, fastPath, toServer, punts atomic.Int64
 	evictions, drops, ctlOps, ctlFlips, stepsTotal     atomic.Int64
-	reconfigs                                          atomic.Int64
+	reconfigs, expired                                 atomic.Int64
 }
 
 // Switch simulates one programmable switch loaded with a compiled
@@ -327,6 +338,7 @@ type tableObs struct {
 type switchCounters struct {
 	pre, post, fast, toServer, punts, drops, evict *obs.Counter
 	ctlOps, ctlFlips, ctlStaged, ctlReconfigs      *obs.Counter
+	expired                                        *obs.Counter
 }
 
 // Instrument registers the switch's metrics with reg and starts recording
@@ -349,6 +361,7 @@ func (sw *Switch) Instrument(reg *obs.Registry) {
 		ctlFlips:      reg.Counter("switch.ctl.flips"),
 		ctlStaged:     reg.Counter("switch.ctl.staged"),
 		ctlReconfigs:  reg.Counter("switch.ctl.reconfigs"),
+		expired:       reg.Counter("switch.expired"),
 	}
 	sw.hPre = reg.Histogram("switch.pre.steps", obs.StepBuckets)
 	sw.hPost = reg.Histogram("switch.post.steps", obs.StepBuckets)
@@ -492,6 +505,7 @@ func (sw *Switch) Stats() Stats {
 		CtlOps:       int(sw.stats.ctlOps.Load()),
 		CtlFlips:     int(sw.stats.ctlFlips.Load()),
 		Reconfigs:    int(sw.stats.reconfigs.Load()),
+		Expired:      int(sw.stats.expired.Load()),
 		StepsTotal:   int(sw.stats.stepsTotal.Load()),
 		Epoch:        sw.epoch.Load(),
 		TableEntries: map[string]int{},
@@ -558,6 +572,11 @@ type access struct {
 	snap      *snapshot
 	hop       *obs.Hop
 	cacheMiss bool
+	// onTouch, when non-nil, is invoked for every table hit so the
+	// flow-state lifecycle can record fast-path liveness (the engine
+	// passes a per-worker callback stamping its own server shard —
+	// same goroutine, so no synchronization is needed).
+	onTouch func(table string, key ir.MapKey)
 }
 
 func (a *access) MapFind(name string, key ir.MapKey) ([]uint64, bool) {
@@ -566,6 +585,9 @@ func (a *access) MapFind(name string, key ir.MapKey) ([]uint64, bool) {
 		return nil, false
 	}
 	vals, hit, fromWB := t.lookup(key)
+	if hit && a.onTouch != nil {
+		a.onTouch(name, key)
+	}
 	if m := t.obs; m != nil {
 		m.lookups.Inc()
 		if hit {
@@ -638,9 +660,9 @@ var execPool = sync.Pool{New: func() any { return new(execCtx) }}
 
 // getCtx checks an execution context out of the pool, wired to snap and
 // the given packet, with a zeroed scratchpad of the compiled slot count.
-func (sw *Switch) getCtx(snap *snapshot, pkt *packet.Packet) *execCtx {
+func (sw *Switch) getCtx(snap *snapshot, pkt *packet.Packet, onTouch func(string, ir.MapKey)) *execCtx {
 	ctx := execPool.Get().(*execCtx)
-	ctx.acc = access{snap: snap, hop: sw.hop}
+	ctx.acc = access{snap: snap, hop: sw.hop, onTouch: onTouch}
 	n := sw.Res.NumXferSlots
 	if cap(ctx.xfer) >= n {
 		ctx.xfer = ctx.xfer[:n]
@@ -681,6 +703,13 @@ type PreResult struct {
 // packet must continue to the server (ActionNext), the synthesized
 // gallium_a header is attached and populated.
 func (sw *Switch) ProcessPre(pkt *packet.Packet) (PreResult, error) {
+	return sw.ProcessPreTouch(pkt, nil)
+}
+
+// ProcessPreTouch is ProcessPre with a per-call touch callback: onTouch
+// fires for every table hit during the pass, letting the flow-state
+// lifecycle stamp fast-path liveness. A nil onTouch is free.
+func (sw *Switch) ProcessPreTouch(pkt *packet.Packet, onTouch func(table string, key ir.MapKey)) (PreResult, error) {
 	// The data plane is lock-free: one atomic load pins the state snapshot
 	// for the whole pass, so every worker's pre pass runs concurrently and
 	// a control-plane flip mid-pass cannot tear the view.
@@ -694,7 +723,7 @@ func (sw *Switch) ProcessPre(pkt *packet.Packet) (PreResult, error) {
 	if sw.hasCacheTables {
 		work = pkt.Clone()
 	}
-	ctx := sw.getCtx(snap, work)
+	ctx := sw.getCtx(snap, work, onTouch)
 	defer putCtx(ctx)
 	r, err := ir.ExecFunc(sw.Res.Prog, sw.Res.PreFn, &ctx.env)
 	if err != nil {
@@ -740,13 +769,19 @@ func (sw *Switch) ProcessPre(pkt *packet.Packet) (PreResult, error) {
 // ProcessPost runs the post-processing partition over a packet returning
 // from the server (it must carry the gallium_b header, which is stripped).
 func (sw *Switch) ProcessPost(pkt *packet.Packet) (PreResult, error) {
+	return sw.ProcessPostTouch(pkt, nil)
+}
+
+// ProcessPostTouch is ProcessPost with a per-call touch callback; see
+// ProcessPreTouch.
+func (sw *Switch) ProcessPostTouch(pkt *packet.Packet, onTouch func(table string, key ir.MapKey)) (PreResult, error) {
 	snap := sw.snap.Load()
 	sw.stats.postPackets.Add(1)
 	snap.c.post.Inc()
 	if !pkt.HasGallium {
 		return PreResult{}, fmt.Errorf("switchsim: post pipeline: packet from server lacks gallium_b header")
 	}
-	ctx := sw.getCtx(snap, pkt)
+	ctx := sw.getCtx(snap, pkt, onTouch)
 	defer putCtx(ctx)
 	for _, f := range sw.xferB {
 		if f.slot <= 0 {
@@ -813,6 +848,10 @@ func (sw *Switch) StageWriteback(u Update) error {
 		return sw.stageReplaceLocked(t, u)
 	}
 	if u.Delete {
+		if u.Expire {
+			sw.stats.expired.Add(1)
+			sw.c.expired.Inc()
+		}
 		t.deleted[u.Key] = true
 		delete(t.WB, u.Key)
 		return nil
@@ -875,6 +914,11 @@ func (sw *Switch) FlipVisibility() {
 	for _, t := range sw.tables {
 		if len(t.WB) > 0 || len(t.deleted) > 0 {
 			t.UseWB = true
+			// Keep the occupancy gauge live even while compaction defers
+			// the merge; Len walks only the bounded overlay.
+			if m := t.obs; m != nil {
+				m.entries.Set(int64(t.Len()))
+			}
 		}
 	}
 	for _, u := range sw.stagedRegs {
@@ -915,42 +959,89 @@ func (sw *Switch) MergeWriteback() {
 			continue
 		}
 		changed = true
-		// Copy-on-write: readers of the published snapshot share the main
-		// map by reference, so the merge folds into a fresh map and swaps
-		// it in rather than mutating in place.
-		newMain := make(map[ir.MapKey][]uint64, len(t.Main)+len(t.WB))
-		for k, v := range t.Main {
-			newMain[k] = v
-		}
-		for k, v := range t.WB {
-			if _, existed := newMain[k]; !existed {
-				t.fifo = append(t.fifo, k)
-			}
-			newMain[k] = v
-		}
-		for k := range t.deleted {
-			delete(newMain, k)
-		}
-		t.Main = newMain
-		t.WB = map[ir.MapKey][]uint64{}
-		t.deleted = map[ir.MapKey]bool{}
-		t.UseWB = false
-		if t.Cached && t.Capacity > 0 {
-			for len(t.Main) > t.Capacity && len(t.fifo) > 0 {
-				victim := t.fifo[0]
-				t.fifo = t.fifo[1:]
-				if _, ok := t.Main[victim]; ok {
-					delete(t.Main, victim)
-					sw.stats.evictions.Add(1)
-					sw.c.evict.Inc()
-				}
-			}
-		}
-		if m := t.obs; m != nil {
-			m.entries.Set(int64(t.Len()))
-		}
+		sw.mergeTableLocked(t)
 	}
 	if changed {
 		sw.publishLocked()
+	}
+}
+
+// CompactWriteback is the amortized form of MergeWriteback: it folds a
+// table's overlay into its main table only once the overlay has outgrown
+// its amortization threshold, and leaves smaller overlays in place for a
+// later pass. §4.3.3 merges "lazily" for exactly this reason — the merge
+// replaces the main table copy-on-write (readers of a published snapshot
+// share it by reference), so folding after every staged insert costs
+// O(main) per update and turns a flow flood into quadratic control-plane
+// work. Deferring until the overlay holds ~sqrt(main) entries makes the
+// per-update cost O(sqrt(main)) while the flip keeps its exact
+// visibility semantics: lookups consult the overlay first either way.
+func (sw *Switch) CompactWriteback() {
+	sw.mu.Lock()
+	defer sw.mu.Unlock()
+	changed := false
+	for _, t := range sw.tables {
+		if !t.UseWB {
+			continue
+		}
+		if overlay := len(t.WB) + len(t.deleted); overlay < mergeThreshold(len(t.Main)) {
+			continue
+		}
+		changed = true
+		sw.mergeTableLocked(t)
+	}
+	if changed {
+		sw.publishLocked()
+	}
+}
+
+// mergeThreshold is the overlay size at which compaction folds it into the
+// main table. Each flip copies the overlay into the snapshot and each
+// merge copies the main table, so the per-update amortized cost is
+// overlay/2 + main/overlay — minimized near sqrt(2*main).
+func mergeThreshold(mainLen int) int {
+	th := 64
+	for th*th < 2*mainLen {
+		th *= 2
+	}
+	return th
+}
+
+// mergeTableLocked folds one table's overlay into its main map. Callers
+// hold mu and publish afterwards.
+func (sw *Switch) mergeTableLocked(t *Table) {
+	// Copy-on-write: readers of the published snapshot share the main
+	// map by reference, so the merge folds into a fresh map and swaps
+	// it in rather than mutating in place.
+	newMain := make(map[ir.MapKey][]uint64, len(t.Main)+len(t.WB))
+	for k, v := range t.Main {
+		newMain[k] = v
+	}
+	for k, v := range t.WB {
+		if _, existed := newMain[k]; !existed {
+			t.fifo = append(t.fifo, k)
+		}
+		newMain[k] = v
+	}
+	for k := range t.deleted {
+		delete(newMain, k)
+	}
+	t.Main = newMain
+	t.WB = map[ir.MapKey][]uint64{}
+	t.deleted = map[ir.MapKey]bool{}
+	t.UseWB = false
+	if t.Cached && t.Capacity > 0 {
+		for len(t.Main) > t.Capacity && len(t.fifo) > 0 {
+			victim := t.fifo[0]
+			t.fifo = t.fifo[1:]
+			if _, ok := t.Main[victim]; ok {
+				delete(t.Main, victim)
+				sw.stats.evictions.Add(1)
+				sw.c.evict.Inc()
+			}
+		}
+	}
+	if m := t.obs; m != nil {
+		m.entries.Set(int64(t.Len()))
 	}
 }

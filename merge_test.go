@@ -30,7 +30,9 @@ func TestMergedStateExactCertificate(t *testing.T) {
 	shardEntries := 0
 	_, err = art.Run(context.Background(), iperfWorkload(8),
 		gallium.WithWorkers(4),
-		gallium.WithShardStates(func(shard int, st *ir.State) {
+		gallium.WithState(func(shard int, st *ir.State) {
+			// Seed-phase visits see empty maps and contribute nothing;
+			// the settle visits count each shard's final entries.
 			shardEntries += len(st.Maps["flows"])
 		}),
 		gallium.WithMergedState(func(m *ir.State, e bool, c string) {

@@ -24,14 +24,16 @@ type Report = engine.Report
 // Delivery is one packet's fate, as observed by WithDeliveries callbacks.
 type Delivery = engine.Delivery
 
-// RunOption configures Artifacts.Run, Open, and Pipeline.Open. Options
+// Option configures Artifacts.Run, Open, and Pipeline.Open. Options
 // that reject their argument surface the error from Run/Open (the first
 // invalid option wins), so a typo'd queue size cannot silently fall back
 // to a default.
-type RunOption func(*runConfig)
+type Option func(*runConfig)
 
-// Option is RunOption's session-flavored name: Open(arts, ...Option).
-type Option = RunOption
+// RunOption is Option's original (pre-Session) name.
+//
+// Deprecated: the two names are one type; new code should say Option.
+type RunOption = Option
 
 type runConfig struct {
 	engine.Config
@@ -57,18 +59,18 @@ func (c *runConfig) fail(err error) {
 // WithWorkers sets the number of concurrent server shards (default 1).
 // Packets are RSS-hashed to shards by flow, so per-flow order is
 // preserved at any worker count.
-func WithWorkers(n int) RunOption {
+func WithWorkers(n int) Option {
 	return func(c *runConfig) { c.Workers = n }
 }
 
 // WithMode selects Offloaded (default) or Software.
-func WithMode(m Mode) RunOption {
+func WithMode(m Mode) Option {
 	return func(c *runConfig) { c.Mode = m }
 }
 
 // WithMetrics attaches an observability registry: per-worker counters,
 // read-time "engine.*" aggregates, and switch/server component metrics.
-func WithMetrics(reg *obs.Registry) RunOption {
+func WithMetrics(reg *obs.Registry) Option {
 	return func(c *runConfig) { c.Obs = reg }
 }
 
@@ -78,14 +80,14 @@ func WithMetrics(reg *obs.Registry) RunOption {
 // whitelist entries for the workload's announced tuples (Run) or
 // WithFlows (Open), and the proxy port redirect. It wins over WithState
 // seeding when both are given.
-func WithScenario() RunOption {
+func WithScenario() Option {
 	return func(c *runConfig) { c.scenario = true }
 }
 
 // WithFlows announces the traffic five-tuples a WithScenario session
 // whitelists. Run fills this from the workload automatically; Open has no
 // workload yet, so sessions pass the planned flows here.
-func WithFlows(flows []packet.FiveTuple) RunOption {
+func WithFlows(flows []packet.FiveTuple) Option {
 	return func(c *runConfig) { c.flows = flows }
 }
 
@@ -98,7 +100,7 @@ func WithFlows(flows []packet.FiveTuple) RunOption {
 // Multiple WithState options compose in registration order. For chained
 // pipelines the hook receives stage 0's state; seed later stages through
 // WithScenario or reconfigure them via Session.Reconfigure.
-func WithState(fn func(shard int, st *ir.State)) RunOption {
+func WithState(fn func(shard int, st *ir.State)) Option {
 	return func(c *runConfig) {
 		c.seedFns = append(c.seedFns, fn)
 		c.settleFns = append(c.settleFns, fn)
@@ -109,7 +111,7 @@ func WithState(fn func(shard int, st *ir.State)) RunOption {
 //
 // Deprecated: WithSetup is WithState's seeding half; new code should use
 // WithState.
-func WithSetup(fn func(shard int, st *ir.State)) RunOption {
+func WithSetup(fn func(shard int, st *ir.State)) Option {
 	return func(c *runConfig) { c.seedFns = append(c.seedFns, fn) }
 }
 
@@ -118,7 +120,7 @@ func WithSetup(fn func(shard int, st *ir.State)) RunOption {
 //
 // Deprecated: WithShardStates is WithState's inspection half; new code
 // should use WithState.
-func WithShardStates(fn func(shard int, st *ir.State)) RunOption {
+func WithShardStates(fn func(shard int, st *ir.State)) Option {
 	return func(c *runConfig) { c.settleFns = append(c.settleFns, fn) }
 }
 
@@ -129,19 +131,19 @@ func WithShardStates(fn func(shard int, st *ir.State)) RunOption {
 // policy; a non-empty conflict means the shard states falsified an exact
 // certificate (merged is nil in that case). For chained pipelines the
 // merge covers stage 0's shards, matching WithState.
-func WithMergedState(fn func(merged *ir.State, exact bool, conflict string)) RunOption {
+func WithMergedState(fn func(merged *ir.State, exact bool, conflict string)) Option {
 	return func(c *runConfig) { c.mergedFns = append(c.mergedFns, fn) }
 }
 
 // WithCostModel overrides the virtual-time cost model.
-func WithCostModel(m netsim.CostModel) RunOption {
+func WithCostModel(m netsim.CostModel) Option {
 	return func(c *runConfig) { c.Model = m }
 }
 
 // WithDeliveries registers a per-packet fate callback. It is invoked
 // concurrently from worker goroutines (per-flow order preserved) and must
 // be safe for concurrent use.
-func WithDeliveries(fn func(Delivery)) RunOption {
+func WithDeliveries(fn func(Delivery)) Option {
 	return func(c *runConfig) { c.OnDelivery = fn }
 }
 
@@ -149,7 +151,7 @@ func WithDeliveries(fn func(Delivery)) RunOption {
 // (default 32). Larger batches amortize the §4.3.3 output-commit wait
 // across more packets; per-flow processing order is preserved at any
 // batch size.
-func WithBatch(n int) RunOption {
+func WithBatch(n int) Option {
 	return func(c *runConfig) { c.Batch = n }
 }
 
@@ -157,7 +159,7 @@ func WithBatch(n int) RunOption {
 // (default 256). The unit is packets per worker: a full queue exerts
 // backpressure on the dispatcher rather than dropping. n must be
 // positive; a non-positive n is an error, not a silent default.
-func WithQueueDepth(n int) RunOption {
+func WithQueueDepth(n int) Option {
 	return func(c *runConfig) {
 		if n <= 0 {
 			c.fail(fmt.Errorf("gallium: WithQueueDepth(%d): depth must be a positive packet count", n))
@@ -172,7 +174,7 @@ func WithQueueDepth(n int) RunOption {
 // packet that recorded updates, plus one per reconfiguration): a full
 // channel backpressures the workers that feed it. n must be positive; a
 // non-positive n is an error, not a silent default.
-func WithCtlQueue(n int) RunOption {
+func WithCtlQueue(n int) Option {
 	return func(c *runConfig) {
 		if n <= 0 {
 			c.fail(fmt.Errorf("gallium: WithCtlQueue(%d): depth must be a positive batch count", n))
@@ -195,8 +197,8 @@ func WithCtlQueue(n int) RunOption {
 // directly. For packet-at-a-time experiments that need exact
 // injection-time control (latency sweeps, per-packet traces), build a
 // Testbed and use Inject.
-func (a *Artifacts) Run(ctx context.Context, wl Workload, opts ...RunOption) (*Report, error) {
-	opts = append([]RunOption{WithFlows(wl.Tuples())}, opts...)
+func (a *Artifacts) Run(ctx context.Context, wl Workload, opts ...Option) (*Report, error) {
+	opts = append([]Option{WithFlows(wl.Tuples())}, opts...)
 	s, err := openSession(ctx, []*Artifacts{a}, opts)
 	if err != nil {
 		return nil, err

@@ -75,8 +75,8 @@ func (p *Pipeline) Open(opts ...Option) (*Session, error) {
 
 // Run streams one workload through the pipeline and closes — the
 // chained counterpart of Artifacts.Run.
-func (p *Pipeline) Run(ctx context.Context, wl Workload, opts ...RunOption) (*Report, error) {
-	opts = append([]RunOption{WithFlows(wl.Tuples())}, opts...)
+func (p *Pipeline) Run(ctx context.Context, wl Workload, opts ...Option) (*Report, error) {
+	opts = append([]Option{WithFlows(wl.Tuples())}, opts...)
 	s, err := openSession(ctx, p.stages, opts)
 	if err != nil {
 		return nil, err
@@ -133,7 +133,7 @@ func Open(a *Artifacts, opts ...Option) (*Session, error) {
 // openSession builds, seeds, and starts the engine behind Run, Open, and
 // Pipeline.Open. ctx aborts the whole session when cancelled (Run's
 // context; background for Open, where Close is the only exit).
-func openSession(ctx context.Context, arts []*Artifacts, opts []RunOption) (*Session, error) {
+func openSession(ctx context.Context, arts []*Artifacts, opts []Option) (*Session, error) {
 	var cfg runConfig
 	for _, opt := range opts {
 		opt(&cfg)
@@ -233,6 +233,13 @@ func (s *Session) StatsPayload() (*ctlplane.StatsPayload, error) {
 		Reconfigs:  rep.Reconfigs,
 		Workers:    rep.Workers,
 		PPS:        rep.PPS,
+	}
+	if f := rep.Flow; f != nil {
+		p.FlowCapacity = f.Capacity
+		p.FlowOccupancy = f.Occupancy
+		p.FlowPeak = f.Peak
+		p.FlowExpired = f.Expired
+		p.FlowEvicted = f.Evicted
 	}
 	for i, sw := range rep.SwitchStages {
 		p.Stages = append(p.Stages, ctlplane.StageStats{

@@ -239,7 +239,7 @@ func TestReconfigDifferentialOracle(t *testing.T) {
 	s, err := gallium.Open(art,
 		gallium.WithWorkers(1),
 		gallium.WithBatch(1),
-		gallium.WithSetup(func(shard int, st *ir.State) { seed(st) }),
+		gallium.WithState(func(shard int, st *ir.State) { seed(st) }),
 		gallium.WithDeliveries(func(d gallium.Delivery) {
 			mu.Lock()
 			defer mu.Unlock()
@@ -296,7 +296,9 @@ func TestLBPoolDrainSemantics(t *testing.T) {
 				gallium.WithWorkers(2),
 				gallium.WithScenario(),
 				gallium.WithFlows(gen.Tuples()),
-				gallium.WithShardStates(func(shard int, st *ir.State) {
+				gallium.WithState(func(shard int, st *ir.State) {
+					// Seed-phase visits see an empty conns map; the
+					// settle visits count the surviving connections.
 					for _, v := range st.Maps["conns"] {
 						total++
 						if len(v) > 0 && v[0] != middleboxes.Backends[0] {
@@ -349,7 +351,9 @@ func TestNATRepartitionMovesAllocators(t *testing.T) {
 		gallium.WithWorkers(4),
 		gallium.WithScenario(),
 		gallium.WithFlows(gen.Tuples()),
-		gallium.WithShardStates(func(shard int, st *ir.State) {
+		gallium.WithState(func(shard int, st *ir.State) {
+			// WithScenario owns the seeding phase, so this hook only
+			// fires at settle, once per shard in shard order.
 			got = append(got, st.Globals["next_port"])
 		}),
 	)
@@ -451,13 +455,26 @@ func TestRunOptionValidation(t *testing.T) {
 	}
 	cases := []struct {
 		name string
-		opt  gallium.RunOption
+		opt  gallium.Option
 		want string
 	}{
 		{"queue-depth-zero", gallium.WithQueueDepth(0), "WithQueueDepth(0)"},
 		{"queue-depth-negative", gallium.WithQueueDepth(-4), "WithQueueDepth(-4)"},
 		{"ctl-queue-zero", gallium.WithCtlQueue(0), "WithCtlQueue(0)"},
 		{"ctl-queue-negative", gallium.WithCtlQueue(-1), "WithCtlQueue(-1)"},
+		{"flow-table-capacity", gallium.WithFlowTable(gallium.FlowTable{}), "WithFlowTable"},
+		{"flow-table-negative-timeout",
+			gallium.WithFlowTable(gallium.FlowTable{Capacity: 64, UDPTimeout: -time.Second}),
+			"WithFlowTable"},
+		{"flow-table-inverted-tcp",
+			gallium.WithFlowTable(gallium.FlowTable{
+				Capacity:    64,
+				TCPTimeouts: gallium.TCPTimeouts{Syn: time.Hour, Established: time.Minute},
+			}),
+			"WithFlowTable"},
+		{"flow-table-bad-policy",
+			gallium.WithFlowTable(gallium.FlowTable{Capacity: 64, EvictPolicy: gallium.EvictPolicy(99)}),
+			"WithFlowTable"},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
@@ -543,6 +560,7 @@ func TestSessionServeSocket(t *testing.T) {
 		gallium.WithWorkers(2),
 		gallium.WithScenario(),
 		gallium.WithFlows(gen.Tuples()),
+		gallium.WithFlowTable(gallium.FlowTable{Capacity: 4096}),
 	)
 	if err != nil {
 		t.Fatal(err)
@@ -574,6 +592,24 @@ func TestSessionServeSocket(t *testing.T) {
 	if len(resp.Stats.Stages) != 1 || resp.Stats.Stages[0].Name != "firewall" {
 		t.Fatalf("stage stats: %+v", resp.Stats.Stages)
 	}
+	if resp.Stats.FlowCapacity != 4096 {
+		t.Fatalf("flow capacity over socket = %d, want 4096", resp.Stats.FlowCapacity)
+	}
+	// A live flow-table retune through the wire protocol, visible in the
+	// next stats read.
+	_, err = c.Do(ctlplane.Request{
+		Op:        ctlplane.OpFlowTable,
+		FlowTable: &ctlplane.FlowTableConfig{Capacity: 2048},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp, err = c.Do(ctlplane.Request{Op: ctlplane.OpStats}); err != nil {
+		t.Fatal(err)
+	}
+	if resp.Stats.FlowCapacity != 2048 {
+		t.Fatalf("flow capacity after retune = %d, want 2048", resp.Stats.FlowCapacity)
+	}
 	// A by-name reconfiguration through the wire protocol.
 	_, err = c.Do(ctlplane.Request{
 		Op: ctlplane.OpFirewallSwap, StageName: "firewall",
@@ -594,8 +630,8 @@ func TestSessionServeSocket(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if rep.Reconfigs != 1 {
-		t.Errorf("socket reconfiguration not counted: %d", rep.Reconfigs)
+	if rep.Reconfigs != 2 {
+		t.Errorf("socket reconfigurations (firewall swap + flow-table retune) not counted: %d", rep.Reconfigs)
 	}
 }
 
