@@ -21,13 +21,15 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: table1, offloading, fig7, table2, table3, fig8, fig9, headline, loadsweep, ablation, reconfig, pps, flows, all")
+	exp := flag.String("exp", "all", "experiment: table1, offloading, fig7, table2, table3, fig8, fig9, headline, loadsweep, ablation, reconfig, pps, flows, scale, all")
 	quick := flag.Bool("quick", false, "shrink simulated durations and flow counts")
 	ppsOut := flag.String("ppsout", "BENCH_pps.json", "where -exp pps writes the throughput artifact")
 	checkPPS := flag.String("checkpps", "", "validate an existing BENCH_pps.json artifact and exit")
 	flowsOut := flag.String("flowsout", "BENCH_flows.json", "where -exp flows writes the flow-soak artifact")
 	checkFlows := flag.String("checkflows", "", "validate an existing BENCH_flows.json artifact and exit")
-	minScale := flag.Float64("minscale", 0, "with -checkpps: fail unless top-ladder pps >= minscale x 1-worker pps (skipped on <4-CPU artifacts)")
+	scaleOut := flag.String("scaleout", "BENCH_scale.json", "where -exp scale writes the scale-out matrix artifact")
+	checkScale := flag.String("checkscale", "", "validate an existing BENCH_scale.json artifact (and gate on speedup where the host allows) and exit")
+	minScale := flag.Float64("minscale", 0, "with -checkpps: fail unless top-ladder pps >= minscale x 1-worker pps (loud skip on <4-CPU artifacts)")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
 	memProfile := flag.String("memprofile", "", "write a heap profile (after the run) to this file")
 	flag.Parse()
@@ -48,14 +50,37 @@ func main() {
 		if err == nil {
 			err = eval.ValidatePPS(rep)
 		}
+		var skip string
 		if err == nil {
-			err = eval.CheckScaling(rep, *minScale)
+			skip, err = eval.CheckScaling(rep, *minScale)
 		}
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "galliumbench:", err)
 			os.Exit(1)
 		}
+		if skip != "" {
+			notice(skip)
+		}
 		fmt.Printf("%s: valid\n%s", *checkPPS, eval.FormatPPS(rep))
+		return
+	}
+	if *checkScale != "" {
+		rep, err := eval.LoadScale(*checkScale)
+		if err == nil {
+			err = eval.ValidateScale(rep)
+		}
+		var skip string
+		if err == nil {
+			skip, err = eval.CheckScaleGate(rep)
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "galliumbench:", err)
+			os.Exit(1)
+		}
+		if skip != "" {
+			notice(skip)
+		}
+		fmt.Printf("%s: valid\n%s", *checkScale, eval.FormatScale(rep))
 		return
 	}
 	if *cpuProfile != "" {
@@ -70,7 +95,7 @@ func main() {
 		}
 		defer pprof.StopCPUProfile()
 	}
-	if err := run(*exp, *quick, *ppsOut, *flowsOut); err != nil {
+	if err := run(*exp, *quick, *ppsOut, *flowsOut, *scaleOut); err != nil {
 		fmt.Fprintln(os.Stderr, "galliumbench:", err)
 		os.Exit(1)
 	}
@@ -89,9 +114,30 @@ func main() {
 	}
 }
 
-func run(exp string, quick bool, ppsOut, flowsOut string) error {
+func run(exp string, quick bool, ppsOut, flowsOut, scaleOut string) error {
 	want := func(name string) bool { return exp == "all" || exp == name }
 	ran := false
+
+	if want("scale") {
+		rep, err := eval.EngineScale(quick)
+		if err != nil {
+			return err
+		}
+		if err := eval.ValidateScale(rep); err != nil {
+			return err
+		}
+		if skip, err := eval.CheckScaleGate(rep); err != nil {
+			return err
+		} else if skip != "" {
+			notice(skip)
+		}
+		if err := eval.WriteScale(rep, scaleOut); err != nil {
+			return err
+		}
+		fmt.Print(eval.FormatScale(rep))
+		fmt.Println("wrote", scaleOut)
+		ran = true
+	}
 
 	if want("pps") {
 		rep, err := eval.EnginePPS(quick)
@@ -210,7 +256,17 @@ func run(exp string, quick bool, ppsOut, flowsOut string) error {
 	}
 	if !ran {
 		return fmt.Errorf("unknown experiment %q (want %s)", exp,
-			strings.Join([]string{"table1", "offloading", "fig7", "table2", "table3", "fig8", "fig9", "headline", "loadsweep", "ablation", "reconfig", "pps", "flows", "all"}, ", "))
+			strings.Join([]string{"table1", "offloading", "fig7", "table2", "table3", "fig8", "fig9", "headline", "loadsweep", "ablation", "reconfig", "pps", "flows", "scale", "all"}, ", "))
 	}
 	return nil
+}
+
+// notice surfaces a skipped gate both as a GitHub Actions annotation (so
+// the run is visibly marked, not silently green) and as plain text for
+// terminals.
+func notice(msg string) {
+	if os.Getenv("GITHUB_ACTIONS") == "true" {
+		fmt.Printf("::notice title=galliumbench::%s\n", msg)
+	}
+	fmt.Println("galliumbench:", msg)
 }

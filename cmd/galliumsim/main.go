@@ -20,6 +20,15 @@
 // changes with draining, NAT port repartitioning — each applied to the
 // running engine as one atomic visibility flip.
 //
+// With -listen ADDR the simulator serves real traffic instead of
+// generating its own: a batched UDP front end (internal/udpio) reads
+// datagrams — each one serialized Ethernet frame — decodes them into the
+// engine, and echoes every delivered packet (headers rewritten by the
+// middlebox) back to its sender. -send ADDR is the matching traffic
+// source: it ships the standard workload's frames to a listening
+// simulator and reports the echoes. The two sides share the workload
+// flags, so the listener's scenario whitelist matches the sender's flows.
+//
 // Usage:
 //
 //	galliumsim [-mb mazunat | -mb firewall,mazunat,l4lb]
@@ -27,10 +36,12 @@
 //	           [-size 500] [-pps 4e6] [-ms 10]
 //	           [-metrics out.json] [-trace 5]
 //	           [-serve /tmp/gallium.sock]
+//	           [-listen 127.0.0.1:9000 | -send 127.0.0.1:9000]
 package main
 
 import (
 	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -39,11 +50,13 @@ import (
 	"strings"
 	"sync"
 	"syscall"
+	"time"
 
 	"gallium"
 	"gallium/internal/obs"
 	"gallium/internal/packet"
 	"gallium/internal/trafficgen"
+	"gallium/internal/udpio"
 )
 
 func main() {
@@ -58,8 +71,10 @@ func main() {
 	metrics := flag.String("metrics", "", "write the observability snapshot as JSON to this file")
 	trace := flag.Int("trace", 0, "print hop-by-hop traces for the first N packets (sequential testbed)")
 	serve := flag.String("serve", "", "stay resident and answer the galliumctl protocol on this unix socket")
+	listen := flag.String("listen", "", "serve real traffic: read Gallium frames from this UDP address and echo deliveries")
+	send := flag.String("send", "", "ship the workload as UDP datagrams to a listening simulator and report echoes")
 	flag.Parse()
-	if err := run(*mb, *mode, *workers, *size, *pps, *ms, *cache, *pcap, *metrics, *trace, *serve); err != nil {
+	if err := run(*mb, *mode, *workers, *size, *pps, *ms, *cache, *pcap, *metrics, *trace, *serve, *listen, *send); err != nil {
 		fmt.Fprintln(os.Stderr, "galliumsim:", err)
 		os.Exit(1)
 	}
@@ -80,7 +95,16 @@ func parseCache(cache string) (map[string]int, error) {
 	return map[string]int{parts[0]: entries}, nil
 }
 
-func run(mbList, modeStr string, workers, size int, pps float64, ms int, cache, pcapPath, metricsPath string, traceN int, servePath string) error {
+func run(mbList, modeStr string, workers, size int, pps float64, ms int, cache, pcapPath, metricsPath string, traceN int, servePath, listenAddr, sendAddr string) error {
+	gen := trafficgen.IperfConfig{
+		Conns: 10, PacketSize: size, PPS: pps,
+		DurationNs: int64(ms) * 1_000_000, Seed: 7,
+	}
+	if sendAddr != "" {
+		// Pure traffic source: no middlebox of its own.
+		return runSend(gen, sendAddr)
+	}
+
 	caches, err := parseCache(cache)
 	if err != nil {
 		return err
@@ -105,11 +129,6 @@ func run(mbList, modeStr string, workers, size int, pps float64, ms int, cache, 
 		reg.EnableTracing(traceN)
 	}
 
-	gen := trafficgen.IperfConfig{
-		Conns: 10, PacketSize: size, PPS: pps,
-		DurationNs: int64(ms) * 1_000_000, Seed: 7,
-	}
-
 	if traceN > 0 {
 		if len(arts) > 1 {
 			return fmt.Errorf("-trace replays on the sequential testbed, which runs a single middlebox (got a %d-stage chain)", len(arts))
@@ -122,6 +141,12 @@ func run(mbList, modeStr string, workers, size int, pps float64, ms int, cache, 
 	chain, err := gallium.Chain(arts...)
 	if err != nil {
 		return err
+	}
+	if listenAddr != "" {
+		if servePath != "" {
+			return fmt.Errorf("-listen and -serve are separate resident modes; pick one")
+		}
+		return runListen(chain, gen, mbList, modeStr, mode, workers, listenAddr, reg, metricsPath)
 	}
 	if servePath != "" {
 		return runServe(chain, gen, mbList, modeStr, mode, workers, servePath, reg, metricsPath)
@@ -270,6 +295,101 @@ func runServe(chain *gallium.Pipeline, gen trafficgen.IperfConfig, mbList, modeS
 			st.FastPath, st.SlowPath, st.CtlOps, st.CtlBatches)
 	}
 	return writeMetrics(reg, metricsPath, 0)
+}
+
+// runListen keeps the deployment live behind a batched UDP front end:
+// every datagram is one Gallium frame, every delivery echoes back to its
+// sender with the middlebox's rewrites applied. Interrupt drains and
+// prints the final report.
+func runListen(chain *gallium.Pipeline, gen trafficgen.IperfConfig, mbList, modeStr string,
+	mode gallium.Mode, workers int, addr string, reg *obs.Registry, metricsPath string) error {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	fe, err := udpio.Listen(udpio.Config{Addr: addr})
+	if err != nil {
+		return err
+	}
+	defer fe.Close()
+	s, err := chain.Open(
+		gallium.WithMode(mode),
+		gallium.WithWorkers(workers),
+		gallium.WithScenario(),
+		gallium.WithFlows(gen.Tuples()),
+		gallium.WithMetrics(reg),
+		gallium.WithDeliveries(fe.Deliver),
+	)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("galliumsim: %s (%s mode, %d worker(s)) listening on udp://%s\n",
+		mbList, modeStr, workers, fe.Addr())
+	fmt.Printf("galliumsim: feed it with: galliumsim -send %s -size %d -pps %g -ms %d\n",
+		fe.Addr(), gen.PacketSize, gen.PPS, gen.DurationNs/1_000_000)
+
+	if err := fe.Serve(ctx, s); err != nil && !errors.Is(err, context.Canceled) {
+		_, _ = s.Close()
+		return err
+	}
+	fmt.Println("galliumsim: interrupted, draining")
+	rep, err := s.Close()
+	if err != nil {
+		return err
+	}
+	st := fe.Stats()
+	fmt.Printf("  udp: rx %d datagrams in %d batches, tx %d in %d, decode-errors %d\n",
+		st.RxDatagrams, st.RxBatches, st.TxDatagrams, st.TxBatches, st.DecodeErrors)
+	es := rep.Stats
+	fmt.Printf("  engine: injected %d  delivered %d  mb-drops %d  queue-drops %d  reconfigs %d\n",
+		es.Injected, es.Delivered, es.MBDrops, es.QueueDrops, rep.Reconfigs)
+	if mode == gallium.Offloaded {
+		fmt.Printf("  fast path: %d  slow path: %d  control plane: %d ops in %d batches\n",
+			es.FastPath, es.SlowPath, es.CtlOps, es.CtlBatches)
+	}
+	return writeMetrics(reg, metricsPath, 0)
+}
+
+// runSend is the traffic side of -listen: serialize the workload, ship it
+// over UDP in sendmmsg-style batches, and report the echoes.
+func runSend(gen trafficgen.IperfConfig, addr string) error {
+	var frames [][]byte
+	err := gen.Generate(func(_ int64, pkt *packet.Packet) error {
+		frames = append(frames, pkt.Serialize())
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	c, err := udpio.Dial(addr, udpio.Config{})
+	if err != nil {
+		return err
+	}
+	defer c.Close()
+	// Receive concurrently with sending, or early echoes overflow the
+	// client's socket buffer while the tail of the workload ships.
+	type recvResult struct {
+		echoes [][]byte
+		err    error
+	}
+	rch := make(chan recvResult, 1)
+	start := time.Now()
+	go func() {
+		e, err := c.Recv(len(frames), 5*time.Second)
+		rch <- recvResult{e, err}
+	}()
+	if err := c.Send(frames); err != nil {
+		return err
+	}
+	r := <-rch
+	if r.err != nil {
+		return r.err
+	}
+	echoes := r.echoes
+	wall := time.Since(start)
+	fmt.Printf("galliumsim: sent %d datagrams to %s, received %d echoes (%.1f%%) in %.1f ms (%.3f Mpps round-trip)\n",
+		len(frames), addr, len(echoes), 100*float64(len(echoes))/maxf(1, float64(len(frames))),
+		float64(wall.Nanoseconds())/1e6, float64(len(echoes))/wall.Seconds()/1e6)
+	return nil
 }
 
 // runTestbed is the -trace escape hatch: the sequential, packet-at-a-time

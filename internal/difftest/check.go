@@ -42,7 +42,8 @@ type Divergence struct {
 	// Leg is where the difference surfaced: "compile", "oracle",
 	// "affinity" (the static certificate contradicted the generator's
 	// shard-safety declaration or a recorded verdict), "inject", "run1",
-	// or "run8".
+	// "run8", "adaptive" (8 workers with the batch controller enabled),
+	// or "expiry".
 	Leg    string
 	Detail string
 }
@@ -141,7 +142,7 @@ func runInject(art *gallium.Artifacts, spec *ProgramSpec, tr *Trace) ([]PacketOu
 // within a shard. With one worker that makes the engine sequentially
 // equivalent to the oracle; with eight, equivalence additionally needs
 // the program to be shard-safe.
-func runEngine(art *gallium.Artifacts, spec *ProgramSpec, tr *Trace, workers int, extra ...gallium.Option) ([]PacketOutcome, []bool, []*ir.State, error) {
+func runEngine(art *gallium.Artifacts, spec *ProgramSpec, tr *Trace, workers int, extra ...gallium.Option) ([]PacketOutcome, []*ir.State, *gallium.Report, error) {
 	outs := make([]PacketOutcome, len(tr.Packets))
 	seen := make([]bool, len(tr.Packets))
 	var states []*ir.State
@@ -183,7 +184,7 @@ func runEngine(art *gallium.Artifacts, spec *ProgramSpec, tr *Trace, workers int
 		}),
 	}
 	opts = append(opts, extra...)
-	_, err := art.Run(context.Background(), tr, opts...)
+	rep, err := art.Run(context.Background(), tr, opts...)
 	if err != nil {
 		return nil, nil, nil, err
 	}
@@ -195,7 +196,7 @@ func runEngine(art *gallium.Artifacts, spec *ProgramSpec, tr *Trace, workers int
 			return nil, nil, nil, fmt.Errorf("packet %d: no delivery reported", i)
 		}
 	}
-	return outs, seen, states, nil
+	return outs, states, rep, nil
 }
 
 // runExpiry is the flow-state lifecycle leg. With a flow table armed,
@@ -232,7 +233,7 @@ func runExpiry(art *gallium.Artifacts, spec *ProgramSpec, tr *Trace) *Divergence
 		trk.Sweep(tNs, true)
 	}
 
-	outs, _, states, err := runEngine(art, spec, tr, 1, gallium.WithFlowTable(cfg))
+	outs, states, _, err := runEngine(art, spec, tr, 1, gallium.WithFlowTable(cfg))
 	if err != nil {
 		return &Divergence{Leg: "expiry", Detail: err.Error()}
 	}
@@ -376,7 +377,7 @@ func DiffArtifacts(art *gallium.Artifacts, spec *ProgramSpec, tr *Trace) *Diverg
 	}
 
 	// Leg 2: concurrent engine, one worker (sequentially equivalent).
-	outs, _, states, err := runEngine(art, spec, tr, 1)
+	outs, states, _, err := runEngine(art, spec, tr, 1)
 	if err != nil {
 		return &Divergence{Leg: "run1", Detail: err.Error()}
 	}
@@ -388,7 +389,7 @@ func DiffArtifacts(art *gallium.Artifacts, spec *ProgramSpec, tr *Trace) *Diverg
 	}
 
 	// Leg 3: concurrent engine, eight workers.
-	outs, _, states, err = runEngine(art, spec, tr, 8)
+	outs, states, _, err = runEngine(art, spec, tr, 8)
 	if err != nil {
 		return &Divergence{Leg: "run8", Detail: err.Error()}
 	}
@@ -417,7 +418,34 @@ func DiffArtifacts(art *gallium.Artifacts, spec *ProgramSpec, tr *Trace) *Diverg
 	// legitimately different from sequential execution, so per-packet and
 	// state equality are not required.
 
-	// Leg 4: flow-state lifecycle, when the case arms one. Expiry must
+	// Leg 4: adaptive batching. The legs above pin Batch=1 for
+	// determinism; production runs the per-worker batch controller. This
+	// leg re-runs the 8-worker deployment with the controller enabled
+	// (WithBatch(0), the default) and holds it to the invariants batching
+	// must preserve regardless of batch size: every packet gets exactly
+	// one reported fate, no queue drops, and for certified-exact programs
+	// the per-shard states still disjoint-union merge to the sequential
+	// final state — every staged write-back has flipped by settle, so
+	// delayed visibility may reroute packets between fast and slow path
+	// mid-run but cannot change where the authoritative state lands.
+	_, states, rep, err := runEngine(art, spec, tr, 8, gallium.WithBatch(0))
+	if err != nil {
+		return &Divergence{Leg: "adaptive", Detail: err.Error()}
+	}
+	if !rep.AdaptiveBatch {
+		return &Divergence{Leg: "adaptive", Detail: "batch controller did not engage under WithBatch(0)"}
+	}
+	if spec.ShardSafe || certExact {
+		merged, _, conflict := art.MergeShardStates(states)
+		if conflict != "" {
+			return &Divergence{Leg: "adaptive", Detail: conflict}
+		}
+		if diff := stateDiff(ostate, merged); diff != "" {
+			return &Divergence{Leg: "adaptive", Detail: "merged final state: " + diff}
+		}
+	}
+
+	// Leg 5: flow-state lifecycle, when the case arms one. Expiry must
 	// not be able to resurrect a stale window or diverge from the
 	// sequential definition of "this entry is gone now".
 	if spec.Expiry != nil {

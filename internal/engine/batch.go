@@ -1,0 +1,77 @@
+package engine
+
+// batchController sizes one worker's pull batch from observed ingress
+// occupancy, bounded by a latency budget. Larger batches amortize the
+// §4.3.3 output-commit barrier across more packets; smaller batches bound
+// how long the first packet of a batch waits behind the rest. The
+// controller is multiplicative in both directions — it doubles when the
+// worker drained a full batch and left backlog behind (the queue is
+// outrunning it) and halves when the pull came up less than half full
+// (the queue is running dry) — and it never grows past what the worker
+// can process inside the budget, estimated from an EWMA of per-packet
+// wall time. Each worker owns one controller; there is no cross-worker
+// coordination, so shards under different load settle at different sizes.
+type batchController struct {
+	size     int
+	min, max int
+	budgetNs float64
+	// perPktNs is the EWMA estimate of wall time per processed packet.
+	// It is only fed from batches of more than one packet: timing every
+	// single-packet batch would put two clock reads on the light-load
+	// path, where batching is irrelevant anyway.
+	perPktNs float64
+}
+
+// batchStart is the controller's initial size — the engine's historical
+// fixed default, so an adaptive worker under steady moderate load starts
+// where the fixed configuration used to sit.
+const batchStart = 32
+
+func newBatchController(cfg Config) *batchController {
+	c := &batchController{min: 8, max: cfg.QueueDepth, budgetNs: float64(cfg.BatchBudgetNs)}
+	if c.max > 256 {
+		c.max = 256
+	}
+	if c.max < c.min {
+		c.max = c.min
+	}
+	c.size = batchStart
+	if c.size > c.max {
+		c.size = c.max
+	}
+	return c
+}
+
+// observe feeds one completed batch back into the controller and returns
+// the size for the next pull. pulled is how many jobs the batch held,
+// npkts how many were packets (control jobs carry no per-packet cost),
+// backlog the queue length after the pull, and elapsedNs the batch's
+// wall time (0 when unmeasured).
+func (c *batchController) observe(pulled, npkts, backlog int, elapsedNs int64) int {
+	if elapsedNs > 0 && npkts > 1 {
+		per := float64(elapsedNs) / float64(npkts)
+		if c.perPktNs == 0 {
+			c.perPktNs = per
+		} else {
+			c.perPktNs += 0.2 * (per - c.perPktNs)
+		}
+	}
+	switch {
+	case pulled >= c.size && backlog > 0:
+		c.size *= 2
+	case pulled < c.size/2:
+		c.size /= 2
+	}
+	if c.perPktNs > 0 {
+		if lim := int(c.budgetNs / c.perPktNs); lim > 0 && c.size > lim {
+			c.size = lim
+		}
+	}
+	if c.size < c.min {
+		c.size = c.min
+	}
+	if c.size > c.max {
+		c.size = c.max
+	}
+	return c.size
+}

@@ -93,8 +93,16 @@ type Config struct {
 	// write-back commits overlap with other flows' packets — a worker only
 	// stalls a packet on its OWN flow's pending commit — and the batch ends
 	// with one barrier on everything still in flight, amortizing the
-	// output-commit wait over the batch. <=0 means 32.
+	// output-commit wait over the batch. A positive value fixes the batch
+	// size; <=0 (the default) enables the per-worker adaptive controller,
+	// which grows the batch under backlog and shrinks it when the queue
+	// runs dry, bounded by BatchBudgetNs.
 	Batch int
+	// BatchBudgetNs bounds the adaptive batch controller's latency cost: a
+	// worker never grows its batch beyond what it can process within this
+	// budget (estimated from an EWMA of observed per-packet wall time).
+	// <=0 means 200µs. Ignored when Batch is fixed.
+	BatchBudgetNs int64
 	// Stages is the middlebox pipeline, traversed in order. Empty Stages
 	// with Res or Prog set builds the single-stage pipeline (the common
 	// case); setting both is an error.
@@ -126,8 +134,8 @@ type Config struct {
 	FlowTable *flowstate.Config
 }
 
-// ctlBatch is one batch of replicated-state updates traveling the
-// slow-path channel to the control-plane drainer.
+// ctlBatch is one batch of replicated-state updates traveling a
+// slow-path lane to its shard's control-plane drainer.
 type ctlBatch struct {
 	updates []switchsim.Update
 	// stage routes the batch to its pipeline stage's switch.
@@ -135,14 +143,28 @@ type ctlBatch struct {
 	// punt marks §7 cache-mode batches, which the drainer classifies into
 	// fills and synchronous updates before staging.
 	punt bool
-	// reconfig marks a control-plane reconfiguration: the drainer flips
-	// even when nothing staged (so the snapshot epoch proves propagation)
-	// and accounts it on the switch's reconfig counters.
-	reconfig bool
 	// applied, when non-nil, is closed once the drainer has applied the
 	// batch: the sending worker blocks on it before its next packet
-	// (§4.3.3 output commit, extended per worker — see Run's doc).
+	// (§4.3.3 output commit, extended per worker — see Run's doc). A batch
+	// with no updates and a non-nil applied is a flush marker: Reconfigure
+	// uses one per lane to prove the lane's FIFO has drained.
 	applied chan struct{}
+}
+
+// ctlShard is one worker shard's control-plane lane: its own bounded
+// channel and its own drainer goroutine, so worker N's slow-path
+// write-backs never queue behind worker M's. The counter block is padded
+// to cache-line boundaries — each drainer writes only its own shard's
+// counters.
+type ctlShard struct {
+	_  [64]byte
+	ch chan ctlBatch
+	// batches/ops/rejected account this drainer's applied work; the
+	// report sums them across shards (plus Reconfigure's direct applies).
+	batches  atomic.Int64
+	ops      atomic.Int64
+	rejected atomic.Int64
+	_        [64]byte
 }
 
 // Reconfig is one compiled control-plane change, applied by Engine.
@@ -189,7 +211,10 @@ type Engine struct {
 	// it atomically for live retuning.
 	flowCfg atomic.Pointer[flowstate.Config]
 
-	ctl    chan ctlBatch
+	// ctls holds one control-plane lane per worker shard (offloaded mode);
+	// worker i sends only to ctls[i], whose drainer stages into switch
+	// lane i.
+	ctls   []*ctlShard
 	ctlWG  sync.WaitGroup
 	wg     sync.WaitGroup
 	cancel context.CancelFunc
@@ -208,10 +233,12 @@ type Engine struct {
 	stopped atomic.Bool
 	startT  time.Time
 
-	ctlBatches  atomic.Int64
-	ctlOps      atomic.Int64
-	ctlRejected atomic.Int64
-	reconfigs   atomic.Int64
+	// rcBatches/rcOps/rcRejected account control work Reconfigure applies
+	// directly (its one-flip protocol bypasses the lanes; see Reconfigure).
+	rcBatches  atomic.Int64
+	rcOps      atomic.Int64
+	rcRejected atomic.Int64
+	reconfigs  atomic.Int64
 
 	ran      atomic.Bool
 	failOnce sync.Once
@@ -244,8 +271,11 @@ func New(cfg Config) (*Engine, error) {
 	if cfg.QueueDepth <= 0 {
 		cfg.QueueDepth = 256
 	}
-	if cfg.Batch <= 0 {
-		cfg.Batch = 32
+	if cfg.Batch < 0 {
+		cfg.Batch = 0 // adaptive
+	}
+	if cfg.BatchBudgetNs <= 0 {
+		cfg.BatchBudgetNs = 200_000
 	}
 	if cfg.CtlQueue <= 0 {
 		cfg.CtlQueue = 256
@@ -263,7 +293,9 @@ func New(cfg Config) (*Engine, error) {
 			if st.Res == nil {
 				return nil, fmt.Errorf("engine: offloaded stage %d needs a partition result", si)
 			}
-			e.sws = append(e.sws, switchsim.New(st.Res))
+			sw := switchsim.New(st.Res)
+			sw.ConfigureShards(cfg.Workers)
+			e.sws = append(e.sws, sw)
 		}
 	case netsim.Software:
 		for si, st := range e.stages {
@@ -428,9 +460,9 @@ func (e *Engine) err() error {
 	return nil
 }
 
-// Start spawns the worker goroutines and (in offloaded mode) the
-// control-plane drainer. It may be called once per Engine; cancel ctx to
-// abort everything in flight.
+// Start spawns the worker goroutines and (in offloaded mode) one
+// control-plane drainer per worker shard. It may be called once per
+// Engine; cancel ctx to abort everything in flight.
 func (e *Engine) Start(ctx context.Context) error {
 	if !e.started.CompareAndSwap(false, true) {
 		return errors.New("engine: Start may be called at most once per Engine")
@@ -438,9 +470,12 @@ func (e *Engine) Start(ctx context.Context) error {
 	e.startT = time.Now()
 	e.runCtx, e.cancel = context.WithCancel(ctx)
 	if len(e.sws) > 0 {
-		e.ctl = make(chan ctlBatch, e.cfg.CtlQueue)
-		e.ctlWG.Add(1)
-		go e.drainCtl()
+		e.ctls = make([]*ctlShard, len(e.workers))
+		for i := range e.ctls {
+			e.ctls[i] = &ctlShard{ch: make(chan ctlBatch, e.cfg.CtlQueue)}
+			e.ctlWG.Add(1)
+			go e.drainCtl(i)
+		}
 	}
 	for _, w := range e.workers {
 		e.wg.Add(1)
@@ -490,6 +525,40 @@ func (e *Engine) Feed(wl Workload) error {
 		return err
 	}
 	return genErr
+}
+
+// Dispatch injects one packet into the running engine without settling:
+// the streaming ingress for real-I/O front ends, where a barrier per
+// datagram would defeat batching. It returns the packet's sequence
+// number; the OnDelivery callback reports its fate asynchronously.
+// Injection times are clamped monotone (real clocks jitter; virtual time
+// cannot restart). Dispatch serializes with Feed on the dispatcher lock
+// and may run concurrently with Reconfigure.
+func (e *Engine) Dispatch(tNs int64, pkt *packet.Packet) (int64, error) {
+	if !e.started.Load() || e.stopped.Load() {
+		return 0, errors.New("engine: Dispatch requires a started, unstopped engine")
+	}
+	e.feedMu.Lock()
+	defer e.feedMu.Unlock()
+	if err := e.runCtx.Err(); err != nil {
+		return 0, err
+	}
+	if e.fedAny && tNs < e.lastT {
+		tNs = e.lastT
+	}
+	e.fedAny = true
+	e.lastT = tNs
+	flow, _ := pkt.Tuple()
+	seq := e.seq
+	j := job{seq: seq, tNs: tNs, flow: flow, pkt: pkt}
+	e.seq++
+	w := e.workers[netsim.RSSShard(pkt, len(e.workers))]
+	select {
+	case w.jobs <- j:
+		return seq, nil
+	case <-e.runCtx.Done():
+		return 0, e.runCtx.Err()
+	}
 }
 
 // settle injects a barrier control job into every worker and blocks until
@@ -597,24 +666,57 @@ func (e *Engine) Reconfigure(r Reconfig) error {
 		return err
 	}
 
-	// All workers are quiescent and their earlier write-back batches are
-	// already ahead of ours in the (FIFO) control channel. Ship the whole
-	// reconfiguration as one batch: the drainer stages everything, flips
-	// once, and merges — the single snapshot store is the atomicity.
+	// All workers are quiescent. Drain every shard's control lane with a
+	// flush marker: worker i is the only sender on lane i and is paused,
+	// so a marker enqueued now is behind every batch staged before the
+	// pause, and its apply proves the lane is empty and its drainer idle.
+	// Then fold the target switch's per-shard lane overlays into the main
+	// tables (a stale lane entry would otherwise shadow this
+	// reconfiguration's staged deletions) and apply the whole
+	// reconfiguration directly: stage everything, flip ONCE, merge. The
+	// intermediate fold publication is unobservable — no worker processes
+	// packets until release — so the single FlipVisibility snapshot store
+	// remains the §4.3.3 atomicity for the data plane.
 	if len(e.sws) > 0 {
-		b := ctlBatch{updates: shardUpdates, stage: r.Stage, reconfig: true, applied: make(chan struct{})}
-		select {
-		case e.ctl <- b:
-		case <-ctx.Done():
-			close(release)
-			return ctx.Err()
+		markers := make([]chan struct{}, 0, len(e.ctls))
+		for _, cs := range e.ctls {
+			m := make(chan struct{})
+			select {
+			case cs.ch <- ctlBatch{stage: r.Stage, applied: m}:
+				markers = append(markers, m)
+			case <-ctx.Done():
+				close(release)
+				return ctx.Err()
+			}
 		}
-		select {
-		case <-b.applied:
-		case <-ctx.Done():
-			close(release)
-			return ctx.Err()
+		for _, m := range markers {
+			select {
+			case <-m:
+			case <-ctx.Done():
+				close(release)
+				return ctx.Err()
+			}
 		}
+		sw := e.sws[r.Stage]
+		sw.FoldShards()
+		staged := 0
+		for _, u := range shardUpdates {
+			if err := sw.StageWriteback(u); err != nil {
+				if errors.Is(err, switchsim.ErrTableFull) {
+					e.rcRejected.Add(1)
+					continue
+				}
+				close(release)
+				e.fail(err)
+				return err
+			}
+			staged++
+		}
+		sw.FlipVisibility()
+		sw.CompactWriteback()
+		sw.MarkReconfig()
+		e.rcBatches.Add(1)
+		e.rcOps.Add(int64(staged))
 	}
 	if r.FlowTable != nil {
 		n := r.FlowTable.Normalized()
@@ -648,9 +750,14 @@ func (e *Engine) Stop() (*Report, error) {
 		close(w.jobs)
 	}
 	e.wg.Wait()
-	if e.ctl != nil {
-		close(e.ctl)
-		e.ctlWG.Wait()
+	for _, cs := range e.ctls {
+		close(cs.ch)
+	}
+	e.ctlWG.Wait()
+	// Fold every lane overlay into the main tables so post-run table
+	// contents and VisibleEntry are exact (no lane-resident remainder).
+	for _, sw := range e.sws {
+		sw.FoldShards()
 	}
 	e.cancel()
 	if err := e.err(); err != nil {
@@ -707,25 +814,40 @@ func (e *Engine) Run(ctx context.Context, wl Workload) (*Report, error) {
 	return rep, nil
 }
 
-// drainCtl is the control-plane goroutine: it applies each slow-path batch
-// through the §4.3.3 protocol — stage every update, one visibility flip,
-// merge — until the channel closes. Full tables are soft failures (the
-// entry stays server-only and its flow keeps taking the slow path).
-func (e *Engine) drainCtl() {
+// drainCtl is one shard's control-plane drainer: it applies each of its
+// worker's slow-path batches through the §4.3.3 protocol — stage every
+// update, one visibility flip, merge — until the lane closes. Plain table
+// inserts and deletes (the steady-state slow path) ride the shard's own
+// switch lane, so concurrent drainers never serialize on the global
+// control-plane mutex; registers, vectors, and whole-table replacements
+// keep the global path. Full tables are soft failures (the entry stays
+// server-only and its flow keeps taking the slow path).
+func (e *Engine) drainCtl(shard int) {
+	cs := e.ctls[shard]
 	defer e.ctlWG.Done()
-	for b := range e.ctl {
+	for b := range cs.ch {
 		sw := e.sws[b.stage]
 		toStage := b.updates
 		if b.punt {
 			fills, syncs := serverrt.ClassifyUpdates(sw, b.updates)
 			toStage = append(fills, syncs...)
 		}
-		staged := 0
+		stagedLane, stagedGlobal := 0, 0
 		failed := false
 		for _, u := range toStage {
-			if err := sw.StageWriteback(u); err != nil {
+			var err error
+			if switchsim.LaneEligible(u) {
+				if err = sw.StageShard(shard, u); err == nil {
+					stagedLane++
+				}
+			} else {
+				if err = sw.StageWriteback(u); err == nil {
+					stagedGlobal++
+				}
+			}
+			if err != nil {
 				if errors.Is(err, switchsim.ErrTableFull) {
-					e.ctlRejected.Add(1)
+					cs.rejected.Add(1)
 					continue
 				}
 				if b.applied != nil {
@@ -735,24 +857,29 @@ func (e *Engine) drainCtl() {
 				failed = true
 				break
 			}
-			staged++
 		}
 		if failed {
 			return
 		}
-		if staged > 0 || b.reconfig {
+		// Global state flips before the lane: in a mixed batch (only §7
+		// punts mix the two) the lane's entries must not become visible
+		// ahead of the global entries flipped with them.
+		if stagedGlobal > 0 {
 			sw.FlipVisibility()
-			// Amortized: small overlays stay in place (lookups read them
-			// first anyway); the fold happens once they outgrow the main
-			// table's sqrt threshold. A per-batch full merge would copy
+			sw.CompactWriteback()
+		}
+		if stagedLane > 0 {
+			sw.FlipShard(shard)
+			// Amortized: small overlays stay in place (this shard's lookups
+			// read them first anyway); the fold happens once they outgrow
+			// the main table's sqrt threshold. A per-batch fold would copy
 			// the whole main table copy-on-write per slow-path insert —
 			// quadratic under a flow flood.
-			sw.CompactWriteback()
-			e.ctlBatches.Add(1)
-			e.ctlOps.Add(int64(staged))
+			sw.CompactShard(shard)
 		}
-		if b.reconfig {
-			sw.MarkReconfig()
+		if stagedLane+stagedGlobal > 0 {
+			cs.batches.Add(1)
+			cs.ops.Add(int64(stagedLane + stagedGlobal))
 		}
 		if b.applied != nil {
 			close(b.applied)

@@ -67,6 +67,11 @@ type Report struct {
 	// Reconfigs counts control-plane reconfigurations applied during the
 	// run.
 	Reconfigs int
+	// AdaptiveBatch reports whether the per-worker batch controller ran
+	// (Config.Batch <= 0); BatchSizes holds each worker's batch size at
+	// report time — the controller's latest decision, or the fixed size.
+	AdaptiveBatch bool
+	BatchSizes    []int
 	// Flow summarizes the flow-state lifecycle (nil when no FlowTable
 	// was configured).
 	Flow *FlowReport
@@ -113,10 +118,17 @@ func (e *Engine) buildReport(per []netsim.Stats, wall time.Duration) *Report {
 			agg.LastDeliverNs = s.LastDeliverNs
 		}
 		parts = append(parts, w.hLat)
+		r.BatchSizes = append(r.BatchSizes, int(w.batchNow.Load()))
 	}
-	agg.CtlBatches = int(e.ctlBatches.Load())
-	agg.CtlOps = int(e.ctlOps.Load())
-	agg.CtlRejected = int(e.ctlRejected.Load())
+	r.AdaptiveBatch = e.cfg.Batch <= 0
+	agg.CtlBatches = int(e.rcBatches.Load())
+	agg.CtlOps = int(e.rcOps.Load())
+	agg.CtlRejected = int(e.rcRejected.Load())
+	for _, cs := range e.ctls {
+		agg.CtlBatches += int(cs.batches.Load())
+		agg.CtlOps += int(cs.ops.Load())
+		agg.CtlRejected += int(cs.rejected.Load())
+	}
 	r.Reconfigs = int(e.reconfigs.Load())
 	r.Latency = obs.MergeHistograms(parts...).Snapshot()
 	if wall > 0 {

@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 	"sync/atomic"
+	"time"
 
 	"gallium/internal/flowstate"
 	"gallium/internal/ir"
@@ -46,6 +47,13 @@ type worker struct {
 	srv []*serverrt.Server
 	sft []*serverrt.Software
 
+	// The fields below are this worker's per-packet hot state, padded on
+	// both sides so adjacent workers' blocks never share a cache line
+	// (workers are separate allocations, but the allocator is free to
+	// pack them; a shared line would turn every counter bump into
+	// cross-core traffic).
+	_ [64]byte
+
 	// coreFreeNs models this worker's core occupancy in virtual time, as
 	// the testbed's per-core array does: worker == simulated core. Chained
 	// stages share the core, as chained middlebox elements share a DPDK
@@ -75,6 +83,12 @@ type worker struct {
 	lifeOn   bool
 	lastTNs  int64
 	sweepDue int
+
+	// batchNow is the worker's current batch size (fixed, or the adaptive
+	// controller's latest decision), exported race-free to reports.
+	batchNow atomic.Int64
+
+	_ [64]byte
 }
 
 // setLifecycle arms (or retunes) this worker's flow-state trackers for
@@ -196,15 +210,23 @@ type pendingApply struct {
 }
 
 // loop consumes the worker's job channel in batches: one blocking receive,
-// then a non-blocking drain up to the configured batch size. Jobs still
-// run strictly in arrival order — batching changes when the worker waits
-// for control-plane applies (per flow inside the batch, everything at the
-// batch boundary), not the processing order. After a cancellation or
-// failure it keeps draining — without processing — so the dispatcher can
-// never block on a full channel during shutdown; control jobs still run
-// then, so barriers and reconfigurations can't deadlock an abort.
+// then a non-blocking drain up to the current batch size — fixed when
+// Config.Batch is positive, otherwise governed by this worker's adaptive
+// controller (see batchController). Jobs still run strictly in arrival
+// order — batching changes when the worker waits for control-plane
+// applies (per flow inside the batch, everything at the batch boundary),
+// not the processing order. After a cancellation or failure it keeps
+// draining — without processing — so the dispatcher can never block on a
+// full channel during shutdown; control jobs still run then, so barriers
+// and reconfigurations can't deadlock an abort.
 func (w *worker) loop(ctx context.Context) {
 	max := w.eng.cfg.Batch
+	var ad *batchController
+	if max <= 0 {
+		ad = newBatchController(w.eng.cfg)
+		max = ad.size
+	}
+	w.batchNow.Store(int64(max))
 	for {
 		j, ok := <-w.jobs
 		if !ok {
@@ -225,6 +247,11 @@ func (w *worker) loop(ctx context.Context) {
 			}
 		}
 		w.batch = batch
+		var t0 time.Time
+		measure := ad != nil && len(batch) > 1
+		if measure {
+			t0 = time.Now()
+		}
 		npkts := 0
 		for _, j := range batch {
 			if j.ctrl != nil {
@@ -250,6 +277,16 @@ func (w *worker) loop(ctx context.Context) {
 			w.maybeSweep(ctx, npkts)
 		}
 		w.waitAll(ctx)
+		if ad != nil {
+			var el int64
+			if measure {
+				el = time.Since(t0).Nanoseconds()
+			}
+			if m := ad.observe(len(batch), npkts, len(w.jobs), el); m != max {
+				max = m
+				w.batchNow.Store(int64(m))
+			}
+		}
 	}
 	// Final full sweep before the engine joins: the control channel is
 	// still open (Stop closes it only after every worker exits).
@@ -312,11 +349,14 @@ func (w *worker) stackNs() float64 {
 	return m.EndpointStackNs * (1 + m.StackJitterFrac*(u-0.5))
 }
 
-// sendCtl hands a write-back batch to the control-plane drainer, blocking
-// on the bounded channel (backpressure) unless the run is being canceled.
+// sendCtl hands a write-back batch to this shard's own control-plane
+// drainer, blocking on the bounded lane (backpressure) unless the run is
+// being canceled. Each worker sends only to its own lane, so another
+// shard's slow-path burst can neither delay nor reorder this shard's
+// commits.
 func (w *worker) sendCtl(ctx context.Context, b ctlBatch) error {
 	select {
-	case w.eng.ctl <- b:
+	case w.eng.ctls[w.id].ch <- b:
 		return nil
 	case <-ctx.Done():
 		return ctx.Err()
@@ -465,7 +505,7 @@ func (w *worker) runStage(ctx context.Context, si int, j job, t *float64, tookSl
 	if w.lifeOn {
 		onTouch = w.touch[si]
 	}
-	pre, err := sw.ProcessPreTouch(j.pkt, onTouch)
+	pre, err := sw.ProcessPreShard(j.pkt, w.id, onTouch)
 	if err != nil {
 		return 0, err
 	}
@@ -532,7 +572,7 @@ func (w *worker) runStage(ctx context.Context, si int, j job, t *float64, tookSl
 	if err != nil {
 		return 0, fmt.Errorf("engine: switch rx from server: %w", err)
 	}
-	post, err := sw.ProcessPostTouch(back, onTouch)
+	post, err := sw.ProcessPostShard(back, w.id, onTouch)
 	if err != nil {
 		return 0, err
 	}

@@ -1,9 +1,7 @@
 package eval
 
 import (
-	"encoding/json"
 	"fmt"
-	"os"
 	"runtime"
 	"strings"
 	"time"
@@ -54,9 +52,9 @@ type FlowsReport struct {
 	RetuneAtFlows       int   `json:"retune_at_flows"`
 	RetunedUDPTimeoutNs int64 `json:"retuned_udp_timeout_ns"`
 	// SpacingNs is the virtual inter-packet gap (one packet per flow).
-	SpacingNs  int64       `json:"spacing_ns"`
-	GoMaxProcs int         `json:"gomaxprocs"`
-	Points     []FlowPoint `json:"points"`
+	SpacingNs int64 `json:"spacing_ns"`
+	BenchEnv
+	Points []FlowPoint `json:"points"`
 }
 
 // flowFlood offers n distinct single-packet UDP flows, one every
@@ -133,7 +131,7 @@ func FlowSoak(quick bool) (*FlowsReport, error) {
 		RetuneAtFlows:       total / 2,
 		RetunedUDPTimeoutNs: int64(retuned),
 		SpacingNs:           spacingNs,
-		GoMaxProcs:          runtime.GOMAXPROCS(0),
+		BenchEnv:            CaptureBenchEnv(),
 	}
 	per := total / chunks
 	for k := 0; k < chunks; k++ {
@@ -176,22 +174,14 @@ func FlowSoak(quick bool) (*FlowsReport, error) {
 
 // WriteFlows writes the report as the BENCH_flows.json artifact.
 func WriteFlows(rep *FlowsReport, path string) error {
-	b, err := json.MarshalIndent(rep, "", "  ")
-	if err != nil {
-		return err
-	}
-	return os.WriteFile(path, append(b, '\n'), 0o644)
+	return writeArtifact(rep, path)
 }
 
 // LoadFlows reads a BENCH_flows.json artifact back.
 func LoadFlows(path string) (*FlowsReport, error) {
-	b, err := os.ReadFile(path)
-	if err != nil {
-		return nil, err
-	}
 	var rep FlowsReport
-	if err := json.Unmarshal(b, &rep); err != nil {
-		return nil, fmt.Errorf("flows artifact %s: %w", path, err)
+	if err := loadArtifact(path, &rep); err != nil {
+		return nil, err
 	}
 	return &rep, nil
 }
@@ -205,6 +195,9 @@ func LoadFlows(path string) (*FlowsReport, error) {
 func ValidateFlows(rep *FlowsReport) error {
 	if len(rep.Points) == 0 {
 		return fmt.Errorf("flows artifact has no points")
+	}
+	if err := rep.checkBenchEnv(); err != nil {
+		return err
 	}
 	if rep.Capacity <= 0 || rep.TotalFlows <= rep.Capacity {
 		return fmt.Errorf("soak offered %d flows against capacity %d — nothing to bound",

@@ -1,0 +1,59 @@
+package eval
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+)
+
+// BenchEnv is the host environment every benchmark artifact records:
+// wall-clock numbers mean nothing without it. Embed it in report structs —
+// the fields inline into the artifact's top level, so every BENCH_*.json
+// shares the same two keys and every -check* validator reads them the
+// same way.
+type BenchEnv struct {
+	// GoMaxProcs is the scheduler parallelism the measurement ran with
+	// (for matrix artifacts, the widest rung measured).
+	GoMaxProcs int `json:"gomaxprocs"`
+	// NumCPU is the host's core count — the ceiling any scaling claim is
+	// judged against.
+	NumCPU int `json:"num_cpu"`
+}
+
+// CaptureBenchEnv snapshots the current environment.
+func CaptureBenchEnv() BenchEnv {
+	return BenchEnv{GoMaxProcs: runtime.GOMAXPROCS(0), NumCPU: runtime.NumCPU()}
+}
+
+// checkBenchEnv is the shared validator leg: artifacts missing the
+// environment cannot be interpreted (or honestly skipped) later.
+func (e BenchEnv) checkBenchEnv() error {
+	if e.GoMaxProcs <= 0 || e.NumCPU <= 0 {
+		return fmt.Errorf("artifact does not record the bench environment (gomaxprocs=%d, num_cpu=%d)",
+			e.GoMaxProcs, e.NumCPU)
+	}
+	return nil
+}
+
+// writeArtifact serializes one BENCH_*.json artifact the one canonical
+// way: indented, trailing newline, world-readable.
+func writeArtifact(rep any, path string) error {
+	b, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(b, '\n'), 0o644)
+}
+
+// loadArtifact reads one back, wrapping decode errors with the path.
+func loadArtifact(path string, rep any) error {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	if err := json.Unmarshal(b, rep); err != nil {
+		return fmt.Errorf("artifact %s: %w", path, err)
+	}
+	return nil
+}

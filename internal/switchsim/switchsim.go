@@ -211,6 +211,9 @@ type Switch struct {
 	epoch atomic.Uint64
 	// hasCacheTables is set when any table runs in §7 cache mode.
 	hasCacheTables bool
+	// lanes are the per-shard control-plane lanes (see shard.go). Always
+	// at least one; ConfigureShards sizes them before traffic starts.
+	lanes []*ctlLane
 
 	// xferA and xferB are the compiled transfer-field layouts: per
 	// variable, the scratchpad slot paired with its precomputed bit
@@ -260,12 +263,13 @@ type snapshot struct {
 // with the authoritative Table under copy-on-write discipline) plus a
 // private copy of the write-back overlay taken at flip time.
 type snapTable struct {
-	main    map[ir.MapKey][]uint64
-	wb      map[ir.MapKey][]uint64
-	deleted map[ir.MapKey]bool
-	useWB   bool
-	cached  bool
-	obs     *tableObs
+	main     map[ir.MapKey][]uint64
+	wb       map[ir.MapKey][]uint64
+	deleted  map[ir.MapKey]bool
+	useWB    bool
+	cached   bool
+	capacity int
+	obs      *tableObs
 }
 
 // lookup mirrors Table.lookup against the snapshot view.
@@ -298,7 +302,7 @@ func (sw *Switch) publishLocked() {
 		hPost:     sw.hPost,
 	}
 	for n, t := range sw.tables {
-		st := &snapTable{main: t.Main, cached: t.Cached, obs: t.obs}
+		st := &snapTable{main: t.Main, cached: t.Cached, capacity: t.Capacity, obs: t.obs}
 		if t.UseWB {
 			st.useWB = true
 			st.wb = make(map[ir.MapKey][]uint64, len(t.WB))
@@ -417,6 +421,7 @@ func New(res *partition.Result) *Switch {
 	}
 	sw.xferA = compileXferFields(res.TransferA, res.FormatA)
 	sw.xferB = compileXferFields(res.TransferB, res.FormatB)
+	sw.lanes = []*ctlLane{{}}
 	sw.publishLocked()
 	return sw
 }
@@ -490,7 +495,10 @@ func (sw *Switch) LoadLPM(name string, entries []ir.LpmEntry) error {
 	return nil
 }
 
-// Stats returns a snapshot of activity counters.
+// Stats returns a snapshot of activity counters. Data-plane counters
+// accumulate in per-shard lane blocks (see shard.go); this sums them
+// with the control plane's shared counters. Table entry counts include
+// lane-resident updates not yet folded into the main tables.
 func (sw *Switch) Stats() Stats {
 	sw.mu.RLock()
 	defer sw.mu.RUnlock()
@@ -510,8 +518,21 @@ func (sw *Switch) Stats() Stats {
 		Epoch:        sw.epoch.Load(),
 		TableEntries: map[string]int{},
 	}
+	for _, ln := range sw.lanes {
+		ls := &ln.stats
+		s.PrePackets += int(ls.prePackets.Load())
+		s.PostPackets += int(ls.postPackets.Load())
+		s.FastPath += int(ls.fastPath.Load())
+		s.ToServer += int(ls.toServer.Load())
+		s.Punts += int(ls.punts.Load())
+		s.Drops += int(ls.drops.Load())
+		s.CtlOps += int(ls.ctlOps.Load())
+		s.CtlFlips += int(ls.ctlFlips.Load())
+		s.Expired += int(ls.expired.Load())
+		s.StepsTotal += int(ls.stepsTotal.Load())
+	}
 	for n, t := range sw.tables {
-		s.TableEntries[n] = t.Len()
+		s.TableEntries[n] = t.Len() + sw.laneTableEntries(n, t)
 	}
 	return s
 }
@@ -569,7 +590,11 @@ func (sw *Switch) LoadVector(name string, vals []uint64) error {
 // authoritative. It is used by pointer (embedded in the pooled execCtx) so
 // handing it to the interpreter's Access interface never allocates.
 type access struct {
-	snap      *snapshot
+	snap *snapshot
+	// lane, when non-nil, is the calling shard's published lane overlay:
+	// consulted before the snapshot, so a shard sees its own flipped
+	// write-backs before they fold into the main tables.
+	lane      *laneOverlay
 	hop       *obs.Hop
 	cacheMiss bool
 	// onTouch, when non-nil, is invoked for every table hit so the
@@ -585,6 +610,11 @@ func (a *access) MapFind(name string, key ir.MapKey) ([]uint64, bool) {
 		return nil, false
 	}
 	vals, hit, fromWB := t.lookup(key)
+	if a.lane != nil {
+		if lv, lhit, ldel := a.lane.lookup(name, key); lhit || ldel {
+			vals, hit, fromWB = lv, lhit, lhit
+		}
+	}
 	if hit && a.onTouch != nil {
 		a.onTouch(name, key)
 	}
@@ -660,9 +690,9 @@ var execPool = sync.Pool{New: func() any { return new(execCtx) }}
 
 // getCtx checks an execution context out of the pool, wired to snap and
 // the given packet, with a zeroed scratchpad of the compiled slot count.
-func (sw *Switch) getCtx(snap *snapshot, pkt *packet.Packet, onTouch func(string, ir.MapKey)) *execCtx {
+func (sw *Switch) getCtx(snap *snapshot, lane *laneOverlay, pkt *packet.Packet, onTouch func(string, ir.MapKey)) *execCtx {
 	ctx := execPool.Get().(*execCtx)
-	ctx.acc = access{snap: snap, hop: sw.hop, onTouch: onTouch}
+	ctx.acc = access{snap: snap, lane: lane, hop: sw.hop, onTouch: onTouch}
 	n := sw.Res.NumXferSlots
 	if cap(ctx.xfer) >= n {
 		ctx.xfer = ctx.xfer[:n]
@@ -710,11 +740,37 @@ func (sw *Switch) ProcessPre(pkt *packet.Packet) (PreResult, error) {
 // fires for every table hit during the pass, letting the flow-state
 // lifecycle stamp fast-path liveness. A nil onTouch is free.
 func (sw *Switch) ProcessPreTouch(pkt *packet.Packet, onTouch func(table string, key ir.MapKey)) (PreResult, error) {
+	return sw.processPre(pkt, onTouch, 0)
+}
+
+// ProcessPreShard is ProcessPreTouch with the calling worker's shard
+// index: the pass consults the shard's lane overlay before the global
+// snapshot (so the shard sees its own flipped write-backs immediately)
+// and accounts into the lane's padded counter block instead of shared
+// atomics.
+func (sw *Switch) ProcessPreShard(pkt *packet.Packet, shard int, onTouch func(table string, key ir.MapKey)) (PreResult, error) {
+	return sw.processPre(pkt, onTouch, shard)
+}
+
+// laneAt returns the shard's lane, falling back to lane 0 for
+// out-of-range indices (single-lane switches serve every caller).
+func (sw *Switch) laneAt(shard int) *ctlLane {
+	if shard < 0 || shard >= len(sw.lanes) {
+		return sw.lanes[0]
+	}
+	return sw.lanes[shard]
+}
+
+func (sw *Switch) processPre(pkt *packet.Packet, onTouch func(table string, key ir.MapKey), shard int) (PreResult, error) {
 	// The data plane is lock-free: one atomic load pins the state snapshot
-	// for the whole pass, so every worker's pre pass runs concurrently and
-	// a control-plane flip mid-pass cannot tear the view.
+	// (and the shard's lane overlay) for the whole pass, so every worker's
+	// pre pass runs concurrently and a control-plane flip mid-pass cannot
+	// tear the view. Counters land in the shard's own padded lane block,
+	// never on a cache line another shard writes.
 	snap := sw.snap.Load()
-	sw.stats.prePackets.Add(1)
+	ln := sw.laneAt(shard)
+	ls := &ln.stats
+	ls.prePackets.Add(1)
 	snap.c.pre.Inc()
 	// Cache mode: run the pipeline against a scratch copy first; a cache
 	// miss discards all its effects (P4 actions are predicated on the
@@ -723,16 +779,16 @@ func (sw *Switch) ProcessPreTouch(pkt *packet.Packet, onTouch func(table string,
 	if sw.hasCacheTables {
 		work = pkt.Clone()
 	}
-	ctx := sw.getCtx(snap, work, onTouch)
+	ctx := sw.getCtx(snap, ln.view.Load(), work, onTouch)
 	defer putCtx(ctx)
 	r, err := ir.ExecFunc(sw.Res.Prog, sw.Res.PreFn, &ctx.env)
 	if err != nil {
 		return PreResult{}, fmt.Errorf("switchsim: pre pipeline: %w", err)
 	}
 	if ctx.acc.cacheMiss {
-		sw.stats.stepsTotal.Add(int64(r.Steps))
-		sw.stats.toServer.Add(1)
-		sw.stats.punts.Add(1)
+		ls.stepsTotal.Add(int64(r.Steps))
+		ls.toServer.Add(1)
+		ls.punts.Add(1)
 		snap.c.toServer.Inc()
 		snap.c.punts.Inc()
 		snap.hPre.Observe(int64(r.Steps))
@@ -741,11 +797,11 @@ func (sw *Switch) ProcessPreTouch(pkt *packet.Packet, onTouch func(table string,
 	if sw.hasCacheTables {
 		*pkt = *work
 	}
-	sw.stats.stepsTotal.Add(int64(r.Steps))
+	ls.stepsTotal.Add(int64(r.Steps))
 	snap.hPre.Observe(int64(r.Steps))
 	switch r.Action {
 	case ir.ActionNext:
-		sw.stats.toServer.Add(1)
+		ls.toServer.Add(1)
 		snap.c.toServer.Inc()
 		pkt.AttachGallium(sw.Res.FormatA)
 		for _, f := range sw.xferA {
@@ -757,10 +813,10 @@ func (sw *Switch) ProcessPreTouch(pkt *packet.Packet, onTouch func(table string,
 			}
 		}
 	case ir.ActionDropped:
-		sw.stats.drops.Add(1)
+		ls.drops.Add(1)
 		snap.c.drops.Inc()
 	case ir.ActionSent:
-		sw.stats.fastPath.Add(1)
+		ls.fastPath.Add(1)
 		snap.c.fast.Inc()
 	}
 	return PreResult{Action: r.Action, Steps: r.Steps}, nil
@@ -775,13 +831,25 @@ func (sw *Switch) ProcessPost(pkt *packet.Packet) (PreResult, error) {
 // ProcessPostTouch is ProcessPost with a per-call touch callback; see
 // ProcessPreTouch.
 func (sw *Switch) ProcessPostTouch(pkt *packet.Packet, onTouch func(table string, key ir.MapKey)) (PreResult, error) {
+	return sw.processPost(pkt, onTouch, 0)
+}
+
+// ProcessPostShard is ProcessPostTouch with the calling worker's shard
+// index; see ProcessPreShard.
+func (sw *Switch) ProcessPostShard(pkt *packet.Packet, shard int, onTouch func(table string, key ir.MapKey)) (PreResult, error) {
+	return sw.processPost(pkt, onTouch, shard)
+}
+
+func (sw *Switch) processPost(pkt *packet.Packet, onTouch func(table string, key ir.MapKey), shard int) (PreResult, error) {
 	snap := sw.snap.Load()
-	sw.stats.postPackets.Add(1)
+	ln := sw.laneAt(shard)
+	ls := &ln.stats
+	ls.postPackets.Add(1)
 	snap.c.post.Inc()
 	if !pkt.HasGallium {
 		return PreResult{}, fmt.Errorf("switchsim: post pipeline: packet from server lacks gallium_b header")
 	}
-	ctx := sw.getCtx(snap, pkt, onTouch)
+	ctx := sw.getCtx(snap, ln.view.Load(), pkt, onTouch)
 	defer putCtx(ctx)
 	for _, f := range sw.xferB {
 		if f.slot <= 0 {
@@ -798,10 +866,10 @@ func (sw *Switch) ProcessPostTouch(pkt *packet.Packet, onTouch func(table string
 	if err != nil {
 		return PreResult{}, fmt.Errorf("switchsim: post pipeline: %w", err)
 	}
-	sw.stats.stepsTotal.Add(int64(r.Steps))
+	ls.stepsTotal.Add(int64(r.Steps))
 	snap.hPost.Observe(int64(r.Steps))
 	if r.Action == ir.ActionDropped {
-		sw.stats.drops.Add(1)
+		ls.drops.Add(1)
 		snap.c.drops.Inc()
 	}
 	return PreResult{Action: r.Action, Steps: r.Steps}, nil
@@ -1010,26 +1078,33 @@ func mergeThreshold(mainLen int) int {
 // mergeTableLocked folds one table's overlay into its main map. Callers
 // hold mu and publish afterwards.
 func (sw *Switch) mergeTableLocked(t *Table) {
+	sw.foldIntoMainLocked(t, t.WB, t.deleted)
+	t.WB = map[ir.MapKey][]uint64{}
+	t.deleted = map[ir.MapKey]bool{}
+	t.UseWB = false
+}
+
+// foldIntoMainLocked merges one overlay (inserts wb, deletions del) into a
+// table's main map. It is the shared tail of the global write-back merge
+// and the per-shard lane fold. Callers hold mu and publish afterwards.
+func (sw *Switch) foldIntoMainLocked(t *Table, wb map[ir.MapKey][]uint64, del map[ir.MapKey]bool) {
 	// Copy-on-write: readers of the published snapshot share the main
 	// map by reference, so the merge folds into a fresh map and swaps
 	// it in rather than mutating in place.
-	newMain := make(map[ir.MapKey][]uint64, len(t.Main)+len(t.WB))
+	newMain := make(map[ir.MapKey][]uint64, len(t.Main)+len(wb))
 	for k, v := range t.Main {
 		newMain[k] = v
 	}
-	for k, v := range t.WB {
+	for k, v := range wb {
 		if _, existed := newMain[k]; !existed {
 			t.fifo = append(t.fifo, k)
 		}
 		newMain[k] = v
 	}
-	for k := range t.deleted {
+	for k := range del {
 		delete(newMain, k)
 	}
 	t.Main = newMain
-	t.WB = map[ir.MapKey][]uint64{}
-	t.deleted = map[ir.MapKey]bool{}
-	t.UseWB = false
 	if t.Cached && t.Capacity > 0 {
 		for len(t.Main) > t.Capacity && len(t.fifo) > 0 {
 			victim := t.fifo[0]

@@ -1,0 +1,160 @@
+//go:build linux && amd64
+
+package udpio
+
+import (
+	"net"
+	"net/netip"
+	"syscall"
+	"time"
+	"unsafe"
+)
+
+// newSocketIO selects the recvmmsg/sendmmsg transport unless the portable
+// path was forced (tests exercise both).
+func newSocketIO(pc *net.UDPConn, generic, connected bool) (socketIO, error) {
+	if generic {
+		return &genericIO{pc: pc, connected: connected}, nil
+	}
+	rc, err := pc.SyscallConn()
+	if err != nil {
+		return nil, err
+	}
+	return &mmsgIO{pc: pc, rc: rc, connected: connected}, nil
+}
+
+// mmsgIO moves whole batches per syscall via recvmmsg/sendmmsg on the
+// runtime-managed nonblocking socket: MSG_DONTWAIT plus the RawConn
+// Read/Write callbacks gives batched I/O that still parks on the netpoller
+// (and honors read deadlines) instead of spinning.
+type mmsgIO struct {
+	pc        *net.UDPConn
+	rc        syscall.RawConn
+	connected bool
+}
+
+// mmsghdr mirrors struct mmsghdr on linux/amd64: a msghdr plus the
+// kernel-filled datagram length.
+type mmsghdr struct {
+	hdr syscall.Msghdr
+	len uint32
+	_   [4]byte
+}
+
+// recvmmsg/sendmmsg syscall numbers on linux/amd64 (the build tag pins
+// the arch; other platforms use the generic transport).
+const (
+	sysRecvmmsg = 299
+	sysSendmmsg = 307
+)
+
+func (m *mmsgIO) ReadBatch(ms []mmsg, deadline time.Time) (int, error) {
+	if err := m.pc.SetReadDeadline(deadline); err != nil {
+		return 0, err
+	}
+	hdrs := make([]mmsghdr, len(ms))
+	iovs := make([]syscall.Iovec, len(ms))
+	names := make([]syscall.RawSockaddrInet4, len(ms))
+	for i := range ms {
+		iovs[i].Base = &ms[i].buf[0]
+		iovs[i].SetLen(len(ms[i].buf))
+		hdrs[i].hdr.Iov = &iovs[i]
+		hdrs[i].hdr.Iovlen = 1
+		if !m.connected {
+			hdrs[i].hdr.Name = (*byte)(unsafe.Pointer(&names[i]))
+			hdrs[i].hdr.Namelen = uint32(unsafe.Sizeof(names[i]))
+		}
+	}
+	var n int
+	var sysErr error
+	err := m.rc.Read(func(fd uintptr) bool {
+		r1, _, errno := syscall.Syscall6(sysRecvmmsg, fd,
+			uintptr(unsafe.Pointer(&hdrs[0])), uintptr(len(hdrs)),
+			syscall.MSG_DONTWAIT, 0, 0)
+		if errno == syscall.EAGAIN {
+			return false // park on the netpoller until readable (or deadline)
+		}
+		if errno != 0 {
+			sysErr = errno
+		} else {
+			n = int(r1)
+		}
+		return true
+	})
+	if err != nil {
+		return 0, err
+	}
+	if sysErr != nil {
+		return 0, sysErr
+	}
+	for i := 0; i < n; i++ {
+		ms[i].buf = ms[i].buf[:hdrs[i].len]
+		if !m.connected {
+			ms[i].addr = sockaddrToAddrPort(&names[i])
+		}
+	}
+	return n, nil
+}
+
+func (m *mmsgIO) WriteBatch(ms []mmsg) (int, error) {
+	hdrs := make([]mmsghdr, len(ms))
+	iovs := make([]syscall.Iovec, len(ms))
+	names := make([]syscall.RawSockaddrInet4, len(ms))
+	for i := range ms {
+		iovs[i].Base = &ms[i].buf[0]
+		iovs[i].SetLen(len(ms[i].buf))
+		hdrs[i].hdr.Iov = &iovs[i]
+		hdrs[i].hdr.Iovlen = 1
+		if !m.connected {
+			names[i] = addrPortToSockaddr(ms[i].addr)
+			hdrs[i].hdr.Name = (*byte)(unsafe.Pointer(&names[i]))
+			hdrs[i].hdr.Namelen = uint32(unsafe.Sizeof(names[i]))
+		}
+	}
+	sent := 0
+	for sent < len(ms) {
+		var n int
+		var sysErr error
+		err := m.rc.Write(func(fd uintptr) bool {
+			r1, _, errno := syscall.Syscall6(sysSendmmsg, fd,
+				uintptr(unsafe.Pointer(&hdrs[sent])), uintptr(len(hdrs)-sent),
+				syscall.MSG_DONTWAIT, 0, 0)
+			if errno == syscall.EAGAIN {
+				return false
+			}
+			if errno != 0 {
+				sysErr = errno
+			} else {
+				n = int(r1)
+			}
+			return true
+		})
+		if err != nil {
+			return sent, err
+		}
+		if sysErr != nil {
+			return sent, sysErr
+		}
+		if n == 0 {
+			break
+		}
+		sent += n
+	}
+	return sent, nil
+}
+
+// sockaddrToAddrPort converts a kernel-filled IPv4 sockaddr; the port sits
+// in network byte order, so the uint16 read on little-endian needs a swap.
+func sockaddrToAddrPort(sa *syscall.RawSockaddrInet4) netip.AddrPort {
+	port := sa.Port<<8 | sa.Port>>8
+	return netip.AddrPortFrom(netip.AddrFrom4(sa.Addr), port)
+}
+
+func addrPortToSockaddr(ap netip.AddrPort) syscall.RawSockaddrInet4 {
+	p := ap.Port()
+	return syscall.RawSockaddrInet4{
+		Family: syscall.AF_INET,
+		Port:   p<<8 | p>>8,
+		Addr:   ap.Addr().As4(),
+	}
+}

@@ -1,0 +1,196 @@
+package udpio_test
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	gallium "gallium"
+	"gallium/internal/packet"
+	"gallium/internal/trafficgen"
+	"gallium/internal/udpio"
+)
+
+// iperfFrames serializes an iperf workload into wire frames plus the
+// five-tuples a scenario must whitelist.
+func iperfFrames(t *testing.T, conns, n int) ([][]byte, []packet.FiveTuple) {
+	t.Helper()
+	cfg := trafficgen.IperfConfig{
+		Conns:      conns,
+		PPS:        1e6,
+		DurationNs: int64(n) * 1000,
+		Seed:       7,
+	}
+	var frames [][]byte
+	err := cfg.Generate(func(_ int64, pkt *packet.Packet) error {
+		frames = append(frames, pkt.Serialize())
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(frames) != n {
+		t.Fatalf("generated %d frames, want %d", len(frames), n)
+	}
+	return frames, cfg.Tuples()
+}
+
+// runLoopback is the end-to-end path: a mazunat session behind a UDP
+// front end, a batched client sending real datagrams over loopback, and
+// the NAT-rewritten echoes coming back.
+func runLoopback(t *testing.T, generic bool) {
+	t.Helper()
+	const nFrames = 96
+	frames, tuples := iperfFrames(t, 8, nFrames)
+
+	art, err := gallium.CompileBuiltin("mazunat", gallium.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fe, err := udpio.Listen(udpio.Config{Addr: "127.0.0.1:0", Batch: 16, Generic: generic})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fe.Close()
+
+	sess, err := gallium.Open(art,
+		gallium.WithWorkers(2),
+		gallium.WithScenario(),
+		gallium.WithFlows(tuples),
+		gallium.WithDeliveries(fe.Deliver),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	serveDone := make(chan error, 1)
+	go func() { serveDone <- fe.Serve(ctx, sess) }()
+
+	client, err := udpio.Dial(fe.Addr().String(), udpio.Config{Batch: 16, Generic: generic})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+
+	if err := client.Send(frames); err != nil {
+		t.Fatal(err)
+	}
+	echoes, err := client.Recv(nFrames, 5*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(echoes) != nFrames {
+		t.Fatalf("received %d echoes, want %d (stats %+v)", len(echoes), nFrames, fe.Stats())
+	}
+
+	// The NAT rewrote every echo: source ports moved out of the client's
+	// ephemeral range into the allocator's external space.
+	sent := map[uint16]bool{}
+	for _, tup := range tuples {
+		sent[tup.SrcPort] = true
+	}
+	for _, buf := range echoes {
+		pkt, err := packet.DecodePacket(buf, nil)
+		if err != nil {
+			t.Fatalf("echo did not decode: %v", err)
+		}
+		if !pkt.HasTCP {
+			t.Fatal("echo lost its TCP header")
+		}
+		if sent[pkt.TCP.SrcPort] {
+			t.Fatalf("echo still carries client source port %d — NAT rewrite missing", pkt.TCP.SrcPort)
+		}
+	}
+
+	cancel()
+	if err := <-serveDone; err != nil && !errors.Is(err, context.Canceled) {
+		t.Fatalf("Serve: %v", err)
+	}
+	rep, err := sess.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Stats.Injected != nFrames || rep.Stats.Delivered != nFrames {
+		t.Fatalf("engine saw %d/%d of %d datagrams", rep.Stats.Injected, rep.Stats.Delivered, nFrames)
+	}
+	st := fe.Stats()
+	if st.RxDatagrams != nFrames || st.TxDatagrams != nFrames {
+		t.Fatalf("front end moved rx=%d tx=%d, want %d", st.RxDatagrams, st.TxDatagrams, nFrames)
+	}
+	if st.RxBatches < 1 || st.RxBatches > st.RxDatagrams {
+		t.Fatalf("rx batch accounting off: %+v", st)
+	}
+	if st.DecodeErrors != 0 || st.Dropped != 0 || st.Untracked != 0 {
+		t.Fatalf("unexpected error counters: %+v", st)
+	}
+}
+
+func TestLoopbackEchoBatched(t *testing.T) { runLoopback(t, false) }
+func TestLoopbackEchoGeneric(t *testing.T) { runLoopback(t, true) }
+
+// TestDecodeErrorCounted: garbage datagrams are counted, not fatal.
+func TestDecodeErrorCounted(t *testing.T) {
+	art, err := gallium.CompileBuiltin("firewall", gallium.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fe, err := udpio.Listen(udpio.Config{Addr: "127.0.0.1:0", Generic: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fe.Close()
+	sess, err := gallium.Open(art, gallium.WithScenario(), gallium.WithDeliveries(fe.Deliver))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sess.Close()
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	serveDone := make(chan error, 1)
+	go func() { serveDone <- fe.Serve(ctx, sess) }()
+
+	client, err := udpio.Dial(fe.Addr().String(), udpio.Config{Generic: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+	if err := client.Send([][]byte{{0xde, 0xad}}); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for fe.Stats().DecodeErrors == 0 {
+		if time.Now().After(deadline) {
+			t.Fatalf("decode error never counted: %+v", fe.Stats())
+		}
+		time.Sleep(time.Millisecond)
+	}
+	cancel()
+	<-serveDone
+}
+
+// TestClientRecvTimeout: an idle socket returns empty, not an error.
+func TestClientRecvTimeout(t *testing.T) {
+	fe, err := udpio.Listen(udpio.Config{Addr: "127.0.0.1:0"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fe.Close()
+	client, err := udpio.Dial(fe.Addr().String(), udpio.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+	start := time.Now()
+	out, err := client.Recv(4, 50*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 0 {
+		t.Fatalf("received %d datagrams from an idle socket", len(out))
+	}
+	if time.Since(start) > 2*time.Second {
+		t.Fatal("Recv did not honor its timeout")
+	}
+}

@@ -3,6 +3,7 @@ package gallium
 import (
 	"context"
 	"fmt"
+	"time"
 
 	"gallium/internal/engine"
 	"gallium/internal/ir"
@@ -23,6 +24,10 @@ type Report = engine.Report
 
 // Delivery is one packet's fate, as observed by WithDeliveries callbacks.
 type Delivery = engine.Delivery
+
+// Packet is one mutable network packet (parsed headers + payload): the
+// unit Session.Dispatch injects and Delivery carries.
+type Packet = packet.Packet
 
 // Option configures Artifacts.Run, Open, and Pipeline.Open. Options
 // that reject their argument surface the error from Run/Open (the first
@@ -147,12 +152,29 @@ func WithDeliveries(fn func(Delivery)) Option {
 	return func(c *runConfig) { c.OnDelivery = fn }
 }
 
-// WithBatch sets how many queued packets a worker pulls per batch
-// (default 32). Larger batches amortize the §4.3.3 output-commit wait
-// across more packets; per-flow processing order is preserved at any
-// batch size.
+// WithBatch fixes how many queued packets a worker pulls per batch.
+// Without this option each worker sizes its batches adaptively: growing
+// under backlog, shrinking when its queue runs dry, bounded by the
+// WithBatchBudget latency budget. Larger batches amortize the §4.3.3
+// output-commit wait across more packets; per-flow processing order is
+// preserved at any batch size. n <= 0 selects the adaptive default
+// explicitly.
 func WithBatch(n int) Option {
 	return func(c *runConfig) { c.Batch = n }
+}
+
+// WithBatchBudget bounds the adaptive batch controller's latency cost
+// (default 200µs): a worker never grows its batch beyond what it can
+// process within d, estimated from observed per-packet wall time. It has
+// no effect under a fixed WithBatch size. d must be positive.
+func WithBatchBudget(d time.Duration) Option {
+	return func(c *runConfig) {
+		if d <= 0 {
+			c.fail(fmt.Errorf("gallium: WithBatchBudget(%v): budget must be positive", d))
+			return
+		}
+		c.BatchBudgetNs = int64(d)
+	}
 }
 
 // WithQueueDepth bounds each worker's ingress queue to n packets

@@ -195,6 +195,16 @@ func (s *Session) Feed(wl Workload) error {
 	return s.eng.Feed(wl)
 }
 
+// Dispatch injects one packet into the session without a settle barrier:
+// the streaming ingress for real-I/O front ends (see internal/udpio),
+// where a quiescence barrier per datagram would defeat batching. It
+// returns the packet's sequence number; fates arrive asynchronously on
+// the WithDeliveries callback. tNs is the arrival timestamp in ns;
+// values that run backwards are clamped monotone.
+func (s *Session) Dispatch(tNs int64, pkt *Packet) (int64, error) {
+	return s.eng.Dispatch(tNs, pkt)
+}
+
 // Reconfigure validates one typed operation against the compiled
 // partition and applies it to the running session as a single atomic
 // visibility flip: every shard's state mutates at a quiescent point, the
