@@ -192,10 +192,11 @@ func CompileTarget(target string, opts Options) (*Artifacts, error) {
 	return CompileBuiltin(target, opts)
 }
 
-// Builtins returns the names CompileBuiltin accepts.
+// Builtins returns the names CompileBuiltin accepts: the paper five plus
+// the scenario-diversity set (tunlb, synproxy, mssclamp, firewall6).
 func Builtins() []string {
 	names := []string{"minilb", "ipgateway"}
-	for _, s := range middleboxes.All() {
+	for _, s := range middleboxes.Extended() {
 		names = append(names, s.Name)
 	}
 	return names

@@ -17,7 +17,7 @@ import (
 func corpusPrograms(t *testing.T) map[string]string {
 	t.Helper()
 	progs := map[string]string{}
-	for _, spec := range middleboxes.All() {
+	for _, spec := range middleboxes.Extended() {
 		progs[spec.Name] = spec.Source
 	}
 	for _, name := range []string{"minilb", "ipgateway", "ddosdetector"} {

@@ -56,6 +56,17 @@ func (l Loc) String() string {
 
 func regLoc(r ir.Reg) Loc    { return Loc{Kind: LocReg, Reg: r} }
 func headerLoc(f string) Loc { return Loc{Kind: LocHeader, Name: f} }
+
+// aliasesTunMode reports whether a header field's effect is gated on the
+// tunnel mode. Writing tun.mode attaches or strips the outer headers, so
+// whether a tun.src/dst/key access takes effect depends on the last mode
+// write: modeling each such access as also reading tun.mode gives the
+// scheduler the RAW/WAR edges that keep them in program order. The
+// tcp/udp/ip presence guards need no such edge — no IR instruction
+// mutates those presence flags.
+func aliasesTunMode(f string) bool {
+	return len(f) > 4 && f[:4] == "tun." && f != "tun.mode"
+}
 func globalLoc(n string) Loc { return Loc{Kind: LocGlobal, Name: n} }
 func payloadLoc() Loc        { return Loc{Kind: LocPayload} }
 func xferLoc(n string) Loc   { return Loc{Kind: LocXfer, Name: n} }
@@ -83,10 +94,16 @@ func RWSets(p *ir.Program, in *ir.Instr, headerUniverse []string) (reads, writes
 		writeRegs(in.Dst)
 	case ir.LoadHeader:
 		reads = append(reads, headerLoc(in.Obj))
+		if aliasesTunMode(in.Obj) {
+			reads = append(reads, headerLoc("tun.mode"))
+		}
 		writeRegs(in.Dst)
 	case ir.StoreHeader:
 		readRegs(in.Args)
 		writes = append(writes, headerLoc(in.Obj))
+		if aliasesTunMode(in.Obj) {
+			reads = append(reads, headerLoc("tun.mode"))
+		}
 	case ir.PayloadMatch:
 		reads = append(reads, payloadLoc())
 		writeRegs(in.Dst)

@@ -23,9 +23,14 @@ type Case struct {
 	Trace *Trace
 }
 
-// GenCase derives the canonical (program, trace) pair for a seed.
+// GenCase derives the canonical (program, trace) pair for a seed. When
+// the program drew a scenario mode (IPv6, encapsulation, or one of the
+// middlebox templates), the trace is rewritten to reach its paths.
 func GenCase(seed uint64, traceLen int) *Case {
-	return &Case{Seed: seed, Spec: GenProgram(seed), Trace: GenTrace(seed, traceLen)}
+	spec := GenProgram(seed)
+	tr := GenTrace(seed, traceLen)
+	applyTraceScenario(spec, tr, seed)
+	return &Case{Seed: seed, Spec: spec, Trace: tr}
 }
 
 // PacketOutcome is one packet's observable fate: sent (with canonical
@@ -351,6 +356,15 @@ func DiffArtifacts(art *gallium.Artifacts, spec *ProgramSpec, tr *Trace) *Diverg
 	// negative in the analysis — caught here without running a packet.
 	cert := art.Affinity()
 	certExact := cert != nil && cert.Exact()
+	// The certificate's field universe is the v4 ingress tuple, so an
+	// exact verdict promises disjoint shard states only for v4 traffic:
+	// on a v6 packet the captured v4 fields read zero, letting distinct
+	// v6 flows alias onto one key while dispatch (which folds the real
+	// 128-bit addresses) separates them. The 8-worker exactness legs are
+	// therefore gated on the trace being v4-only — except for stateless
+	// programs, whose per-packet outcomes cannot interact at all.
+	stateless := len(spec.Maps) == 0 && len(spec.Globals) == 0
+	exactEight := (spec.ShardSafe || certExact) && (!tr.HasV6() || stateless)
 	if spec.ShardSafe && !certExact {
 		detail := "no certificate attached"
 		if cert != nil {
@@ -393,7 +407,7 @@ func DiffArtifacts(art *gallium.Artifacts, spec *ProgramSpec, tr *Trace) *Diverg
 	if err != nil {
 		return &Divergence{Leg: "run8", Detail: err.Error()}
 	}
-	if spec.ShardSafe || certExact {
+	if exactEight {
 		// The exact leg runs whenever the certificate proves flow
 		// affinity, not only when the generator *declared* it: a
 		// certified-exact program must match the oracle per packet under
@@ -435,7 +449,7 @@ func DiffArtifacts(art *gallium.Artifacts, spec *ProgramSpec, tr *Trace) *Diverg
 	if !rep.AdaptiveBatch {
 		return &Divergence{Leg: "adaptive", Detail: "batch controller did not engage under WithBatch(0)"}
 	}
-	if spec.ShardSafe || certExact {
+	if exactEight {
 		merged, _, conflict := art.MergeShardStates(states)
 		if conflict != "" {
 			return &Divergence{Leg: "adaptive", Detail: conflict}

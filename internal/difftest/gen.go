@@ -93,6 +93,14 @@ type ProgramSpec struct {
 	Globals   []GlobalDecl
 	Consts    []ConstDecl
 	Body      *Block
+
+	// traceMode is the scenario the trace generator should steer toward
+	// ("" for the plain v4 workload): "v6" mixes IPv6 packets in, "encap"
+	// GRE/IPIP-wraps packets, "tunlb"/"synproxy"/"mssclamp" pair the
+	// matching middlebox template with traffic that reaches its hot
+	// paths. Set by the scenario draws at the end of GenProgram; corpus
+	// replay never needs it because the trace itself is stored.
+	traceMode string
 }
 
 // ---------------------------------------------------------------------------
@@ -700,5 +708,15 @@ func GenProgram(seed uint64) *ProgramSpec {
 			UDPTimeout: time.Duration(r.rangen(2, 8)) * s,
 		}
 	}
+
+	// Scenario-diversity draws: IPv6, tunnel encapsulation, and the
+	// scenario-middlebox templates (tunneling LB, SYN proxy, MSS clamp).
+	// Like the expiry draw these come after everything else, so seeds
+	// that don't hit a scenario still generate byte-identical programs.
+	// Every scenario clears ShardSafe and Expiry: the captured v4 flow
+	// tuple reads zero on v6 packets, so distinct v6 flows would alias
+	// onto one "shard-safe" key while dispatch separates them, and the
+	// flow lifecycle is specified over the v4 tuple for the same reason.
+	applyScenario(spec, r)
 	return spec
 }

@@ -25,10 +25,27 @@ type TracePacket struct {
 	Dport   uint16
 	Flags   uint8 // TCP only
 	Seq     uint32
+	Ack     uint32 // TCP only
 	TTL     uint8
 	TOS     uint8
-	ID      uint16
+	ID      uint16 // IPv4 only
 	Payload string
+
+	// V6 makes this an IPv6 packet: Src6/Dst6 replace Src/Dst, TTL maps
+	// to the hop limit and TOS to the traffic class (ID has no v6
+	// equivalent and is ignored).
+	V6   bool
+	Src6 packet.IPv6Addr
+	Dst6 packet.IPv6Addr
+	// MSS, when nonzero, attaches a TCP MSS option.
+	MSS uint16
+	// Encap wraps the finished packet in an outer IPv4 tunnel header:
+	// "" (none), "gre", or "ipip". EncSrc/EncDst are the outer endpoints
+	// and GREKey the optional GRE key.
+	Encap  string
+	EncSrc packet.IPv4Addr
+	EncDst packet.IPv4Addr
+	GREKey uint32
 }
 
 // Trace is a deterministic packet workload. It satisfies the engine's
@@ -41,34 +58,67 @@ type Trace struct {
 // execution leg starts from identical bytes.
 func (t *Trace) Build(i int) *packet.Packet {
 	tp := t.Packets[i]
-	var p *packet.Packet
-	if tp.Proto == uint8(packet.IPProtocolUDP) {
-		p = packet.BuildUDP(tp.Src, tp.Dst, tp.Sport, tp.Dport, []byte(tp.Payload))
-	} else {
-		p = packet.BuildTCP(tp.Src, tp.Dst, tp.Sport, tp.Dport, packet.TCPOptions{
-			Flags:   tp.Flags,
-			Seq:     tp.Seq,
-			Payload: []byte(tp.Payload),
-		})
+	opt := packet.TCPOptions{
+		Flags:   tp.Flags,
+		Seq:     tp.Seq,
+		Ack:     tp.Ack,
+		MSS:     tp.MSS,
+		Payload: []byte(tp.Payload),
 	}
-	p.IP.TTL = tp.TTL
-	p.IP.TOS = tp.TOS
-	p.IP.ID = tp.ID
+	var p *packet.Packet
+	switch {
+	case tp.V6 && tp.Proto == uint8(packet.IPProtocolUDP):
+		p = packet.BuildUDP6(tp.Src6, tp.Dst6, tp.Sport, tp.Dport, []byte(tp.Payload))
+	case tp.V6:
+		p = packet.BuildTCP6(tp.Src6, tp.Dst6, tp.Sport, tp.Dport, opt)
+	case tp.Proto == uint8(packet.IPProtocolUDP):
+		p = packet.BuildUDP(tp.Src, tp.Dst, tp.Sport, tp.Dport, []byte(tp.Payload))
+	default:
+		p = packet.BuildTCP(tp.Src, tp.Dst, tp.Sport, tp.Dport, opt)
+	}
+	if tp.V6 {
+		p.IP6.HopLimit = tp.TTL
+		p.IP6.TrafficClass = tp.TOS
+	} else {
+		p.IP.TTL = tp.TTL
+		p.IP.TOS = tp.TOS
+		p.IP.ID = tp.ID
+	}
+	switch tp.Encap {
+	case "gre":
+		p.EncapGRE(tp.EncSrc, tp.EncDst, tp.GREKey)
+	case "ipip":
+		p.EncapIPIP(tp.EncSrc, tp.EncDst)
+	}
 	return p
 }
 
-// Tuples announces the five-tuples (Workload interface).
+// Tuples announces the flow keys (Workload interface). DispatchTuple
+// covers v4, v6 (folded), and encapsulated packets, and degenerates to
+// the plain five-tuple on v4 traces.
 func (t *Trace) Tuples() []packet.FiveTuple {
 	seen := map[packet.FiveTuple]bool{}
 	var out []packet.FiveTuple
 	for i := range t.Packets {
-		tup, ok := t.Build(i).Tuple()
+		tup, ok := t.Build(i).DispatchTuple()
 		if ok && !seen[tup] {
 			seen[tup] = true
 			out = append(out, tup)
 		}
 	}
 	return out
+}
+
+// HasV6 reports whether any trace packet is IPv6. The flow-affinity
+// certificate's field universe is the v4 ingress tuple, so the 8-worker
+// exactness legs only apply to traces without v6 traffic.
+func (t *Trace) HasV6() bool {
+	for i := range t.Packets {
+		if t.Packets[i].V6 {
+			return true
+		}
+	}
+	return false
 }
 
 // Generate streams the trace (Workload interface).
@@ -170,7 +220,9 @@ func GenTrace(seed uint64, n int) *Trace {
 // same bytes that failed.
 // ---------------------------------------------------------------------------
 
-// Format renders the trace in the corpus text format.
+// Format renders the trace in the corpus text format. The v6, MSS, and
+// encapsulation keys are emitted only when set, so v4-only traces keep
+// the exact line shape older corpus files use.
 func (t *Trace) Format() string {
 	var b strings.Builder
 	for _, tp := range t.Packets {
@@ -178,9 +230,26 @@ func (t *Trace) Format() string {
 		if tp.Proto == uint8(packet.IPProtocolUDP) {
 			proto = "udp"
 		}
-		fmt.Fprintf(&b, "proto=%s src=%s sport=%d dst=%s dport=%d flags=%d seq=%d ttl=%d tos=%d id=%d payload=%s\n",
-			proto, tp.Src, tp.Sport, tp.Dst, tp.Dport, tp.Flags, tp.Seq, tp.TTL, tp.TOS, tp.ID,
-			strconv.Quote(tp.Payload))
+		if tp.V6 {
+			fmt.Fprintf(&b, "proto=%s v6=1 src6=%s sport=%d dst6=%s dport=%d flags=%d seq=%d ttl=%d tos=%d id=%d",
+				proto, tp.Src6, tp.Sport, tp.Dst6, tp.Dport, tp.Flags, tp.Seq, tp.TTL, tp.TOS, tp.ID)
+		} else {
+			fmt.Fprintf(&b, "proto=%s src=%s sport=%d dst=%s dport=%d flags=%d seq=%d ttl=%d tos=%d id=%d",
+				proto, tp.Src, tp.Sport, tp.Dst, tp.Dport, tp.Flags, tp.Seq, tp.TTL, tp.TOS, tp.ID)
+		}
+		if tp.Ack != 0 {
+			fmt.Fprintf(&b, " ack=%d", tp.Ack)
+		}
+		if tp.MSS != 0 {
+			fmt.Fprintf(&b, " mss=%d", tp.MSS)
+		}
+		if tp.Encap != "" {
+			fmt.Fprintf(&b, " encap=%s esrc=%s edst=%s", tp.Encap, tp.EncSrc, tp.EncDst)
+			if tp.GREKey != 0 {
+				fmt.Fprintf(&b, " gkey=%d", tp.GREKey)
+			}
+		}
+		fmt.Fprintf(&b, " payload=%s\n", strconv.Quote(tp.Payload))
 	}
 	return b.String()
 }
@@ -226,6 +295,34 @@ func ParseTrace(text string) (*Trace, error) {
 				var n uint64
 				n, err = strconv.ParseUint(v, 10, 32)
 				tp.Seq = uint32(n)
+			case "ack":
+				var n uint64
+				n, err = strconv.ParseUint(v, 10, 32)
+				tp.Ack = uint32(n)
+			case "v6":
+				if v != "1" {
+					err = fmt.Errorf("v6 key wants value 1, got %q", v)
+				}
+				tp.V6 = true
+			case "src6":
+				tp.Src6, err = packet.ParseIPv6Addr(v)
+			case "dst6":
+				tp.Dst6, err = packet.ParseIPv6Addr(v)
+			case "mss":
+				tp.MSS, err = parseU16(v)
+			case "encap":
+				if v != "gre" && v != "ipip" {
+					err = fmt.Errorf("unknown encap %q", v)
+				}
+				tp.Encap = v
+			case "esrc":
+				tp.EncSrc, err = parseIP(v)
+			case "edst":
+				tp.EncDst, err = parseIP(v)
+			case "gkey":
+				var n uint64
+				n, err = strconv.ParseUint(v, 10, 32)
+				tp.GREKey = uint32(n)
 			case "ttl":
 				var n uint64
 				n, err = strconv.ParseUint(v, 10, 8)

@@ -509,7 +509,7 @@ func (e *Engine) Feed(wl Workload) error {
 		}
 		e.fedAny = true
 		e.lastT = tNs
-		flow, _ := pkt.Tuple()
+		flow, _ := pkt.DispatchTuple()
 		j := job{seq: e.seq, tNs: tNs, flow: flow, pkt: pkt}
 		e.seq++
 		w := e.workers[netsim.RSSShard(pkt, len(e.workers))]
@@ -548,7 +548,7 @@ func (e *Engine) Dispatch(tNs int64, pkt *packet.Packet) (int64, error) {
 	}
 	e.fedAny = true
 	e.lastT = tNs
-	flow, _ := pkt.Tuple()
+	flow, _ := pkt.DispatchTuple()
 	seq := e.seq
 	j := job{seq: seq, tNs: tNs, flow: flow, pkt: pkt}
 	e.seq++

@@ -40,10 +40,11 @@ func (a Action) String() string {
 	return fmt.Sprintf("action(%d)", uint8(a))
 }
 
-// MapKey is a comparable composite map key of up to 5 components (enough
-// for a five-tuple).
+// MapKey is a comparable composite map key of up to 8 components —
+// enough for an IPv6 seven-tuple (four 64-bit address halves, two ports,
+// next header) with one slot to spare.
 type MapKey struct {
-	K [5]uint64
+	K [8]uint64
 	N uint8
 }
 

@@ -15,7 +15,7 @@ import (
 // a slice of the difftest generator's output, and small fragments chosen
 // to reach the tokenizer's corners.
 func FuzzParse(f *testing.F) {
-	for _, spec := range middleboxes.All() {
+	for _, spec := range middleboxes.Extended() {
 		f.Add(spec.Source)
 	}
 	f.Add(middleboxes.MiniLBSource)
@@ -34,6 +34,12 @@ func FuzzParse(f *testing.F) {
 		"middlebox m { proc process(pkt p) { let r = t.find(p.l4.sport); if (r.ok) { send(p); } } }",
 		"middlebox m { proc process(pkt p) { while (1 < 2) { send(p); } } }",
 		"middlebox m { proc process(pkt p) { p.ip.tos = 0xFFFFFFFFFFFFFFFFFF; send(p); } }",
+		"middlebox m { proc process(pkt p) { if (p.ip6.present) { u64 h = p.ip6.saddr_hi; p.ip6.hoplimit = 1; } send(p); } }",
+		"middlebox m { proc process(pkt p) { p.tun.mode = TUN_GRE; p.tun.src = ip(10, 0, 0, 1); p.tun.key = 7; send(p); } }",
+		"middlebox m { proc process(pkt p) { if (p.tcp.mss > 1400) { p.tcp.mss = 1400; } send(p); } }",
+		"middlebox m { map<u64,u64,u64,u64,u16,u16,u8 -> u8> w(max = 16); proc process(pkt p) { if (w.contains(p.ip6.saddr_hi, p.ip6.saddr_lo, p.ip6.daddr_hi, p.ip6.daddr_lo, p.l4.sport, p.l4.dport, p.ip6.nexthdr)) { send(p); } else { drop(p); } } }",
+		"middlebox m { map<u8,u8,u8,u8,u8,u8,u8,u8,u8 -> u8> w(max = 1); proc process(pkt p) { send(p); } }",
+		"middlebox m { proc process(pkt p) { p.ip6.saddr_hi = 0; send(p); } }",
 	} {
 		f.Add(frag)
 	}

@@ -31,10 +31,18 @@ var predefined = map[string]uint64{
 	"TCP_PSH":   uint64(packet.TCPFlagPSH),
 	"TCP_ACK":   uint64(packet.TCPFlagACK),
 	"TCP_URG":   uint64(packet.TCPFlagURG),
-	"PROTO_TCP": uint64(packet.IPProtocolTCP),
-	"PROTO_UDP": uint64(packet.IPProtocolUDP),
-	"true":      1,
-	"false":     0,
+	"PROTO_TCP":  uint64(packet.IPProtocolTCP),
+	"PROTO_UDP":  uint64(packet.IPProtocolUDP),
+	"PROTO_GRE":  uint64(packet.IPProtocolGRE),
+	"PROTO_IPIP": uint64(packet.IPProtocolIPIP),
+	"PROTO_IPV6": uint64(packet.IPProtocolIPv6),
+	"ETH_IPV4":   uint64(packet.EtherTypeIPv4),
+	"ETH_IPV6":   uint64(packet.EtherTypeIPv6),
+	"TUN_NONE":   packet.TunModeNone,
+	"TUN_GRE":    packet.TunModeGRE,
+	"TUN_IPIP":   packet.TunModeIPIP,
+	"true":       1,
+	"false":      0,
 }
 
 type bindKind int
@@ -134,8 +142,8 @@ func (lo *lowerer) decl(d Decl) error {
 	switch d := d.(type) {
 	case *MapDecl:
 		g := &ir.Global{Name: d.Name, Kind: ir.KindMap, MaxEntries: d.Max}
-		if len(d.KeyTypes) > 5 {
-			return errf(d.Line, 1, "map %q: at most 5 key components", d.Name)
+		if len(d.KeyTypes) > 8 {
+			return errf(d.Line, 1, "map %q: at most 8 key components", d.Name)
 		}
 		for _, tn := range d.KeyTypes {
 			g.KeyTypes = append(g.KeyTypes, dslTypes[tn])
@@ -891,6 +899,8 @@ func lastSegment(path string) string {
 
 func bitsToType(bits int) ir.Type {
 	switch bits {
+	case 1:
+		return ir.Bool
 	case 8:
 		return ir.U8
 	case 16:

@@ -10,7 +10,8 @@ import (
 )
 
 func TestAllCompile(t *testing.T) {
-	names := []string{"minilb", "mazunat", "l4lb", "firewall", "proxy", "trojandetector"}
+	names := []string{"minilb", "mazunat", "l4lb", "firewall", "proxy", "trojandetector",
+		"tunlb", "synproxy", "mssclamp", "firewall6"}
 	for _, name := range names {
 		p, err := Compile(name)
 		if err != nil {
@@ -544,6 +545,459 @@ func TestDDoSDetector(t *testing.T) {
 	}
 }
 
+func TestExtendedPartition(t *testing.T) {
+	for _, s := range Extended() {
+		p, err := Compile(s.Name)
+		if err != nil {
+			t.Fatalf("%s: %v", s.Name, err)
+		}
+		res, err := partition.Partition(p, partition.DefaultConstraints())
+		if err != nil {
+			t.Fatalf("%s: %v", s.Name, err)
+		}
+		if res.Report.NumPre == 0 {
+			t.Errorf("%s: nothing offloaded to pre-processing", s.Name)
+		}
+		t.Logf("%s: pre=%d srv=%d post=%d offload=%.0f%% affinity=%s",
+			s.Name, res.Report.NumPre, res.Report.NumSrv, res.Report.NumPost,
+			100*res.Report.OffloadFraction(), res.Affinity.Verdict())
+	}
+}
+
+func TestTunnelLB(t *testing.T) {
+	p, err := Compile("tunlb")
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := ir.NewState(p)
+	ConfigureState("tunlb", st)
+	self := packet.MakeIPv4Addr(10, 0, 0, 1)
+
+	exec := func(pkt *packet.Packet) {
+		t.Helper()
+		r, err := p.Exec(&ir.Env{State: st, Pkt: pkt})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r.Action != ir.ActionSent {
+			t.Fatalf("action = %v, want sent", r.Action)
+		}
+	}
+
+	// A v4 TCP flow gets GRE-encapsulated toward some backend.
+	syn := packet.BuildTCP(packet.MakeIPv4Addr(172, 16, 0, 9), packet.MakeIPv4Addr(10, 0, 2, 2), 5000, 80, packet.TCPOptions{Flags: packet.TCPFlagSYN})
+	exec(syn)
+	if !syn.HasOuter || !syn.HasGRE {
+		t.Fatal("v4 flow not GRE-encapsulated")
+	}
+	if syn.Outer.SrcIP != self {
+		t.Errorf("outer src = %v, want %v", syn.Outer.SrcIP, self)
+	}
+	chosen := syn.Outer.DstIP
+	found := false
+	for _, b := range Backends {
+		if uint64(chosen) == b {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("outer dst %v is not a backend", chosen)
+	}
+	if syn.GRE.Key != 7 || !syn.GRE.HasKey {
+		t.Errorf("GRE key = %d (has=%v), want 7", syn.GRE.Key, syn.GRE.HasKey)
+	}
+	// The inner header must be untouched — that is the point of tunneling.
+	if syn.IP.DstIP != packet.MakeIPv4Addr(10, 0, 2, 2) {
+		t.Errorf("inner daddr rewritten to %v", syn.IP.DstIP)
+	}
+
+	// Later packets of the flow stick to the same backend.
+	for i := 0; i < 5; i++ {
+		data := packet.BuildTCP(packet.MakeIPv4Addr(172, 16, 0, 9), packet.MakeIPv4Addr(10, 0, 2, 2), 5000, 80, packet.TCPOptions{Flags: packet.TCPFlagACK})
+		exec(data)
+		if data.Outer.DstIP != chosen {
+			t.Fatalf("flow moved backend: %v then %v", chosen, data.Outer.DstIP)
+		}
+	}
+
+	// A v6 flow takes the conns6 path and is encapsulated the same way
+	// (outer is always IPv4).
+	src6, _ := packet.ParseIPv6Addr("2001:db8::9")
+	dst6, _ := packet.ParseIPv6Addr("2001:db8::80")
+	p6 := packet.BuildTCP6(src6, dst6, 5000, 80, packet.TCPOptions{Flags: packet.TCPFlagSYN})
+	exec(p6)
+	if !p6.HasOuter || !p6.HasGRE {
+		t.Fatal("v6 flow not GRE-encapsulated")
+	}
+	chosen6 := p6.Outer.DstIP
+	for i := 0; i < 3; i++ {
+		d6 := packet.BuildTCP6(src6, dst6, 5000, 80, packet.TCPOptions{Flags: packet.TCPFlagACK})
+		exec(d6)
+		if d6.Outer.DstIP != chosen6 {
+			t.Fatalf("v6 flow moved backend")
+		}
+	}
+	if len(st.Maps["conns6"]) != 1 {
+		t.Errorf("conns6 entries = %d, want 1", len(st.Maps["conns6"]))
+	}
+
+	// Non-TCP/UDP traffic passes through unencapsulated.
+	icmp := packet.BuildTCP(1, 2, 0, 0, packet.TCPOptions{})
+	icmp.IP.Protocol = 1
+	icmp.HasTCP = false
+	exec(icmp)
+	if icmp.HasOuter {
+		t.Error("non-TCP/UDP traffic was encapsulated")
+	}
+}
+
+// synCookie replicates the proxy's ALU-only cookie in Go.
+func synCookie(src, dst packet.IPv4Addr, sport, dport uint16, secret uint32) uint32 {
+	ports := uint32(sport)<<16 | uint32(dport)
+	mix := uint32(src) ^ (uint32(dst) << 7) ^ (uint32(dst) >> 3)
+	return (mix + ports) ^ secret
+}
+
+func TestSynProxyHandshake(t *testing.T) {
+	p, err := Compile("synproxy")
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := ir.NewState(p)
+	ConfigureState("synproxy", st)
+	secret := uint32(st.Globals["syn_secret"])
+	client := packet.MakeIPv4Addr(172, 16, 0, 9)
+	server := packet.MakeIPv4Addr(10, 0, 2, 2)
+
+	exec := func(pkt *packet.Packet) ir.Action {
+		t.Helper()
+		r, err := p.Exec(&ir.Env{State: st, Pkt: pkt})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return r.Action
+	}
+
+	// (1) First SYN: reflected as a SYN-ACK back at the client, stamped
+	// with the cookie; no state is touched.
+	syn := packet.BuildTCP(client, server, 5000, 80, packet.TCPOptions{Flags: packet.TCPFlagSYN, Seq: 1000})
+	if a := exec(syn); a != ir.ActionSent {
+		t.Fatalf("SYN action = %v", a)
+	}
+	if syn.IP.SrcIP != server || syn.IP.DstIP != client {
+		t.Fatalf("SYN not reflected: %v -> %v", syn.IP.SrcIP, syn.IP.DstIP)
+	}
+	if syn.TCP.SrcPort != 80 || syn.TCP.DstPort != 5000 {
+		t.Fatalf("ports not swapped: %d -> %d", syn.TCP.SrcPort, syn.TCP.DstPort)
+	}
+	wantCookie := synCookie(client, server, 5000, 80, secret)
+	if syn.TCP.Seq != wantCookie {
+		t.Fatalf("reflected seq = %#x, want cookie %#x", syn.TCP.Seq, wantCookie)
+	}
+	if syn.TCP.Ack != 1001 {
+		t.Errorf("reflected ack = %d, want 1001", syn.TCP.Ack)
+	}
+	if syn.TCP.Flags != packet.TCPFlagSYN|packet.TCPFlagACK {
+		t.Errorf("reflected flags = %#x", syn.TCP.Flags)
+	}
+	if len(st.Maps["proven"]) != 0 {
+		t.Error("SYN touched the proven table")
+	}
+
+	// (2) ACK echoing the cookie: flow becomes proven.
+	ack := packet.BuildTCP(client, server, 5000, 80, packet.TCPOptions{Flags: packet.TCPFlagACK, Ack: wantCookie + 1})
+	if a := exec(ack); a != ir.ActionSent {
+		t.Fatalf("valid ACK action = %v", a)
+	}
+	if len(st.Maps["proven"]) != 1 {
+		t.Fatalf("proven entries = %d, want 1", len(st.Maps["proven"]))
+	}
+	if st.Globals["validated_total"] != 1 {
+		t.Errorf("validated_total = %d, want 1", st.Globals["validated_total"])
+	}
+
+	// (3) Data packets of the proven flow pass.
+	data := packet.BuildTCP(client, server, 5000, 80, packet.TCPOptions{Flags: packet.TCPFlagACK, Payload: []byte("GET /")})
+	if a := exec(data); a != ir.ActionSent {
+		t.Errorf("proven data action = %v", a)
+	}
+	if st.Globals["validated_total"] != 1 {
+		t.Errorf("validated_total advanced on proven flow")
+	}
+
+	// (4) An ACK with a bogus cookie from an unproven flow drops.
+	spoof := packet.BuildTCP(client, server, 5001, 80, packet.TCPOptions{Flags: packet.TCPFlagACK, Ack: 42})
+	if a := exec(spoof); a != ir.ActionDropped {
+		t.Errorf("spoofed ACK action = %v", a)
+	}
+
+	// (5) Non-TCP traffic passes untouched.
+	udp := packet.BuildUDP(client, server, 53, 53, nil)
+	if a := exec(udp); a != ir.ActionSent {
+		t.Errorf("UDP action = %v", a)
+	}
+}
+
+// TestSynProxyRule7 is the partition-shape property the scrubber exists
+// to stress: validated_total is written on the server leg, so partition
+// rule 7 must keep every read of it off the switch. Generalized: no
+// switch-assigned statement may load a scalar global the program writes
+// anywhere on its data path.
+func TestSynProxyRule7(t *testing.T) {
+	p, err := Compile("synproxy")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := partition.Partition(p, partition.DefaultConstraints())
+	if err != nil {
+		t.Fatal(err)
+	}
+	written := map[string]bool{}
+	for _, s := range p.Fn.Stmts() {
+		if s.Kind == ir.GlobalStore {
+			written[s.Obj] = true
+		}
+	}
+	if !written["validated_total"] {
+		t.Fatal("synproxy no longer writes validated_total; the rule-7 property is vacuous")
+	}
+	for _, s := range p.Fn.Stmts() {
+		if s.Kind != ir.GlobalLoad || !written[s.Obj] {
+			continue
+		}
+		if res.Assign[s.ID] != partition.NonOff {
+			t.Errorf("stmt %d loads server-written global %q on partition %v (rule 7 violation)",
+				s.ID, s.Obj, res.Assign[s.ID])
+		}
+	}
+	// The read-only secret, by contrast, is allowed on the switch; the
+	// SYN-reflection leg depends on it, so requiring it on the server
+	// would drag the whole scrubber off the fast path.
+	if written["syn_secret"] {
+		t.Error("syn_secret must stay read-only on the data path")
+	}
+}
+
+func TestMSSClamp(t *testing.T) {
+	p, err := Compile("mssclamp")
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := ir.NewState(p)
+
+	exec := func(pkt *packet.Packet) {
+		t.Helper()
+		r, err := p.Exec(&ir.Env{State: st, Pkt: pkt})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r.Action != ir.ActionSent {
+			t.Fatalf("action = %v, want sent", r.Action)
+		}
+	}
+
+	// Oversized MSS is clamped.
+	big := packet.BuildTCP(1, 2, 3, 4, packet.TCPOptions{Flags: packet.TCPFlagSYN, MSS: 1460})
+	exec(big)
+	if big.TCP.MSS != 1400 {
+		t.Errorf("MSS = %d, want clamped 1400", big.TCP.MSS)
+	}
+
+	// An already-small MSS is untouched.
+	small := packet.BuildTCP(1, 2, 3, 4, packet.TCPOptions{Flags: packet.TCPFlagSYN, MSS: 536})
+	exec(small)
+	if small.TCP.MSS != 536 {
+		t.Errorf("MSS = %d, want untouched 536", small.TCP.MSS)
+	}
+
+	// A SYN without the option stays without it (the accessor drops the
+	// write; mss reads 0 so the clamp branch is never taken anyway).
+	bare := packet.BuildTCP(1, 2, 3, 4, packet.TCPOptions{Flags: packet.TCPFlagSYN})
+	exec(bare)
+	if bare.TCP.HasMSS {
+		t.Error("MSS option conjured onto a bare SYN")
+	}
+
+	// IPv6 SYNs are clamped through the ip6.nexthdr guard.
+	src6, _ := packet.ParseIPv6Addr("2001:db8::9")
+	dst6, _ := packet.ParseIPv6Addr("2001:db8::80")
+	v6 := packet.BuildTCP6(src6, dst6, 3, 4, packet.TCPOptions{Flags: packet.TCPFlagSYN, MSS: 9000})
+	exec(v6)
+	if v6.TCP.MSS != 1400 {
+		t.Errorf("v6 MSS = %d, want clamped 1400", v6.TCP.MSS)
+	}
+
+	// Non-TCP passes.
+	udp := packet.BuildUDP(1, 2, 3, 4, nil)
+	exec(udp)
+}
+
+func TestMSSClampFullyOffloaded(t *testing.T) {
+	p, err := Compile("mssclamp")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := partition.Partition(p, partition.DefaultConstraints())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Zero state, header-only rewrites: nothing may remain on the server.
+	if res.Report.NumSrv != 0 {
+		t.Errorf("mssclamp: %d statements on the server, want 0", res.Report.NumSrv)
+	}
+}
+
+func TestFirewall6(t *testing.T) {
+	p, err := Compile("firewall6")
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := ir.NewState(p)
+	src6, _ := packet.ParseIPv6Addr("2001:db8::9")
+	dst6, _ := packet.ParseIPv6Addr("2001:db8:1::80")
+	allowed := packet.SixTuple{SrcIP: src6, DstIP: dst6, SrcPort: 1234, DstPort: 53, Proto: packet.IPProtocolUDP}
+	AllowFlow6(st, allowed)
+
+	ok6 := packet.BuildUDP6(src6, dst6, 1234, 53, nil)
+	r, err := p.Exec(&ir.Env{State: st, Pkt: ok6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Action != ir.ActionSent {
+		t.Errorf("whitelisted v6 flow action = %v", r.Action)
+	}
+
+	// Different port: dropped.
+	bad6 := packet.BuildUDP6(src6, dst6, 1234, 54, nil)
+	r, _ = p.Exec(&ir.Env{State: st, Pkt: bad6})
+	if r.Action != ir.ActionDropped {
+		t.Errorf("non-whitelisted v6 flow action = %v", r.Action)
+	}
+
+	// v4 traffic passes through untouched (dual-stack chain position).
+	v4 := packet.BuildUDP(1, 2, 3, 4, nil)
+	r, _ = p.Exec(&ir.Env{State: st, Pkt: v4})
+	if r.Action != ir.ActionSent {
+		t.Errorf("v4 passthrough action = %v", r.Action)
+	}
+}
+
+// TestNewMiddleboxesPartitionedEquivalence drives mixed v4/v6 traffic
+// through the reference interpreter and the partitioned pipeline for the
+// scenario-diversity middleboxes.
+func TestNewMiddleboxesPartitionedEquivalence(t *testing.T) {
+	for _, s := range []Spec{
+		{"tunlb", TunnelLBSource},
+		{"synproxy", SynProxySource},
+		{"mssclamp", MSSClampSource},
+		{"firewall6", FirewallV6Source},
+	} {
+		t.Run(s.Name, func(t *testing.T) {
+			p, err := Compile(s.Name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			res, err := partition.Partition(p, partition.DefaultConstraints())
+			if err != nil {
+				t.Fatal(err)
+			}
+			stRef := ir.NewState(p)
+			stPart := ir.NewState(p)
+			ConfigureState(s.Name, stRef)
+			ConfigureState(s.Name, stPart)
+
+			rng := rand.New(rand.NewSource(77))
+			if s.Name == "firewall6" {
+				for i := 0; i < 32; i++ {
+					tup := genTuple6(rng)
+					AllowFlow6(stRef, tup)
+					AllowFlow6(stPart, tup)
+				}
+				rng = rand.New(rand.NewSource(77))
+			}
+			secret := uint32(stRef.Globals["syn_secret"])
+
+			fast := 0
+			for i := 0; i < 3000; i++ {
+				var pktRef *packet.Packet
+				if rng.Intn(2) == 0 {
+					tup := genTuple(rng, i)
+					opt := packet.TCPOptions{Flags: packet.TCPFlagACK}
+					switch rng.Intn(5) {
+					case 0:
+						opt.Flags = packet.TCPFlagSYN
+						opt.MSS = uint16(500 + rng.Intn(9000))
+					case 1:
+						// A well-formed cookie echo so synproxy's insert
+						// leg is exercised.
+						opt.Ack = synCookie(tup.SrcIP, tup.DstIP, tup.SrcPort, tup.DstPort, secret) + 1
+					}
+					if tup.Proto == packet.IPProtocolUDP {
+						pktRef = packet.BuildUDP(tup.SrcIP, tup.DstIP, tup.SrcPort, tup.DstPort, nil)
+					} else {
+						pktRef = packet.BuildTCP(tup.SrcIP, tup.DstIP, tup.SrcPort, tup.DstPort, opt)
+					}
+				} else {
+					tup := genTuple6(rng)
+					opt := packet.TCPOptions{Flags: packet.TCPFlagACK}
+					if rng.Intn(5) == 0 {
+						opt.Flags = packet.TCPFlagSYN
+						opt.MSS = uint16(500 + rng.Intn(9000))
+					}
+					if tup.Proto == packet.IPProtocolUDP {
+						pktRef = packet.BuildUDP6(tup.SrcIP, tup.DstIP, tup.SrcPort, tup.DstPort, nil)
+					} else {
+						pktRef = packet.BuildTCP6(tup.SrcIP, tup.DstIP, tup.SrcPort, tup.DstPort, opt)
+					}
+				}
+				pktPart := pktRef.Clone()
+
+				rRef, err := p.Exec(&ir.Env{State: stRef, Pkt: pktRef})
+				if err != nil {
+					t.Fatalf("pkt %d: reference: %v", i, err)
+				}
+				tr, err := res.ExecPipeline(stPart, pktPart)
+				if err != nil {
+					t.Fatalf("pkt %d: pipeline: %v", i, err)
+				}
+				if rRef.Action != tr.Action {
+					t.Fatalf("pkt %d: action ref=%v part=%v", i, rRef.Action, tr.Action)
+				}
+				for _, f := range []string{"ip.saddr", "ip.daddr", "l4.sport", "l4.dport",
+					"ip6.saddr_lo", "ip6.daddr_lo", "tun.mode", "tun.dst", "tun.key", "tcp.mss"} {
+					a, _ := pktRef.GetField(f)
+					b, _ := pktPart.GetField(f)
+					if a != b {
+						t.Fatalf("pkt %d: field %s ref=%d part=%d", i, f, a, b)
+					}
+				}
+				if tr.FastPath {
+					fast++
+				}
+			}
+			if !stRef.Equal(stPart) {
+				t.Fatal("final state mismatch")
+			}
+			t.Logf("%s: %.1f%% fast path", s.Name, 100*float64(fast)/3000)
+		})
+	}
+}
+
+func genTuple6(rng *rand.Rand) packet.SixTuple {
+	proto := packet.IPProtocolTCP
+	if rng.Intn(5) == 0 {
+		proto = packet.IPProtocolUDP
+	}
+	src := packet.MakeIPv6Addr(0x20010db8<<32, uint64(1+rng.Intn(30)))
+	dst := packet.MakeIPv6Addr(0x20010db8<<32|1, uint64(1+rng.Intn(8)))
+	ports := []uint16{80, 22, 443, 6667, 8080, 53}
+	return packet.SixTuple{
+		SrcIP: src, DstIP: dst,
+		SrcPort: uint16(1024 + rng.Intn(64)), DstPort: ports[rng.Intn(len(ports))],
+		Proto: proto,
+	}
+}
+
 func TestDDoSDetectorPartitionAndEquivalence(t *testing.T) {
 	p, err := Compile("ddosdetector")
 	if err != nil {
@@ -600,4 +1054,130 @@ func TestDDoSDetectorPartitionAndEquivalence(t *testing.T) {
 		t.Errorf("fast path only %d/3000", fast)
 	}
 	t.Logf("ddosdetector: %.1f%% fast path, blocked=%d sources", 100*float64(fast)/3000, len(stRef.Maps["blocklist"]))
+}
+
+// TestStateSeedingHelpers checks that every helper that installs state by
+// hand (AllowFlow, AllowFlow6, ProveFlow, RedirectPort) uses the same key
+// layout as the middlebox source it targets: seed state through the
+// helper, run the real program, and require the seeded entry to match.
+func TestStateSeedingHelpers(t *testing.T) {
+	exec := func(t *testing.T, name string, st *ir.State, pkt *packet.Packet) ir.Action {
+		t.Helper()
+		p, err := Compile(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r, err := p.Exec(&ir.Env{State: st, Pkt: pkt})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return r.Action
+	}
+	newState := func(t *testing.T, name string) *ir.State {
+		t.Helper()
+		p, err := Compile(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return ir.NewState(p)
+	}
+
+	t.Run("AllowFlow", func(t *testing.T) {
+		// External source → wl_in; internal (10.x) source → wl_out.
+		ext := packet.FiveTuple{SrcIP: packet.MakeIPv4Addr(50, 0, 0, 1), DstIP: packet.MakeIPv4Addr(10, 0, 0, 2),
+			SrcPort: 9999, DstPort: 80, Proto: packet.IPProtocolTCP}
+		intl := ext.Reverse()
+		st := newState(t, "firewall")
+		AllowFlow(st, ext)
+		AllowFlow(st, intl)
+		if len(st.Maps["wl_in"]) != 1 || len(st.Maps["wl_out"]) != 1 {
+			t.Fatalf("wl_in=%d wl_out=%d entries", len(st.Maps["wl_in"]), len(st.Maps["wl_out"]))
+		}
+		pkt := packet.BuildTCP(ext.SrcIP, ext.DstIP, ext.SrcPort, ext.DstPort, packet.TCPOptions{})
+		if got := exec(t, "firewall", st, pkt); got != ir.ActionSent {
+			t.Errorf("allowed inbound flow got %v", got)
+		}
+	})
+
+	t.Run("AllowFlow6", func(t *testing.T) {
+		tup := packet.SixTuple{
+			SrcIP: packet.MakeIPv6Addr(0x20010DB8<<32, 1), DstIP: packet.MakeIPv6Addr(0x20010DB8<<32, 2),
+			SrcPort: 1234, DstPort: 80, Proto: packet.IPProtocolTCP,
+		}
+		st := newState(t, "firewall6")
+		AllowFlow6(st, tup)
+		allowed := packet.BuildTCP6(tup.SrcIP, tup.DstIP, tup.SrcPort, tup.DstPort, packet.TCPOptions{})
+		if got := exec(t, "firewall6", st, allowed); got != ir.ActionSent {
+			t.Errorf("whitelisted v6 flow got %v", got)
+		}
+		other := packet.BuildTCP6(tup.SrcIP, tup.DstIP, tup.SrcPort+1, tup.DstPort, packet.TCPOptions{})
+		if got := exec(t, "firewall6", st, other); got != ir.ActionDropped {
+			t.Errorf("non-whitelisted v6 flow got %v", got)
+		}
+	})
+
+	t.Run("ProveFlow", func(t *testing.T) {
+		tup := packet.FiveTuple{SrcIP: packet.MakeIPv4Addr(50, 0, 0, 1), DstIP: packet.MakeIPv4Addr(10, 0, 0, 2),
+			SrcPort: 1234, DstPort: 80, Proto: packet.IPProtocolTCP}
+		data := packet.BuildTCP(tup.SrcIP, tup.DstIP, tup.SrcPort, tup.DstPort,
+			packet.TCPOptions{Flags: packet.TCPFlagPSH, Payload: []byte("data")})
+		st := newState(t, "synproxy")
+		ConfigureState("synproxy", st)
+		if got := exec(t, "synproxy", st, data.Clone()); got != ir.ActionDropped {
+			t.Fatalf("unproven data packet got %v, want drop", got)
+		}
+		ProveFlow(st, tup)
+		if got := exec(t, "synproxy", st, data.Clone()); got != ir.ActionSent {
+			t.Errorf("proven data packet got %v, want send", got)
+		}
+	})
+
+	t.Run("RedirectPort", func(t *testing.T) {
+		st := newState(t, "proxy")
+		RedirectPort(st, 80)
+		RedirectPort(st, 8080)
+		if len(st.Maps["redirect_ports"]) != 2 {
+			t.Fatalf("redirect_ports has %d entries", len(st.Maps["redirect_ports"]))
+		}
+	})
+}
+
+// TestConfigureShard checks the per-shard partitioning of the NAT's port
+// allocator: disjoint starting offsets per shard, and no partitioning for
+// single-shard runs or middleboxes without scalar allocators.
+func TestConfigureShard(t *testing.T) {
+	seen := map[uint64]bool{}
+	for shard := 0; shard < 4; shard++ {
+		st := newStateFor(t, "mazunat")
+		ConfigureShard("mazunat", shard, 4, st)
+		start := st.Globals["next_port"]
+		if seen[start] {
+			t.Fatalf("shard %d reuses allocator start %d", shard, start)
+		}
+		seen[start] = true
+	}
+	single := newStateFor(t, "mazunat")
+	ConfigureShard("mazunat", 0, 1, single)
+	if single.Globals["next_port"] != 0 {
+		t.Error("single-shard run repartitioned the allocator")
+	}
+	oob := newStateFor(t, "mazunat")
+	ConfigureShard("mazunat", 9, 4, oob)
+	if oob.Globals["next_port"] != 0 {
+		t.Error("out-of-range shard index repartitioned the allocator")
+	}
+	lb := newStateFor(t, "l4lb")
+	ConfigureShard("l4lb", 1, 4, lb)
+	if len(lb.Vecs["backends"]) == 0 {
+		t.Error("ConfigureShard skipped ConfigureState")
+	}
+}
+
+func newStateFor(t *testing.T, name string) *ir.State {
+	t.Helper()
+	p, err := Compile(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ir.NewState(p)
 }

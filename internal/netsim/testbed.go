@@ -650,7 +650,7 @@ func (tb *Testbed) SwitchStats() (switchsim.Stats, bool) {
 // rssHash steers a packet to a server core, keeping both directions of a
 // connection together (symmetric hash), like NIC RSS.
 func rssHash(pkt *packet.Packet) uint64 {
-	if tup, ok := pkt.Tuple(); ok {
+	if tup, ok := pkt.DispatchTuple(); ok {
 		return tup.SymmetricHash()
 	}
 	return uint64(pkt.IP.SrcIP) * 2654435761

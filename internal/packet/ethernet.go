@@ -14,6 +14,7 @@ type EtherType uint16
 // EtherTypes used by the simulator.
 const (
 	EtherTypeIPv4 EtherType = 0x0800
+	EtherTypeIPv6 EtherType = 0x86DD
 	// EtherTypeGallium marks a frame that carries a synthesized Gallium
 	// header between the Ethernet and IP headers. 0x88B5 is the IEEE
 	// "local experimental" EtherType.
@@ -67,6 +68,8 @@ func (e *Ethernet) NextLayerType() LayerType {
 	switch e.EtherType {
 	case EtherTypeIPv4:
 		return LayerTypeIPv4
+	case EtherTypeIPv6:
+		return LayerTypeIPv6
 	case EtherTypeGallium:
 		return LayerTypeGallium
 	}

@@ -14,13 +14,14 @@ const (
 	EndpointTCPPort
 	EndpointUDPPort
 	EndpointMAC
+	EndpointIPv6
 )
 
 // Endpoint is a hashable, comparable representation of one side of a flow
 // (an address at some layer), usable as a map key.
 type Endpoint struct {
 	typ EndpointType
-	raw [8]byte
+	raw [16]byte
 	n   int
 }
 
@@ -30,6 +31,15 @@ func NewIPv4Endpoint(a IPv4Addr) Endpoint {
 	e.typ = EndpointIPv4
 	binary.BigEndian.PutUint32(e.raw[:4], uint32(a))
 	e.n = 4
+	return e
+}
+
+// NewIPv6Endpoint builds an endpoint from an IPv6 address.
+func NewIPv6Endpoint(a IPv6Addr) Endpoint {
+	var e Endpoint
+	e.typ = EndpointIPv6
+	copy(e.raw[:], a[:])
+	e.n = 16
 	return e
 }
 
@@ -80,6 +90,8 @@ func (e Endpoint) String() string {
 	switch e.typ {
 	case EndpointIPv4:
 		return IPv4Addr(binary.BigEndian.Uint32(e.raw[:4])).String()
+	case EndpointIPv6:
+		return IPv6Addr(e.raw).String()
 	case EndpointTCPPort, EndpointUDPPort:
 		return fmt.Sprintf("%d", binary.BigEndian.Uint16(e.raw[:2]))
 	}
@@ -173,6 +185,71 @@ func (t FiveTuple) String() string {
 		proto = "udp"
 	}
 	return fmt.Sprintf("%s %s:%d->%s:%d", proto, t.SrcIP, t.SrcPort, t.DstIP, t.DstPort)
+}
+
+// SixTuple identifies an IPv6 transport connection: the five-tuple plus
+// the flow label. It is comparable and usable as a map key alongside
+// FiveTuple wherever state tables are keyed per address family.
+type SixTuple struct {
+	SrcIP, DstIP     IPv6Addr
+	SrcPort, DstPort uint16
+	Proto            IPProtocol
+	FlowLabel        uint32 // 20 bits; zero on flows that do not label
+}
+
+// Reverse returns the six-tuple of the opposite direction. The flow label
+// is direction-local, so it is carried over unchanged.
+func (t SixTuple) Reverse() SixTuple {
+	return SixTuple{SrcIP: t.DstIP, DstIP: t.SrcIP, SrcPort: t.DstPort, DstPort: t.SrcPort,
+		Proto: t.Proto, FlowLabel: t.FlowLabel}
+}
+
+// Hash returns a non-symmetric hash of the tuple, mixing in the flow
+// label per RFC 6438-style ECMP hashing.
+func (t SixTuple) Hash() uint64 {
+	var buf [41]byte
+	copy(buf[0:16], t.SrcIP[:])
+	copy(buf[16:32], t.DstIP[:])
+	binary.BigEndian.PutUint16(buf[32:34], t.SrcPort)
+	binary.BigEndian.PutUint16(buf[34:36], t.DstPort)
+	buf[36] = byte(t.Proto)
+	binary.BigEndian.PutUint32(buf[37:41], t.FlowLabel)
+	return fnv1a(buf[:], 0)
+}
+
+// SymmetricHash returns a direction-independent hash of the tuple. The
+// flow label is excluded — the two directions of a connection carry
+// independent labels, and RSS steering must still keep them together.
+func (t SixTuple) SymmetricHash() uint64 {
+	a, b := t.withoutLabel().Hash(), t.Reverse().withoutLabel().Hash()
+	if a > b {
+		a, b = b, a
+	}
+	var buf [16]byte
+	binary.BigEndian.PutUint64(buf[:8], a)
+	binary.BigEndian.PutUint64(buf[8:], b)
+	return fnv1a(buf[:], 0)
+}
+
+func (t SixTuple) withoutLabel() SixTuple {
+	t.FlowLabel = 0
+	return t
+}
+
+// String formats the tuple.
+func (t SixTuple) String() string {
+	proto := "tcp"
+	if t.Proto == IPProtocolUDP {
+		proto = "udp"
+	}
+	return fmt.Sprintf("%s [%s]:%d->[%s]:%d", proto, t.SrcIP, t.SrcPort, t.DstIP, t.DstPort)
+}
+
+// fold32 compresses the 128-bit address into an IPv4Addr-shaped 32-bit
+// value for code paths keyed on FiveTuple. Folding preserves equality
+// (same address, same fold) but not injectivity.
+func (a IPv6Addr) fold32() IPv4Addr {
+	return IPv4Addr(fnv1a(a[:], 0x6F6C6436))
 }
 
 // fnv1a computes a 64-bit FNV-1a hash of data, seeded.

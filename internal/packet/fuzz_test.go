@@ -43,6 +43,28 @@ func FuzzPacketDecode(f *testing.F) {
 	f.Add([]byte{})
 	f.Add(bytes.Repeat([]byte{0xFF}, 64))
 	f.Add(tcp.Serialize()[:20])
+	// IPv6 and tunnel-encapsulation seeds, so the fuzzer starts inside
+	// the v6 fixed-header, MSS-option, and GRE/IPIP decode paths instead
+	// of having to mutate its way there.
+	tcp6 := packet.BuildTCP6(
+		packet.MakeIPv6Addr(0x20010DB8<<32, 1), packet.MakeIPv6Addr(0x20010DB8<<32, 2),
+		443, 8080, packet.TCPOptions{Flags: packet.TCPFlagSYN, Seq: 9, MSS: 1460, Payload: []byte("hi")})
+	f.Add(tcp6.Serialize())
+	udp6 := packet.BuildUDP6(
+		packet.MakeIPv6Addr(0xFE80<<48, 7), packet.MakeIPv6Addr(0x20010DB8<<32, 3),
+		53, 53, []byte("query"))
+	f.Add(udp6.Serialize())
+	gre := tcp.Clone()
+	gre.EncapGRE(packet.MakeIPv4Addr(172, 16, 0, 1), packet.MakeIPv4Addr(172, 16, 0, 2), 77)
+	f.Add(gre.Serialize())
+	greNoKey := udp.Clone()
+	greNoKey.EncapGRE(packet.MakeIPv4Addr(172, 16, 0, 1), packet.MakeIPv4Addr(172, 16, 0, 2), 0)
+	f.Add(greNoKey.Serialize())
+	ipip := tcp.Clone()
+	ipip.EncapIPIP(packet.MakeIPv4Addr(172, 16, 0, 1), packet.MakeIPv4Addr(172, 16, 0, 2))
+	f.Add(ipip.Serialize())
+	f.Add(tcp6.Serialize()[:40])
+	f.Add(gre.Serialize()[:38])
 	f.Fuzz(func(t *testing.T, data []byte) {
 		hf := fuzzFormat(t)
 		for _, format := range []*packet.HeaderFormat{nil, hf} {

@@ -220,6 +220,8 @@ func (g *Gallium) NextLayerType() LayerType {
 	switch g.NextEtherType {
 	case EtherTypeIPv4:
 		return LayerTypeIPv4
+	case EtherTypeIPv6:
+		return LayerTypeIPv6
 	}
 	return LayerTypePayload
 }

@@ -1,0 +1,112 @@
+package packet
+
+import "fmt"
+
+// GRE header sizes: the 4-byte base header and the optional 4-byte key.
+const (
+	GREHeaderBaseLen = 4
+	GREKeyLen        = 4
+)
+
+// GRE flag bits in the first header byte.
+const (
+	greFlagChecksum = 0x80
+	greFlagRouting  = 0x40
+	greFlagKey      = 0x20
+	greFlagSeq      = 0x10
+)
+
+// GRE is an RFC 2784/2890 GRE encapsulation header. Only version 0 with an
+// optional key is modeled — checksum, routing, and sequence-number
+// extensions are rejected at decode, the same way IPv4 rejects options
+// (IHL != 5): the switch parser the simulator mirrors supports exactly
+// this shape.
+type GRE struct {
+	// HasKey marks the optional RFC 2890 key field as present.
+	HasKey bool
+	Key    uint32
+	// Protocol is the EtherType of the encapsulated payload.
+	Protocol EtherType
+
+	contents []byte
+	payload  []byte
+}
+
+// LayerType implements Layer.
+func (g *GRE) LayerType() LayerType { return LayerTypeGRE }
+
+// LayerContents implements Layer.
+func (g *GRE) LayerContents() []byte { return g.contents }
+
+// LayerPayload implements Layer.
+func (g *GRE) LayerPayload() []byte { return g.payload }
+
+// CanDecode implements DecodingLayer.
+func (g *GRE) CanDecode() LayerType { return LayerTypeGRE }
+
+// HeaderLen returns the wire size of the header.
+func (g *GRE) HeaderLen() int {
+	if g.HasKey {
+		return GREHeaderBaseLen + GREKeyLen
+	}
+	return GREHeaderBaseLen
+}
+
+// DecodeFromBytes implements DecodingLayer.
+func (g *GRE) DecodeFromBytes(data []byte) error {
+	if len(data) < GREHeaderBaseLen {
+		return errTooShort(LayerTypeGRE, GREHeaderBaseLen, len(data))
+	}
+	flags := data[0]
+	if ver := data[1] & 0x07; ver != 0 {
+		return &DecodeError{Layer: LayerTypeGRE, Msg: fmt.Sprintf("unsupported version %d", ver)}
+	}
+	if flags&(greFlagChecksum|greFlagRouting|greFlagSeq) != 0 {
+		return &DecodeError{Layer: LayerTypeGRE, Msg: fmt.Sprintf("unsupported flags %#02x", flags)}
+	}
+	g.HasKey = flags&greFlagKey != 0
+	g.Protocol = EtherType(uint16(data[2])<<8 | uint16(data[3]))
+	n := GREHeaderBaseLen
+	if g.HasKey {
+		if len(data) < GREHeaderBaseLen+GREKeyLen {
+			return errTooShort(LayerTypeGRE, GREHeaderBaseLen+GREKeyLen, len(data))
+		}
+		g.Key = uint32(data[4])<<24 | uint32(data[5])<<16 | uint32(data[6])<<8 | uint32(data[7])
+		n += GREKeyLen
+	} else {
+		g.Key = 0
+	}
+	g.contents = data[:n]
+	g.payload = data[n:]
+	return nil
+}
+
+// NextLayerType implements DecodingLayer.
+func (g *GRE) NextLayerType() LayerType {
+	switch g.Protocol {
+	case EtherTypeIPv4:
+		return LayerTypeIPv4
+	case EtherTypeIPv6:
+		return LayerTypeIPv6
+	}
+	return LayerTypePayload
+}
+
+// SerializeTo prepends the wire form of the header to b.
+func (g *GRE) SerializeTo(b *SerializeBuffer) error {
+	hdr := b.PrependBytes(g.HeaderLen())
+	hdr[0] = 0
+	if g.HasKey {
+		hdr[0] = greFlagKey
+	}
+	hdr[1] = 0
+	hdr[2] = byte(g.Protocol >> 8)
+	hdr[3] = byte(g.Protocol)
+	if g.HasKey {
+		hdr[4] = byte(g.Key >> 24)
+		hdr[5] = byte(g.Key >> 16)
+		hdr[6] = byte(g.Key >> 8)
+		hdr[7] = byte(g.Key)
+	}
+	return nil
+}

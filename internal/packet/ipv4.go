@@ -13,10 +13,14 @@ const IPv4HeaderLen = 20
 // IPProtocol identifies the transport protocol in an IPv4 header.
 type IPProtocol uint8
 
-// Transport protocols used by the simulator.
+// IP protocol numbers used by the simulator. GRE, IPIP, and IPv6 appear as
+// the outer protocol of encapsulated packets.
 const (
-	IPProtocolTCP IPProtocol = 6
-	IPProtocolUDP IPProtocol = 17
+	IPProtocolIPIP IPProtocol = 4 // IP-in-IP, inner IPv4
+	IPProtocolTCP  IPProtocol = 6
+	IPProtocolUDP  IPProtocol = 17
+	IPProtocolIPv6 IPProtocol = 41 // IP-in-IP, inner IPv6
+	IPProtocolGRE  IPProtocol = 47
 )
 
 // IPv4Addr is an IPv4 address in host-independent form; the numeric value
@@ -118,6 +122,12 @@ func (ip *IPv4) NextLayerType() LayerType {
 		return LayerTypeTCP
 	case IPProtocolUDP:
 		return LayerTypeUDP
+	case IPProtocolGRE:
+		return LayerTypeGRE
+	case IPProtocolIPIP:
+		return LayerTypeIPv4
+	case IPProtocolIPv6:
+		return LayerTypeIPv6
 	}
 	return LayerTypePayload
 }

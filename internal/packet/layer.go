@@ -25,6 +25,8 @@ const (
 	LayerTypeUDP
 	LayerTypePayload
 	LayerTypeDecodeFailure
+	LayerTypeIPv6
+	LayerTypeGRE
 )
 
 // String returns the conventional name of the layer type.
@@ -46,6 +48,10 @@ func (t LayerType) String() string {
 		return "Payload"
 	case LayerTypeDecodeFailure:
 		return "DecodeFailure"
+	case LayerTypeIPv6:
+		return "IPv6"
+	case LayerTypeGRE:
+		return "GRE"
 	}
 	return fmt.Sprintf("LayerType(%d)", int(t))
 }

@@ -15,8 +15,23 @@ type Packet struct {
 	HasGallium bool
 	GalData    []byte
 
-	HasIP bool
-	IP    IPv4
+	// HasOuter marks an encapsulated packet; Outer is the outer IPv4
+	// delivery header (the simulator always tunnels over IPv4). With
+	// HasGRE the encapsulation is GRE, otherwise plain IP-in-IP
+	// (protocol 4 for inner IPv4, 41 for inner IPv6).
+	HasOuter bool
+	Outer    IPv4
+	HasGRE   bool
+	GRE      GRE
+
+	// HasIP/HasIP6 select the (innermost) network header. At most one is
+	// set: IP always names the innermost IPv4 header, so field accessors
+	// and five-tuples keep referring to the payload flow when a program
+	// wraps the packet in a tunnel.
+	HasIP  bool
+	IP     IPv4
+	HasIP6 bool
+	IP6    IPv6
 
 	HasTCP bool
 	TCP    TCP
@@ -54,32 +69,90 @@ func DecodePacket(data []byte, galFormat *HeaderFormat) (*Packet, error) {
 		}
 		p.HasIP = true
 		rest = p.IP.LayerPayload()
-		switch p.IP.NextLayerType() {
-		case LayerTypeTCP:
-			if err := p.TCP.DecodeFromBytes(rest); err != nil {
+		next = p.IP.NextLayerType()
+		// One level of encapsulation: an outer IPv4 header carrying GRE
+		// or IP-in-IP moves to Outer and the inner network header takes
+		// its place. Deeper nesting decodes as opaque payload.
+		switch next {
+		case LayerTypeGRE:
+			if err := p.GRE.DecodeFromBytes(rest); err != nil {
 				return nil, err
 			}
-			p.HasTCP = true
-			rest = p.TCP.LayerPayload()
-		case LayerTypeUDP:
-			if err := p.UDP.DecodeFromBytes(rest); err != nil {
+			p.Outer, p.IP = p.IP, IPv4{}
+			p.HasOuter, p.HasGRE, p.HasIP = true, true, false
+			rest = p.GRE.LayerPayload()
+			next = p.GRE.NextLayerType()
+			if next == LayerTypeIPv4 {
+				if err := p.IP.DecodeFromBytes(rest); err != nil {
+					return nil, err
+				}
+				p.HasIP = true
+				rest = p.IP.LayerPayload()
+				next = innerNext(p.IP.NextLayerType())
+			}
+		case LayerTypeIPv4: // IP-in-IP
+			p.Outer, p.IP = p.IP, IPv4{}
+			p.HasOuter, p.HasIP = true, false
+			if err := p.IP.DecodeFromBytes(rest); err != nil {
 				return nil, err
 			}
-			p.HasUDP = true
-			rest = p.UDP.LayerPayload()
+			p.HasIP = true
+			rest = p.IP.LayerPayload()
+			next = innerNext(p.IP.NextLayerType())
+		case LayerTypeIPv6: // IP-in-IP, inner IPv6
+			p.Outer, p.IP = p.IP, IPv4{}
+			p.HasOuter, p.HasIP = true, false
 		}
+	}
+	if next == LayerTypeIPv6 {
+		if err := p.IP6.DecodeFromBytes(rest); err != nil {
+			return nil, err
+		}
+		p.HasIP6 = true
+		rest = p.IP6.LayerPayload()
+		next = p.IP6.NextLayerType()
+	}
+	switch next {
+	case LayerTypeTCP:
+		if err := p.TCP.DecodeFromBytes(rest); err != nil {
+			return nil, err
+		}
+		p.HasTCP = true
+		rest = p.TCP.LayerPayload()
+	case LayerTypeUDP:
+		if err := p.UDP.DecodeFromBytes(rest); err != nil {
+			return nil, err
+		}
+		p.HasUDP = true
+		rest = p.UDP.LayerPayload()
 	}
 	p.Payload = append([]byte(nil), rest...)
 	return p, nil
 }
 
-// Serialize assembles the packet back into wire bytes.
+// innerNext clips an inner IPv4 header's successor to the transport
+// layers: nested tunnels are not followed, their contents stay payload.
+func innerNext(t LayerType) LayerType {
+	if t == LayerTypeTCP || t == LayerTypeUDP {
+		return t
+	}
+	return LayerTypePayload
+}
+
+// Serialize assembles the packet back into wire bytes. Protocol and
+// EtherType chaining fields (inner ethertype in GRE, outer IP protocol,
+// the Gallium next-ethertype, the Ethernet ethertype) are derived from the
+// presence flags, so a packet mutated through the field accessors always
+// re-serializes into a consistent header chain.
 func (p *Packet) Serialize() []byte {
 	b := NewSerializeBuffer()
 	b.PushPayload(p.Payload)
 	var ph *PseudoHeader
-	if p.HasIP {
+	switch {
+	case p.HasIP:
 		ph = &PseudoHeader{SrcIP: p.IP.SrcIP, DstIP: p.IP.DstIP}
+	case p.HasIP6:
+		ph = &PseudoHeader{V6: true, SrcIP6: p.IP6.SrcIP, DstIP6: p.IP6.DstIP}
 	}
 	switch {
 	case p.HasTCP:
@@ -87,18 +160,36 @@ func (p *Packet) Serialize() []byte {
 	case p.HasUDP:
 		_ = p.UDP.SerializeTo(b, ph)
 	}
-	if p.HasIP {
+	var netType EtherType // ethertype of the outermost network header, 0 if none
+	switch {
+	case p.HasIP:
 		_ = p.IP.SerializeTo(b, true)
+		netType = EtherTypeIPv4
+	case p.HasIP6:
+		_ = p.IP6.SerializeTo(b, true)
+		netType = EtherTypeIPv6
+	}
+	if p.HasOuter {
+		if p.HasGRE {
+			if netType != 0 {
+				p.GRE.Protocol = netType
+			}
+			_ = p.GRE.SerializeTo(b)
+			p.Outer.Protocol = IPProtocolGRE
+		} else if p.HasIP6 {
+			p.Outer.Protocol = IPProtocolIPv6
+		} else if p.HasIP {
+			p.Outer.Protocol = IPProtocolIPIP
+		}
+		_ = p.Outer.SerializeTo(b, true)
+		netType = EtherTypeIPv4
 	}
 	if p.HasGallium {
-		g := &Gallium{NextEtherType: EtherTypeIPv4, Data: p.GalData}
-		if !p.HasIP {
-			g.NextEtherType = 0
-		}
+		g := &Gallium{NextEtherType: netType, Data: p.GalData}
 		_ = g.SerializeTo(b)
 		p.Eth.EtherType = EtherTypeGallium
-	} else if p.HasIP {
-		p.Eth.EtherType = EtherTypeIPv4
+	} else if netType != 0 {
+		p.Eth.EtherType = netType
 	}
 	_ = p.Eth.SerializeTo(b)
 	return append([]byte(nil), b.Bytes()...)
@@ -118,11 +209,20 @@ func (p *Packet) WireLen() int {
 	if p.HasGallium {
 		n += GalliumHeaderBaseLen + len(p.GalData)
 	}
+	if p.HasOuter {
+		n += IPv4HeaderLen
+		if p.HasGRE {
+			n += p.GRE.HeaderLen()
+		}
+	}
 	if p.HasIP {
 		n += IPv4HeaderLen
 	}
+	if p.HasIP6 {
+		n += IPv6HeaderLen
+	}
 	if p.HasTCP {
-		n += TCPHeaderLen
+		n += p.TCP.HeaderLen()
 	}
 	if p.HasUDP {
 		n += UDPHeaderLen
@@ -148,6 +248,47 @@ func (p *Packet) Tuple() (FiveTuple, bool) {
 	return t, true
 }
 
+// Tuple6 returns the packet's IPv6 transport six-tuple (five-tuple plus
+// flow label); ok is false unless the packet is IPv6 with TCP or UDP.
+func (p *Packet) Tuple6() (SixTuple, bool) {
+	if !p.HasIP6 {
+		return SixTuple{}, false
+	}
+	t := SixTuple{SrcIP: p.IP6.SrcIP, DstIP: p.IP6.DstIP, Proto: p.IP6.NextHeader, FlowLabel: p.IP6.FlowLabel}
+	switch {
+	case p.HasTCP:
+		t.SrcPort, t.DstPort = p.TCP.SrcPort, p.TCP.DstPort
+	case p.HasUDP:
+		t.SrcPort, t.DstPort = p.UDP.SrcPort, p.UDP.DstPort
+	default:
+		return SixTuple{}, false
+	}
+	return t, true
+}
+
+// DispatchTuple returns a five-tuple-shaped flow key for RSS steering and
+// per-flow ordering, covering v4, v6, and encapsulated packets (keyed on
+// the inner flow). IPv6 addresses are folded to 32 bits, so distinct v6
+// flows can collide — a collision only costs parallelism or ordering
+// conservatism, never correctness, because colliding flows are simply
+// treated as one flow. ok is false for packets with no transport header.
+func (p *Packet) DispatchTuple() (FiveTuple, bool) {
+	if t, ok := p.Tuple(); ok {
+		return t, true
+	}
+	t6, ok := p.Tuple6()
+	if !ok {
+		return FiveTuple{}, false
+	}
+	return FiveTuple{
+		SrcIP:   t6.SrcIP.fold32(),
+		DstIP:   t6.DstIP.fold32(),
+		SrcPort: t6.SrcPort,
+		DstPort: t6.DstPort,
+		Proto:   t6.Proto,
+	}, true
+}
+
 // AttachGallium adds an empty Gallium header of the given format to the
 // packet (all fields zero). A buffer left over from an earlier attach is
 // reused when large enough, so a packet cycling through the pipeline does
@@ -168,6 +309,20 @@ func (p *Packet) AttachGallium(f *HeaderFormat) {
 func (p *Packet) StripGallium() {
 	p.HasGallium = false
 	p.GalData = p.GalData[:0]
+}
+
+// Tunnel modes exposed through the tun.mode pseudo-field.
+const (
+	TunModeNone uint64 = 0
+	TunModeGRE  uint64 = 1
+	TunModeIPIP uint64 = 2
+)
+
+func boolBit(b bool) uint64 {
+	if b {
+		return 1
+	}
+	return 0
 }
 
 // headerFieldInfo describes a named packet header field usable by compiled
@@ -223,20 +378,174 @@ func guardedUDP(bits int, get func(*Packet) uint64, set func(*Packet, uint64)) h
 	return headerFieldInfo{bits, g, s}
 }
 
+// guardedIP / guardedIP6 gate accessors on the presence of the (inner)
+// IPv4 / IPv6 header, with the same wire semantics as the transport
+// guards: reads of an absent header return zero, writes are dropped. With
+// IPv6 frames first-class this matters for the ip.* fields too — a
+// program probing p.ip.ttl on a v6 packet must see the same zero on the
+// switch partition and the server partition.
+func guardedIP(bits int, get func(*Packet) uint64, set func(*Packet, uint64)) headerFieldInfo {
+	return headerFieldInfo{bits,
+		func(p *Packet) uint64 {
+			if !p.HasIP {
+				return 0
+			}
+			return get(p)
+		},
+		func(p *Packet, v uint64) {
+			if p.HasIP {
+				set(p, v)
+			}
+		}}
+}
+
+func guardedIP6(bits int, get func(*Packet) uint64, set func(*Packet, uint64)) headerFieldInfo {
+	return headerFieldInfo{bits,
+		func(p *Packet) uint64 {
+			if !p.HasIP6 {
+				return 0
+			}
+			return get(p)
+		},
+		func(p *Packet, v uint64) {
+			if p.HasIP6 {
+				set(p, v)
+			}
+		}}
+}
+
+// guardedTun gates the tunnel fields on an outer header being present
+// (and, for the GRE key, on GRE mode). Note for dependence analysis:
+// every tun.* access implicitly reads the tunnel mode, because writing
+// p.tun.mode changes whether a tun.src/dst/key access takes effect —
+// deps.RWSets models that aliasing explicitly.
+func guardedTun(bits int, get func(*Packet) uint64, set func(*Packet, uint64)) headerFieldInfo {
+	return headerFieldInfo{bits,
+		func(p *Packet) uint64 {
+			if !p.HasOuter {
+				return 0
+			}
+			return get(p)
+		},
+		func(p *Packet, v uint64) {
+			if p.HasOuter {
+				set(p, v)
+			}
+		}}
+}
+
 var headerFields = map[string]headerFieldInfo{
-	"ip.saddr":   {32, func(p *Packet) uint64 { return uint64(p.IP.SrcIP) }, func(p *Packet, v uint64) { p.IP.SrcIP = IPv4Addr(v) }},
-	"ip.daddr":   {32, func(p *Packet) uint64 { return uint64(p.IP.DstIP) }, func(p *Packet, v uint64) { p.IP.DstIP = IPv4Addr(v) }},
-	"ip.proto":   {8, func(p *Packet) uint64 { return uint64(p.IP.Protocol) }, func(p *Packet, v uint64) { p.IP.Protocol = IPProtocol(v) }},
-	"ip.ttl":     {8, func(p *Packet) uint64 { return uint64(p.IP.TTL) }, func(p *Packet, v uint64) { p.IP.TTL = uint8(v) }},
-	"ip.tos":     {8, func(p *Packet) uint64 { return uint64(p.IP.TOS) }, func(p *Packet, v uint64) { p.IP.TOS = uint8(v) }},
-	"ip.len":     {16, func(p *Packet) uint64 { return uint64(p.IP.Length) }, func(p *Packet, v uint64) { p.IP.Length = uint16(v) }},
-	"ip.id":      {16, func(p *Packet) uint64 { return uint64(p.IP.ID) }, func(p *Packet, v uint64) { p.IP.ID = uint16(v) }},
+	"ip.saddr":   guardedIP(32, func(p *Packet) uint64 { return uint64(p.IP.SrcIP) }, func(p *Packet, v uint64) { p.IP.SrcIP = IPv4Addr(v) }),
+	"ip.daddr":   guardedIP(32, func(p *Packet) uint64 { return uint64(p.IP.DstIP) }, func(p *Packet, v uint64) { p.IP.DstIP = IPv4Addr(v) }),
+	"ip.proto":   guardedIP(8, func(p *Packet) uint64 { return uint64(p.IP.Protocol) }, func(p *Packet, v uint64) { p.IP.Protocol = IPProtocol(v) }),
+	"ip.ttl":     guardedIP(8, func(p *Packet) uint64 { return uint64(p.IP.TTL) }, func(p *Packet, v uint64) { p.IP.TTL = uint8(v) }),
+	"ip.tos":     guardedIP(8, func(p *Packet) uint64 { return uint64(p.IP.TOS) }, func(p *Packet, v uint64) { p.IP.TOS = uint8(v) }),
+	"ip.len":     guardedIP(16, func(p *Packet) uint64 { return uint64(p.IP.Length) }, func(p *Packet, v uint64) { p.IP.Length = uint16(v) }),
+	"ip.id":      guardedIP(16, func(p *Packet) uint64 { return uint64(p.IP.ID) }, func(p *Packet, v uint64) { p.IP.ID = uint16(v) }),
+	"ip.present": {1, func(p *Packet) uint64 { return boolBit(p.HasIP) }, func(p *Packet, v uint64) {}},
+
+	// IPv6 fixed header. IR values are 64-bit, so the two 128-bit
+	// addresses are exposed as hi/lo 64-bit halves.
+	"ip6.saddr_hi": guardedIP6(64, func(p *Packet) uint64 { return p.IP6.SrcIP.Hi() },
+		func(p *Packet, v uint64) { p.IP6.SrcIP = MakeIPv6Addr(v, p.IP6.SrcIP.Lo()) }),
+	"ip6.saddr_lo": guardedIP6(64, func(p *Packet) uint64 { return p.IP6.SrcIP.Lo() },
+		func(p *Packet, v uint64) { p.IP6.SrcIP = MakeIPv6Addr(p.IP6.SrcIP.Hi(), v) }),
+	"ip6.daddr_hi": guardedIP6(64, func(p *Packet) uint64 { return p.IP6.DstIP.Hi() },
+		func(p *Packet, v uint64) { p.IP6.DstIP = MakeIPv6Addr(v, p.IP6.DstIP.Lo()) }),
+	"ip6.daddr_lo": guardedIP6(64, func(p *Packet) uint64 { return p.IP6.DstIP.Lo() },
+		func(p *Packet, v uint64) { p.IP6.DstIP = MakeIPv6Addr(p.IP6.DstIP.Hi(), v) }),
+	"ip6.tclass":   guardedIP6(8, func(p *Packet) uint64 { return uint64(p.IP6.TrafficClass) }, func(p *Packet, v uint64) { p.IP6.TrafficClass = uint8(v) }),
+	"ip6.flow":     guardedIP6(32, func(p *Packet) uint64 { return uint64(p.IP6.FlowLabel) }, func(p *Packet, v uint64) { p.IP6.FlowLabel = uint32(v) & 0xFFFFF }),
+	"ip6.plen":     guardedIP6(16, func(p *Packet) uint64 { return uint64(p.IP6.PayloadLen) }, func(p *Packet, v uint64) { p.IP6.PayloadLen = uint16(v) }),
+	"ip6.nexthdr":  guardedIP6(8, func(p *Packet) uint64 { return uint64(p.IP6.NextHeader) }, func(p *Packet, v uint64) { p.IP6.NextHeader = IPProtocol(v) }),
+	"ip6.hoplimit": guardedIP6(8, func(p *Packet) uint64 { return uint64(p.IP6.HopLimit) }, func(p *Packet, v uint64) { p.IP6.HopLimit = uint8(v) }),
+	"ip6.present":  {1, func(p *Packet) uint64 { return boolBit(p.HasIP6) }, func(p *Packet, v uint64) {}},
+
+	// Tunnel encapsulation pseudo-fields. tun.mode attaches or strips the
+	// outer headers (0 = none, 1 = GRE, 2 = IP-in-IP); tun.src/tun.dst
+	// are the outer IPv4 endpoints and tun.key the GRE key, all inert
+	// while no tunnel is attached.
+	"tun.mode": {8,
+		func(p *Packet) uint64 {
+			switch {
+			case p.HasOuter && p.HasGRE:
+				return TunModeGRE
+			case p.HasOuter:
+				return TunModeIPIP
+			}
+			return TunModeNone
+		},
+		func(p *Packet, v uint64) {
+			switch v {
+			case TunModeGRE:
+				if !p.HasOuter {
+					p.Outer = IPv4{TTL: 64}
+				}
+				if !p.HasGRE {
+					p.GRE = GRE{}
+				}
+				p.HasOuter, p.HasGRE = true, true
+			case TunModeIPIP:
+				if !p.HasOuter {
+					p.Outer = IPv4{TTL: 64}
+				}
+				p.HasOuter, p.HasGRE = true, false
+			default:
+				p.HasOuter, p.HasGRE = false, false
+			}
+		}},
+	"tun.src": guardedTun(32, func(p *Packet) uint64 { return uint64(p.Outer.SrcIP) }, func(p *Packet, v uint64) { p.Outer.SrcIP = IPv4Addr(v) }),
+	"tun.dst": guardedTun(32, func(p *Packet) uint64 { return uint64(p.Outer.DstIP) }, func(p *Packet, v uint64) { p.Outer.DstIP = IPv4Addr(v) }),
+	"tun.key": guardedTun(32,
+		func(p *Packet) uint64 {
+			if !p.HasGRE {
+				return 0
+			}
+			return uint64(p.GRE.Key)
+		},
+		func(p *Packet, v uint64) {
+			if p.HasGRE {
+				p.GRE.Key = uint32(v)
+				p.GRE.HasKey = v != 0
+			}
+		}),
+
+	// eth.type is computed from the presence flags, mirroring what
+	// Serialize will emit for the network stack; writes are dropped so
+	// the field cannot drift from the real header chain.
+	"eth.type": {16,
+		func(p *Packet) uint64 {
+			switch {
+			case p.HasOuter || p.HasIP:
+				return uint64(EtherTypeIPv4)
+			case p.HasIP6:
+				return uint64(EtherTypeIPv6)
+			}
+			return uint64(p.Eth.EtherType)
+		},
+		func(p *Packet, v uint64) {}},
 	"tcp.sport":  guardedTCP(16, func(p *Packet) uint64 { return uint64(p.TCP.SrcPort) }, func(p *Packet, v uint64) { p.TCP.SrcPort = uint16(v) }),
 	"tcp.dport":  guardedTCP(16, func(p *Packet) uint64 { return uint64(p.TCP.DstPort) }, func(p *Packet, v uint64) { p.TCP.DstPort = uint16(v) }),
 	"tcp.seq":    guardedTCP(32, func(p *Packet) uint64 { return uint64(p.TCP.Seq) }, func(p *Packet, v uint64) { p.TCP.Seq = uint32(v) }),
 	"tcp.ack":    guardedTCP(32, func(p *Packet) uint64 { return uint64(p.TCP.Ack) }, func(p *Packet, v uint64) { p.TCP.Ack = uint32(v) }),
 	"tcp.flags":  guardedTCP(8, func(p *Packet) uint64 { return uint64(p.TCP.Flags) }, func(p *Packet, v uint64) { p.TCP.Flags = uint8(v) }),
 	"tcp.window": guardedTCP(16, func(p *Packet) uint64 { return uint64(p.TCP.Window) }, func(p *Packet, v uint64) { p.TCP.Window = uint16(v) }),
+	// tcp.mss is clamp-only: it reads 0 and drops writes unless the SYN
+	// actually carries an MSS option, so a program can lower an
+	// advertised MSS but never conjure the option onto a segment that
+	// lacks it.
+	"tcp.mss": guardedTCP(16,
+		func(p *Packet) uint64 {
+			if !p.TCP.HasMSS {
+				return 0
+			}
+			return uint64(p.TCP.MSS)
+		},
+		func(p *Packet, v uint64) {
+			if p.TCP.HasMSS {
+				p.TCP.MSS = uint16(v)
+			}
+		}),
 	"udp.sport":  guardedUDP(16, func(p *Packet) uint64 { return uint64(p.UDP.SrcPort) }, func(p *Packet, v uint64) { p.UDP.SrcPort = uint16(v) }),
 	"udp.dport":  guardedUDP(16, func(p *Packet) uint64 { return uint64(p.UDP.DstPort) }, func(p *Packet, v uint64) { p.UDP.DstPort = uint16(v) }),
 	"udp.len":    guardedUDP(16, func(p *Packet) uint64 { return uint64(p.UDP.Length) }, func(p *Packet, v uint64) { p.UDP.Length = uint16(v) }),

@@ -18,7 +18,15 @@ const (
 	TCPFlagURG
 )
 
-// TCP is a TCP header (options unsupported; data offset is always 5).
+// TCPOptionMSSLen is the wire size of the one TCP option the simulator
+// models (kind 2, maximum segment size).
+const TCPOptionMSSLen = 4
+
+// TCP is a TCP header. Of the options space only the MSS option (kind 2)
+// is modeled: decode scans the options area for it, and serialize emits a
+// canonical 24-byte header (data offset 6) when HasMSS is set and the
+// plain 20-byte header otherwise. Unrecognized options are accepted on
+// decode but do not survive a serialize round trip.
 type TCP struct {
 	SrcPort, DstPort uint16
 	Seq, Ack         uint32
@@ -26,6 +34,10 @@ type TCP struct {
 	Window           uint16
 	Checksum         uint16
 	Urgent           uint16
+
+	// HasMSS marks the MSS option as present; MSS is its value.
+	HasMSS bool
+	MSS    uint16
 
 	contents []byte
 	payload  []byte
@@ -71,29 +83,70 @@ func (t *TCP) DecodeFromBytes(data []byte) error {
 	if off < TCPHeaderLen || off > len(data) {
 		return &DecodeError{Layer: LayerTypeTCP, Msg: fmt.Sprintf("bad data offset %d", off)}
 	}
-	t.Flags = data[13] & 0x3F
+	// All eight bits of the flags byte are kept (CWR/ECE included), so
+	// decode followed by serialize reproduces the wire bytes exactly.
+	t.Flags = data[13]
 	t.Window = binary.BigEndian.Uint16(data[14:16])
 	t.Checksum = binary.BigEndian.Uint16(data[16:18])
 	t.Urgent = binary.BigEndian.Uint16(data[18:20])
+	t.HasMSS, t.MSS = false, 0
+	opts := data[TCPHeaderLen:off]
+	for i := 0; i < len(opts); {
+		switch kind := opts[i]; kind {
+		case 0: // end of options
+			i = len(opts)
+		case 1: // NOP
+			i++
+		default:
+			if i+1 >= len(opts) {
+				return &DecodeError{Layer: LayerTypeTCP, Msg: "truncated option"}
+			}
+			olen := int(opts[i+1])
+			if olen < 2 || i+olen > len(opts) {
+				return &DecodeError{Layer: LayerTypeTCP, Msg: fmt.Sprintf("bad option length %d", olen)}
+			}
+			if kind == 2 {
+				if olen != TCPOptionMSSLen {
+					return &DecodeError{Layer: LayerTypeTCP, Msg: fmt.Sprintf("bad MSS option length %d", olen)}
+				}
+				t.HasMSS = true
+				t.MSS = binary.BigEndian.Uint16(opts[i+2 : i+4])
+			}
+			i += olen
+		}
+	}
 	t.contents = data[:off]
 	t.payload = data[off:]
 	return nil
 }
 
+// HeaderLen returns the wire size of the header as SerializeTo emits it.
+func (t *TCP) HeaderLen() int {
+	if t.HasMSS {
+		return TCPHeaderLen + TCPOptionMSSLen
+	}
+	return TCPHeaderLen
+}
+
 // SerializeTo prepends the wire form of the header to b. If csum is not
 // nil, the checksum is computed with the given pseudo-header context.
 func (t *TCP) SerializeTo(b *SerializeBuffer, csum *PseudoHeader) error {
-	segLen := TCPHeaderLen + len(b.Bytes())
-	hdr := b.PrependBytes(TCPHeaderLen)
+	hlen := t.HeaderLen()
+	segLen := hlen + len(b.Bytes())
+	hdr := b.PrependBytes(hlen)
 	binary.BigEndian.PutUint16(hdr[0:2], t.SrcPort)
 	binary.BigEndian.PutUint16(hdr[2:4], t.DstPort)
 	binary.BigEndian.PutUint32(hdr[4:8], t.Seq)
 	binary.BigEndian.PutUint32(hdr[8:12], t.Ack)
-	hdr[12] = 5 << 4
+	hdr[12] = uint8(hlen/4) << 4
 	hdr[13] = t.Flags
 	binary.BigEndian.PutUint16(hdr[14:16], t.Window)
 	hdr[16], hdr[17] = 0, 0
 	binary.BigEndian.PutUint16(hdr[18:20], t.Urgent)
+	if t.HasMSS {
+		hdr[20], hdr[21] = 2, TCPOptionMSSLen
+		binary.BigEndian.PutUint16(hdr[22:24], t.MSS)
+	}
 	if csum != nil {
 		t.Checksum = transportChecksum(b.Bytes()[:segLen], csum, IPProtocolTCP)
 		binary.BigEndian.PutUint16(hdr[16:18], t.Checksum)
@@ -101,20 +154,19 @@ func (t *TCP) SerializeTo(b *SerializeBuffer, csum *PseudoHeader) error {
 	return nil
 }
 
-// PseudoHeader carries the IPv4 fields that participate in transport-layer
-// checksums.
+// PseudoHeader carries the network-layer fields that participate in
+// transport-layer checksums. V6 selects the IPv6 pseudo-header form with
+// the SrcIP6/DstIP6 addresses; otherwise the IPv4 form is used.
 type PseudoHeader struct {
 	SrcIP, DstIP IPv4Addr
+
+	V6             bool
+	SrcIP6, DstIP6 IPv6Addr
 }
 
 // transportChecksum computes the TCP/UDP checksum of segment with the given
 // pseudo-header.
 func transportChecksum(segment []byte, ph *PseudoHeader, proto IPProtocol) uint16 {
-	var pseudo [12]byte
-	binary.BigEndian.PutUint32(pseudo[0:4], uint32(ph.SrcIP))
-	binary.BigEndian.PutUint32(pseudo[4:8], uint32(ph.DstIP))
-	pseudo[9] = uint8(proto)
-	binary.BigEndian.PutUint16(pseudo[10:12], uint16(len(segment)))
 	var sum uint32
 	add := func(data []byte) {
 		for i := 0; i+1 < len(data); i += 2 {
@@ -124,7 +176,21 @@ func transportChecksum(segment []byte, ph *PseudoHeader, proto IPProtocol) uint1
 			sum += uint32(data[len(data)-1]) << 8
 		}
 	}
-	add(pseudo[:])
+	if ph.V6 {
+		var pseudo [40]byte
+		copy(pseudo[0:16], ph.SrcIP6[:])
+		copy(pseudo[16:32], ph.DstIP6[:])
+		binary.BigEndian.PutUint32(pseudo[32:36], uint32(len(segment)))
+		pseudo[39] = uint8(proto)
+		add(pseudo[:])
+	} else {
+		var pseudo [12]byte
+		binary.BigEndian.PutUint32(pseudo[0:4], uint32(ph.SrcIP))
+		binary.BigEndian.PutUint32(pseudo[4:8], uint32(ph.DstIP))
+		pseudo[9] = uint8(proto)
+		binary.BigEndian.PutUint16(pseudo[10:12], uint16(len(segment)))
+		add(pseudo[:])
+	}
 	add(segment)
 	for sum > 0xFFFF {
 		sum = sum&0xFFFF + sum>>16
